@@ -1,0 +1,140 @@
+// Shared helpers for the figure benchmarks.
+#ifndef ALEX_BENCH_BENCH_COMMON_H_
+#define ALEX_BENCH_BENCH_COMMON_H_
+
+#include <cctype>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "datagen/profiles.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+namespace alex::bench {
+
+// Default experiment configuration for a named profile. Batch mode: episode
+// size 1000 (§7.1).
+inline eval::ExperimentConfig MakeConfig(const std::string& profile_name) {
+  eval::ExperimentConfig config;
+  ALEX_CHECK(datagen::ProfileByName(profile_name, &config.profile))
+      << "unknown profile " << profile_name;
+  config.alex.episode_size = 1000;
+  config.alex.max_episodes = 40;
+  config.alex.num_partitions = 8;
+  return config;
+}
+
+// When non-empty (set from a bench's `--csv-dir <dir>` argument),
+// RunAndPrint also drops a <slug>.csv per experiment into the directory.
+inline std::string& CsvDir() {
+  static std::string* dir = new std::string;
+  return *dir;
+}
+
+inline void SetCsvDirFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--csv-dir" && i + 1 < argc) {
+      CsvDir() = argv[i + 1];
+    } else if (arg.rfind("--csv-dir=", 0) == 0) {
+      CsvDir() = arg.substr(10);
+    }
+  }
+}
+
+// "Figure 2(a): DBpedia - NYTimes" -> "figure_2_a_dbpedia_nytimes".
+inline std::string SlugFromTitle(const std::string& title) {
+  std::string slug;
+  bool last_sep = true;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+      last_sep = false;
+    } else if (!last_sep) {
+      slug.push_back('_');
+      last_sep = true;
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+// Runs one experiment and prints its series and summary; optionally also
+// writes a CSV (see CsvDir).
+inline eval::ExperimentResult RunAndPrint(
+    const std::string& title, const eval::ExperimentConfig& config) {
+  Result<eval::ExperimentResult> result = eval::RunExperiment(config);
+  ALEX_CHECK(result.ok()) << result.status().ToString();
+  eval::PrintSeries(std::cout, title, result.value());
+  eval::PrintSummary(std::cout, result.value());
+  if (!CsvDir().empty()) {
+    std::string path = CsvDir() + "/" + SlugFromTitle(title) + ".csv";
+    if (eval::SaveSeriesCsv(path, result.value())) {
+      std::cout << "(series written to " << path << ")\n";
+    }
+  }
+  return std::move(result).value();
+}
+
+// Prints several runs side by side: one column group per labelled series,
+// showing the chosen metric per episode (as Figures 6, 9, 10, 11 do).
+inline void PrintComparison(
+    const std::string& title, const std::string& metric_name,
+    const std::vector<std::string>& labels,
+    const std::vector<std::vector<double>>& series) {
+  eval::PrintHeader(std::cout, title);
+  std::cout << std::setw(8) << "episode";
+  for (const std::string& label : labels) {
+    std::cout << std::setw(14) << label;
+  }
+  std::cout << "   (" << metric_name << ")\n" << std::fixed;
+  size_t rows = 0;
+  for (const auto& s : series) rows = std::max(rows, s.size());
+  for (size_t row = 0; row < rows; ++row) {
+    std::cout << std::setw(8) << row;
+    for (const auto& s : series) {
+      if (row < s.size()) {
+        std::cout << std::setprecision(3) << std::setw(14) << s[row];
+      } else {
+        std::cout << std::setw(14) << "-";
+      }
+    }
+    std::cout << "\n";
+  }
+  std::cout.unsetf(std::ios::fixed);
+  std::cout << std::setprecision(6);
+}
+
+// Extracts one metric column from an experiment series.
+enum class Metric { kPrecision, kRecall, kFMeasure, kNegativePercent };
+
+inline std::vector<double> Column(const eval::ExperimentResult& result,
+                                  Metric metric) {
+  std::vector<double> out;
+  out.reserve(result.series.size());
+  for (const eval::EpisodePoint& point : result.series) {
+    switch (metric) {
+      case Metric::kPrecision:
+        out.push_back(point.quality.precision);
+        break;
+      case Metric::kRecall:
+        out.push_back(point.quality.recall);
+        break;
+      case Metric::kFMeasure:
+        out.push_back(point.quality.f_measure);
+        break;
+      case Metric::kNegativePercent:
+        out.push_back(point.stats.NegativeFeedbackPercent());
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace alex::bench
+
+#endif  // ALEX_BENCH_BENCH_COMMON_H_

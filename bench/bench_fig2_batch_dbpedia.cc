@@ -1,0 +1,19 @@
+// Figure 2: quality of links between DBpedia and NYTimes (a), Drugbank (b),
+// and Lexvo (c) in batch mode (episode size 1000). Expected shapes:
+//   (a) initial good precision / low recall; recall jumps after episode 1.
+//   (b) initial low precision / high recall; ALEX repairs precision.
+//   (c) both low initially; recall first, then precision.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  alex::bench::SetCsvDirFromArgs(argc, argv);
+  using alex::bench::MakeConfig;
+  using alex::bench::RunAndPrint;
+  RunAndPrint("Figure 2(a): DBpedia - NYTimes (batch mode)",
+              MakeConfig("dbpedia_nytimes"));
+  RunAndPrint("Figure 2(b): DBpedia - Drugbank (batch mode)",
+              MakeConfig("dbpedia_drugbank"));
+  RunAndPrint("Figure 2(c): DBpedia - Lexvo (batch mode)",
+              MakeConfig("dbpedia_lexvo"));
+  return 0;
+}

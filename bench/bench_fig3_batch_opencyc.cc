@@ -1,0 +1,17 @@
+// Figure 3: quality of links between OpenCyc and NYTimes (a), Drugbank (b),
+// and Lexvo (c) in batch mode — the same three regimes as Figure 2 on the
+// smaller OpenCyc-side data sets.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  alex::bench::SetCsvDirFromArgs(argc, argv);
+  using alex::bench::MakeConfig;
+  using alex::bench::RunAndPrint;
+  RunAndPrint("Figure 3(a): OpenCyc - NYTimes (batch mode)",
+              MakeConfig("opencyc_nytimes"));
+  RunAndPrint("Figure 3(b): OpenCyc - Drugbank (batch mode)",
+              MakeConfig("opencyc_drugbank"));
+  RunAndPrint("Figure 3(c): OpenCyc - Lexvo (batch mode)",
+              MakeConfig("opencyc_lexvo"));
+  return 0;
+}

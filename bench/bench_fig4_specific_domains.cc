@@ -1,0 +1,32 @@
+// Figure 4: ALEX for specific domains with a small episode size of 10
+// feedback items (§7.2.2): Semantic Web Dogfood against DBpedia (a) and
+// OpenCyc (b), and the NBA basketball player subsets against NYTimes
+// (c, d). Users in this single-user setting expect quick improvement, so
+// quality should climb within a couple of tiny episodes.
+#include "bench_common.h"
+
+namespace {
+
+alex::eval::ExperimentConfig SpecificDomain(const std::string& profile) {
+  alex::eval::ExperimentConfig config = alex::bench::MakeConfig(profile);
+  config.alex.episode_size = 10;  // §7.2.2
+  config.alex.num_partitions = 2;
+  config.alex.max_episodes = 60;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  alex::bench::SetCsvDirFromArgs(argc, argv);
+  using alex::bench::RunAndPrint;
+  RunAndPrint("Figure 4(a): DBpedia - Semantic Web Dogfood (episodes of 10)",
+              SpecificDomain("dbpedia_swdf"));
+  RunAndPrint("Figure 4(b): OpenCyc - Semantic Web Dogfood (episodes of 10)",
+              SpecificDomain("opencyc_swdf"));
+  RunAndPrint("Figure 4(c): DBpedia (NBA) - NYTimes (episodes of 10)",
+              SpecificDomain("dbpedia_nba_nytimes"));
+  RunAndPrint("Figure 4(d): OpenCyc (NBA) - NYTimes (episodes of 10)",
+              SpecificDomain("opencyc_nba_nytimes"));
+  return 0;
+}

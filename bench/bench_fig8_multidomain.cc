@@ -1,0 +1,15 @@
+// Figure 8 (Appendix B): stress test — linking the two multi-domain data
+// sets (DBpedia and OpenCyc). Largest pair, most heterogeneous vocabulary,
+// largest ground truth. Expected: converges with F-measure > 0.9 and a
+// large number of newly discovered links.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  alex::bench::SetCsvDirFromArgs(argc, argv);
+  alex::eval::ExperimentConfig config =
+      alex::bench::MakeConfig("dbpedia_opencyc");
+  config.alex.max_episodes = 30;
+  alex::bench::RunAndPrint(
+      "Figure 8: DBpedia - OpenCyc (multi-domain stress test)", config);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical kernels:
+// similarity functions, triple-store pattern matching, feature-set
+// construction, the feature-space range query, and the PARIS pipeline on a
+// small world. Not a paper artifact; used to watch for regressions.
+#include <benchmark/benchmark.h>
+
+#include "core/feature_set.h"
+#include "core/feature_space.h"
+#include "datagen/profiles.h"
+#include "linking/paris.h"
+#include "similarity/string_metrics.h"
+#include "similarity/value_similarity.h"
+
+namespace {
+
+using alex::core::FeatureCatalog;
+using alex::core::FeatureSpace;
+using alex::core::PreparedEntity;
+using alex::rdf::Term;
+using alex::rdf::TripleStore;
+
+void BM_NormalizedLevenshtein(benchmark::State& state) {
+  std::string a = "the new york times company";
+  std::string b = "new york times cmpany the";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alex::sim::NormalizedLevenshtein(a, b));
+  }
+}
+BENCHMARK(BM_NormalizedLevenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  std::string a = "the new york times company";
+  std::string b = "new york times cmpany the";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alex::sim::JaroWinkler(a, b));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_TokenJaccard(benchmark::State& state) {
+  std::string a = "the new york times company";
+  std::string b = "new york times cmpany the";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alex::sim::TokenJaccard(a, b));
+  }
+}
+BENCHMARK(BM_TokenJaccard);
+
+void BM_PreparedSimilarity(benchmark::State& state) {
+  auto a = alex::core::PrepareValue(
+      Term::StringLiteral("the new york times company"));
+  auto b = alex::core::PrepareValue(
+      Term::StringLiteral("new york times cmpany the"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alex::core::PreparedSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_PreparedSimilarity);
+
+void BM_TripleStoreMatch(benchmark::State& state) {
+  TripleStore store("bench");
+  auto p = store.InternTerm(Term::Iri("p"));
+  for (int i = 0; i < 10000; ++i) {
+    store.Add(store.InternTerm(Term::Iri("s" + std::to_string(i))), p,
+              store.InternTerm(Term::IntegerLiteral(i % 50)));
+  }
+  auto target = store.dictionary().Lookup(Term::IntegerLiteral(25));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Match(std::nullopt, p, *target));
+  }
+}
+BENCHMARK(BM_TripleStoreMatch);
+
+void BM_BuildFeatureSet(benchmark::State& state) {
+  TripleStore left("l"), right("r");
+  Term ls = Term::Iri("http://l/e");
+  Term rs = Term::Iri("http://r/x");
+  for (int i = 0; i < 6; ++i) {
+    left.Add(ls, Term::Iri("http://l/p" + std::to_string(i)),
+             Term::StringLiteral("left value number " + std::to_string(i)));
+    right.Add(rs, Term::Iri("http://r/q" + std::to_string(i)),
+              Term::StringLiteral("right value number " + std::to_string(i)));
+  }
+  PreparedEntity le =
+      alex::core::PrepareEntity(left, *left.dictionary().Lookup(ls));
+  PreparedEntity re =
+      alex::core::PrepareEntity(right, *right.dictionary().Lookup(rs));
+  FeatureCatalog catalog;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alex::core::BuildFeatureSet(le, re, &catalog, 0.3));
+  }
+}
+BENCHMARK(BM_BuildFeatureSet);
+
+void BM_FeatureSpaceRangeQuery(benchmark::State& state) {
+  alex::datagen::WorldProfile profile = alex::datagen::TinyTestProfile();
+  profile.overlap_entities = 100;
+  alex::datagen::GeneratedWorld world = alex::datagen::Generate(profile);
+  FeatureCatalog catalog;
+  alex::core::FeatureSpaceOptions options;
+  FeatureSpace space = FeatureSpace::Build(
+      world.left, world.left.Subjects(), world.right,
+      world.right.Subjects(), &catalog, options);
+  alex::core::FeatureId feature = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.PairsInRange(feature, 0.9, 1.0));
+  }
+}
+BENCHMARK(BM_FeatureSpaceRangeQuery);
+
+void BM_ParisTinyWorld(benchmark::State& state) {
+  alex::datagen::GeneratedWorld world =
+      alex::datagen::Generate(alex::datagen::TinyTestProfile());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alex::linking::RunParis(world.left,
+                                                     world.right));
+  }
+}
+BENCHMARK(BM_ParisTinyWorld);
+
+}  // namespace

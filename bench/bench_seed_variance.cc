@@ -1,0 +1,62 @@
+// Robustness across random seeds (not in the paper, but essential for
+// trusting the other benches): reruns the OpenCyc-NYTimes batch experiment
+// with different data / engine / oracle seeds and reports the spread of
+// final quality and convergence.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  alex::eval::ExperimentConfig base =
+      alex::bench::MakeConfig("opencyc_nytimes");
+  base.alex.max_episodes = 30;
+
+  std::cout << "== Seed variance (OpenCyc - NYTimes, 6 seeds) ==\n"
+            << std::left << std::setw(8) << "seed" << std::right
+            << std::setw(8) << "F0" << std::setw(8) << "F" << std::setw(10)
+            << "episodes" << std::setw(10) << "relaxed" << std::setw(11)
+            << "converged" << "\n"
+            << std::fixed;
+
+  std::vector<double> finals;
+  std::vector<double> episodes;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    alex::eval::ExperimentConfig config = base;
+    config.profile.seed = 1000 + seed;
+    config.alex.seed = 2000 + seed;
+    config.oracle_seed = 3000 + seed;
+    alex::Result<alex::eval::ExperimentResult> result =
+        alex::eval::RunExperiment(config);
+    ALEX_CHECK(result.ok()) << result.status().ToString();
+    const alex::eval::ExperimentResult& r = result.value();
+    std::cout << std::left << std::setw(8) << seed << std::right
+              << std::setprecision(3) << std::setw(8)
+              << r.series[0].quality.f_measure << std::setw(8)
+              << r.final_quality().f_measure << std::setw(10) << r.episodes
+              << std::setw(10)
+              << (r.relaxed_episode >= 0 ? std::to_string(r.relaxed_episode)
+                                         : std::string("-"))
+              << std::setw(11) << (r.converged ? "yes" : "no") << "\n";
+    finals.push_back(r.final_quality().f_measure);
+    episodes.push_back(static_cast<double>(r.episodes));
+  }
+
+  auto mean_std = [](const std::vector<double>& xs) {
+    double mean = 0.0;
+    for (double x : xs) mean += x;
+    mean /= static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(xs.size());
+    return std::pair<double, double>(mean, std::sqrt(var));
+  };
+  auto [f_mean, f_std] = mean_std(finals);
+  auto [e_mean, e_std] = mean_std(episodes);
+  std::cout << "\nfinal F:   mean " << std::setprecision(3) << f_mean
+            << "  stddev " << f_std << "\n"
+            << "episodes:  mean " << std::setprecision(1) << e_mean
+            << "  stddev " << e_std << "\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Render benchmark CSV series as ASCII charts.
+
+The figure benchmarks accept `--csv-dir <dir>` and drop one CSV per
+experiment (episode, precision, recall, f_measure, ...). This script plots
+those series in the terminal so the paper's figure shapes can be eyeballed
+without a plotting stack:
+
+    build/bench/bench_fig2_batch_dbpedia --csv-dir /tmp/csv
+    scripts/plot_series.py /tmp/csv/figure_2_a_dbpedia_nytimes_batch_mode.csv
+"""
+
+import csv
+import sys
+
+HEIGHT = 18
+SYMBOLS = {"precision": "P", "recall": "R", "f_measure": "F"}
+
+
+def load(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    series = {name: [float(r[name]) for r in rows] for name in SYMBOLS}
+    episodes = [int(r["episode"]) for r in rows]
+    return episodes, series
+
+
+def plot(episodes, series):
+    width = len(episodes)
+    grid = [[" "] * width for _ in range(HEIGHT + 1)]
+    for name, symbol in SYMBOLS.items():
+        for x, value in enumerate(series[name]):
+            y = HEIGHT - round(max(0.0, min(1.0, value)) * HEIGHT)
+            cell = grid[y][x]
+            grid[y][x] = "*" if cell not in (" ", symbol) else symbol
+    lines = []
+    for y, row in enumerate(grid):
+        axis = 1.0 - y / HEIGHT
+        label = f"{axis:4.2f} |" if y % 3 == 0 else "     |"
+        lines.append(label + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append("      episodes 0.." + str(episodes[-1]) +
+                 "   (P=precision R=recall F=f-measure *=overlap)")
+    return "\n".join(lines)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    for path in argv[1:]:
+        episodes, series = load(path)
+        print(f"== {path} ==")
+        print(plot(episodes, series))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

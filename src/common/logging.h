@@ -1,0 +1,68 @@
+// Minimal leveled logging to stderr.
+//
+// Usage:
+//   ALEX_LOG(INFO) << "loaded " << n << " triples";
+//   ALEX_LOG(FATAL) << "unreachable";   // aborts after printing
+//
+// The global minimum level defaults to kInfo and can be raised to silence
+// benchmarks (SetMinLogLevel(LogLevel::kWarning)).
+#ifndef ALEX_COMMON_LOGGING_H_
+#define ALEX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace alex {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3,
+                      kFatal = 4 };
+
+// Sets/gets the global minimum level; messages below it are dropped.
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+namespace internal_logging {
+
+// Severity aliases consumed by the ALEX_LOG macro token-pasting.
+inline constexpr LogLevel kLogLevelDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kLogLevelINFO = LogLevel::kInfo;
+inline constexpr LogLevel kLogLevelWARNING = LogLevel::kWarning;
+inline constexpr LogLevel kLogLevelERROR = LogLevel::kError;
+inline constexpr LogLevel kLogLevelFATAL = LogLevel::kFatal;
+
+// Accumulates one log line and flushes it (thread-safely) on destruction.
+// A kFatal message aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace alex
+
+#define ALEX_LOG(severity)                                          \
+  ::alex::internal_logging::LogMessage(                             \
+      ::alex::internal_logging::kLogLevel##severity, __FILE__,      \
+      __LINE__)                                                     \
+      .stream()
+
+// CHECK-style assertion that is active in all build types.
+#define ALEX_CHECK(cond)                                              \
+  if (cond) {                                                         \
+  } else /* NOLINT */                                                 \
+    ::alex::internal_logging::LogMessage(::alex::LogLevel::kFatal,    \
+                                         __FILE__, __LINE__)          \
+        .stream()                                                     \
+        << "Check failed: " #cond " "
+
+#endif  // ALEX_COMMON_LOGGING_H_

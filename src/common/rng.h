@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of ALEX (the ε-greedy policy, the feedback
+// oracle, data generation) take an explicit Rng so experiments are exactly
+// reproducible from a seed. The generator is xoshiro256**, seeded through
+// SplitMix64.
+#ifndef ALEX_COMMON_RNG_H_
+#define ALEX_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace alex {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0xa1e05eedULL) { Reseed(seed); }
+
+  // Re-initializes the state from `seed`.
+  void Reseed(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Bernoulli draw with success probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Approximately normal draw (sum of uniforms), mean 0, stddev 1.
+  double NextGaussian();
+
+  // Splits off an independent child generator; useful to give each data
+  // partition / thread its own stream.
+  Rng Fork();
+
+  // Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (std::size_t i = items->size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace alex
+
+#endif  // ALEX_COMMON_RNG_H_

@@ -1,0 +1,135 @@
+// Error handling primitives for the ALEX library.
+//
+// The codebase does not use exceptions. Fallible operations return a Status,
+// or a Result<T> when they also produce a value. Both are cheap to move and
+// carry a code plus a human-readable message.
+//
+// Example:
+//   alex::Result<TripleStore> store = LoadNTriples(path);
+//   if (!store.ok()) return store.status();
+//   Use(store.value());
+#ifndef ALEX_COMMON_STATUS_H_
+#define ALEX_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace alex {
+
+// Canonical error space, loosely following absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kParseError,
+};
+
+// Returns a stable lowercase name for `code` ("ok", "parse_error", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A Status is either OK or an error code with a message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status. Accessing the value of
+// an error result aborts in debug builds (assert) and is undefined otherwise;
+// callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error status keeps call sites
+  // terse: `return value;` / `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;           // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+// Propagates an error status from an expression producing a Status.
+#define ALEX_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::alex::Status _alex_status = (expr);         \
+    if (!_alex_status.ok()) return _alex_status;  \
+  } while (false)
+
+}  // namespace alex
+
+#endif  // ALEX_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for the execution-time experiments (§7.3).
+#ifndef ALEX_COMMON_STOPWATCH_H_
+#define ALEX_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace alex {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace alex
+
+#endif  // ALEX_COMMON_STOPWATCH_H_

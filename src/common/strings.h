@@ -1,0 +1,44 @@
+// Small string utilities shared across the library.
+#ifndef ALEX_COMMON_STRINGS_H_
+#define ALEX_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alex {
+
+// Returns a lowercase copy of `s` (ASCII only).
+std::string ToLowerAscii(std::string_view s);
+
+// Returns `s` with leading/trailing ASCII whitespace removed.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+// Splits `s` on `delim`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Splits `s` on runs of ASCII whitespace, dropping empty pieces.
+std::vector<std::string> SplitWords(std::string_view s);
+
+// Like SplitWords, but also strips non-alphanumeric characters from both
+// ends of every token and drops tokens that become empty ("James," ->
+// "James"). Used by the similarity tokenizers so that punctuation attached
+// to words ("Last, First" name formats) does not break token matching.
+std::vector<std::string> SplitWordsNormalized(std::string_view s);
+
+// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Parses `s` as a double. Returns false on failure or trailing garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+// Parses `s` as int64. Returns false on failure or trailing garbage.
+bool ParseInt64(std::string_view s, long long* out);
+
+}  // namespace alex
+
+#endif  // ALEX_COMMON_STRINGS_H_

@@ -1,0 +1,475 @@
+#include "core/alex_engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace alex::core {
+
+PartitionAlex::PartitionAlex(FeatureSpace space, const AlexOptions* options,
+                             uint64_t seed)
+    : space_(std::move(space)),
+      options_(options),
+      policy_(options->epsilon),
+      rng_(seed) {}
+
+PartitionAlex::FeedbackOutcome PartitionAlex::ProcessFeedback(PairId pair,
+                                                              bool positive) {
+  FeedbackOutcome outcome;
+  const double reward =
+      positive ? options_->positive_reward : options_->negative_reward;
+
+  // First-visit Monte Carlo: the first feedback on a link within an episode
+  // contributes the reward to every state-action pair that led to it.
+  if (learner_.IsFirstVisit(pair)) {
+    for (const StateAction& sa : rollback_.AncestorsOf(pair)) {
+      learner_.AppendReturn(sa, reward);
+    }
+  }
+
+  if (positive) {
+    confirmed_.insert(pair);
+    // A positive observation clears earlier (possibly erroneous) negative
+    // strikes; see AlexOptions::blacklist_strikes.
+    negative_strikes_.erase(pair);
+    if (!candidates_.Contains(pair)) return outcome;
+    const FeatureSet& actions = space_.pair(pair).features;
+    if (actions.empty()) return outcome;
+    // Take an action: pick a feature by the current policy and explore the
+    // band [score - step, score + step] around the approved link (§4.2).
+    // States without a learned policy consult the cross-state feature prior
+    // (see AlexOptions::use_feature_prior).
+    FeatureId action;
+    if (options_->use_feature_prior && !policy_.GreedyAction(pair) &&
+        !rng_.NextBool(options_->epsilon)) {
+      action = learner_.ArgmaxFeaturePrior(actions);
+    } else {
+      action = policy_.ChooseAction(pair, actions, &rng_);
+    }
+    double score = actions.Get(action);
+    std::vector<PairId> in_range = space_.PairsInRange(
+        action, score - options_->step_size, score + options_->step_size);
+    std::vector<PairId> added;
+    for (PairId candidate : in_range) {
+      if (candidate == pair) continue;
+      if (options_->use_blacklist && blacklist_.count(candidate) > 0) {
+        continue;  // known-incorrect links are never re-proposed (§6.3)
+      }
+      if (candidates_.Add(candidate)) added.push_back(candidate);
+    }
+    outcome.added = added.size();
+    rollback_.RecordGeneration(StateAction{pair, action}, added);
+    return outcome;
+  }
+
+  // Negative feedback: remove the incorrect link (§3.2).
+  outcome.removed = candidates_.Remove(pair);
+  confirmed_.erase(pair);
+  if (options_->use_blacklist &&
+      ++negative_strikes_[pair] >= options_->blacklist_strikes) {
+    blacklist_.insert(pair);
+  }
+  if (options_->use_rollback) {
+    for (const StateAction& sa :
+         rollback_.AddNegative(pair, options_->rollback_threshold)) {
+      ++outcome.rollbacks;
+      for (PairId generated : rollback_.TakeGenerated(sa)) {
+        if (generated == pair) continue;
+        // Links the user approved are kept; links removed here are NOT
+        // blacklisted — they may be correct and rediscoverable (§6.3).
+        if (confirmed_.count(generated) > 0) continue;
+        if (candidates_.Remove(generated)) ++outcome.rolled_back_links;
+      }
+    }
+  }
+  return outcome;
+}
+
+void PartitionAlex::BeginEpisode() { learner_.BeginEpisode(); }
+
+void PartitionAlex::EndEpisode() {
+  // Policy improvement: greedy with respect to the current action-value
+  // estimates at every state visited in the episode (Algorithm 1).
+  for (PairId state : learner_.TakeStatesToImprove()) {
+    const FeatureSet& actions = space_.pair(state).features;
+    FeatureId best = learner_.ArgmaxAction(state, actions);
+    if (best != kInvalidFeatureId) policy_.SetGreedy(state, best);
+  }
+}
+
+AlexEngine::AlexEngine(const rdf::TripleStore* left,
+                       const rdf::TripleStore* right, AlexOptions options)
+    : left_(left), right_(right), options_(options), rng_(options.seed) {}
+
+Status AlexEngine::Initialize(
+    const std::vector<linking::Link>& initial_links) {
+  if (initialized_) {
+    return Status::FailedPrecondition("engine already initialized");
+  }
+  Stopwatch timer;
+
+  std::vector<rdf::TermId> left_subjects = left_->Subjects();
+  std::vector<rdf::TermId> right_subjects = right_->Subjects();
+  if (left_subjects.empty() || right_subjects.empty()) {
+    return Status::InvalidArgument("both data sets must be non-empty");
+  }
+  std::vector<std::vector<rdf::TermId>> partitions =
+      EqualSizePartition(left_subjects, options_.num_partitions);
+
+  // Build the per-partition feature spaces in parallel (§6.2).
+  int threads = options_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min<int>(threads, static_cast<int>(partitions.size()));
+  std::vector<FeatureSpace> spaces(partitions.size());
+  {
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < partitions.size(); ++i) {
+      pool.Schedule([this, &spaces, &partitions, &right_subjects, i] {
+        spaces[i] =
+            FeatureSpace::Build(*left_, partitions[i], *right_,
+                                right_subjects, &catalog_, options_.space);
+      });
+    }
+    pool.Wait();
+  }
+
+  partitions_.reserve(spaces.size());
+  for (size_t i = 0; i < spaces.size(); ++i) {
+    total_pair_count_ += spaces[i].total_pair_count();
+    filtered_pair_count_ += spaces[i].pairs().size();
+    partitions_.emplace_back(std::move(spaces[i]), &options_,
+                             rng_.NextUint64());
+  }
+  for (uint32_t p = 0; p < partitions_.size(); ++p) {
+    for (const PreparedEntity& entity :
+         partitions_[p].space().left_entities()) {
+      partition_by_left_iri_.emplace(entity.iri, p);
+    }
+  }
+
+  // Seed the candidate links.
+  for (const linking::Link& link : initial_links) {
+    auto it = partition_by_left_iri_.find(link.left);
+    PairId pair = kInvalidPairId;
+    uint32_t partition = 0;
+    if (it != partition_by_left_iri_.end()) {
+      partition = it->second;
+      pair = partitions_[partition].space().FindPair(link.left, link.right);
+    }
+    if (pair != kInvalidPairId) {
+      partitions_[partition].AddInitialCandidate(pair);
+    } else {
+      // Outside every feature space: kept, but cannot be explored around.
+      PairId extra_id = static_cast<PairId>(extras_links_.size());
+      extras_links_.push_back(link);
+      extras_alive_.Add(extra_id);
+    }
+  }
+
+  prev_snapshot_ = Snapshot();
+  init_seconds_ = timer.ElapsedSeconds();
+  initialized_ = true;
+  return Status::Ok();
+}
+
+std::vector<uint64_t> AlexEngine::Snapshot() const {
+  std::vector<uint64_t> snapshot;
+  snapshot.reserve(CandidateCount());
+  for (uint32_t p = 0; p < partitions_.size(); ++p) {
+    for (PairId pair : partitions_[p].candidates().items()) {
+      snapshot.push_back((static_cast<uint64_t>(p) << 32) | pair);
+    }
+  }
+  for (PairId extra : extras_alive_.items()) {
+    snapshot.push_back((static_cast<uint64_t>(kExtraPartition) << 32) |
+                       extra);
+  }
+  std::sort(snapshot.begin(), snapshot.end());
+  return snapshot;
+}
+
+bool AlexEngine::SampleCandidate(uint32_t* partition, PairId* pair) {
+  size_t total = CandidateCount();
+  if (total == 0) return false;
+  uint64_t r = rng_.NextBounded(total);
+  for (uint32_t p = 0; p < partitions_.size(); ++p) {
+    size_t size = partitions_[p].candidates().size();
+    if (r < size) {
+      *partition = p;
+      *pair = partitions_[p].candidates().items()[r];
+      return true;
+    }
+    r -= size;
+  }
+  *partition = kExtraPartition;
+  *pair = extras_alive_.items()[r];
+  return true;
+}
+
+EpisodeStats AlexEngine::RunEpisode(const FeedbackFn& feedback) {
+  ALEX_CHECK(initialized_) << "call Initialize() first";
+  Stopwatch episode_timer;
+  EpisodeStats stats;
+  stats.episode = ++episodes_run_;
+  std::vector<double> partition_seconds(partitions_.size(), 0.0);
+
+  for (PartitionAlex& partition : partitions_) partition.BeginEpisode();
+
+  for (size_t item = 0; item < options_.episode_size; ++item) {
+    uint32_t partition = 0;
+    PairId pair = kInvalidPairId;
+    if (!SampleCandidate(&partition, &pair)) break;
+    linking::Link link;
+    if (partition == kExtraPartition) {
+      link = extras_links_[pair];
+    } else {
+      const FeatureSpace& space = partitions_[partition].space();
+      link.left = space.LeftIri(pair);
+      link.right = space.RightIri(pair);
+    }
+    bool approved = feedback(link);
+    ++stats.feedback_items;
+    if (approved) {
+      ++stats.positive_feedback;
+    } else {
+      ++stats.negative_feedback;
+    }
+    if (partition == kExtraPartition) {
+      if (!approved) {
+        extras_alive_.Remove(pair);
+        ++stats.links_removed;
+      }
+      continue;
+    }
+    Stopwatch partition_timer;
+    PartitionAlex::FeedbackOutcome outcome =
+        partitions_[partition].ProcessFeedback(pair, approved);
+    partition_seconds[partition] += partition_timer.ElapsedSeconds();
+    stats.links_added += outcome.added;
+    if (outcome.removed) ++stats.links_removed;
+    stats.rollbacks += outcome.rollbacks;
+    stats.links_removed += outcome.rolled_back_links;
+    stats.rolled_back_links += outcome.rolled_back_links;
+  }
+
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    Stopwatch partition_timer;
+    partitions_[p].EndEpisode();
+    partition_seconds[p] += partition_timer.ElapsedSeconds();
+  }
+
+  std::vector<uint64_t> snapshot = Snapshot();
+  std::vector<uint64_t> diff;
+  std::set_symmetric_difference(snapshot.begin(), snapshot.end(),
+                                prev_snapshot_.begin(), prev_snapshot_.end(),
+                                std::back_inserter(diff));
+  stats.change_fraction =
+      static_cast<double>(diff.size()) /
+      static_cast<double>(std::max<size_t>(1, prev_snapshot_.size()));
+  prev_snapshot_ = std::move(snapshot);
+  stats.candidate_count = CandidateCount();
+  stats.seconds = episode_timer.ElapsedSeconds();
+  double sum = 0.0;
+  for (double s : partition_seconds) {
+    sum += s;
+    stats.max_partition_seconds = std::max(stats.max_partition_seconds, s);
+  }
+  stats.avg_partition_seconds =
+      partition_seconds.empty() ? 0.0 : sum / partition_seconds.size();
+  return stats;
+}
+
+AlexEngine::RunResult AlexEngine::Run(
+    const FeedbackFn& feedback,
+    const std::function<void(const EpisodeStats&)>& on_episode) {
+  RunResult result;
+  for (int episode = 0; episode < options_.max_episodes; ++episode) {
+    EpisodeStats stats = RunEpisode(feedback);
+    ++result.episodes;
+    if (on_episode) on_episode(stats);
+    result.history.push_back(stats);
+    if (result.relaxed_episode < 0 &&
+        stats.change_fraction < options_.relaxed_change_fraction) {
+      result.relaxed_episode = stats.episode;
+    }
+    if (stats.change_fraction == 0.0) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<linking::Link> AlexEngine::CandidateLinks() const {
+  std::vector<linking::Link> links;
+  links.reserve(CandidateCount());
+  for (const PartitionAlex& partition : partitions_) {
+    const FeatureSpace& space = partition.space();
+    for (PairId pair : partition.candidates().items()) {
+      linking::Link link;
+      link.left = space.LeftIri(pair);
+      link.right = space.RightIri(pair);
+      links.push_back(std::move(link));
+    }
+  }
+  for (PairId extra : extras_alive_.items()) {
+    links.push_back(extras_links_[extra]);
+  }
+  return links;
+}
+
+size_t AlexEngine::CandidateCount() const {
+  size_t total = extras_alive_.size();
+  for (const PartitionAlex& partition : partitions_) {
+    total += partition.candidates().size();
+  }
+  return total;
+}
+
+std::vector<AlexEngine::FeatureUsage> AlexEngine::FeatureUsageSummary()
+    const {
+  struct Accumulated {
+    size_t greedy = 0;
+    double sum = 0.0;
+    uint64_t count = 0;
+  };
+  std::unordered_map<FeatureId, Accumulated> by_feature;
+  for (const PartitionAlex& partition : partitions_) {
+    for (const auto& [state, action] : partition.policy().greedy_map()) {
+      ++by_feature[action].greedy;
+    }
+    for (const auto& [feature, prior] :
+         partition.learner().FeaturePriors()) {
+      Accumulated& acc = by_feature[feature];
+      acc.sum += prior.first * static_cast<double>(prior.second);
+      acc.count += prior.second;
+    }
+  }
+  std::vector<FeatureUsage> out;
+  out.reserve(by_feature.size());
+  for (const auto& [feature, acc] : by_feature) {
+    FeatureUsage usage;
+    usage.key = catalog_.Key(feature);
+    usage.greedy_states = acc.greedy;
+    usage.return_samples = acc.count;
+    usage.average_return =
+        acc.count == 0 ? 0.0 : acc.sum / static_cast<double>(acc.count);
+    out.push_back(std::move(usage));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FeatureUsage& a, const FeatureUsage& b) {
+              if (a.greedy_states != b.greedy_states) {
+                return a.greedy_states > b.greedy_states;
+              }
+              return a.return_samples > b.return_samples;
+            });
+  return out;
+}
+
+void AlexEngine::ApplyLinkFeedback(const linking::Link& link, bool positive) {
+  auto it = partition_by_left_iri_.find(link.left);
+  if (it != partition_by_left_iri_.end()) {
+    PartitionAlex& partition = partitions_[it->second];
+    PairId pair = partition.space().FindPair(link.left, link.right);
+    if (pair != kInvalidPairId && partition.candidates().Contains(pair)) {
+      partition.ProcessFeedback(pair, positive);
+      return;
+    }
+  }
+  // Spaceless extras: negative feedback removes them.
+  if (!positive) {
+    for (PairId extra : extras_alive_.items()) {
+      if (extras_links_[extra] == link) {
+        extras_alive_.Remove(extra);
+        return;
+      }
+    }
+  }
+}
+
+void AlexEngine::ReplaceCandidates(
+    const std::vector<linking::Link>& links) {
+  for (PartitionAlex& partition : partitions_) partition.ClearCandidates();
+  extras_links_.clear();
+  extras_alive_ = CandidateSet();
+  for (const linking::Link& link : links) {
+    auto it = partition_by_left_iri_.find(link.left);
+    PairId pair = kInvalidPairId;
+    uint32_t partition = 0;
+    if (it != partition_by_left_iri_.end()) {
+      partition = it->second;
+      pair = partitions_[partition].space().FindPair(link.left, link.right);
+    }
+    if (pair != kInvalidPairId) {
+      partitions_[partition].AddInitialCandidate(pair);
+    } else {
+      PairId extra_id = static_cast<PairId>(extras_links_.size());
+      extras_links_.push_back(link);
+      extras_alive_.Add(extra_id);
+    }
+  }
+  prev_snapshot_ = Snapshot();
+}
+
+namespace {
+
+// Locates the (partition, pair) of a link; false if outside every space.
+bool FindPartitionPair(
+    const std::vector<PartitionAlex>& partitions,
+    const std::unordered_map<std::string, uint32_t>& by_left_iri,
+    const linking::Link& link, uint32_t* partition, PairId* pair) {
+  auto it = by_left_iri.find(link.left);
+  if (it == by_left_iri.end()) return false;
+  *partition = it->second;
+  *pair = partitions[*partition].space().FindPair(link.left, link.right);
+  return *pair != kInvalidPairId;
+}
+
+}  // namespace
+
+void AlexEngine::RestoreBlacklistEntry(const linking::Link& link) {
+  uint32_t partition = 0;
+  PairId pair = kInvalidPairId;
+  if (FindPartitionPair(partitions_, partition_by_left_iri_, link,
+                        &partition, &pair)) {
+    partitions_[partition].RestoreBlacklistEntry(pair);
+  }
+}
+
+void AlexEngine::RestorePolicyEntry(const linking::Link& state,
+                                    const FeatureKey& action) {
+  uint32_t partition = 0;
+  PairId pair = kInvalidPairId;
+  if (FindPartitionPair(partitions_, partition_by_left_iri_, state,
+                        &partition, &pair)) {
+    partitions_[partition].RestorePolicyEntry(pair, catalog_.Intern(action));
+  }
+}
+
+void AlexEngine::RestoreReturnEntry(const linking::Link& state,
+                                    const FeatureKey& action, double sum,
+                                    uint64_t count) {
+  uint32_t partition = 0;
+  PairId pair = kInvalidPairId;
+  if (FindPartitionPair(partitions_, partition_by_left_iri_, state,
+                        &partition, &pair)) {
+    partitions_[partition].RestoreReturnEntry(
+        StateAction{pair, catalog_.Intern(action)}, sum, count);
+  }
+}
+
+void AlexEngine::BeginExternalEpisode() {
+  for (PartitionAlex& partition : partitions_) partition.BeginEpisode();
+}
+
+void AlexEngine::EndExternalEpisode() {
+  for (PartitionAlex& partition : partitions_) partition.EndEpisode();
+}
+
+}  // namespace alex::core

@@ -1,0 +1,291 @@
+// The ALEX engine: feedback-driven link exploration with Monte Carlo
+// reinforcement learning (paper §3-§6).
+//
+// Usage:
+//   AlexOptions options;
+//   AlexEngine engine(&left_store, &right_store, options);
+//   engine.Initialize(paris_links);                 // pre-processing
+//   auto feedback = [&](const linking::Link& l) {   // the "user"
+//     return ground_truth.Contains(l);
+//   };
+//   AlexEngine::RunResult result = engine.Run(feedback, on_episode);
+//
+// The engine partitions the left data set round-robin (§6.2), builds one
+// feature space per partition (§3.2, §6.1), and alternates policy
+// evaluation (one feedback episode) with policy improvement (§4.4) until
+// the candidate link set stops changing or `max_episodes` is reached.
+//
+// By convention the LEFT store is the larger data set (the one that is
+// partitioned); callers should orient their inputs accordingly.
+#ifndef ALEX_CORE_ALEX_ENGINE_H_
+#define ALEX_CORE_ALEX_ENGINE_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/candidate_set.h"
+#include "core/feature_space.h"
+#include "core/mc_learner.h"
+#include "core/partitioner.h"
+#include "core/policy.h"
+#include "core/rollback_log.h"
+#include "linking/link.h"
+#include "rdf/triple_store.h"
+
+namespace alex::core {
+
+struct AlexOptions {
+  // Feature space construction (θ filtering, attribute caps).
+  FeatureSpaceOptions space;
+  // Exploration offset around the chosen feature's score (§4.2; default
+  // from §7.1).
+  double step_size = 0.05;
+  // Feedback items per episode (§7.1: 1000 batch mode, 10 specific
+  // domains).
+  size_t episode_size = 1000;
+  // ε of the ε-greedy policy.
+  double epsilon = 0.05;
+  // Rewards translated from feedback (§4.3; negative feedback may be
+  // penalized more by increasing its magnitude).
+  double positive_reward = 1.0;
+  double negative_reward = -1.0;
+  // Optimizations (§6.3).
+  bool use_blacklist = true;
+  bool use_rollback = true;
+  // Generalize returns across states: when a state has no policy of its
+  // own yet, pick the feature with the best average return across all
+  // states (instead of a uniformly random feature), with probability
+  // 1 - ε. This generalizes §4.2's "ALEX can learn that this feature is
+  // not distinctive and avoid exploring around it in the future" across
+  // states. OFF by default: Algorithm 1 prescribes an arbitrary initial
+  // action, and the paper's precision-dip-then-recover curves (Fig. 2)
+  // only arise without the prior. Measured as an extension in
+  // bench_ablations.
+  bool use_feature_prior = false;
+  // Negative feedback items on the same link before it is blacklisted.
+  // 1 blacklists immediately (the paper's literal description); the default
+  // of 2 tolerates isolated incorrect negative feedback (Appendix C): one
+  // erroneous rejection then cannot permanently bury a correct link,
+  // because exploration can re-discover it and a later positive clears the
+  // strike.
+  int blacklist_strikes = 2;
+  // Negative feedback items attributed to one state-action pair before its
+  // generated links are rolled back.
+  int rollback_threshold = 3;
+  // "or when a maximum number of iterations is reached" — the paper uses
+  // 100 (§7.3, rollback experiment).
+  int max_episodes = 100;
+  // Relaxed convergence: change in candidate links below this fraction.
+  double relaxed_change_fraction = 0.05;
+  // Equal-size partitions of the left data set (§6.2). The paper used 27 on
+  // a 64-core machine; scaled down here.
+  int num_partitions = 8;
+  // Worker threads for parallel feature-space construction (0 = one per
+  // hardware thread, capped at num_partitions).
+  int num_threads = 0;
+  uint64_t seed = 42;
+};
+
+// Per-episode statistics (also the raw material for the paper's figures).
+struct EpisodeStats {
+  int episode = 0;  // 1-based
+  size_t feedback_items = 0;
+  size_t positive_feedback = 0;
+  size_t negative_feedback = 0;
+  size_t links_added = 0;
+  size_t links_removed = 0;
+  size_t rollbacks = 0;           // rollback events fired
+  size_t rolled_back_links = 0;   // links removed by rollbacks
+  size_t candidate_count = 0;     // after the episode
+  double change_fraction = 1.0;   // |candidates Δ prev| / max(1, |prev|)
+  double seconds = 0.0;           // wall clock for the episode
+  double max_partition_seconds = 0.0;  // busiest partition (§7.3)
+  double avg_partition_seconds = 0.0;
+
+  double NegativeFeedbackPercent() const {
+    return feedback_items == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(negative_feedback) /
+                     static_cast<double>(feedback_items);
+  }
+};
+
+// The "user": maps a candidate link to approve (true) / reject (false).
+using FeedbackFn = std::function<bool(const linking::Link&)>;
+
+// One partition of the search space with its own candidate links, policy,
+// learner, blacklist and rollback log. Public mainly for white-box tests;
+// most callers use AlexEngine.
+class PartitionAlex {
+ public:
+  PartitionAlex(FeatureSpace space, const AlexOptions* options,
+                uint64_t seed);
+
+  PartitionAlex(PartitionAlex&&) = default;
+
+  void AddInitialCandidate(PairId pair) { candidates_.Add(pair); }
+
+  struct FeedbackOutcome {
+    size_t added = 0;
+    bool removed = false;
+    size_t rollbacks = 0;
+    size_t rolled_back_links = 0;
+  };
+
+  // Handles one feedback item on `pair` (which should currently be a
+  // candidate). Positive feedback triggers an exploration action; negative
+  // feedback removes the link and may fire rollbacks.
+  FeedbackOutcome ProcessFeedback(PairId pair, bool positive);
+
+  // Episode lifecycle (Algorithm 1).
+  void BeginEpisode();
+  void EndEpisode();  // policy improvement at all states visited
+
+  // Persistence hooks (see core/engine_state.h).
+  void ClearCandidates() { candidates_ = CandidateSet(); }
+  void RestoreBlacklistEntry(PairId pair) { blacklist_.insert(pair); }
+  void RestorePolicyEntry(PairId state, FeatureId action) {
+    policy_.SetGreedy(state, action);
+  }
+  void RestoreReturnEntry(const StateAction& sa, double sum,
+                          uint64_t count) {
+    learner_.RestoreReturn(sa, sum, count);
+  }
+
+  const FeatureSpace& space() const { return space_; }
+  const CandidateSet& candidates() const { return candidates_; }
+  CandidateSet& mutable_candidates() { return candidates_; }
+  const EpsilonGreedyPolicy& policy() const { return policy_; }
+  const McLearner& learner() const { return learner_; }
+  const std::unordered_set<PairId>& blacklist() const { return blacklist_; }
+  Rng* rng() { return &rng_; }
+
+ private:
+  FeatureSpace space_;
+  const AlexOptions* options_;
+  CandidateSet candidates_;
+  std::unordered_set<PairId> blacklist_;
+  std::unordered_map<PairId, int> negative_strikes_;
+  std::unordered_set<PairId> confirmed_;  // links with positive feedback
+  EpsilonGreedyPolicy policy_;
+  McLearner learner_;
+  RollbackLog rollback_;
+  Rng rng_;
+};
+
+class AlexEngine {
+ public:
+  // `left` and `right` must outlive the engine.
+  AlexEngine(const rdf::TripleStore* left, const rdf::TripleStore* right,
+             AlexOptions options);
+
+  // Pre-processing: partitions the left data set, builds the feature space
+  // of every partition (in parallel), and seeds the candidate set with
+  // `initial_links` (e.g., PARIS output). Initial links whose entity pair
+  // was filtered out of the space are kept as spaceless candidates: they
+  // can be removed by negative feedback but not explored around.
+  Status Initialize(const std::vector<linking::Link>& initial_links);
+
+  // Runs one feedback episode of options.episode_size items.
+  EpisodeStats RunEpisode(const FeedbackFn& feedback);
+
+  struct RunResult {
+    bool converged = false;          // strict: no change in candidate links
+    int episodes = 0;                // episodes actually run
+    int relaxed_episode = -1;        // first episode with <5% change
+    std::vector<EpisodeStats> history;
+  };
+
+  // Alternates policy evaluation and improvement until strict convergence
+  // or options.max_episodes. `on_episode` (optional) observes each episode.
+  RunResult Run(const FeedbackFn& feedback,
+                const std::function<void(const EpisodeStats&)>& on_episode =
+                    nullptr);
+
+  // Current candidate links across all partitions plus spaceless extras.
+  std::vector<linking::Link> CandidateLinks() const;
+  size_t CandidateCount() const;
+
+  // Feedback entry point for integration with the federated query engine:
+  // attributes approve/reject of a query answer to one of its provenance
+  // links. Unknown or non-candidate links are ignored.
+  void ApplyLinkFeedback(const linking::Link& link, bool positive);
+
+  // When driving feedback externally (ApplyLinkFeedback), call these to
+  // delimit episodes.
+  void BeginExternalEpisode();
+  void EndExternalEpisode();
+
+  // Persistence support (see core/engine_state.h). These operate on an
+  // initialized engine; links outside every feature space become spaceless
+  // candidates (ReplaceCandidates) or are ignored (the others).
+  void ReplaceCandidates(const std::vector<linking::Link>& links);
+  void RestoreBlacklistEntry(const linking::Link& link);
+  void RestorePolicyEntry(const linking::Link& state,
+                          const FeatureKey& action);
+  void RestoreReturnEntry(const linking::Link& state,
+                          const FeatureKey& action, double sum,
+                          uint64_t count);
+
+  const std::vector<PartitionAlex>& partitions() const { return partitions_; }
+  std::vector<PartitionAlex>& mutable_partitions() { return partitions_; }
+  const AlexOptions& options() const { return options_; }
+  const FeatureCatalog& catalog() const { return catalog_; }
+
+  // What the policies learned, aggregated across partitions: for every
+  // feature, how many states chose it as their greedy action and the
+  // average return it collected. Sorted by descending greedy_states. This
+  // is §4.2's claim made observable — distinctive features accumulate
+  // greedy states and positive returns, traps (rdf:type-like features)
+  // accumulate negative returns.
+  struct FeatureUsage {
+    FeatureKey key;
+    size_t greedy_states = 0;
+    double average_return = 0.0;
+    uint64_t return_samples = 0;
+  };
+  std::vector<FeatureUsage> FeatureUsageSummary() const;
+
+  // Pre-processing statistics (Figure 5).
+  double init_seconds() const { return init_seconds_; }
+  uint64_t total_pair_count() const { return total_pair_count_; }
+  uint64_t filtered_pair_count() const { return filtered_pair_count_; }
+
+ private:
+  // Snapshot of the candidate set for convergence checks: encoded
+  // (partition, pair) plus extras.
+  std::vector<uint64_t> Snapshot() const;
+
+  // Picks a uniformly random candidate (partition index, pair) where
+  // partition index == kExtraPartition means extras_links_[pair].
+  static constexpr uint32_t kExtraPartition = 0xffffffffu;
+  bool SampleCandidate(uint32_t* partition, PairId* pair);
+
+  const rdf::TripleStore* left_;
+  const rdf::TripleStore* right_;
+  AlexOptions options_;
+  FeatureCatalog catalog_;
+  std::vector<PartitionAlex> partitions_;
+  std::unordered_map<std::string, uint32_t> partition_by_left_iri_;
+
+  // Spaceless candidates: initial links outside every feature space.
+  std::vector<linking::Link> extras_links_;
+  CandidateSet extras_alive_;  // ids index extras_links_
+
+  Rng rng_;
+  bool initialized_ = false;
+  double init_seconds_ = 0.0;
+  uint64_t total_pair_count_ = 0;
+  uint64_t filtered_pair_count_ = 0;
+  std::vector<uint64_t> prev_snapshot_;
+  int episodes_run_ = 0;
+};
+
+}  // namespace alex::core
+
+#endif  // ALEX_CORE_ALEX_ENGINE_H_

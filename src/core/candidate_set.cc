@@ -1,0 +1,36 @@
+#include "core/candidate_set.h"
+
+#include <algorithm>
+
+namespace alex::core {
+
+bool CandidateSet::Add(PairId pair) {
+  auto [it, inserted] = positions_.emplace(pair, items_.size());
+  if (!inserted) return false;
+  items_.push_back(pair);
+  return true;
+}
+
+bool CandidateSet::Remove(PairId pair) {
+  auto it = positions_.find(pair);
+  if (it == positions_.end()) return false;
+  size_t pos = it->second;
+  PairId last = items_.back();
+  items_[pos] = last;
+  positions_[last] = pos;
+  items_.pop_back();
+  positions_.erase(it);
+  return true;
+}
+
+PairId CandidateSet::Sample(Rng* rng) const {
+  return items_[rng->NextBounded(items_.size())];
+}
+
+std::vector<PairId> CandidateSet::SortedSnapshot() const {
+  std::vector<PairId> snapshot = items_;
+  std::sort(snapshot.begin(), snapshot.end());
+  return snapshot;
+}
+
+}  // namespace alex::core

@@ -1,0 +1,45 @@
+// The set of candidate links of one partition, as PairIds into that
+// partition's FeatureSpace. Supports O(1) add / remove / contains and O(1)
+// uniform random sampling (the feedback oracle draws random candidate
+// links, paper §7.1).
+#ifndef ALEX_CORE_CANDIDATE_SET_H_
+#define ALEX_CORE_CANDIDATE_SET_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/feature_space.h"
+
+namespace alex::core {
+
+class CandidateSet {
+ public:
+  CandidateSet() = default;
+
+  // Returns true if `pair` was not present.
+  bool Add(PairId pair);
+  // Returns true if `pair` was present.
+  bool Remove(PairId pair);
+  bool Contains(PairId pair) const { return positions_.count(pair) > 0; }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  // Uniform random member. Must not be empty.
+  PairId Sample(Rng* rng) const;
+
+  // Unordered view of the members.
+  const std::vector<PairId>& items() const { return items_; }
+
+  // Sorted snapshot (for set-difference-based convergence checks).
+  std::vector<PairId> SortedSnapshot() const;
+
+ private:
+  std::vector<PairId> items_;
+  std::unordered_map<PairId, size_t> positions_;
+};
+
+}  // namespace alex::core
+
+#endif  // ALEX_CORE_CANDIDATE_SET_H_

@@ -1,0 +1,205 @@
+#include "core/engine_state.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "core/alex_engine.h"
+
+namespace alex::core {
+namespace {
+
+void AppendLink(std::string* out, const linking::Link& link) {
+  out->append(link.left);
+  out->push_back('\t');
+  out->append(link.right);
+}
+
+Result<linking::Link> LinkFromFields(const std::vector<std::string>& fields,
+                                     size_t line_no) {
+  if (fields.size() < 2 || fields[0].empty() || fields[1].empty()) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": expected left<TAB>right");
+  }
+  return linking::Link{fields[0], fields[1], 1.0};
+}
+
+}  // namespace
+
+EngineState ExportEngineState(const AlexEngine& engine) {
+  EngineState state;
+  state.candidates = engine.CandidateLinks();
+  for (const PartitionAlex& partition : engine.partitions()) {
+    const FeatureSpace& space = partition.space();
+    for (PairId pair : partition.blacklist()) {
+      state.blacklist.push_back(
+          linking::Link{space.LeftIri(pair), space.RightIri(pair), 1.0});
+    }
+    for (const auto& [pair, action] : partition.policy().greedy_map()) {
+      EngineState::PolicyEntry entry;
+      entry.state =
+          linking::Link{space.LeftIri(pair), space.RightIri(pair), 1.0};
+      entry.action = engine.catalog().Key(action);
+      state.policy.push_back(std::move(entry));
+    }
+    for (const auto& [sa, sum, count] : partition.learner().ExportReturns()) {
+      EngineState::ReturnEntry entry;
+      entry.state = linking::Link{space.LeftIri(sa.state),
+                                  space.RightIri(sa.state), 1.0};
+      entry.action = engine.catalog().Key(sa.action);
+      entry.sum = sum;
+      entry.count = count;
+      state.returns.push_back(std::move(entry));
+    }
+  }
+  return state;
+}
+
+Status ImportEngineState(const EngineState& state, AlexEngine* engine) {
+  // Replace the candidate set with the saved one.
+  engine->ReplaceCandidates(state.candidates);
+  for (const linking::Link& link : state.blacklist) {
+    engine->RestoreBlacklistEntry(link);
+  }
+  for (const EngineState::PolicyEntry& entry : state.policy) {
+    engine->RestorePolicyEntry(entry.state, entry.action);
+  }
+  for (const EngineState::ReturnEntry& entry : state.returns) {
+    engine->RestoreReturnEntry(entry.state, entry.action, entry.sum,
+                               entry.count);
+  }
+  return Status::Ok();
+}
+
+std::string WriteEngineState(const EngineState& state) {
+  std::string out;
+  char buffer[64];
+  out += "#candidates\n";
+  for (const linking::Link& link : state.candidates) {
+    AppendLink(&out, link);
+    out.push_back('\n');
+  }
+  out += "#blacklist\n";
+  for (const linking::Link& link : state.blacklist) {
+    AppendLink(&out, link);
+    out.push_back('\n');
+  }
+  out += "#policy\n";
+  for (const EngineState::PolicyEntry& entry : state.policy) {
+    AppendLink(&out, entry.state);
+    out.push_back('\t');
+    out += entry.action.left_predicate;
+    out.push_back('\t');
+    out += entry.action.right_predicate;
+    out.push_back('\n');
+  }
+  out += "#returns\n";
+  for (const EngineState::ReturnEntry& entry : state.returns) {
+    AppendLink(&out, entry.state);
+    out.push_back('\t');
+    out += entry.action.left_predicate;
+    out.push_back('\t');
+    out += entry.action.right_predicate;
+    std::snprintf(buffer, sizeof(buffer), "\t%.17g\t%llu", entry.sum,
+                  static_cast<unsigned long long>(entry.count));
+    out += buffer;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<EngineState> ParseEngineState(std::string_view text) {
+  EngineState state;
+  enum class Section { kNone, kCandidates, kBlacklist, kPolicy, kReturns };
+  Section section = Section::kNone;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view line = nl == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    ++line_no;
+    std::string_view stripped = StripAsciiWhitespace(line);
+    if (!stripped.empty()) {
+      if (stripped == "#candidates") {
+        section = Section::kCandidates;
+      } else if (stripped == "#blacklist") {
+        section = Section::kBlacklist;
+      } else if (stripped == "#policy") {
+        section = Section::kPolicy;
+      } else if (stripped == "#returns") {
+        section = Section::kReturns;
+      } else if (stripped[0] == '#') {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": unknown section '" +
+                                  std::string(stripped) + "'");
+      } else {
+        std::vector<std::string> fields = Split(std::string(stripped), '\t');
+        Result<linking::Link> link = LinkFromFields(fields, line_no);
+        if (!link.ok()) return link.status();
+        switch (section) {
+          case Section::kNone:
+            return Status::ParseError("line " + std::to_string(line_no) +
+                                      ": data before any section header");
+          case Section::kCandidates:
+            state.candidates.push_back(std::move(link).value());
+            break;
+          case Section::kBlacklist:
+            state.blacklist.push_back(std::move(link).value());
+            break;
+          case Section::kPolicy: {
+            if (fields.size() < 4) {
+              return Status::ParseError("line " + std::to_string(line_no) +
+                                        ": policy entry needs 4 fields");
+            }
+            EngineState::PolicyEntry entry;
+            entry.state = std::move(link).value();
+            entry.action = FeatureKey{fields[2], fields[3]};
+            state.policy.push_back(std::move(entry));
+            break;
+          }
+          case Section::kReturns: {
+            if (fields.size() < 6) {
+              return Status::ParseError("line " + std::to_string(line_no) +
+                                        ": return entry needs 6 fields");
+            }
+            EngineState::ReturnEntry entry;
+            entry.state = std::move(link).value();
+            entry.action = FeatureKey{fields[2], fields[3]};
+            long long count = 0;
+            if (!ParseDouble(fields[4], &entry.sum) ||
+                !ParseInt64(fields[5], &count) || count < 0) {
+              return Status::ParseError("line " + std::to_string(line_no) +
+                                        ": malformed return numbers");
+            }
+            entry.count = static_cast<uint64_t>(count);
+            state.returns.push_back(std::move(entry));
+            break;
+          }
+        }
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return state;
+}
+
+Status SaveEngineState(const EngineState& state, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out << WriteEngineState(state);
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<EngineState> LoadEngineState(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseEngineState(buf.str());
+}
+
+}  // namespace alex::core

@@ -1,0 +1,73 @@
+// Persistence of an engine's *learned* state across sessions.
+//
+// Pre-processing (feature-space construction) is deterministic from the
+// data, but everything learned from feedback — the candidate link set, the
+// blacklist, the greedy policy, and the Monte-Carlo return estimates — is
+// expensive to re-acquire (it cost real user feedback). EngineState
+// captures exactly that learned state in a data-independent form (IRIs and
+// predicate names, not internal ids), so a session can be saved, the
+// process restarted, the engine re-initialized from the same stores, and
+// learning resumed where it stopped.
+//
+// Not persisted: the rollback log's generation provenance (session-local
+// bookkeeping; rollbacks only make sense for actions taken in the current
+// session) and the per-episode first-visit marks.
+//
+// Serialization is a line-oriented text format with one section per
+// component:
+//   #candidates\n left<TAB>right
+//   #blacklist\n  left<TAB>right
+//   #policy\n     left<TAB>right<TAB>feature_left<TAB>feature_right
+//   #returns\n    left<TAB>right<TAB>feature_left<TAB>feature_right
+//                 <TAB>sum<TAB>count
+#ifndef ALEX_CORE_ENGINE_STATE_H_
+#define ALEX_CORE_ENGINE_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/feature_set.h"
+#include "linking/link.h"
+
+namespace alex::core {
+
+class AlexEngine;
+
+struct EngineState {
+  struct PolicyEntry {
+    linking::Link state;  // the link acting as the RL state
+    FeatureKey action;    // its greedy feature
+  };
+  struct ReturnEntry {
+    linking::Link state;
+    FeatureKey action;
+    double sum = 0.0;
+    uint64_t count = 0;
+  };
+
+  std::vector<linking::Link> candidates;
+  std::vector<linking::Link> blacklist;
+  std::vector<PolicyEntry> policy;
+  std::vector<ReturnEntry> returns;
+};
+
+// Captures the learned state of an initialized engine.
+EngineState ExportEngineState(const AlexEngine& engine);
+
+// Applies `state` to a freshly Initialize()d engine over the same data.
+// The engine's current candidates are REPLACED by the saved ones; entries
+// referring to entity pairs outside the engine's feature spaces are kept as
+// spaceless candidates (candidates section) or skipped (policy/returns).
+Status ImportEngineState(const EngineState& state, AlexEngine* engine);
+
+// Text serialization (format in the file comment).
+std::string WriteEngineState(const EngineState& state);
+Result<EngineState> ParseEngineState(std::string_view text);
+Status SaveEngineState(const EngineState& state, const std::string& path);
+Result<EngineState> LoadEngineState(const std::string& path);
+
+}  // namespace alex::core
+
+#endif  // ALEX_CORE_ENGINE_STATE_H_

@@ -1,0 +1,250 @@
+#include "core/feature_set.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "similarity/string_metrics.h"
+
+namespace alex::core {
+
+FeatureId FeatureCatalog::Intern(const FeatureKey& key) {
+  std::string encoded = key.left_predicate + '\x01' + key.right_predicate;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(encoded);
+  if (it != index_.end()) return it->second;
+  FeatureId id = static_cast<FeatureId>(keys_.size());
+  keys_.push_back(key);
+  index_.emplace(std::move(encoded), id);
+  return id;
+}
+
+FeatureKey FeatureCatalog::Key(FeatureId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keys_[id];
+}
+
+size_t FeatureCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keys_.size();
+}
+
+double FeatureSet::Get(FeatureId id) const {
+  auto it = std::lower_bound(
+      features.begin(), features.end(), id,
+      [](const std::pair<FeatureId, double>& f, FeatureId i) {
+        return f.first < i;
+      });
+  if (it == features.end() || it->first != id) return 0.0;
+  return it->second;
+}
+
+void FeatureSet::SetMax(FeatureId id, double score) {
+  auto it = std::lower_bound(
+      features.begin(), features.end(), id,
+      [](const std::pair<FeatureId, double>& f, FeatureId i) {
+        return f.first < i;
+      });
+  if (it != features.end() && it->first == id) {
+    it->second = std::max(it->second, score);
+    return;
+  }
+  features.insert(it, {id, score});
+}
+
+PreparedValue PrepareValue(const rdf::Term& term) {
+  PreparedValue v;
+  if (term.is_iri()) {
+    v.is_iri = true;
+    v.lowered = ToLowerAscii(sim::IriLocalName(term.lexical()));
+  } else if (term.is_literal()) {
+    v.type = term.literal_type();
+    v.lowered = ToLowerAscii(term.lexical());
+    switch (v.type) {
+      case rdf::LiteralType::kInteger:
+      case rdf::LiteralType::kDouble:
+        v.numeric = term.AsDouble();
+        v.has_numeric = true;
+        break;
+      case rdf::LiteralType::kDate:
+        v.date_days = term.AsDateDays();
+        break;
+      case rdf::LiteralType::kString: {
+        double parsed = 0.0;
+        if (ParseDouble(v.lowered, &parsed)) {
+          v.numeric = parsed;
+          v.has_numeric = true;
+        }
+        break;
+      }
+      case rdf::LiteralType::kBoolean:
+        break;
+    }
+  } else {
+    v.lowered = ToLowerAscii(term.lexical());
+  }
+  v.tokens = SplitWordsNormalized(v.lowered);
+  std::sort(v.tokens.begin(), v.tokens.end());
+  v.tokens.erase(std::unique(v.tokens.begin(), v.tokens.end()),
+                 v.tokens.end());
+  return v;
+}
+
+PreparedEntity PrepareEntity(const rdf::TripleStore& store,
+                             rdf::TermId subject, size_t max_attributes) {
+  PreparedEntity entity;
+  entity.subject = subject;
+  entity.iri = store.dictionary().term(subject).lexical();
+  rdf::Entity raw = rdf::GetEntity(store, subject);
+  for (const rdf::Attribute& attr : raw.attributes) {
+    if (max_attributes > 0 && entity.attributes.size() >= max_attributes) {
+      break;
+    }
+    PreparedAttribute prepared;
+    prepared.predicate = store.dictionary().term(attr.predicate).lexical();
+    prepared.value = PrepareValue(store.dictionary().term(attr.object));
+    entity.attributes.push_back(std::move(prepared));
+  }
+  return entity;
+}
+
+namespace {
+
+// Sorted-unique-token Jaccard via merge walk.
+double SortedTokenJaccard(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+// Levenshtein on pre-lowered strings with reusable buffers.
+double FastNormalizedLevenshtein(const std::string& a, const std::string& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return 0.0;
+  // Cheap lower bound: length difference alone may already disqualify.
+  static thread_local std::vector<size_t> prev;
+  static thread_local std::vector<size_t> curr;
+  prev.resize(m + 1);
+  curr.resize(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, curr);
+  }
+  return 1.0 -
+         static_cast<double>(prev[m]) / static_cast<double>(std::max(n, m));
+}
+
+bool IsDate(const PreparedValue& v) {
+  return !v.is_iri && v.type == rdf::LiteralType::kDate;
+}
+bool IsBoolean(const PreparedValue& v) {
+  return !v.is_iri && v.type == rdf::LiteralType::kBoolean;
+}
+bool IsTypedNumeric(const PreparedValue& v) {
+  return !v.is_iri && (v.type == rdf::LiteralType::kInteger ||
+                       v.type == rdf::LiteralType::kDouble);
+}
+
+}  // namespace
+
+double PreparedSimilarity(const PreparedValue& a, const PreparedValue& b,
+                          const sim::SimilarityOptions& options) {
+  auto calibrated_string = [&options](const PreparedValue& x,
+                                      const PreparedValue& y) {
+    double lev = sim::RescaleAboveFloor(
+        FastNormalizedLevenshtein(x.lowered, y.lowered),
+        options.string_noise_floor);
+    return std::max(lev, SortedTokenJaccard(x.tokens, y.tokens));
+  };
+  if (a.is_iri && b.is_iri) {
+    if (a.lowered == b.lowered) return 1.0;
+    return calibrated_string(a, b);
+  }
+  if (!a.is_iri && !b.is_iri) {
+    if (IsTypedNumeric(a) && IsTypedNumeric(b)) {
+      return sim::NumericSimilarity(a.numeric, b.numeric,
+                                    options.numeric_tolerance);
+    }
+    if (IsDate(a) && IsDate(b)) {
+      return sim::DateSimilarity(a.date_days, b.date_days,
+                                 options.date_scale_days);
+    }
+    if (IsBoolean(a) && IsBoolean(b)) {
+      return a.lowered == b.lowered ? 1.0 : 0.0;
+    }
+    // Mixed numeric/string where both parse as numbers.
+    if (a.has_numeric && b.has_numeric &&
+        (IsTypedNumeric(a) != IsTypedNumeric(b))) {
+      return sim::NumericSimilarity(a.numeric, b.numeric,
+                                    options.numeric_tolerance);
+    }
+    if (IsDate(a) != IsDate(b)) {
+      return a.lowered == b.lowered ? 1.0 : 0.0;
+    }
+  }
+  // Everything else: fuzzy string comparison of the lowered forms.
+  return calibrated_string(a, b);
+}
+
+FeatureSet BuildFeatureSet(const PreparedEntity& left,
+                           const PreparedEntity& right,
+                           FeatureCatalog* catalog, double theta,
+                           const sim::SimilarityOptions& options) {
+  FeatureSet set;
+  const size_t n = left.attributes.size();
+  const size_t m = right.attributes.size();
+  if (n == 0 || m == 0) return set;
+  // Row maxima when the left entity has at least as many attributes,
+  // column maxima otherwise (§4.1).
+  const bool rows_from_left = n >= m;
+  const size_t outer = rows_from_left ? n : m;
+  const size_t inner = rows_from_left ? m : n;
+  for (size_t i = 0; i < outer; ++i) {
+    double best = 0.0;
+    size_t best_j = 0;
+    for (size_t j = 0; j < inner; ++j) {
+      const PreparedAttribute& la =
+          left.attributes[rows_from_left ? i : j];
+      const PreparedAttribute& ra =
+          right.attributes[rows_from_left ? j : i];
+      double score = PreparedSimilarity(la.value, ra.value, options);
+      if (score > best) {
+        best = score;
+        best_j = j;
+      }
+    }
+    if (best < theta) continue;  // θ-filtering (§6.1)
+    const PreparedAttribute& la =
+        left.attributes[rows_from_left ? i : best_j];
+    const PreparedAttribute& ra =
+        right.attributes[rows_from_left ? best_j : i];
+    FeatureId id =
+        catalog->Intern(FeatureKey{la.predicate, ra.predicate});
+    set.SetMax(id, best);
+  }
+  return set;
+}
+
+}  // namespace alex::core

@@ -1,0 +1,122 @@
+// Feature sets: the state representation of ALEX (paper §4.1).
+//
+// A link between entities E1 (left data set) and E2 (right data set) is
+// represented by a feature set. A *feature* is a pair of predicates
+// (p1 from E1, p2 from E2); its *value* is the similarity of the objects
+// associated with those predicates. The feature set is built from the
+// similarity matrix between the two entities' attributes: scores below the
+// threshold θ are discarded, then the maximum of each row (if E1 has more
+// attributes) or each column (otherwise) is kept.
+//
+// Feature keys are interned into a FeatureCatalog shared by all partitions
+// so that FeatureIds are globally comparable.
+#ifndef ALEX_CORE_FEATURE_SET_H_
+#define ALEX_CORE_FEATURE_SET_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/entity_view.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
+#include "similarity/value_similarity.h"
+
+namespace alex::core {
+
+using FeatureId = uint32_t;
+inline constexpr FeatureId kInvalidFeatureId = 0xffffffffu;
+
+// A pair of predicate IRIs: (left data set predicate, right data set
+// predicate).
+struct FeatureKey {
+  std::string left_predicate;
+  std::string right_predicate;
+
+  friend bool operator==(const FeatureKey& a, const FeatureKey& b) {
+    return a.left_predicate == b.left_predicate &&
+           a.right_predicate == b.right_predicate;
+  }
+};
+
+// Thread-safe interner for FeatureKeys.
+class FeatureCatalog {
+ public:
+  FeatureCatalog() = default;
+  FeatureCatalog(const FeatureCatalog&) = delete;
+  FeatureCatalog& operator=(const FeatureCatalog&) = delete;
+
+  FeatureId Intern(const FeatureKey& key);
+  // `id` must be valid.
+  FeatureKey Key(FeatureId id) const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FeatureKey> keys_;
+  std::unordered_map<std::string, FeatureId> index_;
+};
+
+// Sparse feature set: (feature, score) entries sorted by feature id.
+struct FeatureSet {
+  std::vector<std::pair<FeatureId, double>> features;
+
+  // Score of `id`, or 0 if absent.
+  double Get(FeatureId id) const;
+  bool Has(FeatureId id) const { return Get(id) > 0.0; }
+  bool empty() const { return features.empty(); }
+  size_t size() const { return features.size(); }
+
+  // Inserts or maxes the score for `id`, keeping the vector sorted.
+  void SetMax(FeatureId id, double score);
+};
+
+// A value preprocessed for fast repeated similarity computation: lowercased
+// lexical form, sorted unique tokens, numeric/date interpretations.
+struct PreparedValue {
+  bool is_iri = false;
+  rdf::LiteralType type = rdf::LiteralType::kString;
+  std::string lowered;              // lowercase comparison text
+  std::vector<std::string> tokens;  // sorted unique lowercase tokens
+  bool has_numeric = false;
+  double numeric = 0.0;
+  int64_t date_days = 0;
+};
+
+struct PreparedAttribute {
+  std::string predicate;  // predicate IRI
+  PreparedValue value;
+};
+
+// An entity with preprocessed attributes, detached from its TripleStore.
+struct PreparedEntity {
+  std::string iri;
+  rdf::TermId subject = rdf::kInvalidTermId;
+  std::vector<PreparedAttribute> attributes;
+};
+
+// Preprocesses `term` for similarity computation.
+PreparedValue PrepareValue(const rdf::Term& term);
+
+// Materializes and preprocesses the entity rooted at `subject`. Attributes
+// beyond `max_attributes` are dropped (0 = unlimited).
+PreparedEntity PrepareEntity(const rdf::TripleStore& store,
+                             rdf::TermId subject, size_t max_attributes = 0);
+
+// Allocation-light similarity on prepared values; mirrors
+// sim::ValueSimilarity semantics.
+double PreparedSimilarity(const PreparedValue& a, const PreparedValue& b,
+                          const sim::SimilarityOptions& options = {});
+
+// Builds the feature set of the pair (left, right) per §4.1: similarity
+// matrix, θ-filtering, row/column maxima. Scores < theta do not appear.
+FeatureSet BuildFeatureSet(const PreparedEntity& left,
+                           const PreparedEntity& right,
+                           FeatureCatalog* catalog, double theta,
+                           const sim::SimilarityOptions& options = {});
+
+}  // namespace alex::core
+
+#endif  // ALEX_CORE_FEATURE_SET_H_

@@ -1,0 +1,94 @@
+#include "core/feature_space.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace alex::core {
+namespace {
+
+std::string PairKey(const std::string& left_iri,
+                    const std::string& right_iri) {
+  std::string key;
+  key.reserve(left_iri.size() + right_iri.size() + 1);
+  key += left_iri;
+  key += '\x01';
+  key += right_iri;
+  return key;
+}
+
+}  // namespace
+
+PairId FeatureSpace::FindPair(const std::string& left_iri,
+                              const std::string& right_iri) const {
+  auto it = pair_by_iris_.find(PairKey(left_iri, right_iri));
+  if (it == pair_by_iris_.end()) return kInvalidPairId;
+  return it->second;
+}
+
+std::vector<PairId> FeatureSpace::PairsInRange(FeatureId feature, double lo,
+                                               double hi) const {
+  std::vector<PairId> out;
+  auto it = by_feature_.find(feature);
+  if (it == by_feature_.end()) return out;
+  const std::vector<ScoreEntry>& entries = it->second;
+  auto first = std::lower_bound(entries.begin(), entries.end(),
+                                ScoreEntry{lo, 0});
+  for (auto e = first; e != entries.end() && e->score <= hi; ++e) {
+    out.push_back(e->pair);
+  }
+  return out;
+}
+
+void FeatureSpace::BuildIndexes() {
+  pair_by_iris_.reserve(pairs_.size());
+  for (PairId id = 0; id < pairs_.size(); ++id) {
+    pair_by_iris_.emplace(PairKey(LeftIri(id), RightIri(id)), id);
+    for (const auto& [feature, score] : pairs_[id].features.features) {
+      by_feature_[feature].push_back(ScoreEntry{score, id});
+    }
+  }
+  for (auto& [feature, entries] : by_feature_) {
+    std::sort(entries.begin(), entries.end());
+  }
+}
+
+FeatureSpace FeatureSpace::Build(const rdf::TripleStore& left,
+                                 const std::vector<rdf::TermId>& left_subjects,
+                                 const rdf::TripleStore& right,
+                                 const std::vector<rdf::TermId>& right_subjects,
+                                 FeatureCatalog* catalog,
+                                 const FeatureSpaceOptions& options) {
+  FeatureSpace space;
+  space.catalog_ = catalog;
+  space.left_entities_.reserve(left_subjects.size());
+  for (rdf::TermId subject : left_subjects) {
+    space.left_entities_.push_back(
+        PrepareEntity(left, subject, options.max_attributes));
+  }
+  space.right_entities_.reserve(right_subjects.size());
+  for (rdf::TermId subject : right_subjects) {
+    space.right_entities_.push_back(
+        PrepareEntity(right, subject, options.max_attributes));
+  }
+  space.total_pair_count_ = static_cast<uint64_t>(left_subjects.size()) *
+                            right_subjects.size();
+  for (uint32_t i = 0; i < space.left_entities_.size(); ++i) {
+    for (uint32_t j = 0; j < space.right_entities_.size(); ++j) {
+      FeatureSet features =
+          BuildFeatureSet(space.left_entities_[i], space.right_entities_[j],
+                          catalog, options.theta, options.similarity);
+      if (features.empty()) continue;  // dropped by θ-filtering
+      ALEX_CHECK(space.pairs_.size() < kInvalidPairId);
+      EntityPairFeatures pair;
+      pair.left_index = i;
+      pair.right_index = j;
+      pair.features = std::move(features);
+      space.pairs_.push_back(std::move(pair));
+    }
+  }
+  space.BuildIndexes();
+  return space;
+}
+
+}  // namespace alex::core

@@ -1,0 +1,116 @@
+// The pre-processed space of feature sets (paper §3.2: "ALEX explores links
+// in a space of feature sets. This space is populated in a pre-processing
+// step, with a feature set for every pair of entities in the two data
+// sets.").
+//
+// A FeatureSpace is built for one partition of the left data set against the
+// whole right data set (§6.2). Pairs whose feature set is empty after
+// θ-filtering are dropped (§6.1), which removes ~95% of the raw cross
+// product. Each feature gets a score-sorted index so that an ALEX action —
+// "find all links whose value for feature f lies in [v − step, v + step]" —
+// is a binary-search range query.
+#ifndef ALEX_CORE_FEATURE_SPACE_H_
+#define ALEX_CORE_FEATURE_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/feature_set.h"
+
+namespace alex::core {
+
+// Index of a pair within a FeatureSpace.
+using PairId = uint32_t;
+inline constexpr PairId kInvalidPairId = 0xffffffffu;
+
+struct EntityPairFeatures {
+  uint32_t left_index = 0;   // into FeatureSpace::left_entities()
+  uint32_t right_index = 0;  // into FeatureSpace::right_entities()
+  FeatureSet features;
+};
+
+struct FeatureSpaceOptions {
+  // Similarity scores below theta are zeroed (§6.1; default from the paper).
+  double theta = 0.3;
+  // Cap on attributes considered per entity (0 = unlimited).
+  size_t max_attributes = 16;
+  sim::SimilarityOptions similarity;
+};
+
+class FeatureSpace {
+ public:
+  FeatureSpace() = default;
+  FeatureSpace(FeatureSpace&&) = default;
+  FeatureSpace& operator=(FeatureSpace&&) = default;
+  FeatureSpace(const FeatureSpace&) = delete;
+  FeatureSpace& operator=(const FeatureSpace&) = delete;
+
+  const std::vector<PreparedEntity>& left_entities() const {
+    return left_entities_;
+  }
+  const std::vector<PreparedEntity>& right_entities() const {
+    return right_entities_;
+  }
+  const std::vector<EntityPairFeatures>& pairs() const { return pairs_; }
+  const EntityPairFeatures& pair(PairId id) const { return pairs_[id]; }
+
+  // IRIs of the pair's two entities.
+  const std::string& LeftIri(PairId id) const {
+    return left_entities_[pairs_[id].left_index].iri;
+  }
+  const std::string& RightIri(PairId id) const {
+    return right_entities_[pairs_[id].right_index].iri;
+  }
+
+  // Pair lookup by entity IRIs; kInvalidPairId when the pair was filtered
+  // out of the space (or never existed).
+  PairId FindPair(const std::string& left_iri,
+                  const std::string& right_iri) const;
+
+  // All pairs whose score for `feature` lies in [lo, hi] (the exploration
+  // action primitive). O(log n + answer).
+  std::vector<PairId> PairsInRange(FeatureId feature, double lo,
+                                   double hi) const;
+
+  // Raw size of the cross product this space was built from (before
+  // θ-filtering); pairs().size() is the filtered size. Figure 5 reports
+  // both.
+  uint64_t total_pair_count() const { return total_pair_count_; }
+
+  // The catalog is shared and owned by the caller of Build.
+  const FeatureCatalog* catalog() const { return catalog_; }
+
+  // Builds the space for `left_subjects` × `right_subjects`.
+  static FeatureSpace Build(const rdf::TripleStore& left,
+                            const std::vector<rdf::TermId>& left_subjects,
+                            const rdf::TripleStore& right,
+                            const std::vector<rdf::TermId>& right_subjects,
+                            FeatureCatalog* catalog,
+                            const FeatureSpaceOptions& options);
+
+ private:
+  struct ScoreEntry {
+    double score;
+    PairId pair;
+    friend bool operator<(const ScoreEntry& a, const ScoreEntry& b) {
+      if (a.score != b.score) return a.score < b.score;
+      return a.pair < b.pair;
+    }
+  };
+
+  void BuildIndexes();
+
+  std::vector<PreparedEntity> left_entities_;
+  std::vector<PreparedEntity> right_entities_;
+  std::vector<EntityPairFeatures> pairs_;
+  std::unordered_map<std::string, PairId> pair_by_iris_;
+  std::unordered_map<FeatureId, std::vector<ScoreEntry>> by_feature_;
+  uint64_t total_pair_count_ = 0;
+  const FeatureCatalog* catalog_ = nullptr;
+};
+
+}  // namespace alex::core
+
+#endif  // ALEX_CORE_FEATURE_SPACE_H_

@@ -1,0 +1,18 @@
+#include "core/partitioner.h"
+
+namespace alex::core {
+
+std::vector<std::vector<rdf::TermId>> EqualSizePartition(
+    const std::vector<rdf::TermId>& subjects, int num_partitions) {
+  if (num_partitions < 1) num_partitions = 1;
+  std::vector<std::vector<rdf::TermId>> partitions(num_partitions);
+  for (auto& partition : partitions) {
+    partition.reserve(subjects.size() / num_partitions + 1);
+  }
+  for (size_t i = 0; i < subjects.size(); ++i) {
+    partitions[i % num_partitions].push_back(subjects[i]);
+  }
+  return partitions;
+}
+
+}  // namespace alex::core

@@ -1,0 +1,22 @@
+// Equal-size round-robin partitioning of the larger data set (paper §6.2):
+// the i-th entity goes to partition i mod n. Each partition is explored
+// independently against the whole smaller data set, enabling parallelism
+// without communication.
+#ifndef ALEX_CORE_PARTITIONER_H_
+#define ALEX_CORE_PARTITIONER_H_
+
+#include <vector>
+
+#include "rdf/triple_store.h"
+
+namespace alex::core {
+
+// Splits `subjects` into `num_partitions` round-robin slices. Partitions can
+// differ in size by at most one element. `num_partitions` < 1 is treated
+// as 1.
+std::vector<std::vector<rdf::TermId>> EqualSizePartition(
+    const std::vector<rdf::TermId>& subjects, int num_partitions);
+
+}  // namespace alex::core
+
+#endif  // ALEX_CORE_PARTITIONER_H_

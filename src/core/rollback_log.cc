@@ -1,0 +1,81 @@
+#include "core/rollback_log.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace alex::core {
+
+void RollbackLog::RecordGeneration(const StateAction& sa,
+                                   const std::vector<PairId>& pairs) {
+  if (pairs.empty()) return;
+  std::vector<PairId>& generated = generated_by_[sa];
+  generated.insert(generated.end(), pairs.begin(), pairs.end());
+  for (PairId pair : pairs) parents_[pair].push_back(sa);
+}
+
+const std::vector<StateAction>& RollbackLog::ParentsOf(PairId pair) const {
+  auto it = parents_.find(pair);
+  if (it == parents_.end()) return empty_;
+  return it->second;
+}
+
+std::vector<StateAction> RollbackLog::AncestorsOf(PairId pair) const {
+  std::vector<StateAction> out;
+  std::unordered_set<StateAction, StateActionHash> seen;
+  std::unordered_set<PairId> visited_states;
+  std::deque<PairId> frontier;
+  frontier.push_back(pair);
+  visited_states.insert(pair);
+  while (!frontier.empty()) {
+    PairId current = frontier.front();
+    frontier.pop_front();
+    for (const StateAction& sa : ParentsOf(current)) {
+      if (seen.insert(sa).second) out.push_back(sa);
+      if (visited_states.insert(sa.state).second) {
+        frontier.push_back(sa.state);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<StateAction> RollbackLog::AddNegative(PairId pair,
+                                                  int threshold) {
+  std::vector<StateAction> fired;
+  for (const StateAction& sa : ParentsOf(pair)) {
+    int& count = negative_counts_[sa];
+    ++count;
+    if (count >= threshold) {
+      count = 0;
+      fired.push_back(sa);
+    }
+  }
+  return fired;
+}
+
+std::vector<PairId> RollbackLog::TakeGenerated(const StateAction& sa) {
+  auto it = generated_by_.find(sa);
+  if (it == generated_by_.end()) return {};
+  std::vector<PairId> out = std::move(it->second);
+  generated_by_.erase(it);
+  // Remove `sa` from the parent lists of the pairs it generated so that
+  // future negative feedback is not attributed to a generator that has
+  // already been rolled back.
+  for (PairId pair : out) {
+    auto pit = parents_.find(pair);
+    if (pit == parents_.end()) continue;
+    std::vector<StateAction>& list = pit->second;
+    for (size_t i = 0; i < list.size();) {
+      if (list[i] == sa) {
+        list[i] = list.back();
+        list.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    if (list.empty()) parents_.erase(pit);
+  }
+  return out;
+}
+
+}  // namespace alex::core

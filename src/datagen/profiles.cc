@@ -1,0 +1,379 @@
+#include "datagen/profiles.h"
+
+namespace alex::datagen {
+namespace {
+
+constexpr const char kRdfType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+// A person/organization-flavored schema (DBpedia-vs-NYTimes style):
+// heterogeneous predicate names, one low-selectivity category attribute.
+std::vector<AttributeSpec> MediaSchema(double noise) {
+  std::vector<AttributeSpec> attrs;
+  {
+    AttributeSpec a;
+    a.left_predicate = "http://www.w3.org/2000/01/rdf-schema#label";
+    a.right_predicate = "http://data.nytimes.com/elements/name";
+    a.kind = AttributeSpec::Kind::kName;
+    a.right_noise = noise;
+    a.noise_strength = 0.3;
+    attrs.push_back(a);
+  }
+  {
+    AttributeSpec a;
+    a.left_predicate = "http://dbpedia.org/ontology/abstract";
+    a.right_predicate = "http://data.nytimes.com/elements/topic";
+    a.kind = AttributeSpec::Kind::kPhrase;
+    a.vocab_size = 1200;
+    a.left_presence = 0.9;
+    a.right_presence = 0.8;
+    a.right_noise = noise;
+    a.noise_strength = 0.25;
+    attrs.push_back(a);
+  }
+  {
+    AttributeSpec a;
+    a.left_predicate = "http://dbpedia.org/ontology/birthDate";
+    a.right_predicate = "http://data.nytimes.com/elements/firstUse";
+    a.kind = AttributeSpec::Kind::kDate;
+    a.left_presence = 0.85;
+    a.right_presence = 0.75;
+    a.right_noise = noise * 0.8;
+    a.noise_strength = 0.3;
+    attrs.push_back(a);
+  }
+  {
+    AttributeSpec a;
+    a.left_predicate = "http://dbpedia.org/ontology/wikiPageID";
+    a.right_predicate = "http://data.nytimes.com/elements/articleCount";
+    a.kind = AttributeSpec::Kind::kInteger;
+    a.min_value = 1;
+    a.max_value = 40000;
+    a.left_presence = 0.8;
+    a.right_presence = 0.7;
+    a.right_noise = noise;
+    a.noise_strength = 0.2;
+    attrs.push_back(a);
+  }
+  {
+    // The non-distinctive feature of §4.2's (rdf:type, rdf:type) example.
+    AttributeSpec a;
+    a.left_predicate = kRdfType;
+    a.right_predicate = kRdfType;
+    a.kind = AttributeSpec::Kind::kCategory;
+    a.vocab_size = 24;
+    a.right_noise = 0.9;
+    a.noise_strength = 0.25;
+    attrs.push_back(a);
+  }
+  return attrs;
+}
+
+// A life-sciences-flavored schema (Drugbank style): clean, highly
+// identifying values — the danger is confusable entities, not noise.
+std::vector<AttributeSpec> DrugSchema(double noise) {
+  std::vector<AttributeSpec> attrs;
+  {
+    AttributeSpec a;
+    a.left_predicate = "http://www.w3.org/2000/01/rdf-schema#label";
+    a.right_predicate = "http://drugbank.example.org/elements/genericName";
+    a.kind = AttributeSpec::Kind::kName;
+    a.right_noise = noise;
+    a.noise_strength = 0.25;
+    attrs.push_back(a);
+  }
+  {
+    AttributeSpec a;
+    a.left_predicate = "http://dbpedia.org/ontology/chemicalFormula";
+    a.right_predicate = "http://drugbank.example.org/elements/formula";
+    a.kind = AttributeSpec::Kind::kPhrase;
+    a.vocab_size = 1500;
+    a.left_presence = 0.95;
+    a.right_presence = 0.9;
+    a.right_noise = noise;
+    a.noise_strength = 0.2;
+    attrs.push_back(a);
+  }
+  {
+    AttributeSpec a;
+    a.left_predicate = "http://dbpedia.org/ontology/casNumber";
+    a.right_predicate = "http://drugbank.example.org/elements/casRegistry";
+    a.kind = AttributeSpec::Kind::kInteger;
+    a.min_value = 1000;
+    a.max_value = 999999;
+    a.left_presence = 0.9;
+    a.right_presence = 0.85;
+    a.right_noise = noise;
+    attrs.push_back(a);
+  }
+  {
+    AttributeSpec a;
+    a.left_predicate = kRdfType;
+    a.right_predicate = kRdfType;
+    a.kind = AttributeSpec::Kind::kCategory;
+    a.vocab_size = 18;
+    a.right_noise = 0.9;
+    a.noise_strength = 0.25;
+    attrs.push_back(a);
+  }
+  return attrs;
+}
+
+// A linguistics-flavored schema (Lexvo style).
+std::vector<AttributeSpec> LanguageSchema(double noise) {
+  std::vector<AttributeSpec> attrs;
+  {
+    AttributeSpec a;
+    a.left_predicate = "http://www.w3.org/2000/01/rdf-schema#label";
+    a.right_predicate = "http://lexvo.example.org/elements/name";
+    a.kind = AttributeSpec::Kind::kName;
+    a.right_noise = noise;
+    a.noise_strength = 0.35;
+    attrs.push_back(a);
+  }
+  {
+    AttributeSpec a;
+    a.left_predicate = "http://dbpedia.org/ontology/iso6393Code";
+    a.right_predicate = "http://lexvo.example.org/elements/isoCode";
+    a.kind = AttributeSpec::Kind::kPhrase;
+    a.vocab_size = 320;
+    a.left_presence = 0.85;
+    a.right_presence = 0.85;
+    a.right_noise = noise * 0.6;
+    a.noise_strength = 0.2;
+    attrs.push_back(a);
+  }
+  {
+    AttributeSpec a;
+    a.left_predicate = "http://dbpedia.org/ontology/speakers";
+    a.right_predicate = "http://lexvo.example.org/elements/speakerCount";
+    a.kind = AttributeSpec::Kind::kInteger;
+    a.min_value = 1000;
+    a.max_value = 2000000;
+    a.left_presence = 0.7;
+    a.right_presence = 0.65;
+    a.right_noise = noise;
+    attrs.push_back(a);
+  }
+  {
+    AttributeSpec a;
+    a.left_predicate = kRdfType;
+    a.right_predicate = kRdfType;
+    a.kind = AttributeSpec::Kind::kCategory;
+    a.vocab_size = 14;
+    a.right_noise = 0.9;
+    a.noise_strength = 0.25;
+    attrs.push_back(a);
+  }
+  return attrs;
+}
+
+}  // namespace
+
+WorldProfile DbpediaNytimesProfile() {
+  WorldProfile p;
+  p.name = "dbpedia_nytimes";
+  p.left_store_name = "dbpedia";
+  p.right_store_name = "nytimes";
+  p.left_namespace = "http://dbpedia.org/resource/";
+  p.right_namespace = "http://data.nytimes.com/";
+  p.overlap_entities = 600;
+  p.left_only_entities = 500;
+  p.right_only_entities = 250;
+  p.confusable_pairs = 0;
+  p.attributes = MediaSchema(/*noise=*/0.8);
+  p.seed = 20150531;
+  return p;
+}
+
+WorldProfile DbpediaDrugbankProfile() {
+  WorldProfile p;
+  p.name = "dbpedia_drugbank";
+  p.left_store_name = "dbpedia";
+  p.right_store_name = "drugbank";
+  p.left_namespace = "http://dbpedia.org/resource/";
+  p.right_namespace = "http://drugbank.example.org/drugs/";
+  p.overlap_entities = 250;
+  p.left_only_entities = 400;
+  p.right_only_entities = 100;
+  p.confusable_pairs = 600;  // low precision, high recall regime
+  p.confusable_noise = 0.0;
+  p.attributes = DrugSchema(/*noise=*/0.05);
+  p.seed = 20150601;
+  return p;
+}
+
+WorldProfile DbpediaLexvoProfile() {
+  WorldProfile p;
+  p.name = "dbpedia_lexvo";
+  p.left_store_name = "dbpedia";
+  p.right_store_name = "lexvo";
+  p.left_namespace = "http://dbpedia.org/resource/";
+  p.right_namespace = "http://lexvo.example.org/id/";
+  p.overlap_entities = 350;
+  p.left_only_entities = 400;
+  p.right_only_entities = 150;
+  p.confusable_pairs = 300;  // hurts precision...
+  p.confusable_noise = 0.1;
+  p.attributes = LanguageSchema(/*noise=*/0.55);  // ...and noise hurts recall
+  p.seed = 20150602;
+  return p;
+}
+
+WorldProfile OpencycNytimesProfile() {
+  WorldProfile p = DbpediaNytimesProfile();
+  p.name = "opencyc_nytimes";
+  p.left_store_name = "opencyc";
+  p.left_namespace = "http://sw.opencyc.org/concept/";
+  p.overlap_entities = 300;
+  p.left_only_entities = 300;
+  p.right_only_entities = 150;
+  p.seed = 20150603;
+  return p;
+}
+
+WorldProfile OpencycDrugbankProfile() {
+  WorldProfile p = DbpediaDrugbankProfile();
+  p.name = "opencyc_drugbank";
+  p.left_store_name = "opencyc";
+  p.left_namespace = "http://sw.opencyc.org/concept/";
+  p.overlap_entities = 120;
+  p.left_only_entities = 220;
+  p.right_only_entities = 80;
+  p.confusable_pairs = 280;
+  p.seed = 20150604;
+  return p;
+}
+
+WorldProfile OpencycLexvoProfile() {
+  WorldProfile p = DbpediaLexvoProfile();
+  p.name = "opencyc_lexvo";
+  p.left_store_name = "opencyc";
+  p.left_namespace = "http://sw.opencyc.org/concept/";
+  p.overlap_entities = 110;
+  p.left_only_entities = 180;
+  p.right_only_entities = 80;
+  p.confusable_pairs = 100;
+  p.seed = 20150605;
+  return p;
+}
+
+WorldProfile DbpediaSwdfProfile() {
+  WorldProfile p;
+  p.name = "dbpedia_swdf";
+  p.left_store_name = "dbpedia";
+  p.right_store_name = "swdf";
+  p.left_namespace = "http://dbpedia.org/resource/";
+  p.right_namespace = "http://data.semanticweb.org/";
+  p.overlap_entities = 120;
+  p.left_only_entities = 260;
+  p.right_only_entities = 120;
+  p.attributes = MediaSchema(/*noise=*/0.6);
+  p.seed = 20150606;
+  return p;
+}
+
+WorldProfile OpencycSwdfProfile() {
+  WorldProfile p = DbpediaSwdfProfile();
+  p.name = "opencyc_swdf";
+  p.left_store_name = "opencyc";
+  p.left_namespace = "http://sw.opencyc.org/concept/";
+  p.overlap_entities = 60;
+  p.left_only_entities = 130;
+  p.right_only_entities = 60;
+  p.seed = 20150607;
+  return p;
+}
+
+WorldProfile DbpediaNbaNytimesProfile() {
+  WorldProfile p;
+  p.name = "dbpedia_nba_nytimes";
+  p.left_store_name = "dbpedia_nba";
+  p.right_store_name = "nytimes";
+  p.left_namespace = "http://dbpedia.org/resource/nba/";
+  p.right_namespace = "http://data.nytimes.com/";
+  p.overlap_entities = 90;
+  p.left_only_entities = 130;
+  p.right_only_entities = 60;
+  p.attributes = MediaSchema(/*noise=*/0.7);
+  p.seed = 20150608;
+  return p;
+}
+
+WorldProfile OpencycNbaNytimesProfile() {
+  WorldProfile p = DbpediaNbaNytimesProfile();
+  p.name = "opencyc_nba_nytimes";
+  p.left_store_name = "opencyc_nba";
+  p.left_namespace = "http://sw.opencyc.org/concept/nba/";
+  p.overlap_entities = 35;
+  p.left_only_entities = 70;
+  p.right_only_entities = 40;
+  p.seed = 20150609;
+  return p;
+}
+
+WorldProfile DbpediaOpencycProfile() {
+  WorldProfile p;
+  p.name = "dbpedia_opencyc";
+  p.left_store_name = "dbpedia";
+  p.right_store_name = "opencyc";
+  p.left_namespace = "http://dbpedia.org/resource/";
+  p.right_namespace = "http://sw.opencyc.org/concept/";
+  p.overlap_entities = 800;
+  p.left_only_entities = 500;
+  p.right_only_entities = 300;
+  p.confusable_pairs = 250;
+  p.confusable_noise = 0.1;
+  p.attributes = MediaSchema(/*noise=*/0.65);
+  p.seed = 20150610;
+  return p;
+}
+
+WorldProfile TinyTestProfile() {
+  WorldProfile p;
+  p.name = "tiny";
+  p.overlap_entities = 40;
+  p.left_only_entities = 20;
+  p.right_only_entities = 10;
+  p.confusable_pairs = 10;
+  p.attributes = MediaSchema(/*noise=*/0.5);
+  p.seed = 7;
+  return p;
+}
+
+bool ProfileByName(const std::string& id, WorldProfile* profile) {
+  struct Entry {
+    const char* id;
+    WorldProfile (*factory)();
+  };
+  static const Entry kEntries[] = {
+      {"dbpedia_nytimes", &DbpediaNytimesProfile},
+      {"dbpedia_drugbank", &DbpediaDrugbankProfile},
+      {"dbpedia_lexvo", &DbpediaLexvoProfile},
+      {"opencyc_nytimes", &OpencycNytimesProfile},
+      {"opencyc_drugbank", &OpencycDrugbankProfile},
+      {"opencyc_lexvo", &OpencycLexvoProfile},
+      {"dbpedia_swdf", &DbpediaSwdfProfile},
+      {"opencyc_swdf", &OpencycSwdfProfile},
+      {"dbpedia_nba_nytimes", &DbpediaNbaNytimesProfile},
+      {"opencyc_nba_nytimes", &OpencycNbaNytimesProfile},
+      {"dbpedia_opencyc", &DbpediaOpencycProfile},
+      {"tiny", &TinyTestProfile},
+  };
+  for (const Entry& entry : kEntries) {
+    if (id == entry.id) {
+      *profile = entry.factory();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> AllProfileNames() {
+  return {"dbpedia_nytimes",  "dbpedia_drugbank",    "dbpedia_lexvo",
+          "opencyc_nytimes",  "opencyc_drugbank",    "opencyc_lexvo",
+          "dbpedia_swdf",     "opencyc_swdf",        "dbpedia_nba_nytimes",
+          "opencyc_nba_nytimes", "dbpedia_opencyc",  "tiny"};
+}
+
+}  // namespace alex::datagen

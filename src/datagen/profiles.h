@@ -1,0 +1,52 @@
+// Data set profiles: one per data set pair in the paper's evaluation
+// (Table 1 and §7). Each profile is a scaled-down synthetic stand-in whose
+// noise regime reproduces the *starting quality* of the PARIS candidate
+// links the paper reports for that pair:
+//
+//   pair                         paper regime (Fig.)        mechanism here
+//   DBpedia - NYTimes            good P, low R   (2a)       heavy value noise
+//   DBpedia - Drugbank           low P, high R   (2b)       confusable pairs
+//   DBpedia - Lexvo              both low        (2c)       noise + confusables
+//   OpenCyc - NYTimes/Drugbank/  same shapes     (3a-c)     smaller variants
+//            Lexvo
+//   DBpedia/OpenCyc - SWDF       small domains   (4a,b)     small, mild noise
+//   DBpedia/OpenCyc (NBA) - NYT  small domains   (4c,d)     small, noisy
+//   DBpedia - OpenCyc            stress test     (8)        large, mixed
+//
+// The LEFT store of every profile is the larger data set (AlexEngine
+// partitions the left store).
+#ifndef ALEX_DATAGEN_PROFILES_H_
+#define ALEX_DATAGEN_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/world.h"
+
+namespace alex::datagen {
+
+WorldProfile DbpediaNytimesProfile();
+WorldProfile DbpediaDrugbankProfile();
+WorldProfile DbpediaLexvoProfile();
+WorldProfile OpencycNytimesProfile();
+WorldProfile OpencycDrugbankProfile();
+WorldProfile OpencycLexvoProfile();
+WorldProfile DbpediaSwdfProfile();
+WorldProfile OpencycSwdfProfile();
+WorldProfile DbpediaNbaNytimesProfile();
+WorldProfile OpencycNbaNytimesProfile();
+WorldProfile DbpediaOpencycProfile();
+
+// A tiny profile for unit tests and the quickstart example (fast to build).
+WorldProfile TinyTestProfile();
+
+// Lookup by id ("dbpedia_nytimes", ...). Returns true and fills `profile`
+// when the id is known.
+bool ProfileByName(const std::string& id, WorldProfile* profile);
+
+// All profile ids, in the order above.
+std::vector<std::string> AllProfileNames();
+
+}  // namespace alex::datagen
+
+#endif  // ALEX_DATAGEN_PROFILES_H_

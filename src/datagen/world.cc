@@ -1,0 +1,314 @@
+#include "datagen/world.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+
+#include "common/strings.h"
+
+namespace alex::datagen {
+namespace {
+
+using rdf::Term;
+
+constexpr const char* kConsonants[] = {"b", "c",  "d",  "f", "g",  "h",
+                                       "k", "l",  "m",  "n", "p",  "r",
+                                       "s", "t",  "v",  "z", "st", "tr",
+                                       "ch", "br", "dr", "gl"};
+constexpr const char* kVowels[] = {"a", "e", "i", "o", "u", "ia", "ou", "ei"};
+
+std::string Capitalize(std::string word) {
+  if (!word.empty() && word[0] >= 'a' && word[0] <= 'z') {
+    word[0] = static_cast<char>(word[0] - 'a' + 'A');
+  }
+  return word;
+}
+
+// One generated value, typed.
+struct Value {
+  AttributeSpec::Kind kind;
+  std::string text;       // string kinds
+  int64_t number = 0;     // kInteger
+  std::string date;       // kDate (ISO)
+
+  Term ToTerm() const {
+    switch (kind) {
+      case AttributeSpec::Kind::kInteger:
+        return Term::IntegerLiteral(number);
+      case AttributeSpec::Kind::kDate:
+        return Term::DateLiteral(date);
+      default:
+        return Term::StringLiteral(text);
+    }
+  }
+};
+
+std::string RandomDate(Rng* rng) {
+  int year = static_cast<int>(rng->NextInt(1940, 2010));
+  int month = static_cast<int>(rng->NextInt(1, 12));
+  int day = static_cast<int>(rng->NextInt(1, 28));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+// The canonical value of one attribute for one world entity.
+Value MakeValue(const AttributeSpec& spec,
+                const std::vector<std::string>& vocab, Rng* rng) {
+  Value value;
+  value.kind = spec.kind;
+  switch (spec.kind) {
+    case AttributeSpec::Kind::kName:
+      value.text = RandomName(rng);
+      break;
+    case AttributeSpec::Kind::kPhrase: {
+      int words = static_cast<int>(rng->NextInt(2, 4));
+      std::vector<std::string> parts;
+      for (int w = 0; w < words; ++w) {
+        parts.push_back(vocab[rng->NextBounded(vocab.size())]);
+      }
+      value.text = Join(parts, " ");
+      break;
+    }
+    case AttributeSpec::Kind::kInteger:
+      value.number = rng->NextInt(spec.min_value, spec.max_value);
+      break;
+    case AttributeSpec::Kind::kDate:
+      value.date = RandomDate(rng);
+      break;
+    case AttributeSpec::Kind::kCategory:
+      value.text = vocab[rng->NextBounded(vocab.size())];
+      break;
+  }
+  return value;
+}
+
+// Perturbs `value` for the right-hand projection.
+Value PerturbValue(const AttributeSpec& spec, const Value& value,
+                   double strength, const std::vector<std::string>& vocab,
+                   Rng* rng) {
+  Value out = value;
+  switch (spec.kind) {
+    case AttributeSpec::Kind::kName: {
+      double pick = rng->NextDouble();
+      if (pick < 0.4) {
+        out.text = ReorderName(value.text);
+      } else if (pick < 0.6) {
+        out.text = AbbreviateFirstToken(value.text);
+      } else {
+        out.text = ApplyTypos(value.text, strength, rng);
+      }
+      break;
+    }
+    case AttributeSpec::Kind::kPhrase:
+      out.text = ApplyTypos(value.text, strength, rng);
+      break;
+    case AttributeSpec::Kind::kInteger: {
+      int64_t span = spec.max_value - spec.min_value + 1;
+      int64_t delta = std::max<int64_t>(
+          1, static_cast<int64_t>(strength * 0.05 * span));
+      out.number = value.number + rng->NextInt(-delta, delta);
+      break;
+    }
+    case AttributeSpec::Kind::kDate: {
+      int64_t shift_days = std::max<int64_t>(
+          1, static_cast<int64_t>(strength * 120));
+      int y, m, d;
+      rdf::ParseIsoDate(value.date, &y, &m, &d);
+      // Shift within the month/day fields only; keep it a valid-enough date.
+      d = static_cast<int>(
+          std::clamp<int64_t>(d + rng->NextInt(-shift_days, shift_days) % 27,
+                              1, 28));
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+      out.date = buf;
+      break;
+    }
+    case AttributeSpec::Kind::kCategory:
+      if (rng->NextBool(strength)) {
+        out.text = vocab[rng->NextBounded(vocab.size())];
+      }
+      break;
+  }
+  return out;
+}
+
+// A world entity: one optional canonical value per attribute, on each side.
+struct WorldEntity {
+  std::vector<std::optional<Value>> left_values;
+  std::vector<std::optional<Value>> right_values;
+};
+
+WorldEntity MakeEntity(const WorldProfile& profile,
+                       const std::vector<std::vector<std::string>>& vocabs,
+                       bool in_left, bool in_right, Rng* rng) {
+  WorldEntity entity;
+  entity.left_values.resize(profile.attributes.size());
+  entity.right_values.resize(profile.attributes.size());
+  for (size_t a = 0; a < profile.attributes.size(); ++a) {
+    const AttributeSpec& spec = profile.attributes[a];
+    Value canonical = MakeValue(spec, vocabs[a], rng);
+    if (in_left && rng->NextBool(spec.left_presence)) {
+      entity.left_values[a] = canonical;
+    }
+    if (in_right && rng->NextBool(spec.right_presence)) {
+      if (rng->NextBool(spec.right_noise)) {
+        entity.right_values[a] =
+            PerturbValue(spec, canonical, spec.noise_strength, vocabs[a],
+                         rng);
+      } else {
+        entity.right_values[a] = canonical;
+      }
+    }
+  }
+  return entity;
+}
+
+void EmitEntity(const WorldProfile& profile, const WorldEntity& entity,
+                bool left_side, const std::string& iri,
+                rdf::TripleStore* store) {
+  const auto& values = left_side ? entity.left_values : entity.right_values;
+  Term subject = Term::Iri(iri);
+  for (size_t a = 0; a < values.size(); ++a) {
+    if (!values[a]) continue;
+    const AttributeSpec& spec = profile.attributes[a];
+    Term predicate = Term::Iri(left_side ? spec.left_predicate
+                                         : spec.right_predicate);
+    store->Add(subject, predicate, values[a]->ToTerm());
+  }
+}
+
+// Opaque right-side local names so IRIs carry no linkage signal.
+std::string RightLocalName(uint64_t id) {
+  uint64_t mixed = id * 0x9e3779b97f4a7c15ULL;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "n%012llx",
+                static_cast<unsigned long long>(mixed >> 16));
+  return buf;
+}
+
+}  // namespace
+
+std::string RandomWord(Rng* rng) {
+  int syllables = static_cast<int>(rng->NextInt(2, 4));
+  std::string word;
+  for (int s = 0; s < syllables; ++s) {
+    word += kConsonants[rng->NextBounded(std::size(kConsonants))];
+    word += kVowels[rng->NextBounded(std::size(kVowels))];
+  }
+  return word;
+}
+
+std::string RandomName(Rng* rng) {
+  return Capitalize(RandomWord(rng)) + " " + Capitalize(RandomWord(rng));
+}
+
+std::string ApplyTypos(const std::string& value, double strength, Rng* rng) {
+  std::string out = value;
+  if (out.empty()) return out;
+  int edits = std::max(
+      1, static_cast<int>(strength * 0.25 * static_cast<double>(out.size())));
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    size_t pos = rng->NextBounded(out.size());
+    switch (rng->NextBounded(3)) {
+      case 0:  // substitute
+        out[pos] = static_cast<char>('a' + rng->NextBounded(26));
+        break;
+      case 1:  // delete
+        out.erase(pos, 1);
+        break;
+      default:  // transpose with the next character
+        if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string ReorderName(const std::string& value) {
+  std::vector<std::string> parts = SplitWords(value);
+  if (parts.size() < 2) return value;
+  std::string last = parts.back();
+  parts.pop_back();
+  return last + ", " + Join(parts, " ");
+}
+
+std::string AbbreviateFirstToken(const std::string& value) {
+  std::vector<std::string> parts = SplitWords(value);
+  if (parts.size() < 2 || parts[0].empty()) return value;
+  parts[0] = std::string(1, parts[0][0]) + ".";
+  return Join(parts, " ");
+}
+
+GeneratedWorld Generate(const WorldProfile& profile) {
+  Rng rng(profile.seed);
+  GeneratedWorld world;
+  world.left = rdf::TripleStore(profile.left_store_name);
+  world.right = rdf::TripleStore(profile.right_store_name);
+
+  // Per-attribute vocabularies (shared across entities to induce value
+  // collisions where vocab_size is small).
+  std::vector<std::vector<std::string>> vocabs;
+  vocabs.reserve(profile.attributes.size());
+  for (const AttributeSpec& spec : profile.attributes) {
+    std::vector<std::string> vocab;
+    int size = std::max(1, spec.vocab_size);
+    vocab.reserve(size);
+    for (int v = 0; v < size; ++v) vocab.push_back(RandomWord(&rng));
+    vocabs.push_back(std::move(vocab));
+  }
+
+  uint64_t next_id = 0;
+  auto left_iri = [&profile](uint64_t id) {
+    return profile.left_namespace + "e" + std::to_string(id);
+  };
+  auto right_iri = [&profile](uint64_t id) {
+    return profile.right_namespace + RightLocalName(id);
+  };
+
+  // 1. Overlap entities: in both sides; ground truth.
+  for (size_t i = 0; i < profile.overlap_entities; ++i) {
+    uint64_t id = next_id++;
+    WorldEntity entity = MakeEntity(profile, vocabs, true, true, &rng);
+    std::string l = left_iri(id);
+    std::string r = right_iri(id);
+    EmitEntity(profile, entity, true, l, &world.left);
+    EmitEntity(profile, entity, false, r, &world.right);
+    world.ground_truth.push_back(linking::Link{l, r, 1.0});
+  }
+  // 2. One-side-only distractors.
+  for (size_t i = 0; i < profile.left_only_entities; ++i) {
+    uint64_t id = next_id++;
+    WorldEntity entity = MakeEntity(profile, vocabs, true, false, &rng);
+    EmitEntity(profile, entity, true, left_iri(id), &world.left);
+  }
+  for (size_t i = 0; i < profile.right_only_entities; ++i) {
+    uint64_t id = next_id++;
+    WorldEntity entity = MakeEntity(profile, vocabs, false, true, &rng);
+    EmitEntity(profile, entity, false, right_iri(id), &world.right);
+  }
+  // 3. Confusable pairs: distinct entities whose values coincide; they are
+  // NOT ground truth, and they trap exact-match linkers like PARIS.
+  for (size_t i = 0; i < profile.confusable_pairs; ++i) {
+    uint64_t id = next_id++;
+    WorldEntity entity;
+    entity.left_values.resize(profile.attributes.size());
+    entity.right_values.resize(profile.attributes.size());
+    for (size_t a = 0; a < profile.attributes.size(); ++a) {
+      const AttributeSpec& spec = profile.attributes[a];
+      Value canonical = MakeValue(spec, vocabs[a], &rng);
+      entity.left_values[a] = canonical;
+      if (rng.NextBool(profile.confusable_noise)) {
+        entity.right_values[a] = PerturbValue(
+            spec, canonical, spec.noise_strength, vocabs[a], &rng);
+      } else {
+        entity.right_values[a] = canonical;
+      }
+    }
+    EmitEntity(profile, entity, true, left_iri(id), &world.left);
+    EmitEntity(profile, entity, false, right_iri(id), &world.right);
+  }
+  return world;
+}
+
+}  // namespace alex::datagen

@@ -1,0 +1,73 @@
+#include "eval/experiment.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace alex::eval {
+
+Result<ExperimentResult> RunExperiment(
+    const ExperimentConfig& config,
+    const std::function<void(const EpisodePoint&)>& on_point) {
+  datagen::GeneratedWorld world = datagen::Generate(config.profile);
+  std::vector<linking::Link> paris_links =
+      linking::RunParis(world.left, world.right, config.paris);
+  std::vector<linking::Link> initial = linking::FilterByScore(
+      std::move(paris_links), config.paris_threshold);
+  return RunExperimentOnWorld(config, world, initial, on_point);
+}
+
+Result<ExperimentResult> RunExperimentOnWorld(
+    const ExperimentConfig& config, const datagen::GeneratedWorld& world,
+    const std::vector<linking::Link>& initial_links,
+    const std::function<void(const EpisodePoint&)>& on_point) {
+  ExperimentResult result;
+  result.profile_name = config.profile.name;
+
+  feedback::GroundTruth truth(world.ground_truth);
+  result.ground_truth_size = truth.size();
+  result.initial_link_count = initial_links.size();
+  for (const linking::Link& link : initial_links) {
+    if (truth.Contains(link)) ++result.initial_correct;
+  }
+
+  core::AlexEngine engine(&world.left, &world.right, config.alex);
+  ALEX_RETURN_IF_ERROR(engine.Initialize(initial_links));
+  result.init_seconds = engine.init_seconds();
+  result.total_pairs = engine.total_pair_count();
+  result.filtered_pairs = engine.filtered_pair_count();
+
+  // Episode 0: quality of the initial candidate links.
+  EpisodePoint start;
+  start.episode = 0;
+  start.quality = Evaluate(engine.CandidateLinks(), truth);
+  result.series.push_back(start);
+  if (on_point) on_point(start);
+
+  feedback::Oracle oracle(&truth, config.feedback_error_rate,
+                          config.oracle_seed);
+  auto feedback_fn = [&oracle](const linking::Link& link) {
+    return oracle.Feedback(link);
+  };
+
+  Stopwatch run_timer;
+  core::AlexEngine::RunResult run = engine.Run(
+      feedback_fn, [&](const core::EpisodeStats& stats) {
+        EpisodePoint point;
+        point.episode = stats.episode;
+        point.stats = stats;
+        point.quality = Evaluate(engine.CandidateLinks(), truth);
+        result.series.push_back(point);
+        if (on_point) on_point(point);
+      });
+  result.total_seconds = run_timer.ElapsedSeconds();
+  result.converged = run.converged;
+  result.episodes = run.episodes;
+  result.relaxed_episode = run.relaxed_episode;
+  result.new_links_discovered =
+      NewCorrectLinks(initial_links, engine.CandidateLinks(), truth);
+  return result;
+}
+
+}  // namespace alex::eval

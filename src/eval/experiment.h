@@ -1,0 +1,72 @@
+// The experiment driver: generate a data set pair from a profile, produce
+// initial candidate links with PARIS, run ALEX against the feedback oracle,
+// and record per-episode quality — the exact pipeline of §7.1.
+#ifndef ALEX_EVAL_EXPERIMENT_H_
+#define ALEX_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/alex_engine.h"
+#include "datagen/world.h"
+#include "eval/metrics.h"
+#include "feedback/oracle.h"
+#include "linking/paris.h"
+
+namespace alex::eval {
+
+struct ExperimentConfig {
+  datagen::WorldProfile profile;
+  core::AlexOptions alex;
+  linking::ParisOptions paris;
+  // Links with PARIS score <= this are dropped (§7.1 uses 0.95).
+  double paris_threshold = 0.95;
+  // Fraction of incorrect feedback (Appendix C uses 0.1).
+  double feedback_error_rate = 0.0;
+  uint64_t oracle_seed = 99;
+};
+
+// Quality of the candidate links after an episode. Episode 0 is the initial
+// PARIS quality (the figures' leftmost point).
+struct EpisodePoint {
+  int episode = 0;
+  Quality quality;
+  core::EpisodeStats stats;  // zeroed for episode 0
+};
+
+struct ExperimentResult {
+  std::string profile_name;
+  size_t ground_truth_size = 0;
+  size_t initial_link_count = 0;   // PARIS links above threshold
+  size_t initial_correct = 0;      // of which correct
+  size_t new_links_discovered = 0; // correct links ALEX added
+  bool converged = false;
+  int episodes = 0;
+  int relaxed_episode = -1;  // first episode with <5% change, -1 if never
+  double init_seconds = 0.0;     // pre-processing (feature spaces)
+  double total_seconds = 0.0;    // episodes only
+  uint64_t total_pairs = 0;      // raw cross product
+  uint64_t filtered_pairs = 0;   // after θ-filtering
+  std::vector<EpisodePoint> series;
+
+  const Quality& final_quality() const { return series.back().quality; }
+};
+
+// Runs the full pipeline. `on_point` (optional) observes each episode point
+// as it is produced (episode 0 included).
+Result<ExperimentResult> RunExperiment(
+    const ExperimentConfig& config,
+    const std::function<void(const EpisodePoint&)>& on_point = nullptr);
+
+// Variant that reuses an already-generated world and initial links (used by
+// benches that compare several ALEX configurations on identical data).
+Result<ExperimentResult> RunExperimentOnWorld(
+    const ExperimentConfig& config, const datagen::GeneratedWorld& world,
+    const std::vector<linking::Link>& initial_links,
+    const std::function<void(const EpisodePoint&)>& on_point = nullptr);
+
+}  // namespace alex::eval
+
+#endif  // ALEX_EVAL_EXPERIMENT_H_

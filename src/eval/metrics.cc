@@ -1,0 +1,41 @@
+#include "eval/metrics.h"
+
+#include <unordered_set>
+
+namespace alex::eval {
+
+Quality Evaluate(const std::vector<linking::Link>& candidates,
+                 const feedback::GroundTruth& truth) {
+  Quality q;
+  q.candidates = candidates.size();
+  for (const linking::Link& link : candidates) {
+    if (truth.Contains(link)) ++q.correct;
+  }
+  if (q.candidates > 0) {
+    q.precision = static_cast<double>(q.correct) /
+                  static_cast<double>(q.candidates);
+  }
+  if (truth.size() > 0) {
+    q.recall =
+        static_cast<double>(q.correct) / static_cast<double>(truth.size());
+  }
+  if (q.precision + q.recall > 0.0) {
+    q.f_measure =
+        2.0 * q.precision * q.recall / (q.precision + q.recall);
+  }
+  return q;
+}
+
+size_t NewCorrectLinks(const std::vector<linking::Link>& initial_links,
+                       const std::vector<linking::Link>& final_links,
+                       const feedback::GroundTruth& truth) {
+  std::unordered_set<linking::Link, linking::LinkHash> initial(
+      initial_links.begin(), initial_links.end());
+  size_t count = 0;
+  for (const linking::Link& link : final_links) {
+    if (truth.Contains(link) && initial.count(link) == 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace alex::eval

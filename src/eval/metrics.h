@@ -1,0 +1,34 @@
+// Link-quality metrics (paper §7.1): precision, recall, F-measure of the
+// candidate link set against the ground truth.
+#ifndef ALEX_EVAL_METRICS_H_
+#define ALEX_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "feedback/oracle.h"
+#include "linking/link.h"
+
+namespace alex::eval {
+
+struct Quality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;
+  size_t candidates = 0;
+  size_t correct = 0;  // |C ∩ G|
+};
+
+// P = |C∩G|/|C|, R = |C∩G|/|G|, F = 2PR/(P+R).
+Quality Evaluate(const std::vector<linking::Link>& candidates,
+                 const feedback::GroundTruth& truth);
+
+// Number of links in `final_links ∩ G` that are not in `initial_links` —
+// the "new links discovered by ALEX" counts the paper reports per
+// experiment.
+size_t NewCorrectLinks(const std::vector<linking::Link>& initial_links,
+                       const std::vector<linking::Link>& final_links,
+                       const feedback::GroundTruth& truth);
+
+}  // namespace alex::eval
+
+#endif  // ALEX_EVAL_METRICS_H_

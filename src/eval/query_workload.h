@@ -1,0 +1,74 @@
+// Query-driven feedback (the paper's actual §3.2 loop).
+//
+// The evaluation in §7 draws random candidate links and asks the oracle
+// about them directly. In the deployed system, however, feedback arrives on
+// the answers of *federated queries*: a user asks something that needs both
+// data sets, the engine bridges them through candidate owl:sameAs links,
+// and approving/rejecting an answer approves/rejects the links in its
+// provenance. This module closes that loop end to end:
+//
+//   * GenerateWorkload builds federated SELECT queries over a generated
+//     world, each shaped like the paper's §1 example: constrain an entity
+//     by a left-side attribute value, ask for a right-side attribute —
+//     answerable only across a link.
+//   * RunQueryDrivenExperiment alternates episodes in which the queries are
+//     executed against the current candidate links, every answer is judged
+//     by the ground truth, and the feedback flows into the ALEX engine via
+//     ApplyLinkFeedback.
+//
+// Query-driven feedback differs from uniform link sampling in coverage:
+// only links that actually answer queries receive feedback. The
+// `bench_query_driven` benchmark contrasts the two.
+#ifndef ALEX_EVAL_QUERY_WORKLOAD_H_
+#define ALEX_EVAL_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/alex_engine.h"
+#include "datagen/world.h"
+#include "eval/experiment.h"
+#include "feedback/oracle.h"
+
+namespace alex::eval {
+
+struct WorkloadOptions {
+  // Number of distinct queries to generate.
+  size_t num_queries = 300;
+  uint64_t seed = 4242;
+};
+
+// One generated federated query (kept as text so tools can print/replay it).
+struct WorkloadQuery {
+  std::string text;
+  // The left entity the query constrains (for diagnostics).
+  std::string about_left_entity;
+};
+
+// Builds the workload from the world's left-side attribute values. Queries
+// constrain a left predicate to an exact value and project a right-side
+// predicate of the same (linked) entity.
+std::vector<WorkloadQuery> GenerateWorkload(
+    const datagen::GeneratedWorld& world, const WorkloadOptions& options);
+
+struct QueryDrivenOptions {
+  WorkloadOptions workload;
+  // Feedback items per episode (an "episode" re-runs queries until this
+  // many link-feedback items were produced or every query ran once).
+  size_t episode_size = 1000;
+  int max_episodes = 30;
+  double feedback_error_rate = 0.0;
+  uint64_t oracle_seed = 99;
+};
+
+// Runs the full pipeline with query-driven feedback. The engine must
+// already be initialized; `truth` judges answers. Returns the same series
+// structure as RunExperimentOnWorld (episode 0 = initial quality).
+ExperimentResult RunQueryDrivenExperiment(
+    core::AlexEngine* engine, const datagen::GeneratedWorld& world,
+    const feedback::GroundTruth& truth, const QueryDrivenOptions& options);
+
+}  // namespace alex::eval
+
+#endif  // ALEX_EVAL_QUERY_WORKLOAD_H_

@@ -1,0 +1,77 @@
+#include "eval/report.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+namespace alex::eval {
+
+void PrintHeader(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+void PrintSeries(std::ostream& os, const std::string& title,
+                 const ExperimentResult& result) {
+  PrintHeader(os, title);
+  os << std::setw(8) << "episode" << std::setw(11) << "precision"
+     << std::setw(9) << "recall" << std::setw(11) << "f-measure"
+     << std::setw(8) << "neg%" << std::setw(12) << "candidates" << "\n";
+  os << std::fixed;
+  for (const EpisodePoint& point : result.series) {
+    os << std::setw(8) << point.episode << std::setprecision(3)
+       << std::setw(11) << point.quality.precision << std::setw(9)
+       << point.quality.recall << std::setw(11) << point.quality.f_measure
+       << std::setprecision(1) << std::setw(8)
+       << point.stats.NegativeFeedbackPercent() << std::setw(12)
+       << point.quality.candidates;
+    if (result.relaxed_episode >= 0 &&
+        point.episode == result.relaxed_episode) {
+      os << "   <- relaxed convergence (<5% change)";
+    }
+    os << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+  os << std::setprecision(6);
+}
+
+void PrintSummary(std::ostream& os, const ExperimentResult& result) {
+  os << "ground truth links:      " << result.ground_truth_size << "\n"
+     << "initial candidate links: " << result.initial_link_count << " ("
+     << result.initial_correct << " correct)\n"
+     << "new links discovered:    " << result.new_links_discovered << "\n"
+     << "episodes run:            " << result.episodes
+     << (result.converged ? " (converged)" : " (max episodes reached)")
+     << "\n"
+     << "relaxed convergence:     "
+     << (result.relaxed_episode >= 0
+             ? "episode " + std::to_string(result.relaxed_episode)
+             : std::string("never"))
+     << "\n"
+     << "pre-processing:          " << std::fixed << std::setprecision(2)
+     << result.init_seconds << " s (" << result.total_pairs
+     << " raw pairs -> " << result.filtered_pairs << " in filtered space)\n"
+     << "episode loop:            " << result.total_seconds << " s\n";
+  os.unsetf(std::ios::fixed);
+  os << std::setprecision(6);
+}
+
+void WriteSeriesCsv(std::ostream& os, const ExperimentResult& result) {
+  os << "episode,precision,recall,f_measure,neg_feedback_pct,candidates,"
+        "seconds\n";
+  for (const EpisodePoint& point : result.series) {
+    os << point.episode << ',' << point.quality.precision << ','
+       << point.quality.recall << ',' << point.quality.f_measure << ','
+       << point.stats.NegativeFeedbackPercent() << ','
+       << point.quality.candidates << ',' << point.stats.seconds << "\n";
+  }
+}
+
+bool SaveSeriesCsv(const std::string& path,
+                   const ExperimentResult& result) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  WriteSeriesCsv(out, result);
+  return static_cast<bool>(out);
+}
+
+}  // namespace alex::eval

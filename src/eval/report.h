@@ -1,0 +1,35 @@
+// Plain-text reporting helpers: the benchmark binaries print per-episode
+// series in the same shape as the paper's figures (episode, precision,
+// recall, F-measure, ...), plus summary lines for the counts the paper
+// calls out in the text.
+#ifndef ALEX_EVAL_REPORT_H_
+#define ALEX_EVAL_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "eval/experiment.h"
+
+namespace alex::eval {
+
+// Prints "episode precision recall f_measure neg_feedback% candidates" rows.
+void PrintSeries(std::ostream& os, const std::string& title,
+                 const ExperimentResult& result);
+
+// Prints the summary block (ground truth size, new links discovered,
+// convergence episodes, timings).
+void PrintSummary(std::ostream& os, const ExperimentResult& result);
+
+// One figure-style header line, e.g. "== Figure 2(a): DBpedia - NYTimes ==".
+void PrintHeader(std::ostream& os, const std::string& title);
+
+// Machine-readable per-episode series:
+// episode,precision,recall,f_measure,neg_feedback_pct,candidates,seconds
+void WriteSeriesCsv(std::ostream& os, const ExperimentResult& result);
+
+// Writes the CSV to `path` (overwriting). Returns false on I/O failure.
+bool SaveSeriesCsv(const std::string& path, const ExperimentResult& result);
+
+}  // namespace alex::eval
+
+#endif  // ALEX_EVAL_REPORT_H_

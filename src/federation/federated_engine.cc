@@ -1,0 +1,296 @@
+#include "federation/federated_engine.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "federation/source_selection.h"
+#include "sparql/executor.h"
+#include "sparql/parser.h"
+
+namespace alex::fed {
+namespace {
+
+using rdf::TermId;
+using rdf::Triple;
+using rdf::TripleStore;
+using sparql::Binding;
+using sparql::PatternNode;
+using sparql::Query;
+using sparql::TriplePattern;
+
+// A way to satisfy one pattern position in one source: the id to search for
+// (nullopt = leave unbound) plus the link consumed if the id is a sameAs
+// counterpart of the originally bound value.
+struct PositionChoice {
+  std::optional<TermId> id;
+  std::optional<linking::Link> link;
+};
+
+class FederatedEvaluator {
+ public:
+  FederatedEvaluator(const Query& query,
+                     const std::vector<TriplePattern>& patterns,
+                     const std::vector<const TripleStore*>& sources,
+                     const LinkSet& links, const FederatedOptions& options)
+      : query_(query),
+        patterns_(patterns),
+        sources_(sources),
+        links_(links),
+        options_(options) {
+    selected_ = SelectSourcesFor(patterns, sources);
+  }
+
+  // When false, answers carry the full binding instead of the projected
+  // one (used while OPTIONAL groups still have to be joined).
+  void set_project(bool project) { project_ = project; }
+
+  // Evaluates the patterns starting from `seed_binding` (empty for a
+  // top-level run). `seed_provenance` is prepended to every answer's
+  // provenance. Sets *matched when at least one solution was emitted.
+  Status Run(std::vector<FederatedAnswer>* out,
+             const Binding& seed_binding = {},
+             const std::vector<linking::Link>& seed_provenance = {},
+             bool* matched = nullptr) {
+    out_ = out;
+    std::vector<size_t> remaining(patterns_.size());
+    for (size_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
+    Binding binding = seed_binding;
+    std::vector<linking::Link> provenance = seed_provenance;
+    emitted_ = false;
+    Status st = Recurse(remaining, &binding, &provenance);
+    if (matched != nullptr) *matched = emitted_;
+    return st;
+  }
+
+ private:
+  // Enumerates the ways to satisfy `node` against `source`: bound values may
+  // be rewritten to their sameAs counterparts, each choice recording the
+  // link it uses.
+  std::vector<PositionChoice> ChoicesFor(const PatternNode& node,
+                                         const Binding& binding,
+                                         const TripleStore& source,
+                                         bool allow_bridge) const {
+    std::vector<PositionChoice> choices;
+    const rdf::Term* term = nullptr;
+    if (node.is_variable) {
+      auto it = binding.find(node.variable);
+      if (it == binding.end()) {
+        choices.push_back(PositionChoice{std::nullopt, std::nullopt});
+        return choices;
+      }
+      term = &it->second;
+    } else {
+      term = &node.term;
+    }
+    if (std::optional<TermId> id = source.dictionary().Lookup(*term)) {
+      choices.push_back(PositionChoice{*id, std::nullopt});
+    }
+    if (allow_bridge && term->is_iri()) {
+      const std::string& iri = term->lexical();
+      for (const std::string& right : links_.RightsOf(iri)) {
+        AddCounterpart(iri, right, /*left_is_original=*/true, source,
+                       &choices);
+      }
+      for (const std::string& left : links_.LeftsOf(iri)) {
+        AddCounterpart(left, iri, /*left_is_original=*/false, source,
+                       &choices);
+      }
+    }
+    return choices;
+  }
+
+  void AddCounterpart(const std::string& left, const std::string& right,
+                      bool left_is_original, const TripleStore& source,
+                      std::vector<PositionChoice>* choices) const {
+    const std::string& counterpart = left_is_original ? right : left;
+    std::optional<TermId> id =
+        source.dictionary().Lookup(rdf::Term::Iri(counterpart));
+    if (!id) return;
+    linking::Link link;
+    link.left = left;
+    link.right = right;
+    choices->push_back(PositionChoice{*id, link});
+  }
+
+  Status Recurse(std::vector<size_t> remaining, Binding* binding,
+                 std::vector<linking::Link>* provenance) {
+    if (done_) return Status::Ok();
+    if (remaining.empty()) {
+      for (const auto& filter : query_.filters) {
+        if (!sparql::EvalFilter(*filter, *binding)) return Status::Ok();
+      }
+      FederatedAnswer answer;
+      answer.binding = project_ ? sparql::Project(query_, *binding)
+                                : *binding;
+      answer.links_used = *provenance;
+      std::sort(answer.links_used.begin(), answer.links_used.end());
+      answer.links_used.erase(
+          std::unique(answer.links_used.begin(), answer.links_used.end()),
+          answer.links_used.end());
+      out_->push_back(std::move(answer));
+      emitted_ = true;
+      if (out_->size() >= options_.max_rows) done_ = true;
+      if (query_.is_ask) done_ = true;
+      return Status::Ok();
+    }
+    // Most selective remaining pattern first.
+    size_t best_pos = 0;
+    int best_unbound = 4;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      int unbound = patterns_[remaining[i]].UnboundCount(*binding);
+      if (unbound < best_unbound) {
+        best_unbound = unbound;
+        best_pos = i;
+      }
+    }
+    size_t pattern_idx = remaining[best_pos];
+    remaining.erase(remaining.begin() + best_pos);
+    const TriplePattern& pattern = patterns_[pattern_idx];
+
+    for (size_t source_idx : selected_[pattern_idx]) {
+      const TripleStore& source = *sources_[source_idx];
+      // Subjects and objects may be bridged across sources; predicates are
+      // vocabulary, never bridged.
+      std::vector<PositionChoice> s_choices =
+          ChoicesFor(pattern.subject, *binding, source, true);
+      std::vector<PositionChoice> p_choices =
+          ChoicesFor(pattern.predicate, *binding, source, false);
+      std::vector<PositionChoice> o_choices =
+          ChoicesFor(pattern.object, *binding, source, true);
+      for (const PositionChoice& sc : s_choices) {
+        for (const PositionChoice& pc : p_choices) {
+          for (const PositionChoice& oc : o_choices) {
+            Status st = MatchOne(pattern, source, sc, pc, oc, remaining,
+                                 binding, provenance);
+            if (!st.ok()) return st;
+            if (done_) return Status::Ok();
+          }
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status MatchOne(const TriplePattern& pattern, const TripleStore& source,
+                  const PositionChoice& sc, const PositionChoice& pc,
+                  const PositionChoice& oc, std::vector<size_t>& remaining,
+                  Binding* binding, std::vector<linking::Link>* provenance) {
+    size_t links_pushed = 0;
+    for (const PositionChoice* choice : {&sc, &pc, &oc}) {
+      if (choice->link) {
+        provenance->push_back(*choice->link);
+        ++links_pushed;
+      }
+    }
+    const rdf::Dictionary& dict = source.dictionary();
+    for (const Triple& t : source.Match(sc.id, pc.id, oc.id)) {
+      if (done_) break;
+      std::vector<std::string> added;
+      auto bind_new = [&](const PatternNode& node, TermId id,
+                          const PositionChoice& choice) {
+        // Only bind variables that were previously unbound; bound variables
+        // were already baked into the search ids.
+        if (!node.is_variable || choice.id.has_value()) return;
+        binding->emplace(node.variable, dict.term(id));
+        added.push_back(node.variable);
+      };
+      bind_new(pattern.subject, t.subject, sc);
+      bind_new(pattern.predicate, t.predicate, pc);
+      bind_new(pattern.object, t.object, oc);
+      Status st = Recurse(remaining, binding, provenance);
+      for (const std::string& var : added) binding->erase(var);
+      if (!st.ok()) return st;
+    }
+    for (size_t i = 0; i < links_pushed; ++i) provenance->pop_back();
+    return Status::Ok();
+  }
+
+  const Query& query_;
+  const std::vector<TriplePattern>& patterns_;
+  const std::vector<const TripleStore*>& sources_;
+  const LinkSet& links_;
+  const FederatedOptions& options_;
+  std::vector<std::vector<size_t>> selected_;
+  std::vector<FederatedAnswer>* out_ = nullptr;
+  bool done_ = false;
+  bool emitted_ = false;
+  bool project_ = true;
+};
+
+}  // namespace
+
+Result<std::vector<FederatedAnswer>> FederatedEngine::ExecuteText(
+    const std::string& query_text, const FederatedOptions& options) const {
+  Result<Query> query = sparql::ParseQuery(query_text);
+  if (!query.ok()) return query.status();
+  return Execute(query.value(), options);
+}
+
+Result<std::vector<FederatedAnswer>> FederatedEngine::Execute(
+    const Query& query, const FederatedOptions& options) const {
+  if (!query.aggregates.empty()) {
+    return Status::Unimplemented(
+        "aggregates are not supported in federated queries");
+  }
+  std::vector<FederatedAnswer> answers;
+  const bool has_optionals = !query.optionals.empty();
+  for (const std::vector<TriplePattern>* patterns : query.Alternatives()) {
+    FederatedEvaluator evaluator(query, *patterns, sources_, *links_,
+                                 options);
+    evaluator.set_project(!has_optionals);
+    Status st = evaluator.Run(&answers);
+    if (!st.ok()) return st;
+    if (query.is_ask && !answers.empty()) break;
+  }
+  // OPTIONAL groups: left-outer-join each group against the answers so
+  // far, bridging across sources exactly like required patterns.
+  if (has_optionals) {
+    for (const std::vector<TriplePattern>& group : query.optionals) {
+      std::vector<FederatedAnswer> extended;
+      for (const FederatedAnswer& answer : answers) {
+        FederatedEvaluator evaluator(query, group, sources_, *links_,
+                                     options);
+        evaluator.set_project(false);
+        bool matched = false;
+        Status st = evaluator.Run(&extended, answer.binding,
+                                  answer.links_used, &matched);
+        if (!st.ok()) return st;
+        if (!matched) extended.push_back(answer);
+      }
+      answers = std::move(extended);
+    }
+    for (FederatedAnswer& answer : answers) {
+      answer.binding = sparql::Project(query, answer.binding);
+    }
+  }
+  if (query.distinct) {
+    std::set<std::pair<Binding, std::vector<linking::Link>>> seen;
+    std::vector<FederatedAnswer> unique;
+    for (FederatedAnswer& a : answers) {
+      if (seen.insert({a.binding, a.links_used}).second) {
+        unique.push_back(std::move(a));
+      }
+    }
+    answers = std::move(unique);
+  }
+  if (!query.order_by.empty()) {
+    std::stable_sort(answers.begin(), answers.end(),
+                     [&query](const FederatedAnswer& a,
+                              const FederatedAnswer& b) {
+                       return sparql::CompareBindingsForOrder(
+                                  a.binding, b.binding, query.order_by) < 0;
+                     });
+  }
+  if (query.offset > 0) {
+    answers.erase(answers.begin(),
+                  answers.begin() +
+                      std::min(query.offset, answers.size()));
+  }
+  if (query.limit && answers.size() > *query.limit) {
+    answers.resize(*query.limit);
+  }
+  return answers;
+}
+
+}  // namespace alex::fed

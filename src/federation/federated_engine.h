@@ -1,0 +1,65 @@
+// Federated query processing over multiple RDF sources with owl:sameAs
+// bridging (the role FedX plays in the paper, §3.2).
+//
+// A federated query is written as if all data were in one place. The engine
+// decomposes it per triple pattern, selects capable sources, and evaluates a
+// backtracking join across sources. When a variable bound to an entity of
+// one source must match an entity of another source, the engine consults the
+// LinkSet: IRIs x and y unify iff x == y or (x, y) / (y, x) is a link.
+//
+// Every answer carries *provenance*: the set of links that were used to
+// produce it. This is what user feedback attaches to — approving an answer
+// approves its links, rejecting it rejects them (paper §3.2, §4).
+#ifndef ALEX_FEDERATION_FEDERATED_ENGINE_H_
+#define ALEX_FEDERATION_FEDERATED_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "federation/link_set.h"
+#include "rdf/triple_store.h"
+#include "sparql/algebra.h"
+
+namespace alex::fed {
+
+struct FederatedAnswer {
+  sparql::Binding binding;
+  // Links used to bridge sources while producing this answer. Empty when the
+  // answer came from a single source.
+  std::vector<linking::Link> links_used;
+};
+
+struct FederatedOptions {
+  size_t max_rows = 100000;
+};
+
+class FederatedEngine {
+ public:
+  // `sources` and `links` must outlive the engine. The link set may be
+  // mutated between Execute() calls (that is the whole point of ALEX).
+  FederatedEngine(std::vector<const rdf::TripleStore*> sources,
+                  const LinkSet* links)
+      : sources_(std::move(sources)), links_(links) {}
+
+  // Parses and runs a federated SELECT query.
+  Result<std::vector<FederatedAnswer>> ExecuteText(
+      const std::string& query_text,
+      const FederatedOptions& options = {}) const;
+
+  // Runs an already-parsed query.
+  Result<std::vector<FederatedAnswer>> Execute(
+      const sparql::Query& query, const FederatedOptions& options = {}) const;
+
+  const std::vector<const rdf::TripleStore*>& sources() const {
+    return sources_;
+  }
+
+ private:
+  std::vector<const rdf::TripleStore*> sources_;
+  const LinkSet* links_;
+};
+
+}  // namespace alex::fed
+
+#endif  // ALEX_FEDERATION_FEDERATED_ENGINE_H_

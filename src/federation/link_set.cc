@@ -1,0 +1,70 @@
+#include "federation/link_set.h"
+
+#include <algorithm>
+
+namespace alex::fed {
+
+bool LinkSet::Add(const linking::Link& link) {
+  auto [it, inserted] = links_.insert(link);
+  if (!inserted) {
+    if (link.score > it->score) {
+      // Link identity ignores score, so re-insert with the better score.
+      links_.erase(it);
+      links_.insert(link);
+      by_left_[link.left][link.right] = link.score;
+    }
+    return false;
+  }
+  by_left_[link.left][link.right] = link.score;
+  by_right_[link.right].insert(link.left);
+  return true;
+}
+
+bool LinkSet::Remove(const std::string& left, const std::string& right) {
+  linking::Link probe{left, right, 0.0};
+  auto it = links_.find(probe);
+  if (it == links_.end()) return false;
+  links_.erase(it);
+  auto left_it = by_left_.find(left);
+  if (left_it != by_left_.end()) {
+    left_it->second.erase(right);
+    if (left_it->second.empty()) by_left_.erase(left_it);
+  }
+  auto right_it = by_right_.find(right);
+  if (right_it != by_right_.end()) {
+    right_it->second.erase(left);
+    if (right_it->second.empty()) by_right_.erase(right_it);
+  }
+  return true;
+}
+
+bool LinkSet::Contains(const std::string& left,
+                       const std::string& right) const {
+  return links_.count(linking::Link{left, right, 0.0}) > 0;
+}
+
+std::vector<std::string> LinkSet::RightsOf(const std::string& left) const {
+  std::vector<std::string> out;
+  auto it = by_left_.find(left);
+  if (it == by_left_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [right, score] : it->second) out.push_back(right);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> LinkSet::LeftsOf(const std::string& right) const {
+  std::vector<std::string> out;
+  auto it = by_right_.find(right);
+  if (it == by_right_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<linking::Link> LinkSet::All() const {
+  std::vector<linking::Link> out(links_.begin(), links_.end());
+  return out;
+}
+
+}  // namespace alex::fed

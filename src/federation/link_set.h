@@ -1,0 +1,51 @@
+// A mutable set of owl:sameAs links between two data sets.
+//
+// The federated engine consults a LinkSet to bridge entities across sources;
+// ALEX mutates it as feedback arrives (add explored links, remove rejected
+// ones). Lookup by either side is O(1) amortized.
+#ifndef ALEX_FEDERATION_LINK_SET_H_
+#define ALEX_FEDERATION_LINK_SET_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "linking/link.h"
+
+namespace alex::fed {
+
+class LinkSet {
+ public:
+  LinkSet() = default;
+
+  // Adds `link`; returns true if it was new. Keeps the higher score when the
+  // same IRI pair is re-added.
+  bool Add(const linking::Link& link);
+
+  // Removes the link with this IRI pair; returns true if it existed.
+  bool Remove(const std::string& left, const std::string& right);
+
+  bool Contains(const std::string& left, const std::string& right) const;
+
+  // Counterparts of a left-side / right-side entity.
+  std::vector<std::string> RightsOf(const std::string& left) const;
+  std::vector<std::string> LeftsOf(const std::string& right) const;
+
+  size_t size() const { return links_.size(); }
+  bool empty() const { return links_.empty(); }
+
+  // Snapshot of all links (unspecified order).
+  std::vector<linking::Link> All() const;
+
+ private:
+  std::unordered_map<std::string, std::unordered_map<std::string, double>>
+      by_left_;  // left -> right -> score
+  std::unordered_map<std::string, std::unordered_set<std::string>>
+      by_right_;  // right -> lefts
+  std::unordered_set<linking::Link, linking::LinkHash> links_;
+};
+
+}  // namespace alex::fed
+
+#endif  // ALEX_FEDERATION_LINK_SET_H_

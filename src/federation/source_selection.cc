@@ -1,0 +1,37 @@
+#include "federation/source_selection.h"
+
+namespace alex::fed {
+
+bool SourceCanMatch(const sparql::TriplePattern& pattern,
+                    const rdf::TripleStore& source) {
+  // A constant that the source has never interned cannot match. Constant
+  // objects are *not* used to rule out a source: the federated evaluator may
+  // rewrite a bound entity IRI to its sameAs counterpart in this source.
+  if (!pattern.predicate.is_variable &&
+      !source.dictionary().Lookup(pattern.predicate.term)) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<size_t>> SelectSourcesFor(
+    const std::vector<sparql::TriplePattern>& patterns,
+    const std::vector<const rdf::TripleStore*>& sources) {
+  std::vector<std::vector<size_t>> selected(patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    for (size_t s = 0; s < sources.size(); ++s) {
+      if (SourceCanMatch(patterns[i], *sources[s])) {
+        selected[i].push_back(s);
+      }
+    }
+  }
+  return selected;
+}
+
+std::vector<std::vector<size_t>> SelectSources(
+    const sparql::Query& query,
+    const std::vector<const rdf::TripleStore*>& sources) {
+  return SelectSourcesFor(query.patterns, sources);
+}
+
+}  // namespace alex::fed

@@ -1,0 +1,33 @@
+// Source selection for federated queries (the FedX-style first step):
+// determine, per triple pattern, which sources can possibly contribute
+// matches, using predicate- and constant-existence probes against each
+// source's dictionary.
+#ifndef ALEX_FEDERATION_SOURCE_SELECTION_H_
+#define ALEX_FEDERATION_SOURCE_SELECTION_H_
+
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "sparql/algebra.h"
+
+namespace alex::fed {
+
+// For each pattern of `query` (same order), the indexes into `sources` that
+// can match it. A constant predicate/subject/object that a source has never
+// seen rules that source out for the pattern.
+std::vector<std::vector<size_t>> SelectSources(
+    const sparql::Query& query,
+    const std::vector<const rdf::TripleStore*>& sources);
+
+// Same, for an explicit pattern list (used per UNION alternative).
+std::vector<std::vector<size_t>> SelectSourcesFor(
+    const std::vector<sparql::TriplePattern>& patterns,
+    const std::vector<const rdf::TripleStore*>& sources);
+
+// Source capability for a single pattern.
+bool SourceCanMatch(const sparql::TriplePattern& pattern,
+                    const rdf::TripleStore& source);
+
+}  // namespace alex::fed
+
+#endif  // ALEX_FEDERATION_SOURCE_SELECTION_H_

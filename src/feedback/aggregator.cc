@@ -1,0 +1,41 @@
+#include "feedback/aggregator.h"
+
+namespace alex::feedback {
+
+std::optional<bool> FeedbackAggregator::AddVote(const linking::Link& link,
+                                                bool approve) {
+  Tally& tally = tallies_[link];
+  if (approve) {
+    ++tally.positive;
+  } else {
+    ++tally.negative;
+  }
+  int total = tally.positive + tally.negative;
+  if (total < options_.quorum) return std::nullopt;
+  double threshold = options_.majority * total;
+  std::optional<bool> verdict;
+  if (tally.positive > threshold) {
+    verdict = true;
+  } else if (tally.negative > threshold) {
+    verdict = false;
+  }
+  if (verdict.has_value()) {
+    ++verdicts_emitted_;
+    if (options_.reset_after_verdict) {
+      tallies_.erase(link);
+    }
+  }
+  return verdict;
+}
+
+int FeedbackAggregator::PositiveVotes(const linking::Link& link) const {
+  auto it = tallies_.find(link);
+  return it == tallies_.end() ? 0 : it->second.positive;
+}
+
+int FeedbackAggregator::NegativeVotes(const linking::Link& link) const {
+  auto it = tallies_.find(link);
+  return it == tallies_.end() ? 0 : it->second.negative;
+}
+
+}  // namespace alex::feedback

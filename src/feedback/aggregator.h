@@ -1,0 +1,73 @@
+// Multi-user feedback aggregation.
+//
+// The paper assumes a service provider collecting feedback "from many users
+// over a large number of links" (§7.2, batch mode) and notes that feedback
+// could be refined "so that ALEX uses only high quality feedback obtained
+// from a large number of users (e.g., using techniques from [16])"
+// (§6.3). This module implements that refinement step: raw votes from
+// individual users are aggregated per link and only emitted to ALEX once a
+// quorum agrees, which suppresses most incorrect feedback before it ever
+// reaches the learner.
+//
+// Usage:
+//   FeedbackAggregator agg(options);
+//   if (auto verdict = agg.AddVote(link, user_says_yes)) {
+//     engine.ApplyLinkFeedback(link, *verdict);
+//   }
+#ifndef ALEX_FEEDBACK_AGGREGATOR_H_
+#define ALEX_FEEDBACK_AGGREGATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "linking/link.h"
+
+namespace alex::feedback {
+
+struct AggregatorOptions {
+  // Votes required on a link before a verdict can be emitted.
+  int quorum = 3;
+  // Fraction of votes that must agree (strictly greater than). 0.5 =
+  // simple majority.
+  double majority = 0.5;
+  // After a verdict fires, the tally resets (true) or keeps accumulating
+  // so future votes refine the same tally (false).
+  bool reset_after_verdict = true;
+};
+
+class FeedbackAggregator {
+ public:
+  explicit FeedbackAggregator(const AggregatorOptions& options = {})
+      : options_(options) {}
+
+  // Records one user's vote on `link`. Returns the aggregated verdict once
+  // the quorum is reached and one side has a strict majority; std::nullopt
+  // while the link is still undecided (or the vote is an exact tie at
+  // quorum, in which case tallying continues).
+  std::optional<bool> AddVote(const linking::Link& link, bool approve);
+
+  // Current tally for a link (0 if unknown).
+  int PositiveVotes(const linking::Link& link) const;
+  int NegativeVotes(const linking::Link& link) const;
+
+  // Number of links with open (un-emitted) tallies.
+  size_t pending() const { return tallies_.size(); }
+
+  // Verdicts emitted so far.
+  uint64_t verdicts_emitted() const { return verdicts_emitted_; }
+
+ private:
+  struct Tally {
+    int positive = 0;
+    int negative = 0;
+  };
+
+  AggregatorOptions options_;
+  std::unordered_map<linking::Link, Tally, linking::LinkHash> tallies_;
+  uint64_t verdicts_emitted_ = 0;
+};
+
+}  // namespace alex::feedback
+
+#endif  // ALEX_FEEDBACK_AGGREGATOR_H_

@@ -1,0 +1,3 @@
+// GroundTruth and Oracle are header-only; this translation unit anchors the
+// alex_feedback library target.
+#include "feedback/oracle.h"

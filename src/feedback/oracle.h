@@ -1,0 +1,71 @@
+// Simulated user feedback (paper §7.1, "Generating Feedback"): a feedback
+// item on a candidate link is positive iff the link exists in the ground
+// truth — optionally corrupted with a configurable error rate (Appendix C
+// evaluates ALEX under 10% incorrect feedback).
+#ifndef ALEX_FEEDBACK_ORACLE_H_
+#define ALEX_FEEDBACK_ORACLE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "linking/link.h"
+
+namespace alex::feedback {
+
+// The curated set of correct links between the two data sets.
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+  explicit GroundTruth(const std::vector<linking::Link>& links) {
+    for (const linking::Link& link : links) Add(link);
+  }
+
+  void Add(linking::Link link) { links_.insert(std::move(link)); }
+  bool Contains(const linking::Link& link) const {
+    return links_.count(link) > 0;
+  }
+  size_t size() const { return links_.size(); }
+
+  const std::unordered_set<linking::Link, linking::LinkHash>& links() const {
+    return links_;
+  }
+
+ private:
+  std::unordered_set<linking::Link, linking::LinkHash> links_;
+};
+
+// A feedback oracle with an error rate: with probability `error_rate` the
+// correct feedback is flipped (approve a wrong answer / reject a correct
+// one).
+class Oracle {
+ public:
+  // `truth` must outlive the oracle.
+  Oracle(const GroundTruth* truth, double error_rate, uint64_t seed)
+      : truth_(truth), error_rate_(error_rate), rng_(seed) {}
+
+  // Feedback for one candidate link.
+  bool Feedback(const linking::Link& link) {
+    bool correct = truth_->Contains(link);
+    ++items_;
+    if (rng_.NextBool(error_rate_)) {
+      ++errors_;
+      return !correct;
+    }
+    return correct;
+  }
+
+  size_t items() const { return items_; }
+  size_t errors() const { return errors_; }
+
+ private:
+  const GroundTruth* truth_;
+  double error_rate_;
+  Rng rng_;
+  size_t items_ = 0;
+  size_t errors_ = 0;
+};
+
+}  // namespace alex::feedback
+
+#endif  // ALEX_FEEDBACK_ORACLE_H_

@@ -1,0 +1,4 @@
+// Link is header-only; this file exists so the linking target always has at
+// least one translation unit and is the natural home for future non-inline
+// helpers.
+#include "linking/link.h"

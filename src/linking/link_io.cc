@@ -1,0 +1,131 @@
+#include "linking/link_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "rdf/ntriples.h"
+#include "rdf/triple_store.h"
+
+namespace alex::linking {
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out << content;
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+std::string WriteLinksTsv(const std::vector<Link>& links) {
+  std::string out;
+  char score[32];
+  for (const Link& link : links) {
+    std::snprintf(score, sizeof(score), "%.6g", link.score);
+    out += link.left;
+    out += '\t';
+    out += link.right;
+    out += '\t';
+    out += score;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<Link>> ParseLinksTsv(std::string_view text) {
+  std::vector<Link> links;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view line = nl == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    ++line_no;
+    std::string_view stripped = StripAsciiWhitespace(line);
+    if (!stripped.empty() && stripped[0] != '#') {
+      std::vector<std::string> fields = Split(std::string(stripped), '\t');
+      if (fields.size() < 2 || fields[0].empty() || fields[1].empty()) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": expected left<TAB>right[<TAB>score]");
+      }
+      Link link;
+      link.left = fields[0];
+      link.right = fields[1];
+      if (fields.size() >= 3) {
+        double score = 1.0;
+        if (!ParseDouble(fields[2], &score)) {
+          return Status::ParseError("line " + std::to_string(line_no) +
+                                    ": bad score '" + fields[2] + "'");
+        }
+        link.score = score;
+      }
+      links.push_back(std::move(link));
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return links;
+}
+
+Status SaveLinksTsv(const std::vector<Link>& links,
+                    const std::string& path) {
+  return WriteFile(path, WriteLinksTsv(links));
+}
+
+Result<std::vector<Link>> LoadLinksTsv(const std::string& path) {
+  Result<std::string> content = ReadFile(path);
+  if (!content.ok()) return content.status();
+  return ParseLinksTsv(content.value());
+}
+
+std::string WriteLinksNTriples(const std::vector<Link>& links) {
+  std::string out;
+  for (const Link& link : links) {
+    out += "<" + link.left + "> <" + std::string(kOwlSameAs) + "> <" +
+           link.right + "> .\n";
+  }
+  return out;
+}
+
+Result<std::vector<Link>> ParseLinksNTriples(std::string_view text) {
+  rdf::TripleStore store("links");
+  Status st = rdf::ParseNTriples(text, &store);
+  if (!st.ok()) return st;
+  std::vector<Link> links;
+  auto same_as = store.dictionary().Lookup(rdf::Term::Iri(kOwlSameAs));
+  if (!same_as) return links;
+  for (const rdf::Triple& t :
+       store.Match(std::nullopt, *same_as, std::nullopt)) {
+    const rdf::Term& subject = store.dictionary().term(t.subject);
+    const rdf::Term& object = store.dictionary().term(t.object);
+    if (!subject.is_iri() || !object.is_iri()) continue;
+    links.push_back(Link{subject.lexical(), object.lexical(), 1.0});
+  }
+  return links;
+}
+
+Status SaveLinksNTriples(const std::vector<Link>& links,
+                         const std::string& path) {
+  return WriteFile(path, WriteLinksNTriples(links));
+}
+
+Result<std::vector<Link>> LoadLinksNTriples(const std::string& path) {
+  Result<std::string> content = ReadFile(path);
+  if (!content.ok()) return content.status();
+  return ParseLinksNTriples(content.value());
+}
+
+}  // namespace alex::linking

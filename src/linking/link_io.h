@@ -1,0 +1,37 @@
+// Serialization of link sets.
+//
+// Two formats:
+//  * TSV: `left<TAB>right<TAB>score` per line — handy for tooling and for
+//    ground-truth files;
+//  * N-Triples with owl:sameAs predicates — the interchange format of the
+//    Linked Open Data cloud (scores are not representable and default
+//    to 1.0 on read).
+#ifndef ALEX_LINKING_LINK_IO_H_
+#define ALEX_LINKING_LINK_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "linking/link.h"
+
+namespace alex::linking {
+
+// TSV format.
+std::string WriteLinksTsv(const std::vector<Link>& links);
+Result<std::vector<Link>> ParseLinksTsv(std::string_view text);
+Status SaveLinksTsv(const std::vector<Link>& links, const std::string& path);
+Result<std::vector<Link>> LoadLinksTsv(const std::string& path);
+
+// owl:sameAs N-Triples format.
+std::string WriteLinksNTriples(const std::vector<Link>& links);
+// Extracts every owl:sameAs triple whose subject and object are IRIs.
+Result<std::vector<Link>> ParseLinksNTriples(std::string_view text);
+Status SaveLinksNTriples(const std::vector<Link>& links,
+                         const std::string& path);
+Result<std::vector<Link>> LoadLinksNTriples(const std::string& path);
+
+}  // namespace alex::linking
+
+#endif  // ALEX_LINKING_LINK_IO_H_

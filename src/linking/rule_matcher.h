@@ -1,0 +1,42 @@
+// A SILK-style rule-based matcher: the user supplies linkage rules (pairs of
+// predicates, a similarity threshold per rule, and a weight), and the
+// matcher scores entity pairs by the weighted sum of rule similarities.
+// Token blocking keeps the candidate set far below the full cross product.
+//
+// This is the second candidate-link generator (the paper emphasizes that
+// ALEX works with links from *any* automatic linking algorithm).
+#ifndef ALEX_LINKING_RULE_MATCHER_H_
+#define ALEX_LINKING_RULE_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "linking/link.h"
+#include "rdf/triple_store.h"
+
+namespace alex::linking {
+
+struct MatchRule {
+  std::string left_predicate;   // IRI in the left data set
+  std::string right_predicate;  // IRI in the right data set
+  double weight = 1.0;
+  // Similarity below this contributes 0 for the rule.
+  double min_similarity = 0.5;
+};
+
+struct RuleMatcherOptions {
+  std::vector<MatchRule> rules;
+  // Pairs whose normalized weighted score exceeds this become links.
+  double accept_threshold = 0.8;
+  // Token groups larger than this are skipped during blocking.
+  size_t max_block = 200;
+};
+
+// Runs the matcher and returns links sorted by descending score.
+std::vector<Link> RunRuleMatcher(const rdf::TripleStore& left,
+                                 const rdf::TripleStore& right,
+                                 const RuleMatcherOptions& options);
+
+}  // namespace alex::linking
+
+#endif  // ALEX_LINKING_RULE_MATCHER_H_

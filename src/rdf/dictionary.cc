@@ -1,0 +1,24 @@
+#include "rdf/dictionary.h"
+
+#include "common/logging.h"
+
+namespace alex::rdf {
+
+TermId Dictionary::Intern(const Term& term) {
+  std::string key = term.EncodingKey();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  ALEX_CHECK(terms_.size() < kInvalidTermId) << "dictionary overflow";
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<TermId> Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(term.EncodingKey());
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace alex::rdf

@@ -1,0 +1,50 @@
+// Term dictionary: interns RDF terms to dense 32-bit ids.
+//
+// Every TripleStore owns a Dictionary; triples are stored as id triples and
+// all indexes operate on ids. Ids are dense, starting at 0, so they can be
+// used directly as vector indexes.
+#ifndef ALEX_RDF_DICTIONARY_H_
+#define ALEX_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace alex::rdf {
+
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTermId = 0xffffffffu;
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Movable but not copyable (can hold millions of strings).
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  // Returns the id for `term`, interning it if new.
+  TermId Intern(const Term& term);
+
+  // Returns the id of `term` if present.
+  std::optional<TermId> Lookup(const Term& term) const;
+
+  // Returns the term for `id`. `id` must be valid.
+  const Term& term(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::vector<Term> terms_;
+  std::unordered_map<std::string, TermId> index_;  // EncodingKey -> id
+};
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_DICTIONARY_H_

@@ -1,0 +1,32 @@
+#include "rdf/entity_view.h"
+
+namespace alex::rdf {
+
+Entity GetEntity(const TripleStore& store, TermId subject) {
+  Entity entity;
+  entity.subject = subject;
+  for (const Triple& t : store.Match(subject, std::nullopt, std::nullopt)) {
+    entity.attributes.push_back(Attribute{t.predicate, t.object});
+  }
+  return entity;
+}
+
+std::vector<Entity> AllEntities(const TripleStore& store) {
+  std::vector<Entity> entities;
+  std::vector<Triple> all = store.Match(std::nullopt, std::nullopt,
+                                        std::nullopt);
+  // `all` is in SPO order: group consecutive runs by subject.
+  for (size_t i = 0; i < all.size();) {
+    Entity entity;
+    entity.subject = all[i].subject;
+    while (i < all.size() && all[i].subject == entity.subject) {
+      entity.attributes.push_back(
+          Attribute{all[i].predicate, all[i].object});
+      ++i;
+    }
+    entities.push_back(std::move(entity));
+  }
+  return entities;
+}
+
+}  // namespace alex::rdf

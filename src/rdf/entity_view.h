@@ -1,0 +1,33 @@
+// Entity views: an entity is a subject IRI together with its attributes,
+// where an attribute is a (predicate, object) pair (paper §1: "Each entity
+// has a set of attributes (RDF predicates), and values corresponding to
+// these attributes (RDF objects)").
+#ifndef ALEX_RDF_ENTITY_VIEW_H_
+#define ALEX_RDF_ENTITY_VIEW_H_
+
+#include <vector>
+
+#include "rdf/triple_store.h"
+
+namespace alex::rdf {
+
+struct Attribute {
+  TermId predicate = kInvalidTermId;
+  TermId object = kInvalidTermId;
+};
+
+// A materialized entity: subject id plus all of its attributes, in SPO order.
+struct Entity {
+  TermId subject = kInvalidTermId;
+  std::vector<Attribute> attributes;
+};
+
+// Materializes the entity rooted at `subject`.
+Entity GetEntity(const TripleStore& store, TermId subject);
+
+// Materializes every entity in the store (one per distinct subject).
+std::vector<Entity> AllEntities(const TripleStore& store);
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_ENTITY_VIEW_H_

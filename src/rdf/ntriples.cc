@@ -1,0 +1,283 @@
+#include "rdf/ntriples.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace alex::rdf {
+namespace {
+
+constexpr std::string_view kXsdPrefix = "http://www.w3.org/2001/XMLSchema#";
+
+// Cursor over one line.
+struct Cursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+  void SkipSpace() {
+    while (!AtEnd() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  }
+};
+
+Status UnescapeInto(std::string_view raw, std::string* out) {
+  out->clear();
+  out->reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    char c = raw[i];
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (i + 1 >= raw.size()) {
+      return Status::ParseError("dangling escape in literal");
+    }
+    char e = raw[++i];
+    switch (e) {
+      case 't':
+        out->push_back('\t');
+        break;
+      case 'n':
+        out->push_back('\n');
+        break;
+      case 'r':
+        out->push_back('\r');
+        break;
+      case '"':
+        out->push_back('"');
+        break;
+      case '\\':
+        out->push_back('\\');
+        break;
+      default:
+        return Status::ParseError("unsupported escape sequence");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Term> ParseTerm(Cursor* cur) {
+  cur->SkipSpace();
+  if (cur->AtEnd()) return Status::ParseError("unexpected end of line");
+  char c = cur->Peek();
+  if (c == '<') {
+    size_t close = cur->text.find('>', cur->pos);
+    if (close == std::string_view::npos) {
+      return Status::ParseError("unterminated IRI");
+    }
+    std::string iri(cur->text.substr(cur->pos + 1, close - cur->pos - 1));
+    cur->pos = close + 1;
+    return Term::Iri(std::move(iri));
+  }
+  if (c == '_') {
+    if (cur->pos + 1 >= cur->text.size() || cur->text[cur->pos + 1] != ':') {
+      return Status::ParseError("malformed blank node");
+    }
+    size_t start = cur->pos + 2;
+    size_t end = start;
+    while (end < cur->text.size() && cur->text[end] != ' ' &&
+           cur->text[end] != '\t') {
+      ++end;
+    }
+    std::string label(cur->text.substr(start, end - start));
+    cur->pos = end;
+    return Term::Blank(std::move(label));
+  }
+  if (c == '"') {
+    // Find the closing unescaped quote.
+    size_t i = cur->pos + 1;
+    while (i < cur->text.size()) {
+      if (cur->text[i] == '\\') {
+        i += 2;
+        continue;
+      }
+      if (cur->text[i] == '"') break;
+      ++i;
+    }
+    if (i >= cur->text.size()) {
+      return Status::ParseError("unterminated literal");
+    }
+    std::string value;
+    Status st =
+        UnescapeInto(cur->text.substr(cur->pos + 1, i - cur->pos - 1), &value);
+    if (!st.ok()) return st;
+    cur->pos = i + 1;
+    // Optional language tag or datatype.
+    if (!cur->AtEnd() && cur->Peek() == '@') {
+      size_t end = cur->pos;
+      while (end < cur->text.size() && cur->text[end] != ' ' &&
+             cur->text[end] != '\t') {
+        ++end;
+      }
+      cur->pos = end;  // Language tags are dropped; value kept as string.
+      return Term::StringLiteral(std::move(value));
+    }
+    if (cur->pos + 1 < cur->text.size() && cur->Peek() == '^' &&
+        cur->text[cur->pos + 1] == '^') {
+      cur->pos += 2;
+      if (cur->AtEnd() || cur->Peek() != '<') {
+        return Status::ParseError("malformed datatype IRI");
+      }
+      size_t close = cur->text.find('>', cur->pos);
+      if (close == std::string_view::npos) {
+        return Status::ParseError("unterminated datatype IRI");
+      }
+      std::string_view dt =
+          cur->text.substr(cur->pos + 1, close - cur->pos - 1);
+      cur->pos = close + 1;
+      if (StartsWith(dt, kXsdPrefix)) {
+        std::string_view local = dt.substr(kXsdPrefix.size());
+        if (local == "integer" || local == "int" || local == "long") {
+          long long iv = 0;
+          if (ParseInt64(value, &iv)) return Term::IntegerLiteral(iv);
+        } else if (local == "double" || local == "float" ||
+                   local == "decimal") {
+          double dv = 0.0;
+          if (ParseDouble(value, &dv)) return Term::DoubleLiteral(dv);
+        } else if (local == "date" || local == "dateTime") {
+          int y, m, d;
+          if (ParseIsoDate(std::string_view(value).substr(
+                               0, std::min<size_t>(10, value.size())),
+                           &y, &m, &d)) {
+            return Term::DateLiteral(value.substr(0, 10));
+          }
+        } else if (local == "boolean") {
+          return Term::BooleanLiteral(value == "true" || value == "1");
+        }
+      }
+      return Term::StringLiteral(std::move(value));
+    }
+    return Term::StringLiteral(std::move(value));
+  }
+  return Status::ParseError(std::string("unexpected character '") + c + "'");
+}
+
+Status ParseLine(std::string_view line, TripleStore* store) {
+  Cursor cur{line, 0};
+  Result<Term> s = ParseTerm(&cur);
+  if (!s.ok()) return s.status();
+  if (!s->is_iri() && !s->is_blank()) {
+    return Status::ParseError("subject must be an IRI or blank node");
+  }
+  Result<Term> p = ParseTerm(&cur);
+  if (!p.ok()) return p.status();
+  if (!p->is_iri()) return Status::ParseError("predicate must be an IRI");
+  Result<Term> o = ParseTerm(&cur);
+  if (!o.ok()) return o.status();
+  cur.SkipSpace();
+  if (cur.AtEnd() || cur.Peek() != '.') {
+    return Status::ParseError("missing terminating '.'");
+  }
+  store->Add(s.value(), p.value(), o.value());
+  return Status::Ok();
+}
+
+std::string EscapeLiteral(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  for (char c : value) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status ParseNTriples(std::string_view text, TripleStore* store) {
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view line = nl == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    ++line_no;
+    std::string_view stripped = StripAsciiWhitespace(line);
+    if (!stripped.empty() && stripped[0] != '#') {
+      Status st = ParseLine(stripped, store);
+      if (!st.ok()) {
+        return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                  st.message());
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return Status::Ok();
+}
+
+Status LoadNTriplesFile(const std::string& path, TripleStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseNTriples(buf.str(), store);
+}
+
+std::string TermToNTriples(const Term& term) {
+  switch (term.kind()) {
+    case TermKind::kIri:
+      return "<" + term.lexical() + ">";
+    case TermKind::kBlank:
+      return "_:" + term.lexical();
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeLiteral(term.lexical()) + "\"";
+      switch (term.literal_type()) {
+        case LiteralType::kString:
+          break;
+        case LiteralType::kInteger:
+          out += "^^<http://www.w3.org/2001/XMLSchema#integer>";
+          break;
+        case LiteralType::kDouble:
+          out += "^^<http://www.w3.org/2001/XMLSchema#double>";
+          break;
+        case LiteralType::kDate:
+          out += "^^<http://www.w3.org/2001/XMLSchema#date>";
+          break;
+        case LiteralType::kBoolean:
+          out += "^^<http://www.w3.org/2001/XMLSchema#boolean>";
+          break;
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string WriteNTriples(const TripleStore& store) {
+  std::string out;
+  const Dictionary& dict = store.dictionary();
+  for (const Triple& t :
+       store.Match(std::nullopt, std::nullopt, std::nullopt)) {
+    out += TermToNTriples(dict.term(t.subject));
+    out += " ";
+    out += TermToNTriples(dict.term(t.predicate));
+    out += " ";
+    out += TermToNTriples(dict.term(t.object));
+    out += " .\n";
+  }
+  return out;
+}
+
+}  // namespace alex::rdf

@@ -1,0 +1,34 @@
+// N-Triples reader and writer.
+//
+// Supports the line-based N-Triples syntax with IRIs, blank nodes, plain and
+// typed literals (xsd:integer, xsd:double, xsd:date, xsd:boolean map onto the
+// Term literal types; anything else is kept as a string literal), and the
+// \t \n \r \" \\ escapes.
+#ifndef ALEX_RDF_NTRIPLES_H_
+#define ALEX_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/triple_store.h"
+
+namespace alex::rdf {
+
+// Parses one N-Triples document (possibly many lines) into `store`.
+// Blank lines and '#' comment lines are skipped. Stops at the first
+// malformed line and reports its number.
+Status ParseNTriples(std::string_view text, TripleStore* store);
+
+// Reads an N-Triples file from disk into `store`.
+Status LoadNTriplesFile(const std::string& path, TripleStore* store);
+
+// Serializes the whole store as N-Triples.
+std::string WriteNTriples(const TripleStore& store);
+
+// Serializes one term in N-Triples syntax (escaping literals).
+std::string TermToNTriples(const Term& term);
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_NTRIPLES_H_

@@ -1,0 +1,199 @@
+#include "rdf/snapshot.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace alex::rdf {
+namespace {
+
+constexpr char kMagic[8] = {'A', 'L', 'E', 'X', 'S', 'N', 'P', '1'};
+
+void PutU8(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+void PutU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+void PutU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+void PutString(std::string* out, const std::string& value) {
+  PutU32(out, static_cast<uint32_t>(value.size()));
+  out->append(value);
+}
+
+// Bounds-checked little-endian reader.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool GetU8(uint8_t* value) {
+    if (pos_ + 1 > size_) return false;
+    *value = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool GetU32(uint32_t* value) {
+    if (pos_ + 4 > size_) return false;
+    *value = 0;
+    for (int i = 0; i < 4; ++i) {
+      *value |= static_cast<uint32_t>(
+                    static_cast<uint8_t>(data_[pos_ + i]))
+                << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool GetU64(uint64_t* value) {
+    if (pos_ + 8 > size_) return false;
+    *value = 0;
+    for (int i = 0; i < 8; ++i) {
+      *value |= static_cast<uint64_t>(
+                    static_cast<uint8_t>(data_[pos_ + i]))
+                << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool GetString(std::string* value) {
+    uint32_t length = 0;
+    if (!GetU32(&length)) return false;
+    if (pos_ + length > size_) return false;
+    value->assign(data_ + pos_, length);
+    pos_ += length;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Term MakeTerm(uint8_t kind, uint8_t literal_type, std::string lexical) {
+  switch (static_cast<TermKind>(kind)) {
+    case TermKind::kIri:
+      return Term::Iri(std::move(lexical));
+    case TermKind::kBlank:
+      return Term::Blank(std::move(lexical));
+    case TermKind::kLiteral:
+      switch (static_cast<LiteralType>(literal_type)) {
+        case LiteralType::kString:
+          return Term::StringLiteral(std::move(lexical));
+        case LiteralType::kInteger: {
+          long long value = 0;
+          ParseInt64(lexical, &value);
+          return Term::IntegerLiteral(value);
+        }
+        case LiteralType::kDouble: {
+          double value = 0.0;
+          ParseDouble(lexical, &value);
+          return Term::DoubleLiteral(value);
+        }
+        case LiteralType::kDate:
+          return Term::DateLiteral(std::move(lexical));
+        case LiteralType::kBoolean:
+          return Term::BooleanLiteral(lexical == "true" || lexical == "1");
+      }
+      return Term::StringLiteral(std::move(lexical));
+  }
+  return Term::StringLiteral(std::move(lexical));
+}
+
+}  // namespace
+
+Status SaveStoreSnapshot(const TripleStore& store,
+                         const std::string& path) {
+  std::string buffer;
+  buffer.append(kMagic, sizeof(kMagic));
+  PutString(&buffer, store.name());
+
+  const Dictionary& dict = store.dictionary();
+  PutU32(&buffer, static_cast<uint32_t>(dict.size()));
+  for (TermId id = 0; id < dict.size(); ++id) {
+    const Term& term = dict.term(id);
+    PutU8(&buffer, static_cast<uint8_t>(term.kind()));
+    PutU8(&buffer, static_cast<uint8_t>(term.literal_type()));
+    PutString(&buffer, term.lexical());
+  }
+
+  std::vector<Triple> triples =
+      store.Match(std::nullopt, std::nullopt, std::nullopt);
+  PutU64(&buffer, triples.size());
+  for (const Triple& t : triples) {
+    PutU32(&buffer, t.subject);
+    PutU32(&buffer, t.predicate);
+    PutU32(&buffer, t.object);
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<TripleStore> LoadStoreSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::string buffer((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  if (buffer.size() < sizeof(kMagic) ||
+      std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("not an ALEX snapshot: " + path);
+  }
+  Reader body(buffer.data() + sizeof(kMagic),
+              buffer.size() - sizeof(kMagic));
+  std::string name;
+  if (!body.GetString(&name)) return Status::ParseError("truncated name");
+  TripleStore store(name);
+
+  uint32_t term_count = 0;
+  if (!body.GetU32(&term_count)) {
+    return Status::ParseError("truncated term count");
+  }
+  for (uint32_t i = 0; i < term_count; ++i) {
+    uint8_t kind = 0, literal_type = 0;
+    std::string lexical;
+    if (!body.GetU8(&kind) || !body.GetU8(&literal_type) ||
+        !body.GetString(&lexical)) {
+      return Status::ParseError("truncated term table");
+    }
+    if (kind > static_cast<uint8_t>(TermKind::kLiteral) ||
+        literal_type > static_cast<uint8_t>(LiteralType::kBoolean)) {
+      return Status::ParseError("corrupt term tags");
+    }
+    TermId id =
+        store.InternTerm(MakeTerm(kind, literal_type, std::move(lexical)));
+    if (id != i) {
+      return Status::ParseError("duplicate term in snapshot dictionary");
+    }
+  }
+
+  uint64_t triple_count = 0;
+  if (!body.GetU64(&triple_count)) {
+    return Status::ParseError("truncated triple count");
+  }
+  for (uint64_t i = 0; i < triple_count; ++i) {
+    uint32_t s = 0, p = 0, o = 0;
+    if (!body.GetU32(&s) || !body.GetU32(&p) || !body.GetU32(&o)) {
+      return Status::ParseError("truncated triples");
+    }
+    if (s >= term_count || p >= term_count || o >= term_count) {
+      return Status::ParseError("triple references unknown term");
+    }
+    store.Add(s, p, o);
+  }
+  if (!body.AtEnd()) return Status::ParseError("trailing bytes in snapshot");
+  return store;
+}
+
+}  // namespace alex::rdf

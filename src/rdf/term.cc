@@ -1,0 +1,166 @@
+#include "rdf/term.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace alex::rdf {
+
+const char* TermKindName(TermKind kind) {
+  switch (kind) {
+    case TermKind::kIri:
+      return "iri";
+    case TermKind::kBlank:
+      return "blank";
+    case TermKind::kLiteral:
+      return "literal";
+  }
+  return "unknown";
+}
+
+const char* LiteralTypeName(LiteralType type) {
+  switch (type) {
+    case LiteralType::kString:
+      return "string";
+    case LiteralType::kInteger:
+      return "integer";
+    case LiteralType::kDouble:
+      return "double";
+    case LiteralType::kDate:
+      return "date";
+    case LiteralType::kBoolean:
+      return "boolean";
+  }
+  return "unknown";
+}
+
+Term Term::Iri(std::string iri) {
+  Term t;
+  t.kind_ = TermKind::kIri;
+  t.lexical_ = std::move(iri);
+  return t;
+}
+
+Term Term::Blank(std::string label) {
+  Term t;
+  t.kind_ = TermKind::kBlank;
+  t.lexical_ = std::move(label);
+  return t;
+}
+
+Term Term::StringLiteral(std::string value) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.literal_type_ = LiteralType::kString;
+  t.lexical_ = std::move(value);
+  return t;
+}
+
+Term Term::IntegerLiteral(int64_t value) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.literal_type_ = LiteralType::kInteger;
+  t.lexical_ = std::to_string(value);
+  return t;
+}
+
+Term Term::DoubleLiteral(double value) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.literal_type_ = LiteralType::kDouble;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  t.lexical_ = buf;
+  return t;
+}
+
+Term Term::BooleanLiteral(bool value) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.literal_type_ = LiteralType::kBoolean;
+  t.lexical_ = value ? "true" : "false";
+  return t;
+}
+
+Term Term::DateLiteral(std::string iso_date) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.literal_type_ = LiteralType::kDate;
+  t.lexical_ = std::move(iso_date);
+  return t;
+}
+
+int64_t Term::AsInteger() const {
+  long long value = 0;
+  if (!ParseInt64(lexical_, &value)) return 0;
+  return value;
+}
+
+double Term::AsDouble() const {
+  double value = 0.0;
+  if (!ParseDouble(lexical_, &value)) return 0.0;
+  return value;
+}
+
+bool Term::AsBoolean() const { return lexical_ == "true" || lexical_ == "1"; }
+
+int64_t Term::AsDateDays() const {
+  int year = 1970, month = 1, day = 1;
+  if (!ParseIsoDate(lexical_, &year, &month, &day)) return 0;
+  return CivilDateToDays(year, month, day);
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case TermKind::kIri:
+      return "<" + lexical_ + ">";
+    case TermKind::kBlank:
+      return "_:" + lexical_;
+    case TermKind::kLiteral:
+      if (literal_type_ == LiteralType::kString) return "\"" + lexical_ + "\"";
+      return "\"" + lexical_ + "\"^^" + LiteralTypeName(literal_type_);
+  }
+  return lexical_;
+}
+
+std::string Term::EncodingKey() const {
+  std::string key;
+  key.reserve(lexical_.size() + 2);
+  key.push_back(static_cast<char>('0' + static_cast<int>(kind_)));
+  key.push_back(static_cast<char>('0' + static_cast<int>(literal_type_)));
+  key.append(lexical_);
+  return key;
+}
+
+int64_t CivilDateToDays(int year, int month, int day) {
+  // Howard Hinnant's days_from_civil algorithm.
+  year -= month <= 2;
+  const int era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);  // [0, 399]
+  const unsigned doy =
+      (153u * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(day) - 1;                      // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0, 146096]
+  return static_cast<int64_t>(era) * 146097 +
+         static_cast<int64_t>(doe) - 719468;
+}
+
+bool ParseIsoDate(std::string_view s, int* year, int* month, int* day) {
+  if (s.size() != 10 || s[4] != '-' || s[7] != '-') return false;
+  auto digits = [](std::string_view part, int* out) {
+    int value = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + (c - '0');
+    }
+    *out = value;
+    return true;
+  };
+  if (!digits(s.substr(0, 4), year)) return false;
+  if (!digits(s.substr(5, 2), month)) return false;
+  if (!digits(s.substr(8, 2), day)) return false;
+  return *month >= 1 && *month <= 12 && *day >= 1 && *day <= 31;
+}
+
+}  // namespace alex::rdf

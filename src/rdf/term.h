@@ -1,0 +1,100 @@
+// RDF term model.
+//
+// A Term is an IRI, a blank node, or a typed literal. Literals carry a
+// lexical form plus a coarse value type (string / integer / double / date /
+// boolean) that the similarity library uses to dispatch to a type-appropriate
+// similarity function (paper §4.1: "ALEX uses a generic similarity function
+// that depends on the type of the attributes to be compared").
+#ifndef ALEX_RDF_TERM_H_
+#define ALEX_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace alex::rdf {
+
+enum class TermKind : uint8_t { kIri = 0, kBlank = 1, kLiteral = 2 };
+
+enum class LiteralType : uint8_t {
+  kString = 0,
+  kInteger = 1,
+  kDouble = 2,
+  kDate = 3,
+  kBoolean = 4,
+};
+
+// Returns a printable name ("iri", "literal", ...).
+const char* TermKindName(TermKind kind);
+const char* LiteralTypeName(LiteralType type);
+
+// Value-semantic RDF term.
+class Term {
+ public:
+  Term() = default;
+
+  static Term Iri(std::string iri);
+  static Term Blank(std::string label);
+  static Term StringLiteral(std::string value);
+  static Term IntegerLiteral(int64_t value);
+  static Term DoubleLiteral(double value);
+  static Term BooleanLiteral(bool value);
+  // `iso_date` must look like YYYY-MM-DD; no validation of day ranges.
+  static Term DateLiteral(std::string iso_date);
+
+  TermKind kind() const { return kind_; }
+  bool is_iri() const { return kind_ == TermKind::kIri; }
+  bool is_blank() const { return kind_ == TermKind::kBlank; }
+  bool is_literal() const { return kind_ == TermKind::kLiteral; }
+
+  // For IRIs the IRI string, for blank nodes the label, for literals the
+  // lexical form.
+  const std::string& lexical() const { return lexical_; }
+
+  // Only meaningful for literals.
+  LiteralType literal_type() const { return literal_type_; }
+
+  // Parses the lexical form as the typed value. Only valid for literals of
+  // the matching type.
+  int64_t AsInteger() const;
+  double AsDouble() const;
+  bool AsBoolean() const;
+  // Days since 1970-01-01 (proleptic Gregorian, civil calendar).
+  int64_t AsDateDays() const;
+
+  // N-Triples-ish rendering: <iri>, _:b, "literal"^^<type>.
+  std::string ToString() const;
+
+  // A stable encoding usable as a hash/map key; distinct terms have distinct
+  // keys.
+  std::string EncodingKey() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind_ == b.kind_ && a.literal_type_ == b.literal_type_ &&
+           a.lexical_ == b.lexical_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    if (a.literal_type_ != b.literal_type_)
+      return a.literal_type_ < b.literal_type_;
+    return a.lexical_ < b.lexical_;
+  }
+
+ private:
+  TermKind kind_ = TermKind::kIri;
+  LiteralType literal_type_ = LiteralType::kString;
+  std::string lexical_;
+};
+
+// Converts a civil date to days since the Unix epoch.
+int64_t CivilDateToDays(int year, int month, int day);
+
+// Parses "YYYY-MM-DD". Returns false on malformed input.
+bool ParseIsoDate(std::string_view s, int* year, int* month, int* day);
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_TERM_H_

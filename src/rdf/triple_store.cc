@@ -1,0 +1,140 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+
+namespace alex::rdf {
+namespace {
+
+struct SpoLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.subject != b.subject) return a.subject < b.subject;
+    if (a.predicate != b.predicate) return a.predicate < b.predicate;
+    return a.object < b.object;
+  }
+};
+
+struct PosLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.predicate != b.predicate) return a.predicate < b.predicate;
+    if (a.object != b.object) return a.object < b.object;
+    return a.subject < b.subject;
+  }
+};
+
+struct OspLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.object != b.object) return a.object < b.object;
+    if (a.subject != b.subject) return a.subject < b.subject;
+    return a.predicate < b.predicate;
+  }
+};
+
+// Returns the [first, last) range of `index` matching the bound prefix
+// under comparator Less, scanning for any residual bound positions.
+template <typename Less>
+void CollectRange(const std::vector<Triple>& index, const Triple& lo,
+                  const Triple& hi, TermPattern s, TermPattern p,
+                  TermPattern o, std::vector<Triple>* out) {
+  auto first = std::lower_bound(index.begin(), index.end(), lo, Less());
+  auto last = std::upper_bound(index.begin(), index.end(), hi, Less());
+  for (auto it = first; it != last; ++it) {
+    if (s && it->subject != *s) continue;
+    if (p && it->predicate != *p) continue;
+    if (o && it->object != *o) continue;
+    out->push_back(*it);
+  }
+}
+
+}  // namespace
+
+void TripleStore::Add(TermId s, TermId p, TermId o) {
+  spo_.push_back(Triple{s, p, o});
+  dirty_ = true;
+}
+
+void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
+  Add(dictionary_.Intern(s), dictionary_.Intern(p), dictionary_.Intern(o));
+}
+
+size_t TripleStore::size() const {
+  EnsureIndexes();
+  return spo_.size();
+}
+
+void TripleStore::EnsureIndexes() const {
+  if (!dirty_) return;
+  std::sort(spo_.begin(), spo_.end(), SpoLess());
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), PosLess());
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OspLess());
+  dirty_ = false;
+}
+
+std::vector<Triple> TripleStore::Match(TermPattern s, TermPattern p,
+                                       TermPattern o) const {
+  EnsureIndexes();
+  std::vector<Triple> out;
+  const TermId kMin = 0;
+  const TermId kMax = kInvalidTermId;
+  if (s) {
+    // SPO index: prefix (s) or (s,p).
+    Triple lo{*s, p.value_or(kMin), (p && o) ? *o : kMin};
+    Triple hi{*s, p.value_or(kMax), (p && o) ? *o : kMax};
+    CollectRange<SpoLess>(spo_, lo, hi, s, p, o, &out);
+  } else if (p) {
+    // POS index: prefix (p) or (p,o).
+    Triple lo{kMin, *p, o.value_or(kMin)};
+    Triple hi{kMax, *p, o.value_or(kMax)};
+    CollectRange<PosLess>(pos_, lo, hi, s, p, o, &out);
+  } else if (o) {
+    // OSP index: prefix (o).
+    Triple lo{kMin, kMin, *o};
+    Triple hi{kMax, kMax, *o};
+    CollectRange<OspLess>(osp_, lo, hi, s, p, o, &out);
+  } else {
+    out = spo_;
+  }
+  return out;
+}
+
+bool TripleStore::Contains(TermId s, TermId p, TermId o) const {
+  EnsureIndexes();
+  Triple probe{s, p, o};
+  return std::binary_search(spo_.begin(), spo_.end(), probe, SpoLess());
+}
+
+std::vector<TermId> TripleStore::Subjects() const {
+  EnsureIndexes();
+  std::vector<TermId> out;
+  TermId last = kInvalidTermId;
+  for (const Triple& t : spo_) {
+    if (t.subject != last) {
+      out.push_back(t.subject);
+      last = t.subject;
+    }
+  }
+  return out;
+}
+
+std::vector<TermId> TripleStore::Predicates() const {
+  EnsureIndexes();
+  std::vector<TermId> out;
+  TermId last = kInvalidTermId;
+  for (const Triple& t : pos_) {
+    if (t.predicate != last) {
+      out.push_back(t.predicate);
+      last = t.predicate;
+    }
+  }
+  return out;
+}
+
+std::vector<TermId> TripleStore::Objects(TermId s, TermId p) const {
+  std::vector<TermId> out;
+  for (const Triple& t : Match(s, p, std::nullopt)) out.push_back(t.object);
+  return out;
+}
+
+}  // namespace alex::rdf

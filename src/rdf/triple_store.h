@@ -1,0 +1,93 @@
+// In-memory RDF triple store with three orderings (SPO, POS, OSP).
+//
+// Triples are added with Add(); indexes are (re)built lazily on the first
+// read after a write. Pattern matching accepts an optional id for each
+// position and streams matching triples.
+//
+// Example:
+//   TripleStore store("dbpedia");
+//   TermId s = store.InternTerm(Term::Iri("http://ex/lebron"));
+//   TermId p = store.InternTerm(Term::Iri("http://ex/name"));
+//   TermId o = store.InternTerm(Term::StringLiteral("LeBron James"));
+//   store.Add(s, p, o);
+//   for (const Triple& t : store.Match(s, std::nullopt, std::nullopt)) ...
+#ifndef ALEX_RDF_TRIPLE_STORE_H_
+#define ALEX_RDF_TRIPLE_STORE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace alex::rdf {
+
+struct Triple {
+  TermId subject = kInvalidTermId;
+  TermId predicate = kInvalidTermId;
+  TermId object = kInvalidTermId;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.predicate == b.predicate &&
+           a.object == b.object;
+  }
+};
+
+// An optionally-bound pattern position.
+using TermPattern = std::optional<TermId>;
+
+class TripleStore {
+ public:
+  explicit TripleStore(std::string name) : name_(std::move(name)) {}
+
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  Dictionary& dictionary() { return dictionary_; }
+  const Dictionary& dictionary() const { return dictionary_; }
+
+  // Interns `term` into this store's dictionary.
+  TermId InternTerm(const Term& term) { return dictionary_.Intern(term); }
+
+  // Adds a triple (duplicates are kept out at index build time).
+  void Add(TermId s, TermId p, TermId o);
+  // Convenience overload interning the three terms.
+  void Add(const Term& s, const Term& p, const Term& o);
+
+  // Number of distinct triples. Builds indexes if dirty.
+  size_t size() const;
+
+  // All triples matching the pattern, in SPO order of the chosen index.
+  std::vector<Triple> Match(TermPattern s, TermPattern p, TermPattern o) const;
+
+  // True if the fully-bound triple exists.
+  bool Contains(TermId s, TermId p, TermId o) const;
+
+  // Distinct subject ids that appear in subject position of any triple.
+  std::vector<TermId> Subjects() const;
+
+  // Distinct predicate ids.
+  std::vector<TermId> Predicates() const;
+
+  // Objects of (s, p, *) — frequent access path for entity views.
+  std::vector<TermId> Objects(TermId s, TermId p) const;
+
+ private:
+  void EnsureIndexes() const;
+
+  std::string name_;
+  Dictionary dictionary_;
+  mutable std::vector<Triple> spo_;  // also the canonical triple list
+  mutable std::vector<Triple> pos_;
+  mutable std::vector<Triple> osp_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_TRIPLE_STORE_H_

@@ -1,0 +1,430 @@
+#include "rdf/turtle.h"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+#include "rdf/ntriples.h"
+
+namespace alex::rdf {
+namespace {
+
+constexpr std::string_view kXsd = "http://www.w3.org/2001/XMLSchema#";
+constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+class TurtleParser {
+ public:
+  TurtleParser(std::string_view text, TripleStore* store)
+      : text_(text), store_(store) {}
+
+  Status Run() {
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) return Status::Ok();
+      ALEX_RETURN_IF_ERROR(ParseStatement());
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char PeekAt(size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (text_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError("line " + std::to_string(line_) + ": " +
+                              message);
+  }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    // Case-insensitive match followed by a non-name character.
+    if (pos_ + keyword.size() > text_.size()) return false;
+    for (size_t i = 0; i < keyword.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::tolower(static_cast<unsigned char>(keyword[i]))) {
+        return false;
+      }
+    }
+    char next = PeekAt(keyword.size());
+    if (std::isalnum(static_cast<unsigned char>(next)) || next == '_') {
+      return false;
+    }
+    for (size_t i = 0; i < keyword.size(); ++i) Advance();
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipWhitespaceAndComments();
+    if (AtEnd() || Peek() != c) return false;
+    Advance();
+    return true;
+  }
+
+  Status ParseStatement() {
+    if (Peek() == '@') {
+      Advance();
+      if (ConsumeKeyword("prefix")) {
+        ALEX_RETURN_IF_ERROR(ParsePrefixDirective());
+        if (!ConsumeChar('.')) return Error("expected '.' after @prefix");
+        return Status::Ok();
+      }
+      if (ConsumeKeyword("base")) {
+        ALEX_RETURN_IF_ERROR(ParseBaseDirective());
+        if (!ConsumeChar('.')) return Error("expected '.' after @base");
+        return Status::Ok();
+      }
+      return Error("unknown @directive");
+    }
+    // SPARQL-style directives (no trailing dot).
+    size_t saved = pos_;
+    size_t saved_line = line_;
+    if (ConsumeKeyword("prefix")) {
+      Status st = ParsePrefixDirective();
+      if (st.ok()) return st;
+      pos_ = saved;
+      line_ = saved_line;
+    } else if (ConsumeKeyword("base")) {
+      Status st = ParseBaseDirective();
+      if (st.ok()) return st;
+      pos_ = saved;
+      line_ = saved_line;
+    }
+    return ParseTriples();
+  }
+
+  Status ParsePrefixDirective() {
+    SkipWhitespaceAndComments();
+    std::string name;
+    while (!AtEnd() && Peek() != ':' &&
+           !std::isspace(static_cast<unsigned char>(Peek()))) {
+      name.push_back(Peek());
+      Advance();
+    }
+    if (AtEnd() || Peek() != ':') return Error("expected ':' in prefix");
+    Advance();
+    SkipWhitespaceAndComments();
+    Result<std::string> iri = ParseIriRef();
+    if (!iri.ok()) return iri.status();
+    prefixes_[name] = iri.value();
+    return Status::Ok();
+  }
+
+  Status ParseBaseDirective() {
+    SkipWhitespaceAndComments();
+    Result<std::string> iri = ParseIriRef();
+    if (!iri.ok()) return iri.status();
+    base_ = iri.value();
+    return Status::Ok();
+  }
+
+  // `<...>` with relative resolution against @base.
+  Result<std::string> ParseIriRef() {
+    if (AtEnd() || Peek() != '<') return Error("expected '<'");
+    Advance();
+    std::string iri;
+    while (!AtEnd() && Peek() != '>') {
+      if (Peek() == '\n') return Error("newline inside IRI");
+      iri.push_back(Peek());
+      Advance();
+    }
+    if (AtEnd()) return Error("unterminated IRI");
+    Advance();
+    if (iri.find("://") == std::string::npos && !base_.empty()) {
+      iri = base_ + iri;
+    }
+    return iri;
+  }
+
+  Result<Term> ParseSubject() {
+    SkipWhitespaceAndComments();
+    if (AtEnd()) return Error("expected subject");
+    char c = Peek();
+    if (c == '<') {
+      Result<std::string> iri = ParseIriRef();
+      if (!iri.ok()) return iri.status();
+      return Term::Iri(std::move(iri).value());
+    }
+    if (c == '_' && PeekAt(1) == ':') return ParseBlank();
+    if (c == '[') return Error("anonymous blank nodes are not supported");
+    if (c == '(') return Error("collections are not supported");
+    return ParsePrefixedName();
+  }
+
+  Result<Term> ParseBlank() {
+    Advance();  // _
+    Advance();  // :
+    std::string label;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_' || Peek() == '-')) {
+      label.push_back(Peek());
+      Advance();
+    }
+    if (label.empty()) return Error("empty blank node label");
+    return Term::Blank(std::move(label));
+  }
+
+  Result<Term> ParsePrefixedName() {
+    std::string prefix;
+    while (!AtEnd() && Peek() != ':' &&
+           (std::isalnum(static_cast<unsigned char>(Peek())) ||
+            Peek() == '_' || Peek() == '-' || Peek() == '.')) {
+      prefix.push_back(Peek());
+      Advance();
+    }
+    if (AtEnd() || Peek() != ':') {
+      return Error("expected prefixed name (got '" + prefix + "')");
+    }
+    Advance();
+    std::string local;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_' || Peek() == '-' || Peek() == '.')) {
+      local.push_back(Peek());
+      Advance();
+    }
+    // A trailing '.' is the statement terminator, not part of the name.
+    while (!local.empty() && local.back() == '.') {
+      local.pop_back();
+      --pos_;
+    }
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Error("unknown prefix '" + prefix + ":'");
+    }
+    return Term::Iri(it->second + local);
+  }
+
+  Result<Term> ParsePredicate() {
+    SkipWhitespaceAndComments();
+    if (AtEnd()) return Error("expected predicate");
+    if (Peek() == '<') {
+      Result<std::string> iri = ParseIriRef();
+      if (!iri.ok()) return iri.status();
+      return Term::Iri(std::move(iri).value());
+    }
+    if (Peek() == 'a') {
+      char next = PeekAt(1);
+      if (std::isspace(static_cast<unsigned char>(next))) {
+        Advance();
+        return Term::Iri(std::string(kRdfType));
+      }
+    }
+    return ParsePrefixedName();
+  }
+
+  Result<Term> ParseObject() {
+    SkipWhitespaceAndComments();
+    if (AtEnd()) return Error("expected object");
+    char c = Peek();
+    if (c == '<') {
+      Result<std::string> iri = ParseIriRef();
+      if (!iri.ok()) return iri.status();
+      return Term::Iri(std::move(iri).value());
+    }
+    if (c == '_' && PeekAt(1) == ':') return ParseBlank();
+    if (c == '"') return ParseQuotedLiteral();
+    if (c == '[') return Error("anonymous blank nodes are not supported");
+    if (c == '(') return Error("collections are not supported");
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+        c == '+') {
+      return ParseNumber();
+    }
+    if (ConsumeKeyword("true")) return Term::BooleanLiteral(true);
+    if (ConsumeKeyword("false")) return Term::BooleanLiteral(false);
+    return ParsePrefixedName();
+  }
+
+  Result<Term> ParseQuotedLiteral() {
+    if (PeekAt(1) == '"' && PeekAt(2) == '"') {
+      return Error("triple-quoted strings are not supported");
+    }
+    Advance();  // opening quote
+    std::string value;
+    while (!AtEnd() && Peek() != '"') {
+      char c = Peek();
+      if (c == '\\') {
+        Advance();
+        if (AtEnd()) return Error("dangling escape");
+        switch (Peek()) {
+          case 't':
+            value.push_back('\t');
+            break;
+          case 'n':
+            value.push_back('\n');
+            break;
+          case 'r':
+            value.push_back('\r');
+            break;
+          case '"':
+            value.push_back('"');
+            break;
+          case '\\':
+            value.push_back('\\');
+            break;
+          default:
+            return Error("unsupported escape");
+        }
+        Advance();
+      } else {
+        value.push_back(c);
+        Advance();
+      }
+    }
+    if (AtEnd()) return Error("unterminated string literal");
+    Advance();  // closing quote
+    // Language tag: kept as a plain string literal.
+    if (!AtEnd() && Peek() == '@') {
+      Advance();
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '-')) {
+        Advance();
+      }
+      return Term::StringLiteral(std::move(value));
+    }
+    // Datatype.
+    if (!AtEnd() && Peek() == '^' && PeekAt(1) == '^') {
+      Advance();
+      Advance();
+      std::string datatype;
+      if (!AtEnd() && Peek() == '<') {
+        Result<std::string> iri = ParseIriRef();
+        if (!iri.ok()) return iri.status();
+        datatype = std::move(iri).value();
+      } else {
+        Result<Term> name = ParsePrefixedName();
+        if (!name.ok()) return name.status();
+        datatype = name->lexical();
+      }
+      return TypedLiteral(std::move(value), datatype);
+    }
+    return Term::StringLiteral(std::move(value));
+  }
+
+  static Term TypedLiteral(std::string value, const std::string& datatype) {
+    if (StartsWith(datatype, kXsd)) {
+      std::string_view local = std::string_view(datatype).substr(kXsd.size());
+      long long iv = 0;
+      double dv = 0.0;
+      int y, m, d;
+      if ((local == "integer" || local == "int" || local == "long") &&
+          ParseInt64(value, &iv)) {
+        return Term::IntegerLiteral(iv);
+      }
+      if ((local == "double" || local == "float" || local == "decimal") &&
+          ParseDouble(value, &dv)) {
+        return Term::DoubleLiteral(dv);
+      }
+      if ((local == "date" || local == "dateTime") && value.size() >= 10 &&
+          ParseIsoDate(std::string_view(value).substr(0, 10), &y, &m, &d)) {
+        return Term::DateLiteral(value.substr(0, 10));
+      }
+      if (local == "boolean") {
+        return Term::BooleanLiteral(value == "true" || value == "1");
+      }
+    }
+    return Term::StringLiteral(std::move(value));
+  }
+
+  Result<Term> ParseNumber() {
+    std::string text;
+    if (Peek() == '-' || Peek() == '+') {
+      text.push_back(Peek());
+      Advance();
+    }
+    bool has_dot = false;
+    while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '.')) {
+      // A '.' followed by non-digit terminates the statement instead.
+      if (Peek() == '.') {
+        if (!std::isdigit(static_cast<unsigned char>(PeekAt(1)))) break;
+        has_dot = true;
+      }
+      text.push_back(Peek());
+      Advance();
+    }
+    if (text.empty() || text == "-" || text == "+") {
+      return Error("malformed number");
+    }
+    if (has_dot) {
+      double value = 0.0;
+      if (!ParseDouble(text, &value)) return Error("malformed decimal");
+      return Term::DoubleLiteral(value);
+    }
+    long long value = 0;
+    if (!ParseInt64(text, &value)) return Error("malformed integer");
+    return Term::IntegerLiteral(value);
+  }
+
+  Status ParseTriples() {
+    Result<Term> subject = ParseSubject();
+    if (!subject.ok()) return subject.status();
+    while (true) {
+      Result<Term> predicate = ParsePredicate();
+      if (!predicate.ok()) return predicate.status();
+      while (true) {
+        Result<Term> object = ParseObject();
+        if (!object.ok()) return object.status();
+        store_->Add(subject.value(), predicate.value(), object.value());
+        if (!ConsumeChar(',')) break;
+      }
+      if (!ConsumeChar(';')) break;
+      SkipWhitespaceAndComments();
+      // A dangling ';' directly before '.' is tolerated.
+      if (!AtEnd() && Peek() == '.') break;
+    }
+    if (!ConsumeChar('.')) return Error("expected '.' at end of triples");
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  TripleStore* store_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  std::map<std::string, std::string> prefixes_;
+  std::string base_;
+};
+
+}  // namespace
+
+Status ParseTurtle(std::string_view text, TripleStore* store) {
+  TurtleParser parser(text, store);
+  return parser.Run();
+}
+
+Status LoadTurtleFile(const std::string& path, TripleStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseTurtle(buf.str(), store);
+}
+
+Status LoadRdfFile(const std::string& path, TripleStore* store) {
+  if (EndsWith(path, ".ttl") || EndsWith(path, ".turtle")) {
+    return LoadTurtleFile(path, store);
+  }
+  return LoadNTriplesFile(path, store);
+}
+
+}  // namespace alex::rdf

@@ -1,0 +1,40 @@
+// Turtle (Terse RDF Triple Language) reader — the serialization most LOD
+// data sets actually ship in.
+//
+// Supported subset:
+//   * `@prefix p: <iri> .` and SPARQL-style `PREFIX p: <iri>` directives
+//   * `@base <iri> .` / `BASE <iri>` (resolved by plain concatenation for
+//     relative IRIs)
+//   * IRIs `<...>`, prefixed names `p:local`, blank nodes `_:label`
+//   * the `a` shorthand for rdf:type
+//   * literals: quoted strings with \t \n \r \" \\ escapes, language tags,
+//     `^^` datatypes (xsd numeric/date/boolean types map onto the Term
+//     literal types), bare integers / decimals / `true` / `false`
+//   * predicate lists with `;` and object lists with `,`
+//
+// Not supported (reported as parse errors): collections `( ... )`,
+// anonymous blank nodes `[ ... ]`, multi-line `"""..."""` strings.
+#ifndef ALEX_RDF_TURTLE_H_
+#define ALEX_RDF_TURTLE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/triple_store.h"
+
+namespace alex::rdf {
+
+// Parses a Turtle document into `store`. Errors carry 1-based line numbers.
+Status ParseTurtle(std::string_view text, TripleStore* store);
+
+// Reads a Turtle file from disk into `store`.
+Status LoadTurtleFile(const std::string& path, TripleStore* store);
+
+// Loads `path` by extension: .ttl/.turtle -> Turtle, anything else ->
+// N-Triples.
+Status LoadRdfFile(const std::string& path, TripleStore* store);
+
+}  // namespace alex::rdf
+
+#endif  // ALEX_RDF_TURTLE_H_

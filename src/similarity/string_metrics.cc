@@ -1,0 +1,96 @@
+#include "similarity/string_metrics.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace alex::sim {
+
+double NormalizedLevenshtein(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return 0.0;
+  // Two-row dynamic program.
+  std::vector<size_t> prev(m + 1);
+  std::vector<size_t> curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, curr);
+  }
+  double dist = static_cast<double>(prev[m]);
+  return 1.0 - dist / static_cast<double>(std::max(n, m));
+}
+
+double JaroWinkler(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  const int window = std::max(0, std::max(n, m) / 2 - 1);
+  std::vector<bool> a_match(n, false);
+  std::vector<bool> b_match(m, false);
+  int matches = 0;
+  for (int i = 0; i < n; ++i) {
+    int lo = std::max(0, i - window);
+    int hi = std::min(m - 1, i + window);
+    for (int j = lo; j <= hi; ++j) {
+      if (!b_match[j] && a[i] == b[j]) {
+        a_match[i] = true;
+        b_match[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  int transpositions = 0;
+  int j = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!a_match[i]) continue;
+    while (!b_match[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double mm = matches;
+  double jaro = (mm / n + mm / m + (mm - transpositions / 2.0) / mm) / 3.0;
+  // Winkler prefix bonus.
+  int prefix = 0;
+  for (int i = 0; i < std::min({n, m, 4}); ++i) {
+    if (a[i] != b[i]) break;
+    ++prefix;
+  }
+  return jaro + prefix * 0.1 * (1.0 - jaro);
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = SplitWordsNormalized(ToLowerAscii(a));
+  std::vector<std::string> tb = SplitWordsNormalized(ToLowerAscii(b));
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  std::unordered_set<std::string> sa(ta.begin(), ta.end());
+  std::unordered_set<std::string> sb(tb.begin(), tb.end());
+  size_t inter = 0;
+  for (const std::string& t : sa) {
+    if (sb.count(t) > 0) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double StringSimilarity(std::string_view a, std::string_view b) {
+  std::string la = ToLowerAscii(a);
+  std::string lb = ToLowerAscii(b);
+  return std::max(NormalizedLevenshtein(la, lb), TokenJaccard(la, lb));
+}
+
+}  // namespace alex::sim

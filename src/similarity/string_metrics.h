@@ -1,0 +1,27 @@
+// String similarity metrics, all returning scores in [0, 1].
+#ifndef ALEX_SIMILARITY_STRING_METRICS_H_
+#define ALEX_SIMILARITY_STRING_METRICS_H_
+
+#include <string_view>
+
+namespace alex::sim {
+
+// 1 - levenshtein(a, b) / max(|a|, |b|). Two empty strings score 1.
+double NormalizedLevenshtein(std::string_view a, std::string_view b);
+
+// Jaro-Winkler similarity with the standard prefix bonus (p = 0.1, max
+// prefix 4).
+double JaroWinkler(std::string_view a, std::string_view b);
+
+// Jaccard similarity of the whitespace-token sets of `a` and `b`,
+// case-insensitive. Two empty strings score 1.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+// The composite string similarity used by ALEX's generic similarity
+// function: case-insensitive max of NormalizedLevenshtein and TokenJaccard.
+// Robust both to typos (edit distance) and to word reordering (tokens).
+double StringSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace alex::sim
+
+#endif  // ALEX_SIMILARITY_STRING_METRICS_H_

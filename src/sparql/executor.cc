@@ -1,0 +1,337 @@
+#include "sparql/executor.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/strings.h"
+
+namespace alex::sparql {
+namespace {
+
+using rdf::TermId;
+using rdf::TermPattern;
+using rdf::Triple;
+using rdf::TripleStore;
+
+// Resolves a pattern node to a TermPattern for `store`. Returns false when
+// the node is a constant that does not exist in the store (no matches
+// possible).
+bool ResolveNode(const PatternNode& node, const Binding& binding,
+                 const TripleStore& store, TermPattern* out,
+                 bool* unmatchable) {
+  *unmatchable = false;
+  const rdf::Term* term = nullptr;
+  if (node.is_variable) {
+    auto it = binding.find(node.variable);
+    if (it == binding.end()) {
+      *out = std::nullopt;
+      return true;
+    }
+    term = &it->second;
+  } else {
+    term = &node.term;
+  }
+  std::optional<TermId> id = store.dictionary().Lookup(*term);
+  if (!id) {
+    *unmatchable = true;
+    return false;
+  }
+  *out = *id;
+  return true;
+}
+
+// True when every variable in `expr` is bound.
+bool FilterReady(const FilterExpr& expr, const Binding& binding) {
+  for (const auto& child : expr.children) {
+    if (!FilterReady(*child, binding)) return false;
+  }
+  for (const std::optional<PatternNode>* node_opt :
+       {&expr.lhs_node, &expr.rhs_node}) {
+    if (node_opt->has_value() && (*node_opt)->is_variable &&
+        binding.find((*node_opt)->variable) == binding.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Backtracking basic-graph-pattern matcher. Extends a binding over a list
+// of patterns, invoking `emit` for every complete solution. Early-applies
+// the query's filters as soon as their variables are bound.
+class Matcher {
+ public:
+  Matcher(const Query& query, const TripleStore& store)
+      : query_(query), store_(store) {}
+
+  // `stop` lets the caller cut enumeration short (LIMIT / max_rows / ASK).
+  Status Enumerate(std::vector<const TriplePattern*> remaining,
+                   Binding* binding, const std::function<Status()>& emit,
+                   const bool* stop) {
+    if (*stop) return Status::Ok();
+    if (remaining.empty()) return emit();
+    // Pick the most selective pattern (fewest unbound variables).
+    size_t best = 0;
+    int best_unbound = 4;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      int unbound = remaining[i]->UnboundCount(*binding);
+      if (unbound < best_unbound) {
+        best_unbound = unbound;
+        best = i;
+      }
+    }
+    const TriplePattern* pattern = remaining[best];
+    remaining.erase(remaining.begin() + best);
+
+    TermPattern s, p, o;
+    bool bad = false;
+    if (!ResolveNode(pattern->subject, *binding, store_, &s, &bad) && bad) {
+      return Status::Ok();
+    }
+    if (!ResolveNode(pattern->predicate, *binding, store_, &p, &bad) && bad) {
+      return Status::Ok();
+    }
+    if (!ResolveNode(pattern->object, *binding, store_, &o, &bad) && bad) {
+      return Status::Ok();
+    }
+    const rdf::Dictionary& dict = store_.dictionary();
+    for (const Triple& t : store_.Match(s, p, o)) {
+      if (*stop) break;
+      std::vector<std::string> added;
+      bool consistent = true;
+      auto bind = [&](const PatternNode& node, TermId id) {
+        if (!node.is_variable) return;
+        auto it = binding->find(node.variable);
+        const rdf::Term& term = dict.term(id);
+        if (it == binding->end()) {
+          binding->emplace(node.variable, term);
+          added.push_back(node.variable);
+        } else if (!(it->second == term)) {
+          consistent = false;
+        }
+      };
+      bind(pattern->subject, t.subject);
+      if (consistent) bind(pattern->predicate, t.predicate);
+      if (consistent) bind(pattern->object, t.object);
+      if (consistent && EarlyFiltersPass(*binding)) {
+        Status st = Enumerate(remaining, binding, emit, stop);
+        if (!st.ok()) return st;
+      }
+      for (const std::string& var : added) binding->erase(var);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  bool EarlyFiltersPass(const Binding& binding) const {
+    for (const auto& filter : query_.filters) {
+      if (FilterReady(*filter, binding) && !EvalFilter(*filter, binding)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const Query& query_;
+  const TripleStore& store_;
+};
+
+// Groups `rows` by the GROUP BY keys and evaluates the aggregate
+// projections per group. With no GROUP BY the whole input is one group
+// (even when empty: COUNT(*) of nothing is 0).
+std::vector<Binding> ApplyAggregates(const Query& query,
+                                     const std::vector<Binding>& rows) {
+  // Group rows (stable order of first appearance).
+  std::vector<std::pair<Binding, std::vector<const Binding*>>> groups;
+  std::map<std::string, size_t> index;
+  for (const Binding& row : rows) {
+    std::string key;
+    Binding key_binding;
+    for (const std::string& var : query.group_by) {
+      auto it = row.find(var);
+      if (it != row.end()) {
+        key += it->second.EncodingKey();
+        key_binding.emplace(var, it->second);
+      }
+      key += '\x01';
+    }
+    auto [slot, inserted] = index.emplace(key, groups.size());
+    if (inserted) groups.push_back({std::move(key_binding), {}});
+    groups[slot->second].second.push_back(&row);
+  }
+  if (groups.empty() && query.group_by.empty()) {
+    groups.push_back({Binding{}, {}});  // global aggregate over zero rows
+  }
+
+  std::vector<Binding> out;
+  out.reserve(groups.size());
+  for (const auto& [key_binding, members] : groups) {
+    Binding result = key_binding;
+    for (const Aggregate& agg : query.aggregates) {
+      if (agg.kind == Aggregate::Kind::kCount) {
+        size_t count = 0;
+        for (const Binding* row : members) {
+          if (agg.variable.empty() || row->count(agg.variable) > 0) ++count;
+        }
+        result.emplace(agg.as,
+                       rdf::Term::IntegerLiteral(
+                           static_cast<int64_t>(count)));
+        continue;
+      }
+      // Numeric folds over the bound, parseable values.
+      double sum = 0.0;
+      size_t n = 0;
+      const rdf::Term* min_term = nullptr;
+      const rdf::Term* max_term = nullptr;
+      double min_value = 0.0, max_value = 0.0;
+      for (const Binding* row : members) {
+        auto it = row->find(agg.variable);
+        if (it == row->end()) continue;
+        double value = 0.0;
+        if (!ParseDouble(it->second.lexical(), &value)) continue;
+        sum += value;
+        ++n;
+        if (min_term == nullptr || value < min_value) {
+          min_term = &it->second;
+          min_value = value;
+        }
+        if (max_term == nullptr || value > max_value) {
+          max_term = &it->second;
+          max_value = value;
+        }
+      }
+      switch (agg.kind) {
+        case Aggregate::Kind::kSum:
+          result.emplace(agg.as, rdf::Term::DoubleLiteral(sum));
+          break;
+        case Aggregate::Kind::kAvg:
+          result.emplace(agg.as, rdf::Term::DoubleLiteral(
+                                     n == 0 ? 0.0 : sum / n));
+          break;
+        case Aggregate::Kind::kMin:
+          if (min_term != nullptr) result.emplace(agg.as, *min_term);
+          break;
+        case Aggregate::Kind::kMax:
+          if (max_term != nullptr) result.emplace(agg.as, *max_term);
+          break;
+        case Aggregate::Kind::kCount:
+          break;  // handled above
+      }
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace
+
+Binding Project(const Query& query, const Binding& binding) {
+  if (query.select_all) return binding;
+  Binding projected;
+  for (const std::string& var : query.select) {
+    auto it = binding.find(var);
+    if (it != binding.end()) projected.emplace(var, it->second);
+  }
+  return projected;
+}
+
+Result<std::vector<Binding>> Execute(const Query& query,
+                                     const rdf::TripleStore& store,
+                                     const ExecuteOptions& options) {
+  std::vector<Binding> rows;
+  bool stop = false;
+  Matcher matcher(query, store);
+
+  // OPTIONAL groups are left-outer-joined one after another: each solution
+  // is extended by every match of the group, or kept unchanged when the
+  // group has no match.
+  std::function<Status(size_t, Binding*)> apply_optionals =
+      [&](size_t index, Binding* binding) -> Status {
+    if (index >= query.optionals.size()) {
+      // Final filters (some may involve only optional variables).
+      for (const auto& filter : query.filters) {
+        if (FilterReady(*filter, *binding) &&
+            !EvalFilter(*filter, *binding)) {
+          return Status::Ok();
+        }
+      }
+      // Aggregation needs the full binding (the aggregated variables may
+      // not be projected); projection happens inside ApplyAggregates.
+      rows.push_back(query.aggregates.empty() ? Project(query, *binding)
+                                              : *binding);
+      if (rows.size() >= options.max_rows) stop = true;
+      if (query.is_ask) stop = true;
+      if (query.limit && !query.distinct && query.order_by.empty() &&
+          query.aggregates.empty() && query.offset == 0 &&
+          rows.size() >= *query.limit) {
+        stop = true;
+      }
+      return Status::Ok();
+    }
+    std::vector<const TriplePattern*> group;
+    for (const TriplePattern& p : query.optionals[index]) {
+      group.push_back(&p);
+    }
+    bool matched = false;
+    Status st = matcher.Enumerate(
+        group, binding,
+        [&]() -> Status {
+          matched = true;
+          return apply_optionals(index + 1, binding);
+        },
+        &stop);
+    if (!st.ok()) return st;
+    if (!matched) return apply_optionals(index + 1, binding);
+    return Status::Ok();
+  };
+
+  for (const std::vector<TriplePattern>* patterns : query.Alternatives()) {
+    if (stop) break;
+    std::vector<const TriplePattern*> remaining;
+    remaining.reserve(patterns->size());
+    for (const TriplePattern& p : *patterns) remaining.push_back(&p);
+    Binding binding;
+    Status st = matcher.Enumerate(
+        remaining, &binding,
+        [&]() -> Status { return apply_optionals(0, &binding); }, &stop);
+    if (!st.ok()) return st;
+  }
+
+  if (!query.aggregates.empty()) rows = ApplyAggregates(query, rows);
+  if (query.distinct) {
+    std::set<Binding> seen;
+    std::vector<Binding> unique;
+    for (Binding& row : rows) {
+      if (seen.insert(row).second) unique.push_back(std::move(row));
+    }
+    rows = std::move(unique);
+  }
+  if (!query.order_by.empty()) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&query](const Binding& a, const Binding& b) {
+                       return CompareBindingsForOrder(a, b, query.order_by) < 0;
+                     });
+  }
+  if (query.offset > 0) {
+    rows.erase(rows.begin(),
+               rows.begin() + std::min(query.offset, rows.size()));
+  }
+  if (query.limit && rows.size() > *query.limit) {
+    rows.resize(*query.limit);
+  }
+  return rows;
+}
+
+Result<bool> Ask(const Query& query, const rdf::TripleStore& store,
+                 const ExecuteOptions& options) {
+  if (!query.is_ask) {
+    return Status::InvalidArgument("query is not an ASK query");
+  }
+  Result<std::vector<Binding>> rows = Execute(query, store, options);
+  if (!rows.ok()) return rows.status();
+  return !rows->empty();
+}
+
+}  // namespace alex::sparql

@@ -1,0 +1,40 @@
+// Basic-graph-pattern executor over a single TripleStore.
+//
+// The executor performs a backtracking join: at each step it picks the
+// remaining pattern with the fewest unbound variables (greedy selectivity
+// ordering), matches it against the store, extends the binding, and
+// recurses. FILTERs are applied as soon as all of their variables are bound.
+#ifndef ALEX_SPARQL_EXECUTOR_H_
+#define ALEX_SPARQL_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/triple_store.h"
+#include "sparql/algebra.h"
+
+namespace alex::sparql {
+
+struct ExecuteOptions {
+  // Hard cap on produced rows before projection (safety valve).
+  size_t max_rows = 1000000;
+};
+
+// Runs `query` against `store` and returns the projected solutions.
+// Handles UNION alternatives, OPTIONAL groups (left outer join), DISTINCT,
+// ORDER BY, OFFSET, and LIMIT.
+Result<std::vector<Binding>> Execute(const Query& query,
+                                     const rdf::TripleStore& store,
+                                     const ExecuteOptions& options = {});
+
+// Evaluates an ASK query: true iff at least one solution exists.
+Result<bool> Ask(const Query& query, const rdf::TripleStore& store,
+                 const ExecuteOptions& options = {});
+
+// Projects `binding` onto the query's select list (all variables when
+// SELECT *).
+Binding Project(const Query& query, const Binding& binding);
+
+}  // namespace alex::sparql
+
+#endif  // ALEX_SPARQL_EXECUTOR_H_

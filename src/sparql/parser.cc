@@ -1,0 +1,473 @@
+#include "sparql/parser.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/strings.h"
+#include "sparql/tokenizer.h"
+
+namespace alex::sparql {
+namespace {
+
+constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+// Local helper: propagate a Status out of a Result-returning function.
+#define ALEX_RETURN_IF_ERROR_R(expr)             \
+  do {                                           \
+    ::alex::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    ALEX_RETURN_IF_ERROR_R(ParsePrefixes());
+    Query query;
+    if (Accept(TokenType::kKeyword, "ASK")) {
+      query.is_ask = true;
+    } else {
+      if (!Accept(TokenType::kKeyword, "SELECT")) {
+        return Error("expected SELECT or ASK");
+      }
+      if (Accept(TokenType::kKeyword, "DISTINCT")) query.distinct = true;
+      if (Accept(TokenType::kPunct, "*")) {
+        query.select_all = true;
+      } else {
+        while (true) {
+          if (Peek().type == TokenType::kVariable) {
+            query.select.push_back(Next().text);
+            continue;
+          }
+          if (Peek().Is(TokenType::kPunct, "(")) {
+            Result<Aggregate> agg = ParseAggregate();
+            if (!agg.ok()) return agg.status();
+            query.aggregates.push_back(std::move(agg).value());
+            continue;
+          }
+          break;
+        }
+        if (query.select.empty() && query.aggregates.empty()) {
+          return Error("expected projection variables");
+        }
+      }
+    }
+    if (!Accept(TokenType::kKeyword, "WHERE")) return Error("expected WHERE");
+    if (!Accept(TokenType::kPunct, "{")) return Error("expected '{'");
+
+    // UNION branches are normalized into disjunctive normal form: plain
+    // triples extend every alternative; each `{ A } UNION { B }` group
+    // multiplies the alternatives by its branches.
+    std::vector<std::vector<TriplePattern>> alternatives(1);
+    while (!Accept(TokenType::kPunct, "}")) {
+      if (Peek().type == TokenType::kEof) return Error("unterminated block");
+      if (Accept(TokenType::kKeyword, "FILTER")) {
+        Result<std::unique_ptr<FilterExpr>> filter = ParseFilter();
+        if (!filter.ok()) return filter.status();
+        query.filters.push_back(std::move(filter).value());
+        Accept(TokenType::kPunct, ".");
+        continue;
+      }
+      if (Accept(TokenType::kKeyword, "OPTIONAL")) {
+        Result<std::vector<TriplePattern>> group = ParseGroup();
+        if (!group.ok()) return group.status();
+        query.optionals.push_back(std::move(group).value());
+        Accept(TokenType::kPunct, ".");
+        continue;
+      }
+      if (Peek().Is(TokenType::kPunct, "{")) {
+        // `{ A } UNION { B } (UNION { C })*`
+        std::vector<std::vector<TriplePattern>> branches;
+        Result<std::vector<TriplePattern>> first = ParseGroup();
+        if (!first.ok()) return first.status();
+        branches.push_back(std::move(first).value());
+        while (Accept(TokenType::kKeyword, "UNION")) {
+          Result<std::vector<TriplePattern>> branch = ParseGroup();
+          if (!branch.ok()) return branch.status();
+          branches.push_back(std::move(branch).value());
+        }
+        std::vector<std::vector<TriplePattern>> expanded;
+        expanded.reserve(alternatives.size() * branches.size());
+        for (const auto& alternative : alternatives) {
+          for (const auto& branch : branches) {
+            std::vector<TriplePattern> merged = alternative;
+            merged.insert(merged.end(), branch.begin(), branch.end());
+            expanded.push_back(std::move(merged));
+          }
+        }
+        alternatives = std::move(expanded);
+        Accept(TokenType::kPunct, ".");
+        continue;
+      }
+      std::vector<TriplePattern> block;
+      ALEX_RETURN_IF_ERROR_R(ParseTripleBlock(&block));
+      for (auto& alternative : alternatives) {
+        alternative.insert(alternative.end(), block.begin(), block.end());
+      }
+    }
+    query.patterns = std::move(alternatives[0]);
+    for (size_t i = 1; i < alternatives.size(); ++i) {
+      query.more_alternatives.push_back(std::move(alternatives[i]));
+    }
+
+    // Solution modifiers: GROUP BY, ORDER BY, then LIMIT / OFFSET.
+    if (Accept(TokenType::kKeyword, "GROUP")) {
+      if (!Accept(TokenType::kKeyword, "BY")) {
+        return Error("expected BY after GROUP");
+      }
+      while (Peek().type == TokenType::kVariable) {
+        query.group_by.push_back(Next().text);
+      }
+      if (query.group_by.empty()) {
+        return Error("expected grouping variables after GROUP BY");
+      }
+    }
+    if (!query.group_by.empty() && query.aggregates.empty()) {
+      return Error("GROUP BY requires aggregate projections");
+    }
+    if (!query.aggregates.empty()) {
+      // Every plainly-projected variable must be a grouping key.
+      for (const std::string& var : query.select) {
+        bool grouped = false;
+        for (const std::string& key : query.group_by) {
+          if (key == var) grouped = true;
+        }
+        if (!grouped) {
+          return Error("projected variable ?" + var +
+                       " must appear in GROUP BY");
+        }
+      }
+    }
+    if (Accept(TokenType::kKeyword, "ORDER")) {
+      if (!Accept(TokenType::kKeyword, "BY")) {
+        return Error("expected BY after ORDER");
+      }
+      while (true) {
+        OrderKey key;
+        if (Accept(TokenType::kKeyword, "ASC") ||
+            Accept(TokenType::kKeyword, "DESC")) {
+          key.descending = tokens_[pos_ - 1].text == "DESC";
+          if (!Accept(TokenType::kPunct, "(")) return Error("expected '('");
+          if (Peek().type != TokenType::kVariable) {
+            return Error("expected variable in ORDER BY");
+          }
+          key.variable = Next().text;
+          if (!Accept(TokenType::kPunct, ")")) return Error("expected ')'");
+        } else if (Peek().type == TokenType::kVariable) {
+          key.variable = Next().text;
+        } else {
+          break;
+        }
+        query.order_by.push_back(std::move(key));
+      }
+      if (query.order_by.empty()) {
+        return Error("expected sort keys after ORDER BY");
+      }
+    }
+    for (int i = 0; i < 2; ++i) {
+      if (Accept(TokenType::kKeyword, "LIMIT")) {
+        long long limit = 0;
+        if (Peek().type != TokenType::kNumber ||
+            !ParseInt64(Next().text, &limit) || limit < 0) {
+          return Error("expected a non-negative number after LIMIT");
+        }
+        query.limit = static_cast<size_t>(limit);
+      } else if (Accept(TokenType::kKeyword, "OFFSET")) {
+        long long offset = 0;
+        if (Peek().type != TokenType::kNumber ||
+            !ParseInt64(Next().text, &offset) || offset < 0) {
+          return Error("expected a non-negative number after OFFSET");
+        }
+        query.offset = static_cast<size_t>(offset);
+      }
+    }
+    if (Peek().type != TokenType::kEof) return Error("trailing tokens");
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+    return tokens_[idx];
+  }
+  const Token& Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++
+                                                                 : pos_]; }
+  bool Accept(TokenType type, std::string_view text) {
+    if (Peek().Is(type, text)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(std::string message) const {
+    return Status::ParseError(message + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  Status ParsePrefixes() {
+    while (Accept(TokenType::kKeyword, "PREFIX")) {
+      // The tokenizer lexes "ex:" as a prefixed name with empty local part.
+      if (Peek().type != TokenType::kPrefixedName) {
+        return Error("expected prefix name");
+      }
+      std::string pname = Next().text;
+      if (pname.empty() || pname.back() != ':') {
+        return Error("prefix must end with ':'");
+      }
+      pname.pop_back();
+      if (Peek().type != TokenType::kIri) {
+        return Error("expected IRI after prefix name");
+      }
+      prefixes_[pname] = Next().text;
+    }
+    return Status::Ok();
+  }
+
+  Result<rdf::Term> ExpandPrefixedName(const std::string& pname,
+                                       size_t offset) {
+    size_t colon = pname.find(':');
+    std::string prefix = pname.substr(0, colon);
+    std::string local = pname.substr(colon + 1);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Status::ParseError("unknown prefix '" + prefix +
+                                "' at offset " + std::to_string(offset));
+    }
+    return rdf::Term::Iri(it->second + local);
+  }
+
+  Result<PatternNode> ParseNode() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kVariable:
+        return PatternNode::Var(Next().text);
+      case TokenType::kIri:
+        return PatternNode::Const(rdf::Term::Iri(Next().text));
+      case TokenType::kPrefixedName: {
+        Token t = Next();
+        Result<rdf::Term> term = ExpandPrefixedName(t.text, t.offset);
+        if (!term.ok()) return term.status();
+        return PatternNode::Const(std::move(term).value());
+      }
+      case TokenType::kString:
+        return PatternNode::Const(rdf::Term::StringLiteral(Next().text));
+      case TokenType::kNumber: {
+        Token t = Next();
+        if (t.text.find('.') != std::string::npos) {
+          double value = 0.0;
+          ParseDouble(t.text, &value);
+          return PatternNode::Const(rdf::Term::DoubleLiteral(value));
+        }
+        long long value = 0;
+        ParseInt64(t.text, &value);
+        return PatternNode::Const(rdf::Term::IntegerLiteral(value));
+      }
+      case TokenType::kKeyword:
+        if (tok.text == "A") {
+          Next();
+          return PatternNode::Const(rdf::Term::Iri(std::string(kRdfType)));
+        }
+        return Error("unexpected keyword '" + tok.text + "'");
+      default:
+        return Error("expected a pattern node");
+    }
+  }
+
+  // Parses `s p o (';' p o)* (',' o)* '.'` style triple groups into `out`.
+  Status ParseTripleBlock(std::vector<TriplePattern>* out) {
+    Result<PatternNode> subject = ParseNode();
+    if (!subject.ok()) return subject.status();
+    while (true) {
+      Result<PatternNode> predicate = ParseNode();
+      if (!predicate.ok()) return predicate.status();
+      while (true) {
+        Result<PatternNode> object = ParseNode();
+        if (!object.ok()) return object.status();
+        TriplePattern pattern;
+        pattern.subject = subject.value();
+        pattern.predicate = predicate.value();
+        pattern.object = std::move(object).value();
+        out->push_back(std::move(pattern));
+        if (!Accept(TokenType::kPunct, ",")) break;
+      }
+      if (!Accept(TokenType::kPunct, ";")) break;
+      if (Peek().Is(TokenType::kPunct, ".") ||
+          Peek().Is(TokenType::kPunct, "}")) {
+        break;  // dangling ';' before terminator
+      }
+    }
+    Accept(TokenType::kPunct, ".");
+    return Status::Ok();
+  }
+
+  // Parses `{ triples }` (no nested groups or filters inside).
+  Result<std::vector<TriplePattern>> ParseGroup() {
+    if (!Accept(TokenType::kPunct, "{")) return Error("expected '{'");
+    std::vector<TriplePattern> patterns;
+    while (!Accept(TokenType::kPunct, "}")) {
+      if (Peek().type == TokenType::kEof) return Error("unterminated group");
+      if (Peek().Is(TokenType::kPunct, "{") ||
+          Peek().Is(TokenType::kKeyword, "FILTER") ||
+          Peek().Is(TokenType::kKeyword, "OPTIONAL")) {
+        return Error("nested groups are not supported inside this group");
+      }
+      ALEX_RETURN_IF_ERROR_R(ParseTripleBlock(&patterns));
+    }
+    return patterns;
+  }
+
+  // `( COUNT ( * | ?v ) AS ?name )` — leading '(' not yet consumed.
+  Result<Aggregate> ParseAggregate() {
+    if (!Accept(TokenType::kPunct, "(")) return Error("expected '('");
+    Aggregate agg;
+    if (Accept(TokenType::kKeyword, "COUNT")) {
+      agg.kind = Aggregate::Kind::kCount;
+    } else if (Accept(TokenType::kKeyword, "SUM")) {
+      agg.kind = Aggregate::Kind::kSum;
+    } else if (Accept(TokenType::kKeyword, "AVG")) {
+      agg.kind = Aggregate::Kind::kAvg;
+    } else if (Accept(TokenType::kKeyword, "MIN")) {
+      agg.kind = Aggregate::Kind::kMin;
+    } else if (Accept(TokenType::kKeyword, "MAX")) {
+      agg.kind = Aggregate::Kind::kMax;
+    } else {
+      return Error("expected an aggregate function");
+    }
+    if (!Accept(TokenType::kPunct, "(")) return Error("expected '('");
+    if (Accept(TokenType::kPunct, "*")) {
+      if (agg.kind != Aggregate::Kind::kCount) {
+        return Error("'*' is only valid in COUNT");
+      }
+    } else if (Peek().type == TokenType::kVariable) {
+      agg.variable = Next().text;
+    } else {
+      return Error("expected '*' or a variable");
+    }
+    if (!Accept(TokenType::kPunct, ")")) return Error("expected ')'");
+    if (!Accept(TokenType::kKeyword, "AS")) return Error("expected AS");
+    if (Peek().type != TokenType::kVariable) {
+      return Error("expected output variable after AS");
+    }
+    agg.as = Next().text;
+    if (!Accept(TokenType::kPunct, ")")) return Error("expected ')'");
+    return agg;
+  }
+
+  Result<std::unique_ptr<FilterExpr>> ParseFilter() {
+    if (!Accept(TokenType::kPunct, "(")) return Error("expected '('");
+    Result<std::unique_ptr<FilterExpr>> expr = ParseOr();
+    if (!expr.ok()) return expr.status();
+    if (!Accept(TokenType::kPunct, ")")) return Error("expected ')'");
+    return expr;
+  }
+
+  Result<std::unique_ptr<FilterExpr>> ParseOr() {
+    Result<std::unique_ptr<FilterExpr>> lhs = ParseAnd();
+    if (!lhs.ok()) return lhs.status();
+    if (!Peek().Is(TokenType::kPunct, "||")) return lhs;
+    auto node = std::make_unique<FilterExpr>();
+    node->op = FilterOp::kOr;
+    node->children.push_back(std::move(lhs).value());
+    while (Accept(TokenType::kPunct, "||")) {
+      Result<std::unique_ptr<FilterExpr>> rhs = ParseAnd();
+      if (!rhs.ok()) return rhs.status();
+      node->children.push_back(std::move(rhs).value());
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<FilterExpr>> ParseAnd() {
+    Result<std::unique_ptr<FilterExpr>> lhs = ParseUnary();
+    if (!lhs.ok()) return lhs.status();
+    if (!Peek().Is(TokenType::kPunct, "&&")) return lhs;
+    auto node = std::make_unique<FilterExpr>();
+    node->op = FilterOp::kAnd;
+    node->children.push_back(std::move(lhs).value());
+    while (Accept(TokenType::kPunct, "&&")) {
+      Result<std::unique_ptr<FilterExpr>> rhs = ParseUnary();
+      if (!rhs.ok()) return rhs.status();
+      node->children.push_back(std::move(rhs).value());
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<FilterExpr>> ParseUnary() {
+    if (Accept(TokenType::kPunct, "!")) {
+      Result<std::unique_ptr<FilterExpr>> inner = ParseUnary();
+      if (!inner.ok()) return inner.status();
+      auto node = std::make_unique<FilterExpr>();
+      node->op = FilterOp::kNot;
+      node->children.push_back(std::move(inner).value());
+      return node;
+    }
+    if (Accept(TokenType::kPunct, "(")) {
+      Result<std::unique_ptr<FilterExpr>> inner = ParseOr();
+      if (!inner.ok()) return inner.status();
+      if (!Accept(TokenType::kPunct, ")")) return Error("expected ')'");
+      return inner;
+    }
+    if (Accept(TokenType::kKeyword, "CONTAINS")) {
+      if (!Accept(TokenType::kPunct, "(")) return Error("expected '('");
+      Result<PatternNode> lhs = ParseNode();
+      if (!lhs.ok()) return lhs.status();
+      if (!Accept(TokenType::kPunct, ",")) return Error("expected ','");
+      Result<PatternNode> rhs = ParseNode();
+      if (!rhs.ok()) return rhs.status();
+      if (!Accept(TokenType::kPunct, ")")) return Error("expected ')'");
+      auto node = std::make_unique<FilterExpr>();
+      node->op = FilterOp::kContains;
+      node->lhs_node = std::move(lhs).value();
+      node->rhs_node = std::move(rhs).value();
+      return node;
+    }
+    // Comparison: node op node.
+    Result<PatternNode> lhs = ParseNode();
+    if (!lhs.ok()) return lhs.status();
+    const Token& op_tok = Peek();
+    FilterOp op;
+    if (op_tok.Is(TokenType::kPunct, "=")) {
+      op = FilterOp::kEq;
+    } else if (op_tok.Is(TokenType::kPunct, "!=")) {
+      op = FilterOp::kNe;
+    } else if (op_tok.Is(TokenType::kPunct, "<")) {
+      op = FilterOp::kLt;
+    } else if (op_tok.Is(TokenType::kPunct, "<=")) {
+      op = FilterOp::kLe;
+    } else if (op_tok.Is(TokenType::kPunct, ">")) {
+      op = FilterOp::kGt;
+    } else if (op_tok.Is(TokenType::kPunct, ">=")) {
+      op = FilterOp::kGe;
+    } else {
+      return Error("expected comparison operator");
+    }
+    Next();
+    Result<PatternNode> rhs = ParseNode();
+    if (!rhs.ok()) return rhs.status();
+    auto node = std::make_unique<FilterExpr>();
+    node->op = op;
+    node->lhs_node = std::move(lhs).value();
+    node->rhs_node = std::move(rhs).value();
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::map<std::string, std::string> prefixes_;
+};
+
+#undef ALEX_RETURN_IF_ERROR_R
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view query_text) {
+  Result<std::vector<Token>> tokens = Tokenize(query_text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace alex::sparql

@@ -1,0 +1,28 @@
+// Recursive-descent parser for the SPARQL subset.
+//
+// Grammar (informal):
+//   query     := prefix* SELECT [DISTINCT] (* | var+) WHERE { block } [LIMIT n]
+//   prefix    := PREFIX pname: <iri>
+//   block     := (triple | filter)*
+//   triple    := node node node ('.' | before '}')   with ';' and ','
+//                continuation for shared subjects / predicates
+//   filter    := FILTER ( expr )
+//   expr      := or-expr with && || ! () comparisons and CONTAINS(a, b)
+//   node      := ?var | <iri> | pname:local | "literal" | number | a
+#ifndef ALEX_SPARQL_PARSER_H_
+#define ALEX_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sparql/algebra.h"
+
+namespace alex::sparql {
+
+// Parses `query_text` into a Query. Returns a parse error with an offset
+// hint on malformed input.
+Result<Query> ParseQuery(std::string_view query_text);
+
+}  // namespace alex::sparql
+
+#endif  // ALEX_SPARQL_PARSER_H_

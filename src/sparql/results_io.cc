@@ -1,0 +1,186 @@
+#include "sparql/results_io.h"
+
+#include <algorithm>
+#include <set>
+
+#include "rdf/ntriples.h"
+
+namespace alex::sparql {
+namespace {
+
+// RFC 4180: quote when the value contains a comma, quote, or newline;
+// embedded quotes are doubled.
+std::string CsvEscape(const std::string& value) {
+  if (value.find_first_of(",\"\r\n") == std::string::npos) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  for (unsigned char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+const char* XsdDatatype(rdf::LiteralType type) {
+  switch (type) {
+    case rdf::LiteralType::kInteger:
+      return "http://www.w3.org/2001/XMLSchema#integer";
+    case rdf::LiteralType::kDouble:
+      return "http://www.w3.org/2001/XMLSchema#double";
+    case rdf::LiteralType::kDate:
+      return "http://www.w3.org/2001/XMLSchema#date";
+    case rdf::LiteralType::kBoolean:
+      return "http://www.w3.org/2001/XMLSchema#boolean";
+    case rdf::LiteralType::kString:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+std::string TermToJson(const rdf::Term& term) {
+  std::string out = "{\"type\":\"";
+  switch (term.kind()) {
+    case rdf::TermKind::kIri:
+      out += "uri";
+      break;
+    case rdf::TermKind::kBlank:
+      out += "bnode";
+      break;
+    case rdf::TermKind::kLiteral:
+      out += "literal";
+      break;
+  }
+  out += "\",\"value\":\"" + JsonEscape(term.lexical()) + "\"";
+  if (term.is_literal()) {
+    const char* datatype = XsdDatatype(term.literal_type());
+    if (datatype != nullptr) {
+      out += std::string(",\"datatype\":\"") + datatype + "\"";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> ResultVariables(const Query& query,
+                                         const std::vector<Binding>& rows) {
+  std::vector<std::string> variables;
+  if (!query.select_all &&
+      (!query.select.empty() || !query.aggregates.empty())) {
+    variables = query.select;
+    for (const Aggregate& agg : query.aggregates) {
+      variables.push_back(agg.as);
+    }
+    return variables;
+  }
+  std::set<std::string> seen;
+  for (const Binding& row : rows) {
+    for (const auto& [var, term] : row) seen.insert(var);
+  }
+  variables.assign(seen.begin(), seen.end());
+  return variables;
+}
+
+std::string ResultsToCsv(const std::vector<Binding>& rows,
+                         const std::vector<std::string>& variables) {
+  std::string out;
+  for (size_t i = 0; i < variables.size(); ++i) {
+    if (i > 0) out += ',';
+    out += CsvEscape(variables[i]);
+  }
+  out += "\r\n";
+  for (const Binding& row : rows) {
+    for (size_t i = 0; i < variables.size(); ++i) {
+      if (i > 0) out += ',';
+      auto it = row.find(variables[i]);
+      if (it != row.end()) out += CsvEscape(it->second.lexical());
+    }
+    out += "\r\n";
+  }
+  return out;
+}
+
+std::string ResultsToTsv(const std::vector<Binding>& rows,
+                         const std::vector<std::string>& variables) {
+  std::string out;
+  for (size_t i = 0; i < variables.size(); ++i) {
+    if (i > 0) out += '\t';
+    out += "?" + variables[i];
+  }
+  out += "\n";
+  for (const Binding& row : rows) {
+    for (size_t i = 0; i < variables.size(); ++i) {
+      if (i > 0) out += '\t';
+      auto it = row.find(variables[i]);
+      if (it != row.end()) out += rdf::TermToNTriples(it->second);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ResultsToJson(const std::vector<Binding>& rows,
+                          const std::vector<std::string>& variables) {
+  std::string out = "{\"head\":{\"vars\":[";
+  for (size_t i = 0; i < variables.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\"" + JsonEscape(variables[i]) + "\"";
+  }
+  out += "]},\"results\":{\"bindings\":[";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) out += ',';
+    out += '{';
+    bool first = true;
+    for (const std::string& var : variables) {
+      auto it = rows[r].find(var);
+      if (it == rows[r].end()) continue;  // unbound: omitted per spec
+      if (!first) out += ',';
+      first = false;
+      out += "\"" + JsonEscape(var) + "\":" + TermToJson(it->second);
+    }
+    out += '}';
+  }
+  out += "]}}";
+  return out;
+}
+
+std::string AskResultToJson(bool value) {
+  return std::string("{\"head\":{},\"boolean\":") +
+         (value ? "true" : "false") + "}";
+}
+
+}  // namespace alex::sparql

@@ -1,0 +1,39 @@
+// Serialization of SPARQL query results in the W3C SPARQL 1.1 formats:
+// CSV, TSV (Turtle-style terms), and the JSON results format. These are the
+// interchange formats downstream tooling expects from a SPARQL endpoint.
+#ifndef ALEX_SPARQL_RESULTS_IO_H_
+#define ALEX_SPARQL_RESULTS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "sparql/algebra.h"
+
+namespace alex::sparql {
+
+// The variables to emit, in order: the query's projection when explicit,
+// otherwise the sorted union of the bound variables across `rows`.
+std::vector<std::string> ResultVariables(const Query& query,
+                                         const std::vector<Binding>& rows);
+
+// SPARQL 1.1 Query Results CSV: header row of variable names, plain values
+// (RFC 4180 quoting), unbound cells empty.
+std::string ResultsToCsv(const std::vector<Binding>& rows,
+                         const std::vector<std::string>& variables);
+
+// SPARQL 1.1 Query Results TSV: header `?var` names, terms in Turtle/
+// N-Triples syntax.
+std::string ResultsToTsv(const std::vector<Binding>& rows,
+                         const std::vector<std::string>& variables);
+
+// SPARQL 1.1 Query Results JSON:
+// {"head":{"vars":[...]},"results":{"bindings":[...]}}
+std::string ResultsToJson(const std::vector<Binding>& rows,
+                          const std::vector<std::string>& variables);
+
+// ASK result in the JSON format: {"head":{},"boolean":true}.
+std::string AskResultToJson(bool value);
+
+}  // namespace alex::sparql
+
+#endif  // ALEX_SPARQL_RESULTS_IO_H_

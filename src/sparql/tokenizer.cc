@@ -1,0 +1,196 @@
+#include "sparql/tokenizer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace alex::sparql {
+namespace {
+
+bool IsKeyword(const std::string& upper) {
+  static const char* kKeywords[] = {
+      "SELECT", "DISTINCT", "WHERE", "FILTER", "PREFIX",   "LIMIT",
+      "ASK",    "CONTAINS", "STR",   "A",      "UNION",    "OPTIONAL",
+      "ORDER",  "BY",       "ASC",   "DESC",   "OFFSET",  "COUNT",
+      "SUM",    "AVG",      "MIN",   "MAX",    "AS",       "GROUP"};
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = query.size();
+  while (i < n) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && query[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (c == '?' || c == '$') {
+      size_t start = ++i;
+      while (i < n && IsNameChar(query[i])) ++i;
+      if (i == start) {
+        return Status::ParseError("empty variable name at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kVariable;
+      tok.text = std::string(query.substr(start, i - start));
+    } else if (c == '<' && [&] {
+                 // '<' starts an IRI only if a '>' follows with no
+                 // intervening whitespace; otherwise it is the less-than
+                 // operator (handled by the punctuation branch below).
+                 size_t close = query.find('>', i);
+                 if (close == std::string_view::npos) return false;
+                 for (size_t k = i + 1; k < close; ++k) {
+                   if (std::isspace(static_cast<unsigned char>(query[k]))) {
+                     return false;
+                   }
+                 }
+                 return true;
+               }()) {
+      size_t close = query.find('>', i);
+      tok.type = TokenType::kIri;
+      tok.text = std::string(query.substr(i + 1, close - i - 1));
+      i = close + 1;
+    } else if (c == '"') {
+      std::string value;
+      ++i;
+      while (i < n && query[i] != '"') {
+        if (query[i] == '\\' && i + 1 < n) {
+          char e = query[i + 1];
+          switch (e) {
+            case 'n':
+              value.push_back('\n');
+              break;
+            case 't':
+              value.push_back('\t');
+              break;
+            case '"':
+              value.push_back('"');
+              break;
+            case '\\':
+              value.push_back('\\');
+              break;
+            default:
+              value.push_back(e);
+          }
+          i += 2;
+        } else {
+          value.push_back(query[i]);
+          ++i;
+        }
+      }
+      if (i >= n) {
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(tok.offset));
+      }
+      ++i;  // closing quote
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      // Skip language tags / datatypes; the literal keeps its string form.
+      if (i < n && query[i] == '@') {
+        ++i;  // skip '@'
+        while (i < n && (IsNameChar(query[i]) || query[i] == '-')) ++i;
+      } else if (i + 1 < n && query[i] == '^' && query[i + 1] == '^') {
+        i += 2;
+        if (i < n && query[i] == '<') {
+          size_t close = query.find('>', i);
+          if (close == std::string_view::npos) {
+            return Status::ParseError("unterminated datatype IRI");
+          }
+          i = close + 1;
+        } else {
+          while (i < n && (IsNameChar(query[i]) || query[i] == ':')) ++i;
+        }
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(query[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '.')) {
+        ++i;
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = std::string(query.substr(start, i - start));
+    } else if (std::isalpha(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && (IsNameChar(query[i]) || query[i] == ':')) ++i;
+      std::string word(query.substr(start, i - start));
+      if (word.find(':') != std::string::npos) {
+        tok.type = TokenType::kPrefixedName;
+        tok.text = std::move(word);
+      } else {
+        std::string upper;
+        for (char w : word) {
+          upper.push_back(static_cast<char>(
+              std::toupper(static_cast<unsigned char>(w))));
+        }
+        if (IsKeyword(upper)) {
+          tok.type = TokenType::kKeyword;
+          tok.text = std::move(upper);
+        } else {
+          return Status::ParseError("unexpected word '" + word +
+                                    "' at offset " + std::to_string(start));
+        }
+      }
+    } else {
+      // Punctuation / operators.
+      tok.type = TokenType::kPunct;
+      if (i + 1 < n) {
+        std::string two(query.substr(i, 2));
+        if (two == "!=" || two == "<=" || two == ">=" || two == "&&" ||
+            two == "||") {
+          tok.text = two;
+          i += 2;
+          tokens.push_back(std::move(tok));
+          continue;
+        }
+      }
+      switch (c) {
+        case '{':
+        case '}':
+        case '(':
+        case ')':
+        case '.':
+        case ',':
+        case ';':
+        case '*':
+        case '=':
+        case '<':
+        case '>':
+        case '!':
+          tok.text = std::string(1, c);
+          ++i;
+          break;
+        default:
+          return Status::ParseError(std::string("unexpected character '") +
+                                    c + "' at offset " + std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token eof;
+  eof.type = TokenType::kEof;
+  eof.offset = n;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace alex::sparql

@@ -1,0 +1,44 @@
+// Tokenizer for the SPARQL subset supported by this library.
+//
+// Recognized: keywords (SELECT, DISTINCT, WHERE, FILTER, PREFIX, LIMIT, ASK),
+// variables (?name), IRIs (<...>), prefixed names (ex:name), string literals
+// with language/datatype suffixes, numbers, punctuation and comparison /
+// boolean operators.
+#ifndef ALEX_SPARQL_TOKENIZER_H_
+#define ALEX_SPARQL_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace alex::sparql {
+
+enum class TokenType {
+  kKeyword,     // SELECT, WHERE, ... (normalized to upper case)
+  kVariable,    // ?x -> text "x"
+  kIri,         // <http://...> -> text without angle brackets
+  kPrefixedName,  // ex:name -> text "ex:name"
+  kString,      // "..." -> unescaped text
+  kNumber,      // 42, 3.14 -> lexical text
+  kPunct,       // { } ( ) . , ; * = != < > <= >= && || !
+  kEof,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;
+  size_t offset = 0;  // byte offset in the query, for error messages
+
+  bool Is(TokenType t, std::string_view s) const {
+    return type == t && text == s;
+  }
+};
+
+// Tokenizes `query`. The result always ends with a kEof token.
+Result<std::vector<Token>> Tokenize(std::string_view query);
+
+}  // namespace alex::sparql
+
+#endif  // ALEX_SPARQL_TOKENIZER_H_

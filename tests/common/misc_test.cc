@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace alex {
+namespace {
+
+TEST(LoggingTest, MinLevelRoundTrip) {
+  LogLevel original = GetMinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetMinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, BelowThresholdMessagesAreCheap) {
+  LogLevel original = GetMinLogLevel();
+  SetMinLogLevel(LogLevel::kFatal);
+  // These must not crash or print.
+  ALEX_LOG(DEBUG) << "hidden";
+  ALEX_LOG(INFO) << "hidden";
+  ALEX_LOG(WARNING) << "hidden";
+  ALEX_LOG(ERROR) << "hidden";
+  SetMinLogLevel(original);
+  SUCCEED();
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  ALEX_CHECK(1 + 1 == 2) << "never printed";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH({ ALEX_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH({ ALEX_LOG(FATAL) << "fatal message"; }, "fatal message");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double elapsed = watch.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedSeconds() * 100);
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), 0.015);
+}
+
+TEST(SplitWordsNormalizedTest, StripsEdgePunctuation) {
+  std::vector<std::string> words =
+      SplitWordsNormalized("James, LeBron (MVP)!");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "James");
+  EXPECT_EQ(words[1], "LeBron");
+  EXPECT_EQ(words[2], "MVP");
+}
+
+TEST(SplitWordsNormalizedTest, DropsPurePunctuationTokens) {
+  std::vector<std::string> words = SplitWordsNormalized("a -- b");
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], "a");
+  EXPECT_EQ(words[1], "b");
+}
+
+TEST(SplitWordsNormalizedTest, KeepsInteriorPunctuation) {
+  std::vector<std::string> words = SplitWordsNormalized("o'neil 12-34");
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], "o'neil");
+  EXPECT_EQ(words[1], "12-34");
+}
+
+}  // namespace
+}  // namespace alex

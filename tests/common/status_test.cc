@@ -1,0 +1,98 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace alex {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  std::vector<Case> cases = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "invalid_argument"},
+      {Status::NotFound("b"), StatusCode::kNotFound, "not_found"},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists,
+       "already_exists"},
+      {Status::OutOfRange("d"), StatusCode::kOutOfRange, "out_of_range"},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition,
+       "failed_precondition"},
+      {Status::Internal("f"), StatusCode::kInternal, "internal"},
+      {Status::Unimplemented("g"), StatusCode::kUnimplemented,
+       "unimplemented"},
+      {Status::ParseError("h"), StatusCode::kParseError, "parse_error"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeName(c.code)), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status status = Status::NotFound("missing widget");
+  EXPECT_EQ(status.ToString(), "not_found: missing widget");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 7);
+  EXPECT_EQ(*result, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string value = std::move(result).value();
+  EXPECT_EQ(value, "payload");
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> result(std::vector<int>{1, 2});
+  result->push_back(3);
+  EXPECT_EQ(result.value().size(), 3u);
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status Succeeds() { return Status::Ok(); }
+
+Status UsesMacro(bool fail) {
+  ALEX_RETURN_IF_ERROR(Succeeds());
+  if (fail) ALEX_RETURN_IF_ERROR(Fails());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UsesMacro(false).ok());
+  EXPECT_EQ(UsesMacro(true).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace alex

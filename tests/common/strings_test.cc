@@ -1,0 +1,83 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace alex {
+namespace {
+
+TEST(StringsTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("AbC dEf"), "abc def");
+  EXPECT_EQ(ToLowerAscii(""), "");
+  EXPECT_EQ(ToLowerAscii("123-XYZ"), "123-xyz");
+}
+
+TEST(StringsTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("\t\nhi"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("hi"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  std::vector<std::string> pieces = Split("a,,b,", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[2], "b");
+  EXPECT_EQ(pieces[3], "");
+}
+
+TEST(StringsTest, SplitSinglePiece) {
+  std::vector<std::string> pieces = Split("abc", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "abc");
+}
+
+TEST(StringsTest, SplitWordsDropsEmpty) {
+  std::vector<std::string> words = SplitWords("  foo   bar\tbaz\n");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "foo");
+  EXPECT_EQ(words[2], "baz");
+  EXPECT_TRUE(SplitWords("   ").empty());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("x", "http://"));
+  EXPECT_TRUE(EndsWith("file.nt", ".nt"));
+  EXPECT_FALSE(EndsWith("nt", ".nt"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(StringsTest, ParseDouble) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &value));
+  EXPECT_DOUBLE_EQ(value, 3.5);
+  EXPECT_TRUE(ParseDouble("  -2e3 ", &value));
+  EXPECT_DOUBLE_EQ(value, -2000.0);
+  EXPECT_FALSE(ParseDouble("abc", &value));
+  EXPECT_FALSE(ParseDouble("1.5x", &value));
+  EXPECT_FALSE(ParseDouble("", &value));
+}
+
+TEST(StringsTest, ParseInt64) {
+  long long value = 0;
+  EXPECT_TRUE(ParseInt64("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt64(" -7 ", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_FALSE(ParseInt64("4.2", &value));
+  EXPECT_FALSE(ParseInt64("", &value));
+  EXPECT_FALSE(ParseInt64("12a", &value));
+}
+
+}  // namespace
+}  // namespace alex

@@ -1,0 +1,70 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace alex {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> counter{0};
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, TasksCanWriteDistinctSlots) {
+  ThreadPool pool(4);
+  std::vector<int> results(64, 0);
+  for (int i = 0; i < 64; ++i) {
+    pool.Schedule([&results, i] { results[i] = i * i; });
+  }
+  pool.Wait();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithPendingWorkDone) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 10; ++i) {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace alex

@@ -1,0 +1,214 @@
+#include "core/feature_set.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::core {
+namespace {
+
+using rdf::Term;
+using rdf::TripleStore;
+
+TEST(FeatureCatalogTest, InternIsIdempotent) {
+  FeatureCatalog catalog;
+  FeatureId a = catalog.Intern({"http://l/name", "http://r/label"});
+  FeatureId b = catalog.Intern({"http://l/name", "http://r/label"});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(FeatureCatalogTest, DirectionMatters) {
+  FeatureCatalog catalog;
+  FeatureId ab = catalog.Intern({"a", "b"});
+  FeatureId ba = catalog.Intern({"b", "a"});
+  EXPECT_NE(ab, ba);
+}
+
+TEST(FeatureCatalogTest, KeyRoundTrip) {
+  FeatureCatalog catalog;
+  FeatureId id = catalog.Intern({"left", "right"});
+  FeatureKey key = catalog.Key(id);
+  EXPECT_EQ(key.left_predicate, "left");
+  EXPECT_EQ(key.right_predicate, "right");
+}
+
+TEST(FeatureSetTest, GetAndSetMax) {
+  FeatureSet set;
+  set.SetMax(3, 0.5);
+  set.SetMax(1, 0.7);
+  set.SetMax(3, 0.4);  // lower: ignored
+  set.SetMax(3, 0.9);  // higher: kept
+  EXPECT_DOUBLE_EQ(set.Get(1), 0.7);
+  EXPECT_DOUBLE_EQ(set.Get(3), 0.9);
+  EXPECT_DOUBLE_EQ(set.Get(2), 0.0);
+  EXPECT_EQ(set.size(), 2u);
+  // Sorted by feature id.
+  EXPECT_EQ(set.features[0].first, 1u);
+  EXPECT_EQ(set.features[1].first, 3u);
+}
+
+TEST(PrepareValueTest, StringValue) {
+  PreparedValue v = PrepareValue(Term::StringLiteral("LeBron  James"));
+  EXPECT_FALSE(v.is_iri);
+  EXPECT_EQ(v.lowered, "lebron  james");
+  ASSERT_EQ(v.tokens.size(), 2u);
+  EXPECT_EQ(v.tokens[0], "james");  // sorted
+  EXPECT_EQ(v.tokens[1], "lebron");
+}
+
+TEST(PrepareValueTest, NumericString) {
+  PreparedValue v = PrepareValue(Term::StringLiteral("1984"));
+  EXPECT_TRUE(v.has_numeric);
+  EXPECT_DOUBLE_EQ(v.numeric, 1984.0);
+}
+
+TEST(PrepareValueTest, IriUsesLocalName) {
+  PreparedValue v = PrepareValue(Term::Iri("http://x/LeBron_James"));
+  EXPECT_TRUE(v.is_iri);
+  EXPECT_EQ(v.lowered, "lebron_james");
+}
+
+TEST(PrepareValueTest, DateDays) {
+  PreparedValue v = PrepareValue(Term::DateLiteral("1970-01-02"));
+  EXPECT_EQ(v.date_days, 1);
+}
+
+TEST(PreparedSimilarityTest, MatchesValueSimilaritySemantics) {
+  sim::SimilarityOptions options;
+  struct Case {
+    Term a, b;
+  };
+  std::vector<Case> cases = {
+      {Term::StringLiteral("alpha beta"), Term::StringLiteral("beta alpha")},
+      {Term::IntegerLiteral(100), Term::IntegerLiteral(101)},
+      {Term::DateLiteral("2000-01-01"), Term::DateLiteral("2000-06-01")},
+      {Term::StringLiteral("42"), Term::IntegerLiteral(42)},
+      {Term::BooleanLiteral(true), Term::BooleanLiteral(false)},
+      {Term::StringLiteral("same text here"),
+       Term::StringLiteral("same text here")},
+  };
+  for (const Case& c : cases) {
+    double fast = PreparedSimilarity(PrepareValue(c.a), PrepareValue(c.b),
+                                     options);
+    double slow = sim::ValueSimilarity(c.a, c.b, options);
+    EXPECT_NEAR(fast, slow, 1e-9)
+        << c.a.ToString() << " vs " << c.b.ToString();
+  }
+}
+
+TEST(PreparedSimilarityTest, RandomStringsBelowTheta) {
+  double s = PreparedSimilarity(PrepareValue(Term::StringLiteral("brouzit")),
+                                PrepareValue(Term::StringLiteral("keldana")));
+  EXPECT_LT(s, 0.3);
+}
+
+class FeatureSetBuilderTest : public ::testing::Test {
+ protected:
+  FeatureSetBuilderTest() : left_("l"), right_("r") {}
+
+  PreparedEntity MakeLeft(
+      const std::vector<std::pair<std::string, Term>>& attrs) {
+    Term subject = Term::Iri("http://l/e");
+    for (const auto& [pred, obj] : attrs) {
+      left_.Add(subject, Term::Iri(pred), obj);
+    }
+    return PrepareEntity(left_, *left_.dictionary().Lookup(subject));
+  }
+  PreparedEntity MakeRight(
+      const std::vector<std::pair<std::string, Term>>& attrs) {
+    Term subject = Term::Iri("http://r/x");
+    for (const auto& [pred, obj] : attrs) {
+      right_.Add(subject, Term::Iri(pred), obj);
+    }
+    return PrepareEntity(right_, *right_.dictionary().Lookup(subject));
+  }
+
+  TripleStore left_;
+  TripleStore right_;
+  FeatureCatalog catalog_;
+};
+
+TEST_F(FeatureSetBuilderTest, PairsUpMatchingAttributes) {
+  PreparedEntity l = MakeLeft({{"http://l/name",
+                                Term::StringLiteral("Marie Curie")},
+                               {"http://l/born", Term::IntegerLiteral(1867)}});
+  PreparedEntity r = MakeRight(
+      {{"http://r/label", Term::StringLiteral("Marie Curie")},
+       {"http://r/birthYear", Term::IntegerLiteral(1867)}});
+  FeatureSet set = BuildFeatureSet(l, r, &catalog_, 0.3);
+  EXPECT_EQ(set.size(), 2u);
+  FeatureId name = catalog_.Intern({"http://l/name", "http://r/label"});
+  FeatureId year = catalog_.Intern({"http://l/born", "http://r/birthYear"});
+  EXPECT_DOUBLE_EQ(set.Get(name), 1.0);
+  EXPECT_DOUBLE_EQ(set.Get(year), 1.0);
+}
+
+TEST_F(FeatureSetBuilderTest, ThetaFiltersWeakFeatures) {
+  PreparedEntity l = MakeLeft({{"http://l/name",
+                                Term::StringLiteral("xyzzy plugh")}});
+  PreparedEntity r = MakeRight(
+      {{"http://r/label", Term::StringLiteral("unrelated words")}});
+  FeatureSet set = BuildFeatureSet(l, r, &catalog_, 0.3);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST_F(FeatureSetBuilderTest, EmptyEntityYieldsEmptySet) {
+  PreparedEntity l = MakeLeft({{"http://l/name",
+                                Term::StringLiteral("a")}});
+  PreparedEntity empty;
+  FeatureSet set = BuildFeatureSet(l, empty, &catalog_, 0.3);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST_F(FeatureSetBuilderTest, RowMaximaWhenLeftLarger) {
+  // Left has 2 attributes, right has 1: one feature per left attribute that
+  // clears θ against the single right attribute.
+  PreparedEntity l =
+      MakeLeft({{"http://l/name", Term::StringLiteral("alpha")},
+                {"http://l/alias", Term::StringLiteral("alpha")}});
+  PreparedEntity r =
+      MakeRight({{"http://r/label", Term::StringLiteral("alpha")}});
+  FeatureSet set = BuildFeatureSet(l, r, &catalog_, 0.3);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST_F(FeatureSetBuilderTest, ColumnMaximaWhenRightLarger) {
+  PreparedEntity l =
+      MakeLeft({{"http://l/name", Term::StringLiteral("alpha")}});
+  PreparedEntity r =
+      MakeRight({{"http://r/label", Term::StringLiteral("alpha")},
+                 {"http://r/alias", Term::StringLiteral("alpha")}});
+  FeatureSet set = BuildFeatureSet(l, r, &catalog_, 0.3);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST_F(FeatureSetBuilderTest, DuplicateFeatureKeyKeepsMax) {
+  // Two left attributes with the same predicate, both matching the same
+  // right attribute at different scores: one feature with the max.
+  PreparedEntity l =
+      MakeLeft({{"http://l/name", Term::StringLiteral("alpha beta")},
+                {"http://l/name", Term::StringLiteral("alpha")}});
+  PreparedEntity r =
+      MakeRight({{"http://r/label", Term::StringLiteral("alpha")}});
+  FeatureSet set = BuildFeatureSet(l, r, &catalog_, 0.3);
+  FeatureId id = catalog_.Intern({"http://l/name", "http://r/label"});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.Get(id), 1.0);
+}
+
+TEST(PrepareEntityTest, MaxAttributesCap) {
+  TripleStore store("t");
+  Term subject = Term::Iri("s");
+  for (int i = 0; i < 20; ++i) {
+    store.Add(subject, Term::Iri("p" + std::to_string(i)),
+              Term::IntegerLiteral(i));
+  }
+  PreparedEntity capped =
+      PrepareEntity(store, *store.dictionary().Lookup(subject), 5);
+  EXPECT_EQ(capped.attributes.size(), 5u);
+  PreparedEntity full =
+      PrepareEntity(store, *store.dictionary().Lookup(subject), 0);
+  EXPECT_EQ(full.attributes.size(), 20u);
+}
+
+}  // namespace
+}  // namespace alex::core

@@ -1,0 +1,119 @@
+#include "core/mc_learner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace alex::core {
+namespace {
+
+FeatureSet MakeActions(std::initializer_list<std::pair<FeatureId, double>>
+                           features) {
+  FeatureSet set;
+  for (const auto& [id, score] : features) set.SetMax(id, score);
+  return set;
+}
+
+TEST(McLearnerTest, QIsAverageOfReturns) {
+  McLearner learner;
+  StateAction sa{1, 2};
+  learner.AppendReturn(sa, 1.0);
+  learner.AppendReturn(sa, -1.0);
+  learner.AppendReturn(sa, 1.0);
+  bool defined = false;
+  EXPECT_NEAR(learner.Q(sa, &defined), 1.0 / 3.0, 1e-12);
+  EXPECT_TRUE(defined);
+}
+
+TEST(McLearnerTest, UndefinedQ) {
+  McLearner learner;
+  bool defined = true;
+  EXPECT_DOUBLE_EQ(learner.Q(StateAction{1, 1}, &defined), 0.0);
+  EXPECT_FALSE(defined);
+}
+
+TEST(McLearnerTest, ArgmaxPrefersHigherQ) {
+  McLearner learner;
+  FeatureSet actions = MakeActions({{1, 0.5}, {2, 0.6}, {3, 0.7}});
+  learner.AppendReturn({9, 1}, 0.5);
+  learner.AppendReturn({9, 2}, 0.9);
+  learner.AppendReturn({9, 3}, -0.5);
+  EXPECT_EQ(learner.ArgmaxAction(9, actions), 2u);
+}
+
+TEST(McLearnerTest, ArgmaxTreatsUntriedAsNeutral) {
+  // A state whose only sampled action has a negative return must not
+  // greedily re-take it: untried actions count as Q = 0.
+  McLearner learner;
+  FeatureSet actions = MakeActions({{1, 0.5}, {2, 0.9}});
+  learner.AppendReturn({9, 1}, -1.0);
+  EXPECT_EQ(learner.ArgmaxAction(9, actions), 2u);
+}
+
+TEST(McLearnerTest, ArgmaxTieBreaksOnFeatureScore) {
+  McLearner learner;
+  FeatureSet actions = MakeActions({{1, 0.5}, {2, 0.9}, {3, 0.7}});
+  // All untried -> all Q=0 -> prefer the strongest feature.
+  EXPECT_EQ(learner.ArgmaxAction(9, actions), 2u);
+}
+
+TEST(McLearnerTest, ArgmaxOnEmptyActionSet) {
+  McLearner learner;
+  FeatureSet empty;
+  EXPECT_EQ(learner.ArgmaxAction(9, empty), kInvalidFeatureId);
+}
+
+TEST(McLearnerTest, FirstVisitPerEpisode) {
+  McLearner learner;
+  learner.BeginEpisode();
+  EXPECT_TRUE(learner.IsFirstVisit(4));
+  EXPECT_FALSE(learner.IsFirstVisit(4));
+  EXPECT_TRUE(learner.IsFirstVisit(5));
+  // New episode resets the marks ("a new first visit", §4.4.1).
+  learner.BeginEpisode();
+  EXPECT_TRUE(learner.IsFirstVisit(4));
+}
+
+TEST(McLearnerTest, StatesToImproveCollectsAndClears) {
+  McLearner learner;
+  learner.AppendReturn({1, 10}, 1.0);
+  learner.AppendReturn({2, 20}, -1.0);
+  learner.AppendReturn({1, 11}, 1.0);
+  std::vector<PairId> states = learner.TakeStatesToImprove();
+  std::sort(states.begin(), states.end());
+  EXPECT_EQ(states, (std::vector<PairId>{1, 2}));
+  EXPECT_TRUE(learner.TakeStatesToImprove().empty());
+}
+
+TEST(McLearnerTest, ReturnsPersistAcrossEpisodes) {
+  // Returns accumulate across episodes; only the first-visit marks reset.
+  McLearner learner;
+  learner.BeginEpisode();
+  learner.AppendReturn({1, 1}, 1.0);
+  learner.BeginEpisode();
+  learner.AppendReturn({1, 1}, 0.0);
+  EXPECT_NEAR(learner.Q(StateAction{1, 1}), 0.5, 1e-12);
+}
+
+TEST(McLearnerTest, QConvergesToMeanUnderManySamples) {
+  McLearner learner;
+  StateAction sa{3, 3};
+  // 70% of rewards +1, 30% -1 -> mean 0.4.
+  for (int i = 0; i < 1000; ++i) {
+    learner.AppendReturn(sa, i % 10 < 7 ? 1.0 : -1.0);
+  }
+  EXPECT_NEAR(learner.Q(sa), 0.4, 1e-9);
+}
+
+TEST(StateActionTest, HashAndEquality) {
+  StateActionHash hash;
+  StateAction a{1, 2};
+  StateAction b{1, 2};
+  StateAction c{2, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace alex::core

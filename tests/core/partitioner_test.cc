@@ -1,0 +1,74 @@
+#include "core/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace alex::core {
+namespace {
+
+std::vector<rdf::TermId> Ids(int n) {
+  std::vector<rdf::TermId> ids(n);
+  for (int i = 0; i < n; ++i) ids[i] = static_cast<rdf::TermId>(i);
+  return ids;
+}
+
+TEST(PartitionerTest, RoundRobinAssignment) {
+  auto partitions = EqualSizePartition(Ids(10), 3);
+  ASSERT_EQ(partitions.size(), 3u);
+  // The i-th entity is in partition i mod n (§6.2).
+  EXPECT_EQ(partitions[0], (std::vector<rdf::TermId>{0, 3, 6, 9}));
+  EXPECT_EQ(partitions[1], (std::vector<rdf::TermId>{1, 4, 7}));
+  EXPECT_EQ(partitions[2], (std::vector<rdf::TermId>{2, 5, 8}));
+}
+
+TEST(PartitionerTest, SizesDifferByAtMostOne) {
+  auto partitions = EqualSizePartition(Ids(100), 7);
+  size_t min_size = 1000, max_size = 0;
+  for (const auto& p : partitions) {
+    min_size = std::min(min_size, p.size());
+    max_size = std::max(max_size, p.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(PartitionerTest, CoversEverySubjectExactlyOnce) {
+  auto subjects = Ids(57);
+  auto partitions = EqualSizePartition(subjects, 8);
+  std::multiset<rdf::TermId> seen;
+  for (const auto& p : partitions) seen.insert(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), subjects.size());
+  for (rdf::TermId id : subjects) EXPECT_EQ(seen.count(id), 1u);
+}
+
+TEST(PartitionerTest, SinglePartition) {
+  auto partitions = EqualSizePartition(Ids(5), 1);
+  ASSERT_EQ(partitions.size(), 1u);
+  EXPECT_EQ(partitions[0].size(), 5u);
+}
+
+TEST(PartitionerTest, NonPositiveCountTreatedAsOne) {
+  auto partitions = EqualSizePartition(Ids(5), 0);
+  ASSERT_EQ(partitions.size(), 1u);
+  partitions = EqualSizePartition(Ids(5), -3);
+  ASSERT_EQ(partitions.size(), 1u);
+}
+
+TEST(PartitionerTest, MorePartitionsThanSubjects) {
+  auto partitions = EqualSizePartition(Ids(3), 10);
+  ASSERT_EQ(partitions.size(), 10u);
+  size_t non_empty = 0;
+  for (const auto& p : partitions) {
+    if (!p.empty()) ++non_empty;
+  }
+  EXPECT_EQ(non_empty, 3u);
+}
+
+TEST(PartitionerTest, EmptyInput) {
+  auto partitions = EqualSizePartition({}, 4);
+  ASSERT_EQ(partitions.size(), 4u);
+  for (const auto& p : partitions) EXPECT_TRUE(p.empty());
+}
+
+}  // namespace
+}  // namespace alex::core

@@ -1,0 +1,125 @@
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace alex::core {
+namespace {
+
+FeatureSet MakeActions(std::initializer_list<std::pair<FeatureId, double>>
+                           features) {
+  FeatureSet set;
+  for (const auto& [id, score] : features) set.SetMax(id, score);
+  return set;
+}
+
+TEST(PolicyTest, UnimprovedStateChoosesUniformly) {
+  EpsilonGreedyPolicy policy(0.1);
+  FeatureSet actions = MakeActions({{1, 0.5}, {2, 0.6}, {3, 0.7}});
+  Rng rng(1);
+  std::map<FeatureId, int> counts;
+  const int draws = 30000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[policy.ChooseAction(7, actions, &rng)];
+  }
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [id, count] : counts) {
+    EXPECT_NEAR(count, draws / 3, draws * 0.02) << "action " << id;
+  }
+}
+
+TEST(PolicyTest, GreedyActionDominatesAfterImprovement) {
+  EpsilonGreedyPolicy policy(0.1);
+  FeatureSet actions = MakeActions({{1, 0.5}, {2, 0.6}, {3, 0.7}});
+  policy.SetGreedy(7, 2);
+  Rng rng(2);
+  std::map<FeatureId, int> counts;
+  const int draws = 30000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[policy.ChooseAction(7, actions, &rng)];
+  }
+  // P(greedy) = 1 - ε + ε/|A| ≈ 0.9333.
+  EXPECT_NEAR(counts[2], draws * (0.9 + 0.1 / 3.0), draws * 0.02);
+  // Non-greedy actions each get ε/|A| ≈ 0.0333 > 0: continuous exploration.
+  EXPECT_GT(counts[1], 0);
+  EXPECT_GT(counts[3], 0);
+  EXPECT_NEAR(counts[1], draws * 0.1 / 3.0, draws * 0.02);
+}
+
+TEST(PolicyTest, ActionProbabilityUnimproved) {
+  EpsilonGreedyPolicy policy(0.1);
+  FeatureSet actions = MakeActions({{1, 0.5}, {2, 0.6}});
+  EXPECT_DOUBLE_EQ(policy.ActionProbability(3, actions, 1), 0.5);
+  EXPECT_DOUBLE_EQ(policy.ActionProbability(3, actions, 2), 0.5);
+  EXPECT_DOUBLE_EQ(policy.ActionProbability(3, actions, 99), 0.0);
+}
+
+TEST(PolicyTest, ActionProbabilityGreedy) {
+  EpsilonGreedyPolicy policy(0.2);
+  FeatureSet actions = MakeActions({{1, 0.5}, {2, 0.6}, {3, 0.1},
+                                    {4, 0.9}});
+  policy.SetGreedy(5, 4);
+  // Greedy: 1 - ε + ε/|A| = 0.8 + 0.05.
+  EXPECT_DOUBLE_EQ(policy.ActionProbability(5, actions, 4), 0.85);
+  // Others: ε/|A| = 0.05.
+  EXPECT_DOUBLE_EQ(policy.ActionProbability(5, actions, 1), 0.05);
+  // Probabilities sum to 1.
+  double total = 0.0;
+  for (FeatureId a : {1, 2, 3, 4}) {
+    total += policy.ActionProbability(5, actions, a);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PolicyTest, EveryActionHasNonZeroProbability) {
+  // π(s, a) ≥ ε/|A(s)| > 0 (§4.4.1) — the Monte Carlo method requires it.
+  EpsilonGreedyPolicy policy(0.05);
+  FeatureSet actions = MakeActions({{1, 0.5}, {2, 0.6}, {3, 0.7},
+                                    {4, 0.8}});
+  policy.SetGreedy(1, 1);
+  for (FeatureId a : {1, 2, 3, 4}) {
+    EXPECT_GE(policy.ActionProbability(1, actions, a),
+              0.05 / 4.0 - 1e-12);
+  }
+}
+
+TEST(PolicyTest, GreedyActionAccessor) {
+  EpsilonGreedyPolicy policy(0.1);
+  EXPECT_FALSE(policy.GreedyAction(1).has_value());
+  policy.SetGreedy(1, 42);
+  ASSERT_TRUE(policy.GreedyAction(1).has_value());
+  EXPECT_EQ(*policy.GreedyAction(1), 42u);
+  EXPECT_EQ(policy.improved_state_count(), 1u);
+}
+
+TEST(PolicyTest, ImprovementOverwrites) {
+  EpsilonGreedyPolicy policy(0.1);
+  policy.SetGreedy(1, 42);
+  policy.SetGreedy(1, 43);
+  EXPECT_EQ(*policy.GreedyAction(1), 43u);
+  EXPECT_EQ(policy.improved_state_count(), 1u);
+}
+
+TEST(PolicyTest, StatesAreIndependent) {
+  EpsilonGreedyPolicy policy(0.0);  // fully greedy for determinism
+  FeatureSet actions = MakeActions({{1, 0.5}, {2, 0.6}});
+  policy.SetGreedy(10, 1);
+  policy.SetGreedy(20, 2);
+  Rng rng(3);
+  EXPECT_EQ(policy.ChooseAction(10, actions, &rng), 1u);
+  EXPECT_EQ(policy.ChooseAction(20, actions, &rng), 2u);
+}
+
+TEST(PolicyTest, SingleActionState) {
+  EpsilonGreedyPolicy policy(0.5);
+  FeatureSet actions = MakeActions({{9, 0.8}});
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(policy.ChooseAction(1, actions, &rng), 9u);
+  }
+  EXPECT_DOUBLE_EQ(policy.ActionProbability(1, actions, 9), 1.0);
+}
+
+}  // namespace
+}  // namespace alex::core

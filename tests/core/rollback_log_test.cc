@@ -1,0 +1,109 @@
+#include "core/rollback_log.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace alex::core {
+namespace {
+
+TEST(RollbackLogTest, ParentsTracked) {
+  RollbackLog log;
+  log.RecordGeneration({1, 10}, {5, 6, 7});
+  EXPECT_EQ(log.ParentsOf(5).size(), 1u);
+  EXPECT_EQ(log.ParentsOf(5)[0], (StateAction{1, 10}));
+  EXPECT_TRUE(log.ParentsOf(99).empty());
+}
+
+TEST(RollbackLogTest, MultipleGenerators) {
+  RollbackLog log;
+  log.RecordGeneration({1, 10}, {5});
+  log.RecordGeneration({2, 20}, {5});
+  EXPECT_EQ(log.ParentsOf(5).size(), 2u);
+}
+
+TEST(RollbackLogTest, AncestorsWalkTheChain) {
+  // s1 --a1--> s2 --a2--> s3: feedback on s3 reaches both generators
+  // (the paper's return-propagation example in §4.4.1).
+  RollbackLog log;
+  log.RecordGeneration({1, 10}, {2});
+  log.RecordGeneration({2, 20}, {3});
+  std::vector<StateAction> ancestors = log.AncestorsOf(3);
+  ASSERT_EQ(ancestors.size(), 2u);
+  EXPECT_NE(std::find(ancestors.begin(), ancestors.end(),
+                      (StateAction{2, 20})),
+            ancestors.end());
+  EXPECT_NE(std::find(ancestors.begin(), ancestors.end(),
+                      (StateAction{1, 10})),
+            ancestors.end());
+}
+
+TEST(RollbackLogTest, AncestorsHandleCycles) {
+  RollbackLog log;
+  log.RecordGeneration({1, 10}, {2});
+  log.RecordGeneration({2, 20}, {1});  // cycle
+  std::vector<StateAction> ancestors = log.AncestorsOf(1);
+  EXPECT_EQ(ancestors.size(), 2u);  // terminates, visits each SA once
+}
+
+TEST(RollbackLogTest, AncestorsOfRoot) {
+  RollbackLog log;
+  EXPECT_TRUE(log.AncestorsOf(42).empty());
+}
+
+TEST(RollbackLogTest, NegativeThresholdFires) {
+  RollbackLog log;
+  log.RecordGeneration({1, 10}, {5, 6});
+  EXPECT_TRUE(log.AddNegative(5, 3).empty());
+  EXPECT_TRUE(log.AddNegative(6, 3).empty());
+  std::vector<StateAction> fired = log.AddNegative(5, 3);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], (StateAction{1, 10}));
+}
+
+TEST(RollbackLogTest, CounterResetsAfterFiring) {
+  RollbackLog log;
+  log.RecordGeneration({1, 10}, {5});
+  log.AddNegative(5, 2);
+  EXPECT_EQ(log.AddNegative(5, 2).size(), 1u);  // second hit fires
+  EXPECT_TRUE(log.AddNegative(5, 2).empty());   // counter was reset
+}
+
+TEST(RollbackLogTest, TakeGeneratedReturnsAndClears) {
+  RollbackLog log;
+  log.RecordGeneration({1, 10}, {5, 6});
+  log.RecordGeneration({1, 10}, {7});  // same generator, appended
+  std::vector<PairId> generated = log.TakeGenerated({1, 10});
+  std::sort(generated.begin(), generated.end());
+  EXPECT_EQ(generated, (std::vector<PairId>{5, 6, 7}));
+  EXPECT_TRUE(log.TakeGenerated({1, 10}).empty());
+}
+
+TEST(RollbackLogTest, TakeGeneratedDetachesParents) {
+  RollbackLog log;
+  log.RecordGeneration({1, 10}, {5});
+  log.RecordGeneration({2, 20}, {5});
+  log.TakeGenerated({1, 10});
+  ASSERT_EQ(log.ParentsOf(5).size(), 1u);
+  EXPECT_EQ(log.ParentsOf(5)[0], (StateAction{2, 20}));
+  // Negative feedback after the rollback is attributed only to the
+  // remaining generator.
+  std::vector<StateAction> fired = log.AddNegative(5, 1);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], (StateAction{2, 20}));
+}
+
+TEST(RollbackLogTest, EmptyGenerationIgnored) {
+  RollbackLog log;
+  log.RecordGeneration({1, 10}, {});
+  EXPECT_EQ(log.generation_count(), 0u);
+  EXPECT_TRUE(log.TakeGenerated({1, 10}).empty());
+}
+
+TEST(RollbackLogTest, NegativeOnUnknownPairIsNoop) {
+  RollbackLog log;
+  EXPECT_TRUE(log.AddNegative(123, 1).empty());
+}
+
+}  // namespace
+}  // namespace alex::core

@@ -1,0 +1,176 @@
+#include "datagen/world.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/profiles.h"
+#include "rdf/dataset_stats.h"
+#include "rdf/ntriples.h"
+
+namespace alex::datagen {
+namespace {
+
+TEST(NoiseHelpersTest, ReorderName) {
+  EXPECT_EQ(ReorderName("LeBron James"), "James, LeBron");
+  EXPECT_EQ(ReorderName("One Two Three"), "Three, One Two");
+  EXPECT_EQ(ReorderName("Single"), "Single");
+  EXPECT_EQ(ReorderName(""), "");
+}
+
+TEST(NoiseHelpersTest, AbbreviateFirstToken) {
+  EXPECT_EQ(AbbreviateFirstToken("LeBron James"), "L. James");
+  EXPECT_EQ(AbbreviateFirstToken("Single"), "Single");
+}
+
+TEST(NoiseHelpersTest, ApplyTyposChangesString) {
+  Rng rng(5);
+  std::string original = "a reasonably long test value";
+  std::string noisy = ApplyTypos(original, 0.3, &rng);
+  EXPECT_NE(noisy, original);
+  // Typos are local edits: length stays within the edit budget.
+  EXPECT_NEAR(static_cast<double>(noisy.size()), original.size(), 8.0);
+}
+
+TEST(NoiseHelpersTest, ApplyTyposOnEmpty) {
+  Rng rng(5);
+  EXPECT_EQ(ApplyTypos("", 0.3, &rng), "");
+}
+
+TEST(NoiseHelpersTest, RandomWordIsPronounceableAscii) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    std::string word = RandomWord(&rng);
+    EXPECT_GE(word.size(), 2u);
+    for (char c : word) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << word;
+    }
+  }
+}
+
+TEST(NoiseHelpersTest, RandomNameHasTwoCapitalizedTokens) {
+  Rng rng(5);
+  std::string name = RandomName(&rng);
+  size_t space = name.find(' ');
+  ASSERT_NE(space, std::string::npos);
+  EXPECT_TRUE(name[0] >= 'A' && name[0] <= 'Z');
+  EXPECT_TRUE(name[space + 1] >= 'A' && name[space + 1] <= 'Z');
+}
+
+TEST(GenerateTest, GroundTruthMatchesOverlap) {
+  WorldProfile profile = TinyTestProfile();
+  GeneratedWorld world = Generate(profile);
+  EXPECT_EQ(world.ground_truth.size(), profile.overlap_entities);
+}
+
+TEST(GenerateTest, EntityCountsMatchProfile) {
+  WorldProfile profile = TinyTestProfile();
+  GeneratedWorld world = Generate(profile);
+  size_t left_expected = profile.overlap_entities +
+                         profile.left_only_entities +
+                         profile.confusable_pairs;
+  size_t right_expected = profile.overlap_entities +
+                          profile.right_only_entities +
+                          profile.confusable_pairs;
+  EXPECT_EQ(world.left.Subjects().size(), left_expected);
+  EXPECT_EQ(world.right.Subjects().size(), right_expected);
+}
+
+TEST(GenerateTest, DeterministicPerSeed) {
+  WorldProfile profile = TinyTestProfile();
+  GeneratedWorld a = Generate(profile);
+  GeneratedWorld b = Generate(profile);
+  EXPECT_EQ(a.left.size(), b.left.size());
+  EXPECT_EQ(a.right.size(), b.right.size());
+  ASSERT_EQ(a.ground_truth.size(), b.ground_truth.size());
+  for (size_t i = 0; i < a.ground_truth.size(); ++i) {
+    EXPECT_EQ(a.ground_truth[i], b.ground_truth[i]);
+  }
+}
+
+TEST(GenerateTest, DifferentSeedsDiffer) {
+  WorldProfile profile = TinyTestProfile();
+  GeneratedWorld a = Generate(profile);
+  profile.seed += 1;
+  GeneratedWorld b = Generate(profile);
+  // The triple payloads differ even if the counts coincide.
+  EXPECT_NE(rdf::WriteNTriples(a.left), rdf::WriteNTriples(b.left));
+}
+
+TEST(GenerateTest, GroundTruthLinksPointAtRealEntities) {
+  GeneratedWorld world = Generate(TinyTestProfile());
+  for (const linking::Link& link : world.ground_truth) {
+    EXPECT_TRUE(world.left.dictionary()
+                    .Lookup(rdf::Term::Iri(link.left))
+                    .has_value())
+        << link.left;
+    EXPECT_TRUE(world.right.dictionary()
+                    .Lookup(rdf::Term::Iri(link.right))
+                    .has_value())
+        << link.right;
+  }
+}
+
+TEST(GenerateTest, VocabulariesDifferAcrossSides) {
+  GeneratedWorld world = Generate(TinyTestProfile());
+  std::set<std::string> left_preds, right_preds;
+  for (rdf::TermId p : world.left.Predicates()) {
+    left_preds.insert(world.left.dictionary().term(p).lexical());
+  }
+  for (rdf::TermId p : world.right.Predicates()) {
+    right_preds.insert(world.right.dictionary().term(p).lexical());
+  }
+  // Apart from rdf:type, vocabularies are disjoint (semantic heterogeneity).
+  size_t shared = 0;
+  for (const std::string& p : left_preds) {
+    if (right_preds.count(p)) ++shared;
+  }
+  EXPECT_LE(shared, 1u);
+}
+
+TEST(ProfilesTest, LookupByName) {
+  WorldProfile profile;
+  EXPECT_TRUE(ProfileByName("dbpedia_nytimes", &profile));
+  EXPECT_EQ(profile.name, "dbpedia_nytimes");
+  EXPECT_FALSE(ProfileByName("no_such_profile", &profile));
+}
+
+TEST(ProfilesTest, AllNamesResolve) {
+  for (const std::string& name : AllProfileNames()) {
+    WorldProfile profile;
+    EXPECT_TRUE(ProfileByName(name, &profile)) << name;
+    EXPECT_EQ(profile.name, name);
+    EXPECT_FALSE(profile.attributes.empty()) << name;
+  }
+}
+
+TEST(ProfilesTest, LeftIsTheLargerDataSet) {
+  // AlexEngine partitions the left store; profiles must orient accordingly.
+  for (const std::string& name : AllProfileNames()) {
+    WorldProfile profile;
+    ASSERT_TRUE(ProfileByName(name, &profile));
+    size_t left = profile.overlap_entities + profile.left_only_entities +
+                  profile.confusable_pairs;
+    size_t right = profile.overlap_entities + profile.right_only_entities +
+                   profile.confusable_pairs;
+    EXPECT_GE(left, right) << name;
+  }
+}
+
+TEST(GenerateTest, ConfusablePairsAreNotGroundTruth) {
+  WorldProfile profile = TinyTestProfile();
+  profile.confusable_pairs = 15;
+  GeneratedWorld world = Generate(profile);
+  // Ground truth still only counts the overlap entities.
+  EXPECT_EQ(world.ground_truth.size(), profile.overlap_entities);
+}
+
+TEST(GenerateTest, StatsShapeIsPlausible) {
+  GeneratedWorld world = Generate(TinyTestProfile());
+  rdf::DatasetStats stats = rdf::ComputeStats(world.left);
+  EXPECT_GT(stats.triples, stats.subjects);  // multiple attributes each
+  EXPECT_GE(stats.predicates, 4u);
+}
+
+}  // namespace
+}  // namespace alex::datagen

@@ -1,0 +1,74 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::eval {
+namespace {
+
+using linking::Link;
+
+TEST(MetricsTest, PerfectCandidates) {
+  feedback::GroundTruth truth({{"a", "x", 1.0}, {"b", "y", 1.0}});
+  Quality q = Evaluate({{"a", "x", 1.0}, {"b", "y", 1.0}}, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.f_measure, 1.0);
+  EXPECT_EQ(q.correct, 2u);
+}
+
+TEST(MetricsTest, PartialOverlap) {
+  feedback::GroundTruth truth(
+      {{"a", "x", 1.0}, {"b", "y", 1.0}, {"c", "z", 1.0}, {"d", "w", 1.0}});
+  // 2 correct out of 4 candidates, ground truth 4.
+  Quality q = Evaluate(
+      {{"a", "x", 1.0}, {"b", "y", 1.0}, {"b", "z", 1.0}, {"e", "v", 1.0}},
+      truth);
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
+  EXPECT_DOUBLE_EQ(q.f_measure, 0.5);
+}
+
+TEST(MetricsTest, EmptyCandidates) {
+  feedback::GroundTruth truth({{"a", "x", 1.0}});
+  Quality q = Evaluate({}, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.f_measure, 0.0);
+}
+
+TEST(MetricsTest, EmptyGroundTruth) {
+  feedback::GroundTruth truth;
+  Quality q = Evaluate({{"a", "x", 1.0}}, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+}
+
+TEST(MetricsTest, FMeasureIsHarmonicMean) {
+  feedback::GroundTruth truth({{"a", "x", 1.0}, {"b", "y", 1.0},
+                               {"c", "z", 1.0}, {"d", "w", 1.0}});
+  // P = 1.0 (1/1), R = 0.25 (1/4) -> F = 2*1*0.25/1.25 = 0.4
+  Quality q = Evaluate({{"a", "x", 1.0}}, truth);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.25);
+  EXPECT_DOUBLE_EQ(q.f_measure, 0.4);
+}
+
+TEST(MetricsTest, NewCorrectLinksExcludesInitial) {
+  feedback::GroundTruth truth({{"a", "x", 1.0}, {"b", "y", 1.0},
+                               {"c", "z", 1.0}});
+  std::vector<Link> initial = {{"a", "x", 1.0}, {"q", "q", 1.0}};
+  std::vector<Link> final_links = {{"a", "x", 1.0},
+                                   {"b", "y", 1.0},
+                                   {"c", "z", 1.0},
+                                   {"bad", "bad", 1.0}};
+  // b->y and c->z are new AND correct; a->x was initial; bad is incorrect.
+  EXPECT_EQ(NewCorrectLinks(initial, final_links, truth), 2u);
+}
+
+TEST(MetricsTest, NewCorrectLinksEmptyInitial) {
+  feedback::GroundTruth truth({{"a", "x", 1.0}});
+  EXPECT_EQ(NewCorrectLinks({}, {{"a", "x", 1.0}}, truth), 1u);
+}
+
+}  // namespace
+}  // namespace alex::eval

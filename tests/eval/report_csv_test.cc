@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "eval/report.h"
+
+namespace alex::eval {
+namespace {
+
+ExperimentResult SampleResult() {
+  ExperimentResult result;
+  result.profile_name = "sample";
+  result.ground_truth_size = 10;
+  EpisodePoint p0;
+  p0.episode = 0;
+  p0.quality.precision = 0.5;
+  p0.quality.recall = 0.25;
+  p0.quality.f_measure = 1.0 / 3.0;
+  p0.quality.candidates = 5;
+  result.series.push_back(p0);
+  EpisodePoint p1;
+  p1.episode = 1;
+  p1.quality.precision = 1.0;
+  p1.quality.recall = 0.9;
+  p1.quality.f_measure = 2 * 1.0 * 0.9 / 1.9;
+  p1.quality.candidates = 9;
+  p1.stats.episode = 1;
+  p1.stats.feedback_items = 100;
+  p1.stats.negative_feedback = 25;
+  p1.stats.positive_feedback = 75;
+  p1.stats.seconds = 0.125;
+  result.series.push_back(p1);
+  result.episodes = 1;
+  result.relaxed_episode = 1;
+  return result;
+}
+
+TEST(ReportCsvTest, HeaderAndRows) {
+  std::ostringstream os;
+  WriteSeriesCsv(os, SampleResult());
+  std::string csv = os.str();
+  EXPECT_EQ(csv.find("episode,precision,recall,f_measure,"
+                     "neg_feedback_pct,candidates,seconds"),
+            0u);
+  // One header + two data rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("\n0,0.5,0.25,"), std::string::npos);
+  EXPECT_NE(csv.find(",25,"), std::string::npos);  // 25% negative feedback
+}
+
+TEST(ReportCsvTest, SaveAndReadBack) {
+  std::string path = ::testing::TempDir() + "/report_series.csv";
+  ASSERT_TRUE(SaveSeriesCsv(path, SampleResult()));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header.find("episode,"), 0u);
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+  std::remove(path.c_str());
+}
+
+TEST(ReportCsvTest, SaveToBadPathFails) {
+  EXPECT_FALSE(SaveSeriesCsv("/nonexistent/dir/x.csv", SampleResult()));
+}
+
+TEST(ReportTest, SummaryMentionsRelaxedEpisode) {
+  std::ostringstream os;
+  PrintSummary(os, SampleResult());
+  EXPECT_NE(os.str().find("episode 1"), std::string::npos);
+}
+
+TEST(ReportTest, SummaryNeverConverged) {
+  ExperimentResult result = SampleResult();
+  result.relaxed_episode = -1;
+  std::ostringstream os;
+  PrintSummary(os, result);
+  EXPECT_NE(os.str().find("never"), std::string::npos);
+  EXPECT_NE(os.str().find("max episodes reached"), std::string::npos);
+}
+
+TEST(ReportTest, SeriesMarksRelaxedConvergence) {
+  std::ostringstream os;
+  PrintSeries(os, "T", SampleResult());
+  EXPECT_NE(os.str().find("<- relaxed convergence"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alex::eval

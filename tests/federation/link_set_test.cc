@@ -1,0 +1,77 @@
+#include "federation/link_set.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::fed {
+namespace {
+
+using linking::Link;
+
+TEST(LinkSetTest, AddAndContains) {
+  LinkSet links;
+  EXPECT_TRUE(links.Add(Link{"a", "x", 0.9}));
+  EXPECT_TRUE(links.Contains("a", "x"));
+  EXPECT_FALSE(links.Contains("x", "a"));  // directional
+  EXPECT_EQ(links.size(), 1u);
+}
+
+TEST(LinkSetTest, DuplicateAddReturnsFalse) {
+  LinkSet links;
+  links.Add(Link{"a", "x", 0.9});
+  EXPECT_FALSE(links.Add(Link{"a", "x", 0.5}));
+  EXPECT_EQ(links.size(), 1u);
+}
+
+TEST(LinkSetTest, DuplicateAddKeepsHigherScore) {
+  LinkSet links;
+  links.Add(Link{"a", "x", 0.5});
+  links.Add(Link{"a", "x", 0.9});
+  auto all = links.All();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_DOUBLE_EQ(all[0].score, 0.9);
+  links.Add(Link{"a", "x", 0.2});
+  all = links.All();
+  EXPECT_DOUBLE_EQ(all[0].score, 0.9);
+}
+
+TEST(LinkSetTest, Remove) {
+  LinkSet links;
+  links.Add(Link{"a", "x", 1.0});
+  links.Add(Link{"a", "y", 1.0});
+  EXPECT_TRUE(links.Remove("a", "x"));
+  EXPECT_FALSE(links.Remove("a", "x"));
+  EXPECT_FALSE(links.Contains("a", "x"));
+  EXPECT_TRUE(links.Contains("a", "y"));
+  EXPECT_EQ(links.size(), 1u);
+}
+
+TEST(LinkSetTest, RightsOfAndLeftsOf) {
+  LinkSet links;
+  links.Add(Link{"a", "x", 1.0});
+  links.Add(Link{"a", "y", 1.0});
+  links.Add(Link{"b", "x", 1.0});
+  EXPECT_EQ(links.RightsOf("a"), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(links.LeftsOf("x"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(links.RightsOf("zzz").empty());
+  EXPECT_TRUE(links.LeftsOf("zzz").empty());
+}
+
+TEST(LinkSetTest, RemoveCleansIndexes) {
+  LinkSet links;
+  links.Add(Link{"a", "x", 1.0});
+  links.Remove("a", "x");
+  EXPECT_TRUE(links.RightsOf("a").empty());
+  EXPECT_TRUE(links.LeftsOf("x").empty());
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(LinkSetTest, AllSnapshot) {
+  LinkSet links;
+  for (int i = 0; i < 5; ++i) {
+    links.Add(Link{"l" + std::to_string(i), "r" + std::to_string(i), 1.0});
+  }
+  EXPECT_EQ(links.All().size(), 5u);
+}
+
+}  // namespace
+}  // namespace alex::fed

@@ -1,0 +1,127 @@
+#include "feedback/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace alex::feedback {
+namespace {
+
+using linking::Link;
+
+const Link kLink{"http://l/a", "http://r/x", 1.0};
+
+TEST(AggregatorTest, NoVerdictBeforeQuorum) {
+  FeedbackAggregator agg({.quorum = 3});
+  EXPECT_FALSE(agg.AddVote(kLink, true).has_value());
+  EXPECT_FALSE(agg.AddVote(kLink, true).has_value());
+  EXPECT_EQ(agg.PositiveVotes(kLink), 2);
+  EXPECT_EQ(agg.pending(), 1u);
+}
+
+TEST(AggregatorTest, UnanimousQuorumEmitsVerdict) {
+  FeedbackAggregator agg({.quorum = 3});
+  agg.AddVote(kLink, true);
+  agg.AddVote(kLink, true);
+  std::optional<bool> verdict = agg.AddVote(kLink, true);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+  EXPECT_EQ(agg.verdicts_emitted(), 1u);
+}
+
+TEST(AggregatorTest, MajorityWinsDespiteDissent) {
+  FeedbackAggregator agg({.quorum = 3});
+  agg.AddVote(kLink, false);
+  agg.AddVote(kLink, true);
+  std::optional<bool> verdict = agg.AddVote(kLink, true);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+}
+
+TEST(AggregatorTest, NegativeMajority) {
+  FeedbackAggregator agg({.quorum = 3});
+  agg.AddVote(kLink, false);
+  agg.AddVote(kLink, true);
+  std::optional<bool> verdict = agg.AddVote(kLink, false);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+}
+
+TEST(AggregatorTest, TieKeepsAccumulating) {
+  FeedbackAggregator agg({.quorum = 2});
+  agg.AddVote(kLink, true);
+  EXPECT_FALSE(agg.AddVote(kLink, false).has_value());  // 1-1 tie
+  // The next vote breaks the tie.
+  std::optional<bool> verdict = agg.AddVote(kLink, true);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+}
+
+TEST(AggregatorTest, ResetAfterVerdict) {
+  FeedbackAggregator agg({.quorum = 2});
+  agg.AddVote(kLink, true);
+  ASSERT_TRUE(agg.AddVote(kLink, true).has_value());
+  EXPECT_EQ(agg.PositiveVotes(kLink), 0);  // tally cleared
+  EXPECT_EQ(agg.pending(), 0u);
+}
+
+TEST(AggregatorTest, KeepTallyWhenConfigured) {
+  FeedbackAggregator agg({.quorum = 2, .majority = 0.5,
+                          .reset_after_verdict = false});
+  agg.AddVote(kLink, true);
+  ASSERT_TRUE(agg.AddVote(kLink, true).has_value());
+  EXPECT_EQ(agg.PositiveVotes(kLink), 2);
+}
+
+TEST(AggregatorTest, LinksAreIndependent) {
+  FeedbackAggregator agg({.quorum = 2});
+  Link other{"http://l/b", "http://r/y", 1.0};
+  agg.AddVote(kLink, true);
+  agg.AddVote(other, false);
+  EXPECT_EQ(agg.PositiveVotes(kLink), 1);
+  EXPECT_EQ(agg.NegativeVotes(other), 1);
+  EXPECT_EQ(agg.pending(), 2u);
+}
+
+TEST(AggregatorTest, SupermajorityThreshold) {
+  // With majority = 0.66, a 2-1 split (66.7% > 66%) barely passes but a
+  // 3-2 split (60%) does not.
+  FeedbackAggregator agg({.quorum = 5, .majority = 0.66});
+  agg.AddVote(kLink, true);
+  agg.AddVote(kLink, true);
+  agg.AddVote(kLink, true);
+  agg.AddVote(kLink, false);
+  EXPECT_FALSE(agg.AddVote(kLink, false).has_value());  // 3-2: no verdict
+  // One more positive vote reaches 4-2 (66.7% > 66%).
+  std::optional<bool> verdict = agg.AddVote(kLink, true);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+}
+
+TEST(AggregatorTest, SuppressesNoisyUsersStatistically) {
+  // 100 links, each voted on by 5 users who are wrong 20% of the time:
+  // the aggregated verdicts should have far fewer errors than the raw
+  // votes. (The mechanism §6.3 alludes to for pre-cleaning feedback.)
+  Rng rng(77);
+  FeedbackAggregator agg({.quorum = 5});
+  int wrong_verdicts = 0;
+  int verdicts = 0;
+  for (int i = 0; i < 100; ++i) {
+    Link link{"l" + std::to_string(i), "r" + std::to_string(i), 1.0};
+    bool truth = i % 2 == 0;
+    for (int user = 0; user < 5; ++user) {
+      bool vote = rng.NextBool(0.2) ? !truth : truth;
+      std::optional<bool> verdict = agg.AddVote(link, vote);
+      if (verdict.has_value()) {
+        ++verdicts;
+        if (*verdict != truth) ++wrong_verdicts;
+      }
+    }
+  }
+  EXPECT_GT(verdicts, 80);
+  // Raw error rate would be ~20%; aggregated should be well under 10%.
+  EXPECT_LT(static_cast<double>(wrong_verdicts) / verdicts, 0.1);
+}
+
+}  // namespace
+}  // namespace alex::feedback

@@ -1,0 +1,65 @@
+#include "feedback/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::feedback {
+namespace {
+
+using linking::Link;
+
+TEST(GroundTruthTest, ContainsExactPairs) {
+  GroundTruth truth({{"a", "x", 1.0}, {"b", "y", 1.0}});
+  EXPECT_EQ(truth.size(), 2u);
+  EXPECT_TRUE(truth.Contains({"a", "x", 0.5}));  // score ignored
+  EXPECT_FALSE(truth.Contains({"a", "y", 1.0}));
+  EXPECT_FALSE(truth.Contains({"x", "a", 1.0}));  // directional
+}
+
+TEST(GroundTruthTest, AddIsIdempotent) {
+  GroundTruth truth;
+  truth.Add({"a", "x", 1.0});
+  truth.Add({"a", "x", 0.9});
+  EXPECT_EQ(truth.size(), 1u);
+}
+
+TEST(OracleTest, PerfectOracleMatchesTruth) {
+  GroundTruth truth({{"a", "x", 1.0}});
+  Oracle oracle(&truth, 0.0, 42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(oracle.Feedback({"a", "x", 1.0}));
+    EXPECT_FALSE(oracle.Feedback({"a", "z", 1.0}));
+  }
+  EXPECT_EQ(oracle.items(), 200u);
+  EXPECT_EQ(oracle.errors(), 0u);
+}
+
+TEST(OracleTest, ErrorRateFlipsApproximatelyThatFraction) {
+  GroundTruth truth({{"a", "x", 1.0}});
+  Oracle oracle(&truth, 0.1, 7);
+  int wrong = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (!oracle.Feedback({"a", "x", 1.0})) ++wrong;
+  }
+  EXPECT_NEAR(static_cast<double>(wrong) / n, 0.1, 0.01);
+  EXPECT_EQ(oracle.errors(), static_cast<size_t>(wrong));
+}
+
+TEST(OracleTest, AlwaysWrongAtErrorRateOne) {
+  GroundTruth truth({{"a", "x", 1.0}});
+  Oracle oracle(&truth, 1.0, 3);
+  EXPECT_FALSE(oracle.Feedback({"a", "x", 1.0}));
+  EXPECT_TRUE(oracle.Feedback({"a", "z", 1.0}));
+}
+
+TEST(OracleTest, DeterministicPerSeed) {
+  GroundTruth truth({{"a", "x", 1.0}});
+  Oracle o1(&truth, 0.5, 99);
+  Oracle o2(&truth, 0.5, 99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(o1.Feedback({"a", "x", 1.0}), o2.Feedback({"a", "x", 1.0}));
+  }
+}
+
+}  // namespace
+}  // namespace alex::feedback

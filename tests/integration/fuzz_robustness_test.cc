@@ -1,0 +1,126 @@
+// Robustness "fuzz" tests: the parsers and executors must never crash or
+// hang on malformed input — they return parse errors (Status) instead.
+// Deterministic pseudo-random mutation keeps these reproducible.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "linking/link_io.h"
+#include "rdf/ntriples.h"
+#include "sparql/executor.h"
+#include "sparql/parser.h"
+#include "sparql/tokenizer.h"
+
+namespace alex {
+namespace {
+
+// Mutates `text` with random splices, truncations and character noise.
+std::string Mutate(const std::string& text, Rng* rng) {
+  std::string out = text;
+  int edits = 1 + static_cast<int>(rng->NextBounded(6));
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    size_t pos = rng->NextBounded(out.size());
+    switch (rng->NextBounded(4)) {
+      case 0:
+        out[pos] = static_cast<char>(rng->NextBounded(256));
+        break;
+      case 1:
+        out.erase(pos, 1 + rng->NextBounded(4));
+        break;
+      case 2:
+        out.insert(pos, std::string(1 + rng->NextBounded(3),
+                                    static_cast<char>(
+                                        32 + rng->NextBounded(95))));
+        break;
+      default:
+        out.resize(pos);  // truncate
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(FuzzTest, NTriplesParserNeverCrashes) {
+  const std::string seed_doc =
+      "<http://x/s> <http://x/p> \"v\\\"esc\"^^"
+      "<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "_:b0 <http://x/q> <http://x/o> .\n"
+      "# comment\n";
+  Rng rng(101);
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = Mutate(seed_doc, &rng);
+    rdf::TripleStore store("fuzz");
+    Status st = rdf::ParseNTriples(mutated, &store);
+    // OK or a parse error; anything else is a bug.
+    if (!st.ok()) {
+      EXPECT_EQ(st.code(), StatusCode::kParseError) << mutated;
+    }
+  }
+}
+
+TEST(FuzzTest, SparqlParserNeverCrashes) {
+  const std::string seed_query =
+      "PREFIX ex: <http://x/> SELECT DISTINCT ?a ?b WHERE { "
+      "?a ex:p ?b ; ex:q \"lit\" . { ?a ex:r 5 } UNION { ?a ex:s 2.5 } "
+      "OPTIONAL { ?b ex:t ?c } FILTER(?b > 1 && !(?c = \"x\")) } "
+      "ORDER BY DESC(?a) LIMIT 10 OFFSET 2";
+  Rng rng(202);
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = Mutate(seed_query, &rng);
+    Result<sparql::Query> query = sparql::ParseQuery(mutated);
+    if (!query.ok()) {
+      EXPECT_EQ(query.status().code(), StatusCode::kParseError) << mutated;
+    }
+  }
+}
+
+TEST(FuzzTest, MutatedQueriesExecuteSafely) {
+  rdf::TripleStore store("data");
+  for (int i = 0; i < 20; ++i) {
+    store.Add(rdf::Term::Iri("http://x/s" + std::to_string(i)),
+              rdf::Term::Iri("http://x/p" + std::to_string(i % 3)),
+              rdf::Term::IntegerLiteral(i));
+  }
+  const std::string seed_query =
+      "SELECT ?s ?o WHERE { ?s <http://x/p0> ?o . "
+      "FILTER(?o >= 0) } ORDER BY ?o LIMIT 5";
+  Rng rng(303);
+  int executed = 0;
+  for (int i = 0; i < 300; ++i) {
+    Result<sparql::Query> query = sparql::ParseQuery(
+        Mutate(seed_query, &rng));
+    if (!query.ok()) continue;
+    Result<std::vector<sparql::Binding>> rows =
+        sparql::Execute(query.value(), store);
+    if (rows.ok()) ++executed;
+  }
+  // Many mutants still parse and run; none may crash.
+  EXPECT_GT(executed, 0);
+}
+
+TEST(FuzzTest, LinksTsvParserNeverCrashes) {
+  const std::string seed = "http://l/a\thttp://r/x\t0.97\n# c\nl\tr\n";
+  Rng rng(404);
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = Mutate(seed, &rng);
+    Result<std::vector<linking::Link>> links =
+        linking::ParseLinksTsv(mutated);
+    if (!links.ok()) {
+      EXPECT_EQ(links.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(FuzzTest, TokenizerHandlesAllByteValues) {
+  for (int c = 0; c < 256; ++c) {
+    std::string one(1, static_cast<char>(c));
+    sparql::Tokenize(one);   // must not crash
+    rdf::TripleStore store("t");
+    rdf::ParseNTriples(one, &store);  // must not crash
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace alex

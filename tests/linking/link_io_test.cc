@@ -1,0 +1,104 @@
+#include "linking/link_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace alex::linking {
+namespace {
+
+std::vector<Link> SampleLinks() {
+  return {{"http://l/a", "http://r/x", 0.99},
+          {"http://l/b", "http://r/y", 0.5},
+          {"http://l/c", "http://r/z", 1.0}};
+}
+
+TEST(LinkIoTest, TsvRoundTrip) {
+  std::string tsv = WriteLinksTsv(SampleLinks());
+  Result<std::vector<Link>> parsed = ParseLinksTsv(tsv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[0].left, "http://l/a");
+  EXPECT_EQ((*parsed)[0].right, "http://r/x");
+  EXPECT_DOUBLE_EQ((*parsed)[0].score, 0.99);
+  EXPECT_DOUBLE_EQ((*parsed)[1].score, 0.5);
+}
+
+TEST(LinkIoTest, TsvScoreOptional) {
+  Result<std::vector<Link>> parsed = ParseLinksTsv("a\tb\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_DOUBLE_EQ((*parsed)[0].score, 1.0);
+}
+
+TEST(LinkIoTest, TsvSkipsCommentsAndBlank) {
+  Result<std::vector<Link>> parsed =
+      ParseLinksTsv("# header\n\na\tb\t0.7\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(LinkIoTest, TsvRejectsMalformed) {
+  EXPECT_FALSE(ParseLinksTsv("only-one-field\n").ok());
+  EXPECT_FALSE(ParseLinksTsv("a\tb\tnot-a-number\n").ok());
+  Result<std::vector<Link>> bad = ParseLinksTsv("ok\tfine\nbroken\n");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LinkIoTest, NTriplesRoundTrip) {
+  std::string nt = WriteLinksNTriples(SampleLinks());
+  EXPECT_NE(nt.find("owl#sameAs"), std::string::npos);
+  Result<std::vector<Link>> parsed = ParseLinksNTriples(nt);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), 3u);
+  for (const Link& link : *parsed) {
+    EXPECT_DOUBLE_EQ(link.score, 1.0);  // scores are not representable
+  }
+}
+
+TEST(LinkIoTest, NTriplesIgnoresOtherPredicates) {
+  const char* doc =
+      "<http://l/a> <http://www.w3.org/2002/07/owl#sameAs> <http://r/x> .\n"
+      "<http://l/a> <http://other/pred> <http://r/y> .\n";
+  Result<std::vector<Link>> parsed = ParseLinksNTriples(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(LinkIoTest, NTriplesIgnoresLiteralObjects) {
+  const char* doc =
+      "<http://l/a> <http://www.w3.org/2002/07/owl#sameAs> \"oops\" .\n";
+  Result<std::vector<Link>> parsed = ParseLinksNTriples(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(LinkIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/links_io_test.tsv";
+  ASSERT_TRUE(SaveLinksTsv(SampleLinks(), path).ok());
+  Result<std::vector<Link>> loaded = LoadLinksTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(LinkIoTest, LoadMissingFileIsNotFound) {
+  EXPECT_EQ(LoadLinksTsv("/nonexistent/x.tsv").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(LoadLinksNTriples("/nonexistent/x.nt").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(LinkIoTest, NTriplesFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/links_io_test.nt";
+  ASSERT_TRUE(SaveLinksNTriples(SampleLinks(), path).ok());
+  Result<std::vector<Link>> loaded = LoadLinksNTriples(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace alex::linking

@@ -1,0 +1,210 @@
+#include "linking/paris.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "datagen/profiles.h"
+#include "datagen/world.h"
+#include "feedback/oracle.h"
+
+namespace alex::linking {
+namespace {
+
+using rdf::Term;
+using rdf::TripleStore;
+
+// Two tiny hand-built data sets with an obvious alignment.
+class ParisTest : public ::testing::Test {
+ protected:
+  ParisTest() : left_("l"), right_("r") {
+    AddPerson(&left_, "http://l/e1", "http://l/name", "Marie Curie",
+              "http://l/born", 1867);
+    AddPerson(&left_, "http://l/e2", "http://l/name", "Albert Einstein",
+              "http://l/born", 1879);
+    AddPerson(&left_, "http://l/e3", "http://l/name", "Paul Dirac",
+              "http://l/born", 1902);
+    AddPerson(&right_, "http://r/x1", "http://r/label", "Marie Curie",
+              "http://r/birthYear", 1867);
+    AddPerson(&right_, "http://r/x2", "http://r/label", "Albert Einstein",
+              "http://r/birthYear", 1879);
+    AddPerson(&right_, "http://r/x3", "http://r/label", "Niels Bohr",
+              "http://r/birthYear", 1885);
+  }
+
+  static void AddPerson(TripleStore* store, const char* iri,
+                        const char* name_pred, const char* name,
+                        const char* year_pred, int year) {
+    store->Add(Term::Iri(iri), Term::Iri(name_pred),
+               Term::StringLiteral(name));
+    store->Add(Term::Iri(iri), Term::Iri(year_pred),
+               Term::IntegerLiteral(year));
+  }
+
+  TripleStore left_;
+  TripleStore right_;
+};
+
+TEST_F(ParisTest, FindsExactMatches) {
+  std::vector<Link> links = RunParis(left_, right_);
+  ASSERT_GE(links.size(), 2u);
+  bool curie = false, einstein = false;
+  for (const Link& link : links) {
+    if (link.left == "http://l/e1" && link.right == "http://r/x1") {
+      curie = true;
+    }
+    if (link.left == "http://l/e2" && link.right == "http://r/x2") {
+      einstein = true;
+    }
+    // No link should involve the unmatched entities.
+    EXPECT_NE(link.left, "http://l/e3");
+    EXPECT_NE(link.right, "http://r/x3");
+  }
+  EXPECT_TRUE(curie);
+  EXPECT_TRUE(einstein);
+}
+
+TEST_F(ParisTest, ScoresAreProbabilities) {
+  for (const Link& link : RunParis(left_, right_)) {
+    EXPECT_GT(link.score, 0.0);
+    EXPECT_LE(link.score, 1.0);
+  }
+}
+
+TEST_F(ParisTest, OutputSortedByScore) {
+  std::vector<Link> links = RunParis(left_, right_);
+  for (size_t i = 1; i < links.size(); ++i) {
+    EXPECT_GE(links[i - 1].score, links[i].score);
+  }
+}
+
+TEST_F(ParisTest, MutualBestKeepsOneLinkPerEntity) {
+  std::vector<Link> links = RunParis(left_, right_);
+  std::set<std::string> lefts, rights;
+  for (const Link& link : links) {
+    EXPECT_TRUE(lefts.insert(link.left).second) << link.left;
+    EXPECT_TRUE(rights.insert(link.right).second) << link.right;
+  }
+}
+
+TEST(ParisValueTest, CaseAndWhitespaceInsensitive) {
+  TripleStore left("l"), right("r");
+  left.Add(Term::Iri("http://l/a"), Term::Iri("http://l/name"),
+           Term::StringLiteral("New  York TIMES"));
+  right.Add(Term::Iri("http://r/b"), Term::Iri("http://r/label"),
+            Term::StringLiteral("new york times"));
+  std::vector<Link> links = RunParis(left, right);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].left, "http://l/a");
+}
+
+TEST(ParisValueTest, NumericLexicalVariantsMatch) {
+  TripleStore left("l"), right("r");
+  left.Add(Term::Iri("http://l/a"), Term::Iri("http://l/v"),
+           Term::IntegerLiteral(5));
+  right.Add(Term::Iri("http://r/b"), Term::Iri("http://r/v"),
+            Term::DoubleLiteral(5.0));
+  std::vector<Link> links = RunParis(left, right);
+  ASSERT_EQ(links.size(), 1u);
+}
+
+TEST(ParisValueTest, NoisyValuesDoNotMatch) {
+  // PARIS needs exact values: typos break its evidence (this is exactly the
+  // recall gap ALEX exploits).
+  TripleStore left("l"), right("r");
+  left.Add(Term::Iri("http://l/a"), Term::Iri("http://l/name"),
+           Term::StringLiteral("Marie Curie"));
+  right.Add(Term::Iri("http://r/b"), Term::Iri("http://r/label"),
+            Term::StringLiteral("Marie Curei"));
+  EXPECT_TRUE(RunParis(left, right).empty());
+}
+
+TEST(ParisStopValueTest, OverlyCommonValuesIgnored) {
+  TripleStore left("l"), right("r");
+  // 60 subjects share the same value on both sides (> max_value_group).
+  for (int i = 0; i < 60; ++i) {
+    left.Add(Term::Iri("http://l/e" + std::to_string(i)),
+             Term::Iri("http://l/type"), Term::StringLiteral("thing"));
+    right.Add(Term::Iri("http://r/x" + std::to_string(i)),
+              Term::Iri("http://r/type"), Term::StringLiteral("thing"));
+  }
+  EXPECT_TRUE(RunParis(left, right).empty());
+}
+
+TEST(ParisSymmetryTest, SwappedInputsFindMirroredLinks) {
+  // Running PARIS with left/right swapped must find the same correct
+  // pairs, mirrored. (Scores can differ slightly because functionalities
+  // are computed per side.)
+  datagen::WorldProfile profile = datagen::TinyTestProfile();
+  profile.confusable_pairs = 0;
+  datagen::GeneratedWorld world = datagen::Generate(profile);
+  std::vector<Link> forward =
+      FilterByScore(RunParis(world.left, world.right), 0.95);
+  std::vector<Link> backward =
+      FilterByScore(RunParis(world.right, world.left), 0.95);
+  std::set<std::pair<std::string, std::string>> fwd, bwd;
+  for (const Link& link : forward) fwd.insert({link.left, link.right});
+  for (const Link& link : backward) bwd.insert({link.right, link.left});
+  // Strong overlap between the two directions.
+  size_t common = 0;
+  for (const auto& pair : fwd) {
+    if (bwd.count(pair) > 0) ++common;
+  }
+  ASSERT_FALSE(fwd.empty());
+  EXPECT_GE(static_cast<double>(common) / fwd.size(), 0.9);
+}
+
+TEST(ParisFilterTest, FilterByScoreKeepsStrictlyAbove) {
+  std::vector<Link> links = {{"a", "x", 0.99}, {"b", "y", 0.95},
+                             {"c", "z", 0.50}};
+  std::vector<Link> kept = FilterByScore(links, 0.95);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].left, "a");
+}
+
+TEST(ParisRegimeTest, NoisyProfileGivesHighPrecisionLowRecall) {
+  // The DBpedia-NYTimes regime (Figure 2a starting point).
+  datagen::WorldProfile profile = datagen::DbpediaNytimesProfile();
+  profile.overlap_entities = 150;
+  profile.left_only_entities = 100;
+  profile.right_only_entities = 50;
+  datagen::GeneratedWorld world = datagen::Generate(profile);
+  std::vector<Link> links =
+      FilterByScore(RunParis(world.left, world.right), 0.95);
+  feedback::GroundTruth truth(world.ground_truth);
+  size_t correct = 0;
+  for (const Link& link : links) {
+    if (truth.Contains(link)) ++correct;
+  }
+  ASSERT_FALSE(links.empty());
+  double precision = static_cast<double>(correct) / links.size();
+  double recall = static_cast<double>(correct) / truth.size();
+  EXPECT_GT(precision, 0.8);
+  EXPECT_LT(recall, 0.75);
+}
+
+TEST(ParisRegimeTest, ConfusableProfileGivesLowPrecisionHighRecall) {
+  // The DBpedia-Drugbank regime (Figure 2b starting point).
+  datagen::WorldProfile profile = datagen::DbpediaDrugbankProfile();
+  profile.overlap_entities = 80;
+  profile.left_only_entities = 60;
+  profile.right_only_entities = 30;
+  profile.confusable_pairs = 180;
+  datagen::GeneratedWorld world = datagen::Generate(profile);
+  std::vector<Link> links =
+      FilterByScore(RunParis(world.left, world.right), 0.95);
+  feedback::GroundTruth truth(world.ground_truth);
+  size_t correct = 0;
+  for (const Link& link : links) {
+    if (truth.Contains(link)) ++correct;
+  }
+  ASSERT_FALSE(links.empty());
+  double precision = static_cast<double>(correct) / links.size();
+  double recall = static_cast<double>(correct) / truth.size();
+  EXPECT_LT(precision, 0.6);
+  EXPECT_GT(recall, 0.9);
+}
+
+}  // namespace
+}  // namespace alex::linking

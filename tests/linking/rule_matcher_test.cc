@@ -1,0 +1,124 @@
+#include "linking/rule_matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::linking {
+namespace {
+
+using rdf::Term;
+using rdf::TripleStore;
+
+class RuleMatcherTest : public ::testing::Test {
+ protected:
+  RuleMatcherTest() : left_("l"), right_("r") {
+    Add(&left_, "http://l/e1", "http://l/name", "Roger Federer");
+    Add(&left_, "http://l/e2", "http://l/name", "Rafael Nadal");
+    Add(&left_, "http://l/e3", "http://l/name", "Serena Williams");
+    Add(&right_, "http://r/x1", "http://r/label", "Roger Federer");
+    Add(&right_, "http://r/x2", "http://r/label", "Rafael Nadal Parera");
+    Add(&right_, "http://r/x3", "http://r/label", "Venus Williams");
+  }
+
+  static void Add(TripleStore* store, const char* s, const char* p,
+                  const char* v) {
+    store->Add(Term::Iri(s), Term::Iri(p), Term::StringLiteral(v));
+  }
+
+  RuleMatcherOptions NameRule(double threshold) {
+    RuleMatcherOptions options;
+    options.rules.push_back(
+        MatchRule{"http://l/name", "http://r/label", 1.0, 0.5});
+    options.accept_threshold = threshold;
+    return options;
+  }
+
+  TripleStore left_;
+  TripleStore right_;
+};
+
+TEST_F(RuleMatcherTest, ExactNameMatches) {
+  std::vector<Link> links = RunRuleMatcher(left_, right_, NameRule(0.95));
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].left, "http://l/e1");
+  EXPECT_EQ(links[0].right, "http://r/x1");
+}
+
+TEST_F(RuleMatcherTest, LowerThresholdFindsFuzzyMatches) {
+  std::vector<Link> links = RunRuleMatcher(left_, right_, NameRule(0.6));
+  // Nadal vs "Rafael Nadal Parera" shares 2/3 tokens.
+  bool nadal = false;
+  for (const Link& link : links) {
+    if (link.left == "http://l/e2" && link.right == "http://r/x2") {
+      nadal = true;
+    }
+  }
+  EXPECT_TRUE(nadal);
+}
+
+TEST_F(RuleMatcherTest, BlockingRequiresSharedToken) {
+  // "Serena Williams" and "Venus Williams" share a token, so they are
+  // candidates but score only 1/3 — below threshold.
+  std::vector<Link> links = RunRuleMatcher(left_, right_, NameRule(0.9));
+  for (const Link& link : links) {
+    EXPECT_NE(link.left, "http://l/e3");
+  }
+}
+
+TEST_F(RuleMatcherTest, ScoresSortedDescending) {
+  std::vector<Link> links = RunRuleMatcher(left_, right_, NameRule(0.1));
+  for (size_t i = 1; i < links.size(); ++i) {
+    EXPECT_GE(links[i - 1].score, links[i].score);
+  }
+}
+
+TEST_F(RuleMatcherTest, EmptyRulesYieldNothing) {
+  RuleMatcherOptions options;
+  EXPECT_TRUE(RunRuleMatcher(left_, right_, options).empty());
+}
+
+TEST_F(RuleMatcherTest, UnknownPredicatesYieldNothing) {
+  RuleMatcherOptions options;
+  options.rules.push_back(MatchRule{"http://l/none", "http://r/none", 1.0,
+                                    0.5});
+  options.accept_threshold = 0.1;
+  EXPECT_TRUE(RunRuleMatcher(left_, right_, options).empty());
+}
+
+TEST_F(RuleMatcherTest, MultipleWeightedRules) {
+  TripleStore left("l"), right("r");
+  Add(&left, "http://l/a", "http://l/name", "Alpha Beta");
+  left.Add(Term::Iri("http://l/a"), Term::Iri("http://l/year"),
+           Term::IntegerLiteral(1999));
+  Add(&right, "http://r/b", "http://r/label", "Alpha Beta");
+  right.Add(Term::Iri("http://r/b"), Term::Iri("http://r/founded"),
+            Term::IntegerLiteral(1999));
+
+  RuleMatcherOptions options;
+  options.rules.push_back(
+      MatchRule{"http://l/name", "http://r/label", 2.0, 0.5});
+  options.rules.push_back(
+      MatchRule{"http://l/year", "http://r/founded", 1.0, 0.5});
+  options.accept_threshold = 0.9;
+  std::vector<Link> links = RunRuleMatcher(left, right, options);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_NEAR(links[0].score, 1.0, 1e-9);
+}
+
+TEST_F(RuleMatcherTest, MaxBlockSkipsHugeTokenGroups) {
+  TripleStore left("l"), right("r");
+  for (int i = 0; i < 50; ++i) {
+    Add(&left, ("http://l/e" + std::to_string(i)).c_str(), "http://l/name",
+        "common token");
+    Add(&right, ("http://r/x" + std::to_string(i)).c_str(), "http://r/label",
+        "common token");
+  }
+  RuleMatcherOptions options;
+  options.rules.push_back(
+      MatchRule{"http://l/name", "http://r/label", 1.0, 0.5});
+  options.accept_threshold = 0.5;
+  options.max_block = 10;  // 50 > 10, every block is skipped
+  EXPECT_TRUE(RunRuleMatcher(left, right, options).empty());
+}
+
+}  // namespace
+}  // namespace alex::linking

@@ -1,0 +1,92 @@
+#include "rdf/dataset_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::rdf {
+namespace {
+
+TEST(DatasetStatsTest, BasicCounts) {
+  TripleStore store("stats");
+  TermId s1 = store.InternTerm(Term::Iri("s1"));
+  TermId s2 = store.InternTerm(Term::Iri("s2"));
+  TermId name = store.InternTerm(Term::Iri("name"));
+  TermId type = store.InternTerm(Term::Iri("type"));
+  TermId thing = store.InternTerm(Term::StringLiteral("thing"));
+  store.Add(s1, name, store.InternTerm(Term::StringLiteral("alpha")));
+  store.Add(s2, name, store.InternTerm(Term::StringLiteral("beta")));
+  store.Add(s1, type, thing);
+  store.Add(s2, type, thing);
+
+  DatasetStats stats = ComputeStats(store);
+  EXPECT_EQ(stats.name, "stats");
+  EXPECT_EQ(stats.triples, 4u);
+  EXPECT_EQ(stats.subjects, 2u);
+  EXPECT_EQ(stats.predicates, 2u);
+  EXPECT_EQ(stats.distinct_objects, 3u);
+}
+
+TEST(DatasetStatsTest, FunctionalityOfUniqueValuedPredicate) {
+  TripleStore store("f");
+  TermId name = store.InternTerm(Term::Iri("name"));
+  for (int i = 0; i < 10; ++i) {
+    store.Add(store.InternTerm(Term::Iri("s" + std::to_string(i))), name,
+              store.InternTerm(Term::StringLiteral("v" + std::to_string(i))));
+  }
+  DatasetStats stats = ComputeStats(store);
+  const PredicateStats* ps = stats.Find(name);
+  ASSERT_NE(ps, nullptr);
+  EXPECT_DOUBLE_EQ(ps->Functionality(), 1.0);
+  EXPECT_DOUBLE_EQ(ps->InverseFunctionality(), 1.0);
+}
+
+TEST(DatasetStatsTest, LowInverseFunctionalityForSharedValues) {
+  TripleStore store("t");
+  TermId type = store.InternTerm(Term::Iri("type"));
+  TermId thing = store.InternTerm(Term::StringLiteral("thing"));
+  for (int i = 0; i < 20; ++i) {
+    store.Add(store.InternTerm(Term::Iri("s" + std::to_string(i))), type,
+              thing);
+  }
+  DatasetStats stats = ComputeStats(store);
+  const PredicateStats* ps = stats.Find(type);
+  ASSERT_NE(ps, nullptr);
+  EXPECT_DOUBLE_EQ(ps->Functionality(), 1.0);       // one value per subject
+  EXPECT_DOUBLE_EQ(ps->InverseFunctionality(), 0.05);  // 1 object / 20
+}
+
+TEST(DatasetStatsTest, MultiValuedPredicateFunctionality) {
+  TripleStore store("t");
+  TermId p = store.InternTerm(Term::Iri("p"));
+  TermId s = store.InternTerm(Term::Iri("s"));
+  for (int i = 0; i < 4; ++i) {
+    store.Add(s, p, store.InternTerm(Term::IntegerLiteral(i)));
+  }
+  DatasetStats stats = ComputeStats(store);
+  const PredicateStats* ps = stats.Find(p);
+  ASSERT_NE(ps, nullptr);
+  EXPECT_DOUBLE_EQ(ps->Functionality(), 0.25);  // 1 subject / 4 triples
+}
+
+TEST(DatasetStatsTest, FindUnknownPredicate) {
+  TripleStore store("t");
+  store.Add(Term::Iri("s"), Term::Iri("p"), Term::StringLiteral("v"));
+  DatasetStats stats = ComputeStats(store);
+  EXPECT_EQ(stats.Find(999), nullptr);
+}
+
+TEST(DatasetStatsTest, EmptyStore) {
+  TripleStore store("empty");
+  DatasetStats stats = ComputeStats(store);
+  EXPECT_EQ(stats.triples, 0u);
+  EXPECT_EQ(stats.subjects, 0u);
+  EXPECT_TRUE(stats.per_predicate.empty());
+}
+
+TEST(DatasetStatsTest, ZeroCountFunctionalityIsZero) {
+  PredicateStats ps;
+  EXPECT_DOUBLE_EQ(ps.Functionality(), 0.0);
+  EXPECT_DOUBLE_EQ(ps.InverseFunctionality(), 0.0);
+}
+
+}  // namespace
+}  // namespace alex::rdf

@@ -1,0 +1,59 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::rdf {
+namespace {
+
+TEST(DictionaryTest, InternReturnsStableIds) {
+  Dictionary dict;
+  TermId a = dict.Intern(Term::Iri("http://x/a"));
+  TermId b = dict.Intern(Term::Iri("http://x/b"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern(Term::Iri("http://x/a")), a);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, IdsAreDenseFromZero) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Intern(Term::Iri("a")), 0u);
+  EXPECT_EQ(dict.Intern(Term::Iri("b")), 1u);
+  EXPECT_EQ(dict.Intern(Term::Iri("c")), 2u);
+}
+
+TEST(DictionaryTest, LookupWithoutInterning) {
+  Dictionary dict;
+  TermId a = dict.Intern(Term::StringLiteral("v"));
+  EXPECT_EQ(dict.Lookup(Term::StringLiteral("v")), std::optional<TermId>(a));
+  EXPECT_FALSE(dict.Lookup(Term::StringLiteral("w")).has_value());
+  EXPECT_EQ(dict.size(), 1u);  // Lookup must not intern
+}
+
+TEST(DictionaryTest, TermRoundTrip) {
+  Dictionary dict;
+  Term original = Term::IntegerLiteral(99);
+  TermId id = dict.Intern(original);
+  EXPECT_EQ(dict.term(id), original);
+}
+
+TEST(DictionaryTest, DistinguishesKindAndLiteralType) {
+  Dictionary dict;
+  TermId iri = dict.Intern(Term::Iri("5"));
+  TermId str = dict.Intern(Term::StringLiteral("5"));
+  TermId num = dict.Intern(Term::IntegerLiteral(5));
+  EXPECT_NE(iri, str);
+  EXPECT_NE(str, num);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, ManyTerms) {
+  Dictionary dict;
+  for (int i = 0; i < 10000; ++i) {
+    dict.Intern(Term::Iri("http://x/" + std::to_string(i)));
+  }
+  EXPECT_EQ(dict.size(), 10000u);
+  EXPECT_EQ(dict.term(1234).lexical(), "http://x/1234");
+}
+
+}  // namespace
+}  // namespace alex::rdf

@@ -1,0 +1,69 @@
+#include "rdf/entity_view.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::rdf {
+namespace {
+
+TEST(EntityViewTest, GetEntityCollectsAttributes) {
+  TripleStore store("t");
+  TermId s = store.InternTerm(Term::Iri("s"));
+  TermId p1 = store.InternTerm(Term::Iri("p1"));
+  TermId p2 = store.InternTerm(Term::Iri("p2"));
+  TermId o1 = store.InternTerm(Term::StringLiteral("a"));
+  TermId o2 = store.InternTerm(Term::StringLiteral("b"));
+  store.Add(s, p1, o1);
+  store.Add(s, p2, o2);
+  store.Add(store.InternTerm(Term::Iri("other")), p1, o1);
+
+  Entity entity = GetEntity(store, s);
+  EXPECT_EQ(entity.subject, s);
+  EXPECT_EQ(entity.attributes.size(), 2u);
+}
+
+TEST(EntityViewTest, GetEntityForSubjectWithNoTriples) {
+  TripleStore store("t");
+  TermId orphan = store.InternTerm(Term::Iri("orphan"));
+  store.Add(store.InternTerm(Term::Iri("s")),
+            store.InternTerm(Term::Iri("p")),
+            store.InternTerm(Term::StringLiteral("v")));
+  Entity entity = GetEntity(store, orphan);
+  EXPECT_TRUE(entity.attributes.empty());
+}
+
+TEST(EntityViewTest, AllEntitiesGroupsBySubject) {
+  TripleStore store("t");
+  TermId p = store.InternTerm(Term::Iri("p"));
+  for (int i = 0; i < 10; ++i) {
+    TermId s = store.InternTerm(Term::Iri("s" + std::to_string(i)));
+    for (int j = 0; j <= i % 3; ++j) {
+      store.Add(s, p,
+                store.InternTerm(Term::IntegerLiteral(i * 10 + j)));
+    }
+  }
+  std::vector<Entity> entities = AllEntities(store);
+  EXPECT_EQ(entities.size(), 10u);
+  size_t total_attributes = 0;
+  for (const Entity& e : entities) total_attributes += e.attributes.size();
+  EXPECT_EQ(total_attributes, store.size());
+}
+
+TEST(EntityViewTest, AllEntitiesEmptyStore) {
+  TripleStore store("t");
+  EXPECT_TRUE(AllEntities(store).empty());
+}
+
+TEST(EntityViewTest, MultiValuedPredicates) {
+  TripleStore store("t");
+  TermId s = store.InternTerm(Term::Iri("s"));
+  TermId p = store.InternTerm(Term::Iri("p"));
+  store.Add(s, p, store.InternTerm(Term::StringLiteral("x")));
+  store.Add(s, p, store.InternTerm(Term::StringLiteral("y")));
+  Entity entity = GetEntity(store, s);
+  EXPECT_EQ(entity.attributes.size(), 2u);
+  EXPECT_EQ(entity.attributes[0].predicate, p);
+  EXPECT_EQ(entity.attributes[1].predicate, p);
+}
+
+}  // namespace
+}  // namespace alex::rdf

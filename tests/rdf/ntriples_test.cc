@@ -1,0 +1,145 @@
+#include "rdf/ntriples.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::rdf {
+namespace {
+
+TEST(NTriplesTest, ParsesIriTriple) {
+  TripleStore store("t");
+  Status st = ParseNTriples(
+      "<http://x/s> <http://x/p> <http://x/o> .\n", &store);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(NTriplesTest, ParsesStringLiteral) {
+  TripleStore store("t");
+  ASSERT_TRUE(
+      ParseNTriples("<s> <p> \"hello world\" .", &store).ok());
+  auto triples = store.Match(std::nullopt, std::nullopt, std::nullopt);
+  ASSERT_EQ(triples.size(), 1u);
+  const Term& o = store.dictionary().term(triples[0].object);
+  EXPECT_TRUE(o.is_literal());
+  EXPECT_EQ(o.lexical(), "hello world");
+}
+
+TEST(NTriplesTest, ParsesTypedLiterals) {
+  TripleStore store("t");
+  const char* doc =
+      "<s> <p1> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "<s> <p2> \"2.5\"^^<http://www.w3.org/2001/XMLSchema#double> .\n"
+      "<s> <p3> \"2001-02-03\"^^<http://www.w3.org/2001/XMLSchema#date> .\n"
+      "<s> <p4> \"true\"^^<http://www.w3.org/2001/XMLSchema#boolean> .\n";
+  ASSERT_TRUE(ParseNTriples(doc, &store).ok());
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_TRUE(
+      store.dictionary().Lookup(Term::IntegerLiteral(42)).has_value());
+  EXPECT_TRUE(
+      store.dictionary().Lookup(Term::DoubleLiteral(2.5)).has_value());
+  EXPECT_TRUE(
+      store.dictionary().Lookup(Term::DateLiteral("2001-02-03")).has_value());
+  EXPECT_TRUE(
+      store.dictionary().Lookup(Term::BooleanLiteral(true)).has_value());
+}
+
+TEST(NTriplesTest, UnknownDatatypeKeptAsString) {
+  TripleStore store("t");
+  ASSERT_TRUE(ParseNTriples(
+                  "<s> <p> \"x\"^^<http://example.org/custom> .", &store)
+                  .ok());
+  EXPECT_TRUE(store.dictionary().Lookup(Term::StringLiteral("x")).has_value());
+}
+
+TEST(NTriplesTest, LanguageTagDropped) {
+  TripleStore store("t");
+  ASSERT_TRUE(ParseNTriples("<s> <p> \"bonjour\"@fr .", &store).ok());
+  EXPECT_TRUE(
+      store.dictionary().Lookup(Term::StringLiteral("bonjour")).has_value());
+}
+
+TEST(NTriplesTest, Escapes) {
+  TripleStore store("t");
+  ASSERT_TRUE(ParseNTriples(
+                  R"(<s> <p> "a\tb\nc\"d\\e" .)", &store)
+                  .ok());
+  EXPECT_TRUE(store.dictionary()
+                  .Lookup(Term::StringLiteral("a\tb\nc\"d\\e"))
+                  .has_value());
+}
+
+TEST(NTriplesTest, BlankNodeSubject) {
+  TripleStore store("t");
+  ASSERT_TRUE(ParseNTriples("_:b0 <p> \"v\" .", &store).ok());
+  auto triples = store.Match(std::nullopt, std::nullopt, std::nullopt);
+  ASSERT_EQ(triples.size(), 1u);
+  EXPECT_TRUE(store.dictionary().term(triples[0].subject).is_blank());
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlankLines) {
+  TripleStore store("t");
+  const char* doc =
+      "# a comment\n"
+      "\n"
+      "<s> <p> <o> .\n"
+      "   # indented comment\n";
+  ASSERT_TRUE(ParseNTriples(doc, &store).ok());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(NTriplesTest, ErrorsCarryLineNumbers) {
+  TripleStore store("t");
+  Status st = ParseNTriples("<s> <p> <o> .\nbogus line\n", &store);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, RejectsMissingDot) {
+  TripleStore store("t");
+  EXPECT_FALSE(ParseNTriples("<s> <p> <o>", &store).ok());
+}
+
+TEST(NTriplesTest, RejectsLiteralSubject) {
+  TripleStore store("t");
+  EXPECT_FALSE(ParseNTriples("\"s\" <p> <o> .", &store).ok());
+}
+
+TEST(NTriplesTest, RejectsNonIriPredicate) {
+  TripleStore store("t");
+  EXPECT_FALSE(ParseNTriples("<s> \"p\" <o> .", &store).ok());
+  EXPECT_FALSE(ParseNTriples("<s> _:p <o> .", &store).ok());
+}
+
+TEST(NTriplesTest, RoundTripThroughWriter) {
+  TripleStore store("t");
+  store.Add(Term::Iri("http://x/s"), Term::Iri("http://x/p"),
+            Term::StringLiteral("tab\there"));
+  store.Add(Term::Iri("http://x/s"), Term::Iri("http://x/q"),
+            Term::IntegerLiteral(7));
+  store.Add(Term::Blank("b1"), Term::Iri("http://x/p"),
+            Term::DateLiteral("1999-12-31"));
+  std::string doc = WriteNTriples(store);
+
+  TripleStore reread("t2");
+  ASSERT_TRUE(ParseNTriples(doc, &reread).ok()) << doc;
+  EXPECT_EQ(reread.size(), store.size());
+  // Round-trip again and compare serializations (canonical SPO order).
+  EXPECT_EQ(WriteNTriples(reread), doc);
+}
+
+TEST(NTriplesTest, LoadMissingFileFails) {
+  TripleStore store("t");
+  Status st = LoadNTriplesFile("/nonexistent/path.nt", &store);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(NTriplesTest, TermToNTriplesEscaping) {
+  EXPECT_EQ(TermToNTriples(Term::StringLiteral("a\"b")), "\"a\\\"b\"");
+  EXPECT_EQ(TermToNTriples(Term::Iri("http://x")), "<http://x>");
+  EXPECT_EQ(TermToNTriples(Term::Blank("n")), "_:n");
+  EXPECT_EQ(TermToNTriples(Term::IntegerLiteral(3)),
+            "\"3\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+}
+
+}  // namespace
+}  // namespace alex::rdf

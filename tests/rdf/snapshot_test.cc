@@ -1,0 +1,134 @@
+#include "rdf/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "datagen/profiles.h"
+#include "rdf/ntriples.h"
+
+namespace alex::rdf {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TripleStore SampleStore() {
+  TripleStore store("sample");
+  store.Add(Term::Iri("http://x/s"), Term::Iri("http://x/name"),
+            Term::StringLiteral("Ada \"Countess\" Lovelace\n"));
+  store.Add(Term::Iri("http://x/s"), Term::Iri("http://x/born"),
+            Term::DateLiteral("1815-12-10"));
+  store.Add(Term::Iri("http://x/s"), Term::Iri("http://x/age"),
+            Term::IntegerLiteral(36));
+  store.Add(Term::Iri("http://x/s"), Term::Iri("http://x/score"),
+            Term::DoubleLiteral(-2.5));
+  store.Add(Term::Blank("b"), Term::Iri("http://x/flag"),
+            Term::BooleanLiteral(true));
+  return store;
+}
+
+TEST(SnapshotTest, RoundTripPreservesEverything) {
+  TripleStore original = SampleStore();
+  std::string path = TempPath("snapshot_roundtrip.bin");
+  ASSERT_TRUE(SaveStoreSnapshot(original, path).ok());
+  Result<TripleStore> loaded = LoadStoreSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), "sample");
+  EXPECT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->dictionary().size(), original.dictionary().size());
+  // Same canonical serialization.
+  EXPECT_EQ(WriteNTriples(*loaded), WriteNTriples(original));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TermIdsPreserved) {
+  TripleStore original = SampleStore();
+  std::string path = TempPath("snapshot_ids.bin");
+  ASSERT_TRUE(SaveStoreSnapshot(original, path).ok());
+  Result<TripleStore> loaded = LoadStoreSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  for (TermId id = 0; id < original.dictionary().size(); ++id) {
+    EXPECT_EQ(loaded->dictionary().term(id), original.dictionary().term(id))
+        << "term id " << id;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, GeneratedWorldRoundTrip) {
+  datagen::GeneratedWorld world =
+      datagen::Generate(datagen::TinyTestProfile());
+  std::string path = TempPath("snapshot_world.bin");
+  ASSERT_TRUE(SaveStoreSnapshot(world.left, path).ok());
+  Result<TripleStore> loaded = LoadStoreSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(WriteNTriples(*loaded), WriteNTriples(world.left));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadStoreSnapshot("/nonexistent/x.bin").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, GarbageFileIsParseError) {
+  std::string path = TempPath("snapshot_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "this is definitely not a snapshot";
+  }
+  EXPECT_EQ(LoadStoreSnapshot(path).status().code(),
+            StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TruncatedFileIsParseError) {
+  TripleStore original = SampleStore();
+  std::string path = TempPath("snapshot_trunc.bin");
+  ASSERT_TRUE(SaveStoreSnapshot(original, path).ok());
+  // Truncate at a few offsets; every cut must be a clean parse error.
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    full.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  }
+  for (size_t cut : {9ul, 15ul, 30ul, full.size() - 3}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(
+                               std::min(cut, full.size())));
+    out.close();
+    Result<TripleStore> loaded = LoadStoreSnapshot(path);
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TrailingBytesRejected) {
+  TripleStore original = SampleStore();
+  std::string path = TempPath("snapshot_trailing.bin");
+  ASSERT_TRUE(SaveStoreSnapshot(original, path).ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  EXPECT_EQ(LoadStoreSnapshot(path).status().code(),
+            StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, EmptyStoreRoundTrip) {
+  TripleStore empty("nothing");
+  std::string path = TempPath("snapshot_empty.bin");
+  ASSERT_TRUE(SaveStoreSnapshot(empty, path).ok());
+  Result<TripleStore> loaded = LoadStoreSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_EQ(loaded->name(), "nothing");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace alex::rdf

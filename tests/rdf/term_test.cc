@@ -1,0 +1,111 @@
+#include "rdf/term.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::rdf {
+namespace {
+
+TEST(TermTest, IriConstruction) {
+  Term t = Term::Iri("http://example.org/a");
+  EXPECT_TRUE(t.is_iri());
+  EXPECT_FALSE(t.is_literal());
+  EXPECT_EQ(t.lexical(), "http://example.org/a");
+  EXPECT_EQ(t.ToString(), "<http://example.org/a>");
+}
+
+TEST(TermTest, BlankNode) {
+  Term t = Term::Blank("b0");
+  EXPECT_TRUE(t.is_blank());
+  EXPECT_EQ(t.ToString(), "_:b0");
+}
+
+TEST(TermTest, StringLiteral) {
+  Term t = Term::StringLiteral("hello");
+  EXPECT_TRUE(t.is_literal());
+  EXPECT_EQ(t.literal_type(), LiteralType::kString);
+  EXPECT_EQ(t.ToString(), "\"hello\"");
+}
+
+TEST(TermTest, IntegerLiteralRoundTrip) {
+  Term t = Term::IntegerLiteral(-12345);
+  EXPECT_EQ(t.literal_type(), LiteralType::kInteger);
+  EXPECT_EQ(t.AsInteger(), -12345);
+  EXPECT_DOUBLE_EQ(t.AsDouble(), -12345.0);
+}
+
+TEST(TermTest, DoubleLiteralRoundTrip) {
+  Term t = Term::DoubleLiteral(2.5);
+  EXPECT_EQ(t.literal_type(), LiteralType::kDouble);
+  EXPECT_DOUBLE_EQ(t.AsDouble(), 2.5);
+}
+
+TEST(TermTest, BooleanLiteral) {
+  EXPECT_TRUE(Term::BooleanLiteral(true).AsBoolean());
+  EXPECT_FALSE(Term::BooleanLiteral(false).AsBoolean());
+  EXPECT_EQ(Term::BooleanLiteral(true).lexical(), "true");
+}
+
+TEST(TermTest, DateLiteralDays) {
+  Term epoch = Term::DateLiteral("1970-01-01");
+  EXPECT_EQ(epoch.AsDateDays(), 0);
+  Term next = Term::DateLiteral("1970-01-02");
+  EXPECT_EQ(next.AsDateDays(), 1);
+  Term before = Term::DateLiteral("1969-12-31");
+  EXPECT_EQ(before.AsDateDays(), -1);
+  // A known date: 2000-03-01 is 11017 days after the epoch.
+  EXPECT_EQ(Term::DateLiteral("2000-03-01").AsDateDays(), 11017);
+}
+
+TEST(TermTest, EqualityAndOrdering) {
+  Term a = Term::Iri("x");
+  Term b = Term::Iri("x");
+  Term c = Term::StringLiteral("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c);  // kIri < kLiteral
+}
+
+TEST(TermTest, EncodingKeyDistinguishesKindsAndTypes) {
+  EXPECT_NE(Term::Iri("x").EncodingKey(),
+            Term::StringLiteral("x").EncodingKey());
+  EXPECT_NE(Term::IntegerLiteral(5).EncodingKey(),
+            Term::StringLiteral("5").EncodingKey());
+  EXPECT_EQ(Term::Iri("x").EncodingKey(), Term::Iri("x").EncodingKey());
+}
+
+TEST(CivilDateTest, KnownDates) {
+  EXPECT_EQ(CivilDateToDays(1970, 1, 1), 0);
+  EXPECT_EQ(CivilDateToDays(2000, 1, 1), 10957);
+  EXPECT_EQ(CivilDateToDays(1969, 12, 31), -1);
+  // Leap year: 2000-02-29 exists.
+  EXPECT_EQ(CivilDateToDays(2000, 3, 1) - CivilDateToDays(2000, 2, 28), 2);
+  // Non-leap year 1900 (divisible by 100, not by 400).
+  EXPECT_EQ(CivilDateToDays(1900, 3, 1) - CivilDateToDays(1900, 2, 28), 1);
+}
+
+TEST(ParseIsoDateTest, ValidDates) {
+  int y, m, d;
+  EXPECT_TRUE(ParseIsoDate("2015-05-31", &y, &m, &d));
+  EXPECT_EQ(y, 2015);
+  EXPECT_EQ(m, 5);
+  EXPECT_EQ(d, 31);
+}
+
+TEST(ParseIsoDateTest, RejectsMalformed) {
+  int y, m, d;
+  EXPECT_FALSE(ParseIsoDate("2015-5-31", &y, &m, &d));
+  EXPECT_FALSE(ParseIsoDate("2015/05/31", &y, &m, &d));
+  EXPECT_FALSE(ParseIsoDate("2015-13-01", &y, &m, &d));
+  EXPECT_FALSE(ParseIsoDate("2015-00-01", &y, &m, &d));
+  EXPECT_FALSE(ParseIsoDate("2015-01-32", &y, &m, &d));
+  EXPECT_FALSE(ParseIsoDate("", &y, &m, &d));
+  EXPECT_FALSE(ParseIsoDate("20150531", &y, &m, &d));
+}
+
+TEST(TermTest, MalformedNumericLexicalDefaultsToZero) {
+  Term t = Term::DateLiteral("not-a-date");
+  EXPECT_EQ(t.AsDateDays(), 0);
+}
+
+}  // namespace
+}  // namespace alex::rdf

@@ -1,0 +1,144 @@
+#include "rdf/triple_store.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace alex::rdf {
+namespace {
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  TripleStoreTest() : store_("test") {
+    s1_ = store_.InternTerm(Term::Iri("http://x/s1"));
+    s2_ = store_.InternTerm(Term::Iri("http://x/s2"));
+    p1_ = store_.InternTerm(Term::Iri("http://x/p1"));
+    p2_ = store_.InternTerm(Term::Iri("http://x/p2"));
+    o1_ = store_.InternTerm(Term::StringLiteral("v1"));
+    o2_ = store_.InternTerm(Term::StringLiteral("v2"));
+    store_.Add(s1_, p1_, o1_);
+    store_.Add(s1_, p2_, o2_);
+    store_.Add(s2_, p1_, o1_);
+    store_.Add(s2_, p1_, o2_);
+  }
+
+  TripleStore store_;
+  TermId s1_, s2_, p1_, p2_, o1_, o2_;
+};
+
+TEST_F(TripleStoreTest, SizeDeduplicates) {
+  EXPECT_EQ(store_.size(), 4u);
+  store_.Add(s1_, p1_, o1_);  // duplicate
+  EXPECT_EQ(store_.size(), 4u);
+}
+
+TEST_F(TripleStoreTest, MatchFullyUnbound) {
+  EXPECT_EQ(store_.Match(std::nullopt, std::nullopt, std::nullopt).size(),
+            4u);
+}
+
+TEST_F(TripleStoreTest, MatchBySubject) {
+  auto rows = store_.Match(s1_, std::nullopt, std::nullopt);
+  EXPECT_EQ(rows.size(), 2u);
+  for (const Triple& t : rows) EXPECT_EQ(t.subject, s1_);
+}
+
+TEST_F(TripleStoreTest, MatchBySubjectPredicate) {
+  auto rows = store_.Match(s2_, p1_, std::nullopt);
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(TripleStoreTest, MatchByPredicate) {
+  EXPECT_EQ(store_.Match(std::nullopt, p1_, std::nullopt).size(), 3u);
+  EXPECT_EQ(store_.Match(std::nullopt, p2_, std::nullopt).size(), 1u);
+}
+
+TEST_F(TripleStoreTest, MatchByPredicateObject) {
+  auto rows = store_.Match(std::nullopt, p1_, o1_);
+  EXPECT_EQ(rows.size(), 2u);
+  std::set<TermId> subjects;
+  for (const Triple& t : rows) subjects.insert(t.subject);
+  EXPECT_EQ(subjects, (std::set<TermId>{s1_, s2_}));
+}
+
+TEST_F(TripleStoreTest, MatchByObjectOnly) {
+  EXPECT_EQ(store_.Match(std::nullopt, std::nullopt, o2_).size(), 2u);
+}
+
+TEST_F(TripleStoreTest, MatchBySubjectObjectSkippingPredicate) {
+  auto rows = store_.Match(s2_, std::nullopt, o2_);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].predicate, p1_);
+}
+
+TEST_F(TripleStoreTest, MatchFullyBound) {
+  EXPECT_EQ(store_.Match(s1_, p1_, o1_).size(), 1u);
+  EXPECT_EQ(store_.Match(s1_, p1_, o2_).size(), 0u);
+}
+
+TEST_F(TripleStoreTest, Contains) {
+  EXPECT_TRUE(store_.Contains(s1_, p1_, o1_));
+  EXPECT_FALSE(store_.Contains(s1_, p1_, o2_));
+}
+
+TEST_F(TripleStoreTest, SubjectsDistinctSorted) {
+  auto subjects = store_.Subjects();
+  ASSERT_EQ(subjects.size(), 2u);
+  EXPECT_EQ(std::set<TermId>(subjects.begin(), subjects.end()),
+            (std::set<TermId>{s1_, s2_}));
+}
+
+TEST_F(TripleStoreTest, PredicatesDistinct) {
+  auto predicates = store_.Predicates();
+  EXPECT_EQ(std::set<TermId>(predicates.begin(), predicates.end()),
+            (std::set<TermId>{p1_, p2_}));
+}
+
+TEST_F(TripleStoreTest, Objects) {
+  auto objects = store_.Objects(s2_, p1_);
+  EXPECT_EQ(std::set<TermId>(objects.begin(), objects.end()),
+            (std::set<TermId>{o1_, o2_}));
+  EXPECT_TRUE(store_.Objects(s1_, store_.InternTerm(Term::Iri("nope")))
+                  .empty());
+}
+
+TEST_F(TripleStoreTest, AddAfterReadReindexes) {
+  EXPECT_EQ(store_.size(), 4u);
+  TermId o3 = store_.InternTerm(Term::StringLiteral("v3"));
+  store_.Add(s1_, p1_, o3);
+  EXPECT_EQ(store_.size(), 5u);
+  EXPECT_TRUE(store_.Contains(s1_, p1_, o3));
+}
+
+TEST(TripleStoreBasicTest, EmptyStore) {
+  TripleStore store("empty");
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.Subjects().empty());
+  EXPECT_TRUE(store.Match(std::nullopt, std::nullopt, std::nullopt).empty());
+}
+
+TEST(TripleStoreBasicTest, TermConvenienceOverload) {
+  TripleStore store("conv");
+  store.Add(Term::Iri("s"), Term::Iri("p"), Term::StringLiteral("o"));
+  EXPECT_EQ(store.size(), 1u);
+  auto s = store.dictionary().Lookup(Term::Iri("s"));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(store.Match(*s, std::nullopt, std::nullopt).size(), 1u);
+}
+
+TEST(TripleStoreBasicTest, LargeScaleMatch) {
+  TripleStore store("large");
+  TermId p = store.InternTerm(Term::Iri("p"));
+  for (int i = 0; i < 5000; ++i) {
+    TermId s = store.InternTerm(Term::Iri("s" + std::to_string(i)));
+    TermId o = store.InternTerm(Term::IntegerLiteral(i % 100));
+    store.Add(s, p, o);
+  }
+  EXPECT_EQ(store.size(), 5000u);
+  auto o42 = store.dictionary().Lookup(Term::IntegerLiteral(42));
+  ASSERT_TRUE(o42.has_value());
+  EXPECT_EQ(store.Match(std::nullopt, p, *o42).size(), 50u);
+}
+
+}  // namespace
+}  // namespace alex::rdf

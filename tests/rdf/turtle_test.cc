@@ -1,0 +1,218 @@
+#include "rdf/turtle.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "rdf/ntriples.h"
+
+namespace alex::rdf {
+namespace {
+
+size_t ParseCount(const char* doc) {
+  TripleStore store("t");
+  Status st = ParseTurtle(doc, &store);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return st.ok() ? store.size() : 0;
+}
+
+TEST(TurtleTest, SimpleTriple) {
+  EXPECT_EQ(ParseCount("<http://x/s> <http://x/p> <http://x/o> ."), 1u);
+}
+
+TEST(TurtleTest, PrefixDirective) {
+  TripleStore store("t");
+  ASSERT_TRUE(ParseTurtle(
+                  "@prefix ex: <http://example.org/> .\n"
+                  "ex:s ex:p ex:o .\n",
+                  &store)
+                  .ok());
+  EXPECT_TRUE(store.dictionary()
+                  .Lookup(Term::Iri("http://example.org/s"))
+                  .has_value());
+}
+
+TEST(TurtleTest, SparqlStylePrefix) {
+  TripleStore store("t");
+  ASSERT_TRUE(ParseTurtle(
+                  "PREFIX ex: <http://example.org/>\n"
+                  "ex:s ex:p ex:o .\n",
+                  &store)
+                  .ok());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(TurtleTest, BaseResolution) {
+  TripleStore store("t");
+  ASSERT_TRUE(ParseTurtle(
+                  "@base <http://example.org/> .\n"
+                  "<s> <p> <o> .\n",
+                  &store)
+                  .ok());
+  EXPECT_TRUE(store.dictionary()
+                  .Lookup(Term::Iri("http://example.org/s"))
+                  .has_value());
+  // Absolute IRIs are not rewritten.
+  TripleStore abs("t2");
+  ASSERT_TRUE(ParseTurtle(
+                  "@base <http://example.org/> .\n"
+                  "<http://other/s> <http://other/p> <http://other/o> .\n",
+                  &abs)
+                  .ok());
+  EXPECT_TRUE(
+      abs.dictionary().Lookup(Term::Iri("http://other/s")).has_value());
+}
+
+TEST(TurtleTest, PredicateAndObjectLists) {
+  const char* doc =
+      "@prefix ex: <http://x/> .\n"
+      "ex:s ex:p1 ex:a , ex:b ;\n"
+      "     ex:p2 ex:c ;\n"
+      "     a ex:Thing .\n";
+  EXPECT_EQ(ParseCount(doc), 4u);
+}
+
+TEST(TurtleTest, RdfTypeShorthand) {
+  TripleStore store("t");
+  ASSERT_TRUE(ParseTurtle("@prefix ex: <http://x/> .\n"
+                          "ex:s a ex:Class .\n",
+                          &store)
+                  .ok());
+  EXPECT_TRUE(store.dictionary()
+                  .Lookup(Term::Iri(
+                      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"))
+                  .has_value());
+}
+
+TEST(TurtleTest, Literals) {
+  TripleStore store("t");
+  const char* doc =
+      "@prefix ex: <http://x/> .\n"
+      "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+      "ex:s ex:name \"Ada \\\"Countess\\\" Lovelace\" ;\n"
+      "     ex:born \"1815-12-10\"^^xsd:date ;\n"
+      "     ex:age 36 ;\n"
+      "     ex:score 9.75 ;\n"
+      "     ex:famous true ;\n"
+      "     ex:label \"Ada\"@en .\n";
+  ASSERT_TRUE(ParseTurtle(doc, &store).ok());
+  EXPECT_EQ(store.size(), 6u);
+  EXPECT_TRUE(store.dictionary()
+                  .Lookup(Term::StringLiteral("Ada \"Countess\" Lovelace"))
+                  .has_value());
+  EXPECT_TRUE(
+      store.dictionary().Lookup(Term::DateLiteral("1815-12-10")).has_value());
+  EXPECT_TRUE(
+      store.dictionary().Lookup(Term::IntegerLiteral(36)).has_value());
+  EXPECT_TRUE(
+      store.dictionary().Lookup(Term::DoubleLiteral(9.75)).has_value());
+  EXPECT_TRUE(
+      store.dictionary().Lookup(Term::BooleanLiteral(true)).has_value());
+  EXPECT_TRUE(store.dictionary().Lookup(Term::StringLiteral("Ada"))
+                  .has_value());
+}
+
+TEST(TurtleTest, NegativeNumbers) {
+  TripleStore store("t");
+  ASSERT_TRUE(ParseTurtle("@prefix ex: <http://x/> .\n"
+                          "ex:s ex:delta -42 ; ex:ratio -0.5 .\n",
+                          &store)
+                  .ok());
+  EXPECT_TRUE(
+      store.dictionary().Lookup(Term::IntegerLiteral(-42)).has_value());
+  EXPECT_TRUE(
+      store.dictionary().Lookup(Term::DoubleLiteral(-0.5)).has_value());
+}
+
+TEST(TurtleTest, BlankNodes) {
+  TripleStore store("t");
+  ASSERT_TRUE(ParseTurtle("_:a <http://x/p> _:b .", &store).ok());
+  auto triples = store.Match(std::nullopt, std::nullopt, std::nullopt);
+  ASSERT_EQ(triples.size(), 1u);
+  EXPECT_TRUE(store.dictionary().term(triples[0].subject).is_blank());
+  EXPECT_TRUE(store.dictionary().term(triples[0].object).is_blank());
+}
+
+TEST(TurtleTest, CommentsAnywhere) {
+  const char* doc =
+      "# leading comment\n"
+      "@prefix ex: <http://x/> . # trailing\n"
+      "ex:s ex:p ex:o . # done\n";
+  EXPECT_EQ(ParseCount(doc), 1u);
+}
+
+TEST(TurtleTest, ErrorsCarryLineNumbers) {
+  TripleStore store("t");
+  Status st = ParseTurtle("<http://x/s> <http://x/p> <http://x/o> .\n"
+                          "@bogus directive .\n",
+                          &store);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+}
+
+TEST(TurtleTest, UnknownPrefixIsError) {
+  TripleStore store("t");
+  EXPECT_FALSE(ParseTurtle("nope:s nope:p nope:o .", &store).ok());
+}
+
+TEST(TurtleTest, UnsupportedConstructsAreCleanErrors) {
+  TripleStore store("t");
+  EXPECT_FALSE(ParseTurtle("[] <http://x/p> <http://x/o> .", &store).ok());
+  EXPECT_FALSE(
+      ParseTurtle("<http://x/s> <http://x/p> ( 1 2 ) .", &store).ok());
+  EXPECT_FALSE(ParseTurtle(
+                   "<http://x/s> <http://x/p> \"\"\"multi\"\"\" .", &store)
+                   .ok());
+}
+
+TEST(TurtleTest, MissingDotIsError) {
+  TripleStore store("t");
+  EXPECT_FALSE(
+      ParseTurtle("<http://x/s> <http://x/p> <http://x/o>", &store).ok());
+}
+
+TEST(TurtleTest, EquivalentToNTriplesParse) {
+  const char* turtle =
+      "@prefix ex: <http://x/> .\n"
+      "ex:s ex:p \"v\" ; ex:q 7 .\n";
+  const char* ntriples =
+      "<http://x/s> <http://x/p> \"v\" .\n"
+      "<http://x/s> <http://x/q> "
+      "\"7\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
+  TripleStore a("a"), b("b");
+  ASSERT_TRUE(ParseTurtle(turtle, &a).ok());
+  ASSERT_TRUE(ParseNTriples(ntriples, &b).ok());
+  EXPECT_EQ(WriteNTriples(a), WriteNTriples(b));
+}
+
+TEST(TurtleTest, LoadRdfFileDispatchesByExtension) {
+  std::string ttl_path = ::testing::TempDir() + "/turtle_test.ttl";
+  {
+    std::ofstream out(ttl_path, std::ios::trunc);
+    out << "@prefix ex: <http://x/> .\nex:s ex:p ex:o .\n";
+  }
+  TripleStore store("t");
+  ASSERT_TRUE(LoadRdfFile(ttl_path, &store).ok());
+  EXPECT_EQ(store.size(), 1u);
+  std::remove(ttl_path.c_str());
+
+  std::string nt_path = ::testing::TempDir() + "/turtle_test.nt";
+  {
+    std::ofstream out(nt_path, std::ios::trunc);
+    out << "<http://x/s> <http://x/p> <http://x/o> .\n";
+  }
+  TripleStore store2("t2");
+  ASSERT_TRUE(LoadRdfFile(nt_path, &store2).ok());
+  EXPECT_EQ(store2.size(), 1u);
+  std::remove(nt_path.c_str());
+}
+
+TEST(TurtleTest, LoadMissingFile) {
+  TripleStore store("t");
+  EXPECT_EQ(LoadTurtleFile("/nonexistent/x.ttl", &store).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace alex::rdf

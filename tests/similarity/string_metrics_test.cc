@@ -1,0 +1,119 @@
+#include "similarity/string_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+namespace alex::sim {
+namespace {
+
+TEST(LevenshteinTest, IdenticalStringsScoreOne) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", ""), 1.0);
+}
+
+TEST(LevenshteinTest, EmptyVsNonEmptyScoresZero) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("abc", ""), 0.0);
+}
+
+TEST(LevenshteinTest, SingleEdit) {
+  // one substitution in a 4-char string: 1 - 1/4
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("abcd", "abxd"), 0.75);
+  // one insertion: distance 1, max length 5
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("abcd", "abcde"), 0.8);
+}
+
+TEST(LevenshteinTest, CompletelyDifferent) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("aaaa", "bbbb"), 0.0);
+}
+
+TEST(LevenshteinTest, Symmetry) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("kitten", "sitting"),
+                   NormalizedLevenshtein("sitting", "kitten"));
+}
+
+TEST(JaroWinklerTest, IdenticalScoresOne) {
+  EXPECT_DOUBLE_EQ(JaroWinkler("martha", "martha"), 1.0);
+}
+
+TEST(JaroWinklerTest, KnownValue) {
+  // Classic example: JW("MARTHA","MARHTA") = 0.961.
+  EXPECT_NEAR(JaroWinkler("martha", "marhta"), 0.961, 0.001);
+}
+
+TEST(JaroWinklerTest, NoCommonCharacters) {
+  EXPECT_DOUBLE_EQ(JaroWinkler("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBonusHelps) {
+  double with_prefix = JaroWinkler("prefixed", "prefixxx");
+  double without_prefix = JaroWinkler("edprefix", "xxprefix");
+  EXPECT_GT(with_prefix, without_prefix);
+}
+
+TEST(TokenJaccardTest, IdenticalTokenSets) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b c", "c b a"), 1.0);
+}
+
+TEST(TokenJaccardTest, CaseInsensitive) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("Hello World", "hello world"), 1.0);
+}
+
+TEST(TokenJaccardTest, PartialOverlap) {
+  // {a,b} vs {b,c}: 1 shared / 3 union.
+  EXPECT_NEAR(TokenJaccard("a b", "b c"), 1.0 / 3.0, 1e-9);
+}
+
+TEST(TokenJaccardTest, EmptyCases) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a", ""), 0.0);
+}
+
+TEST(TokenJaccardTest, DuplicateTokensCollapse) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("a a a", "a"), 1.0);
+}
+
+TEST(StringSimilarityTest, ReorderedNameScoresHigh) {
+  // Token overlap saves reordered names where edit distance fails.
+  EXPECT_GT(StringSimilarity("LeBron James", "James LeBron"), 0.9);
+}
+
+TEST(StringSimilarityTest, CaseInsensitive) {
+  EXPECT_DOUBLE_EQ(StringSimilarity("ABC", "abc"), 1.0);
+}
+
+// Property sweep: all metrics stay within [0, 1], are symmetric, and give 1
+// for identical inputs.
+class StringMetricPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(StringMetricPropertyTest, RangeSymmetryIdentity) {
+  const auto& [a, b] = GetParam();
+  for (auto metric : {NormalizedLevenshtein, JaroWinkler, TokenJaccard,
+                      StringSimilarity}) {
+    double ab = metric(a, b);
+    double ba = metric(b, a);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_DOUBLE_EQ(metric(a, a), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, StringMetricPropertyTest,
+    ::testing::Values(
+        std::make_tuple("", ""), std::make_tuple("a", ""),
+        std::make_tuple("abc", "abd"), std::make_tuple("hello", "world"),
+        std::make_tuple("New York Times", "The New York Times"),
+        std::make_tuple("LeBron James", "James, LeBron"),
+        std::make_tuple("aaaaaaaaaa", "aaaaaaaaab"),
+        std::make_tuple("short", "a considerably longer string entirely"),
+        std::make_tuple("123 456", "456 123"),
+        std::make_tuple("x", "x")));
+
+}  // namespace
+}  // namespace alex::sim

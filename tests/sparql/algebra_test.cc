@@ -1,0 +1,154 @@
+#include "sparql/algebra.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::sparql {
+namespace {
+
+using rdf::Term;
+
+FilterExpr Comparison(FilterOp op, PatternNode lhs, PatternNode rhs) {
+  FilterExpr expr;
+  expr.op = op;
+  expr.lhs_node = std::move(lhs);
+  expr.rhs_node = std::move(rhs);
+  return expr;
+}
+
+TEST(AlgebraTest, PatternNodeToString) {
+  EXPECT_EQ(PatternNode::Var("x").ToString(), "?x");
+  EXPECT_EQ(PatternNode::Const(Term::Iri("http://a")).ToString(),
+            "<http://a>");
+}
+
+TEST(AlgebraTest, UnboundCount) {
+  TriplePattern pattern;
+  pattern.subject = PatternNode::Var("s");
+  pattern.predicate = PatternNode::Const(Term::Iri("p"));
+  pattern.object = PatternNode::Var("o");
+  Binding empty;
+  EXPECT_EQ(pattern.UnboundCount(empty), 2);
+  Binding partial;
+  partial.emplace("s", Term::Iri("x"));
+  EXPECT_EQ(pattern.UnboundCount(partial), 1);
+  partial.emplace("o", Term::Iri("y"));
+  EXPECT_EQ(pattern.UnboundCount(partial), 0);
+}
+
+TEST(AlgebraTest, EvalFilterNumericComparison) {
+  Binding binding;
+  binding.emplace("a", Term::IntegerLiteral(5));
+  FilterExpr lt = Comparison(FilterOp::kLt, PatternNode::Var("a"),
+                             PatternNode::Const(Term::IntegerLiteral(9)));
+  EXPECT_TRUE(EvalFilter(lt, binding));
+  FilterExpr gt = Comparison(FilterOp::kGt, PatternNode::Var("a"),
+                             PatternNode::Const(Term::IntegerLiteral(9)));
+  EXPECT_FALSE(EvalFilter(gt, binding));
+}
+
+TEST(AlgebraTest, EvalFilterNumericBeatsLexical) {
+  // "10" < "9" lexically, but numeric interpretation wins: 10 < 9 is
+  // false.
+  Binding binding;
+  binding.emplace("a", Term::StringLiteral("10"));
+  FilterExpr lt = Comparison(FilterOp::kLt, PatternNode::Var("a"),
+                             PatternNode::Const(Term::StringLiteral("9")));
+  EXPECT_FALSE(EvalFilter(lt, binding));
+  FilterExpr gt = Comparison(FilterOp::kGt, PatternNode::Var("a"),
+                             PatternNode::Const(Term::StringLiteral("9")));
+  EXPECT_TRUE(EvalFilter(gt, binding));
+}
+
+TEST(AlgebraTest, EvalFilterUnboundVariableIsFalse) {
+  Binding empty;
+  FilterExpr eq = Comparison(FilterOp::kEq, PatternNode::Var("missing"),
+                             PatternNode::Const(Term::IntegerLiteral(1)));
+  EXPECT_FALSE(EvalFilter(eq, empty));
+}
+
+TEST(AlgebraTest, EvalFilterContainsCaseInsensitive) {
+  Binding binding;
+  binding.emplace("n", Term::StringLiteral("LeBron James"));
+  FilterExpr contains =
+      Comparison(FilterOp::kContains, PatternNode::Var("n"),
+                 PatternNode::Const(Term::StringLiteral("JAMES")));
+  EXPECT_TRUE(EvalFilter(contains, binding));
+}
+
+TEST(AlgebraTest, EvalFilterLogicalTree) {
+  Binding binding;
+  binding.emplace("a", Term::IntegerLiteral(5));
+  auto make = [](FilterOp op, int value) {
+    auto node = std::make_unique<FilterExpr>();
+    *node = Comparison(op, PatternNode::Var("a"),
+                       PatternNode::Const(Term::IntegerLiteral(value)));
+    return node;
+  };
+  FilterExpr and_node;
+  and_node.op = FilterOp::kAnd;
+  and_node.children.push_back(make(FilterOp::kGt, 1));
+  and_node.children.push_back(make(FilterOp::kLt, 9));
+  EXPECT_TRUE(EvalFilter(and_node, binding));
+
+  FilterExpr or_node;
+  or_node.op = FilterOp::kOr;
+  or_node.children.push_back(make(FilterOp::kGt, 100));
+  or_node.children.push_back(make(FilterOp::kEq, 5));
+  EXPECT_TRUE(EvalFilter(or_node, binding));
+
+  FilterExpr not_node;
+  not_node.op = FilterOp::kNot;
+  not_node.children.push_back(make(FilterOp::kEq, 5));
+  EXPECT_FALSE(EvalFilter(not_node, binding));
+}
+
+TEST(AlgebraTest, CompareBindingsNumericKeys) {
+  Binding a, b;
+  a.emplace("y", Term::IntegerLiteral(1990));
+  b.emplace("y", Term::IntegerLiteral(2005));
+  std::vector<OrderKey> asc = {{"y", false}};
+  std::vector<OrderKey> desc = {{"y", true}};
+  EXPECT_LT(CompareBindingsForOrder(a, b, asc), 0);
+  EXPECT_GT(CompareBindingsForOrder(a, b, desc), 0);
+  EXPECT_EQ(CompareBindingsForOrder(a, a, asc), 0);
+}
+
+TEST(AlgebraTest, CompareBindingsUnboundSortsFirst) {
+  Binding bound, unbound;
+  bound.emplace("y", Term::IntegerLiteral(1));
+  std::vector<OrderKey> keys = {{"y", false}};
+  EXPECT_GT(CompareBindingsForOrder(bound, unbound, keys), 0);
+  EXPECT_LT(CompareBindingsForOrder(unbound, bound, keys), 0);
+}
+
+TEST(AlgebraTest, CompareBindingsSecondaryKey) {
+  Binding a, b;
+  a.emplace("x", Term::StringLiteral("same"));
+  a.emplace("y", Term::StringLiteral("alpha"));
+  b.emplace("x", Term::StringLiteral("same"));
+  b.emplace("y", Term::StringLiteral("beta"));
+  std::vector<OrderKey> keys = {{"x", false}, {"y", false}};
+  EXPECT_LT(CompareBindingsForOrder(a, b, keys), 0);
+}
+
+TEST(AlgebraTest, QueryAlternativesIncludesPrimary) {
+  Query query;
+  query.patterns.push_back(TriplePattern{PatternNode::Var("a"),
+                                         PatternNode::Var("b"),
+                                         PatternNode::Var("c")});
+  EXPECT_EQ(query.Alternatives().size(), 1u);
+  query.more_alternatives.push_back(query.patterns);
+  EXPECT_EQ(query.Alternatives().size(), 2u);
+}
+
+TEST(AlgebraTest, AskToString) {
+  Query query;
+  query.is_ask = true;
+  query.patterns.push_back(TriplePattern{PatternNode::Var("s"),
+                                         PatternNode::Var("p"),
+                                         PatternNode::Var("o")});
+  EXPECT_EQ(query.ToString(), "ASK WHERE { ?s ?p ?o . }");
+}
+
+}  // namespace
+}  // namespace alex::sparql

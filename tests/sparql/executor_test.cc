@@ -1,0 +1,148 @@
+#include "sparql/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace alex::sparql {
+namespace {
+
+using rdf::Term;
+using rdf::TripleStore;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : store_("people") {
+    auto add = [this](const char* s, const char* p, Term o) {
+      store_.Add(Term::Iri(std::string("http://x/") + s),
+                 Term::Iri(std::string("http://x/") + p), std::move(o));
+    };
+    add("alice", "name", Term::StringLiteral("Alice"));
+    add("alice", "age", Term::IntegerLiteral(30));
+    add("alice", "knows", Term::Iri("http://x/bob"));
+    add("bob", "name", Term::StringLiteral("Bob"));
+    add("bob", "age", Term::IntegerLiteral(25));
+    add("bob", "knows", Term::Iri("http://x/carol"));
+    add("carol", "name", Term::StringLiteral("Carol"));
+    add("carol", "age", Term::IntegerLiteral(35));
+  }
+
+  std::vector<Binding> Run(const std::string& text) {
+    Result<Query> query = ParseQuery(text);
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    Result<std::vector<Binding>> rows = Execute(query.value(), store_);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() ? std::move(rows).value() : std::vector<Binding>{};
+  }
+
+  TripleStore store_;
+};
+
+TEST_F(ExecutorTest, SinglePattern) {
+  auto rows = Run("SELECT ?s WHERE { ?s <http://x/name> ?n }");
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, BoundObject) {
+  auto rows = Run("SELECT ?s WHERE { ?s <http://x/name> \"Bob\" }");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("s").lexical(), "http://x/bob");
+}
+
+TEST_F(ExecutorTest, JoinAcrossPatterns) {
+  auto rows = Run(
+      "SELECT ?n WHERE { ?a <http://x/knows> ?b . "
+      "?b <http://x/name> ?n }");
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, ChainJoin) {
+  auto rows = Run(
+      "SELECT ?c WHERE { ?a <http://x/knows> ?b . ?b <http://x/knows> ?c }");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("c").lexical(), "http://x/carol");
+}
+
+TEST_F(ExecutorTest, SharedVariableMustUnify) {
+  // ?x knows ?x: nobody knows themselves.
+  auto rows = Run("SELECT ?x WHERE { ?x <http://x/knows> ?x }");
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_F(ExecutorTest, FilterNumeric) {
+  auto rows = Run(
+      "SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER(?a > 28) }");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, FilterConjunction) {
+  auto rows = Run(
+      "SELECT ?s WHERE { ?s <http://x/age> ?a . "
+      "FILTER(?a > 28 && ?a < 33) }");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("s").lexical(), "http://x/alice");
+}
+
+TEST_F(ExecutorTest, FilterContains) {
+  auto rows = Run(
+      "SELECT ?s WHERE { ?s <http://x/name> ?n . "
+      "FILTER(CONTAINS(?n, \"aro\")) }");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("s").lexical(), "http://x/carol");
+}
+
+TEST_F(ExecutorTest, FilterNotEqual) {
+  auto rows = Run(
+      "SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER(?n != \"Bob\") }");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, Limit) {
+  auto rows = Run("SELECT ?s WHERE { ?s <http://x/name> ?n } LIMIT 2");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, Distinct) {
+  auto rows = Run("SELECT DISTINCT ?p WHERE { ?s ?p ?o }");
+  EXPECT_EQ(rows.size(), 3u);  // name, age, knows
+}
+
+TEST_F(ExecutorTest, SelectStarBindsAllVariables) {
+  auto rows = Run("SELECT * WHERE { ?s <http://x/age> ?a } LIMIT 1");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 2u);
+}
+
+TEST_F(ExecutorTest, UnknownConstantYieldsEmpty) {
+  auto rows = Run("SELECT ?s WHERE { ?s <http://x/nonexistent> ?o }");
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_F(ExecutorTest, ProjectionDropsUnselectedVariables) {
+  auto rows = Run("SELECT ?s WHERE { ?s <http://x/age> ?a }");
+  for (const Binding& row : rows) {
+    EXPECT_EQ(row.size(), 1u);
+    EXPECT_TRUE(row.count("s"));
+  }
+}
+
+TEST_F(ExecutorTest, CartesianProductOfDisconnectedPatterns) {
+  auto rows = Run(
+      "SELECT ?a ?b WHERE { ?a <http://x/age> 30 . ?b <http://x/age> 25 }");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("a").lexical(), "http://x/alice");
+  EXPECT_EQ(rows[0].at("b").lexical(), "http://x/bob");
+}
+
+TEST_F(ExecutorTest, MaxRowsCap) {
+  ExecuteOptions options;
+  options.max_rows = 2;
+  Result<Query> query = ParseQuery("SELECT ?s ?p ?o WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(query.ok());
+  auto rows = Execute(query.value(), store_, options);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+}  // namespace
+}  // namespace alex::sparql

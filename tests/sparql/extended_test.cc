@@ -1,0 +1,193 @@
+// Tests for the extended SPARQL constructs: UNION, OPTIONAL, ORDER BY,
+// OFFSET, and ASK.
+#include <gtest/gtest.h>
+
+#include "sparql/executor.h"
+#include "sparql/parser.h"
+
+namespace alex::sparql {
+namespace {
+
+using rdf::Term;
+using rdf::TripleStore;
+
+class ExtendedSparqlTest : public ::testing::Test {
+ protected:
+  ExtendedSparqlTest() : store_("library") {
+    auto add = [this](const char* s, const char* p, Term o) {
+      store_.Add(Term::Iri(std::string("http://x/") + s),
+                 Term::Iri(std::string("http://x/") + p), std::move(o));
+    };
+    add("book1", "title", Term::StringLiteral("Dune"));
+    add("book1", "year", Term::IntegerLiteral(1965));
+    add("book1", "author", Term::Iri("http://x/herbert"));
+    add("book2", "title", Term::StringLiteral("Hyperion"));
+    add("book2", "year", Term::IntegerLiteral(1989));
+    add("book3", "title", Term::StringLiteral("Accelerando"));
+    add("book3", "year", Term::IntegerLiteral(2005));
+    add("movie1", "label", Term::StringLiteral("Arrival"));
+    add("movie1", "year", Term::IntegerLiteral(2016));
+  }
+
+  std::vector<Binding> Run(const std::string& text) {
+    Result<Query> query = ParseQuery(text);
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    if (!query.ok()) return {};
+    Result<std::vector<Binding>> rows = Execute(query.value(), store_);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() ? std::move(rows).value() : std::vector<Binding>{};
+  }
+
+  TripleStore store_;
+};
+
+TEST_F(ExtendedSparqlTest, UnionParses) {
+  Result<Query> q = ParseQuery(
+      "SELECT ?n WHERE { { ?s <http://x/title> ?n } UNION "
+      "{ ?s <http://x/label> ?n } }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->more_alternatives.size(), 1u);
+  EXPECT_EQ(q->Alternatives().size(), 2u);
+}
+
+TEST_F(ExtendedSparqlTest, UnionCombinesBranches) {
+  auto rows = Run(
+      "SELECT ?n WHERE { { ?s <http://x/title> ?n } UNION "
+      "{ ?s <http://x/label> ?n } }");
+  EXPECT_EQ(rows.size(), 4u);  // 3 books + 1 movie
+}
+
+TEST_F(ExtendedSparqlTest, ThreeWayUnion) {
+  auto rows = Run(
+      "SELECT ?s WHERE { { ?s <http://x/title> \"Dune\" } UNION "
+      "{ ?s <http://x/title> \"Hyperion\" } UNION "
+      "{ ?s <http://x/label> \"Arrival\" } }");
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(ExtendedSparqlTest, UnionSharesOuterPatterns) {
+  // The year pattern applies to both branches.
+  auto rows = Run(
+      "SELECT ?s ?y WHERE { ?s <http://x/year> ?y . "
+      "{ ?s <http://x/title> \"Dune\" } UNION "
+      "{ ?s <http://x/label> \"Arrival\" } }");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(ExtendedSparqlTest, OptionalKeepsUnmatchedSolutions) {
+  auto rows = Run(
+      "SELECT ?s ?a WHERE { ?s <http://x/title> ?t . "
+      "OPTIONAL { ?s <http://x/author> ?a } }");
+  ASSERT_EQ(rows.size(), 3u);
+  int with_author = 0;
+  for (const Binding& row : rows) {
+    if (row.count("a") > 0) ++with_author;
+  }
+  EXPECT_EQ(with_author, 1);  // only book1 has an author
+}
+
+TEST_F(ExtendedSparqlTest, OptionalExtendsMatchedSolutions) {
+  auto rows = Run(
+      "SELECT ?a WHERE { ?s <http://x/title> \"Dune\" . "
+      "OPTIONAL { ?s <http://x/author> ?a } }");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("a").lexical(), "http://x/herbert");
+}
+
+TEST_F(ExtendedSparqlTest, OrderByAscending) {
+  auto rows = Run(
+      "SELECT ?t ?y WHERE { ?s <http://x/title> ?t . "
+      "?s <http://x/year> ?y } ORDER BY ?y");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].at("t").lexical(), "Dune");
+  EXPECT_EQ(rows[2].at("t").lexical(), "Accelerando");
+}
+
+TEST_F(ExtendedSparqlTest, OrderByDescending) {
+  auto rows = Run(
+      "SELECT ?t ?y WHERE { ?s <http://x/title> ?t . "
+      "?s <http://x/year> ?y } ORDER BY DESC(?y)");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].at("t").lexical(), "Accelerando");
+}
+
+TEST_F(ExtendedSparqlTest, OrderByWithLimitTakesSmallest) {
+  auto rows = Run(
+      "SELECT ?y WHERE { ?s <http://x/year> ?y } ORDER BY ?y LIMIT 1");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("y").AsInteger(), 1965);
+}
+
+TEST_F(ExtendedSparqlTest, Offset) {
+  auto rows = Run(
+      "SELECT ?y WHERE { ?s <http://x/year> ?y } ORDER BY ?y "
+      "LIMIT 2 OFFSET 1");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].at("y").AsInteger(), 1989);
+  EXPECT_EQ(rows[1].at("y").AsInteger(), 2005);
+}
+
+TEST_F(ExtendedSparqlTest, OffsetBeyondEnd) {
+  auto rows = Run("SELECT ?y WHERE { ?s <http://x/year> ?y } OFFSET 100");
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_F(ExtendedSparqlTest, AskTrue) {
+  Result<Query> q =
+      ParseQuery("ASK WHERE { ?s <http://x/title> \"Dune\" }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->is_ask);
+  Result<bool> answer = Ask(q.value(), store_);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer.value());
+}
+
+TEST_F(ExtendedSparqlTest, AskFalse) {
+  Result<Query> q =
+      ParseQuery("ASK WHERE { ?s <http://x/title> \"Neuromancer\" }");
+  ASSERT_TRUE(q.ok());
+  Result<bool> answer = Ask(q.value(), store_);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer.value());
+}
+
+TEST_F(ExtendedSparqlTest, AskOnSelectQueryIsError) {
+  Result<Query> q = ParseQuery("SELECT ?s WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(Ask(q.value(), store_).ok());
+}
+
+TEST_F(ExtendedSparqlTest, OrderByRequiresKeys) {
+  EXPECT_FALSE(
+      ParseQuery("SELECT ?s WHERE { ?s ?p ?o } ORDER BY LIMIT 2").ok());
+}
+
+TEST_F(ExtendedSparqlTest, NestedGroupInsideUnionBranchRejected) {
+  EXPECT_FALSE(ParseQuery(
+                   "SELECT ?s WHERE { { { ?s ?p ?o } } UNION { ?s ?p ?o } }")
+                   .ok());
+}
+
+TEST_F(ExtendedSparqlTest, ToStringRendersModifiers) {
+  Result<Query> q = ParseQuery(
+      "SELECT ?t WHERE { ?s <http://x/title> ?t . "
+      "OPTIONAL { ?s <http://x/author> ?a } } "
+      "ORDER BY DESC(?t) LIMIT 5 OFFSET 2");
+  ASSERT_TRUE(q.ok());
+  std::string text = q->ToString();
+  EXPECT_NE(text.find("OPTIONAL"), std::string::npos);
+  EXPECT_NE(text.find("ORDER BY DESC(?t)"), std::string::npos);
+  EXPECT_NE(text.find("LIMIT 5"), std::string::npos);
+  EXPECT_NE(text.find("OFFSET 2"), std::string::npos);
+}
+
+TEST_F(ExtendedSparqlTest, UnionWithDistinct) {
+  auto rows = Run(
+      "SELECT DISTINCT ?y WHERE { { ?s <http://x/title> \"Dune\" . "
+      "?s <http://x/year> ?y } UNION { ?s <http://x/title> \"Dune\" . "
+      "?s <http://x/year> ?y } }");
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace alex::sparql

@@ -1,0 +1,148 @@
+#include "sparql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::sparql {
+namespace {
+
+Query MustParse(std::string_view text) {
+  Result<Query> query = ParseQuery(text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  return query.ok() ? std::move(query).value() : Query{};
+}
+
+TEST(ParserTest, MinimalSelect) {
+  Query q = MustParse("SELECT ?x WHERE { ?x <http://p> ?y . }");
+  EXPECT_FALSE(q.distinct);
+  ASSERT_EQ(q.select.size(), 1u);
+  EXPECT_EQ(q.select[0], "x");
+  ASSERT_EQ(q.patterns.size(), 1u);
+  EXPECT_TRUE(q.patterns[0].subject.is_variable);
+  EXPECT_FALSE(q.patterns[0].predicate.is_variable);
+  EXPECT_EQ(q.patterns[0].predicate.term.lexical(), "http://p");
+}
+
+TEST(ParserTest, SelectStar) {
+  Query q = MustParse("SELECT * WHERE { ?x ?p ?y }");
+  EXPECT_TRUE(q.select_all);
+}
+
+TEST(ParserTest, Distinct) {
+  Query q = MustParse("SELECT DISTINCT ?x WHERE { ?x ?p ?y }");
+  EXPECT_TRUE(q.distinct);
+}
+
+TEST(ParserTest, MultipleVariablesAndPatterns) {
+  Query q = MustParse(
+      "SELECT ?a ?b WHERE { ?a <http://p1> ?b . ?b <http://p2> \"v\" . }");
+  EXPECT_EQ(q.select.size(), 2u);
+  EXPECT_EQ(q.patterns.size(), 2u);
+  EXPECT_FALSE(q.patterns[1].object.is_variable);
+  EXPECT_EQ(q.patterns[1].object.term.lexical(), "v");
+}
+
+TEST(ParserTest, PrefixExpansion) {
+  Query q = MustParse(
+      "PREFIX ex: <http://example.org/>\n"
+      "SELECT ?x WHERE { ?x ex:name \"n\" }");
+  ASSERT_EQ(q.patterns.size(), 1u);
+  EXPECT_EQ(q.patterns[0].predicate.term.lexical(),
+            "http://example.org/name");
+}
+
+TEST(ParserTest, UnknownPrefixFails) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ex:name ?y }").ok());
+}
+
+TEST(ParserTest, SemicolonContinuation) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <http://p1> ?a ; <http://p2> ?b . }");
+  ASSERT_EQ(q.patterns.size(), 2u);
+  // Both patterns share the subject.
+  EXPECT_EQ(q.patterns[0].subject.variable, "x");
+  EXPECT_EQ(q.patterns[1].subject.variable, "x");
+  EXPECT_EQ(q.patterns[1].predicate.term.lexical(), "http://p2");
+}
+
+TEST(ParserTest, CommaContinuation) {
+  Query q = MustParse("SELECT ?x WHERE { ?x <http://p> ?a , ?b . }");
+  ASSERT_EQ(q.patterns.size(), 2u);
+  EXPECT_EQ(q.patterns[0].object.variable, "a");
+  EXPECT_EQ(q.patterns[1].object.variable, "b");
+}
+
+TEST(ParserTest, RdfTypeShorthand) {
+  Query q = MustParse("SELECT ?x WHERE { ?x a <http://Class> }");
+  ASSERT_EQ(q.patterns.size(), 1u);
+  EXPECT_EQ(q.patterns[0].predicate.term.lexical(),
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+}
+
+TEST(ParserTest, NumericObjects) {
+  Query q = MustParse("SELECT ?x WHERE { ?x <http://p> 42 . "
+                      "?x <http://q> 2.5 }");
+  EXPECT_EQ(q.patterns[0].object.term.literal_type(),
+            rdf::LiteralType::kInteger);
+  EXPECT_EQ(q.patterns[1].object.term.literal_type(),
+            rdf::LiteralType::kDouble);
+}
+
+TEST(ParserTest, Limit) {
+  Query q = MustParse("SELECT ?x WHERE { ?x ?p ?y } LIMIT 10");
+  ASSERT_TRUE(q.limit.has_value());
+  EXPECT_EQ(*q.limit, 10u);
+}
+
+TEST(ParserTest, FilterComparison) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <http://age> ?a . FILTER(?a >= 18) }");
+  ASSERT_EQ(q.filters.size(), 1u);
+  EXPECT_EQ(q.filters[0]->op, FilterOp::kGe);
+}
+
+TEST(ParserTest, FilterLogical) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <http://age> ?a . "
+      "FILTER(?a > 1 && (?a < 9 || !(?a = 5))) }");
+  ASSERT_EQ(q.filters.size(), 1u);
+  EXPECT_EQ(q.filters[0]->op, FilterOp::kAnd);
+  ASSERT_EQ(q.filters[0]->children.size(), 2u);
+  EXPECT_EQ(q.filters[0]->children[1]->op, FilterOp::kOr);
+}
+
+TEST(ParserTest, FilterContains) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <http://name> ?n . "
+      "FILTER(CONTAINS(?n, \"james\")) }");
+  ASSERT_EQ(q.filters.size(), 1u);
+  EXPECT_EQ(q.filters[0]->op, FilterOp::kContains);
+}
+
+TEST(ParserTest, ErrorMissingWhere) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x { ?x ?p ?y }").ok());
+}
+
+TEST(ParserTest, ErrorUnterminatedBlock) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ?p ?y").ok());
+}
+
+TEST(ParserTest, ErrorTrailingTokens) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ?p ?y } ?z").ok());
+}
+
+TEST(ParserTest, ErrorNoProjection) {
+  EXPECT_FALSE(ParseQuery("SELECT WHERE { ?x ?p ?y }").ok());
+}
+
+TEST(ParserTest, ToStringRoundTripParses) {
+  Query q = MustParse(
+      "SELECT DISTINCT ?x WHERE { ?x <http://p> \"v\" . } LIMIT 3");
+  Result<Query> reparsed = ParseQuery(q.ToString());
+  ASSERT_TRUE(reparsed.ok()) << q.ToString();
+  EXPECT_EQ(reparsed->patterns.size(), 1u);
+  EXPECT_TRUE(reparsed->distinct);
+  EXPECT_EQ(*reparsed->limit, 3u);
+}
+
+}  // namespace
+}  // namespace alex::sparql

@@ -1,0 +1,106 @@
+#include "sparql/results_io.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace alex::sparql {
+namespace {
+
+using rdf::Term;
+
+std::vector<Binding> SampleRows() {
+  Binding row1;
+  row1.emplace("name", Term::StringLiteral("Ada, \"the first\""));
+  row1.emplace("born", Term::IntegerLiteral(1815));
+  row1.emplace("home", Term::Iri("http://x/london"));
+  Binding row2;
+  row2.emplace("name", Term::StringLiteral("Alan"));
+  // row2 leaves ?born and ?home unbound.
+  return {row1, row2};
+}
+
+TEST(ResultsIoTest, VariablesFromExplicitProjection) {
+  Result<Query> query =
+      ParseQuery("SELECT ?a ?b WHERE { ?a ?p ?b }");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(ResultVariables(query.value(), {}),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ResultsIoTest, VariablesIncludeAggregateOutputs) {
+  Result<Query> query = ParseQuery(
+      "SELECT ?g (COUNT(*) AS ?n) WHERE { ?g ?p ?o } GROUP BY ?g");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(ResultVariables(query.value(), {}),
+            (std::vector<std::string>{"g", "n"}));
+}
+
+TEST(ResultsIoTest, VariablesFromRowsForSelectStar) {
+  Result<Query> query = ParseQuery("SELECT * WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(query.ok());
+  std::vector<std::string> vars =
+      ResultVariables(query.value(), SampleRows());
+  EXPECT_EQ(vars, (std::vector<std::string>{"born", "home", "name"}));
+}
+
+TEST(ResultsIoTest, CsvEscapingAndUnboundCells) {
+  std::string csv = ResultsToCsv(SampleRows(), {"name", "born"});
+  EXPECT_EQ(csv,
+            "name,born\r\n"
+            "\"Ada, \"\"the first\"\"\",1815\r\n"
+            "Alan,\r\n");
+}
+
+TEST(ResultsIoTest, TsvUsesTurtleTerms) {
+  std::string tsv = ResultsToTsv(SampleRows(), {"home", "born"});
+  EXPECT_NE(tsv.find("?home\t?born"), std::string::npos);
+  EXPECT_NE(tsv.find("<http://x/london>\t"), std::string::npos);
+  EXPECT_NE(tsv.find("XMLSchema#integer"), std::string::npos);
+}
+
+TEST(ResultsIoTest, JsonShape) {
+  std::string json = ResultsToJson(SampleRows(), {"name", "born", "home"});
+  EXPECT_NE(json.find("\"head\":{\"vars\":[\"name\",\"born\",\"home\"]}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"uri\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"literal\""), std::string::npos);
+  EXPECT_NE(json.find(
+                "\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\""),
+            std::string::npos);
+  // Escapes inside values.
+  EXPECT_NE(json.find("Ada, \\\"the first\\\""), std::string::npos);
+  // Unbound variables are omitted from the second binding object.
+  size_t second = json.find("Alan");
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_EQ(json.find("born", second), std::string::npos);
+}
+
+TEST(ResultsIoTest, JsonEmptyResults) {
+  std::string json = ResultsToJson({}, {"x"});
+  EXPECT_EQ(json,
+            "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":[]}}");
+}
+
+TEST(ResultsIoTest, AskJson) {
+  EXPECT_EQ(AskResultToJson(true), "{\"head\":{},\"boolean\":true}");
+  EXPECT_EQ(AskResultToJson(false), "{\"head\":{},\"boolean\":false}");
+}
+
+TEST(ResultsIoTest, JsonControlCharacterEscaping) {
+  Binding row;
+  row.emplace("v", Term::StringLiteral("line1\nline2\x01" "end"));
+  std::string json = ResultsToJson({row}, {"v"});
+  EXPECT_NE(json.find("line1\\nline2\\u0001end"), std::string::npos);
+}
+
+TEST(ResultsIoTest, BlankNodeJsonType) {
+  Binding row;
+  row.emplace("b", Term::Blank("node7"));
+  std::string json = ResultsToJson({row}, {"b"});
+  EXPECT_NE(json.find("\"type\":\"bnode\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":\"node7\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alex::sparql

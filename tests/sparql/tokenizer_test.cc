@@ -1,0 +1,132 @@
+#include "sparql/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace alex::sparql {
+namespace {
+
+std::vector<Token> MustTokenize(std::string_view query) {
+  Result<std::vector<Token>> tokens = Tokenize(query);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? tokens.value() : std::vector<Token>{};
+}
+
+TEST(TokenizerTest, EmptyInputYieldsEof) {
+  auto tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEof);
+}
+
+TEST(TokenizerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = MustTokenize("select Select SELECT where");
+  ASSERT_EQ(tokens.size(), 5u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword);
+    EXPECT_EQ(tokens[i].text, "SELECT");
+  }
+  EXPECT_EQ(tokens[3].text, "WHERE");
+}
+
+TEST(TokenizerTest, Variables) {
+  auto tokens = MustTokenize("?x $y ?long_name");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kVariable);
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[1].text, "y");
+  EXPECT_EQ(tokens[2].text, "long_name");
+}
+
+TEST(TokenizerTest, Iri) {
+  auto tokens = MustTokenize("<http://example.org/a#b>");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIri);
+  EXPECT_EQ(tokens[0].text, "http://example.org/a#b");
+}
+
+TEST(TokenizerTest, LessThanOperatorNotConfusedWithIri) {
+  auto tokens = MustTokenize("?a < 5");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[1].Is(TokenType::kPunct, "<"));
+  EXPECT_EQ(tokens[2].type, TokenType::kNumber);
+}
+
+TEST(TokenizerTest, StringWithEscapes) {
+  auto tokens = MustTokenize(R"("a\"b\nc")");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "a\"b\nc");
+}
+
+TEST(TokenizerTest, StringWithLanguageTag) {
+  auto tokens = MustTokenize("\"bonjour\"@fr .");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "bonjour");
+  EXPECT_TRUE(tokens[1].Is(TokenType::kPunct, "."));
+}
+
+TEST(TokenizerTest, StringWithDatatype) {
+  auto tokens = MustTokenize(
+      "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer> }");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_TRUE(tokens[1].Is(TokenType::kPunct, "}"));
+}
+
+TEST(TokenizerTest, Numbers) {
+  auto tokens = MustTokenize("42 3.14 -7");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].text, "3.14");
+  EXPECT_EQ(tokens[2].text, "-7");
+}
+
+TEST(TokenizerTest, PrefixedNames) {
+  auto tokens = MustTokenize("foaf:name ex:Thing");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kPrefixedName);
+  EXPECT_EQ(tokens[0].text, "foaf:name");
+}
+
+TEST(TokenizerTest, TwoCharOperators) {
+  auto tokens = MustTokenize("!= <= >= && ||");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].text, "!=");
+  EXPECT_EQ(tokens[1].text, "<=");
+  EXPECT_EQ(tokens[2].text, ">=");
+  EXPECT_EQ(tokens[3].text, "&&");
+  EXPECT_EQ(tokens[4].text, "||");
+}
+
+TEST(TokenizerTest, CommentsSkipped) {
+  auto tokens = MustTokenize("SELECT # a comment\n ?x");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, TokenType::kVariable);
+}
+
+TEST(TokenizerTest, RdfTypeShorthand) {
+  auto tokens = MustTokenize("?x a ?type");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[1].Is(TokenType::kKeyword, "A"));
+}
+
+TEST(TokenizerTest, ErrorOnUnknownWord) {
+  EXPECT_FALSE(Tokenize("bogusword").ok());
+}
+
+TEST(TokenizerTest, ErrorOnUnterminatedString) {
+  EXPECT_FALSE(Tokenize("\"never closed").ok());
+}
+
+TEST(TokenizerTest, ErrorOnBadCharacter) {
+  EXPECT_FALSE(Tokenize("@@@").ok());
+}
+
+TEST(TokenizerTest, OffsetsPointIntoQuery) {
+  auto tokens = MustTokenize("SELECT ?x");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 7u);
+}
+
+}  // namespace
+}  // namespace alex::sparql

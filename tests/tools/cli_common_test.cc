@@ -1,0 +1,83 @@
+#include "cli_common.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+namespace alex::tools {
+namespace {
+
+CommandLine Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return ParseArgs(static_cast<int>(args.size()),
+                   const_cast<char**>(args.data()));
+}
+
+TEST(CommandLineTest, PositionalArguments) {
+  CommandLine cmd = Parse({"explore", "left.nt", "right.nt"});
+  ASSERT_EQ(cmd.positional.size(), 3u);
+  EXPECT_EQ(cmd.positional[0], "explore");
+  EXPECT_EQ(cmd.positional[2], "right.nt");
+  EXPECT_TRUE(cmd.flags.empty());
+}
+
+TEST(CommandLineTest, FlagWithSeparateValue) {
+  CommandLine cmd = Parse({"--links", "a.tsv"});
+  EXPECT_TRUE(cmd.Has("links"));
+  EXPECT_EQ(cmd.GetString("links"), "a.tsv");
+}
+
+TEST(CommandLineTest, FlagWithEqualsValue) {
+  CommandLine cmd = Parse({"--threshold=0.9"});
+  EXPECT_DOUBLE_EQ(cmd.GetDouble("threshold", 0.0), 0.9);
+}
+
+TEST(CommandLineTest, BooleanFlagBeforeAnotherFlag) {
+  CommandLine cmd = Parse({"--verbose", "--out", "x.tsv"});
+  EXPECT_EQ(cmd.GetString("verbose"), "true");
+  EXPECT_EQ(cmd.GetString("out"), "x.tsv");
+}
+
+TEST(CommandLineTest, BooleanFlagAtEnd) {
+  CommandLine cmd = Parse({"--list"});
+  EXPECT_EQ(cmd.GetString("list"), "true");
+}
+
+TEST(CommandLineTest, RepeatedFlagsAccumulate) {
+  CommandLine cmd = Parse({"--rule", "a,b", "--rule", "c,d"});
+  ASSERT_EQ(cmd.GetAll("rule").size(), 2u);
+  EXPECT_EQ(cmd.GetAll("rule")[0], "a,b");
+  EXPECT_EQ(cmd.GetAll("rule")[1], "c,d");
+  // GetString takes the last occurrence.
+  EXPECT_EQ(cmd.GetString("rule"), "c,d");
+}
+
+TEST(CommandLineTest, NumericAccessorsFallBack) {
+  CommandLine cmd = Parse({"--episodes", "12"});
+  EXPECT_EQ(cmd.GetInt("episodes", 40), 12);
+  EXPECT_EQ(cmd.GetInt("missing", 40), 40);
+  EXPECT_DOUBLE_EQ(cmd.GetDouble("missing", 0.05), 0.05);
+  CommandLine bad = Parse({"--episodes", "not-a-number"});
+  EXPECT_EQ(bad.GetInt("episodes", 40), 40);  // parse failure keeps default
+}
+
+TEST(CommandLineTest, MixedPositionalAndFlags) {
+  CommandLine cmd =
+      Parse({"paris", "l.nt", "--threshold", "0.8", "r.nt", "--tsv=o.tsv"});
+  ASSERT_EQ(cmd.positional.size(), 3u);
+  EXPECT_EQ(cmd.positional[1], "l.nt");
+  EXPECT_EQ(cmd.positional[2], "r.nt");
+  EXPECT_DOUBLE_EQ(cmd.GetDouble("threshold", 0.0), 0.8);
+  EXPECT_EQ(cmd.GetString("tsv"), "o.tsv");
+}
+
+TEST(CommandLineTest, GetAllOnUnknownIsEmpty) {
+  CommandLine cmd = Parse({});
+  EXPECT_TRUE(cmd.GetAll("nothing").empty());
+  EXPECT_FALSE(cmd.Has("nothing"));
+  EXPECT_EQ(cmd.GetString("nothing", "dflt"), "dflt");
+}
+
+}  // namespace
+}  // namespace alex::tools

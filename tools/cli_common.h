@@ -1,0 +1,110 @@
+// Shared helpers for the command-line tools: a tiny flag parser and
+// data-loading utilities.
+#ifndef ALEX_TOOLS_CLI_COMMON_H_
+#define ALEX_TOOLS_CLI_COMMON_H_
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/strings.h"
+#include "rdf/ntriples.h"
+#include "rdf/snapshot.h"
+#include "rdf/turtle.h"
+#include "rdf/triple_store.h"
+
+namespace alex::tools {
+
+// Parsed command line: positional arguments plus --key value / --key=value
+// flags (repeatable flags accumulate).
+struct CommandLine {
+  std::vector<std::string> positional;
+  std::map<std::string, std::vector<std::string>> flags;
+
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    auto it = flags.find(key);
+    if (it == flags.end() || it->second.empty()) return fallback;
+    return it->second.back();
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    double value = fallback;
+    auto it = flags.find(key);
+    if (it != flags.end() && !it->second.empty()) {
+      ParseDouble(it->second.back(), &value);
+    }
+    return value;
+  }
+
+  long long GetInt(const std::string& key, long long fallback) const {
+    long long value = fallback;
+    auto it = flags.find(key);
+    if (it != flags.end() && !it->second.empty()) {
+      ParseInt64(it->second.back(), &value);
+    }
+    return value;
+  }
+
+  const std::vector<std::string>& GetAll(const std::string& key) const {
+    static const std::vector<std::string> kEmpty;
+    auto it = flags.find(key);
+    return it == flags.end() ? kEmpty : it->second;
+  }
+};
+
+// Parses argv. A `--flag` followed by another `--flag` or end of input is
+// treated as a boolean flag with value "true".
+inline CommandLine ParseArgs(int argc, char** argv) {
+  CommandLine cmd;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string key = arg.substr(2);
+      std::string value;
+      size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        value = key.substr(eq + 1);
+        key = key.substr(0, eq);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+      cmd.flags[key].push_back(std::move(value));
+    } else {
+      cmd.positional.push_back(std::move(arg));
+    }
+  }
+  return cmd;
+}
+
+// Loads an RDF file (N-Triples, or Turtle for .ttl/.turtle) into a store
+// named after the path, exiting the process with a message on failure.
+inline rdf::TripleStore LoadStoreOrDie(const std::string& path) {
+  if (EndsWith(path, ".snap")) {
+    Result<rdf::TripleStore> store = rdf::LoadStoreSnapshot(path);
+    if (!store.ok()) {
+      std::cerr << "error loading " << path << ": "
+                << store.status().ToString() << "\n";
+      std::exit(2);
+    }
+    return std::move(store).value();
+  }
+  rdf::TripleStore store(path);
+  Status st = rdf::LoadRdfFile(path, &store);
+  if (!st.ok()) {
+    std::cerr << "error loading " << path << ": " << st.ToString() << "\n";
+    std::exit(2);
+  }
+  return store;
+}
+
+}  // namespace alex::tools
+
+#endif  // ALEX_TOOLS_CLI_COMMON_H_
