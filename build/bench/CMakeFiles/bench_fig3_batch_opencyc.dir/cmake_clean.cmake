@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_batch_opencyc.dir/bench_fig3_batch_opencyc.cc.o"
+  "CMakeFiles/bench_fig3_batch_opencyc.dir/bench_fig3_batch_opencyc.cc.o.d"
+  "bench_fig3_batch_opencyc"
+  "bench_fig3_batch_opencyc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_batch_opencyc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_specific_domains.dir/bench_fig4_specific_domains.cc.o"
+  "CMakeFiles/bench_fig4_specific_domains.dir/bench_fig4_specific_domains.cc.o.d"
+  "bench_fig4_specific_domains"
+  "bench_fig4_specific_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_specific_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

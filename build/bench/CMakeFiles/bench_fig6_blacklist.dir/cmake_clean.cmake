@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_blacklist.dir/bench_fig6_blacklist.cc.o"
+  "CMakeFiles/bench_fig6_blacklist.dir/bench_fig6_blacklist.cc.o.d"
+  "bench_fig6_blacklist"
+  "bench_fig6_blacklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_blacklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_driven.dir/bench_query_driven.cc.o"
+  "CMakeFiles/bench_query_driven.dir/bench_query_driven.cc.o.d"
+  "bench_query_driven"
+  "bench_query_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_news.dir/federated_news.cpp.o"
+  "CMakeFiles/federated_news.dir/federated_news.cpp.o.d"
+  "federated_news"
+  "federated_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nba_domain.dir/nba_domain.cpp.o"
+  "CMakeFiles/nba_domain.dir/nba_domain.cpp.o.d"
+  "nba_domain"
+  "nba_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nba_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

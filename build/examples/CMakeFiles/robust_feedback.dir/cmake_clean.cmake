@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_feedback.dir/robust_feedback.cpp.o"
+  "CMakeFiles/robust_feedback.dir/robust_feedback.cpp.o.d"
+  "robust_feedback"
+  "robust_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

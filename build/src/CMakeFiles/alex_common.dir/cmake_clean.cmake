@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_common.dir/common/logging.cc.o"
+  "CMakeFiles/alex_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/alex_common.dir/common/rng.cc.o"
+  "CMakeFiles/alex_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/alex_common.dir/common/status.cc.o"
+  "CMakeFiles/alex_common.dir/common/status.cc.o.d"
+  "CMakeFiles/alex_common.dir/common/strings.cc.o"
+  "CMakeFiles/alex_common.dir/common/strings.cc.o.d"
+  "CMakeFiles/alex_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/alex_common.dir/common/thread_pool.cc.o.d"
+  "libalex_common.a"
+  "libalex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalex_common.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alex_engine.cc" "src/CMakeFiles/alex_core.dir/core/alex_engine.cc.o" "gcc" "src/CMakeFiles/alex_core.dir/core/alex_engine.cc.o.d"
+  "/root/repo/src/core/candidate_set.cc" "src/CMakeFiles/alex_core.dir/core/candidate_set.cc.o" "gcc" "src/CMakeFiles/alex_core.dir/core/candidate_set.cc.o.d"
+  "/root/repo/src/core/engine_state.cc" "src/CMakeFiles/alex_core.dir/core/engine_state.cc.o" "gcc" "src/CMakeFiles/alex_core.dir/core/engine_state.cc.o.d"
+  "/root/repo/src/core/feature_set.cc" "src/CMakeFiles/alex_core.dir/core/feature_set.cc.o" "gcc" "src/CMakeFiles/alex_core.dir/core/feature_set.cc.o.d"
+  "/root/repo/src/core/feature_space.cc" "src/CMakeFiles/alex_core.dir/core/feature_space.cc.o" "gcc" "src/CMakeFiles/alex_core.dir/core/feature_space.cc.o.d"
+  "/root/repo/src/core/mc_learner.cc" "src/CMakeFiles/alex_core.dir/core/mc_learner.cc.o" "gcc" "src/CMakeFiles/alex_core.dir/core/mc_learner.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/CMakeFiles/alex_core.dir/core/partitioner.cc.o" "gcc" "src/CMakeFiles/alex_core.dir/core/partitioner.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/alex_core.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/alex_core.dir/core/policy.cc.o.d"
+  "/root/repo/src/core/rollback_log.cc" "src/CMakeFiles/alex_core.dir/core/rollback_log.cc.o" "gcc" "src/CMakeFiles/alex_core.dir/core/rollback_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alex_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

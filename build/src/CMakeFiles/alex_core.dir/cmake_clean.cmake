@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_core.dir/core/alex_engine.cc.o"
+  "CMakeFiles/alex_core.dir/core/alex_engine.cc.o.d"
+  "CMakeFiles/alex_core.dir/core/candidate_set.cc.o"
+  "CMakeFiles/alex_core.dir/core/candidate_set.cc.o.d"
+  "CMakeFiles/alex_core.dir/core/engine_state.cc.o"
+  "CMakeFiles/alex_core.dir/core/engine_state.cc.o.d"
+  "CMakeFiles/alex_core.dir/core/feature_set.cc.o"
+  "CMakeFiles/alex_core.dir/core/feature_set.cc.o.d"
+  "CMakeFiles/alex_core.dir/core/feature_space.cc.o"
+  "CMakeFiles/alex_core.dir/core/feature_space.cc.o.d"
+  "CMakeFiles/alex_core.dir/core/mc_learner.cc.o"
+  "CMakeFiles/alex_core.dir/core/mc_learner.cc.o.d"
+  "CMakeFiles/alex_core.dir/core/partitioner.cc.o"
+  "CMakeFiles/alex_core.dir/core/partitioner.cc.o.d"
+  "CMakeFiles/alex_core.dir/core/policy.cc.o"
+  "CMakeFiles/alex_core.dir/core/policy.cc.o.d"
+  "CMakeFiles/alex_core.dir/core/rollback_log.cc.o"
+  "CMakeFiles/alex_core.dir/core/rollback_log.cc.o.d"
+  "libalex_core.a"
+  "libalex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

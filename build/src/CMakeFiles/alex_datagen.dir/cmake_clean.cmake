@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_datagen.dir/datagen/profiles.cc.o"
+  "CMakeFiles/alex_datagen.dir/datagen/profiles.cc.o.d"
+  "CMakeFiles/alex_datagen.dir/datagen/world.cc.o"
+  "CMakeFiles/alex_datagen.dir/datagen/world.cc.o.d"
+  "libalex_datagen.a"
+  "libalex_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

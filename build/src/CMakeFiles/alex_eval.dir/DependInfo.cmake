@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/alex_eval.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/alex_eval.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/alex_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/alex_eval.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/query_workload.cc" "src/CMakeFiles/alex_eval.dir/eval/query_workload.cc.o" "gcc" "src/CMakeFiles/alex_eval.dir/eval/query_workload.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/alex_eval.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/alex_eval.dir/eval/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

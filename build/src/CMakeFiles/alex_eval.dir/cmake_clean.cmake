@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_eval.dir/eval/experiment.cc.o"
+  "CMakeFiles/alex_eval.dir/eval/experiment.cc.o.d"
+  "CMakeFiles/alex_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/alex_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/alex_eval.dir/eval/query_workload.cc.o"
+  "CMakeFiles/alex_eval.dir/eval/query_workload.cc.o.d"
+  "CMakeFiles/alex_eval.dir/eval/report.cc.o"
+  "CMakeFiles/alex_eval.dir/eval/report.cc.o.d"
+  "libalex_eval.a"
+  "libalex_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/federation/federated_engine.cc" "src/CMakeFiles/alex_federation.dir/federation/federated_engine.cc.o" "gcc" "src/CMakeFiles/alex_federation.dir/federation/federated_engine.cc.o.d"
+  "/root/repo/src/federation/link_set.cc" "src/CMakeFiles/alex_federation.dir/federation/link_set.cc.o" "gcc" "src/CMakeFiles/alex_federation.dir/federation/link_set.cc.o.d"
+  "/root/repo/src/federation/source_selection.cc" "src/CMakeFiles/alex_federation.dir/federation/source_selection.cc.o" "gcc" "src/CMakeFiles/alex_federation.dir/federation/source_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alex_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_feedback.dir/feedback/aggregator.cc.o"
+  "CMakeFiles/alex_feedback.dir/feedback/aggregator.cc.o.d"
+  "CMakeFiles/alex_feedback.dir/feedback/oracle.cc.o"
+  "CMakeFiles/alex_feedback.dir/feedback/oracle.cc.o.d"
+  "libalex_feedback.a"
+  "libalex_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

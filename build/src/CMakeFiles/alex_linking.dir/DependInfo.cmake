@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linking/link.cc" "src/CMakeFiles/alex_linking.dir/linking/link.cc.o" "gcc" "src/CMakeFiles/alex_linking.dir/linking/link.cc.o.d"
+  "/root/repo/src/linking/link_io.cc" "src/CMakeFiles/alex_linking.dir/linking/link_io.cc.o" "gcc" "src/CMakeFiles/alex_linking.dir/linking/link_io.cc.o.d"
+  "/root/repo/src/linking/paris.cc" "src/CMakeFiles/alex_linking.dir/linking/paris.cc.o" "gcc" "src/CMakeFiles/alex_linking.dir/linking/paris.cc.o.d"
+  "/root/repo/src/linking/rule_matcher.cc" "src/CMakeFiles/alex_linking.dir/linking/rule_matcher.cc.o" "gcc" "src/CMakeFiles/alex_linking.dir/linking/rule_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alex_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_linking.dir/linking/link.cc.o"
+  "CMakeFiles/alex_linking.dir/linking/link.cc.o.d"
+  "CMakeFiles/alex_linking.dir/linking/link_io.cc.o"
+  "CMakeFiles/alex_linking.dir/linking/link_io.cc.o.d"
+  "CMakeFiles/alex_linking.dir/linking/paris.cc.o"
+  "CMakeFiles/alex_linking.dir/linking/paris.cc.o.d"
+  "CMakeFiles/alex_linking.dir/linking/rule_matcher.cc.o"
+  "CMakeFiles/alex_linking.dir/linking/rule_matcher.cc.o.d"
+  "libalex_linking.a"
+  "libalex_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

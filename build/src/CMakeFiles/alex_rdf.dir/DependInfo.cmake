@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdf/dataset_stats.cc" "src/CMakeFiles/alex_rdf.dir/rdf/dataset_stats.cc.o" "gcc" "src/CMakeFiles/alex_rdf.dir/rdf/dataset_stats.cc.o.d"
+  "/root/repo/src/rdf/dictionary.cc" "src/CMakeFiles/alex_rdf.dir/rdf/dictionary.cc.o" "gcc" "src/CMakeFiles/alex_rdf.dir/rdf/dictionary.cc.o.d"
+  "/root/repo/src/rdf/entity_view.cc" "src/CMakeFiles/alex_rdf.dir/rdf/entity_view.cc.o" "gcc" "src/CMakeFiles/alex_rdf.dir/rdf/entity_view.cc.o.d"
+  "/root/repo/src/rdf/ntriples.cc" "src/CMakeFiles/alex_rdf.dir/rdf/ntriples.cc.o" "gcc" "src/CMakeFiles/alex_rdf.dir/rdf/ntriples.cc.o.d"
+  "/root/repo/src/rdf/snapshot.cc" "src/CMakeFiles/alex_rdf.dir/rdf/snapshot.cc.o" "gcc" "src/CMakeFiles/alex_rdf.dir/rdf/snapshot.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/CMakeFiles/alex_rdf.dir/rdf/term.cc.o" "gcc" "src/CMakeFiles/alex_rdf.dir/rdf/term.cc.o.d"
+  "/root/repo/src/rdf/triple_store.cc" "src/CMakeFiles/alex_rdf.dir/rdf/triple_store.cc.o" "gcc" "src/CMakeFiles/alex_rdf.dir/rdf/triple_store.cc.o.d"
+  "/root/repo/src/rdf/turtle.cc" "src/CMakeFiles/alex_rdf.dir/rdf/turtle.cc.o" "gcc" "src/CMakeFiles/alex_rdf.dir/rdf/turtle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

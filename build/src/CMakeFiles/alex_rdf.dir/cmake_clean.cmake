@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_rdf.dir/rdf/dataset_stats.cc.o"
+  "CMakeFiles/alex_rdf.dir/rdf/dataset_stats.cc.o.d"
+  "CMakeFiles/alex_rdf.dir/rdf/dictionary.cc.o"
+  "CMakeFiles/alex_rdf.dir/rdf/dictionary.cc.o.d"
+  "CMakeFiles/alex_rdf.dir/rdf/entity_view.cc.o"
+  "CMakeFiles/alex_rdf.dir/rdf/entity_view.cc.o.d"
+  "CMakeFiles/alex_rdf.dir/rdf/ntriples.cc.o"
+  "CMakeFiles/alex_rdf.dir/rdf/ntriples.cc.o.d"
+  "CMakeFiles/alex_rdf.dir/rdf/snapshot.cc.o"
+  "CMakeFiles/alex_rdf.dir/rdf/snapshot.cc.o.d"
+  "CMakeFiles/alex_rdf.dir/rdf/term.cc.o"
+  "CMakeFiles/alex_rdf.dir/rdf/term.cc.o.d"
+  "CMakeFiles/alex_rdf.dir/rdf/triple_store.cc.o"
+  "CMakeFiles/alex_rdf.dir/rdf/triple_store.cc.o.d"
+  "CMakeFiles/alex_rdf.dir/rdf/turtle.cc.o"
+  "CMakeFiles/alex_rdf.dir/rdf/turtle.cc.o.d"
+  "libalex_rdf.a"
+  "libalex_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

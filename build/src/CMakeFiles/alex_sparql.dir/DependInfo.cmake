@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparql/algebra.cc" "src/CMakeFiles/alex_sparql.dir/sparql/algebra.cc.o" "gcc" "src/CMakeFiles/alex_sparql.dir/sparql/algebra.cc.o.d"
+  "/root/repo/src/sparql/executor.cc" "src/CMakeFiles/alex_sparql.dir/sparql/executor.cc.o" "gcc" "src/CMakeFiles/alex_sparql.dir/sparql/executor.cc.o.d"
+  "/root/repo/src/sparql/parser.cc" "src/CMakeFiles/alex_sparql.dir/sparql/parser.cc.o" "gcc" "src/CMakeFiles/alex_sparql.dir/sparql/parser.cc.o.d"
+  "/root/repo/src/sparql/results_io.cc" "src/CMakeFiles/alex_sparql.dir/sparql/results_io.cc.o" "gcc" "src/CMakeFiles/alex_sparql.dir/sparql/results_io.cc.o.d"
+  "/root/repo/src/sparql/tokenizer.cc" "src/CMakeFiles/alex_sparql.dir/sparql/tokenizer.cc.o" "gcc" "src/CMakeFiles/alex_sparql.dir/sparql/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alex_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

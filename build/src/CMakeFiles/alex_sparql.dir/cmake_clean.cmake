@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_sparql.dir/sparql/algebra.cc.o"
+  "CMakeFiles/alex_sparql.dir/sparql/algebra.cc.o.d"
+  "CMakeFiles/alex_sparql.dir/sparql/executor.cc.o"
+  "CMakeFiles/alex_sparql.dir/sparql/executor.cc.o.d"
+  "CMakeFiles/alex_sparql.dir/sparql/parser.cc.o"
+  "CMakeFiles/alex_sparql.dir/sparql/parser.cc.o.d"
+  "CMakeFiles/alex_sparql.dir/sparql/results_io.cc.o"
+  "CMakeFiles/alex_sparql.dir/sparql/results_io.cc.o.d"
+  "CMakeFiles/alex_sparql.dir/sparql/tokenizer.cc.o"
+  "CMakeFiles/alex_sparql.dir/sparql/tokenizer.cc.o.d"
+  "libalex_sparql.a"
+  "libalex_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

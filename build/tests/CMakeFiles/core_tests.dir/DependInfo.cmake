@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/alex_engine_test.cc" "tests/CMakeFiles/core_tests.dir/core/alex_engine_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/alex_engine_test.cc.o.d"
+  "/root/repo/tests/core/candidate_set_test.cc" "tests/CMakeFiles/core_tests.dir/core/candidate_set_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/candidate_set_test.cc.o.d"
+  "/root/repo/tests/core/engine_invariants_test.cc" "tests/CMakeFiles/core_tests.dir/core/engine_invariants_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/engine_invariants_test.cc.o.d"
+  "/root/repo/tests/core/engine_state_test.cc" "tests/CMakeFiles/core_tests.dir/core/engine_state_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/engine_state_test.cc.o.d"
+  "/root/repo/tests/core/feature_set_test.cc" "tests/CMakeFiles/core_tests.dir/core/feature_set_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/feature_set_test.cc.o.d"
+  "/root/repo/tests/core/feature_space_test.cc" "tests/CMakeFiles/core_tests.dir/core/feature_space_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/feature_space_test.cc.o.d"
+  "/root/repo/tests/core/mc_learner_test.cc" "tests/CMakeFiles/core_tests.dir/core/mc_learner_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mc_learner_test.cc.o.d"
+  "/root/repo/tests/core/partitioner_test.cc" "tests/CMakeFiles/core_tests.dir/core/partitioner_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/partitioner_test.cc.o.d"
+  "/root/repo/tests/core/policy_test.cc" "tests/CMakeFiles/core_tests.dir/core/policy_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/policy_test.cc.o.d"
+  "/root/repo/tests/core/rl_soundness_test.cc" "tests/CMakeFiles/core_tests.dir/core/rl_soundness_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/rl_soundness_test.cc.o.d"
+  "/root/repo/tests/core/rollback_log_test.cc" "tests/CMakeFiles/core_tests.dir/core/rollback_log_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/rollback_log_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alex_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/alex_engine_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/alex_engine_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/candidate_set_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/candidate_set_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/engine_invariants_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/engine_invariants_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/engine_state_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/engine_state_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/feature_set_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/feature_set_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/feature_space_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/feature_space_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/mc_learner_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/mc_learner_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/partitioner_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/partitioner_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/policy_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/policy_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/rl_soundness_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/rl_soundness_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/rollback_log_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/rollback_log_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

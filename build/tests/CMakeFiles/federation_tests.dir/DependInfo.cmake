@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/federation/federated_engine_test.cc" "tests/CMakeFiles/federation_tests.dir/federation/federated_engine_test.cc.o" "gcc" "tests/CMakeFiles/federation_tests.dir/federation/federated_engine_test.cc.o.d"
+  "/root/repo/tests/federation/link_set_test.cc" "tests/CMakeFiles/federation_tests.dir/federation/link_set_test.cc.o" "gcc" "tests/CMakeFiles/federation_tests.dir/federation/link_set_test.cc.o.d"
+  "/root/repo/tests/federation/multi_source_test.cc" "tests/CMakeFiles/federation_tests.dir/federation/multi_source_test.cc.o" "gcc" "tests/CMakeFiles/federation_tests.dir/federation/multi_source_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alex_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

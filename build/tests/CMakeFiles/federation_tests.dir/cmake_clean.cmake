@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_tests.dir/federation/federated_engine_test.cc.o"
+  "CMakeFiles/federation_tests.dir/federation/federated_engine_test.cc.o.d"
+  "CMakeFiles/federation_tests.dir/federation/link_set_test.cc.o"
+  "CMakeFiles/federation_tests.dir/federation/link_set_test.cc.o.d"
+  "CMakeFiles/federation_tests.dir/federation/multi_source_test.cc.o"
+  "CMakeFiles/federation_tests.dir/federation/multi_source_test.cc.o.d"
+  "federation_tests"
+  "federation_tests.pdb"
+  "federation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

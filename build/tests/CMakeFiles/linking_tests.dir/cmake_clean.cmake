@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linking_tests.dir/linking/link_io_test.cc.o"
+  "CMakeFiles/linking_tests.dir/linking/link_io_test.cc.o.d"
+  "CMakeFiles/linking_tests.dir/linking/paris_test.cc.o"
+  "CMakeFiles/linking_tests.dir/linking/paris_test.cc.o.d"
+  "CMakeFiles/linking_tests.dir/linking/rule_matcher_test.cc.o"
+  "CMakeFiles/linking_tests.dir/linking/rule_matcher_test.cc.o.d"
+  "linking_tests"
+  "linking_tests.pdb"
+  "linking_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linking_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rdf/dataset_stats_test.cc" "tests/CMakeFiles/rdf_tests.dir/rdf/dataset_stats_test.cc.o" "gcc" "tests/CMakeFiles/rdf_tests.dir/rdf/dataset_stats_test.cc.o.d"
+  "/root/repo/tests/rdf/dictionary_test.cc" "tests/CMakeFiles/rdf_tests.dir/rdf/dictionary_test.cc.o" "gcc" "tests/CMakeFiles/rdf_tests.dir/rdf/dictionary_test.cc.o.d"
+  "/root/repo/tests/rdf/entity_view_test.cc" "tests/CMakeFiles/rdf_tests.dir/rdf/entity_view_test.cc.o" "gcc" "tests/CMakeFiles/rdf_tests.dir/rdf/entity_view_test.cc.o.d"
+  "/root/repo/tests/rdf/ntriples_test.cc" "tests/CMakeFiles/rdf_tests.dir/rdf/ntriples_test.cc.o" "gcc" "tests/CMakeFiles/rdf_tests.dir/rdf/ntriples_test.cc.o.d"
+  "/root/repo/tests/rdf/snapshot_test.cc" "tests/CMakeFiles/rdf_tests.dir/rdf/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/rdf_tests.dir/rdf/snapshot_test.cc.o.d"
+  "/root/repo/tests/rdf/term_test.cc" "tests/CMakeFiles/rdf_tests.dir/rdf/term_test.cc.o" "gcc" "tests/CMakeFiles/rdf_tests.dir/rdf/term_test.cc.o.d"
+  "/root/repo/tests/rdf/triple_store_test.cc" "tests/CMakeFiles/rdf_tests.dir/rdf/triple_store_test.cc.o" "gcc" "tests/CMakeFiles/rdf_tests.dir/rdf/triple_store_test.cc.o.d"
+  "/root/repo/tests/rdf/turtle_test.cc" "tests/CMakeFiles/rdf_tests.dir/rdf/turtle_test.cc.o" "gcc" "tests/CMakeFiles/rdf_tests.dir/rdf/turtle_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alex_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

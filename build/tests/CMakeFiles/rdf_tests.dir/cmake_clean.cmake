@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdf_tests.dir/rdf/dataset_stats_test.cc.o"
+  "CMakeFiles/rdf_tests.dir/rdf/dataset_stats_test.cc.o.d"
+  "CMakeFiles/rdf_tests.dir/rdf/dictionary_test.cc.o"
+  "CMakeFiles/rdf_tests.dir/rdf/dictionary_test.cc.o.d"
+  "CMakeFiles/rdf_tests.dir/rdf/entity_view_test.cc.o"
+  "CMakeFiles/rdf_tests.dir/rdf/entity_view_test.cc.o.d"
+  "CMakeFiles/rdf_tests.dir/rdf/ntriples_test.cc.o"
+  "CMakeFiles/rdf_tests.dir/rdf/ntriples_test.cc.o.d"
+  "CMakeFiles/rdf_tests.dir/rdf/snapshot_test.cc.o"
+  "CMakeFiles/rdf_tests.dir/rdf/snapshot_test.cc.o.d"
+  "CMakeFiles/rdf_tests.dir/rdf/term_test.cc.o"
+  "CMakeFiles/rdf_tests.dir/rdf/term_test.cc.o.d"
+  "CMakeFiles/rdf_tests.dir/rdf/triple_store_test.cc.o"
+  "CMakeFiles/rdf_tests.dir/rdf/triple_store_test.cc.o.d"
+  "CMakeFiles/rdf_tests.dir/rdf/turtle_test.cc.o"
+  "CMakeFiles/rdf_tests.dir/rdf/turtle_test.cc.o.d"
+  "rdf_tests"
+  "rdf_tests.pdb"
+  "rdf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_tests.dir/similarity/string_metrics_test.cc.o"
+  "CMakeFiles/similarity_tests.dir/similarity/string_metrics_test.cc.o.d"
+  "CMakeFiles/similarity_tests.dir/similarity/value_similarity_test.cc.o"
+  "CMakeFiles/similarity_tests.dir/similarity/value_similarity_test.cc.o.d"
+  "similarity_tests"
+  "similarity_tests.pdb"
+  "similarity_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

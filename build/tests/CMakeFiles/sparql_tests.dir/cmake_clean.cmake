@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_tests.dir/sparql/aggregate_test.cc.o"
+  "CMakeFiles/sparql_tests.dir/sparql/aggregate_test.cc.o.d"
+  "CMakeFiles/sparql_tests.dir/sparql/algebra_test.cc.o"
+  "CMakeFiles/sparql_tests.dir/sparql/algebra_test.cc.o.d"
+  "CMakeFiles/sparql_tests.dir/sparql/executor_test.cc.o"
+  "CMakeFiles/sparql_tests.dir/sparql/executor_test.cc.o.d"
+  "CMakeFiles/sparql_tests.dir/sparql/extended_test.cc.o"
+  "CMakeFiles/sparql_tests.dir/sparql/extended_test.cc.o.d"
+  "CMakeFiles/sparql_tests.dir/sparql/parser_test.cc.o"
+  "CMakeFiles/sparql_tests.dir/sparql/parser_test.cc.o.d"
+  "CMakeFiles/sparql_tests.dir/sparql/results_io_test.cc.o"
+  "CMakeFiles/sparql_tests.dir/sparql/results_io_test.cc.o.d"
+  "CMakeFiles/sparql_tests.dir/sparql/tokenizer_test.cc.o"
+  "CMakeFiles/sparql_tests.dir/sparql/tokenizer_test.cc.o.d"
+  "sparql_tests"
+  "sparql_tests.pdb"
+  "sparql_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

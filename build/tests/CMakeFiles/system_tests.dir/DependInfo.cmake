@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datagen/world_test.cc" "tests/CMakeFiles/system_tests.dir/datagen/world_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/datagen/world_test.cc.o.d"
+  "/root/repo/tests/eval/experiment_test.cc" "tests/CMakeFiles/system_tests.dir/eval/experiment_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/eval/experiment_test.cc.o.d"
+  "/root/repo/tests/eval/metrics_test.cc" "tests/CMakeFiles/system_tests.dir/eval/metrics_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/eval/metrics_test.cc.o.d"
+  "/root/repo/tests/eval/query_workload_test.cc" "tests/CMakeFiles/system_tests.dir/eval/query_workload_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/eval/query_workload_test.cc.o.d"
+  "/root/repo/tests/eval/report_csv_test.cc" "tests/CMakeFiles/system_tests.dir/eval/report_csv_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/eval/report_csv_test.cc.o.d"
+  "/root/repo/tests/feedback/aggregator_test.cc" "tests/CMakeFiles/system_tests.dir/feedback/aggregator_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/feedback/aggregator_test.cc.o.d"
+  "/root/repo/tests/feedback/oracle_test.cc" "tests/CMakeFiles/system_tests.dir/feedback/oracle_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/feedback/oracle_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/system_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/fuzz_robustness_test.cc" "tests/CMakeFiles/system_tests.dir/integration/fuzz_robustness_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/integration/fuzz_robustness_test.cc.o.d"
+  "/root/repo/tests/integration/profile_regimes_test.cc" "tests/CMakeFiles/system_tests.dir/integration/profile_regimes_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/integration/profile_regimes_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alex_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

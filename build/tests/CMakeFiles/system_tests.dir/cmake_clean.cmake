@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_tests.dir/datagen/world_test.cc.o"
+  "CMakeFiles/system_tests.dir/datagen/world_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/eval/experiment_test.cc.o"
+  "CMakeFiles/system_tests.dir/eval/experiment_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/eval/metrics_test.cc.o"
+  "CMakeFiles/system_tests.dir/eval/metrics_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/eval/query_workload_test.cc.o"
+  "CMakeFiles/system_tests.dir/eval/query_workload_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/eval/report_csv_test.cc.o"
+  "CMakeFiles/system_tests.dir/eval/report_csv_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/feedback/aggregator_test.cc.o"
+  "CMakeFiles/system_tests.dir/feedback/aggregator_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/feedback/oracle_test.cc.o"
+  "CMakeFiles/system_tests.dir/feedback/oracle_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/system_tests.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/integration/fuzz_robustness_test.cc.o"
+  "CMakeFiles/system_tests.dir/integration/fuzz_robustness_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/integration/profile_regimes_test.cc.o"
+  "CMakeFiles/system_tests.dir/integration/profile_regimes_test.cc.o.d"
+  "system_tests"
+  "system_tests.pdb"
+  "system_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

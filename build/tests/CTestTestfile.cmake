@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/rdf_tests[1]_include.cmake")
+include("/root/repo/build/tests/similarity_tests[1]_include.cmake")
+include("/root/repo/build/tests/sparql_tests[1]_include.cmake")
+include("/root/repo/build/tests/federation_tests[1]_include.cmake")
+include("/root/repo/build/tests/linking_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/system_tests[1]_include.cmake")
+include("/root/repo/build/tests/tools_tests[1]_include.cmake")

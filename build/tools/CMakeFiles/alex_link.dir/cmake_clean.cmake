@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_link.dir/alex_link.cc.o"
+  "CMakeFiles/alex_link.dir/alex_link.cc.o.d"
+  "alex_link"
+  "alex_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_query.dir/sparql_query.cc.o"
+  "CMakeFiles/sparql_query.dir/sparql_query.cc.o.d"
+  "sparql_query"
+  "sparql_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
