@@ -38,12 +38,16 @@ int main() {
   }
 
   uint64_t total = space.total_pair_count();
+  uint64_t scored = space.scored_pair_count();
   uint64_t filtered = space.pairs().size();
   std::cout << "== Figure 5: search-space filtering (DBpedia - NYTimes, "
                "partition 1 of "
             << config.alex.num_partitions << ") ==\n"
             << std::fixed << std::setprecision(1);
   std::cout << "(a) total possible links:   " << total << "\n"
+            << "    blocked (scored) pairs: " << scored << "  ("
+            << 100.0 * (1.0 - static_cast<double>(scored) / total)
+            << "% pruned unscored)\n"
             << "    filtered space (theta=" << config.alex.space.theta
             << "): " << filtered << "  ("
             << 100.0 * (1.0 - static_cast<double>(filtered) / total)

@@ -1,0 +1,209 @@
+// Feature-space construction benchmark: seed-style exhaustive build vs. the
+// blocked build at 1/2/4/8 threads (ISSUE 2 perf trajectory). All
+// configurations must produce bit-identical spaces; the fingerprint check
+// enforces it. Writes BENCH_space_build.json (path via --out).
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/thread_pool.h"
+#include "core/feature_space.h"
+#include "core/partitioner.h"
+
+namespace {
+
+using alex::core::FeatureCatalog;
+using alex::core::FeatureSpace;
+using alex::core::FeatureSpaceOptions;
+using alex::core::PairId;
+using alex::core::RightContext;
+
+struct RunStats {
+  double ms = 0.0;                 // best-of-repeats wall time
+  uint64_t total_pairs = 0;        // raw cross product
+  uint64_t scored_pairs = 0;       // pairs sent to BuildFeatureSet
+  uint64_t surviving_pairs = 0;    // pairs kept after theta-filtering
+  uint64_t fingerprint = 0;        // order-sensitive content hash
+};
+
+void HashCombine(uint64_t* seed, uint64_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ull + (*seed << 6) + (*seed >> 2);
+}
+
+// Order-sensitive hash over (left IRI, right IRI, feature key, score) of
+// every pair, in PairId order. FeatureIds differ between runs (each run has
+// its own catalog), so features are folded in by their string keys.
+uint64_t Fingerprint(const std::vector<FeatureSpace>& spaces) {
+  std::hash<std::string> hash_str;
+  uint64_t fp = 0;
+  for (const FeatureSpace& space : spaces) {
+    for (PairId id = 0; id < space.pairs().size(); ++id) {
+      HashCombine(&fp, hash_str(space.LeftIri(id)));
+      HashCombine(&fp, hash_str(space.RightIri(id)));
+      std::vector<std::tuple<std::string, std::string, double>> entries;
+      for (const auto& [feature, score] : space.pair(id).features.features) {
+        alex::core::FeatureKey key = space.catalog()->Key(feature);
+        entries.emplace_back(key.left_predicate, key.right_predicate, score);
+      }
+      // FeatureIds are assigned in interning order, which differs between
+      // runs; sort by key so the hash only reflects content.
+      std::sort(entries.begin(), entries.end());
+      for (const auto& [lp, rp, score] : entries) {
+        HashCombine(&fp, hash_str(lp));
+        HashCombine(&fp, hash_str(rp));
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(score));
+        std::memcpy(&bits, &score, sizeof(bits));
+        HashCombine(&fp, bits);
+      }
+    }
+  }
+  return fp;
+}
+
+// One full Initialize-style build: every partition of the left store against
+// the whole right store. `threads == 0` reproduces the seed's exhaustive
+// path (blocking off, no pool, right store re-prepared per partition);
+// otherwise blocking is on, the right side is prepared once, and the
+// left-entity loop is sharded across a pool of `threads` workers.
+RunStats RunBuild(const alex::datagen::GeneratedWorld& world,
+                  const std::vector<std::vector<alex::rdf::TermId>>& partitions,
+                  const FeatureSpaceOptions& base_options, int threads,
+                  int repeats) {
+  FeatureSpaceOptions options = base_options;
+  options.blocking.enabled = threads > 0;
+  RunStats stats;
+  stats.ms = -1.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    FeatureCatalog catalog;
+    std::vector<FeatureSpace> spaces;
+    auto start = std::chrono::steady_clock::now();
+    if (threads > 0) {
+      alex::ThreadPool pool(threads);
+      alex::ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+      std::shared_ptr<const RightContext> right = RightContext::Prepare(
+          world.right, world.right.Subjects(), options);
+      for (const auto& partition : partitions) {
+        spaces.push_back(FeatureSpace::Build(world.left, partition, right,
+                                             &catalog, options, pool_ptr));
+      }
+    } else {
+      for (const auto& partition : partitions) {
+        spaces.push_back(FeatureSpace::Build(world.left, partition,
+                                             world.right,
+                                             world.right.Subjects(), &catalog,
+                                             options));
+      }
+    }
+    auto end = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            end - start)
+            .count();
+    if (stats.ms < 0.0 || ms < stats.ms) stats.ms = ms;
+    if (rep == 0) {
+      for (const FeatureSpace& space : spaces) {
+        stats.total_pairs += space.total_pair_count();
+        stats.scored_pairs += space.scored_pair_count();
+        stats.surviving_pairs += space.pairs().size();
+      }
+      stats.fingerprint = Fingerprint(spaces);
+    }
+  }
+  return stats;
+}
+
+void PrintRow(const std::string& label, const RunStats& s, double base_ms) {
+  std::cout << "  " << std::left << std::setw(22) << label << std::right
+            << std::fixed << std::setprecision(1) << std::setw(9) << s.ms
+            << " ms   scored " << std::setw(9) << s.scored_pairs
+            << " / " << s.total_pairs << "   kept " << s.surviving_pairs
+            << "   speedup " << std::setprecision(2) << base_ms / s.ms
+            << "x\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_space_build.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    }
+  }
+
+  alex::eval::ExperimentConfig config =
+      alex::bench::MakeConfig("dbpedia_nytimes");
+  alex::datagen::GeneratedWorld world =
+      alex::datagen::Generate(config.profile);
+  auto partitions = alex::core::EqualSizePartition(
+      world.left.Subjects(), config.alex.num_partitions);
+
+  std::cout << "== Feature-space construction: exhaustive vs. blocked ==\n"
+            << "world dbpedia_nytimes: " << world.left.Subjects().size()
+            << " left x " << world.right.Subjects().size() << " right, "
+            << partitions.size() << " partitions\n";
+
+  const int kRepeats = 5;
+  RunStats exhaustive =
+      RunBuild(world, partitions, config.alex.space, /*threads=*/0, kRepeats);
+  PrintRow("exhaustive (seed)", exhaustive, exhaustive.ms);
+
+  const std::vector<int> kThreads = {1, 2, 4, 8};
+  std::vector<RunStats> blocked;
+  bool all_equal = true;
+  for (int threads : kThreads) {
+    RunStats s =
+        RunBuild(world, partitions, config.alex.space, threads, kRepeats);
+    PrintRow("blocked, " + std::to_string(threads) + " thread(s)", s,
+             exhaustive.ms);
+    all_equal = all_equal && s.fingerprint == exhaustive.fingerprint &&
+                s.surviving_pairs == exhaustive.surviving_pairs;
+    blocked.push_back(s);
+  }
+  std::cout << (all_equal
+                    ? "all configurations produced identical spaces\n"
+                    : "FINGERPRINT MISMATCH: blocked space differs!\n");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << std::fixed << std::setprecision(3);
+  out << "{\n"
+      << "  \"bench\": \"space_build\",\n"
+      << "  \"world\": \"dbpedia_nytimes\",\n"
+      << "  \"num_partitions\": " << partitions.size() << ",\n"
+      << "  \"left_entities\": " << world.left.Subjects().size() << ",\n"
+      << "  \"right_entities\": " << world.right.Subjects().size() << ",\n"
+      << "  \"repeats\": " << kRepeats << ",\n"
+      << "  \"identical_spaces\": " << (all_equal ? "true" : "false") << ",\n"
+      << "  \"exhaustive\": {\"threads\": 1, \"ms\": " << exhaustive.ms
+      << ", \"scored_pairs\": " << exhaustive.scored_pairs
+      << ", \"surviving_pairs\": " << exhaustive.surviving_pairs << "},\n"
+      << "  \"blocked\": [\n";
+  for (size_t i = 0; i < blocked.size(); ++i) {
+    const RunStats& s = blocked[i];
+    out << "    {\"threads\": " << kThreads[i] << ", \"ms\": " << s.ms
+        << ", \"scored_pairs\": " << s.scored_pairs
+        << ", \"pruned_pairs\": " << s.total_pairs - s.scored_pairs
+        << ", \"surviving_pairs\": " << s.surviving_pairs
+        << ", \"speedup_vs_exhaustive\": " << exhaustive.ms / s.ms << "}"
+        << (i + 1 < blocked.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "(json written to " << out_path << ")\n";
+  return all_equal ? 0 : 1;
+}

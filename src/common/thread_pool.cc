@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace alex {
@@ -32,6 +33,25 @@ void ThreadPool::Schedule(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   work_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (min_chunk < 1) min_chunk = 1;
+  // ~4 chunks per worker balances uneven per-index cost without swamping
+  // the queue with tiny tasks.
+  const size_t target_chunks = workers_.size() * 4;
+  size_t chunk = std::max(min_chunk, (n + target_chunks - 1) / target_chunks);
+  if (chunk >= n) {
+    fn(0, n);  // not worth a task switch; run inline
+    return;
+  }
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t end = std::min(n, begin + chunk);
+    Schedule([&fn, begin, end] { fn(begin, end); });
+  }
+  Wait();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -28,6 +28,14 @@ class ThreadPool {
   // Blocks until every scheduled task has finished.
   void Wait();
 
+  // Splits [0, n) into contiguous chunks of at least `min_chunk` indices,
+  // schedules one task per chunk, and blocks until all have finished.
+  // `fn(begin, end)` runs concurrently on disjoint chunks. The caller must
+  // be the pool's only scheduler for the duration of the call (this uses
+  // Wait(), which waits for *all* scheduled work).
+  void ParallelFor(size_t n, size_t min_chunk,
+                   const std::function<void(size_t, size_t)>& fn);
+
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:

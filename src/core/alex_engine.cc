@@ -119,30 +119,37 @@ Status AlexEngine::Initialize(
   std::vector<std::vector<rdf::TermId>> partitions =
       EqualSizePartition(left_subjects, options_.num_partitions);
 
-  // Build the per-partition feature spaces in parallel (§6.2).
+  // Prepare the right data set ONCE — preprocessed entities plus the
+  // blocking index — and share it across every partition (the seed
+  // re-prepared all right entities per partition). Partition spaces are
+  // then built one after another with the left-entity loop of each build
+  // sharded across the pool (§6.2), which keeps all workers busy even when
+  // partitions are fewer than threads.
   int threads = options_.num_threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
   }
-  threads = std::min<int>(threads, static_cast<int>(partitions.size()));
-  std::vector<FeatureSpace> spaces(partitions.size());
+  std::shared_ptr<const RightContext> right_context =
+      RightContext::Prepare(*right_, right_subjects, options_.space);
+
+  std::vector<FeatureSpace> spaces;
+  spaces.reserve(partitions.size());
   {
     ThreadPool pool(threads);
-    for (size_t i = 0; i < partitions.size(); ++i) {
-      pool.Schedule([this, &spaces, &partitions, &right_subjects, i] {
-        spaces[i] =
-            FeatureSpace::Build(*left_, partitions[i], *right_,
-                                right_subjects, &catalog_, options_.space);
-      });
+    ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+    for (const std::vector<rdf::TermId>& partition : partitions) {
+      spaces.push_back(FeatureSpace::Build(*left_, partition, right_context,
+                                           &catalog_, options_.space,
+                                           pool_ptr));
     }
-    pool.Wait();
   }
 
   partitions_.reserve(spaces.size());
   for (size_t i = 0; i < spaces.size(); ++i) {
     total_pair_count_ += spaces[i].total_pair_count();
     filtered_pair_count_ += spaces[i].pairs().size();
+    scored_pair_count_ += spaces[i].scored_pair_count();
     partitions_.emplace_back(std::move(spaces[i]), &options_,
                              rng_.NextUint64());
   }
@@ -172,26 +179,18 @@ Status AlexEngine::Initialize(
     }
   }
 
-  prev_snapshot_ = Snapshot();
+  MarkCandidateBaseline();
   init_seconds_ = timer.ElapsedSeconds();
   initialized_ = true;
   return Status::Ok();
 }
 
-std::vector<uint64_t> AlexEngine::Snapshot() const {
-  std::vector<uint64_t> snapshot;
-  snapshot.reserve(CandidateCount());
-  for (uint32_t p = 0; p < partitions_.size(); ++p) {
-    for (PairId pair : partitions_[p].candidates().items()) {
-      snapshot.push_back((static_cast<uint64_t>(p) << 32) | pair);
-    }
+void AlexEngine::MarkCandidateBaseline() {
+  for (PartitionAlex& partition : partitions_) {
+    partition.mutable_candidates().TakeEpochChanges();
   }
-  for (PairId extra : extras_alive_.items()) {
-    snapshot.push_back((static_cast<uint64_t>(kExtraPartition) << 32) |
-                       extra);
-  }
-  std::sort(snapshot.begin(), snapshot.end());
-  return snapshot;
+  extras_alive_.TakeEpochChanges();
+  prev_candidate_count_ = CandidateCount();
 }
 
 bool AlexEngine::SampleCandidate(uint32_t* partition, PairId* pair) {
@@ -264,15 +263,17 @@ EpisodeStats AlexEngine::RunEpisode(const FeedbackFn& feedback) {
     partition_seconds[p] += partition_timer.ElapsedSeconds();
   }
 
-  std::vector<uint64_t> snapshot = Snapshot();
-  std::vector<uint64_t> diff;
-  std::set_symmetric_difference(snapshot.begin(), snapshot.end(),
-                                prev_snapshot_.begin(), prev_snapshot_.end(),
-                                std::back_inserter(diff));
+  // The candidate sets tracked their own net changes during the episode, so
+  // the symmetric difference with the episode-start state is a counter
+  // read, not a rebuild-sort-diff over every candidate.
+  size_t changed = extras_alive_.TakeEpochChanges();
+  for (PartitionAlex& partition : partitions_) {
+    changed += partition.mutable_candidates().TakeEpochChanges();
+  }
   stats.change_fraction =
-      static_cast<double>(diff.size()) /
-      static_cast<double>(std::max<size_t>(1, prev_snapshot_.size()));
-  prev_snapshot_ = std::move(snapshot);
+      static_cast<double>(changed) /
+      static_cast<double>(std::max<size_t>(1, prev_candidate_count_));
+  prev_candidate_count_ = CandidateCount();
   stats.candidate_count = CandidateCount();
   stats.seconds = episode_timer.ElapsedSeconds();
   double sum = 0.0;
@@ -414,7 +415,7 @@ void AlexEngine::ReplaceCandidates(
       extras_alive_.Add(extra_id);
     }
   }
-  prev_snapshot_ = Snapshot();
+  MarkCandidateBaseline();
 }
 
 namespace {

@@ -86,7 +86,9 @@ struct AlexOptions {
   // a 64-core machine; scaled down here.
   int num_partitions = 8;
   // Worker threads for parallel feature-space construction (0 = one per
-  // hardware thread, capped at num_partitions).
+  // hardware thread). The left-entity loop of every partition build is
+  // sharded across these workers, so the thread count is not limited by
+  // num_partitions.
   int num_threads = 0;
   uint64_t seed = 42;
 };
@@ -255,11 +257,17 @@ class AlexEngine {
   double init_seconds() const { return init_seconds_; }
   uint64_t total_pair_count() const { return total_pair_count_; }
   uint64_t filtered_pair_count() const { return filtered_pair_count_; }
+  // Pairs actually scored during Initialize; total - scored were pruned by
+  // the blocking index without being scored.
+  uint64_t scored_pair_count() const { return scored_pair_count_; }
+  uint64_t pruned_pair_count() const {
+    return total_pair_count_ - scored_pair_count_;
+  }
 
  private:
-  // Snapshot of the candidate set for convergence checks: encoded
-  // (partition, pair) plus extras.
-  std::vector<uint64_t> Snapshot() const;
+  // Resets the incremental change tracking (candidate-set epoch deltas and
+  // the baseline count) to the current candidate state.
+  void MarkCandidateBaseline();
 
   // Picks a uniformly random candidate (partition index, pair) where
   // partition index == kExtraPartition means extras_links_[pair].
@@ -282,7 +290,11 @@ class AlexEngine {
   double init_seconds_ = 0.0;
   uint64_t total_pair_count_ = 0;
   uint64_t filtered_pair_count_ = 0;
-  std::vector<uint64_t> prev_snapshot_;
+  uint64_t scored_pair_count_ = 0;
+  // Candidate count at the start of the current episode (the denominator of
+  // change_fraction); the numerator comes from the candidate sets' epoch
+  // deltas, so no full snapshot is rebuilt per episode.
+  size_t prev_candidate_count_ = 0;
   int episodes_run_ = 0;
 };
 

@@ -1,0 +1,448 @@
+#include "core/blocking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string_view>
+#include <unordered_set>
+
+namespace alex::core {
+namespace {
+
+// Key namespaces, kept to one tag byte + '\x01' so keys from different
+// channels can never collide.
+constexpr char kValueTag = 'v';
+constexpr char kTokenTag = 't';
+constexpr char kGramTag = 'g';
+constexpr char kDeletionTag = 'd';
+constexpr char kNumericTag = 'n';
+constexpr char kDateTag = 'D';
+
+std::string MakeKey(char tag, std::string_view body) {
+  std::string key;
+  key.reserve(body.size() + 2);
+  key.push_back(tag);
+  key.push_back('\x01');
+  key.append(body);
+  return key;
+}
+
+// FNV-1a for string-bodied keys, seeded with the channel tag.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t HashKey(char tag, std::string_view body) {
+  uint64_t h = kFnvOffset;
+  h = (h ^ static_cast<uint8_t>(tag)) * kFnvPrime;
+  for (char c : body) h = (h ^ static_cast<uint8_t>(c)) * kFnvPrime;
+  return h;
+}
+
+// SplitMix64 for integer-bodied keys (numeric/date buckets).
+uint64_t MixInt(char tag, uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(tag) * kFnvPrime;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Logarithmic magnitude bucket: values whose NumericSimilarity can be
+// positive (|a-b| <= tolerance * max(|a|, |b|, 1)) land at most two buckets
+// apart, so the query probes ±2.
+int64_t NumericBucket(double v, double tolerance) {
+  double magnitude = std::max(std::fabs(v), 1.0);
+  if (tolerance <= 0.0) {
+    // Only exact equality scores; bucket by bit pattern.
+    int64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  return static_cast<int64_t>(
+      std::floor(std::log(magnitude) / std::log1p(tolerance)));
+}
+
+// Shared channel walk behind both the human-readable (string) and hashed
+// key emitters: calls `emit(tag, body)` for every string-bodied key and
+// `emit_int(tag, negative, bucket)` for numeric/date bucket keys.
+template <typename EmitStr, typename EmitInt>
+void ForEachValueKey(const PreparedValue& value,
+                     const BlockingOptions& options,
+                     const sim::SimilarityOptions& sim, bool probe_neighbors,
+                     EmitStr&& emit, EmitInt&& emit_int) {
+  // Exact-match catch-all (covers booleans, date-vs-string equality, and
+  // values whose normalization leaves no tokens, e.g. empty strings).
+  emit(kValueTag, std::string_view(value.lowered));
+  // q-grams of the WHOLE lowered value (not per token): the Levenshtein
+  // similarity channel compares whole values, so near-threshold matches can
+  // share only substrings that straddle token boundaries. Grams of length
+  // `gram_length` are selective enough not to drown the index (per-token
+  // trigrams alone put ~85% of the cross product back into the scored set
+  // on the synthetic worlds) while still surviving scattered edits.
+  if (value.lowered.size() >= options.gram_length &&
+      value.lowered.size() >= options.min_gram_token_length) {
+    for (size_t i = 0; i + options.gram_length <= value.lowered.size(); ++i) {
+      emit(kGramTag,
+           std::string_view(value.lowered).substr(i, options.gram_length));
+    }
+  }
+  // Short values additionally emit trigrams: a short value can be a
+  // borderline Levenshtein match at a high relative edit rate (e.g. 7 vs 10
+  // chars, distance 4 — raw similarity 0.60) that destroys every 4-gram,
+  // while long values are exactly where trigram postings explode.
+  if (value.lowered.size() <= options.trigram_value_length &&
+      value.lowered.size() >= options.min_gram_token_length) {
+    for (size_t i = 0; i + 3 <= value.lowered.size(); ++i) {
+      emit(kGramTag, std::string_view(value.lowered).substr(i, 3));
+    }
+  }
+  if (value.has_numeric) {
+    const double tolerance = sim.numeric_tolerance;
+    const bool negative = value.numeric < -1.0;
+    const int64_t bucket = NumericBucket(value.numeric, tolerance);
+    if (!probe_neighbors || tolerance <= 0.0) {
+      emit_int(kNumericTag, negative, bucket);
+    } else {
+      for (int64_t b = bucket - 2; b <= bucket + 2; ++b) {
+        if (b >= 0) emit_int(kNumericTag, negative, b);
+      }
+      // Near the ±1 magnitude boundary, near-equal values can sit on
+      // opposite sides of the sign split; cover the other sign's smallest
+      // buckets.
+      if (bucket <= 2) {
+        for (int64_t b = 0; b <= 2; ++b) emit_int(kNumericTag, !negative, b);
+      }
+    }
+  }
+  if (!value.is_iri && value.type == rdf::LiteralType::kDate) {
+    const double scale = sim.date_scale_days;
+    int64_t bucket =
+        scale > 0.0 ? static_cast<int64_t>(std::floor(
+                          static_cast<double>(value.date_days) / scale))
+                    : value.date_days;
+    int64_t radius = (probe_neighbors && scale > 0.0) ? 1 : 0;
+    for (int64_t b = bucket - radius; b <= bucket + radius; ++b) {
+      emit_int(kDateTag, false, b);
+    }
+  }
+}
+
+// Walks every distinct string reachable from `token` by up to
+// `max_distance` single-character deletions (the token itself included).
+// Empty cores are skipped: a pair that could only collide on the empty
+// variant has edit distance >= max(len_a, len_b), far below any θ of
+// interest, and the empty block would join every short token together.
+template <typename Emit>
+void ForEachDeletionVariant(const std::string& token, size_t max_distance,
+                            Emit&& emit) {
+  emit(token);
+  std::vector<std::string> frontier{token};
+  std::unordered_set<std::string> seen{token};
+  for (size_t depth = 0; depth < max_distance; ++depth) {
+    std::vector<std::string> next;
+    for (const std::string& s : frontier) {
+      if (s.size() <= 1) continue;
+      for (size_t i = 0; i < s.size(); ++i) {
+        std::string variant;
+        variant.reserve(s.size() - 1);
+        variant.append(s, 0, i);
+        variant.append(s, i + 1, std::string::npos);
+        if (seen.insert(variant).second) {
+          emit(variant);
+          next.push_back(std::move(variant));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+}
+
+uint64_t MixIntKey(char tag, bool negative, int64_t bucket) {
+  return MixInt(tag, static_cast<uint64_t>(bucket) * 2 +
+                         static_cast<uint64_t>(negative));
+}
+
+// Posting layout: (right_index << 4) | short_flag << 3 | min(attr_index, 7).
+// The short flag marks values no longer than single_gram_value_length; a
+// gram collision between two short values counts double toward
+// min_gram_matches (see Probe).
+constexpr uint32_t kPostingShortBit = 1u << 3;
+
+uint8_t ChannelOf(char tag) {
+  switch (tag) {
+    case kValueTag:
+      return kBlockValue;
+    case kTokenTag:
+      return kBlockToken;
+    case kGramTag:
+      return kBlockGram;
+    case kDeletionTag:
+      return kBlockDeletion;
+    case kNumericTag:
+      return kBlockNumeric;
+    default:
+      return kBlockDate;
+  }
+}
+
+}  // namespace
+
+void AppendBlockKeys(const PreparedValue& value,
+                     const BlockingOptions& options,
+                     const sim::SimilarityOptions& sim, bool probe_neighbors,
+                     std::vector<std::string>* keys) {
+  ForEachValueKey(
+      value, options, sim, probe_neighbors,
+      [keys](char tag, std::string_view body) {
+        keys->push_back(MakeKey(tag, body));
+      },
+      [keys](char tag, bool negative, int64_t bucket) {
+        std::string body;
+        body.push_back(negative ? '-' : '+');
+        body += std::to_string(bucket);
+        keys->push_back(MakeKey(tag, body));
+      });
+  for (const std::string& token : value.tokens) {
+    keys->push_back(MakeKey(kTokenTag, token));
+    if (token.size() <= options.max_deletion_token_length) {
+      ForEachDeletionVariant(token, options.max_deletion_distance,
+                             [keys](const std::string& variant) {
+                               keys->push_back(
+                                   MakeKey(kDeletionTag, variant));
+                             });
+    }
+  }
+}
+
+void AppendBlockKeyHashes(const PreparedValue& value,
+                          const BlockingOptions& options,
+                          const sim::SimilarityOptions& sim,
+                          bool probe_neighbors, ProbeScratch* scratch,
+                          std::vector<TaggedKeyHash>* keys) {
+  ForEachValueKey(
+      value, options, sim, probe_neighbors,
+      [keys](char tag, std::string_view body) {
+        keys->push_back({HashKey(tag, body), ChannelOf(tag)});
+      },
+      [keys](char tag, bool negative, int64_t bucket) {
+        keys->push_back({MixIntKey(tag, negative, bucket), ChannelOf(tag)});
+      });
+  // Token and deletion-variant keys never depend on probe_neighbors, so
+  // they are memoized per token: the deletion-variant expansion is the
+  // expensive part of key generation, and real data sets repeat tokens
+  // across entities constantly.
+  for (const std::string& token : value.tokens) {
+    auto [it, inserted] = scratch->token_memo_.try_emplace(token);
+    if (inserted) {
+      std::vector<TaggedKeyHash>& memo = it->second;
+      memo.push_back({HashKey(kTokenTag, token), kBlockToken});
+      if (token.size() <= options.max_deletion_token_length) {
+        ForEachDeletionVariant(token, options.max_deletion_distance,
+                               [&memo](const std::string& variant) {
+                                 memo.push_back(
+                                     {HashKey(kDeletionTag, variant),
+                                      kBlockDeletion});
+                               });
+      }
+    }
+    keys->insert(keys->end(), it->second.begin(), it->second.end());
+  }
+}
+
+BlockingIndex BlockingIndex::Build(const std::vector<PreparedEntity>& rights,
+                                   const BlockingOptions& options,
+                                   const sim::SimilarityOptions& sim) {
+  BlockingIndex index;
+  index.options_ = options;
+  index.sim_ = sim;
+  index.num_rights_ = static_cast<uint32_t>(rights.size());
+  // One scratch for the whole build: the token memo carries across entities
+  // (real data sets repeat tokens constantly).
+  ProbeScratch scratch;
+  std::vector<TaggedKeyHash> keys;
+  std::vector<std::pair<uint64_t, uint32_t>> entries;
+  for (uint32_t r = 0; r < rights.size(); ++r) {
+    for (size_t a = 0; a < rights[r].attributes.size(); ++a) {
+      const uint32_t attr_slot = static_cast<uint32_t>(
+          a < kCellAttrCap - 1 ? a : kCellAttrCap - 1);
+      const bool is_short = rights[r].attributes[a].value.lowered.size() <=
+                            options.single_gram_value_length;
+      const uint32_t posting =
+          (r << 4) | (is_short ? kPostingShortBit : 0u) | attr_slot;
+      keys.clear();
+      AppendBlockKeyHashes(rights[r].attributes[a].value, options, sim,
+                           /*probe_neighbors=*/false, &scratch, &keys);
+      // The same key can repeat within one value (duplicate grams); post it
+      // once.
+      std::sort(keys.begin(), keys.end(),
+                [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
+                  return a.hash < b.hash;
+                });
+      auto end =
+          std::unique(keys.begin(), keys.end(),
+                      [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
+                        return a.hash == b.hash;
+                      });
+      for (auto it = keys.begin(); it != end; ++it) {
+        entries.emplace_back(it->hash, posting);
+      }
+    }
+  }
+  // CSR layout: group by hash, postings sorted within each block (the
+  // posting packs the right-entity index in its high bits, so the pair sort
+  // orders each block by entity).
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  index.postings_.reserve(entries.size());
+  size_t distinct = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i == 0 || entries[i].first != entries[i - 1].first) ++distinct;
+  }
+  index.block_count_ = distinct;
+  size_t table_size = 16;
+  while (table_size < distinct * 2) table_size <<= 1;
+  index.table_.assign(table_size, Slot{});
+  index.table_mask_ = table_size - 1;
+  for (size_t i = 0; i < entries.size();) {
+    size_t j = i;
+    while (j < entries.size() && entries[j].first == entries[i].first) {
+      index.postings_.push_back(entries[j].second);
+      ++j;
+    }
+    size_t slot = entries[i].first & index.table_mask_;
+    while (index.table_[slot].len != 0) {
+      slot = (slot + 1) & index.table_mask_;
+    }
+    index.table_[slot] =
+        Slot{entries[i].first, static_cast<uint32_t>(i),
+             static_cast<uint32_t>(j - i)};
+    i = j;
+  }
+  return index;
+}
+
+void BlockingIndex::Probe(const PreparedEntity& left,
+                          ProbeScratch* scratch) const {
+  // Reset the previous probe's state. Buffer sizes only change when the
+  // scratch first meets this index (or a differently-sized one), so the
+  // steady state clears just the touched cells.
+  const size_t want_cells = static_cast<size_t>(num_rights_) * kCellCount;
+  if (scratch->seen_.size() != num_rights_ ||
+      scratch->cell_channels_.size() != want_cells) {
+    scratch->seen_.assign(num_rights_, 0);
+    scratch->union_channels_.assign(num_rights_, 0);
+    scratch->gram_counts_.assign(num_rights_, 0);
+    scratch->cell_channels_.assign(want_cells, 0);
+  } else {
+    for (uint32_t r : scratch->touched_) {
+      scratch->seen_[r] = 0;
+      scratch->union_channels_[r] = 0;
+      scratch->gram_counts_[r] = 0;
+      std::memset(&scratch->cell_channels_[static_cast<size_t>(r) *
+                                           kCellCount],
+                  0, kCellCount);
+    }
+  }
+  scratch->touched_.clear();
+  if (table_.empty()) return;
+
+  std::vector<TaggedKeyHash>& keys = scratch->keys_;
+  for (size_t a = 0; a < left.attributes.size(); ++a) {
+    const size_t attr_slot = a < kCellAttrCap - 1 ? a : kCellAttrCap - 1;
+    const bool left_is_short = left.attributes[a].value.lowered.size() <=
+                               options_.single_gram_value_length;
+    keys.clear();
+    AppendBlockKeyHashes(left.attributes[a].value, options_, sim_,
+                         /*probe_neighbors=*/true, scratch, &keys);
+    // Dedup so each block is walked once per probing value.
+    std::sort(keys.begin(), keys.end(),
+              [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
+                return a.hash != b.hash ? a.hash < b.hash
+                                        : a.channel < b.channel;
+              });
+    keys.erase(std::unique(keys.begin(), keys.end(),
+                           [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
+                             return a.hash == b.hash &&
+                                    a.channel == b.channel;
+                           }),
+               keys.end());
+    // Dense per-cell accumulation: O(postings touched), no string compares.
+    for (const TaggedKeyHash& key : keys) {
+      size_t slot = key.hash & table_mask_;
+      while (table_[slot].len != 0 && table_[slot].hash != key.hash) {
+        slot = (slot + 1) & table_mask_;
+      }
+      if (table_[slot].len == 0) continue;
+      const uint32_t* block = postings_.data() + table_[slot].begin;
+      const uint32_t* block_end = block + table_[slot].len;
+      for (; block != block_end; ++block) {
+        const uint32_t posting = *block;
+        const uint32_t r = posting >> 4;
+        if (!scratch->seen_[r]) {
+          scratch->seen_[r] = 1;
+          scratch->touched_.push_back(r);
+        }
+        scratch->union_channels_[r] |= key.channel;
+        if (key.channel == kBlockGram && scratch->gram_counts_[r] < 254) {
+          // Between two short values a single shared gram is already
+          // meaningful (their gram sets are tiny), so it counts double and
+          // clears min_gram_matches = 2 on its own.
+          scratch->gram_counts_[r] += static_cast<uint8_t>(
+              left_is_short && (posting & kPostingShortBit) ? 2 : 1);
+        }
+        scratch->cell_channels_[static_cast<size_t>(r) * kCellCount +
+                                attr_slot * kCellAttrCap + (posting & 7)] |=
+            key.channel;
+      }
+    }
+  }
+  std::sort(scratch->touched_.begin(), scratch->touched_.end());
+  // Gram-only candidates below the collision threshold are dropped (and
+  // their scratch state cleared now — the entry reset only walks touched_).
+  if (options_.min_gram_matches > 1) {
+    auto out_it = scratch->touched_.begin();
+    for (uint32_t r : scratch->touched_) {
+      const bool keep =
+          (scratch->union_channels_[r] & ~kBlockGram) != 0 ||
+          scratch->gram_counts_[r] >= options_.min_gram_matches;
+      if (keep) {
+        *out_it++ = r;
+      } else {
+        scratch->seen_[r] = 0;
+        scratch->union_channels_[r] = 0;
+        scratch->gram_counts_[r] = 0;
+        std::memset(
+            &scratch->cell_channels_[static_cast<size_t>(r) * kCellCount], 0,
+            kCellCount);
+      }
+    }
+    scratch->touched_.erase(out_it, scratch->touched_.end());
+  }
+}
+
+void BlockingIndex::Candidates(const PreparedEntity& left,
+                               ProbeScratch* scratch,
+                               std::vector<uint32_t>* out,
+                               std::vector<uint8_t>* channels) const {
+  Probe(left, scratch);
+  out->clear();
+  channels->clear();
+  out->reserve(scratch->touched_.size());
+  channels->reserve(scratch->touched_.size());
+  for (uint32_t r : scratch->touched_) {
+    const uint8_t* cells = scratch->cell_channels(r);
+    uint8_t mask = 0;
+    for (size_t c = 0; c < kCellCount; ++c) mask |= cells[c];
+    out->push_back(r);
+    channels->push_back(mask);
+  }
+}
+
+void BlockingIndex::Candidates(const PreparedEntity& left,
+                               std::vector<uint32_t>* out) const {
+  ProbeScratch scratch;
+  std::vector<uint8_t> channels;
+  Candidates(left, &scratch, out, &channels);
+}
+
+}  // namespace alex::core

@@ -1,0 +1,220 @@
+// Candidate blocking for feature-space construction.
+//
+// The paper's pre-processing step (§3.2, §6.1) scores *every* pair in
+// L × R and only then θ-filters ~95% of the pairs away. Record-linkage
+// systems avoid that quadratic cost with blocking: an inverted index from
+// cheap "block keys" to the entities that exhibit them, so that the
+// expensive pairwise scoring only runs on pairs that share at least one
+// block. This file implements that index over the *right* data set; the
+// left entities probe it (see FeatureSpace::Build).
+//
+// Block keys per prepared value (see AppendBlockKeys):
+//   * the whole lowered value       — exact-match channels (booleans,
+//                                     date-vs-string equality, empty values)
+//   * every normalized token        — covers any token-Jaccard score > 0
+//   * deletion variants (≤ D       — guaranteed cover for edit distance
+//     deletions) of short tokens      ≤ D; handles the typo'd values that
+//                                     only match via edit distance
+//   * q-grams of the whole value    — the Levenshtein channel compares
+//                                     whole lowered values, so borderline
+//                                     matches may share only substrings
+//                                     that straddle token boundaries.
+//                                     (4-grams; per-token trigrams are so
+//                                     unselective they defeat blocking.)
+//   * a logarithmic numeric bucket  — covers NumericSimilarity ≥ θ (the
+//                                     query probes neighbor buckets)
+//   * a coarse date bucket          — covers DateSimilarity ≥ θ (ditto)
+//
+// The numeric, date, token, boolean and exact-match similarity channels are
+// fully covered: any pair scoring ≥ θ through them shares a block. The pure
+// Levenshtein channel on long garbled values is covered heuristically by
+// the trigram/deletion keys; FeatureSpaceOptions::blocking.enabled = false
+// falls back to the exhaustive cross product, and the test suite asserts
+// blocked == exhaustive on the synthetic evaluation worlds.
+#ifndef ALEX_CORE_BLOCKING_H_
+#define ALEX_CORE_BLOCKING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/feature_set.h"
+#include "similarity/value_similarity.h"
+
+namespace alex::core {
+
+struct BlockingOptions {
+  // When false, FeatureSpace::Build scores the full cross product (the
+  // paper's literal pre-processing; also the reference for equality tests).
+  bool enabled = true;
+  // Length of the q-grams taken over the whole lowered value, and the
+  // minimum value length for the gram channel to kick in (shorter values
+  // are fully covered by the token/deletion channels).
+  size_t gram_length = 4;
+  size_t min_gram_token_length = 3;
+  // Values up to this length also emit whole-value trigrams: short and
+  // mid-length values can be borderline Levenshtein matches at edit rates
+  // that destroy every 4-gram (e.g. 15 vs 17 chars, distance 7), while long
+  // values are where trigram postings explode.
+  size_t trigram_value_length = 18;
+  // Candidates whose ONLY collisions are q-gram keys must share at least
+  // this many distinct gram keys. Borderline Levenshtein matches between
+  // mid-length values share a handful of intact grams; unrelated values
+  // that happen to contain one common syllable share exactly one, and they
+  // are the bulk of the gram channel's junk. Set to 1 to admit single-gram
+  // collisions.
+  uint32_t min_gram_matches = 2;
+  // Exception to min_gram_matches: when BOTH values are at most this long,
+  // a single shared gram counts double. Short values emit so few grams that
+  // a genuine borderline match (e.g. 7 vs 10 chars at edit distance 4) can
+  // have exactly one survivor.
+  size_t single_gram_value_length = 12;
+  // Tokens up to this length additionally emit their deletion variants
+  // (every distinct string reachable by up to max_deletion_distance
+  // character deletions, SymSpell-style). Two tokens within edit distance d
+  // always share a variant when d <= max_deletion_distance: a substitution,
+  // indel, or transposition each costs at most one deletion per side. This
+  // covers the short-token typo pairs where trigrams fail (e.g. "smith" /
+  // "smyth", or the distance-2 "cuglia" / "hugia").
+  size_t max_deletion_token_length = 12;
+  size_t max_deletion_distance = 2;
+};
+
+// Appends the block keys of `value` to `*keys`. With `probe_neighbors`
+// (query side) the numeric/date bucket keys also cover adjacent buckets so
+// that near-equal values falling across a bucket boundary still collide.
+// (Human-readable variant, used by tests; the index itself stores hashes.)
+void AppendBlockKeys(const PreparedValue& value,
+                     const BlockingOptions& options,
+                     const sim::SimilarityOptions& sim, bool probe_neighbors,
+                     std::vector<std::string>* keys);
+
+// Which key channel a candidate collided on. A candidate's channel bitmask
+// bounds the similarity channels that can lift it over θ (see
+// SimilarityChannelMask in core/feature_set.h), so the scorer can skip the
+// rest.
+enum BlockChannel : uint8_t {
+  kBlockValue = 1u << 0,     // whole lowered value (equality channels)
+  kBlockToken = 1u << 1,     // normalized token
+  kBlockGram = 1u << 2,      // q-gram of the whole value
+  kBlockDeletion = 1u << 3,  // token deletion variant
+  kBlockNumeric = 1u << 4,   // numeric magnitude bucket
+  kBlockDate = 1u << 5,      // date bucket
+};
+
+// A block key as stored/probed: the FNV hash of its string form plus its
+// channel. Hash collisions across distinct keys are harmless — they only
+// admit extra candidates (or channel bits), never drop one.
+struct TaggedKeyHash {
+  uint64_t hash;
+  uint8_t channel;
+};
+
+// Collisions are tracked per attribute *cell*: a posting records which
+// attribute of the right entity exhibited the key, and a probe records which
+// left attribute it came from, so the scorer knows exactly which cells of
+// the similarity matrix can clear θ. Attributes beyond the cap share the
+// last slot — their masks are unioned, which only widens what gets scored.
+inline constexpr size_t kCellAttrCap = 8;
+inline constexpr size_t kCellCount = kCellAttrCap * kCellAttrCap;
+
+// Reusable scratch for repeated Probe() calls: per-token key memo (tokens
+// repeat heavily across entities, and deletion-variant expansion is the
+// expensive part) plus dense accumulation buffers. One per worker — not
+// thread-safe, but independent instances may probe the same index
+// concurrently. After Probe(), holds the candidate list and the per-cell
+// channel bitmasks until the next Probe() on this scratch.
+class ProbeScratch {
+ public:
+  // Candidate right-entity indices of the last Probe(), sorted ascending.
+  const std::vector<uint32_t>& touched() const { return touched_; }
+  // 8x8 row-major (left attr, right attr) channel bitmasks for candidate
+  // `r`, which must be in touched().
+  const uint8_t* cell_channels(uint32_t r) const {
+    return cell_channels_.data() + static_cast<size_t>(r) * kCellCount;
+  }
+
+ private:
+  friend class BlockingIndex;
+  friend void AppendBlockKeyHashes(const PreparedValue&,
+                                   const BlockingOptions&,
+                                   const sim::SimilarityOptions&, bool,
+                                   ProbeScratch*,
+                                   std::vector<TaggedKeyHash>*);
+  std::unordered_map<std::string, std::vector<TaggedKeyHash>> token_memo_;
+  std::vector<TaggedKeyHash> keys_;
+  std::vector<uint8_t> cell_channels_;  // num_rights * kCellCount bytes
+  std::vector<uint8_t> seen_;           // per right entity: in touched_?
+  std::vector<uint8_t> union_channels_;  // per right entity: OR over cells
+  std::vector<uint8_t> gram_counts_;     // per right: gram hits, saturating
+  std::vector<uint32_t> touched_;
+};
+
+// Hashed-key variant of AppendBlockKeys; `scratch` memoizes per-token keys.
+void AppendBlockKeyHashes(const PreparedValue& value,
+                          const BlockingOptions& options,
+                          const sim::SimilarityOptions& sim,
+                          bool probe_neighbors, ProbeScratch* scratch,
+                          std::vector<TaggedKeyHash>* keys);
+
+// Inverted index: block-key hash -> sorted list of (right entity, attr)
+// postings.
+class BlockingIndex {
+ public:
+  BlockingIndex() = default;
+  BlockingIndex(BlockingIndex&&) = default;
+  BlockingIndex& operator=(BlockingIndex&&) = default;
+  BlockingIndex(const BlockingIndex&) = delete;
+  BlockingIndex& operator=(const BlockingIndex&) = delete;
+
+  static BlockingIndex Build(const std::vector<PreparedEntity>& rights,
+                             const BlockingOptions& options,
+                             const sim::SimilarityOptions& sim);
+
+  // Probes the index with every attribute value of `left`, leaving the
+  // sorted candidate list in scratch->touched() and the per-cell channel
+  // bitmasks behind scratch->cell_channels(). Thread-safe with one
+  // ProbeScratch per caller: the index is immutable after Build.
+  void Probe(const PreparedEntity& left, ProbeScratch* scratch) const;
+
+  // Appends the sorted, deduplicated indices of every right entity sharing
+  // at least one block with `left` to `*out` (cleared first), and the
+  // bitmask of shared channels per candidate (the union over its attribute
+  // cells) to `*channels` (parallel to `*out`).
+  void Candidates(const PreparedEntity& left, ProbeScratch* scratch,
+                  std::vector<uint32_t>* out,
+                  std::vector<uint8_t>* channels) const;
+
+  // Convenience overload with private scratch, discarding the channels.
+  void Candidates(const PreparedEntity& left,
+                  std::vector<uint32_t>* out) const;
+
+  bool empty() const { return postings_.empty(); }
+  size_t block_count() const { return block_count_; }
+  uint64_t posting_count() const { return postings_.size(); }
+
+ private:
+  // Open-addressed hash table over contiguous posting storage (CSR layout):
+  // a slot maps a block-key hash to its [begin, begin+len) range in
+  // postings_. The key hashes are already well mixed (FNV-1a / SplitMix64),
+  // so the slot index is just hash & mask. len == 0 marks an empty slot.
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t begin = 0;
+    uint32_t len = 0;
+  };
+  std::vector<Slot> table_;
+  uint64_t table_mask_ = 0;
+  // Packed (right_index << 4) | short_value_flag << 3 | min(attr_index, 7),
+  // sorted within a block.
+  std::vector<uint32_t> postings_;
+  size_t block_count_ = 0;
+  uint32_t num_rights_ = 0;
+  BlockingOptions options_;
+  sim::SimilarityOptions sim_;
+};
+
+}  // namespace alex::core
+
+#endif  // ALEX_CORE_BLOCKING_H_

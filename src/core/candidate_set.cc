@@ -8,6 +8,7 @@ bool CandidateSet::Add(PairId pair) {
   auto [it, inserted] = positions_.emplace(pair, items_.size());
   if (!inserted) return false;
   items_.push_back(pair);
+  BumpDelta(pair, +1);
   return true;
 }
 
@@ -20,7 +21,21 @@ bool CandidateSet::Remove(PairId pair) {
   positions_[last] = pos;
   items_.pop_back();
   positions_.erase(it);
+  BumpDelta(pair, -1);
   return true;
+}
+
+void CandidateSet::BumpDelta(PairId pair, int direction) {
+  auto [it, inserted] = delta_.emplace(pair, direction);
+  if (inserted) return;
+  it->second += direction;
+  if (it->second == 0) delta_.erase(it);
+}
+
+size_t CandidateSet::TakeEpochChanges() {
+  size_t changes = delta_.size();
+  delta_.clear();
+  return changes;
 }
 
 PairId CandidateSet::Sample(Rng* rng) const {

@@ -35,9 +35,25 @@ class CandidateSet {
   // Sorted snapshot (for set-difference-based convergence checks).
   std::vector<PairId> SortedSnapshot() const;
 
+  // Number of pairs whose membership differs from the last epoch mark
+  // (construction or the last TakeEpochChanges call). An add that cancels
+  // an earlier remove — or vice versa — nets to zero, so this is exactly
+  // the size of the symmetric difference with the epoch-start contents,
+  // maintained in O(1) per mutation instead of by snapshot + sort + diff.
+  size_t EpochChangeCount() const { return delta_.size(); }
+
+  // Returns EpochChangeCount() and marks the current contents as the new
+  // epoch baseline.
+  size_t TakeEpochChanges();
+
  private:
+  void BumpDelta(PairId pair, int direction);
+
   std::vector<PairId> items_;
   std::unordered_map<PairId, size_t> positions_;
+  // Net membership change per pair since the epoch mark: +1 added, -1
+  // removed; pairs at net zero are erased.
+  std::unordered_map<PairId, int> delta_;
 };
 
 }  // namespace alex::core

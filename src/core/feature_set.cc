@@ -29,6 +29,15 @@ size_t FeatureCatalog::size() const {
   return keys_.size();
 }
 
+FeatureId CatalogMemo::Intern(const FeatureKey& key) {
+  std::string encoded = key.left_predicate + '\x01' + key.right_predicate;
+  auto it = cache_.find(encoded);
+  if (it != cache_.end()) return it->second;
+  FeatureId id = catalog_->Intern(key);
+  cache_.emplace(std::move(encoded), id);
+  return id;
+}
+
 double FeatureSet::Get(FeatureId id) const {
   auto it = std::lower_bound(
       features.begin(), features.end(), id,
@@ -108,8 +117,6 @@ PreparedEntity PrepareEntity(const rdf::TripleStore& store,
   return entity;
 }
 
-namespace {
-
 // Sorted-unique-token Jaccard via merge walk.
 double SortedTokenJaccard(const std::vector<std::string>& a,
                           const std::vector<std::string>& b) {
@@ -132,29 +139,74 @@ double SortedTokenJaccard(const std::vector<std::string>& a,
   return static_cast<double>(inter) / static_cast<double>(uni);
 }
 
-// Levenshtein on pre-lowered strings with reusable buffers.
-double FastNormalizedLevenshtein(const std::string& a, const std::string& b) {
+// Levenshtein on pre-lowered strings with reusable buffers. Exact above
+// min_interesting; may exit early (returning < min_interesting) below it.
+double FastNormalizedLevenshtein(const std::string& a, const std::string& b,
+                                 double min_interesting) {
   if (a.empty() && b.empty()) return 1.0;
   const size_t n = a.size();
   const size_t m = b.size();
   if (n == 0 || m == 0) return 0.0;
-  // Cheap lower bound: length difference alone may already disqualify.
+  const size_t longest = std::max(n, m);
+  // Bit-identical to sim::NormalizedLevenshtein: 1 - dist / longest (a
+  // reciprocal-multiply differs in the last ulp, which the blocked ==
+  // exhaustive score-equality tests would notice).
+  auto to_similarity = [longest](size_t dist) {
+    return 1.0 -
+           static_cast<double>(dist) / static_cast<double>(longest);
+  };
+  // A similarity of min_interesting allows at most k edits; the band below
+  // never needs to leave the diagonal corridor of half-width k.
+  size_t k = longest;
+  if (min_interesting > 0.0) {
+    double approx =
+        std::floor((1.0 - min_interesting) * static_cast<double>(longest));
+    k = approx <= 0.0 ? 0 : static_cast<size_t>(approx);
+    if (k > longest) k = longest;
+    // The float product can land one off around ties (e.g. (1-0.9)*10 < 1).
+    // Pin k to the largest distance whose similarity still compares
+    // >= min_interesting in double arithmetic, so boundary scores are
+    // computed exactly and every early exit is strictly below the cutoff.
+    while (k < longest && to_similarity(k + 1) >= min_interesting) ++k;
+    while (k > 0 && to_similarity(k) < min_interesting) --k;
+  }
+  // Cheap lower bound: the length difference alone is already that many
+  // edits, so the similarity can't reach min_interesting.
+  const size_t length_diff = n > m ? n - m : m - n;
+  if (length_diff > k) {
+    return std::max(0.0, to_similarity(length_diff));
+  }
   static thread_local std::vector<size_t> prev;
   static thread_local std::vector<size_t> curr;
   prev.resize(m + 1);
   curr.resize(m + 1);
-  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  const size_t kInf = n + m + 1;  // larger than any real distance
+  for (size_t j = 0; j <= m; ++j) prev[j] = j <= k ? j : kInf;
   for (size_t i = 1; i <= n; ++i) {
-    curr[0] = i;
-    for (size_t j = 1; j <= m; ++j) {
+    // Ukkonen band: only cells with |i - j| <= k can end <= k edits.
+    const size_t j_lo = i > k ? i - k : 1;
+    const size_t j_hi = std::min(m, i + k);
+    if (j_lo > j_hi) return 0.0;
+    curr[0] = i <= k ? i : kInf;
+    if (j_lo > 1) curr[j_lo - 1] = kInf;
+    if (j_hi < m) curr[j_hi + 1] = kInf;
+    size_t row_min = kInf;
+    for (size_t j = j_lo; j <= j_hi; ++j) {
       size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
       curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost});
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > k) {
+      // Every continuation costs > k edits; the true similarity is below
+      // min_interesting, and so is this bound.
+      return std::max(0.0, to_similarity(row_min));
     }
     std::swap(prev, curr);
   }
-  return 1.0 -
-         static_cast<double>(prev[m]) / static_cast<double>(std::max(n, m));
+  return to_similarity(prev[m]);
 }
+
+namespace {
 
 bool IsDate(const PreparedValue& v) {
   return !v.is_iri && v.type == rdf::LiteralType::kDate;
@@ -170,37 +222,52 @@ bool IsTypedNumeric(const PreparedValue& v) {
 }  // namespace
 
 double PreparedSimilarity(const PreparedValue& a, const PreparedValue& b,
-                          const sim::SimilarityOptions& options) {
-  auto calibrated_string = [&options](const PreparedValue& x,
-                                      const PreparedValue& y) {
+                          const sim::SimilarityOptions& options,
+                          double min_interesting,
+                          const SimilarityChannelMask& mask) {
+  auto calibrated_string = [&options, min_interesting, &mask](
+                               const PreparedValue& x,
+                               const PreparedValue& y) {
+    // Token Jaccard is cheap; compute it first so the Levenshtein pass can
+    // stop as soon as it provably cannot beat max(jaccard, min_interesting).
+    double jaccard =
+        mask.jaccard ? SortedTokenJaccard(x.tokens, y.tokens) : 0.0;
+    if (!mask.levenshtein) return jaccard;
+    const double floor = options.string_noise_floor;
+    double raw_cutoff = std::max(jaccard, min_interesting);
+    if (floor > 0.0) raw_cutoff = floor + raw_cutoff * (1.0 - floor);
     double lev = sim::RescaleAboveFloor(
-        FastNormalizedLevenshtein(x.lowered, y.lowered),
-        options.string_noise_floor);
-    return std::max(lev, SortedTokenJaccard(x.tokens, y.tokens));
+        FastNormalizedLevenshtein(x.lowered, y.lowered, raw_cutoff), floor);
+    return std::max(lev, jaccard);
   };
   if (a.is_iri && b.is_iri) {
-    if (a.lowered == b.lowered) return 1.0;
+    if (mask.equality && a.lowered == b.lowered) return 1.0;
     return calibrated_string(a, b);
   }
   if (!a.is_iri && !b.is_iri) {
     if (IsTypedNumeric(a) && IsTypedNumeric(b)) {
+      if (!mask.numeric) return 0.0;
       return sim::NumericSimilarity(a.numeric, b.numeric,
                                     options.numeric_tolerance);
     }
     if (IsDate(a) && IsDate(b)) {
+      if (!mask.dates) return 0.0;
       return sim::DateSimilarity(a.date_days, b.date_days,
                                  options.date_scale_days);
     }
     if (IsBoolean(a) && IsBoolean(b)) {
+      if (!mask.equality) return 0.0;
       return a.lowered == b.lowered ? 1.0 : 0.0;
     }
     // Mixed numeric/string where both parse as numbers.
     if (a.has_numeric && b.has_numeric &&
         (IsTypedNumeric(a) != IsTypedNumeric(b))) {
+      if (!mask.numeric) return 0.0;
       return sim::NumericSimilarity(a.numeric, b.numeric,
                                     options.numeric_tolerance);
     }
     if (IsDate(a) != IsDate(b)) {
+      if (!mask.equality) return 0.0;
       return a.lowered == b.lowered ? 1.0 : 0.0;
     }
   }
@@ -211,40 +278,19 @@ double PreparedSimilarity(const PreparedValue& a, const PreparedValue& b,
 FeatureSet BuildFeatureSet(const PreparedEntity& left,
                            const PreparedEntity& right,
                            FeatureCatalog* catalog, double theta,
-                           const sim::SimilarityOptions& options) {
-  FeatureSet set;
-  const size_t n = left.attributes.size();
-  const size_t m = right.attributes.size();
-  if (n == 0 || m == 0) return set;
-  // Row maxima when the left entity has at least as many attributes,
-  // column maxima otherwise (§4.1).
-  const bool rows_from_left = n >= m;
-  const size_t outer = rows_from_left ? n : m;
-  const size_t inner = rows_from_left ? m : n;
-  for (size_t i = 0; i < outer; ++i) {
-    double best = 0.0;
-    size_t best_j = 0;
-    for (size_t j = 0; j < inner; ++j) {
-      const PreparedAttribute& la =
-          left.attributes[rows_from_left ? i : j];
-      const PreparedAttribute& ra =
-          right.attributes[rows_from_left ? j : i];
-      double score = PreparedSimilarity(la.value, ra.value, options);
-      if (score > best) {
-        best = score;
-        best_j = j;
-      }
-    }
-    if (best < theta) continue;  // θ-filtering (§6.1)
-    const PreparedAttribute& la =
-        left.attributes[rows_from_left ? i : best_j];
-    const PreparedAttribute& ra =
-        right.attributes[rows_from_left ? best_j : i];
-    FeatureId id =
-        catalog->Intern(FeatureKey{la.predicate, ra.predicate});
-    set.SetMax(id, best);
-  }
-  return set;
+                           const sim::SimilarityOptions& options,
+                           const SimilarityChannelMask& mask) {
+  return BuildFeatureSetWithMasks(left, right, catalog, theta, options,
+                                  UniformMaskProvider{mask});
+}
+
+FeatureSet BuildFeatureSet(const PreparedEntity& left,
+                           const PreparedEntity& right, CatalogMemo* memo,
+                           double theta,
+                           const sim::SimilarityOptions& options,
+                           const SimilarityChannelMask& mask) {
+  return BuildFeatureSetWithMasks(left, right, memo, theta, options,
+                                  UniformMaskProvider{mask});
 }
 
 }  // namespace alex::core

@@ -13,6 +13,8 @@
 #ifndef ALEX_CORE_FEATURE_SET_H_
 #define ALEX_CORE_FEATURE_SET_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -57,6 +59,25 @@ class FeatureCatalog {
   mutable std::mutex mu_;
   std::vector<FeatureKey> keys_;
   std::unordered_map<std::string, FeatureId> index_;
+};
+
+// An unsynchronized FeatureKey -> FeatureId cache in front of a shared
+// FeatureCatalog. Each worker thread owns one, so the catalog mutex is only
+// taken the first time that worker sees a key — never in the steady-state
+// hot loop. Interning the same key through any memo of the same catalog
+// yields the same FeatureId (the catalog deduplicates under its lock).
+class CatalogMemo {
+ public:
+  explicit CatalogMemo(FeatureCatalog* catalog) : catalog_(catalog) {}
+
+  FeatureId Intern(const FeatureKey& key);
+
+  const FeatureCatalog* catalog() const { return catalog_; }
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  FeatureCatalog* catalog_;
+  std::unordered_map<std::string, FeatureId> cache_;
 };
 
 // Sparse feature set: (feature, score) entries sorted by feature id.
@@ -105,17 +126,119 @@ PreparedValue PrepareValue(const rdf::Term& term);
 PreparedEntity PrepareEntity(const rdf::TripleStore& store,
                              rdf::TermId subject, size_t max_attributes = 0);
 
+// Jaccard of two sorted-unique token vectors via a linear merge walk.
+// Exported for reuse (blocking) and tests.
+double SortedTokenJaccard(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+// Normalized Levenshtein similarity on pre-lowered strings with reusable
+// thread-local buffers. `min_interesting` is a cutoff in similarity space:
+// the result is exact whenever the true similarity is >= min_interesting;
+// below the cutoff the function may return early (length-difference bound,
+// Ukkonen band overflow) with some value < min_interesting. Callers that
+// only compare the result against min_interesting (or take a max with a
+// value >= it) therefore see identical behavior at a fraction of the cost:
+// the banded inner loop does O(max(n,m) * k) work for k allowed edits
+// instead of O(n * m).
+double FastNormalizedLevenshtein(const std::string& a, const std::string& b,
+                                 double min_interesting = 0.0);
+
+// Which similarity channels can still matter for a pair. The blocked build
+// derives this from the block-key channels the pair collided on: a channel
+// whose block cover guarantees "score >= θ implies a shared key" can be
+// skipped entirely when no such key was shared — the skipped score would
+// have been < θ and thus filtered anyway, so the resulting feature set is
+// identical. Disabled channels contribute 0.0.
+struct SimilarityChannelMask {
+  bool equality = true;     // exact lowered-value equality comparisons
+  bool jaccard = true;      // token-set Jaccard (needs a shared token)
+  bool levenshtein = true;  // whole-value edit distance
+  bool numeric = true;      // numeric tolerance channel
+  bool dates = true;        // date distance channel
+
+  static constexpr SimilarityChannelMask All() { return {}; }
+};
+
 // Allocation-light similarity on prepared values; mirrors
-// sim::ValueSimilarity semantics.
+// sim::ValueSimilarity semantics. `min_interesting` propagates a caller-side
+// cutoff (e.g. θ, or the best row score so far): the result is exact when
+// it is >= min_interesting and may be an under-approximation below it.
+// `mask` suppresses channels that provably cannot reach min_interesting.
 double PreparedSimilarity(const PreparedValue& a, const PreparedValue& b,
-                          const sim::SimilarityOptions& options = {});
+                          const sim::SimilarityOptions& options = {},
+                          double min_interesting = 0.0,
+                          const SimilarityChannelMask& mask = {});
+
+// Mask provider returning the same mask for every cell of the similarity
+// matrix (the exhaustive build, and any caller with a pair-level mask).
+struct UniformMaskProvider {
+  SimilarityChannelMask mask;
+  SimilarityChannelMask At(size_t, size_t) const { return mask; }
+};
 
 // Builds the feature set of the pair (left, right) per §4.1: similarity
 // matrix, θ-filtering, row/column maxima. Scores < theta do not appear.
+// `Interner` is FeatureCatalog or CatalogMemo; `MaskProvider` yields the
+// channel mask of each (left attr index, right attr index) cell, letting
+// the blocked build skip cells whose channels provably stay below θ.
+template <typename Interner, typename MaskProvider>
+FeatureSet BuildFeatureSetWithMasks(const PreparedEntity& left,
+                                    const PreparedEntity& right,
+                                    Interner* interner, double theta,
+                                    const sim::SimilarityOptions& options,
+                                    const MaskProvider& masks) {
+  FeatureSet set;
+  const size_t n = left.attributes.size();
+  const size_t m = right.attributes.size();
+  if (n == 0 || m == 0) return set;
+  // Row maxima when the left entity has at least as many attributes,
+  // column maxima otherwise (§4.1).
+  const bool rows_from_left = n >= m;
+  const size_t outer = rows_from_left ? n : m;
+  const size_t inner = rows_from_left ? m : n;
+  for (size_t i = 0; i < outer; ++i) {
+    double best = 0.0;
+    size_t best_j = 0;
+    for (size_t j = 0; j < inner; ++j) {
+      const size_t li = rows_from_left ? i : j;
+      const size_t ri = rows_from_left ? j : i;
+      const PreparedAttribute& la = left.attributes[li];
+      const PreparedAttribute& ra = right.attributes[ri];
+      // Only scores that can still become this row's (>= θ) maximum need
+      // to be exact; PreparedSimilarity may bail out early below that.
+      double score = PreparedSimilarity(la.value, ra.value, options,
+                                        std::max(theta, best),
+                                        masks.At(li, ri));
+      if (score > best) {
+        best = score;
+        best_j = j;
+      }
+    }
+    if (best < theta) continue;  // θ-filtering (§6.1)
+    const PreparedAttribute& la =
+        left.attributes[rows_from_left ? i : best_j];
+    const PreparedAttribute& ra =
+        right.attributes[rows_from_left ? best_j : i];
+    FeatureId id = interner->Intern(FeatureKey{la.predicate, ra.predicate});
+    set.SetMax(id, best);
+  }
+  return set;
+}
+
+// Pair-level-mask conveniences over BuildFeatureSetWithMasks.
 FeatureSet BuildFeatureSet(const PreparedEntity& left,
                            const PreparedEntity& right,
                            FeatureCatalog* catalog, double theta,
-                           const sim::SimilarityOptions& options = {});
+                           const sim::SimilarityOptions& options = {},
+                           const SimilarityChannelMask& mask = {});
+
+// Same, interning through a per-thread CatalogMemo instead of taking the
+// catalog mutex (the parallel feature-space build uses this).
+FeatureSet BuildFeatureSet(const PreparedEntity& left,
+                           const PreparedEntity& right, CatalogMemo* memo,
+                           double theta,
+                           const sim::SimilarityOptions& options = {},
+                           const SimilarityChannelMask& mask = {});
 
 }  // namespace alex::core
 

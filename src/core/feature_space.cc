@@ -1,6 +1,7 @@
 #include "core/feature_space.h"
 
 #include <algorithm>
+#include <array>
 
 #include "common/logging.h"
 
@@ -16,6 +17,47 @@ std::string PairKey(const std::string& left_iri,
   key += right_iri;
   return key;
 }
+
+// Similarity channels a blocked cell can still clear θ through, from the
+// bitmask of block-key channels its two values shared. Equality needs a
+// shared whole-value key; Jaccard >= θ needs a shared token (or two
+// token-free equal values, which share a value key); the numeric and date
+// block covers are complete for scores >= θ. The Levenshtein channel's
+// cover (tokens' deletion variants + whole-value q-grams) is the one
+// heuristic piece — the same heuristic that admits the pair as a candidate
+// at all; `blocking.enabled = false` remains the exact fallback.
+constexpr SimilarityChannelMask MaskForChannels(uint8_t channels) {
+  SimilarityChannelMask mask;
+  mask.equality = channels & kBlockValue;
+  mask.jaccard = channels & (kBlockToken | kBlockValue);
+  mask.levenshtein = channels & (kBlockValue | kBlockToken | kBlockGram |
+                                 kBlockDeletion);
+  mask.numeric = channels & kBlockNumeric;
+  mask.dates = channels & (kBlockDate | kBlockValue);
+  return mask;
+}
+
+// All 2^6 channel combinations, precomputed.
+constexpr std::array<SimilarityChannelMask, 64> kMaskByChannels = [] {
+  std::array<SimilarityChannelMask, 64> table{};
+  for (size_t c = 0; c < table.size(); ++c) {
+    table[c] = MaskForChannels(static_cast<uint8_t>(c));
+  }
+  return table;
+}();
+
+// Serves BuildFeatureSetWithMasks from one candidate's 8x8 per-cell channel
+// bitmasks (see ProbeScratch::cell_channels).
+struct CellMaskProvider {
+  const uint8_t* cells;
+  SimilarityChannelMask At(size_t left_attr, size_t right_attr) const {
+    const size_t a =
+        left_attr < kCellAttrCap - 1 ? left_attr : kCellAttrCap - 1;
+    const size_t b =
+        right_attr < kCellAttrCap - 1 ? right_attr : kCellAttrCap - 1;
+    return kMaskByChannels[cells[a * kCellAttrCap + b] & 63u];
+  }
+};
 
 }  // namespace
 
@@ -53,42 +95,129 @@ void FeatureSpace::BuildIndexes() {
   }
 }
 
+std::shared_ptr<const RightContext> RightContext::Prepare(
+    const rdf::TripleStore& right,
+    const std::vector<rdf::TermId>& right_subjects,
+    const FeatureSpaceOptions& options) {
+  auto context = std::make_shared<RightContext>();
+  context->entities.reserve(right_subjects.size());
+  for (rdf::TermId subject : right_subjects) {
+    context->entities.push_back(
+        PrepareEntity(right, subject, options.max_attributes));
+  }
+  if (options.blocking.enabled) {
+    context->index = BlockingIndex::Build(context->entities, options.blocking,
+                                          options.similarity);
+  }
+  return context;
+}
+
 FeatureSpace FeatureSpace::Build(const rdf::TripleStore& left,
                                  const std::vector<rdf::TermId>& left_subjects,
-                                 const rdf::TripleStore& right,
-                                 const std::vector<rdf::TermId>& right_subjects,
+                                 std::shared_ptr<const RightContext> right,
                                  FeatureCatalog* catalog,
-                                 const FeatureSpaceOptions& options) {
+                                 const FeatureSpaceOptions& options,
+                                 ThreadPool* pool) {
   FeatureSpace space;
   space.catalog_ = catalog;
+  space.right_ = std::move(right);
   space.left_entities_.reserve(left_subjects.size());
   for (rdf::TermId subject : left_subjects) {
     space.left_entities_.push_back(
         PrepareEntity(left, subject, options.max_attributes));
   }
-  space.right_entities_.reserve(right_subjects.size());
-  for (rdf::TermId subject : right_subjects) {
-    space.right_entities_.push_back(
-        PrepareEntity(right, subject, options.max_attributes));
+  const std::vector<PreparedEntity>& rights = space.right_->entities;
+  space.total_pair_count_ =
+      static_cast<uint64_t>(left_subjects.size()) * rights.size();
+  const BlockingIndex* index =
+      options.blocking.enabled && !space.right_->index.empty()
+          ? &space.right_->index
+          : nullptr;
+
+  // Shard the left-entity loop. Each chunk scores its pairs into a private
+  // slot through a private CatalogMemo (the shared catalog mutex is only
+  // touched on first-seen keys); slots are then concatenated in chunk order,
+  // so the surviving pairs — and therefore PairIds — always come out in
+  // (left, right) lexicographic order, whatever the thread count.
+  struct ChunkResult {
+    std::vector<EntityPairFeatures> pairs;
+    uint64_t scored = 0;
+  };
+  const size_t n = space.left_entities_.size();
+  size_t num_chunks = 1;
+  if (pool != nullptr && pool->num_threads() > 1) {
+    num_chunks =
+        std::min<size_t>(std::max<size_t>(n, 1),
+                         static_cast<size_t>(pool->num_threads()) * 4);
   }
-  space.total_pair_count_ = static_cast<uint64_t>(left_subjects.size()) *
-                            right_subjects.size();
-  for (uint32_t i = 0; i < space.left_entities_.size(); ++i) {
-    for (uint32_t j = 0; j < space.right_entities_.size(); ++j) {
-      FeatureSet features =
-          BuildFeatureSet(space.left_entities_[i], space.right_entities_[j],
-                          catalog, options.theta, options.similarity);
-      if (features.empty()) continue;  // dropped by θ-filtering
+  const size_t chunk_size = n == 0 ? 1 : (n + num_chunks - 1) / num_chunks;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  for (size_t begin = 0; begin < n; begin += chunk_size) {
+    chunks.emplace_back(begin, std::min(n, begin + chunk_size));
+  }
+  std::vector<ChunkResult> results(chunks.size());
+
+  auto build_chunk = [&](size_t c) {
+    ChunkResult& result = results[c];
+    CatalogMemo memo(catalog);
+    ProbeScratch scratch;
+    for (size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+      const PreparedEntity& left_entity = space.left_entities_[i];
+      auto keep = [&](uint32_t j, FeatureSet features) {
+        ++result.scored;
+        if (features.empty()) return;  // dropped by θ-filtering
+        EntityPairFeatures pair;
+        pair.left_index = static_cast<uint32_t>(i);
+        pair.right_index = j;
+        pair.features = std::move(features);
+        result.pairs.push_back(std::move(pair));
+      };
+      if (index != nullptr) {
+        index->Probe(left_entity, &scratch);
+        for (uint32_t j : scratch.touched()) {
+          keep(j, BuildFeatureSetWithMasks(
+                      left_entity, rights[j], &memo, options.theta,
+                      options.similarity,
+                      CellMaskProvider{scratch.cell_channels(j)}));
+        }
+      } else {
+        for (uint32_t j = 0; j < rights.size(); ++j) {
+          keep(j, BuildFeatureSet(left_entity, rights[j], &memo,
+                                  options.theta, options.similarity));
+        }
+      }
+    }
+  };
+
+  if (pool != nullptr && chunks.size() > 1) {
+    pool->ParallelFor(chunks.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t c = begin; c < end; ++c) build_chunk(c);
+    });
+  } else {
+    for (size_t c = 0; c < chunks.size(); ++c) build_chunk(c);
+  }
+
+  for (ChunkResult& result : results) {
+    space.scored_pair_count_ += result.scored;
+    for (EntityPairFeatures& pair : result.pairs) {
       ALEX_CHECK(space.pairs_.size() < kInvalidPairId);
-      EntityPairFeatures pair;
-      pair.left_index = i;
-      pair.right_index = j;
-      pair.features = std::move(features);
       space.pairs_.push_back(std::move(pair));
     }
   }
   space.BuildIndexes();
   return space;
+}
+
+FeatureSpace FeatureSpace::Build(const rdf::TripleStore& left,
+                                 const std::vector<rdf::TermId>& left_subjects,
+                                 const rdf::TripleStore& right,
+                                 const std::vector<rdf::TermId>& right_subjects,
+                                 FeatureCatalog* catalog,
+                                 const FeatureSpaceOptions& options,
+                                 ThreadPool* pool) {
+  return Build(left, left_subjects,
+               RightContext::Prepare(right, right_subjects, options), catalog,
+               options, pool);
 }
 
 }  // namespace alex::core

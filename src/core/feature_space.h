@@ -9,14 +9,30 @@
 // product. Each feature gets a score-sorted index so that an ALEX action —
 // "find all links whose value for feature f lies in [v − step, v + step]" —
 // is a binary-search range query.
+//
+// Construction is organized for scale:
+//   * The right data set is prepared ONCE into a shared RightContext
+//     (preprocessed entities + the inverted blocking index) instead of once
+//     per partition.
+//   * With blocking enabled (the default), only pairs sharing at least one
+//     block key are scored; everything else is provably-or-empirically below
+//     θ and skipped (see core/blocking.h). `blocking.enabled = false`
+//     restores the paper's literal exhaustive cross product.
+//   * When given a ThreadPool, Build shards the left-entity loop across it.
+//     Chunks are reassembled in order, so the surviving pairs — and thus
+//     PairIds — come out in (left, right) lexicographic order regardless of
+//     the thread count.
 #ifndef ALEX_CORE_FEATURE_SPACE_H_
 #define ALEX_CORE_FEATURE_SPACE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
+#include "core/blocking.h"
 #include "core/feature_set.h"
 
 namespace alex::core {
@@ -37,6 +53,21 @@ struct FeatureSpaceOptions {
   // Cap on attributes considered per entity (0 = unlimited).
   size_t max_attributes = 16;
   sim::SimilarityOptions similarity;
+  // Candidate blocking for the pairwise scoring loop (see core/blocking.h).
+  BlockingOptions blocking;
+};
+
+// The right data set prepared once and shared (immutably) by every
+// partition's Build: preprocessed entities plus, when blocking is enabled,
+// the inverted block-key index over them.
+struct RightContext {
+  std::vector<PreparedEntity> entities;
+  BlockingIndex index;  // empty when blocking is disabled
+
+  static std::shared_ptr<const RightContext> Prepare(
+      const rdf::TripleStore& right,
+      const std::vector<rdf::TermId>& right_subjects,
+      const FeatureSpaceOptions& options);
 };
 
 class FeatureSpace {
@@ -51,7 +82,8 @@ class FeatureSpace {
     return left_entities_;
   }
   const std::vector<PreparedEntity>& right_entities() const {
-    return right_entities_;
+    static const std::vector<PreparedEntity> kNone;
+    return right_ ? right_->entities : kNone;
   }
   const std::vector<EntityPairFeatures>& pairs() const { return pairs_; }
   const EntityPairFeatures& pair(PairId id) const { return pairs_[id]; }
@@ -61,7 +93,7 @@ class FeatureSpace {
     return left_entities_[pairs_[id].left_index].iri;
   }
   const std::string& RightIri(PairId id) const {
-    return right_entities_[pairs_[id].right_index].iri;
+    return right_->entities[pairs_[id].right_index].iri;
   }
 
   // Pair lookup by entity IRIs; kInvalidPairId when the pair was filtered
@@ -79,16 +111,35 @@ class FeatureSpace {
   // both.
   uint64_t total_pair_count() const { return total_pair_count_; }
 
+  // Pairs actually sent to BuildFeatureSet. Equal to total_pair_count()
+  // when exhaustive; with blocking, total - scored pairs were pruned
+  // without scoring.
+  uint64_t scored_pair_count() const { return scored_pair_count_; }
+  uint64_t pruned_pair_count() const {
+    return total_pair_count_ - scored_pair_count_;
+  }
+
   // The catalog is shared and owned by the caller of Build.
   const FeatureCatalog* catalog() const { return catalog_; }
 
-  // Builds the space for `left_subjects` × `right_subjects`.
+  // Builds the space for `left_subjects` × `right` (a RightContext shared
+  // across partitions). With a pool, the left-entity loop is sharded across
+  // its workers; output is identical to the serial build.
+  static FeatureSpace Build(const rdf::TripleStore& left,
+                            const std::vector<rdf::TermId>& left_subjects,
+                            std::shared_ptr<const RightContext> right,
+                            FeatureCatalog* catalog,
+                            const FeatureSpaceOptions& options,
+                            ThreadPool* pool = nullptr);
+
+  // Convenience overload that prepares the right side itself.
   static FeatureSpace Build(const rdf::TripleStore& left,
                             const std::vector<rdf::TermId>& left_subjects,
                             const rdf::TripleStore& right,
                             const std::vector<rdf::TermId>& right_subjects,
                             FeatureCatalog* catalog,
-                            const FeatureSpaceOptions& options);
+                            const FeatureSpaceOptions& options,
+                            ThreadPool* pool = nullptr);
 
  private:
   struct ScoreEntry {
@@ -103,11 +154,12 @@ class FeatureSpace {
   void BuildIndexes();
 
   std::vector<PreparedEntity> left_entities_;
-  std::vector<PreparedEntity> right_entities_;
+  std::shared_ptr<const RightContext> right_;
   std::vector<EntityPairFeatures> pairs_;
   std::unordered_map<std::string, PairId> pair_by_iris_;
   std::unordered_map<FeatureId, std::vector<ScoreEntry>> by_feature_;
   uint64_t total_pair_count_ = 0;
+  uint64_t scored_pair_count_ = 0;
   const FeatureCatalog* catalog_ = nullptr;
 };
 

@@ -62,6 +62,53 @@ TEST(CandidateSetTest, ReAddAfterRemove) {
   EXPECT_TRUE(set.Contains(3));
 }
 
+TEST(CandidateSetTest, EpochChangesCountNetMembership) {
+  CandidateSet set;
+  set.Add(1);
+  set.Add(2);
+  EXPECT_EQ(set.EpochChangeCount(), 2u);
+  EXPECT_EQ(set.TakeEpochChanges(), 2u);
+  EXPECT_EQ(set.EpochChangeCount(), 0u);
+
+  // Add then remove within an epoch nets to zero.
+  set.Add(3);
+  set.Remove(3);
+  EXPECT_EQ(set.EpochChangeCount(), 0u);
+
+  // Remove then re-add of a baseline member also nets to zero.
+  set.Remove(1);
+  EXPECT_EQ(set.EpochChangeCount(), 1u);
+  set.Add(1);
+  EXPECT_EQ(set.EpochChangeCount(), 0u);
+
+  // Mixed: one removal, one addition.
+  set.Remove(2);
+  set.Add(7);
+  EXPECT_EQ(set.TakeEpochChanges(), 2u);
+  EXPECT_EQ(set.EpochChangeCount(), 0u);
+}
+
+TEST(CandidateSetTest, EpochChangesMatchSymmetricDifference) {
+  CandidateSet set;
+  Rng rng(23);
+  for (PairId id = 0; id < 100; id += 2) set.Add(id);
+  set.TakeEpochChanges();
+  std::set<PairId> baseline(set.items().begin(), set.items().end());
+  for (int i = 0; i < 5000; ++i) {
+    PairId id = static_cast<PairId>(rng.NextBounded(120));
+    if (rng.NextBool(0.5)) {
+      set.Add(id);
+    } else {
+      set.Remove(id);
+    }
+  }
+  std::set<PairId> current(set.items().begin(), set.items().end());
+  size_t symdiff = 0;
+  for (PairId id : baseline) symdiff += current.count(id) == 0;
+  for (PairId id : current) symdiff += baseline.count(id) == 0;
+  EXPECT_EQ(set.EpochChangeCount(), symdiff);
+}
+
 TEST(CandidateSetTest, StressAddRemove) {
   CandidateSet set;
   Rng rng(11);

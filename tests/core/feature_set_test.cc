@@ -1,6 +1,12 @@
 #include "core/feature_set.h"
 
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "similarity/string_metrics.h"
 
 namespace alex::core {
 namespace {
@@ -193,6 +199,110 @@ TEST_F(FeatureSetBuilderTest, DuplicateFeatureKeyKeepsMax) {
   FeatureId id = catalog_.Intern({"http://l/name", "http://r/label"});
   ASSERT_EQ(set.size(), 1u);
   EXPECT_DOUBLE_EQ(set.Get(id), 1.0);
+}
+
+TEST_F(FeatureSetBuilderTest, MemoOverloadMatchesCatalogOverload) {
+  PreparedEntity l =
+      MakeLeft({{"http://l/name", Term::StringLiteral("alpha beta")},
+                {"http://l/born", Term::IntegerLiteral(1912)}});
+  PreparedEntity r =
+      MakeRight({{"http://r/label", Term::StringLiteral("alpha betta")},
+                 {"http://r/birthYear", Term::IntegerLiteral(1912)}});
+  FeatureSet direct = BuildFeatureSet(l, r, &catalog_, 0.3);
+  CatalogMemo memo(&catalog_);
+  FeatureSet memoized = BuildFeatureSet(l, r, &memo, 0.3);
+  ASSERT_EQ(direct.size(), memoized.size());
+  for (size_t i = 0; i < direct.features.size(); ++i) {
+    EXPECT_EQ(direct.features[i].first, memoized.features[i].first);
+    EXPECT_DOUBLE_EQ(direct.features[i].second, memoized.features[i].second);
+  }
+}
+
+std::string RandomString(Rng* rng, size_t max_length) {
+  // A 3-letter alphabet makes small distances (and ties) common.
+  std::string s;
+  size_t length = rng->NextBounded(max_length + 1);
+  for (size_t i = 0; i < length; ++i) {
+    s.push_back(static_cast<char>('a' + rng->NextBounded(3)));
+  }
+  return s;
+}
+
+TEST(FastLevenshteinTest, ExactWithoutCutoff) {
+  const std::pair<const char*, const char*> kCases[] = {
+      {"", ""},           {"", "abc"},        {"abc", ""},
+      {"abc", "abc"},     {"kitten", "sitting"}, {"smith", "smyth"},
+      {"cuglia", "hugia"}, {"a", "b"},        {"ab", "ba"},
+  };
+  for (const auto& [a, b] : kCases) {
+    EXPECT_DOUBLE_EQ(FastNormalizedLevenshtein(a, b),
+                     sim::NormalizedLevenshtein(a, b))
+        << "'" << a << "' vs '" << b << "'";
+  }
+  Rng rng(1234);
+  for (int i = 0; i < 500; ++i) {
+    std::string a = RandomString(&rng, 12);
+    std::string b = RandomString(&rng, 12);
+    EXPECT_DOUBLE_EQ(FastNormalizedLevenshtein(a, b),
+                     sim::NormalizedLevenshtein(a, b))
+        << "'" << a << "' vs '" << b << "'";
+  }
+}
+
+TEST(FastLevenshteinTest, CutoffContractExactAboveUnderestimateBelow) {
+  // Contract: with a cutoff, the result is exact whenever the true
+  // similarity is >= the cutoff; otherwise it may be any value below the
+  // cutoff (the caller only learns "not interesting").
+  Rng rng(99);
+  const double kCutoffs[] = {0.3, 0.5, 0.58, 0.7, 0.9};
+  for (int i = 0; i < 500; ++i) {
+    std::string a = RandomString(&rng, 12);
+    std::string b = RandomString(&rng, 12);
+    double exact = sim::NormalizedLevenshtein(a, b);
+    for (double cutoff : kCutoffs) {
+      double fast = FastNormalizedLevenshtein(a, b, cutoff);
+      if (exact >= cutoff) {
+        EXPECT_DOUBLE_EQ(fast, exact)
+            << "'" << a << "' vs '" << b << "' cutoff " << cutoff;
+      } else {
+        EXPECT_LT(fast, cutoff)
+            << "'" << a << "' vs '" << b << "' cutoff " << cutoff;
+        EXPECT_GE(fast, 0.0);
+      }
+    }
+  }
+}
+
+TEST(FastLevenshteinTest, LengthDifferenceEarlyExit) {
+  // |10 - 2| = 8 edits minimum; with cutoff 0.5 the band is skipped
+  // entirely but the result must still be below the cutoff and sane.
+  double fast = FastNormalizedLevenshtein("ab", "abcdefghij", 0.5);
+  EXPECT_LT(fast, 0.5);
+  EXPECT_GE(fast, 0.0);
+  // Without a cutoff the same pair is computed exactly.
+  EXPECT_DOUBLE_EQ(FastNormalizedLevenshtein("ab", "abcdefghij"),
+                   sim::NormalizedLevenshtein("ab", "abcdefghij"));
+}
+
+TEST(SortedTokenJaccardTest, MergeWalkEdges) {
+  using Tokens = std::vector<std::string>;
+  EXPECT_DOUBLE_EQ(SortedTokenJaccard(Tokens{}, Tokens{}), 1.0);
+  EXPECT_DOUBLE_EQ(SortedTokenJaccard(Tokens{"a"}, Tokens{}), 0.0);
+  EXPECT_DOUBLE_EQ(SortedTokenJaccard(Tokens{}, Tokens{"a"}), 0.0);
+  EXPECT_DOUBLE_EQ(SortedTokenJaccard(Tokens{"a", "b"}, Tokens{"a", "b"}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(SortedTokenJaccard(Tokens{"a", "b"}, Tokens{"c", "d"}),
+                   0.0);
+  // 2 shared of 4 distinct.
+  EXPECT_DOUBLE_EQ(
+      SortedTokenJaccard(Tokens{"a", "b", "c"}, Tokens{"b", "c", "d"}), 0.5);
+  // Prefix tokens are not equal tokens.
+  EXPECT_DOUBLE_EQ(SortedTokenJaccard(Tokens{"a"}, Tokens{"ab"}), 0.0);
+  // Trailing-run handling on both sides of the walk.
+  EXPECT_DOUBLE_EQ(SortedTokenJaccard(Tokens{"a"}, Tokens{"a", "b", "c"}),
+                   1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(SortedTokenJaccard(Tokens{"a", "b", "c"}, Tokens{"c"}),
+                   1.0 / 3.0);
 }
 
 TEST(PrepareEntityTest, MaxAttributesCap) {

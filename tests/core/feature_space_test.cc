@@ -1,5 +1,7 @@
 #include "core/feature_space.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace alex::core {
@@ -102,6 +104,46 @@ TEST_F(FeatureSpaceTest, SubsetOfSubjects) {
                                            options);
   EXPECT_EQ(space.total_pair_count(), 2u);
   EXPECT_EQ(space.left_entities().size(), 1u);
+}
+
+TEST_F(FeatureSpaceTest, PairsInRangeBoundsAreInclusive) {
+  FeatureSpace space = Build();
+  FeatureId name = catalog_.Intern({"http://l/name", "http://r/label"});
+  // Both exact-match pairs score exactly 1.0: a degenerate [1.0, 1.0] band
+  // must include them (lo and hi are both inclusive).
+  std::vector<PairId> at_boundary = space.PairsInRange(name, 1.0, 1.0);
+  EXPECT_EQ(at_boundary.size(), 2u);
+  // Nudging lo above / hi below the score excludes them.
+  EXPECT_TRUE(space.PairsInRange(name, std::nextafter(1.0, 2.0), 2.0).empty());
+  EXPECT_TRUE(
+      space.PairsInRange(name, 0.9, std::nextafter(1.0, 0.0)).empty());
+}
+
+TEST_F(FeatureSpaceTest, PairsInRangeEqualScoresTieBreakByPairId) {
+  FeatureSpace space = Build();
+  FeatureId name = catalog_.Intern({"http://l/name", "http://r/label"});
+  std::vector<PairId> ties = space.PairsInRange(name, 1.0, 1.0);
+  ASSERT_EQ(ties.size(), 2u);
+  // Equal scores are ordered by ascending PairId (the ScoreEntry
+  // tie-break), so the range result is deterministic.
+  EXPECT_LT(ties[0], ties[1]);
+  EXPECT_DOUBLE_EQ(space.pair(ties[0]).features.Get(name), 1.0);
+  EXPECT_DOUBLE_EQ(space.pair(ties[1]).features.Get(name), 1.0);
+}
+
+TEST_F(FeatureSpaceTest, ScoredPairCountsExhaustiveAndBlocked) {
+  FeatureSpaceOptions exhaustive;
+  exhaustive.blocking.enabled = false;
+  FeatureSpace space = FeatureSpace::Build(
+      left_, left_.Subjects(), right_, right_.Subjects(), &catalog_,
+      exhaustive);
+  EXPECT_EQ(space.scored_pair_count(), space.total_pair_count());
+  EXPECT_EQ(space.pruned_pair_count(), 0u);
+
+  FeatureSpace blocked = Build();
+  EXPECT_LE(blocked.scored_pair_count(), blocked.total_pair_count());
+  // "Completely Other" shares no block with either right entity.
+  EXPECT_GT(blocked.pruned_pair_count(), 0u);
 }
 
 TEST_F(FeatureSpaceTest, RangeQueryMatchesLinearScan) {
