@@ -1,0 +1,273 @@
+// Episode hot-loop benchmark (ISSUE 3 perf trajectory): feedback episodes
+// per second at 1/2/4/8 worker threads on the dbpedia_nytimes profile, with
+// the right context prepared once and shared across every configuration.
+//
+// Correctness gates (the bench exits nonzero if either fails):
+//   * the full per-episode series — integer stats, candidate counts,
+//     change fractions (bit pattern), quality points, converged flag — is
+//     byte-identical across every thread count and repeat;
+//   * the incremental QualityTracker matches a full Evaluate rescan bitwise
+//     at every episode (checked during the 1-thread run, where the rescan
+//     vs. incremental evaluation times are also compared).
+//
+// Writes BENCH_episode_loop.json (path via --out).
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/alex_engine.h"
+#include "core/feature_space.h"
+#include "eval/metrics.h"
+#include "feedback/oracle.h"
+
+namespace {
+
+using alex::core::AlexEngine;
+using alex::core::EpisodeStats;
+using alex::core::RightContext;
+using alex::eval::Quality;
+using alex::eval::QualityTracker;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<
+             std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void AppendBits(std::ostringstream* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  *out << bits << ' ';
+}
+
+// Canonical text form of one episode's observable result. Wall-clock fields
+// are excluded; everything else must match bit for bit.
+void AppendEpisode(std::ostringstream* out, const EpisodeStats& stats,
+                   const Quality& quality) {
+  *out << stats.episode << ' ' << stats.feedback_items << ' '
+       << stats.positive_feedback << ' ' << stats.negative_feedback << ' '
+       << stats.links_added << ' ' << stats.links_removed << ' '
+       << stats.rollbacks << ' ' << stats.rolled_back_links << ' '
+       << stats.candidate_count << ' ';
+  AppendBits(out, stats.change_fraction);
+  *out << quality.candidates << ' ' << quality.correct << ' ';
+  AppendBits(out, quality.precision);
+  AppendBits(out, quality.recall);
+  AppendBits(out, quality.f_measure);
+  *out << '\n';
+}
+
+struct RunOutcome {
+  double episode_ms = 0.0;  // engine.Run wall time
+  int episodes = 0;
+  std::string series;
+  bool tracker_matches_rescan = true;
+  double incremental_eval_ms = 0.0;
+  double rescan_eval_ms = 0.0;
+};
+
+// One full run: fresh engine (Initialize is NOT timed; the shared right
+// context is reused), fresh oracle, episodes driven to convergence or
+// max_episodes. `check_rescan` additionally verifies the tracker against
+// Evaluate at every episode.
+RunOutcome RunOnce(const alex::datagen::GeneratedWorld& world,
+                   const std::vector<alex::linking::Link>& initial,
+                   const alex::feedback::GroundTruth& truth,
+                   alex::core::AlexOptions options, int threads,
+                   std::shared_ptr<const RightContext> right,
+                   bool check_rescan) {
+  options.num_threads = threads;
+  AlexEngine engine(&world.left, &world.right, options);
+  alex::Status status = engine.Initialize(initial, right);
+  ALEX_CHECK(status.ok()) << status.ToString();
+
+  QualityTracker tracker(&truth);
+  tracker.Reset(engine.CandidateLinks());
+  engine.SetLinkChangeObserver(
+      [&tracker](const alex::linking::Link& link, bool added) {
+        tracker.OnLinkChange(link, added);
+      });
+
+  alex::feedback::Oracle oracle(&truth, 0.0, options.seed + 1);
+  auto feedback = [&oracle](const alex::linking::Link& link) {
+    return oracle.Feedback(link);
+  };
+
+  RunOutcome outcome;
+  std::ostringstream series;
+  auto run_start = std::chrono::steady_clock::now();
+  AlexEngine::RunResult run =
+      engine.Run(feedback, [&](const EpisodeStats& stats) {
+        auto eval_start = std::chrono::steady_clock::now();
+        Quality quality = tracker.Snapshot();
+        outcome.incremental_eval_ms += MsSince(eval_start);
+        if (check_rescan) {
+          auto rescan_start = std::chrono::steady_clock::now();
+          Quality rescan =
+              alex::eval::Evaluate(engine.CandidateLinks(), truth);
+          outcome.rescan_eval_ms += MsSince(rescan_start);
+          outcome.tracker_matches_rescan =
+              outcome.tracker_matches_rescan &&
+              rescan.candidates == quality.candidates &&
+              rescan.correct == quality.correct &&
+              rescan.precision == quality.precision &&
+              rescan.recall == quality.recall &&
+              rescan.f_measure == quality.f_measure;
+        }
+        AppendEpisode(&series, stats, quality);
+      });
+  outcome.episode_ms = MsSince(run_start);
+  if (check_rescan) {
+    // The rescan above is part of the convergence check, not the loop being
+    // timed; subtract it so the 1-thread baseline is not penalized.
+    outcome.episode_ms -= outcome.rescan_eval_ms;
+  }
+  series << "converged " << run.converged << " episodes " << run.episodes
+         << '\n';
+  outcome.episodes = run.episodes;
+  outcome.series = series.str();
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_episode_loop.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    }
+  }
+
+  alex::eval::ExperimentConfig config =
+      alex::bench::MakeConfig("dbpedia_nytimes");
+  config.alex.max_episodes = 12;
+  alex::datagen::GeneratedWorld world =
+      alex::datagen::Generate(config.profile);
+  std::vector<alex::linking::Link> initial = alex::linking::FilterByScore(
+      alex::linking::RunParis(world.left, world.right, config.paris),
+      config.paris_threshold);
+  alex::feedback::GroundTruth truth(world.ground_truth);
+
+  std::cout << "== Episode loop: episodes/sec vs. worker threads ==\n"
+            << "world dbpedia_nytimes: " << initial.size()
+            << " initial links, " << config.alex.num_partitions
+            << " partitions, episodes of " << config.alex.episode_size
+            << ", max " << config.alex.max_episodes << "\n";
+
+  auto prepare_start = std::chrono::steady_clock::now();
+  std::shared_ptr<const RightContext> right = RightContext::Prepare(
+      world.right, world.right.Subjects(), config.alex.space);
+  double right_prepare_ms = MsSince(prepare_start);
+  std::cout << "  right context prepared once in " << std::fixed
+            << std::setprecision(1) << right_prepare_ms
+            << " ms (shared by all configs)\n";
+
+  const std::vector<int> kThreads = {1, 2, 4, 8};
+  const int kRepeats = 3;
+  struct Row {
+    int threads = 0;
+    double best_ms = 0.0;
+    int episodes = 0;
+    double eps_per_sec = 0.0;
+  };
+  std::vector<Row> rows;
+  std::string reference_series;
+  bool identical = true;
+  bool tracker_ok = true;
+  double incremental_eval_ms = 0.0;
+  double rescan_eval_ms = 0.0;
+
+  for (int threads : kThreads) {
+    Row row;
+    row.threads = threads;
+    row.best_ms = -1.0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      const bool check_rescan = threads == 1 && rep == 0;
+      RunOutcome outcome = RunOnce(world, initial, truth, config.alex,
+                                   threads, right, check_rescan);
+      if (check_rescan) {
+        tracker_ok = outcome.tracker_matches_rescan;
+        incremental_eval_ms = outcome.incremental_eval_ms;
+        rescan_eval_ms = outcome.rescan_eval_ms;
+      }
+      if (reference_series.empty()) {
+        reference_series = outcome.series;
+      } else if (outcome.series != reference_series) {
+        identical = false;
+      }
+      if (row.best_ms < 0.0 || outcome.episode_ms < row.best_ms) {
+        row.best_ms = outcome.episode_ms;
+        row.episodes = outcome.episodes;
+      }
+    }
+    row.eps_per_sec =
+        row.best_ms > 0.0 ? 1000.0 * row.episodes / row.best_ms : 0.0;
+    std::cout << "  " << std::left << std::setw(12)
+              << (std::to_string(threads) + " thread(s)") << std::right
+              << std::fixed << std::setprecision(1) << std::setw(9)
+              << row.best_ms << " ms  " << std::setw(6) << row.episodes
+              << " episodes  " << std::setprecision(2) << std::setw(8)
+              << row.eps_per_sec << " eps/sec\n";
+    rows.push_back(row);
+  }
+
+  std::cout << (identical
+                    ? "all thread counts produced identical episode series\n"
+                    : "SERIES MISMATCH across thread counts!\n")
+            << (tracker_ok
+                    ? "incremental quality == full rescan at every episode"
+                    : "TRACKER MISMATCH vs. full rescan!")
+            << std::fixed << std::setprecision(2) << " (incremental "
+            << incremental_eval_ms << " ms vs rescan " << rescan_eval_ms
+            << " ms per run)\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  const double base_ms = rows.front().best_ms;
+  out << std::fixed << std::setprecision(3);
+  out << "{\n"
+      << "  \"bench\": \"episode_loop\",\n"
+      << "  \"world\": \"dbpedia_nytimes\",\n"
+      << "  \"num_partitions\": " << config.alex.num_partitions << ",\n"
+      << "  \"episode_size\": " << config.alex.episode_size << ",\n"
+      << "  \"repeats\": " << kRepeats << ",\n"
+      << "  \"identical_series\": " << (identical ? "true" : "false")
+      << ",\n"
+      << "  \"tracker_matches_rescan\": " << (tracker_ok ? "true" : "false")
+      << ",\n"
+      << "  \"right_prepare_ms\": " << right_prepare_ms << ",\n"
+      << "  \"incremental_eval_ms\": " << incremental_eval_ms << ",\n"
+      << "  \"rescan_eval_ms\": " << rescan_eval_ms << ",\n"
+      << "  \"runs\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    out << "    {\"threads\": " << row.threads << ", \"episodes\": "
+        << row.episodes << ", \"ms\": " << row.best_ms
+        << ", \"ms_per_episode\": "
+        << (row.episodes > 0 ? row.best_ms / row.episodes : 0.0)
+        << ", \"episodes_per_sec\": " << row.eps_per_sec
+        << ", \"speedup_vs_1thread\": "
+        << (row.best_ms > 0.0 ? base_ms / row.best_ms : 0.0) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "(json written to " << out_path << ")\n";
+  return identical && tracker_ok ? 0 : 1;
+}

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
-#include "common/thread_pool.h"
 
 namespace alex::core {
 
@@ -25,7 +25,8 @@ PartitionAlex::FeedbackOutcome PartitionAlex::ProcessFeedback(PairId pair,
   // First-visit Monte Carlo: the first feedback on a link within an episode
   // contributes the reward to every state-action pair that led to it.
   if (learner_.IsFirstVisit(pair)) {
-    for (const StateAction& sa : rollback_.AncestorsOf(pair)) {
+    rollback_.AncestorsOf(pair, &ancestors_scratch_);
+    for (const StateAction& sa : ancestors_scratch_) {
       learner_.AppendReturn(sa, reward);
     }
   }
@@ -50,18 +51,20 @@ PartitionAlex::FeedbackOutcome PartitionAlex::ProcessFeedback(PairId pair,
       action = policy_.ChooseAction(pair, actions, &rng_);
     }
     double score = actions.Get(action);
-    std::vector<PairId> in_range = space_.PairsInRange(
+    // Span probe straight into the CSR score arena — no per-probe heap
+    // traffic; added_scratch_ reuses its capacity across feedback items.
+    FeatureSpace::ScoreSpan in_range = space_.PairsInRangeSpan(
         action, score - options_->step_size, score + options_->step_size);
-    std::vector<PairId> added;
-    for (PairId candidate : in_range) {
-      if (candidate == pair) continue;
-      if (options_->use_blacklist && blacklist_.count(candidate) > 0) {
+    added_scratch_.clear();
+    for (const ScoreEntry& entry : in_range) {
+      if (entry.pair == pair) continue;
+      if (options_->use_blacklist && blacklist_.count(entry.pair) > 0) {
         continue;  // known-incorrect links are never re-proposed (§6.3)
       }
-      if (candidates_.Add(candidate)) added.push_back(candidate);
+      if (candidates_.Add(entry.pair)) added_scratch_.push_back(entry.pair);
     }
-    outcome.added = added.size();
-    rollback_.RecordGeneration(StateAction{pair, action}, added);
+    outcome.added = added_scratch_.size();
+    rollback_.RecordGeneration(StateAction{pair, action}, added_scratch_);
     return outcome;
   }
 
@@ -93,11 +96,38 @@ void PartitionAlex::BeginEpisode() { learner_.BeginEpisode(); }
 void PartitionAlex::EndEpisode() {
   // Policy improvement: greedy with respect to the current action-value
   // estimates at every state visited in the episode (Algorithm 1).
-  for (PairId state : learner_.TakeStatesToImprove()) {
+  learner_.TakeStatesToImprove(&improve_scratch_);
+  for (PairId state : improve_scratch_) {
     const FeatureSet& actions = space_.pair(state).features;
     FeatureId best = learner_.ArgmaxAction(state, actions);
     if (best != kInvalidFeatureId) policy_.SetGreedy(state, best);
   }
+}
+
+void PartitionAlex::RunEpisodeItems(size_t items, const FeedbackFn& feedback,
+                                    ShardStats* stats) {
+  BeginEpisode();
+  for (size_t item = 0; item < items; ++item) {
+    if (candidates_.empty()) break;
+    PairId pair = candidates_.Sample(&rng_);
+    linking::Link link;
+    link.left = space_.LeftIri(pair);
+    link.right = space_.RightIri(pair);
+    bool approved = feedback(link);
+    ++stats->feedback_items;
+    if (approved) {
+      ++stats->positive_feedback;
+    } else {
+      ++stats->negative_feedback;
+    }
+    FeedbackOutcome outcome = ProcessFeedback(pair, approved);
+    stats->links_added += outcome.added;
+    if (outcome.removed) ++stats->links_removed;
+    stats->rollbacks += outcome.rollbacks;
+    stats->links_removed += outcome.rolled_back_links;
+    stats->rolled_back_links += outcome.rolled_back_links;
+  }
+  EndEpisode();
 }
 
 AlexEngine::AlexEngine(const rdf::TripleStore* left,
@@ -105,7 +135,8 @@ AlexEngine::AlexEngine(const rdf::TripleStore* left,
     : left_(left), right_(right), options_(options), rng_(options.seed) {}
 
 Status AlexEngine::Initialize(
-    const std::vector<linking::Link>& initial_links) {
+    const std::vector<linking::Link>& initial_links,
+    std::shared_ptr<const RightContext> prepared_right) {
   if (initialized_) {
     return Status::FailedPrecondition("engine already initialized");
   }
@@ -119,30 +150,57 @@ Status AlexEngine::Initialize(
   std::vector<std::vector<rdf::TermId>> partitions =
       EqualSizePartition(left_subjects, options_.num_partitions);
 
-  // Prepare the right data set ONCE — preprocessed entities plus the
-  // blocking index — and share it across every partition (the seed
-  // re-prepared all right entities per partition). Partition spaces are
-  // then built one after another with the left-entity loop of each build
-  // sharded across the pool (§6.2), which keeps all workers busy even when
-  // partitions are fewer than threads.
+  // The pool is engine-owned and outlives Initialize: the same workers that
+  // build the feature spaces later run the parallel episode shards.
   int threads = options_.num_threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
   }
-  std::shared_ptr<const RightContext> right_context =
-      RightContext::Prepare(*right_, right_subjects, options_.space);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 
+  // Prepare the right data set ONCE — preprocessed entities plus the
+  // blocking index — and share it across every partition (the seed
+  // re-prepared all right entities per partition). A caller that runs many
+  // engines over one right store can hand in the prepared context instead.
+  std::shared_ptr<const RightContext> right_context =
+      std::move(prepared_right);
+  if (right_context != nullptr) {
+    if (right_context->entities.size() != right_subjects.size()) {
+      return Status::InvalidArgument(
+          "prepared right context does not match the right store");
+    }
+  } else {
+    right_context = RightContext::Prepare(*right_, right_subjects,
+                                          options_.space, pool_.get());
+  }
+
+  // Partition spaces are built one after another with the left-entity loop
+  // of each build sharded across the pool (§6.2), which keeps all workers
+  // busy even when partitions are fewer than threads.
   std::vector<FeatureSpace> spaces;
   spaces.reserve(partitions.size());
-  {
-    ThreadPool pool(threads);
-    ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
-    for (const std::vector<rdf::TermId>& partition : partitions) {
-      spaces.push_back(FeatureSpace::Build(*left_, partition, right_context,
-                                           &catalog_, options_.space,
-                                           pool_ptr));
+  for (const std::vector<rdf::TermId>& partition : partitions) {
+    spaces.push_back(FeatureSpace::Build(*left_, partition, right_context,
+                                         &catalog_, options_.space,
+                                         pool_.get()));
+  }
+
+  // FeatureIds were interned in whatever order the build's worker threads
+  // first saw the keys — a run-to-run accident. Canonicalize them (and
+  // everything downstream that is keyed on them, like ε-greedy action
+  // order) into a pure function of the data, so episode trajectories are
+  // reproducible at any thread count.
+  std::vector<FeatureId> old_to_new = catalog_.Canonicalize();
+  if (pool_ != nullptr && spaces.size() > 1) {
+    for (FeatureSpace& space : spaces) {
+      pool_->Schedule([&space, &old_to_new] {
+        space.RemapFeatures(old_to_new);
+      });
     }
+    pool_->Wait();
+  } else {
+    for (FeatureSpace& space : spaces) space.RemapFeatures(old_to_new);
   }
 
   partitions_.reserve(spaces.size());
@@ -193,22 +251,21 @@ void AlexEngine::MarkCandidateBaseline() {
   prev_candidate_count_ = CandidateCount();
 }
 
-bool AlexEngine::SampleCandidate(uint32_t* partition, PairId* pair) {
-  size_t total = CandidateCount();
-  if (total == 0) return false;
-  uint64_t r = rng_.NextBounded(total);
-  for (uint32_t p = 0; p < partitions_.size(); ++p) {
-    size_t size = partitions_[p].candidates().size();
-    if (r < size) {
-      *partition = p;
-      *pair = partitions_[p].candidates().items()[r];
-      return true;
+void AlexEngine::ProcessExtras(size_t quota, const FeedbackFn& feedback,
+                               EpisodeStats* stats) {
+  for (size_t item = 0; item < quota; ++item) {
+    if (extras_alive_.empty()) break;
+    PairId extra = extras_alive_.Sample(&rng_);
+    bool approved = feedback(extras_links_[extra]);
+    ++stats->feedback_items;
+    if (approved) {
+      ++stats->positive_feedback;
+    } else {
+      ++stats->negative_feedback;
+      extras_alive_.Remove(extra);
+      ++stats->links_removed;
     }
-    r -= size;
   }
-  *partition = kExtraPartition;
-  *pair = extras_alive_.items()[r];
-  return true;
 }
 
 EpisodeStats AlexEngine::RunEpisode(const FeedbackFn& feedback) {
@@ -216,60 +273,90 @@ EpisodeStats AlexEngine::RunEpisode(const FeedbackFn& feedback) {
   Stopwatch episode_timer;
   EpisodeStats stats;
   stats.episode = ++episodes_run_;
-  std::vector<double> partition_seconds(partitions_.size(), 0.0);
 
-  for (PartitionAlex& partition : partitions_) partition.BeginEpisode();
-
-  for (size_t item = 0; item < options_.episode_size; ++item) {
-    uint32_t partition = 0;
-    PairId pair = kInvalidPairId;
-    if (!SampleCandidate(&partition, &pair)) break;
-    linking::Link link;
-    if (partition == kExtraPartition) {
-      link = extras_links_[pair];
-    } else {
-      const FeatureSpace& space = partitions_[partition].space();
-      link.left = space.LeftIri(pair);
-      link.right = space.RightIri(pair);
-    }
-    bool approved = feedback(link);
-    ++stats.feedback_items;
-    if (approved) {
-      ++stats.positive_feedback;
-    } else {
-      ++stats.negative_feedback;
-    }
-    if (partition == kExtraPartition) {
-      if (!approved) {
-        extras_alive_.Remove(pair);
-        ++stats.links_removed;
-      }
-      continue;
-    }
-    Stopwatch partition_timer;
-    PartitionAlex::FeedbackOutcome outcome =
-        partitions_[partition].ProcessFeedback(pair, approved);
-    partition_seconds[partition] += partition_timer.ElapsedSeconds();
-    stats.links_added += outcome.added;
-    if (outcome.removed) ++stats.links_removed;
-    stats.rollbacks += outcome.rollbacks;
-    stats.links_removed += outcome.rolled_back_links;
-    stats.rolled_back_links += outcome.rolled_back_links;
-  }
-
+  // Allocate each shard's feedback quota up front: episode_size multinomial
+  // draws from the engine RNG, weighted by the episode-START candidate
+  // counts (partitions first, spaceless extras last). After this, each
+  // shard's work is a pure function of its own state and RNG stream, so
+  // shards can run concurrently — and the serial path, which runs the same
+  // per-shard code in partition order, produces bitwise-identical results.
+  // Within its quota a partition still samples LIVE from its own evolving
+  // candidate set, preserving the paper's uniform-over-candidates feedback
+  // model within each shard.
+  std::vector<size_t> sizes(partitions_.size() + 1, 0);
   for (size_t p = 0; p < partitions_.size(); ++p) {
-    Stopwatch partition_timer;
-    partitions_[p].EndEpisode();
-    partition_seconds[p] += partition_timer.ElapsedSeconds();
+    sizes[p] = partitions_[p].candidates().size();
+  }
+  sizes.back() = extras_alive_.size();
+  size_t total = 0;
+  for (size_t size : sizes) total += size;
+  std::vector<size_t> quota(sizes.size(), 0);
+  if (total > 0) {
+    for (size_t item = 0; item < options_.episode_size; ++item) {
+      uint64_t r = rng_.NextBounded(total);
+      for (size_t s = 0; s < sizes.size(); ++s) {
+        if (r < sizes[s]) {
+          ++quota[s];
+          break;
+        }
+        r -= sizes[s];
+      }
+    }
   }
 
+  std::vector<PartitionAlex::ShardStats> shard(partitions_.size());
+  std::vector<double> partition_seconds(partitions_.size(), 0.0);
+  auto run_partition = [&](size_t p) {
+    Stopwatch partition_timer;
+    partitions_[p].RunEpisodeItems(quota[p], feedback, &shard[p]);
+    partition_seconds[p] = partition_timer.ElapsedSeconds();
+  };
+
+  if (pool_ != nullptr && partitions_.size() > 1) {
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      pool_->Schedule([&run_partition, p] { run_partition(p); });
+    }
+    // Extras have no partition; process them on this thread while the
+    // partition shards run.
+    ProcessExtras(quota.back(), feedback, &stats);
+    pool_->Wait();
+  } else {
+    for (size_t p = 0; p < partitions_.size(); ++p) run_partition(p);
+    ProcessExtras(quota.back(), feedback, &stats);
+  }
+
+  // Deterministic partition-ordered merge of the shard stats.
+  for (const PartitionAlex::ShardStats& s : shard) {
+    stats.feedback_items += s.feedback_items;
+    stats.positive_feedback += s.positive_feedback;
+    stats.negative_feedback += s.negative_feedback;
+    stats.links_added += s.links_added;
+    stats.links_removed += s.links_removed;
+    stats.rollbacks += s.rollbacks;
+    stats.rolled_back_links += s.rolled_back_links;
+  }
+
+  // Walk the net membership deltas (partitions in order, then extras)
+  // through the link-change observer, then fold them into change_fraction.
   // The candidate sets tracked their own net changes during the episode, so
   // the symmetric difference with the episode-start state is a counter
   // read, not a rebuild-sort-diff over every candidate.
-  size_t changed = extras_alive_.TakeEpochChanges();
+  size_t changed = 0;
   for (PartitionAlex& partition : partitions_) {
+    if (link_observer_) {
+      const FeatureSpace& space = partition.space();
+      for (const auto& [pair, net] : partition.candidates().epoch_delta()) {
+        link_observer_({space.LeftIri(pair), space.RightIri(pair)}, net > 0);
+      }
+    }
     changed += partition.mutable_candidates().TakeEpochChanges();
   }
+  if (link_observer_) {
+    for (const auto& [extra, net] : extras_alive_.epoch_delta()) {
+      link_observer_(extras_links_[extra], net > 0);
+    }
+  }
+  changed += extras_alive_.TakeEpochChanges();
   stats.change_fraction =
       static_cast<double>(changed) /
       static_cast<double>(std::max<size_t>(1, prev_candidate_count_));

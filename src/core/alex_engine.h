@@ -21,6 +21,7 @@
 #define ALEX_CORE_ALEX_ENGINE_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -28,6 +29,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/candidate_set.h"
 #include "core/feature_space.h"
 #include "core/mc_learner.h"
@@ -85,10 +87,12 @@ struct AlexOptions {
   // Equal-size partitions of the left data set (§6.2). The paper used 27 on
   // a 64-core machine; scaled down here.
   int num_partitions = 8;
-  // Worker threads for parallel feature-space construction (0 = one per
-  // hardware thread). The left-entity loop of every partition build is
-  // sharded across these workers, so the thread count is not limited by
-  // num_partitions.
+  // Worker threads (0 = one per hardware thread) for parallel feature-space
+  // construction AND parallel episode execution. During Initialize the
+  // left-entity loop of every partition build is sharded across these
+  // workers; during RunEpisode each partition processes its feedback quota
+  // on its own worker. Episode results are bitwise-identical at any thread
+  // count (see DESIGN.md, "The episode loop").
   int num_threads = 0;
   uint64_t seed = 42;
 };
@@ -118,7 +122,18 @@ struct EpisodeStats {
 };
 
 // The "user": maps a candidate link to approve (true) / reject (false).
+// With num_threads > 1 the engine calls this concurrently from several
+// partition workers, so the callable must be thread-safe (feedback::Oracle
+// is; a capture-by-reference lambda over mutable state is not unless
+// synchronized).
 using FeedbackFn = std::function<bool(const linking::Link&)>;
+
+// Observes net candidate-link membership changes, called by the engine once
+// per episode per changed link (on the main thread, in deterministic order):
+// `added` is true when the link entered the candidate set this episode,
+// false when it left. Used for incremental quality evaluation (see
+// eval::QualityTracker).
+using LinkChangeFn = std::function<void(const linking::Link&, bool added)>;
 
 // One partition of the search space with its own candidate links, policy,
 // learner, blacklist and rollback log. Public mainly for white-box tests;
@@ -143,6 +158,27 @@ class PartitionAlex {
   // candidate). Positive feedback triggers an exploration action; negative
   // feedback removes the link and may fire rollbacks.
   FeedbackOutcome ProcessFeedback(PairId pair, bool positive);
+
+  // Per-partition slice of an episode's statistics, merged by the engine in
+  // partition order.
+  struct ShardStats {
+    size_t feedback_items = 0;
+    size_t positive_feedback = 0;
+    size_t negative_feedback = 0;
+    size_t links_added = 0;
+    size_t links_removed = 0;
+    size_t rollbacks = 0;
+    size_t rolled_back_links = 0;
+  };
+
+  // Runs this partition's share of one episode: BeginEpisode, then up to
+  // `items` feedback draws sampled live from the partition's own candidate
+  // set with the partition's own RNG (stopping early if the set empties),
+  // then EndEpisode. Touches no engine state, so partitions run their
+  // shares concurrently; the result depends only on this partition's
+  // history, never on thread interleaving.
+  void RunEpisodeItems(size_t items, const FeedbackFn& feedback,
+                       ShardStats* stats);
 
   // Episode lifecycle (Algorithm 1).
   void BeginEpisode();
@@ -178,6 +214,10 @@ class PartitionAlex {
   McLearner learner_;
   RollbackLog rollback_;
   Rng rng_;
+  // Hot-loop scratch buffers (capacity reused across feedback items).
+  std::vector<PairId> added_scratch_;
+  std::vector<StateAction> ancestors_scratch_;
+  std::vector<PairId> improve_scratch_;
 };
 
 class AlexEngine {
@@ -191,10 +231,27 @@ class AlexEngine {
   // `initial_links` (e.g., PARIS output). Initial links whose entity pair
   // was filtered out of the space are kept as spaceless candidates: they
   // can be removed by negative feedback but not explored around.
-  Status Initialize(const std::vector<linking::Link>& initial_links);
+  //
+  // `prepared_right` optionally supplies an already-prepared RightContext
+  // for the engine's right store (from RightContext::Prepare with the same
+  // FeatureSpaceOptions), so multiple engines over one right store — e.g.
+  // bench configs — skip re-preparing it. Pass nullptr to prepare
+  // internally.
+  Status Initialize(const std::vector<linking::Link>& initial_links,
+                    std::shared_ptr<const RightContext> prepared_right =
+                        nullptr);
 
-  // Runs one feedback episode of options.episode_size items.
+  // Runs one feedback episode of options.episode_size items. With
+  // num_threads > 1, partitions process their shares concurrently (see
+  // DESIGN.md); the episode result is identical at any thread count.
   EpisodeStats RunEpisode(const FeedbackFn& feedback);
+
+  // Registers an observer of net candidate-link changes, invoked once per
+  // changed link at the end of every episode (main thread, deterministic
+  // order). Pass nullptr to unregister.
+  void SetLinkChangeObserver(LinkChangeFn observer) {
+    link_observer_ = std::move(observer);
+  }
 
   struct RunResult {
     bool converged = false;          // strict: no change in candidate links
@@ -269,10 +326,11 @@ class AlexEngine {
   // the baseline count) to the current candidate state.
   void MarkCandidateBaseline();
 
-  // Picks a uniformly random candidate (partition index, pair) where
-  // partition index == kExtraPartition means extras_links_[pair].
-  static constexpr uint32_t kExtraPartition = 0xffffffffu;
-  bool SampleCandidate(uint32_t* partition, PairId* pair);
+  // Processes up to `quota` feedback items on the spaceless extras,
+  // sampling live with the engine RNG (extras have no partition worker;
+  // they run on the calling thread).
+  void ProcessExtras(size_t quota, const FeedbackFn& feedback,
+                     EpisodeStats* stats);
 
   const rdf::TripleStore* left_;
   const rdf::TripleStore* right_;
@@ -286,6 +344,10 @@ class AlexEngine {
   CandidateSet extras_alive_;  // ids index extras_links_
 
   Rng rng_;
+  // Episode + build workers, created in Initialize when the resolved thread
+  // count is > 1; null means fully serial execution.
+  std::unique_ptr<ThreadPool> pool_;
+  LinkChangeFn link_observer_;
   bool initialized_ = false;
   double init_seconds_ = 0.0;
   uint64_t total_pair_count_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <iterator>
 #include <string_view>
 #include <unordered_set>
 
@@ -251,47 +252,108 @@ void AppendBlockKeyHashes(const PreparedValue& value,
 
 BlockingIndex BlockingIndex::Build(const std::vector<PreparedEntity>& rights,
                                    const BlockingOptions& options,
-                                   const sim::SimilarityOptions& sim) {
+                                   const sim::SimilarityOptions& sim,
+                                   ThreadPool* pool) {
   BlockingIndex index;
   index.options_ = options;
   index.sim_ = sim;
   index.num_rights_ = static_cast<uint32_t>(rights.size());
-  // One scratch for the whole build: the token memo carries across entities
-  // (real data sets repeat tokens constantly).
-  ProbeScratch scratch;
-  std::vector<TaggedKeyHash> keys;
-  std::vector<std::pair<uint64_t, uint32_t>> entries;
-  for (uint32_t r = 0; r < rights.size(); ++r) {
-    for (size_t a = 0; a < rights[r].attributes.size(); ++a) {
-      const uint32_t attr_slot = static_cast<uint32_t>(
-          a < kCellAttrCap - 1 ? a : kCellAttrCap - 1);
-      const bool is_short = rights[r].attributes[a].value.lowered.size() <=
-                            options.single_gram_value_length;
-      const uint32_t posting =
-          (r << 4) | (is_short ? kPostingShortBit : 0u) | attr_slot;
-      keys.clear();
-      AppendBlockKeyHashes(rights[r].attributes[a].value, options, sim,
-                           /*probe_neighbors=*/false, &scratch, &keys);
-      // The same key can repeat within one value (duplicate grams); post it
-      // once.
-      std::sort(keys.begin(), keys.end(),
-                [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
-                  return a.hash < b.hash;
-                });
-      auto end =
-          std::unique(keys.begin(), keys.end(),
-                      [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
-                        return a.hash == b.hash;
-                      });
-      for (auto it = keys.begin(); it != end; ++it) {
-        entries.emplace_back(it->hash, posting);
+
+  // Key extraction, sharded into chunks of right entities. Each chunk keeps
+  // its own scratch (the token memo carries across entities within a chunk —
+  // real data sets repeat tokens constantly) and sorts its own run, so the
+  // merge below only has to interleave sorted runs.
+  using Entry = std::pair<uint64_t, uint32_t>;
+  const size_t n = rights.size();
+  size_t num_chunks = 1;
+  if (pool != nullptr && pool->num_threads() > 1) {
+    num_chunks = std::min<size_t>(
+        std::max<size_t>(n, 1),
+        static_cast<size_t>(pool->num_threads()) * 4);
+  }
+  const size_t chunk_size = n == 0 ? 1 : (n + num_chunks - 1) / num_chunks;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  for (size_t begin = 0; begin < n; begin += chunk_size) {
+    chunks.emplace_back(begin, std::min(n, begin + chunk_size));
+  }
+  std::vector<std::vector<Entry>> runs(chunks.size());
+
+  auto extract_chunk = [&](size_t c) {
+    std::vector<Entry>& entries = runs[c];
+    ProbeScratch scratch;
+    std::vector<TaggedKeyHash> keys;
+    for (size_t r = chunks[c].first; r < chunks[c].second; ++r) {
+      for (size_t a = 0; a < rights[r].attributes.size(); ++a) {
+        const uint32_t attr_slot = static_cast<uint32_t>(
+            a < kCellAttrCap - 1 ? a : kCellAttrCap - 1);
+        const bool is_short = rights[r].attributes[a].value.lowered.size() <=
+                              options.single_gram_value_length;
+        const uint32_t posting = (static_cast<uint32_t>(r) << 4) |
+                                 (is_short ? kPostingShortBit : 0u) |
+                                 attr_slot;
+        keys.clear();
+        AppendBlockKeyHashes(rights[r].attributes[a].value, options, sim,
+                             /*probe_neighbors=*/false, &scratch, &keys);
+        // The same key can repeat within one value (duplicate grams); post
+        // it once.
+        std::sort(keys.begin(), keys.end(),
+                  [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
+                    return a.hash < b.hash;
+                  });
+        auto end =
+            std::unique(keys.begin(), keys.end(),
+                        [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
+                          return a.hash == b.hash;
+                        });
+        for (auto it = keys.begin(); it != end; ++it) {
+          entries.emplace_back(it->hash, posting);
+        }
       }
     }
+    std::sort(entries.begin(), entries.end());
+  };
+
+  const bool parallel = pool != nullptr && chunks.size() > 1;
+  if (parallel) {
+    pool->ParallelFor(chunks.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t c = begin; c < end; ++c) extract_chunk(c);
+    });
+  } else {
+    for (size_t c = 0; c < chunks.size(); ++c) extract_chunk(c);
   }
+
+  // Pairwise merge rounds over the sorted runs. std::merge is stable and the
+  // multiset of entries is thread-count-independent, so the final sorted
+  // sequence — and everything derived from it — is identical to the serial
+  // build's global sort.
+  while (runs.size() > 1) {
+    std::vector<std::vector<Entry>> merged((runs.size() + 1) / 2);
+    auto merge_pair = [&](size_t m) {
+      if (2 * m + 1 < runs.size()) {
+        std::vector<Entry>& a = runs[2 * m];
+        std::vector<Entry>& b = runs[2 * m + 1];
+        merged[m].reserve(a.size() + b.size());
+        std::merge(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(merged[m]));
+      } else {
+        merged[m] = std::move(runs[2 * m]);
+      }
+    };
+    if (parallel && merged.size() > 1) {
+      pool->ParallelFor(merged.size(), 1, [&](size_t begin, size_t end) {
+        for (size_t m = begin; m < end; ++m) merge_pair(m);
+      });
+    } else {
+      for (size_t m = 0; m < merged.size(); ++m) merge_pair(m);
+    }
+    runs = std::move(merged);
+  }
+  std::vector<Entry> entries =
+      runs.empty() ? std::vector<Entry>{} : std::move(runs.front());
+
   // CSR layout: group by hash, postings sorted within each block (the
   // posting packs the right-entity index in its high bits, so the pair sort
   // orders each block by entity).
-  std::sort(entries.begin(), entries.end());
   entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
   index.postings_.reserve(entries.size());
   size_t distinct = 0;
@@ -443,6 +505,22 @@ void BlockingIndex::Candidates(const PreparedEntity& left,
   ProbeScratch scratch;
   std::vector<uint8_t> channels;
   Candidates(left, &scratch, out, &channels);
+}
+
+uint64_t BlockingIndex::Fingerprint() const {
+  auto combine = [](uint64_t h, uint64_t v) {
+    h ^= MixInt('f', v) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  };
+  uint64_t h = combine(kFnvOffset, num_rights_);
+  h = combine(h, block_count_);
+  h = combine(h, table_.size());
+  for (const Slot& slot : table_) {
+    h = combine(h, slot.hash);
+    h = combine(h, (static_cast<uint64_t>(slot.begin) << 32) | slot.len);
+  }
+  for (uint32_t posting : postings_) h = combine(h, posting);
+  return h;
 }
 
 }  // namespace alex::core

@@ -39,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/feature_set.h"
 #include "similarity/value_similarity.h"
 
@@ -168,9 +169,14 @@ class BlockingIndex {
   BlockingIndex(const BlockingIndex&) = delete;
   BlockingIndex& operator=(const BlockingIndex&) = delete;
 
+  // With a pool, key extraction is sharded across its workers and the
+  // per-chunk sorted runs are merged pairwise in parallel. The final sorted
+  // entry sequence — and therefore the postings/table bytes — is identical
+  // at any thread count (asserted by the fingerprint test).
   static BlockingIndex Build(const std::vector<PreparedEntity>& rights,
                              const BlockingOptions& options,
-                             const sim::SimilarityOptions& sim);
+                             const sim::SimilarityOptions& sim,
+                             ThreadPool* pool = nullptr);
 
   // Probes the index with every attribute value of `left`, leaving the
   // sorted candidate list in scratch->touched() and the per-cell channel
@@ -193,6 +199,10 @@ class BlockingIndex {
   bool empty() const { return postings_.empty(); }
   size_t block_count() const { return block_count_; }
   uint64_t posting_count() const { return postings_.size(); }
+
+  // Order-sensitive hash over the table slots and posting storage; equal
+  // fingerprints mean byte-identical indexes (modulo hash collisions).
+  uint64_t Fingerprint() const;
 
  private:
   // Open-addressed hash table over contiguous posting storage (CSR layout):

@@ -46,6 +46,12 @@ class CandidateSet {
   // epoch baseline.
   size_t TakeEpochChanges();
 
+  // The net membership changes since the epoch mark (see delta_ below);
+  // consumed by the engine's link-change observer before TakeEpochChanges.
+  const std::unordered_map<PairId, int>& epoch_delta() const {
+    return delta_;
+  }
+
  private:
   void BumpDelta(PairId pair, int direction);
 

@@ -29,6 +29,27 @@ size_t FeatureCatalog::size() const {
   return keys_.size();
 }
 
+std::vector<FeatureId> FeatureCatalog::Canonicalize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FeatureId> order(keys_.size());
+  for (FeatureId id = 0; id < order.size(); ++id) order[id] = id;
+  std::sort(order.begin(), order.end(), [this](FeatureId a, FeatureId b) {
+    if (keys_[a].left_predicate != keys_[b].left_predicate) {
+      return keys_[a].left_predicate < keys_[b].left_predicate;
+    }
+    return keys_[a].right_predicate < keys_[b].right_predicate;
+  });
+  std::vector<FeatureId> old_to_new(keys_.size());
+  std::vector<FeatureKey> sorted(keys_.size());
+  for (FeatureId new_id = 0; new_id < order.size(); ++new_id) {
+    old_to_new[order[new_id]] = new_id;
+    sorted[new_id] = std::move(keys_[order[new_id]]);
+  }
+  keys_ = std::move(sorted);
+  for (auto& [encoded, id] : index_) id = old_to_new[id];
+  return old_to_new;
+}
+
 FeatureId CatalogMemo::Intern(const FeatureKey& key) {
   std::string encoded = key.left_predicate + '\x01' + key.right_predicate;
   auto it = cache_.find(encoded);

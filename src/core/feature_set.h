@@ -55,6 +55,15 @@ class FeatureCatalog {
   FeatureKey Key(FeatureId id) const;
   size_t size() const;
 
+  // Reassigns FeatureIds so keys are in (left, right) lexicographic order
+  // and returns the old-id -> new-id permutation. Interning order depends on
+  // which worker thread first sees a key, so ids straight out of a parallel
+  // build vary run to run; canonicalizing makes every id — and everything
+  // keyed on ids, like ε-greedy action order — a pure function of the data.
+  // Invalidates FeatureIds held elsewhere (callers remap, see
+  // FeatureSpace::RemapFeatures) and the caches of existing CatalogMemos.
+  std::vector<FeatureId> Canonicalize();
+
  private:
   mutable std::mutex mu_;
   std::vector<FeatureKey> keys_;

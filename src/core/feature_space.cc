@@ -68,46 +68,118 @@ PairId FeatureSpace::FindPair(const std::string& left_iri,
   return it->second;
 }
 
+FeatureSpace::ScoreSpan FeatureSpace::PairsInRangeSpan(FeatureId feature,
+                                                       double lo,
+                                                       double hi) const {
+  if (feature_begin_.empty() ||
+      static_cast<size_t>(feature) + 1 >= feature_begin_.size()) {
+    return {};
+  }
+  const ScoreEntry* base = score_entries_.data();
+  const ScoreEntry* begin = base + feature_begin_[feature];
+  const ScoreEntry* end = base + feature_begin_[feature + 1];
+  // Score-only comparators: every entry with score == lo (or == hi) is
+  // inside the closed interval regardless of its PairId.
+  const ScoreEntry* first = std::lower_bound(
+      begin, end, lo,
+      [](const ScoreEntry& e, double v) { return e.score < v; });
+  const ScoreEntry* last = std::upper_bound(
+      first, end, hi,
+      [](double v, const ScoreEntry& e) { return v < e.score; });
+  return ScoreSpan(first, static_cast<size_t>(last - first));
+}
+
+void FeatureSpace::PairsInRange(FeatureId feature, double lo, double hi,
+                                std::vector<PairId>* out) const {
+  out->clear();
+  ScoreSpan span = PairsInRangeSpan(feature, lo, hi);
+  out->reserve(span.size());
+  for (const ScoreEntry& e : span) out->push_back(e.pair);
+}
+
 std::vector<PairId> FeatureSpace::PairsInRange(FeatureId feature, double lo,
                                                double hi) const {
   std::vector<PairId> out;
-  auto it = by_feature_.find(feature);
-  if (it == by_feature_.end()) return out;
-  const std::vector<ScoreEntry>& entries = it->second;
-  auto first = std::lower_bound(entries.begin(), entries.end(),
-                                ScoreEntry{lo, 0});
-  for (auto e = first; e != entries.end() && e->score <= hi; ++e) {
-    out.push_back(e->pair);
-  }
+  PairsInRange(feature, lo, hi, &out);
   return out;
+}
+
+void FeatureSpace::RemapFeatures(const std::vector<FeatureId>& old_to_new) {
+  for (EntityPairFeatures& pair : pairs_) {
+    auto& features = pair.features.features;
+    for (auto& [id, score] : features) id = old_to_new[id];
+    std::sort(features.begin(), features.end());
+  }
+  BuildScoreIndex();
 }
 
 void FeatureSpace::BuildIndexes() {
   pair_by_iris_.reserve(pairs_.size());
   for (PairId id = 0; id < pairs_.size(); ++id) {
     pair_by_iris_.emplace(PairKey(LeftIri(id), RightIri(id)), id);
-    for (const auto& [feature, score] : pairs_[id].features.features) {
-      by_feature_[feature].push_back(ScoreEntry{score, id});
+  }
+  BuildScoreIndex();
+}
+
+void FeatureSpace::BuildScoreIndex() {
+  // Counting sort into a CSR arena: count entries per feature, prefix-sum
+  // into offsets, scatter, then sort each feature's bucket by (score, pair).
+  // Exactly-sized allocations — no incremental map/vector growth.
+  FeatureId max_feature = 0;
+  size_t total = 0;
+  for (const EntityPairFeatures& pair : pairs_) {
+    for (const auto& [feature, score] : pair.features.features) {
+      max_feature = std::max(max_feature, feature);
+      ++total;
     }
   }
-  for (auto& [feature, entries] : by_feature_) {
-    std::sort(entries.begin(), entries.end());
+  if (total == 0) {
+    score_entries_.clear();
+    feature_begin_.clear();
+    return;
+  }
+  feature_begin_.assign(static_cast<size_t>(max_feature) + 2, 0);
+  for (const EntityPairFeatures& pair : pairs_) {
+    for (const auto& [feature, score] : pair.features.features) {
+      ++feature_begin_[feature + 1];
+    }
+  }
+  for (size_t f = 1; f < feature_begin_.size(); ++f) {
+    feature_begin_[f] += feature_begin_[f - 1];
+  }
+  score_entries_.assign(total, ScoreEntry{});
+  std::vector<uint32_t> next(feature_begin_.begin(), feature_begin_.end() - 1);
+  for (PairId id = 0; id < pairs_.size(); ++id) {
+    for (const auto& [feature, score] : pairs_[id].features.features) {
+      score_entries_[next[feature]++] = ScoreEntry{score, id};
+    }
+  }
+  for (size_t f = 0; f + 1 < feature_begin_.size(); ++f) {
+    std::sort(score_entries_.begin() + feature_begin_[f],
+              score_entries_.begin() + feature_begin_[f + 1]);
   }
 }
 
 std::shared_ptr<const RightContext> RightContext::Prepare(
     const rdf::TripleStore& right,
     const std::vector<rdf::TermId>& right_subjects,
-    const FeatureSpaceOptions& options) {
+    const FeatureSpaceOptions& options, ThreadPool* pool) {
   auto context = std::make_shared<RightContext>();
-  context->entities.reserve(right_subjects.size());
-  for (rdf::TermId subject : right_subjects) {
-    context->entities.push_back(
-        PrepareEntity(right, subject, options.max_attributes));
+  context->entities.resize(right_subjects.size());
+  auto prepare_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      context->entities[i] =
+          PrepareEntity(right, right_subjects[i], options.max_attributes);
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(right_subjects.size(), 16, prepare_range);
+  } else {
+    prepare_range(0, right_subjects.size());
   }
   if (options.blocking.enabled) {
     context->index = BlockingIndex::Build(context->entities, options.blocking,
-                                          options.similarity);
+                                          options.similarity, pool);
   }
   return context;
 }

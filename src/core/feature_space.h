@@ -64,14 +64,45 @@ struct RightContext {
   std::vector<PreparedEntity> entities;
   BlockingIndex index;  // empty when blocking is disabled
 
+  // With a pool, entity preparation and the index build are sharded across
+  // its workers; the resulting context is identical to the serial one.
   static std::shared_ptr<const RightContext> Prepare(
       const rdf::TripleStore& right,
       const std::vector<rdf::TermId>& right_subjects,
-      const FeatureSpaceOptions& options);
+      const FeatureSpaceOptions& options, ThreadPool* pool = nullptr);
+};
+
+// One (score, pair) entry of the per-feature score index. Entries with equal
+// scores are ordered by PairId so every index build yields the same bytes.
+struct ScoreEntry {
+  double score;
+  PairId pair;
+  friend bool operator<(const ScoreEntry& a, const ScoreEntry& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.pair < b.pair;
+  }
 };
 
 class FeatureSpace {
  public:
+  // Non-owning view into the score-index arena. Valid until the space is
+  // destroyed or its features are remapped.
+  class ScoreSpan {
+   public:
+    ScoreSpan() = default;
+    ScoreSpan(const ScoreEntry* data, size_t size)
+        : data_(data), size_(size) {}
+    const ScoreEntry* begin() const { return data_; }
+    const ScoreEntry* end() const { return data_ + size_; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    const ScoreEntry& operator[](size_t i) const { return data_[i]; }
+
+   private:
+    const ScoreEntry* data_ = nullptr;
+    size_t size_ = 0;
+  };
+
   FeatureSpace() = default;
   FeatureSpace(FeatureSpace&&) = default;
   FeatureSpace& operator=(FeatureSpace&&) = default;
@@ -102,9 +133,21 @@ class FeatureSpace {
                   const std::string& right_iri) const;
 
   // All pairs whose score for `feature` lies in [lo, hi] (the exploration
-  // action primitive). O(log n + answer).
+  // action primitive). O(log n + answer) and allocation-free: the returned
+  // span points into the CSR score arena, sorted by (score, pair).
+  ScoreSpan PairsInRangeSpan(FeatureId feature, double lo, double hi) const;
+
+  // Same query into a caller-owned scratch buffer (cleared first).
+  void PairsInRange(FeatureId feature, double lo, double hi,
+                    std::vector<PairId>* out) const;
+
+  // Convenience allocating overload.
   std::vector<PairId> PairsInRange(FeatureId feature, double lo,
                                    double hi) const;
+
+  // Applies an old-id -> new-id permutation (from FeatureCatalog::
+  // Canonicalize) to every pair's feature set and rebuilds the score index.
+  void RemapFeatures(const std::vector<FeatureId>& old_to_new);
 
   // Raw size of the cross product this space was built from (before
   // θ-filtering); pairs().size() is the filtered size. Figure 5 reports
@@ -142,22 +185,18 @@ class FeatureSpace {
                             ThreadPool* pool = nullptr);
 
  private:
-  struct ScoreEntry {
-    double score;
-    PairId pair;
-    friend bool operator<(const ScoreEntry& a, const ScoreEntry& b) {
-      if (a.score != b.score) return a.score < b.score;
-      return a.pair < b.pair;
-    }
-  };
-
   void BuildIndexes();
+  void BuildScoreIndex();
 
   std::vector<PreparedEntity> left_entities_;
   std::shared_ptr<const RightContext> right_;
   std::vector<EntityPairFeatures> pairs_;
   std::unordered_map<std::string, PairId> pair_by_iris_;
-  std::unordered_map<FeatureId, std::vector<ScoreEntry>> by_feature_;
+  // CSR score index: score_entries_ holds every (score, pair), grouped by
+  // feature and sorted by (score, pair) within each group; feature f's
+  // entries are [feature_begin_[f], feature_begin_[f + 1]).
+  std::vector<ScoreEntry> score_entries_;
+  std::vector<uint32_t> feature_begin_;
   uint64_t total_pair_count_ = 0;
   uint64_t scored_pair_count_ = 0;
   const FeatureCatalog* catalog_ = nullptr;

@@ -110,10 +110,14 @@ bool McLearner::IsFirstVisit(PairId pair) {
 }
 
 std::vector<PairId> McLearner::TakeStatesToImprove() {
-  std::vector<PairId> out(states_to_improve_.begin(),
-                          states_to_improve_.end());
-  states_to_improve_.clear();
+  std::vector<PairId> out;
+  TakeStatesToImprove(&out);
   return out;
+}
+
+void McLearner::TakeStatesToImprove(std::vector<PairId>* out) {
+  out->assign(states_to_improve_.begin(), states_to_improve_.end());
+  states_to_improve_.clear();
 }
 
 }  // namespace alex::core

@@ -60,6 +60,10 @@ class McLearner {
   // lines 24-33).
   std::vector<PairId> TakeStatesToImprove();
 
+  // Scratch-buffer variant: clears `out` and fills it with the same states,
+  // reusing its capacity across episodes.
+  void TakeStatesToImprove(std::vector<PairId>* out);
+
   // Cross-state feature prior: the average return collected by an action
   // (feature) across ALL states of the partition. §4.2 observes that ALEX
   // "can learn that this feature is not distinctive and avoid exploring

@@ -21,6 +21,13 @@ const std::vector<StateAction>& RollbackLog::ParentsOf(PairId pair) const {
 
 std::vector<StateAction> RollbackLog::AncestorsOf(PairId pair) const {
   std::vector<StateAction> out;
+  AncestorsOf(pair, &out);
+  return out;
+}
+
+void RollbackLog::AncestorsOf(PairId pair,
+                              std::vector<StateAction>* out) const {
+  out->clear();
   std::unordered_set<StateAction, StateActionHash> seen;
   std::unordered_set<PairId> visited_states;
   std::deque<PairId> frontier;
@@ -30,13 +37,12 @@ std::vector<StateAction> RollbackLog::AncestorsOf(PairId pair) const {
     PairId current = frontier.front();
     frontier.pop_front();
     for (const StateAction& sa : ParentsOf(current)) {
-      if (seen.insert(sa).second) out.push_back(sa);
+      if (seen.insert(sa).second) out->push_back(sa);
       if (visited_states.insert(sa.state).second) {
         frontier.push_back(sa.state);
       }
     }
   }
-  return out;
 }
 
 std::vector<StateAction> RollbackLog::AddNegative(PairId pair,

@@ -33,15 +33,26 @@ Result<ExperimentResult> RunExperimentOnWorld(
   }
 
   core::AlexEngine engine(&world.left, &world.right, config.alex);
-  ALEX_RETURN_IF_ERROR(engine.Initialize(initial_links));
+  ALEX_RETURN_IF_ERROR(engine.Initialize(initial_links,
+                                         config.right_context));
   result.init_seconds = engine.init_seconds();
   result.total_pairs = engine.total_pair_count();
   result.filtered_pairs = engine.filtered_pair_count();
 
+  // Incremental quality: the tracker is seeded with one full scan of the
+  // initial candidates, then kept current by the engine's link-change
+  // observer — per-episode quality is O(links changed), not O(|C|).
+  QualityTracker tracker(&truth);
+  tracker.Reset(engine.CandidateLinks());
+  engine.SetLinkChangeObserver(
+      [&tracker](const linking::Link& link, bool added) {
+        tracker.OnLinkChange(link, added);
+      });
+
   // Episode 0: quality of the initial candidate links.
   EpisodePoint start;
   start.episode = 0;
-  start.quality = Evaluate(engine.CandidateLinks(), truth);
+  start.quality = tracker.Snapshot();
   result.series.push_back(start);
   if (on_point) on_point(start);
 
@@ -57,7 +68,7 @@ Result<ExperimentResult> RunExperimentOnWorld(
         EpisodePoint point;
         point.episode = stats.episode;
         point.stats = stats;
-        point.quality = Evaluate(engine.CandidateLinks(), truth);
+        point.quality = tracker.Snapshot();
         result.series.push_back(point);
         if (on_point) on_point(point);
       });

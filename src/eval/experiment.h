@@ -5,6 +5,7 @@
 #define ALEX_EVAL_EXPERIMENT_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,11 @@ struct ExperimentConfig {
   // Fraction of incorrect feedback (Appendix C uses 0.1).
   double feedback_error_rate = 0.0;
   uint64_t oracle_seed = 99;
+  // Optional pre-prepared right context for the engine (from
+  // core::RightContext::Prepare with config.alex.space). Honored by
+  // RunExperimentOnWorld only — RunExperiment generates its own world, so a
+  // caller cannot have prepared its right side.
+  std::shared_ptr<const core::RightContext> right_context;
 };
 
 // Quality of the candidate links after an episode. Episode 0 is the initial

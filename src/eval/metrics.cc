@@ -26,6 +26,45 @@ Quality Evaluate(const std::vector<linking::Link>& candidates,
   return q;
 }
 
+void QualityTracker::Reset(const std::vector<linking::Link>& candidates) {
+  candidates_ = candidates.size();
+  correct_ = 0;
+  for (const linking::Link& link : candidates) {
+    if (truth_->Contains(link)) ++correct_;
+  }
+}
+
+void QualityTracker::OnLinkChange(const linking::Link& link, bool added) {
+  if (added) {
+    ++candidates_;
+    if (truth_->Contains(link)) ++correct_;
+  } else {
+    --candidates_;
+    if (truth_->Contains(link)) --correct_;
+  }
+}
+
+Quality QualityTracker::Snapshot() const {
+  // Same expressions as Evaluate(), so the result is bitwise-equal to a
+  // full rescan given the same counters.
+  Quality q;
+  q.candidates = candidates_;
+  q.correct = correct_;
+  if (q.candidates > 0) {
+    q.precision = static_cast<double>(q.correct) /
+                  static_cast<double>(q.candidates);
+  }
+  if (truth_->size() > 0) {
+    q.recall =
+        static_cast<double>(q.correct) / static_cast<double>(truth_->size());
+  }
+  if (q.precision + q.recall > 0.0) {
+    q.f_measure =
+        2.0 * q.precision * q.recall / (q.precision + q.recall);
+  }
+  return q;
+}
+
 size_t NewCorrectLinks(const std::vector<linking::Link>& initial_links,
                        const std::vector<linking::Link>& final_links,
                        const feedback::GroundTruth& truth) {

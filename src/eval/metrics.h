@@ -29,6 +29,37 @@ size_t NewCorrectLinks(const std::vector<linking::Link>& initial_links,
                        const std::vector<linking::Link>& final_links,
                        const feedback::GroundTruth& truth);
 
+// Incremental quality evaluation: maintains |C| and |C ∩ G| as integer
+// counters updated on every candidate-link add/remove, so per-episode
+// quality is O(links changed this episode) instead of a full O(|C|) rescan.
+// Snapshot() computes precision/recall/F with the same expressions as
+// Evaluate, so a tracker fed every change since Reset is bitwise-equal to a
+// full rescan (asserted by tests). Wire OnLinkChange into
+// AlexEngine::SetLinkChangeObserver.
+class QualityTracker {
+ public:
+  // `truth` must outlive the tracker.
+  explicit QualityTracker(const feedback::GroundTruth* truth)
+      : truth_(truth) {}
+
+  // Resets the counters to the quality of `candidates`.
+  void Reset(const std::vector<linking::Link>& candidates);
+
+  // Records one net membership change: `added` is true when `link` entered
+  // the candidate set, false when it left.
+  void OnLinkChange(const linking::Link& link, bool added);
+
+  Quality Snapshot() const;
+
+  size_t candidates() const { return candidates_; }
+  size_t correct() const { return correct_; }
+
+ private:
+  const feedback::GroundTruth* truth_;
+  size_t candidates_ = 0;
+  size_t correct_ = 0;
+};
+
 }  // namespace alex::eval
 
 #endif  // ALEX_EVAL_METRICS_H_

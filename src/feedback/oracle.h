@@ -5,10 +5,13 @@
 #ifndef ALEX_FEEDBACK_ORACLE_H_
 #define ALEX_FEEDBACK_ORACLE_H_
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
-#include "common/rng.h"
 #include "linking/link.h"
 
 namespace alex::feedback {
@@ -38,32 +41,36 @@ class GroundTruth {
 // A feedback oracle with an error rate: with probability `error_rate` the
 // correct feedback is flipped (approve a wrong answer / reject a correct
 // one).
+//
+// Thread-safe and interleaving-independent: the flip for the k-th query of
+// a given link is a pure hash of (seed, link, k), not a draw from a shared
+// RNG stream. Concurrent partition episodes may interleave queries to
+// DIFFERENT links in any order without changing any answer — each link's
+// queries happen in a deterministic order because every link belongs to
+// exactly one partition (or to the extras shard).
 class Oracle {
  public:
   // `truth` must outlive the oracle.
   Oracle(const GroundTruth* truth, double error_rate, uint64_t seed)
-      : truth_(truth), error_rate_(error_rate), rng_(seed) {}
+      : truth_(truth), error_rate_(error_rate), seed_(seed) {}
 
   // Feedback for one candidate link.
-  bool Feedback(const linking::Link& link) {
-    bool correct = truth_->Contains(link);
-    ++items_;
-    if (rng_.NextBool(error_rate_)) {
-      ++errors_;
-      return !correct;
-    }
-    return correct;
-  }
+  bool Feedback(const linking::Link& link);
 
-  size_t items() const { return items_; }
-  size_t errors() const { return errors_; }
+  size_t items() const { return items_.load(std::memory_order_relaxed); }
+  size_t errors() const { return errors_.load(std::memory_order_relaxed); }
 
  private:
   const GroundTruth* truth_;
   double error_rate_;
-  Rng rng_;
-  size_t items_ = 0;
-  size_t errors_ = 0;
+  uint64_t seed_;
+  std::mutex mu_;
+  // Per-link query counters (k of the next query), guarded by mu_. Only
+  // touched when error_rate_ > 0.
+  std::unordered_map<linking::Link, uint64_t, linking::LinkHash>
+      draw_counts_;
+  std::atomic<size_t> items_{0};
+  std::atomic<size_t> errors_{0};
 };
 
 }  // namespace alex::feedback

@@ -230,6 +230,60 @@ TEST(ParallelBuildTest, OutputIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelBlockingBuildTest, FingerprintIdenticalAcrossThreadCounts) {
+  // The blocking index bytes (hash table slots + postings) must be a pure
+  // function of the entities, never of the worker count: a noisy world with
+  // plenty of shared tokens exercises the chunked extract/merge path.
+  datagen::WorldProfile profile = datagen::DbpediaNytimesProfile();
+  profile.overlap_entities = 120;
+  profile.left_only_entities = 40;
+  profile.right_only_entities = 60;
+  datagen::GeneratedWorld world = datagen::Generate(profile);
+  std::vector<PreparedEntity> rights;
+  for (rdf::TermId subject : world.right.Subjects()) {
+    rights.push_back(PrepareEntity(world.right, subject));
+  }
+
+  BlockingIndex serial = BlockingIndex::Build(rights, BlockingOptions{},
+                                              sim::SimilarityOptions{});
+  const uint64_t expected = serial.Fingerprint();
+  for (int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    BlockingIndex parallel = BlockingIndex::Build(
+        rights, BlockingOptions{}, sim::SimilarityOptions{}, &pool);
+    EXPECT_EQ(parallel.block_count(), serial.block_count())
+        << threads << " threads";
+    EXPECT_EQ(parallel.posting_count(), serial.posting_count())
+        << threads << " threads";
+    EXPECT_EQ(parallel.Fingerprint(), expected) << threads << " threads";
+    // Identical bytes imply identical probes; spot-check a few entities.
+    std::vector<uint32_t> from_serial, from_parallel;
+    for (size_t i = 0; i < rights.size(); i += 17) {
+      serial.Candidates(rights[i], &from_serial);
+      parallel.Candidates(rights[i], &from_parallel);
+      EXPECT_EQ(from_parallel, from_serial) << "probe " << i;
+    }
+  }
+}
+
+TEST(ParallelBlockingBuildTest, FingerprintDetectsContentChange) {
+  std::vector<PreparedEntity> rights(2);
+  auto add_attr = [](PreparedEntity* e, const char* pred, const char* text) {
+    PreparedAttribute attr;
+    attr.predicate = pred;
+    attr.value = Prepare(text);
+    e->attributes.push_back(std::move(attr));
+  };
+  add_attr(&rights[0], "p", "Ada Lovelace");
+  add_attr(&rights[1], "p", "Alan Turing");
+  BlockingIndex a = BlockingIndex::Build(rights, BlockingOptions{},
+                                         sim::SimilarityOptions{});
+  add_attr(&rights[1], "p", "Enigma");
+  BlockingIndex b = BlockingIndex::Build(rights, BlockingOptions{},
+                                         sim::SimilarityOptions{});
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
 TEST(CatalogMemoTest, MemoizedInterningMatchesCatalog) {
   FeatureCatalog catalog;
   CatalogMemo memo(&catalog);

@@ -37,6 +37,51 @@ TEST(FeatureCatalogTest, KeyRoundTrip) {
   EXPECT_EQ(key.right_predicate, "right");
 }
 
+TEST(FeatureCatalogTest, CanonicalizeSortsKeysAndReturnsPermutation) {
+  FeatureCatalog catalog;
+  FeatureId c = catalog.Intern({"c", "z"});
+  FeatureId a = catalog.Intern({"a", "x"});
+  FeatureId b = catalog.Intern({"b", "y"});
+  std::vector<FeatureId> old_to_new = catalog.Canonicalize();
+  ASSERT_EQ(old_to_new.size(), 3u);
+  // After canonicalization ids follow (left, right) lexicographic order.
+  EXPECT_EQ(old_to_new[a], 0u);
+  EXPECT_EQ(old_to_new[b], 1u);
+  EXPECT_EQ(old_to_new[c], 2u);
+  EXPECT_EQ(catalog.Key(0).left_predicate, "a");
+  EXPECT_EQ(catalog.Key(1).left_predicate, "b");
+  EXPECT_EQ(catalog.Key(2).left_predicate, "c");
+  EXPECT_EQ(catalog.Key(2).right_predicate, "z");
+  // Interning an existing key resolves to its NEW id without growing.
+  EXPECT_EQ(catalog.Intern({"c", "z"}), old_to_new[c]);
+  EXPECT_EQ(catalog.size(), 3u);
+}
+
+TEST(FeatureCatalogTest, CanonicalizeMakesIdsInterningOrderIndependent) {
+  // Two catalogs fed the same keys in different orders agree id-for-id
+  // after canonicalization — the property Initialize relies on to make
+  // FeatureIds independent of parallel build timing.
+  std::vector<FeatureKey> keys = {
+      {"p3", "q1"}, {"p1", "q2"}, {"p2", "q9"}, {"p1", "q1"}, {"p3", "q0"}};
+  FeatureCatalog forward, backward;
+  for (const FeatureKey& key : keys) forward.Intern(key);
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+    backward.Intern(*it);
+  }
+  forward.Canonicalize();
+  backward.Canonicalize();
+  ASSERT_EQ(forward.size(), backward.size());
+  for (FeatureId id = 0; id < forward.size(); ++id) {
+    EXPECT_EQ(forward.Key(id).left_predicate,
+              backward.Key(id).left_predicate);
+    EXPECT_EQ(forward.Key(id).right_predicate,
+              backward.Key(id).right_predicate);
+  }
+  for (const FeatureKey& key : keys) {
+    EXPECT_EQ(forward.Intern(key), backward.Intern(key));
+  }
+}
+
 TEST(FeatureSetTest, GetAndSetMax) {
   FeatureSet set;
   set.SetMax(3, 0.5);

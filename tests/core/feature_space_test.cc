@@ -161,5 +161,66 @@ TEST_F(FeatureSpaceTest, RangeQueryMatchesLinearScan) {
   }
 }
 
+TEST_F(FeatureSpaceTest, PairsInRangeSpanMatchesVectorOverload) {
+  FeatureSpace space = Build(/*theta=*/0.1);
+  FeatureId name = catalog_.Intern({"http://l/name", "http://r/label"});
+  for (double lo : {0.0, 0.2, 0.5, 0.9, 1.0}) {
+    double hi = lo + 0.3;
+    FeatureSpace::ScoreSpan span = space.PairsInRangeSpan(name, lo, hi);
+    std::vector<PairId> expected = space.PairsInRange(name, lo, hi);
+    ASSERT_EQ(span.size(), expected.size())
+        << "band [" << lo << "," << hi << "]";
+    for (size_t i = 0; i < span.size(); ++i) {
+      EXPECT_EQ(span[i].pair, expected[i]);
+      double score = space.pair(span[i].pair).features.Get(name);
+      EXPECT_DOUBLE_EQ(span[i].score, score);
+      EXPECT_GE(span[i].score, lo);
+      EXPECT_LE(span[i].score, hi);
+    }
+  }
+}
+
+TEST_F(FeatureSpaceTest, PairsInRangeSpanEmptyCases) {
+  FeatureSpace space = Build();
+  FeatureId name = catalog_.Intern({"http://l/name", "http://r/label"});
+  EXPECT_TRUE(space.PairsInRangeSpan(9999, 0.0, 1.0).empty());
+  EXPECT_TRUE(space.PairsInRangeSpan(name, 1.01, 2.0).empty());
+  // An inverted band is empty, not undefined.
+  EXPECT_TRUE(space.PairsInRangeSpan(name, 1.0, 0.5).empty());
+  EXPECT_EQ(space.PairsInRangeSpan(name, 1.0, 0.5).size(), 0u);
+}
+
+TEST_F(FeatureSpaceTest, PairsInRangeScratchOverwritesPreviousResult) {
+  FeatureSpace space = Build(/*theta=*/0.1);
+  FeatureId name = catalog_.Intern({"http://l/name", "http://r/label"});
+  std::vector<PairId> scratch;
+  space.PairsInRange(name, 0.0, 1.0, &scratch);
+  EXPECT_EQ(scratch, space.PairsInRange(name, 0.0, 1.0));
+  // A second probe into the same buffer replaces, never appends.
+  space.PairsInRange(name, 1.0, 1.0, &scratch);
+  EXPECT_EQ(scratch, space.PairsInRange(name, 1.0, 1.0));
+  space.PairsInRange(name, 2.0, 3.0, &scratch);
+  EXPECT_TRUE(scratch.empty());
+}
+
+TEST_F(FeatureSpaceTest, ScoreIndexIsSortedByScoreThenPairId) {
+  FeatureSpace space = Build(/*theta=*/0.1);
+  for (FeatureId feature = 0; feature < catalog_.size(); ++feature) {
+    FeatureSpace::ScoreSpan span =
+        space.PairsInRangeSpan(feature, -1.0, 2.0);
+    for (size_t i = 1; i < span.size(); ++i) {
+      EXPECT_LT(span[i - 1], span[i])
+          << "feature " << feature << " entry " << i;
+    }
+    // Every indexed score is a real, positive feature value of its pair.
+    for (const ScoreEntry& entry : span) {
+      EXPECT_FALSE(std::isnan(entry.score));
+      EXPECT_GT(entry.score, 0.0);
+      EXPECT_DOUBLE_EQ(entry.score,
+                       space.pair(entry.pair).features.Get(feature));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace alex::core

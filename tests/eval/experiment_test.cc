@@ -103,6 +103,84 @@ TEST(ExperimentTest, DeterministicForFixedSeeds) {
                    b->final_quality().f_measure);
 }
 
+TEST(ExperimentTest, IncrementalQualityMatchesRescanEveryEpisode) {
+  // Drive an engine the way RunExperimentOnWorld does — QualityTracker fed
+  // by the link-change observer — and rescan with Evaluate after every
+  // episode. A noisy oracle (15% flipped feedback) maximizes churn:
+  // negative feedback on correct links exercises blacklisting, repeat
+  // removals, rollbacks, and links re-added after removal. The counters
+  // must agree with the full rescan bitwise at every point.
+  ExperimentConfig config = TinyConfig();
+  config.alex.max_episodes = 10;
+  datagen::GeneratedWorld world = datagen::Generate(config.profile);
+  std::vector<linking::Link> initial = linking::FilterByScore(
+      linking::RunParis(world.left, world.right, config.paris),
+      config.paris_threshold);
+  feedback::GroundTruth truth(world.ground_truth);
+
+  core::AlexEngine engine(&world.left, &world.right, config.alex);
+  ASSERT_TRUE(engine.Initialize(initial).ok());
+  QualityTracker tracker(&truth);
+  tracker.Reset(engine.CandidateLinks());
+  engine.SetLinkChangeObserver(
+      [&tracker](const linking::Link& link, bool added) {
+        tracker.OnLinkChange(link, added);
+      });
+  feedback::Oracle oracle(&truth, /*error_rate=*/0.15, config.oracle_seed);
+
+  int checked = 0;
+  engine.Run(
+      [&oracle](const linking::Link& link) { return oracle.Feedback(link); },
+      [&](const core::EpisodeStats& stats) {
+        Quality inc = tracker.Snapshot();
+        Quality full = Evaluate(engine.CandidateLinks(), truth);
+        EXPECT_EQ(inc.candidates, full.candidates)
+            << "episode " << stats.episode;
+        EXPECT_EQ(inc.correct, full.correct) << "episode " << stats.episode;
+        EXPECT_EQ(inc.precision, full.precision)
+            << "episode " << stats.episode;
+        EXPECT_EQ(inc.recall, full.recall) << "episode " << stats.episode;
+        EXPECT_EQ(inc.f_measure, full.f_measure)
+            << "episode " << stats.episode;
+        EXPECT_EQ(inc.candidates, engine.CandidateCount())
+            << "episode " << stats.episode;
+        ++checked;
+      });
+  EXPECT_GT(checked, 0);
+  EXPECT_GT(oracle.errors(), 0u);
+}
+
+TEST(ExperimentTest, PreparedRightContextGivesIdenticalResults) {
+  // The shared-right-context fast path must be observationally identical to
+  // letting the engine prepare its own.
+  ExperimentConfig config = TinyConfig();
+  config.alex.max_episodes = 8;
+  datagen::GeneratedWorld world = datagen::Generate(config.profile);
+  std::vector<linking::Link> initial = linking::FilterByScore(
+      linking::RunParis(world.left, world.right, config.paris),
+      config.paris_threshold);
+
+  Result<ExperimentResult> own = RunExperimentOnWorld(config, world, initial);
+  ASSERT_TRUE(own.ok());
+  config.right_context = core::RightContext::Prepare(
+      world.right, world.right.Subjects(), config.alex.space);
+  Result<ExperimentResult> shared =
+      RunExperimentOnWorld(config, world, initial);
+  ASSERT_TRUE(shared.ok());
+
+  EXPECT_EQ(own->episodes, shared->episodes);
+  EXPECT_EQ(own->converged, shared->converged);
+  ASSERT_EQ(own->series.size(), shared->series.size());
+  for (size_t i = 0; i < own->series.size(); ++i) {
+    EXPECT_EQ(own->series[i].quality.candidates,
+              shared->series[i].quality.candidates) << "episode " << i;
+    EXPECT_EQ(own->series[i].quality.correct,
+              shared->series[i].quality.correct) << "episode " << i;
+    EXPECT_EQ(own->series[i].quality.f_measure,
+              shared->series[i].quality.f_measure) << "episode " << i;
+  }
+}
+
 TEST(ReportTest, PrintSeriesContainsRows) {
   Result<ExperimentResult> result = RunExperiment(TinyConfig());
   ASSERT_TRUE(result.ok());

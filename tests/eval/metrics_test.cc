@@ -1,6 +1,12 @@
 #include "eval/metrics.h"
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
 
 namespace alex::eval {
 namespace {
@@ -68,6 +74,81 @@ TEST(MetricsTest, NewCorrectLinksExcludesInitial) {
 TEST(MetricsTest, NewCorrectLinksEmptyInitial) {
   feedback::GroundTruth truth({{"a", "x", 1.0}});
   EXPECT_EQ(NewCorrectLinks({}, {{"a", "x", 1.0}}, truth), 1u);
+}
+
+void ExpectSnapshotEqualsEvaluate(const QualityTracker& tracker,
+                                  const std::set<Link>& current,
+                                  const feedback::GroundTruth& truth) {
+  Quality inc = tracker.Snapshot();
+  Quality full =
+      Evaluate(std::vector<Link>(current.begin(), current.end()), truth);
+  EXPECT_EQ(inc.candidates, full.candidates);
+  EXPECT_EQ(inc.correct, full.correct);
+  // Same counters through the same division expressions: bitwise equal.
+  EXPECT_EQ(inc.precision, full.precision);
+  EXPECT_EQ(inc.recall, full.recall);
+  EXPECT_EQ(inc.f_measure, full.f_measure);
+}
+
+TEST(QualityTrackerTest, ResetThenSnapshotMatchesEvaluate) {
+  feedback::GroundTruth truth({{"a", "x", 1.0}, {"b", "y", 1.0}});
+  QualityTracker tracker(&truth);
+  std::vector<Link> links = {{"a", "x", 1.0}, {"q", "w", 1.0}};
+  tracker.Reset(links);
+  EXPECT_EQ(tracker.candidates(), 2u);
+  EXPECT_EQ(tracker.correct(), 1u);
+  ExpectSnapshotEqualsEvaluate(tracker, {links.begin(), links.end()}, truth);
+}
+
+TEST(QualityTrackerTest, EdgeCasesMatchEvaluate) {
+  // Empty candidates, empty truth, and the all-wrong case must reproduce
+  // Evaluate's zero-guard behavior exactly.
+  feedback::GroundTruth empty_truth;
+  QualityTracker no_truth(&empty_truth);
+  no_truth.Reset({{"a", "x", 1.0}});
+  ExpectSnapshotEqualsEvaluate(no_truth, {{"a", "x", 1.0}}, empty_truth);
+
+  feedback::GroundTruth truth({{"a", "x", 1.0}});
+  QualityTracker emptied(&truth);
+  emptied.Reset({{"a", "x", 1.0}});
+  emptied.OnLinkChange({"a", "x", 1.0}, /*added=*/false);
+  EXPECT_EQ(emptied.candidates(), 0u);
+  ExpectSnapshotEqualsEvaluate(emptied, {}, truth);
+}
+
+TEST(QualityTrackerTest, MatchesEvaluateUnderRandomizedChurn) {
+  // A universe of 60 links (half correct) churned by 400 random add/remove
+  // toggles; after every step the incremental counters must agree with a
+  // full rescan. This simulates the engine's per-episode delta stream,
+  // including links that leave and later re-enter the candidate set.
+  std::vector<Link> universe;
+  feedback::GroundTruth truth;
+  for (int i = 0; i < 60; ++i) {
+    Link link{"left" + std::to_string(i), "right" + std::to_string(i), 1.0};
+    universe.push_back(link);
+    if (i % 2 == 0) truth.Add(link);
+  }
+
+  Rng rng(2024);
+  std::set<Link> current;
+  for (const Link& link : universe) {
+    if (rng.NextBool(0.4)) current.insert(link);
+  }
+  QualityTracker tracker(&truth);
+  tracker.Reset(std::vector<Link>(current.begin(), current.end()));
+  ExpectSnapshotEqualsEvaluate(tracker, current, truth);
+
+  for (int step = 0; step < 400; ++step) {
+    const Link& link = universe[rng.NextBounded(universe.size())];
+    if (current.count(link)) {
+      current.erase(link);
+      tracker.OnLinkChange(link, /*added=*/false);
+    } else {
+      current.insert(link);
+      tracker.OnLinkChange(link, /*added=*/true);
+    }
+    ExpectSnapshotEqualsEvaluate(tracker, current, truth);
+  }
 }
 
 }  // namespace

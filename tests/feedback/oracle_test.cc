@@ -1,5 +1,8 @@
 #include "feedback/oracle.h"
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace alex::feedback {
@@ -59,6 +62,69 @@ TEST(OracleTest, DeterministicPerSeed) {
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(o1.Feedback({"a", "x", 1.0}), o2.Feedback({"a", "x", 1.0}));
   }
+}
+
+TEST(OracleTest, FlipSequenceDependsOnlyOnPerLinkQueryOrder) {
+  // Interleaving queries of different links arbitrarily must not change any
+  // link's flip sequence: the k-th query of a link gets the same answer no
+  // matter what was asked in between. This is what makes parallel episodes
+  // deterministic — each link lives in one partition, so its per-link order
+  // is fixed even though the global order varies with thread timing.
+  GroundTruth truth({{"a", "x", 1.0}, {"b", "y", 1.0}});
+  const Link links[] = {{"a", "x", 1.0}, {"b", "y", 1.0}, {"c", "z", 1.0}};
+  const int kPerLink = 50;
+
+  std::vector<std::vector<bool>> grouped(3), interleaved(3);
+  Oracle o1(&truth, 0.4, 11);
+  for (int l = 0; l < 3; ++l) {
+    for (int i = 0; i < kPerLink; ++i) {
+      grouped[l].push_back(o1.Feedback(links[l]));
+    }
+  }
+  Oracle o2(&truth, 0.4, 11);
+  for (int i = 0; i < kPerLink; ++i) {
+    // A different global order (round-robin, reversed link order).
+    for (int l = 2; l >= 0; --l) {
+      interleaved[l].push_back(o2.Feedback(links[l]));
+    }
+  }
+  for (int l = 0; l < 3; ++l) {
+    EXPECT_EQ(interleaved[l], grouped[l]) << "link " << l;
+  }
+  EXPECT_EQ(o1.items(), o2.items());
+  EXPECT_EQ(o1.errors(), o2.errors());
+}
+
+TEST(OracleTest, ConcurrentFeedbackMatchesSerialPerLink) {
+  GroundTruth truth({{"l0", "r0", 1.0}, {"l2", "r2", 1.0}});
+  const int kThreads = 4;
+  const int kPerLink = 500;
+  Oracle concurrent(&truth, 0.3, 21);
+  std::vector<std::vector<bool>> outcomes(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    // One link per thread: per-link order is then deterministic even
+    // though threads interleave freely on the shared oracle.
+    workers.emplace_back([&concurrent, &outcomes, t] {
+      Link link{"l" + std::to_string(t), "r" + std::to_string(t), 1.0};
+      for (int i = 0; i < kPerLink; ++i) {
+        outcomes[t].push_back(concurrent.Feedback(link));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(concurrent.items(),
+            static_cast<size_t>(kThreads) * kPerLink);
+
+  Oracle serial(&truth, 0.3, 21);
+  for (int t = 0; t < kThreads; ++t) {
+    Link link{"l" + std::to_string(t), "r" + std::to_string(t), 1.0};
+    for (int i = 0; i < kPerLink; ++i) {
+      EXPECT_EQ(serial.Feedback(link), outcomes[t][i])
+          << "link " << t << " draw " << i;
+    }
+  }
+  EXPECT_EQ(concurrent.errors(), serial.errors());
 }
 
 }  // namespace
