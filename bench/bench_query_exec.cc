@@ -1,0 +1,525 @@
+// Single-store query execution benchmark (compiled TermId-space executor
+// vs. the legacy term-space matcher) plus the federated query cache.
+//
+// Part 1 runs a generated join workload over the dbpedia_nytimes left store
+// through both engines at 1/2/4/8 threads (queries sharded across a
+// ThreadPool; the store is read-only and index-warmed). Before any timing,
+// every query's row multiset is asserted identical across legacy, compiled,
+// and compiled-with-statistics execution; each timed run re-checks the
+// total row count. Single-thread extras: compiled with DatasetStats, and
+// compiled with precompiled reused plans.
+//
+// Part 2 replays a federated workload across episodes with the
+// FederatedQueryCache attached, toggling a sliding window of links between
+// episodes (invalidating through the cache exactly as the query-driven loop
+// does) and reporting the per-episode hit rate; sampled queries are
+// re-executed uncached and must return identical answers.
+//
+// Writes BENCH_query_exec.json (path via --out). Exits nonzero if any
+// identity assertion fails.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/thread_pool.h"
+#include "eval/query_workload.h"
+#include "federation/federated_engine.h"
+#include "federation/query_cache.h"
+#include "linking/paris.h"
+#include "rdf/dataset_stats.h"
+#include "sparql/executor.h"
+#include "sparql/parser.h"
+
+namespace {
+
+using alex::Rng;
+using alex::ThreadPool;
+using alex::rdf::TripleStore;
+using alex::sparql::Binding;
+using alex::sparql::ExecEngine;
+using alex::sparql::ExecuteOptions;
+using alex::sparql::Query;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<
+             std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string QuoteLiteral(const std::string& value) {
+  std::string out = "\"";
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+// Join-shaped SELECT queries over the store's own vocabulary: anchor an
+// entity by one attribute value, then join out through 1-2 more predicates.
+// (FILTER-free on purpose — this benchmark times the join machinery; filter
+// parity is covered by the differential tests.)
+std::vector<std::string> GenerateQueries(const TripleStore& store,
+                                         size_t count, uint64_t seed) {
+  const alex::rdf::Dictionary& dict = store.dictionary();
+  std::vector<alex::rdf::TermId> subjects = store.Subjects();
+  std::vector<std::string> predicates;
+  for (alex::rdf::TermId p : store.Predicates()) {
+    predicates.push_back(dict.term(p).lexical());
+  }
+  ALEX_CHECK(!subjects.empty() && !predicates.empty());
+
+  Rng rng(seed);
+  auto pred = [&] { return predicates[rng.NextBounded(predicates.size())]; };
+  // Predicates split by triple count: asymmetric joins pair a high-count
+  // pattern (written first) with a low-count one, so engines that keep the
+  // text order on unbound-count ties pay the large scan while
+  // cardinality-ordered execution starts from the small range.
+  std::vector<std::string> sorted_preds = predicates;
+  std::sort(sorted_preds.begin(), sorted_preds.end(),
+            [&](const std::string& a, const std::string& b) {
+              return store.CountMatches(
+                         std::nullopt,
+                         dict.Lookup(alex::rdf::Term::Iri(a)),
+                         std::nullopt) <
+                     store.CountMatches(
+                         std::nullopt,
+                         dict.Lookup(alex::rdf::Term::Iri(b)),
+                         std::nullopt);
+            });
+  const size_t third = std::max<size_t>(1, sorted_preds.size() / 3);
+  auto rare_pred = [&] {
+    return sorted_preds[rng.NextBounded(third)];
+  };
+  auto common_pred = [&] {
+    return sorted_preds[sorted_preds.size() - 1 - rng.NextBounded(third)];
+  };
+  std::vector<std::string> queries;
+  while (queries.size() < count) {
+    std::string text;
+    switch (rng.NextBounded(8)) {
+      case 0: {
+        // Anchored star: entity pinned by a literal value, 1-2 joins out.
+        alex::rdf::TermId subject =
+            subjects[rng.NextBounded(subjects.size())];
+        std::vector<alex::rdf::Triple> triples =
+            store.Match(subject, std::nullopt, std::nullopt);
+        if (triples.empty()) continue;
+        const alex::rdf::Triple& anchor =
+            triples[rng.NextBounded(triples.size())];
+        const alex::rdf::Term& value = dict.term(anchor.object);
+        if (!value.is_literal()) continue;
+        text = "SELECT * WHERE { ?e <" +
+               dict.term(anchor.predicate).lexical() + "> " +
+               QuoteLiteral(value.lexical()) + " . ?e <" + pred() + "> ?v";
+        if (rng.NextBounded(2) == 0) text += " . ?e <" + pred() + "> ?w";
+        text += " }";
+        break;
+      }
+      case 1:
+      case 2:
+        // Value join with a narrow DISTINCT projection: the intermediate is
+        // every entity pair agreeing on an attribute value, the output just
+        // the distinct shared values — the shape where intermediate binding
+        // representation and id-space dedup dominate.
+        text = "SELECT DISTINCT ?v WHERE { ?a <" + pred() + "> ?v . ?b <" +
+               pred() + "> ?v }";
+        break;
+      case 3:
+      case 4:
+      case 5:
+        // Asymmetric join, high-cardinality pattern written first: the
+        // statistics-driven ordering starts from the small index range
+        // instead.
+        text = "SELECT DISTINCT ?v WHERE { ?b <" + common_pred() +
+               "> ?v . ?a <" + rare_pred() + "> ?v }";
+        break;
+      case 6:
+        // Two-attribute agreement narrowed to the distinct left entities.
+        text = "SELECT DISTINCT ?a WHERE { ?a <" + pred() + "> ?v . ?b <" +
+               pred() + "> ?v . ?a <" + pred() + "> ?w . ?b <" + pred() +
+               "> ?w }";
+        break;
+      default:
+        // Chain through a shared value with a dangling projection.
+        text = "SELECT DISTINCT ?c WHERE { ?a <" + pred() + "> ?v . ?b <" +
+               pred() + "> ?v . ?b <" + pred() + "> ?c }";
+        break;
+    }
+    queries.push_back(std::move(text));
+  }
+  return queries;
+}
+
+std::vector<Binding> SortedRows(const Query& query, const TripleStore& store,
+                                const ExecuteOptions& options) {
+  alex::Result<std::vector<Binding>> rows =
+      alex::sparql::Execute(query, store, options);
+  ALEX_CHECK(rows.ok()) << rows.status().ToString();
+  std::vector<Binding> sorted = std::move(rows).value();
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+struct TimedRun {
+  double ms = 0.0;
+  uint64_t rows = 0;
+};
+
+// Executes every parsed query once, sharded across `pool`; returns wall
+// time and the total row count (the per-run identity check).
+TimedRun RunAll(const std::vector<Query>& queries, const TripleStore& store,
+                const ExecuteOptions& options, ThreadPool* pool) {
+  std::atomic<uint64_t> rows{0};
+  auto start = std::chrono::steady_clock::now();
+  pool->ParallelFor(queries.size(), 1, [&](size_t begin, size_t end) {
+    uint64_t local = 0;
+    for (size_t i = begin; i < end; ++i) {
+      alex::Result<std::vector<Binding>> result =
+          alex::sparql::Execute(queries[i], store, options);
+      ALEX_CHECK(result.ok()) << result.status().ToString();
+      local += result.value().size();
+    }
+    rows.fetch_add(local, std::memory_order_relaxed);
+  });
+  TimedRun run;
+  run.ms = MsSince(start);
+  run.rows = rows.load();
+  return run;
+}
+
+struct Row {
+  std::string engine;
+  int threads = 0;
+  double best_ms = 0.0;
+  double qps = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_query_exec.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    }
+  }
+
+  alex::eval::ExperimentConfig config =
+      alex::bench::MakeConfig("dbpedia_nytimes");
+  // Double the entity counts: value joins grow quadratically with the
+  // store, so the per-solution engine costs dominate per-query overheads.
+  config.profile.overlap_entities *= 2;
+  config.profile.left_only_entities *= 2;
+  config.profile.right_only_entities *= 2;
+  alex::datagen::GeneratedWorld world =
+      alex::datagen::Generate(config.profile);
+  const TripleStore& store = world.left;
+  (void)store.size();        // build indexes before sharing across threads
+  (void)world.right.size();
+
+  const size_t kNumQueries = 400;
+  std::vector<std::string> texts =
+      GenerateQueries(store, kNumQueries, /*seed=*/0xa1e0);
+  std::vector<Query> queries;
+  for (const std::string& text : texts) {
+    alex::Result<Query> parsed = alex::sparql::ParseQuery(text);
+    ALEX_CHECK(parsed.ok()) << text << ": " << parsed.status().ToString();
+    queries.push_back(std::move(parsed).value());
+  }
+  alex::rdf::DatasetStats stats = alex::rdf::ComputeStats(store);
+
+  std::cout << "== Query execution: compiled vs legacy ==\n"
+            << "world dbpedia_nytimes left store: " << store.size()
+            << " triples, " << kNumQueries << " join queries\n";
+
+  // Identity gate before any timing: legacy, compiled, and compiled+stats
+  // must produce the same row multiset for every query.
+  bool identical_rows = true;
+  uint64_t expected_rows = 0;
+  {
+    ExecuteOptions legacy_options;
+    legacy_options.engine = ExecEngine::kLegacy;
+    ExecuteOptions compiled_options;  // default engine
+    ExecuteOptions stats_options;
+    stats_options.stats = &stats;
+    for (const Query& query : queries) {
+      std::vector<Binding> legacy = SortedRows(query, store, legacy_options);
+      std::vector<Binding> compiled =
+          SortedRows(query, store, compiled_options);
+      std::vector<Binding> with_stats =
+          SortedRows(query, store, stats_options);
+      if (compiled != legacy || with_stats != legacy) {
+        identical_rows = false;
+        std::cerr << "ROW MISMATCH between engines!\n";
+        break;
+      }
+      expected_rows += legacy.size();
+    }
+  }
+  std::cout << "  identity check: "
+            << (identical_rows ? "all engines agree" : "MISMATCH") << " ("
+            << expected_rows << " total rows)\n";
+
+  const std::vector<int> kThreads = {1, 2, 4, 8};
+  const int kRepeats = 3;
+  std::vector<Row> rows;
+  double legacy_1t_ms = 0.0;
+  double compiled_1t_ms = 0.0;
+
+  auto bench_config = [&](const std::string& name,
+                          const ExecuteOptions& options, int threads) {
+    ThreadPool pool(threads);
+    Row row;
+    row.engine = name;
+    row.threads = threads;
+    row.best_ms = -1.0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      TimedRun run = RunAll(queries, store, options, &pool);
+      if (run.rows != expected_rows) {
+        identical_rows = false;
+        std::cerr << "ROW COUNT DRIFT in timed run (" << name << ", "
+                  << threads << " threads)\n";
+      }
+      if (row.best_ms < 0.0 || run.ms < row.best_ms) row.best_ms = run.ms;
+    }
+    row.qps = row.best_ms > 0.0 ? 1000.0 * queries.size() / row.best_ms : 0.0;
+    std::cout << "  " << std::left << std::setw(16) << name << std::right
+              << threads << " thread(s) " << std::fixed
+              << std::setprecision(1) << std::setw(9) << row.best_ms
+              << " ms  " << std::setprecision(0) << std::setw(9) << row.qps
+              << " qps\n";
+    rows.push_back(row);
+    return row.best_ms;
+  };
+
+  for (int threads : kThreads) {
+    ExecuteOptions legacy_options;
+    legacy_options.engine = ExecEngine::kLegacy;
+    double ms = bench_config("legacy", legacy_options, threads);
+    if (threads == 1) legacy_1t_ms = ms;
+  }
+  // The full compiled configuration: id-space execution plus
+  // statistics-driven join ordering (stats are computed once per store).
+  for (int threads : kThreads) {
+    ExecuteOptions compiled_options;
+    compiled_options.stats = &stats;
+    double ms = bench_config("compiled", compiled_options, threads);
+    if (threads == 1) compiled_1t_ms = ms;
+  }
+  {
+    // Ablation: range-count ordering only, no per-predicate statistics.
+    ExecuteOptions nostats_options;
+    bench_config("compiled_nostats", nostats_options, 1);
+  }
+  {
+    // Plan reuse: compile once per query (with stats), execute many times.
+    std::vector<alex::sparql::CompiledQuery> plans;
+    plans.reserve(queries.size());
+    alex::sparql::CompileOptions compile_options;
+    compile_options.stats = &stats;
+    for (const Query& query : queries) {
+      plans.push_back(
+          alex::sparql::CompileQuery(query, store, compile_options));
+    }
+    ThreadPool pool(1);
+    Row row;
+    row.engine = "compiled_planned";
+    row.threads = 1;
+    row.best_ms = -1.0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      std::atomic<uint64_t> run_rows{0};
+      auto start = std::chrono::steady_clock::now();
+      pool.ParallelFor(queries.size(), 1, [&](size_t begin, size_t end) {
+        uint64_t local = 0;
+        for (size_t i = begin; i < end; ++i) {
+          ExecuteOptions options;
+          options.plan = &plans[i];
+          alex::Result<std::vector<Binding>> result =
+              alex::sparql::Execute(queries[i], store, options);
+          ALEX_CHECK(result.ok()) << result.status().ToString();
+          local += result.value().size();
+        }
+        run_rows.fetch_add(local, std::memory_order_relaxed);
+      });
+      double ms = MsSince(start);
+      if (run_rows.load() != expected_rows) identical_rows = false;
+      if (row.best_ms < 0.0 || ms < row.best_ms) row.best_ms = ms;
+    }
+    row.qps = row.best_ms > 0.0 ? 1000.0 * queries.size() / row.best_ms : 0.0;
+    std::cout << "  " << std::left << std::setw(16) << row.engine
+              << std::right << "1 thread(s) " << std::fixed
+              << std::setprecision(1) << std::setw(9) << row.best_ms
+              << " ms  " << std::setprecision(0) << std::setw(9) << row.qps
+              << " qps\n";
+    rows.push_back(row);
+  }
+
+  const double speedup_1t =
+      compiled_1t_ms > 0.0 ? legacy_1t_ms / compiled_1t_ms : 0.0;
+  std::cout << std::fixed << std::setprecision(2)
+            << "compiled vs legacy at 1 thread: " << speedup_1t << "x\n";
+
+  // ---- Part 2: federated query cache across episodes ----
+  std::vector<alex::linking::Link> initial = alex::linking::FilterByScore(
+      alex::linking::RunParis(world.left, world.right, config.paris),
+      config.paris_threshold);
+  alex::eval::WorkloadOptions workload_options;
+  workload_options.num_queries = 250;
+  std::vector<alex::eval::WorkloadQuery> workload =
+      alex::eval::GenerateWorkload(world, workload_options);
+
+  alex::fed::LinkSet links;
+  for (const alex::linking::Link& link : initial) links.Add(link);
+  alex::fed::FederatedQueryCache cache;
+  std::vector<const TripleStore*> sources = {&world.left, &world.right};
+  alex::fed::FederatedEngine cached_engine(sources, &links);
+  cached_engine.set_cache(&cache);
+  alex::fed::FederatedEngine uncached_engine(sources, &links);
+
+  const int kEpisodes = 8;
+  const size_t kChurnPerEpisode = 10;
+  struct EpisodeRow {
+    int episode = 0;
+    size_t hits = 0;
+    size_t misses = 0;
+    double hit_rate = 0.0;
+    double cached_ms = 0.0;
+    double uncached_ms = 0.0;
+  };
+  std::vector<EpisodeRow> episodes;
+  bool cache_exact = true;
+  std::cout << "== Federated cache: hit rate per episode ==\n"
+            << "  " << workload.size() << " queries/episode, "
+            << initial.size() << " links, toggling " << kChurnPerEpisode
+            << " links between episodes\n";
+
+  for (int episode = 0; episode < kEpisodes; ++episode) {
+    EpisodeRow row;
+    row.episode = episode;
+
+    auto cached_start = std::chrono::steady_clock::now();
+    for (const alex::eval::WorkloadQuery& query : workload) {
+      alex::Result<std::vector<alex::fed::FederatedAnswer>> answers =
+          cached_engine.ExecuteText(query.text);
+      ALEX_CHECK(answers.ok()) << answers.status().ToString();
+    }
+    row.cached_ms = MsSince(cached_start);
+
+    // Sampled exactness: every 10th query re-runs uncached and must match
+    // the cached answers row for row (provenance included).
+    auto uncached_start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < workload.size(); i += 10) {
+      alex::Result<std::vector<alex::fed::FederatedAnswer>> cached =
+          cached_engine.ExecuteText(workload[i].text);
+      alex::Result<std::vector<alex::fed::FederatedAnswer>> fresh =
+          uncached_engine.ExecuteText(workload[i].text);
+      ALEX_CHECK(cached.ok() && fresh.ok());
+      bool same = cached.value().size() == fresh.value().size();
+      for (size_t j = 0; same && j < cached.value().size(); ++j) {
+        same = cached.value()[j].binding == fresh.value()[j].binding &&
+               cached.value()[j].links_used.size() ==
+                   fresh.value()[j].links_used.size();
+      }
+      if (!same) cache_exact = false;
+    }
+    row.uncached_ms = MsSince(uncached_start);
+
+    alex::fed::FederatedQueryCache::Stats stats_now = cache.TakeStats();
+    row.hits = stats_now.hits;
+    row.misses = stats_now.misses;
+    row.hit_rate =
+        stats_now.hits + stats_now.misses > 0
+            ? static_cast<double>(stats_now.hits) /
+                  static_cast<double>(stats_now.hits + stats_now.misses)
+            : 0.0;
+    std::cout << "  episode " << episode << ": " << row.hits << " hits, "
+              << row.misses << " misses (hit rate " << std::fixed
+              << std::setprecision(3) << row.hit_rate << ")\n";
+    episodes.push_back(row);
+
+    // Between episodes, toggle a sliding window of links — the same
+    // add/remove + InvalidateLink flow the query-driven loop's observer
+    // performs at episode boundaries.
+    for (size_t k = 0; k < kChurnPerEpisode && k < initial.size(); ++k) {
+      const alex::linking::Link& link =
+          initial[(static_cast<size_t>(episode) * kChurnPerEpisode + k) %
+                  initial.size()];
+      if (links.Contains(link.left, link.right)) {
+        links.Remove(link.left, link.right);
+      } else {
+        links.Add(link);
+      }
+      cache.InvalidateLink(link);
+    }
+  }
+  std::cout << (cache_exact
+                    ? "cached answers identical to uncached re-execution\n"
+                    : "CACHE MISMATCH vs uncached re-execution!\n");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << std::fixed << std::setprecision(3);
+  out << "{\n"
+      << "  \"bench\": \"query_exec\",\n"
+      << "  \"world\": \"dbpedia_nytimes\",\n"
+      << "  \"num_queries\": " << queries.size() << ",\n"
+      << "  \"total_rows\": " << expected_rows << ",\n"
+      << "  \"repeats\": " << kRepeats << ",\n"
+      << "  \"identical_rows\": " << (identical_rows ? "true" : "false")
+      << ",\n"
+      << "  \"speedup_compiled_vs_legacy_1thread\": " << speedup_1t << ",\n"
+      << "  \"runs\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    out << "    {\"engine\": \"" << row.engine << "\", \"threads\": "
+        << row.threads << ", \"ms\": " << row.best_ms << ", \"qps\": "
+        << row.qps << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"federated_cache\": {\n"
+      << "    \"queries_per_episode\": " << workload.size() << ",\n"
+      << "    \"links_toggled_per_episode\": " << kChurnPerEpisode << ",\n"
+      << "    \"cache_exact\": " << (cache_exact ? "true" : "false") << ",\n"
+      << "    \"episodes\": [\n";
+  for (size_t i = 0; i < episodes.size(); ++i) {
+    const EpisodeRow& row = episodes[i];
+    out << "      {\"episode\": " << row.episode << ", \"hits\": "
+        << row.hits << ", \"misses\": " << row.misses << ", \"hit_rate\": "
+        << row.hit_rate << ", \"cached_ms\": " << row.cached_ms
+        << ", \"uncached_sampled_ms\": " << row.uncached_ms << "}"
+        << (i + 1 < episodes.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n  }\n}\n";
+  std::cout << "(json written to " << out_path << ")\n";
+  return identical_rows && cache_exact ? 0 : 1;
+}

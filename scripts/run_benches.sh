@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Builds (Release) and runs the JSON-emitting benchmarks, writing their
+# BENCH_*.json artifacts into the repo root and sanity-checking that each
+# file appeared, parses, and carries its correctness-gate keys. Benchmarks
+# exit nonzero themselves when an identity assertion fails, which fails this
+# script too. Override the build directory with BUILD_DIR=... .
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir=${BUILD_DIR:-build-bench}
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target bench_episode_loop bench_space_build bench_query_exec
+
+declare -A gate_key=(
+  [bench_episode_loop]=identical_series
+  [bench_space_build]=identical_spaces
+  [bench_query_exec]=identical_rows
+)
+declare -A runs_key=(
+  [bench_episode_loop]=runs
+  [bench_space_build]=blocked
+  [bench_query_exec]=runs
+)
+
+for bench in bench_episode_loop bench_space_build bench_query_exec; do
+  out="BENCH_${bench#bench_}.json"
+  echo "== $bench -> $out =="
+  "$build_dir/bench/$bench" --out "$out"
+  python3 - "$out" "${gate_key[$bench]}" "${runs_key[$bench]}" <<'EOF'
+import json, sys
+path, gate, runs = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(path) as f:
+    doc = json.load(f)
+for required in ("bench", runs, gate):
+    if required not in doc:
+        sys.exit(f"{path}: missing key '{required}'")
+if doc[gate] is not True:
+    sys.exit(f"{path}: {gate} is {doc[gate]!r}, expected true")
+print(f"{path}: ok ({gate}=true, {len(doc[runs])} runs)")
+EOF
+done
+echo "all benches ok"

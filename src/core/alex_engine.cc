@@ -556,8 +556,28 @@ void AlexEngine::BeginExternalEpisode() {
   for (PartitionAlex& partition : partitions_) partition.BeginEpisode();
 }
 
-void AlexEngine::EndExternalEpisode() {
+size_t AlexEngine::EndExternalEpisode() {
   for (PartitionAlex& partition : partitions_) partition.EndEpisode();
+  // Same delta walk as RunEpisode: notify the observer of every net
+  // membership change, in deterministic partition order, and consume the
+  // epoch counters.
+  size_t changed = 0;
+  for (PartitionAlex& partition : partitions_) {
+    if (link_observer_) {
+      const FeatureSpace& space = partition.space();
+      for (const auto& [pair, net] : partition.candidates().epoch_delta()) {
+        link_observer_({space.LeftIri(pair), space.RightIri(pair)}, net > 0);
+      }
+    }
+    changed += partition.mutable_candidates().TakeEpochChanges();
+  }
+  if (link_observer_) {
+    for (const auto& [extra, net] : extras_alive_.epoch_delta()) {
+      link_observer_(extras_links_[extra], net > 0);
+    }
+  }
+  changed += extras_alive_.TakeEpochChanges();
+  return changed;
 }
 
 }  // namespace alex::core

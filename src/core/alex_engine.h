@@ -112,6 +112,10 @@ struct EpisodeStats {
   double seconds = 0.0;           // wall clock for the episode
   double max_partition_seconds = 0.0;  // busiest partition (§7.3)
   double avg_partition_seconds = 0.0;
+  // Federated query cache traffic during the episode (query-driven loop
+  // only; zero when the episode was not query-driven or no cache was used).
+  size_t query_cache_hits = 0;
+  size_t query_cache_misses = 0;
 
   double NegativeFeedbackPercent() const {
     return feedback_items == 0
@@ -276,9 +280,13 @@ class AlexEngine {
   void ApplyLinkFeedback(const linking::Link& link, bool positive);
 
   // When driving feedback externally (ApplyLinkFeedback), call these to
-  // delimit episodes.
+  // delimit episodes. EndExternalEpisode fires the link-change observer
+  // once per net candidate membership change since the previous episode
+  // boundary (exactly like RunEpisode) and returns the number of changes,
+  // so external drivers can maintain a LinkSet / query cache incrementally
+  // and compute change fractions without re-materializing CandidateLinks().
   void BeginExternalEpisode();
-  void EndExternalEpisode();
+  size_t EndExternalEpisode();
 
   // Persistence support (see core/engine_state.h). These operate on an
   // initialized engine; links outside every feature space become spaceless

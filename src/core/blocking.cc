@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <iterator>
+#include <limits>
 #include <string_view>
 #include <unordered_set>
 
@@ -74,27 +75,39 @@ void ForEachValueKey(const PreparedValue& value,
   // Exact-match catch-all (covers booleans, date-vs-string equality, and
   // values whose normalization leaves no tokens, e.g. empty strings).
   emit(kValueTag, std::string_view(value.lowered));
-  // q-grams of the WHOLE lowered value (not per token): the Levenshtein
-  // similarity channel compares whole values, so near-threshold matches can
-  // share only substrings that straddle token boundaries. Grams of length
-  // `gram_length` are selective enough not to drown the index (per-token
-  // trigrams alone put ~85% of the cross product back into the scored set
-  // on the synthetic worlds) while still surviving scattered edits.
-  if (value.lowered.size() >= options.gram_length &&
-      value.lowered.size() >= options.min_gram_token_length) {
-    for (size_t i = 0; i + options.gram_length <= value.lowered.size(); ++i) {
-      emit(kGramTag,
-           std::string_view(value.lowered).substr(i, options.gram_length));
-    }
-  }
-  // Short values additionally emit trigrams: a short value can be a
-  // borderline Levenshtein match at a high relative edit rate (e.g. 7 vs 10
-  // chars, distance 4 — raw similarity 0.60) that destroys every 4-gram,
-  // while long values are exactly where trigram postings explode.
-  if (value.lowered.size() <= options.trigram_value_length &&
-      value.lowered.size() >= options.min_gram_token_length) {
-    for (size_t i = 0; i + 3 <= value.lowered.size(); ++i) {
-      emit(kGramTag, std::string_view(value.lowered).substr(i, 3));
+  // Size-tiered q-grams of the WHOLE lowered value (not per token): the
+  // Levenshtein similarity channel compares whole values, so near-threshold
+  // matches can share only substrings that straddle token boundaries. Each
+  // INDEXED value emits exactly one gram family, chosen by its own length —
+  // short and mid values need trigrams to survive borderline edit rates
+  // (e.g. 7 vs 10 chars at distance 4 destroys every 4-gram), long values
+  // afford the more selective `gram_length`-grams, and one family per value
+  // keeps the posting lists small. The PROBE side emits the gram length of
+  // every tier a Levenshtein-matchable counterpart could be indexed under:
+  // raw similarity is at most min_len/max_len, so clearing the noise floor
+  // requires the counterpart's length in [floor * len, len / floor].
+  const size_t len = value.lowered.size();
+  if (len >= options.min_gram_token_length) {
+    auto emit_grams = [&](size_t q) {
+      if (len < q) return;
+      for (size_t i = 0; i + q <= len; ++i) {
+        emit(kGramTag, std::string_view(value.lowered).substr(i, q));
+      }
+    };
+    const double tier_bound =
+        static_cast<double>(options.trigram_value_length);
+    if (!probe_neighbors) {
+      emit_grams(len <= options.trigram_value_length ? 3
+                                                     : options.gram_length);
+    } else {
+      const double floor = sim.string_noise_floor;
+      const double lo =
+          floor > 0.0 ? floor * static_cast<double>(len) : 0.0;
+      const double hi = floor > 0.0
+                            ? static_cast<double>(len) / floor
+                            : std::numeric_limits<double>::infinity();
+      if (lo <= tier_bound) emit_grams(3);
+      if (hi > tier_bound) emit_grams(options.gram_length);
     }
   }
   if (value.has_numeric) {

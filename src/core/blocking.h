@@ -19,8 +19,10 @@
 //                                     whole lowered values, so borderline
 //                                     matches may share only substrings
 //                                     that straddle token boundaries.
-//                                     (4-grams; per-token trigrams are so
-//                                     unselective they defeat blocking.)
+//                                     (Size-tiered: one gram length per
+//                                     value-length tier; probes cover every
+//                                     tier reachable under the noise-floor
+//                                     length-ratio bound.)
 //   * a logarithmic numeric bucket  — covers NumericSimilarity ≥ θ (the
 //                                     query probes neighbor buckets)
 //   * a coarse date bucket          — covers DateSimilarity ≥ θ (ditto)
@@ -49,15 +51,20 @@ struct BlockingOptions {
   // When false, FeatureSpace::Build scores the full cross product (the
   // paper's literal pre-processing; also the reference for equality tests).
   bool enabled = true;
-  // Length of the q-grams taken over the whole lowered value, and the
-  // minimum value length for the gram channel to kick in (shorter values
-  // are fully covered by the token/deletion channels).
+  // Size-tiered gram selection: every indexed value emits q-grams of ONE
+  // length chosen by the value's own length — trigrams up to
+  // trigram_value_length, `gram_length`-grams above it. (Short and
+  // mid-length values can be borderline Levenshtein matches at edit rates
+  // that destroy every 4-gram, e.g. 15 vs 17 chars at distance 7, while
+  // long values are where trigram postings explode.) The probe side emits
+  // the gram length of every tier whose value-length range intersects
+  // [noise_floor * len, len / noise_floor]: no pair outside that length
+  // ratio can clear the Levenshtein noise floor, so the counterpart's tier
+  // is always among the probed ones. min_gram_token_length is the minimum
+  // value length for the gram channel to kick in (shorter values are fully
+  // covered by the token/deletion channels).
   size_t gram_length = 4;
   size_t min_gram_token_length = 3;
-  // Values up to this length also emit whole-value trigrams: short and
-  // mid-length values can be borderline Levenshtein matches at edit rates
-  // that destroy every 4-gram (e.g. 15 vs 17 chars, distance 7), while long
-  // values are where trigram postings explode.
   size_t trigram_value_length = 18;
   // Candidates whose ONLY collisions are q-gram keys must share at least
   // this many distinct gram keys. Borderline Levenshtein matches between

@@ -5,6 +5,7 @@
 
 #include "common/stopwatch.h"
 #include "federation/federated_engine.h"
+#include "federation/query_cache.h"
 #include "rdf/entity_view.h"
 
 namespace alex::eval {
@@ -109,23 +110,37 @@ ExperimentResult RunQueryDrivenExperiment(
   start.quality = Evaluate(engine->CandidateLinks(), truth);
   result.series.push_back(start);
 
+  // Persistent federation state. The link set is maintained incrementally:
+  // the engine reports net candidate membership changes at every episode
+  // boundary (EndExternalEpisode), so queries within an episode all see the
+  // same links (the paper evaluates the policy within an episode and only
+  // changes it between episodes) without re-materializing CandidateLinks().
+  // The same deltas invalidate exactly the cached query results whose
+  // consulted link neighborhoods changed.
+  fed::LinkSet links;
+  for (const linking::Link& link : initial_links) links.Add(link);
+  fed::FederatedQueryCache cache;
+  std::vector<const rdf::TripleStore*> sources = {&world.left, &world.right};
+  fed::FederatedEngine fed_engine(sources, &links);
+  if (options.use_query_cache) fed_engine.set_cache(&cache);
+  fed::FederatedOptions fed_options;
+  fed_options.pool = options.pool;
+  engine->SetLinkChangeObserver(
+      [&links, &cache](const linking::Link& link, bool added) {
+        if (added) {
+          links.Add(link);
+        } else {
+          links.Remove(link.left, link.right);
+        }
+        cache.InvalidateLink(link);
+      });
+
   Stopwatch run_timer;
   size_t previous_candidates = engine->CandidateCount();
   for (int episode = 1; episode <= options.max_episodes; ++episode) {
     core::EpisodeStats stats;
     stats.episode = episode;
     engine->BeginExternalEpisode();
-
-    // Re-materialize the link set once per episode: queries within an
-    // episode all see the same candidate links (the paper evaluates the
-    // policy within an episode and only changes it between episodes).
-    fed::LinkSet links;
-    for (const linking::Link& link : engine->CandidateLinks()) {
-      links.Add(link);
-    }
-    std::vector<const rdf::TripleStore*> sources = {&world.left,
-                                                    &world.right};
-    fed::FederatedEngine fed_engine(sources, &links);
 
     std::vector<size_t> order(workload.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -138,7 +153,7 @@ ExperimentResult RunQueryDrivenExperiment(
     for (size_t index : order) {
       if (stats.feedback_items >= options.episode_size) break;
       Result<std::vector<fed::FederatedAnswer>> answers =
-          fed_engine.ExecuteText(workload[index].text);
+          fed_engine.ExecuteText(workload[index].text, fed_options);
       if (!answers.ok()) continue;
       for (const fed::FederatedAnswer& answer : answers.value()) {
         if (stats.feedback_items >= options.episode_size) break;
@@ -157,16 +172,19 @@ ExperimentResult RunQueryDrivenExperiment(
         }
       }
     }
-    engine->EndExternalEpisode();
+    fed::FederatedQueryCache::Stats cache_stats = cache.TakeStats();
+    stats.query_cache_hits = cache_stats.hits;
+    stats.query_cache_misses = cache_stats.misses;
+    // The episode boundary: fires the observer above (updating links and
+    // invalidating cache entries) and reports the net membership changes —
+    // the symmetric difference with the episode start, not a count delta.
+    size_t changed = engine->EndExternalEpisode();
 
     stats.candidate_count = engine->CandidateCount();
-    size_t now = stats.candidate_count;
-    size_t delta = now > previous_candidates ? now - previous_candidates
-                                             : previous_candidates - now;
     stats.change_fraction =
-        static_cast<double>(delta) /
+        static_cast<double>(changed) /
         static_cast<double>(std::max<size_t>(1, previous_candidates));
-    previous_candidates = now;
+    previous_candidates = stats.candidate_count;
 
     EpisodePoint point;
     point.episode = episode;
@@ -182,6 +200,7 @@ ExperimentResult RunQueryDrivenExperiment(
       break;
     }
   }
+  engine->SetLinkChangeObserver(nullptr);
   result.total_seconds = run_timer.ElapsedSeconds();
   result.new_links_discovered =
       NewCorrectLinks(initial_links, engine->CandidateLinks(), truth);

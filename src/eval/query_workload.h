@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/alex_engine.h"
 #include "datagen/world.h"
 #include "eval/experiment.h"
@@ -60,11 +61,23 @@ struct QueryDrivenOptions {
   int max_episodes = 30;
   double feedback_error_rate = 0.0;
   uint64_t oracle_seed = 99;
+  // Reuse federated query results across episodes through a
+  // FederatedQueryCache invalidated exactly from the engine's epoch deltas.
+  // The series is bitwise-identical with the cache on or off; the cache
+  // only removes redundant re-execution.
+  bool use_query_cache = true;
+  // Optional pool for per-source parallel federated evaluation (results
+  // stay deterministic; see FederatedOptions::pool).
+  ThreadPool* pool = nullptr;
 };
 
 // Runs the full pipeline with query-driven feedback. The engine must
 // already be initialized; `truth` judges answers. Returns the same series
 // structure as RunExperimentOnWorld (episode 0 = initial quality).
+// Installs its own link-change observer on the engine for the duration of
+// the run (replacing any existing one; cleared before returning) to keep
+// the federated link set and query cache synchronized with the candidate
+// set incrementally.
 ExperimentResult RunQueryDrivenExperiment(
     core::AlexEngine* engine, const datagen::GeneratedWorld& world,
     const feedback::GroundTruth& truth, const QueryDrivenOptions& options);

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <optional>
 #include <set>
+#include <unordered_set>
 
+#include "common/thread_pool.h"
+#include "federation/query_cache.h"
 #include "federation/source_selection.h"
 #include "sparql/executor.h"
 #include "sparql/parser.h"
@@ -29,15 +32,24 @@ struct PositionChoice {
 
 class FederatedEvaluator {
  public:
+  // `consulted` (optional) collects every IRI whose link neighborhood is
+  // consulted. `top_source` (optional) restricts the FIRST join step to one
+  // source, which partitions the evaluation across sources: the sequential
+  // enumeration is exactly the concatenation of the per-source runs in
+  // ascending source order.
   FederatedEvaluator(const Query& query,
                      const std::vector<TriplePattern>& patterns,
                      const std::vector<const TripleStore*>& sources,
-                     const LinkSet& links, const FederatedOptions& options)
+                     const LinkSet& links, const FederatedOptions& options,
+                     std::unordered_set<std::string>* consulted = nullptr,
+                     std::optional<size_t> top_source = std::nullopt)
       : query_(query),
         patterns_(patterns),
         sources_(sources),
         links_(links),
-        options_(options) {
+        options_(options),
+        consulted_(consulted),
+        top_source_(top_source) {
     selected_ = SelectSourcesFor(patterns, sources);
   }
 
@@ -88,6 +100,10 @@ class FederatedEvaluator {
     }
     if (allow_bridge && term->is_iri()) {
       const std::string& iri = term->lexical();
+      // The answer set depends on the link set exactly through these
+      // neighborhood reads — record them (hits and misses alike) so cached
+      // results can be invalidated precisely.
+      if (consulted_ != nullptr) consulted_->insert(iri);
       for (const std::string& right : links_.RightsOf(iri)) {
         AddCounterpart(iri, right, /*left_is_original=*/true, source,
                        &choices);
@@ -144,11 +160,15 @@ class FederatedEvaluator {
         best_pos = i;
       }
     }
+    const bool top = remaining.size() == patterns_.size();
     size_t pattern_idx = remaining[best_pos];
     remaining.erase(remaining.begin() + best_pos);
     const TriplePattern& pattern = patterns_[pattern_idx];
 
     for (size_t source_idx : selected_[pattern_idx]) {
+      if (top && top_source_.has_value() && source_idx != *top_source_) {
+        continue;
+      }
       const TripleStore& source = *sources_[source_idx];
       // Subjects and objects may be bridged across sources; predicates are
       // vocabulary, never bridged.
@@ -211,6 +231,8 @@ class FederatedEvaluator {
   const std::vector<const TripleStore*>& sources_;
   const LinkSet& links_;
   const FederatedOptions& options_;
+  std::unordered_set<std::string>* consulted_ = nullptr;
+  std::optional<size_t> top_source_;
   std::vector<std::vector<size_t>> selected_;
   std::vector<FederatedAnswer>* out_ = nullptr;
   bool done_ = false;
@@ -222,6 +244,22 @@ class FederatedEvaluator {
 
 Result<std::vector<FederatedAnswer>> FederatedEngine::ExecuteText(
     const std::string& query_text, const FederatedOptions& options) const {
+  if (cache_ != nullptr) {
+    const uint64_t fingerprint =
+        QueryFingerprint(query_text, options.max_rows);
+    if (const std::vector<FederatedAnswer>* hit = cache_->Lookup(fingerprint)) {
+      return *hit;
+    }
+    Result<Query> query = sparql::ParseQuery(query_text);
+    if (!query.ok()) return query.status();
+    std::unordered_set<std::string> consulted;
+    Result<std::vector<FederatedAnswer>> answers =
+        ExecuteInternal(query.value(), options, &consulted);
+    if (answers.ok()) {
+      cache_->Insert(fingerprint, answers.value(), consulted);
+    }
+    return answers;
+  }
   Result<Query> query = sparql::ParseQuery(query_text);
   if (!query.ok()) return query.status();
   return Execute(query.value(), options);
@@ -229,6 +267,12 @@ Result<std::vector<FederatedAnswer>> FederatedEngine::ExecuteText(
 
 Result<std::vector<FederatedAnswer>> FederatedEngine::Execute(
     const Query& query, const FederatedOptions& options) const {
+  return ExecuteInternal(query, options, nullptr);
+}
+
+Result<std::vector<FederatedAnswer>> FederatedEngine::ExecuteInternal(
+    const Query& query, const FederatedOptions& options,
+    std::unordered_set<std::string>* consulted) const {
   if (!query.aggregates.empty()) {
     return Status::Unimplemented(
         "aggregates are not supported in federated queries");
@@ -236,11 +280,60 @@ Result<std::vector<FederatedAnswer>> FederatedEngine::Execute(
   std::vector<FederatedAnswer> answers;
   const bool has_optionals = !query.optionals.empty();
   for (const std::vector<TriplePattern>* patterns : query.Alternatives()) {
-    FederatedEvaluator evaluator(query, *patterns, sources_, *links_,
-                                 options);
-    evaluator.set_project(!has_optionals);
-    Status st = evaluator.Run(&answers);
-    if (!st.ok()) return st;
+    // Rows this alternative may add. The sequential evaluator caps the
+    // SHARED answer vector at max_rows but only notices after an emission,
+    // so an alternative starting at or past the cap still adds one row;
+    // the parallel merge below replicates that exactly.
+    const size_t base = answers.size();
+    size_t budget = base >= options.max_rows ? 1 : options.max_rows - base;
+    if (query.is_ask) budget = 1;
+    const bool parallel = options.pool != nullptr &&
+                          options.pool->num_threads() > 1 &&
+                          sources_.size() > 1 && !patterns->empty();
+    if (!parallel) {
+      FederatedEvaluator evaluator(query, *patterns, sources_, *links_,
+                                   options, consulted);
+      evaluator.set_project(!has_optionals);
+      Status st = evaluator.Run(&answers);
+      if (!st.ok()) return st;
+    } else {
+      // One branch per source: each evaluates the whole group with its
+      // first join step pinned to that source. Concatenating the branch
+      // outputs in ascending source order reproduces the sequential
+      // enumeration, and no branch can place more than max_rows rows into
+      // the first `budget` merged rows, so the truncation below yields a
+      // result bitwise-identical to the single-threaded run.
+      struct Branch {
+        std::vector<FederatedAnswer> answers;
+        std::unordered_set<std::string> consulted;
+        Status status = Status::Ok();
+      };
+      std::vector<Branch> branches(sources_.size());
+      // Force index builds up front; concurrent first reads of a freshly
+      // written store are not thread-safe (see TripleStore::Scan).
+      for (const rdf::TripleStore* source : sources_) source->size();
+      for (size_t s = 0; s < sources_.size(); ++s) {
+        options.pool->Schedule([&, s, patterns] {
+          Branch& branch = branches[s];
+          FederatedEvaluator evaluator(
+              query, *patterns, sources_, *links_, options,
+              consulted != nullptr ? &branch.consulted : nullptr, s);
+          evaluator.set_project(!has_optionals);
+          branch.status = evaluator.Run(&branch.answers);
+        });
+      }
+      options.pool->Wait();
+      for (Branch& branch : branches) {
+        if (!branch.status.ok()) return branch.status;
+        for (FederatedAnswer& answer : branch.answers) {
+          answers.push_back(std::move(answer));
+        }
+        if (consulted != nullptr) {
+          consulted->insert(branch.consulted.begin(), branch.consulted.end());
+        }
+      }
+    }
+    if (answers.size() > base + budget) answers.resize(base + budget);
     if (query.is_ask && !answers.empty()) break;
   }
   // OPTIONAL groups: left-outer-join each group against the answers so
@@ -250,7 +343,7 @@ Result<std::vector<FederatedAnswer>> FederatedEngine::Execute(
       std::vector<FederatedAnswer> extended;
       for (const FederatedAnswer& answer : answers) {
         FederatedEvaluator evaluator(query, group, sources_, *links_,
-                                     options);
+                                     options, consulted);
         evaluator.set_project(false);
         bool matched = false;
         Status st = evaluator.Run(&extended, answer.binding,

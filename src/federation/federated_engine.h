@@ -14,6 +14,7 @@
 #define ALEX_FEDERATION_FEDERATED_ENGINE_H_
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -21,7 +22,13 @@
 #include "rdf/triple_store.h"
 #include "sparql/algebra.h"
 
+namespace alex {
+class ThreadPool;
+}  // namespace alex
+
 namespace alex::fed {
+
+class FederatedQueryCache;
 
 struct FederatedAnswer {
   sparql::Binding binding;
@@ -32,6 +39,11 @@ struct FederatedAnswer {
 
 struct FederatedOptions {
   size_t max_rows = 100000;
+  // When set, each UNION alternative fans out one evaluation branch per
+  // source (the branch opens the join on that source) and the branch
+  // outputs are merged in ascending source order — bitwise-identical to the
+  // sequential result. nullptr = single-threaded.
+  ThreadPool* pool = nullptr;
 };
 
 class FederatedEngine {
@@ -55,9 +67,23 @@ class FederatedEngine {
     return sources_;
   }
 
+  // Attaches a result cache consulted by ExecuteText(). The cache must be
+  // invalidated for every link-set change (FederatedQueryCache does this
+  // exactly, from epoch deltas); sources must stay immutable while the
+  // cache is attached. nullptr detaches.
+  void set_cache(FederatedQueryCache* cache) { cache_ = cache; }
+
  private:
+  // Shared implementation. When `consulted` is non-null it collects every
+  // IRI whose link neighborhood was consulted — the exact dependency
+  // footprint of the answer set on the link set.
+  Result<std::vector<FederatedAnswer>> ExecuteInternal(
+      const sparql::Query& query, const FederatedOptions& options,
+      std::unordered_set<std::string>* consulted) const;
+
   std::vector<const rdf::TripleStore*> sources_;
   const LinkSet* links_;
+  FederatedQueryCache* cache_ = nullptr;
 };
 
 }  // namespace alex::fed

@@ -1,0 +1,81 @@
+#include "federation/query_cache.h"
+
+namespace alex::fed {
+
+uint64_t QueryFingerprint(const std::string& query_text, size_t max_rows) {
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&hash](uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (value >> shift) & 0xffu;
+      hash *= 1099511628211ull;
+    }
+  };
+  for (unsigned char c : query_text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  mix(query_text.size());
+  mix(static_cast<uint64_t>(max_rows));
+  return hash;
+}
+
+const std::vector<FederatedAnswer>* FederatedQueryCache::Lookup(
+    uint64_t fingerprint) {
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second.answers;
+}
+
+void FederatedQueryCache::Insert(
+    uint64_t fingerprint, std::vector<FederatedAnswer> answers,
+    const std::unordered_set<std::string>& consulted_iris) {
+  Erase(fingerprint);  // replace any stale entry for this fingerprint
+  Entry& entry = entries_[fingerprint];
+  entry.answers = std::move(answers);
+  entry.consulted.assign(consulted_iris.begin(), consulted_iris.end());
+  for (const std::string& iri : entry.consulted) {
+    by_iri_[iri].insert(fingerprint);
+  }
+}
+
+void FederatedQueryCache::InvalidateLink(const linking::Link& link) {
+  for (const std::string* iri : {&link.left, &link.right}) {
+    auto it = by_iri_.find(*iri);
+    if (it == by_iri_.end()) continue;
+    // Erase mutates by_iri_; copy the fingerprint set first.
+    std::vector<uint64_t> fingerprints(it->second.begin(), it->second.end());
+    for (uint64_t fingerprint : fingerprints) {
+      Erase(fingerprint);
+      ++stats_.invalidated;
+    }
+  }
+}
+
+void FederatedQueryCache::Clear() {
+  entries_.clear();
+  by_iri_.clear();
+}
+
+FederatedQueryCache::Stats FederatedQueryCache::TakeStats() {
+  Stats out = stats_;
+  stats_ = Stats();
+  return out;
+}
+
+void FederatedQueryCache::Erase(uint64_t fingerprint) {
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return;
+  for (const std::string& iri : it->second.consulted) {
+    auto by = by_iri_.find(iri);
+    if (by == by_iri_.end()) continue;
+    by->second.erase(fingerprint);
+    if (by->second.empty()) by_iri_.erase(by);
+  }
+  entries_.erase(it);
+}
+
+}  // namespace alex::fed

@@ -1,0 +1,89 @@
+// Federated query result cache with exact link-epoch invalidation.
+//
+// ALEX re-runs the same federated workload every episode, but between
+// episodes only a small fraction of the candidate link set changes
+// (CandidateSet tracks exactly which links, via its epoch deltas). A
+// federated answer can only depend on the link set through the IRIs whose
+// sameAs neighborhoods the evaluator consulted while producing it — every
+// bound IRI it tried to bridge, whether or not a counterpart existed. So a
+// cached result is replay-exact as long as none of its consulted IRIs
+// gained or lost a link:
+//
+//   The evaluation is deterministic given (sources, link neighborhoods of
+//   consulted IRIs). By induction over evaluator steps, if every consulted
+//   IRI has an unchanged neighborhood, the re-run consults the same IRIs,
+//   makes the same choices, and emits the same answers in the same order.
+//   A link change on a never-consulted IRI cannot alter any step.
+//
+// The cache therefore keys entries by a fingerprint of (query text,
+// max_rows) and indexes them by consulted IRI; InvalidateLink drops exactly
+// the entries whose consulted set touches either endpoint. Invalidation can
+// only be spuriously broad (dropping a still-valid entry costs a re-run),
+// never stale. Sources must be immutable while the cache is live.
+#ifndef ALEX_FEDERATION_QUERY_CACHE_H_
+#define ALEX_FEDERATION_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "federation/federated_engine.h"
+#include "linking/link.h"
+
+namespace alex::fed {
+
+// Fingerprint of a federated query execution request. Collisions are
+// 64-bit-unlikely; a collision would serve the other query's rows, so the
+// fingerprint hashes the full text, not a truncation.
+uint64_t QueryFingerprint(const std::string& query_text, size_t max_rows);
+
+class FederatedQueryCache {
+ public:
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t invalidated = 0;  // entries dropped by link changes
+  };
+
+  // Cached answers for `fingerprint`, or nullptr. Counts a hit or a miss.
+  const std::vector<FederatedAnswer>* Lookup(uint64_t fingerprint);
+
+  // Stores the result of a (cache-miss) execution together with the IRIs
+  // whose link neighborhoods the evaluator consulted. Replaces any previous
+  // entry for the fingerprint.
+  void Insert(uint64_t fingerprint, std::vector<FederatedAnswer> answers,
+              const std::unordered_set<std::string>& consulted_iris);
+
+  // Exact epoch-delta invalidation: called once per candidate link that was
+  // added to or removed from the link set. Drops every entry that consulted
+  // either endpoint; all other entries remain replay-exact.
+  void InvalidateLink(const linking::Link& link);
+
+  // Drops every entry (e.g. when the sources themselves change).
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+  // Resets hit/miss/invalidation counters (entries are kept); used for
+  // per-episode accounting.
+  Stats TakeStats();
+
+ private:
+  struct Entry {
+    std::vector<FederatedAnswer> answers;
+    std::vector<std::string> consulted;  // for inverted-index cleanup
+  };
+
+  void Erase(uint64_t fingerprint);
+
+  std::unordered_map<uint64_t, Entry> entries_;
+  // IRI -> fingerprints of entries that consulted it.
+  std::unordered_map<std::string, std::unordered_set<uint64_t>> by_iri_;
+  Stats stats_;
+};
+
+}  // namespace alex::fed
+
+#endif  // ALEX_FEDERATION_QUERY_CACHE_H_

@@ -29,20 +29,16 @@ struct OspLess {
   }
 };
 
-// Returns the [first, last) range of `index` matching the bound prefix
-// under comparator Less, scanning for any residual bound positions.
+// The [first, last) range of `index` whose triples sort between `lo` and
+// `hi` under Less. With the index chosen so that every bound position is
+// part of the prefix, the range contains exactly the matches.
 template <typename Less>
-void CollectRange(const std::vector<Triple>& index, const Triple& lo,
-                  const Triple& hi, TermPattern s, TermPattern p,
-                  TermPattern o, std::vector<Triple>* out) {
+std::pair<const Triple*, const Triple*> IndexRange(
+    const std::vector<Triple>& index, const Triple& lo, const Triple& hi) {
   auto first = std::lower_bound(index.begin(), index.end(), lo, Less());
   auto last = std::upper_bound(index.begin(), index.end(), hi, Less());
-  for (auto it = first; it != last; ++it) {
-    if (s && it->subject != *s) continue;
-    if (p && it->predicate != *p) continue;
-    if (o && it->object != *o) continue;
-    out->push_back(*it);
-  }
+  return {index.data() + (first - index.begin()),
+          index.data() + (last - index.begin())};
 }
 
 }  // namespace
@@ -72,30 +68,48 @@ void TripleStore::EnsureIndexes() const {
   dirty_ = false;
 }
 
-std::vector<Triple> TripleStore::Match(TermPattern s, TermPattern p,
-                                       TermPattern o) const {
+MatchCursor TripleStore::Scan(TermPattern s, TermPattern p,
+                              TermPattern o) const {
   EnsureIndexes();
-  std::vector<Triple> out;
   const TermId kMin = 0;
   const TermId kMax = kInvalidTermId;
-  if (s) {
-    // SPO index: prefix (s) or (s,p).
-    Triple lo{*s, p.value_or(kMin), (p && o) ? *o : kMin};
-    Triple hi{*s, p.value_or(kMax), (p && o) ? *o : kMax};
-    CollectRange<SpoLess>(spo_, lo, hi, s, p, o, &out);
+  std::pair<const Triple*, const Triple*> range;
+  if (s && o && !p) {
+    // OSP index, prefix (o, s): the only two-bound combination that is not
+    // a prefix of SPO or POS. Within the range only p varies, so the output
+    // order (p ascending) coincides with the SPO order for a fixed subject.
+    range = IndexRange<OspLess>(osp_, Triple{*s, kMin, *o},
+                                Triple{*s, kMax, *o});
+  } else if (s) {
+    // SPO index: prefix (s), (s,p) or (s,p,o).
+    range = IndexRange<SpoLess>(
+        spo_, Triple{*s, p.value_or(kMin), o.value_or(kMin)},
+        Triple{*s, p.value_or(kMax), o.value_or(kMax)});
   } else if (p) {
     // POS index: prefix (p) or (p,o).
-    Triple lo{kMin, *p, o.value_or(kMin)};
-    Triple hi{kMax, *p, o.value_or(kMax)};
-    CollectRange<PosLess>(pos_, lo, hi, s, p, o, &out);
+    range = IndexRange<PosLess>(pos_, Triple{kMin, *p, o.value_or(kMin)},
+                                Triple{kMax, *p, o.value_or(kMax)});
   } else if (o) {
     // OSP index: prefix (o).
-    Triple lo{kMin, kMin, *o};
-    Triple hi{kMax, kMax, *o};
-    CollectRange<OspLess>(osp_, lo, hi, s, p, o, &out);
+    range = IndexRange<OspLess>(osp_, Triple{kMin, kMin, *o},
+                                Triple{kMax, kMax, *o});
   } else {
-    out = spo_;
+    range = {spo_.data(), spo_.data() + spo_.size()};
   }
+  return MatchCursor(range.first, range.second);
+}
+
+size_t TripleStore::CountMatches(TermPattern s, TermPattern p,
+                                 TermPattern o) const {
+  return Scan(s, p, o).remaining();
+}
+
+std::vector<Triple> TripleStore::Match(TermPattern s, TermPattern p,
+                                       TermPattern o) const {
+  MatchCursor cursor = Scan(s, p, o);
+  std::vector<Triple> out;
+  out.reserve(cursor.remaining());
+  while (const Triple* t = cursor.Next()) out.push_back(*t);
   return out;
 }
 

@@ -2,7 +2,11 @@
 //
 // Triples are added with Add(); indexes are (re)built lazily on the first
 // read after a write. Pattern matching accepts an optional id for each
-// position and streams matching triples.
+// position and streams matching triples. Every bound-position combination
+// maps to a contiguous range of one sorted index (the two-bound (s, o) case
+// uses the OSP index with prefix (o, s)), so Scan() cursors never filter:
+// they walk exactly the matching range, and CountMatches() is two binary
+// searches.
 //
 // Example:
 //   TripleStore store("dbpedia");
@@ -10,7 +14,8 @@
 //   TermId p = store.InternTerm(Term::Iri("http://ex/name"));
 //   TermId o = store.InternTerm(Term::StringLiteral("LeBron James"));
 //   store.Add(s, p, o);
-//   for (const Triple& t : store.Match(s, std::nullopt, std::nullopt)) ...
+//   MatchCursor cursor = store.Scan(s, std::nullopt, std::nullopt);
+//   while (const Triple* t = cursor.Next()) ...
 #ifndef ALEX_RDF_TRIPLE_STORE_H_
 #define ALEX_RDF_TRIPLE_STORE_H_
 
@@ -37,6 +42,32 @@ struct Triple {
 // An optionally-bound pattern position.
 using TermPattern = std::optional<TermId>;
 
+// A lazy scan over one contiguous index range. Obtained from
+// TripleStore::Scan(); valid as long as the store is not mutated. The
+// range contains exactly the matching triples (no residual filtering), in
+// the order of the chosen index.
+class MatchCursor {
+ public:
+  MatchCursor() = default;
+
+  // The next matching triple, or nullptr when exhausted.
+  const Triple* Next() {
+    if (it_ == end_) return nullptr;
+    return it_++;
+  }
+
+  // Exact number of matches not yet consumed.
+  size_t remaining() const { return static_cast<size_t>(end_ - it_); }
+
+ private:
+  friend class TripleStore;
+  MatchCursor(const Triple* first, const Triple* last)
+      : it_(first), end_(last) {}
+
+  const Triple* it_ = nullptr;
+  const Triple* end_ = nullptr;
+};
+
 class TripleStore {
  public:
   explicit TripleStore(std::string name) : name_(std::move(name)) {}
@@ -62,8 +93,19 @@ class TripleStore {
   // Number of distinct triples. Builds indexes if dirty.
   size_t size() const;
 
-  // All triples matching the pattern, in SPO order of the chosen index.
+  // All triples matching the pattern, in the order of the chosen index.
   std::vector<Triple> Match(TermPattern s, TermPattern p, TermPattern o) const;
+
+  // Lazy variant of Match(): a cursor over the matching index range. The
+  // cursor borrows the store's index storage — do not mutate the store
+  // while cursors are live. Calls EnsureIndexes(), so on a freshly written
+  // store the first Scan()/Match()/size() is not thread-safe with other
+  // readers; call size() once before sharing the store across threads.
+  MatchCursor Scan(TermPattern s, TermPattern p, TermPattern o) const;
+
+  // Exact number of triples matching the pattern (two binary searches; no
+  // scan). The cardinality source for compiled-query join ordering.
+  size_t CountMatches(TermPattern s, TermPattern p, TermPattern o) const;
 
   // True if the fully-bound triple exists.
   bool Contains(TermId s, TermId p, TermId o) const;

@@ -5,6 +5,8 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/strings.h"
 
@@ -16,32 +18,17 @@ using rdf::TermPattern;
 using rdf::Triple;
 using rdf::TripleStore;
 
-// Resolves a pattern node to a TermPattern for `store`. Returns false when
-// the node is a constant that does not exist in the store (no matches
-// possible).
-bool ResolveNode(const PatternNode& node, const Binding& binding,
-                 const TripleStore& store, TermPattern* out,
-                 bool* unmatchable) {
-  *unmatchable = false;
-  const rdf::Term* term = nullptr;
-  if (node.is_variable) {
-    auto it = binding.find(node.variable);
-    if (it == binding.end()) {
-      *out = std::nullopt;
-      return true;
+// FNV-1a over an id tuple; used for GROUP BY / DISTINCT hash indexes.
+struct IdRowHash {
+  size_t operator()(const std::vector<TermId>& row) const {
+    size_t h = 14695981039346656037ull;
+    for (TermId id : row) {
+      h ^= id;
+      h *= 1099511628211ull;
     }
-    term = &it->second;
-  } else {
-    term = &node.term;
+    return h;
   }
-  std::optional<TermId> id = store.dictionary().Lookup(*term);
-  if (!id) {
-    *unmatchable = true;
-    return false;
-  }
-  *out = *id;
-  return true;
-}
+};
 
 // True when every variable in `expr` is bound.
 bool FilterReady(const FilterExpr& expr, const Binding& binding) {
@@ -58,13 +45,40 @@ bool FilterReady(const FilterExpr& expr, const Binding& binding) {
   return true;
 }
 
-// Backtracking basic-graph-pattern matcher. Extends a binding over a list
-// of patterns, invoking `emit` for every complete solution. Early-applies
-// the query's filters as soon as their variables are bound.
+// ---------------------------------------------------------------------------
+// Legacy engine: term-space backtracking matcher. Kept as the differential
+// oracle for the compiled engine. Constants are resolved to ids once at
+// construction, and a parallel name -> TermId binding removes all dictionary
+// lookups from the enumeration loop.
+// ---------------------------------------------------------------------------
+
 class Matcher {
  public:
   Matcher(const Query& query, const TripleStore& store)
-      : query_(query), store_(store) {}
+      : query_(query), store_(store) {
+    auto add = [&](const TriplePattern& pattern) {
+      ResolvedPattern resolved;
+      const PatternNode* nodes[3] = {&pattern.subject, &pattern.predicate,
+                                     &pattern.object};
+      for (int i = 0; i < 3; ++i) {
+        if (nodes[i]->is_variable) {
+          resolved.nodes[i].name = &nodes[i]->variable;
+        } else if (std::optional<TermId> id =
+                       store.dictionary().Lookup(nodes[i]->term)) {
+          resolved.nodes[i].constant = *id;
+        } else {
+          resolved.unmatchable = true;
+        }
+      }
+      resolved_.emplace(&pattern, resolved);
+    };
+    for (const std::vector<TriplePattern>* patterns : query.Alternatives()) {
+      for (const TriplePattern& pattern : *patterns) add(pattern);
+    }
+    for (const std::vector<TriplePattern>& group : query.optionals) {
+      for (const TriplePattern& pattern : group) add(pattern);
+    }
+  }
 
   // `stop` lets the caller cut enumeration short (LIMIT / max_rows / ASK).
   Status Enumerate(std::vector<const TriplePattern*> remaining,
@@ -85,46 +99,59 @@ class Matcher {
     const TriplePattern* pattern = remaining[best];
     remaining.erase(remaining.begin() + best);
 
-    TermPattern s, p, o;
-    bool bad = false;
-    if (!ResolveNode(pattern->subject, *binding, store_, &s, &bad) && bad) {
-      return Status::Ok();
-    }
-    if (!ResolveNode(pattern->predicate, *binding, store_, &p, &bad) && bad) {
-      return Status::Ok();
-    }
-    if (!ResolveNode(pattern->object, *binding, store_, &o, &bad) && bad) {
-      return Status::Ok();
+    const ResolvedPattern& resolved = resolved_.at(pattern);
+    if (resolved.unmatchable) return Status::Ok();
+    TermPattern positions[3];
+    for (int i = 0; i < 3; ++i) {
+      if (resolved.nodes[i].name != nullptr) {
+        auto it = id_binding_.find(*resolved.nodes[i].name);
+        if (it != id_binding_.end()) positions[i] = it->second;
+      } else {
+        positions[i] = resolved.nodes[i].constant;
+      }
     }
     const rdf::Dictionary& dict = store_.dictionary();
-    for (const Triple& t : store_.Match(s, p, o)) {
+    rdf::MatchCursor cursor =
+        store_.Scan(positions[0], positions[1], positions[2]);
+    while (const Triple* t = cursor.Next()) {
       if (*stop) break;
-      std::vector<std::string> added;
+      std::vector<const std::string*> added;
       bool consistent = true;
       auto bind = [&](const PatternNode& node, TermId id) {
         if (!node.is_variable) return;
-        auto it = binding->find(node.variable);
-        const rdf::Term& term = dict.term(id);
-        if (it == binding->end()) {
-          binding->emplace(node.variable, term);
-          added.push_back(node.variable);
-        } else if (!(it->second == term)) {
+        auto [it, inserted] = id_binding_.try_emplace(node.variable, id);
+        if (inserted) {
+          binding->emplace(node.variable, dict.term(id));
+          added.push_back(&node.variable);
+        } else if (it->second != id) {
           consistent = false;
         }
       };
-      bind(pattern->subject, t.subject);
-      if (consistent) bind(pattern->predicate, t.predicate);
-      if (consistent) bind(pattern->object, t.object);
+      bind(pattern->subject, t->subject);
+      if (consistent) bind(pattern->predicate, t->predicate);
+      if (consistent) bind(pattern->object, t->object);
       if (consistent && EarlyFiltersPass(*binding)) {
         Status st = Enumerate(remaining, binding, emit, stop);
         if (!st.ok()) return st;
       }
-      for (const std::string& var : added) binding->erase(var);
+      for (const std::string* var : added) {
+        binding->erase(*var);
+        id_binding_.erase(*var);
+      }
     }
     return Status::Ok();
   }
 
  private:
+  struct ResolvedNode {
+    const std::string* name = nullptr;  // variable name; nullptr = constant
+    TermPattern constant;               // resolved constant id
+  };
+  struct ResolvedPattern {
+    ResolvedNode nodes[3];
+    bool unmatchable = false;  // some constant is absent from the store
+  };
+
   bool EarlyFiltersPass(const Binding& binding) const {
     for (const auto& filter : query_.filters) {
       if (FilterReady(*filter, binding) && !EvalFilter(*filter, binding)) {
@@ -136,30 +163,56 @@ class Matcher {
 
   const Query& query_;
   const TripleStore& store_;
+  std::unordered_map<const TriplePattern*, ResolvedPattern> resolved_;
+  // Mirror of the term binding in id space; kept in sync by bind/unbind.
+  std::unordered_map<std::string, TermId> id_binding_;
 };
 
 // Groups `rows` by the GROUP BY keys and evaluates the aggregate
 // projections per group. With no GROUP BY the whole input is one group
-// (even when empty: COUNT(*) of nothing is 0).
+// (even when empty: COUNT(*) of nothing is 0). Groups are indexed by the
+// id tuple of their key terms (all key terms come from `dict` — they were
+// bound from store triples); terms foreign to the dictionary (possible only
+// for synthetic inputs) fall back to an encoding-key string index.
 std::vector<Binding> ApplyAggregates(const Query& query,
-                                     const std::vector<Binding>& rows) {
+                                     const std::vector<Binding>& rows,
+                                     const rdf::Dictionary& dict) {
   // Group rows (stable order of first appearance).
   std::vector<std::pair<Binding, std::vector<const Binding*>>> groups;
-  std::map<std::string, size_t> index;
+  std::unordered_map<std::vector<TermId>, size_t, IdRowHash> index;
+  std::unordered_map<std::string, size_t> foreign_index;
   for (const Binding& row : rows) {
-    std::string key;
+    std::vector<TermId> key(query.group_by.size(), rdf::kInvalidTermId);
     Binding key_binding;
-    for (const std::string& var : query.group_by) {
-      auto it = row.find(var);
-      if (it != row.end()) {
-        key += it->second.EncodingKey();
-        key_binding.emplace(var, it->second);
+    bool foreign = false;
+    for (size_t i = 0; i < query.group_by.size(); ++i) {
+      auto it = row.find(query.group_by[i]);
+      if (it == row.end()) continue;
+      key_binding.emplace(query.group_by[i], it->second);
+      if (std::optional<TermId> id = dict.Lookup(it->second)) {
+        key[i] = *id;
+      } else {
+        foreign = true;
       }
-      key += '\x01';
     }
-    auto [slot, inserted] = index.emplace(key, groups.size());
-    if (inserted) groups.push_back({std::move(key_binding), {}});
-    groups[slot->second].second.push_back(&row);
+    size_t slot;
+    if (!foreign) {
+      auto [entry, inserted] = index.emplace(std::move(key), groups.size());
+      if (inserted) groups.push_back({std::move(key_binding), {}});
+      slot = entry->second;
+    } else {
+      std::string text_key;
+      for (const std::string& var : query.group_by) {
+        auto it = row.find(var);
+        if (it != row.end()) text_key += it->second.EncodingKey();
+        text_key += '\x01';
+      }
+      auto [entry, inserted] =
+          foreign_index.emplace(std::move(text_key), groups.size());
+      if (inserted) groups.push_back({std::move(key_binding), {}});
+      slot = entry->second;
+    }
+    groups[slot].second.push_back(&row);
   }
   if (groups.empty() && query.group_by.empty()) {
     groups.push_back({Binding{}, {}});  // global aggregate over zero rows
@@ -225,21 +278,73 @@ std::vector<Binding> ApplyAggregates(const Query& query,
   return out;
 }
 
-}  // namespace
-
-Binding Project(const Query& query, const Binding& binding) {
-  if (query.select_all) return binding;
-  Binding projected;
-  for (const std::string& var : query.select) {
-    auto it = binding.find(var);
-    if (it != binding.end()) projected.emplace(var, it->second);
+// DISTINCT over term-space rows. For plain projections the dedup index is
+// a hash set over id tuples (select-list order); rows carrying terms the
+// dictionary does not know (aggregate outputs, SELECT *) use set<Binding>.
+std::vector<Binding> DedupRows(const Query& query, std::vector<Binding> rows,
+                               const rdf::Dictionary& dict) {
+  if (query.aggregates.empty() && !query.select_all) {
+    std::vector<std::vector<TermId>> keys;
+    keys.reserve(rows.size());
+    bool ids_ok = true;
+    for (const Binding& row : rows) {
+      std::vector<TermId> key(query.select.size(), rdf::kInvalidTermId);
+      for (size_t i = 0; i < query.select.size() && ids_ok; ++i) {
+        auto it = row.find(query.select[i]);
+        if (it == row.end()) continue;
+        if (std::optional<TermId> id = dict.Lookup(it->second)) {
+          key[i] = *id;
+        } else {
+          ids_ok = false;
+        }
+      }
+      if (!ids_ok) break;
+      keys.push_back(std::move(key));
+    }
+    if (ids_ok) {
+      std::unordered_set<std::vector<TermId>, IdRowHash> seen;
+      std::vector<Binding> unique;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (seen.insert(std::move(keys[i])).second) {
+          unique.push_back(std::move(rows[i]));
+        }
+      }
+      return unique;
+    }
   }
-  return projected;
+  std::set<Binding> seen;
+  std::vector<Binding> unique;
+  for (Binding& row : rows) {
+    if (seen.insert(row).second) unique.push_back(std::move(row));
+  }
+  return unique;
 }
 
-Result<std::vector<Binding>> Execute(const Query& query,
-                                     const rdf::TripleStore& store,
-                                     const ExecuteOptions& options) {
+// Shared result tail: aggregation, DISTINCT, ORDER BY, OFFSET, LIMIT.
+std::vector<Binding> FinishTermRows(const Query& query,
+                                    std::vector<Binding> rows,
+                                    const rdf::Dictionary& dict) {
+  if (!query.aggregates.empty()) rows = ApplyAggregates(query, rows, dict);
+  if (query.distinct) rows = DedupRows(query, std::move(rows), dict);
+  if (!query.order_by.empty()) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&query](const Binding& a, const Binding& b) {
+                       return CompareBindingsForOrder(a, b, query.order_by) < 0;
+                     });
+  }
+  if (query.offset > 0) {
+    rows.erase(rows.begin(),
+               rows.begin() + std::min(query.offset, rows.size()));
+  }
+  if (query.limit && rows.size() > *query.limit) {
+    rows.resize(*query.limit);
+  }
+  return rows;
+}
+
+Result<std::vector<Binding>> ExecuteLegacy(const Query& query,
+                                           const rdf::TripleStore& store,
+                                           const ExecuteOptions& options) {
   std::vector<Binding> rows;
   bool stop = false;
   Matcher matcher(query, store);
@@ -299,29 +404,312 @@ Result<std::vector<Binding>> Execute(const Query& query,
     if (!st.ok()) return st;
   }
 
-  if (!query.aggregates.empty()) rows = ApplyAggregates(query, rows);
-  if (query.distinct) {
-    std::set<Binding> seen;
-    std::vector<Binding> unique;
-    for (Binding& row : rows) {
+  return FinishTermRows(query, std::move(rows), store.dictionary());
+}
+
+// ---------------------------------------------------------------------------
+// Compiled engine: id-space enumeration over a CompiledQuery. Bindings live
+// in a flat TermId array indexed by VarSlot; pattern positions resolve to
+// either a precompiled constant id or a slot read; every probe is a lazy
+// MatchCursor over one contiguous index range. Filters already proven to
+// hold along the current path are tracked in a 64-bit mask so they are
+// evaluated at most once per path (filters beyond the first 64 are simply
+// re-evaluated — same verdict, just slower).
+// ---------------------------------------------------------------------------
+
+class CompiledExecutor {
+ public:
+  CompiledExecutor(const CompiledQuery& plan, const ExecuteOptions& options)
+      : plan_(plan),
+        query_(*plan.query),
+        store_(*plan.store),
+        dict_(plan.store->dictionary()),
+        options_(options),
+        slots_(plan.num_slots, rdf::kInvalidTermId) {}
+
+  Result<std::vector<Binding>> Run() {
+    for (const CompiledGroup& group : plan_.alternatives) {
+      if (stop_) break;
+      if (group.unmatchable) continue;
+      std::fill(slots_.begin(), slots_.end(), rdf::kInvalidTermId);
+      EnumerateGroup(group, 0, 0,
+                     [this](uint64_t passed) { ApplyOptionals(0, passed); });
+    }
+    if (!query_.aggregates.empty()) {
+      return FinishTermRows(query_, std::move(agg_rows_), dict_);
+    }
+    if (query_.distinct) DedupIdRows();
+    if (!query_.order_by.empty()) OrderIdRows();
+    if (query_.offset > 0) {
+      id_rows_.erase(
+          id_rows_.begin(),
+          id_rows_.begin() + std::min(query_.offset, id_rows_.size()));
+    }
+    if (query_.limit && id_rows_.size() > *query_.limit) {
+      id_rows_.resize(*query_.limit);
+    }
+    return Materialize();
+  }
+
+ private:
+  TermPattern Value(const CompiledNode& node) const {
+    if (!node.is_variable) return node.id;
+    TermId id = slots_[node.slot];
+    if (id == rdf::kInvalidTermId) return std::nullopt;
+    return id;
+  }
+
+  bool EvalCompiled(const CompiledFilter& filter) const {
+    if (!filter.bitmap.empty()) {
+      return filter.bitmap[slots_[filter.bitmap_slot]];
+    }
+    Binding binding;
+    for (VarSlot slot : filter.slots) {
+      binding.emplace(plan_.slot_names[slot], dict_.term(slots_[slot]));
+    }
+    return EvalFilter(*filter.expr, binding);
+  }
+
+  // Evaluates every filter that is ready (all slots bound) and not yet
+  // known to pass along this path; false prunes the path.
+  bool FiltersPass(uint64_t* passed) const {
+    for (size_t i = 0; i < plan_.filters.size(); ++i) {
+      const bool tracked = i < 64;
+      if (tracked && ((*passed >> i) & 1)) continue;
+      const CompiledFilter& filter = plan_.filters[i];
+      bool ready = true;
+      for (VarSlot slot : filter.slots) {
+        if (slots_[slot] == rdf::kInvalidTermId) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      if (!EvalCompiled(filter)) return false;
+      if (tracked) *passed |= (1ull << i);
+    }
+    return true;
+  }
+
+  void EnumerateGroup(const CompiledGroup& group, size_t depth,
+                      uint64_t passed,
+                      const std::function<void(uint64_t)>& emit) {
+    if (stop_) return;
+    if (depth == group.patterns.size()) {
+      emit(passed);
+      return;
+    }
+    const CompiledPattern& pattern = group.patterns[depth];
+    rdf::MatchCursor cursor =
+        store_.Scan(Value(pattern.subject), Value(pattern.predicate),
+                    Value(pattern.object));
+    while (const Triple* t = cursor.Next()) {
+      if (stop_) break;
+      VarSlot undo[3];
+      int undo_count = 0;
+      bool consistent = true;
+      auto bind = [&](const CompiledNode& node, TermId id) {
+        if (!node.is_variable) return;
+        TermId& slot = slots_[node.slot];
+        if (slot == rdf::kInvalidTermId) {
+          slot = id;
+          undo[undo_count++] = node.slot;
+        } else if (slot != id) {
+          consistent = false;
+        }
+      };
+      bind(pattern.subject, t->subject);
+      if (consistent) bind(pattern.predicate, t->predicate);
+      if (consistent) bind(pattern.object, t->object);
+      if (consistent) {
+        uint64_t local = passed;
+        if (FiltersPass(&local)) EnumerateGroup(group, depth + 1, local, emit);
+      }
+      for (int i = 0; i < undo_count; ++i) {
+        slots_[undo[i]] = rdf::kInvalidTermId;
+      }
+    }
+  }
+
+  void ApplyOptionals(size_t index, uint64_t passed) {
+    if (stop_) return;
+    if (index >= plan_.optionals.size()) {
+      // Final filters: anything ready and not yet verified on this path
+      // (filters over never-bound variables stay not-ready and pass).
+      if (!FiltersPass(&passed)) return;
+      if (!query_.aggregates.empty()) {
+        agg_rows_.push_back(FullBinding());
+      } else {
+        id_rows_.push_back(ProjectIds());
+      }
+      size_t produced =
+          query_.aggregates.empty() ? id_rows_.size() : agg_rows_.size();
+      if (produced >= options_.max_rows) stop_ = true;
+      if (query_.is_ask) stop_ = true;
+      if (query_.limit && !query_.distinct && query_.order_by.empty() &&
+          query_.aggregates.empty() && query_.offset == 0 &&
+          produced >= *query_.limit) {
+        stop_ = true;
+      }
+      return;
+    }
+    const CompiledGroup& group = plan_.optionals[index];
+    if (group.unmatchable) {
+      ApplyOptionals(index + 1, passed);
+      return;
+    }
+    bool matched = false;
+    EnumerateGroup(group, 0, passed, [&](uint64_t local) {
+      matched = true;
+      ApplyOptionals(index + 1, local);
+    });
+    if (!matched) ApplyOptionals(index + 1, passed);
+  }
+
+  std::vector<TermId> ProjectIds() const {
+    if (query_.select_all) return slots_;
+    std::vector<TermId> row(plan_.select_slots.size(), rdf::kInvalidTermId);
+    for (size_t i = 0; i < plan_.select_slots.size(); ++i) {
+      if (plan_.select_slots[i] != kNoSlot) row[i] = slots_[plan_.select_slots[i]];
+    }
+    return row;
+  }
+
+  Binding FullBinding() const {
+    Binding binding;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i] != rdf::kInvalidTermId) {
+        binding.emplace(plan_.slot_names[i], dict_.term(slots_[i]));
+      }
+    }
+    return binding;
+  }
+
+  void DedupIdRows() {
+    std::unordered_set<std::vector<TermId>, IdRowHash> seen;
+    std::vector<std::vector<TermId>> unique;
+    unique.reserve(id_rows_.size());
+    for (std::vector<TermId>& row : id_rows_) {
       if (seen.insert(row).second) unique.push_back(std::move(row));
     }
-    rows = std::move(unique);
+    id_rows_ = std::move(unique);
   }
-  if (!query.order_by.empty()) {
-    std::stable_sort(rows.begin(), rows.end(),
-                     [&query](const Binding& a, const Binding& b) {
-                       return CompareBindingsForOrder(a, b, query.order_by) < 0;
-                     });
+
+  // ORDER BY over id rows, with exactly the CompareBindingsForOrder
+  // semantics: a key variable outside the projection compares as unbound.
+  void OrderIdRows() {
+    std::vector<int> columns(plan_.order_slots.size(), -1);
+    for (size_t k = 0; k < plan_.order_slots.size(); ++k) {
+      VarSlot slot = plan_.order_slots[k].slot;
+      if (slot == kNoSlot) continue;
+      if (query_.select_all) {
+        columns[k] = static_cast<int>(slot);
+      } else {
+        for (size_t i = 0; i < plan_.select_slots.size(); ++i) {
+          if (plan_.select_slots[i] == slot) {
+            columns[k] = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+    }
+    auto compare = [&](const std::vector<TermId>& a,
+                       const std::vector<TermId>& b) {
+      for (size_t k = 0; k < plan_.order_slots.size(); ++k) {
+        int col = columns[k];
+        TermId ia = col >= 0 ? a[col] : rdf::kInvalidTermId;
+        TermId ib = col >= 0 ? b[col] : rdf::kInvalidTermId;
+        bool ha = ia != rdf::kInvalidTermId;
+        bool hb = ib != rdf::kInvalidTermId;
+        int cmp = 0;
+        if (ha != hb) {
+          cmp = ha ? 1 : -1;  // unbound first
+        } else if (ha && hb && ia != ib) {
+          const std::string& la = dict_.term(ia).lexical();
+          const std::string& lb = dict_.term(ib).lexical();
+          double da = 0.0, db = 0.0;
+          if (ParseDouble(la, &da) && ParseDouble(lb, &db)) {
+            cmp = da < db ? -1 : (da > db ? 1 : 0);
+          } else {
+            int c = la.compare(lb);
+            cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+          }
+        }
+        if (plan_.order_slots[k].descending) cmp = -cmp;
+        if (cmp != 0) return cmp < 0;
+      }
+      return false;
+    };
+    std::stable_sort(id_rows_.begin(), id_rows_.end(), compare);
   }
-  if (query.offset > 0) {
-    rows.erase(rows.begin(),
-               rows.begin() + std::min(query.offset, rows.size()));
+
+  std::vector<Binding> Materialize() const {
+    std::vector<Binding> out;
+    out.reserve(id_rows_.size());
+    for (const std::vector<TermId>& row : id_rows_) {
+      Binding binding;
+      if (query_.select_all) {
+        for (size_t i = 0; i < row.size(); ++i) {
+          if (row[i] != rdf::kInvalidTermId) {
+            binding.emplace(plan_.slot_names[i], dict_.term(row[i]));
+          }
+        }
+      } else {
+        for (size_t i = 0; i < row.size(); ++i) {
+          if (row[i] != rdf::kInvalidTermId) {
+            binding.emplace(query_.select[i], dict_.term(row[i]));
+          }
+        }
+      }
+      out.push_back(std::move(binding));
+    }
+    return out;
   }
-  if (query.limit && rows.size() > *query.limit) {
-    rows.resize(*query.limit);
+
+  const CompiledQuery& plan_;
+  const Query& query_;
+  const TripleStore& store_;
+  const rdf::Dictionary& dict_;
+  const ExecuteOptions& options_;
+
+  std::vector<TermId> slots_;                // current path binding
+  std::vector<std::vector<TermId>> id_rows_;  // non-aggregate results
+  std::vector<Binding> agg_rows_;             // full bindings for aggregation
+  bool stop_ = false;
+};
+
+}  // namespace
+
+Binding Project(const Query& query, const Binding& binding) {
+  if (query.select_all) return binding;
+  Binding projected;
+  for (const std::string& var : query.select) {
+    auto it = binding.find(var);
+    if (it != binding.end()) projected.emplace(var, it->second);
   }
-  return rows;
+  return projected;
+}
+
+Result<std::vector<Binding>> Execute(const Query& query,
+                                     const rdf::TripleStore& store,
+                                     const ExecuteOptions& options) {
+  if (options.engine == ExecEngine::kLegacy) {
+    return ExecuteLegacy(query, store, options);
+  }
+  CompiledQuery local;
+  const CompiledQuery* plan = options.plan;
+  if (plan != nullptr) {
+    if (plan->query != &query || plan->store != &store) {
+      return Status::InvalidArgument(
+          "precompiled plan does not match query/store");
+    }
+  } else {
+    CompileOptions compile_options;
+    compile_options.stats = options.stats;
+    local = CompileQuery(query, store, compile_options);
+    plan = &local;
+  }
+  return CompiledExecutor(*plan, options).Run();
 }
 
 Result<bool> Ask(const Query& query, const rdf::TripleStore& store,

@@ -1,9 +1,18 @@
-// Basic-graph-pattern executor over a single TripleStore.
+// Query execution over a single TripleStore.
 //
-// The executor performs a backtracking join: at each step it picks the
-// remaining pattern with the fewest unbound variables (greedy selectivity
-// ordering), matches it against the store, extends the binding, and
-// recurses. FILTERs are applied as soon as all of their variables are bound.
+// Two engines share one entry point:
+//
+//   * kCompiled (default): compiles the query to TermId space once
+//     (sparql/compiler.h) — constants pre-resolved, variables in dense
+//     slots, patterns ordered by estimated cardinality — then enumerates
+//     solutions over lazy index cursors (rdf::MatchCursor) with bindings in
+//     a flat TermId array. FILTERs run as id-space bitmaps where possible.
+//   * kLegacy: the original backtracking matcher over string-keyed
+//     bindings, kept as the differential-testing oracle.
+//
+// Both engines produce the same row multiset; enumeration ORDER may differ
+// between them (they join in different orders), so order-sensitive callers
+// must use ORDER BY.
 #ifndef ALEX_SPARQL_EXECUTOR_H_
 #define ALEX_SPARQL_EXECUTOR_H_
 
@@ -12,12 +21,25 @@
 #include "common/status.h"
 #include "rdf/triple_store.h"
 #include "sparql/algebra.h"
+#include "sparql/compiler.h"
 
 namespace alex::sparql {
+
+enum class ExecEngine {
+  kCompiled,  // TermId-space executor over compiled plans
+  kLegacy,    // original term-space backtracking matcher (oracle)
+};
 
 struct ExecuteOptions {
   // Hard cap on produced rows before projection (safety valve).
   size_t max_rows = 1000000;
+  ExecEngine engine = ExecEngine::kCompiled;
+  // Optional dataset statistics forwarded to the compiler for join
+  // ordering (compiled engine only).
+  const rdf::DatasetStats* stats = nullptr;
+  // Optional precompiled plan to reuse (compiled engine only). Must have
+  // been compiled from exactly this query and store.
+  const CompiledQuery* plan = nullptr;
 };
 
 // Runs `query` against `store` and returns the projected solutions.

@@ -1,0 +1,303 @@
+#include "federation/query_cache.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "datagen/profiles.h"
+#include "eval/query_workload.h"
+#include "federation/federated_engine.h"
+#include "linking/paris.h"
+
+namespace alex::fed {
+namespace {
+
+using linking::Link;
+using rdf::Term;
+using rdf::TripleStore;
+
+bool SameAnswers(const std::vector<FederatedAnswer>& a,
+                 const std::vector<FederatedAnswer>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].binding != b[i].binding) return false;
+    if (a[i].links_used.size() != b[i].links_used.size()) return false;
+    for (size_t j = 0; j < a[i].links_used.size(); ++j) {
+      if (!(a[i].links_used[j] == b[i].links_used[j])) return false;
+    }
+  }
+  return true;
+}
+
+FederatedAnswer MakeAnswer(const std::string& var, const std::string& value) {
+  FederatedAnswer answer;
+  answer.binding[var] = Term::StringLiteral(value);
+  return answer;
+}
+
+TEST(QueryFingerprintTest, DistinguishesTextAndRowCap) {
+  const uint64_t a = QueryFingerprint("SELECT ?x WHERE { ?x ?p ?o }", 100);
+  EXPECT_EQ(a, QueryFingerprint("SELECT ?x WHERE { ?x ?p ?o }", 100));
+  EXPECT_NE(a, QueryFingerprint("SELECT ?y WHERE { ?y ?p ?o }", 100));
+  EXPECT_NE(a, QueryFingerprint("SELECT ?x WHERE { ?x ?p ?o }", 99));
+}
+
+TEST(FederatedQueryCacheTest, LookupInsertRoundTrip) {
+  FederatedQueryCache cache;
+  const uint64_t fp = QueryFingerprint("q", 10);
+  EXPECT_EQ(cache.Lookup(fp), nullptr);
+  cache.Insert(fp, {MakeAnswer("x", "v")}, {"http://ex/a"});
+  const std::vector<FederatedAnswer>* hit = cache.Lookup(fp);
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ(hit->at(0).binding.at("x").lexical(), "v");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(FederatedQueryCacheTest, InvalidationIsExact) {
+  FederatedQueryCache cache;
+  const uint64_t fp_a = QueryFingerprint("about-a", 10);
+  const uint64_t fp_b = QueryFingerprint("about-b", 10);
+  const uint64_t fp_ab = QueryFingerprint("about-both", 10);
+  cache.Insert(fp_a, {MakeAnswer("x", "a")}, {"http://ex/a"});
+  cache.Insert(fp_b, {MakeAnswer("x", "b")}, {"http://ex/b"});
+  cache.Insert(fp_ab, {MakeAnswer("x", "ab")},
+               {"http://ex/a", "http://ex/b"});
+  ASSERT_EQ(cache.size(), 3u);
+
+  // A link touching IRI a (as left endpoint) drops exactly the entries that
+  // consulted a; the b-only entry is replay-exact and must survive.
+  cache.InvalidateLink(Link{"http://ex/a", "http://other/z", 1.0});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup(fp_a), nullptr);
+  EXPECT_NE(cache.Lookup(fp_b), nullptr);
+  EXPECT_EQ(cache.Lookup(fp_ab), nullptr);
+  EXPECT_EQ(cache.stats().invalidated, 2u);
+
+  // The right endpoint invalidates too.
+  cache.InvalidateLink(Link{"http://other/z", "http://ex/b", 1.0});
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A link touching nothing consulted is a no-op.
+  cache.Insert(fp_a, {MakeAnswer("x", "a")}, {"http://ex/a"});
+  cache.InvalidateLink(Link{"http://unrelated/1", "http://unrelated/2", 1.0});
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FederatedQueryCacheTest, InsertReplacesAndReindexes) {
+  FederatedQueryCache cache;
+  const uint64_t fp = QueryFingerprint("q", 10);
+  cache.Insert(fp, {MakeAnswer("x", "old")}, {"http://ex/old"});
+  cache.Insert(fp, {MakeAnswer("x", "new")}, {"http://ex/new"});
+  ASSERT_EQ(cache.size(), 1u);
+  // The old consulted IRI must no longer invalidate the replaced entry.
+  cache.InvalidateLink(Link{"http://ex/old", "http://other/z", 1.0});
+  ASSERT_NE(cache.Lookup(fp), nullptr);
+  EXPECT_EQ(cache.Lookup(fp)->at(0).binding.at("x").lexical(), "new");
+  cache.InvalidateLink(Link{"http://ex/new", "http://other/z", 1.0});
+  EXPECT_EQ(cache.Lookup(fp), nullptr);
+}
+
+TEST(FederatedQueryCacheTest, TakeStatsResetsCountersKeepsEntries) {
+  FederatedQueryCache cache;
+  const uint64_t fp = QueryFingerprint("q", 10);
+  cache.Lookup(fp);
+  cache.Insert(fp, {}, {"http://ex/a"});
+  cache.Lookup(fp);
+  FederatedQueryCache::Stats stats = cache.TakeStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.size(), 1u);  // entries survive the counter reset
+}
+
+// End-to-end: a cached ExecuteText returns the exact rows of the uncached
+// run, is invalidated by exactly the relevant link change, and answers the
+// changed query correctly afterwards.
+class CachedEngineTest : public ::testing::Test {
+ protected:
+  CachedEngineTest() : dbpedia_("dbpedia"), nytimes_("nytimes") {
+    dbpedia_.Add(Term::Iri("http://dbpedia.org/LeBron_James"),
+                 Term::Iri("http://dbpedia.org/award"),
+                 Term::StringLiteral("NBA MVP 2013"));
+    dbpedia_.Add(Term::Iri("http://dbpedia.org/Kevin_Durant"),
+                 Term::Iri("http://dbpedia.org/award"),
+                 Term::StringLiteral("NBA MVP 2014"));
+    nytimes_.Add(Term::Iri("http://nyt.com/article/1"),
+                 Term::Iri("http://nyt.com/about"),
+                 Term::Iri("http://nyt.com/person/lebron"));
+    nytimes_.Add(Term::Iri("http://nyt.com/article/3"),
+                 Term::Iri("http://nyt.com/about"),
+                 Term::Iri("http://nyt.com/person/durant"));
+    links_.Add(Link{"http://dbpedia.org/LeBron_James",
+                    "http://nyt.com/person/lebron", 0.99});
+  }
+
+  TripleStore dbpedia_;
+  TripleStore nytimes_;
+  LinkSet links_;
+};
+
+TEST_F(CachedEngineTest, HitReturnsIdenticalRowsAndInvalidationIsExact) {
+  FederatedEngine engine({&dbpedia_, &nytimes_}, &links_);
+  FederatedQueryCache cache;
+  engine.set_cache(&cache);
+
+  const std::string lebron_q =
+      "SELECT ?article WHERE { "
+      "?player <http://dbpedia.org/award> \"NBA MVP 2013\" . "
+      "?article <http://nyt.com/about> ?player }";
+  const std::string durant_q =
+      "SELECT ?article WHERE { "
+      "?player <http://dbpedia.org/award> \"NBA MVP 2014\" . "
+      "?article <http://nyt.com/about> ?player }";
+
+  auto first = engine.ExecuteText(lebron_q);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().size(), 1u);
+  auto second = engine.ExecuteText(lebron_q);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(SameAnswers(first.value(), second.value()));
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  auto durant_before = engine.ExecuteText(durant_q);
+  ASSERT_TRUE(durant_before.ok());
+  EXPECT_TRUE(durant_before.value().empty());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Adding Durant's link must invalidate the Durant query (its evaluator
+  // consulted Durant's neighborhood and found nothing) but NOT the LeBron
+  // query, whose consulted neighborhoods are untouched.
+  const Link durant_link{"http://dbpedia.org/Kevin_Durant",
+                         "http://nyt.com/person/durant", 1.0};
+  links_.Add(durant_link);
+  cache.InvalidateLink(durant_link);
+  EXPECT_NE(cache.Lookup(QueryFingerprint(lebron_q, FederatedOptions().max_rows)),
+            nullptr);
+
+  auto durant_after = engine.ExecuteText(durant_q);
+  ASSERT_TRUE(durant_after.ok());
+  ASSERT_EQ(durant_after.value().size(), 1u);
+  EXPECT_EQ(durant_after.value()[0].binding.at("article").lexical(),
+            "http://nyt.com/article/3");
+}
+
+TEST_F(CachedEngineTest, ParallelExecutionMatchesSequential) {
+  FederatedEngine engine({&dbpedia_, &nytimes_}, &links_);
+  ThreadPool pool(4);
+  // Warm the lazily built indexes before sharing the stores across workers.
+  (void)dbpedia_.size();
+  (void)nytimes_.size();
+
+  const std::vector<std::string> queries = {
+      "SELECT ?article WHERE { "
+      "?player <http://dbpedia.org/award> \"NBA MVP 2013\" . "
+      "?article <http://nyt.com/about> ?player }",
+      "SELECT ?award WHERE { "
+      "?article <http://nyt.com/about> ?person . "
+      "?person <http://dbpedia.org/award> ?award }",
+      "SELECT ?s ?o WHERE { ?s <http://dbpedia.org/award> ?o }",
+      "ASK WHERE { ?player <http://dbpedia.org/award> \"NBA MVP 2013\" . "
+      "?article <http://nyt.com/about> ?player }",
+  };
+  for (const std::string& text : queries) {
+    FederatedOptions sequential;
+    FederatedOptions parallel;
+    parallel.pool = &pool;
+    auto seq = engine.ExecuteText(text, sequential);
+    auto par = engine.ExecuteText(text, parallel);
+    ASSERT_TRUE(seq.ok()) << text;
+    ASSERT_TRUE(par.ok()) << text;
+    // Bitwise-identical including row ORDER: branches merge in ascending
+    // source order, which is the sequential enumeration order.
+    EXPECT_TRUE(SameAnswers(seq.value(), par.value())) << text;
+  }
+}
+
+TEST_F(CachedEngineTest, ParallelRespectsMaxRows) {
+  ThreadPool pool(4);
+  (void)dbpedia_.size();
+  (void)nytimes_.size();
+  FederatedEngine engine({&dbpedia_, &nytimes_}, &links_);
+  const std::string text = "SELECT ?s ?p ?o WHERE { ?s ?p ?o }";
+  for (size_t cap : {1u, 2u, 3u, 100u}) {
+    FederatedOptions sequential;
+    sequential.max_rows = cap;
+    FederatedOptions parallel = sequential;
+    parallel.pool = &pool;
+    auto seq = engine.ExecuteText(text, sequential);
+    auto par = engine.ExecuteText(text, parallel);
+    ASSERT_TRUE(seq.ok());
+    ASSERT_TRUE(par.ok());
+    EXPECT_TRUE(SameAnswers(seq.value(), par.value())) << "cap=" << cap;
+  }
+}
+
+// The query-driven experiment series must be bitwise-identical with the
+// cache on or off — the cache only removes redundant re-execution — and the
+// cached run must actually hit once episodes repeat queries.
+TEST(QueryDrivenCacheTest, SeriesIdenticalWithAndWithoutCache) {
+  datagen::GeneratedWorld world =
+      datagen::Generate(datagen::TinyTestProfile());
+  feedback::GroundTruth truth(world.ground_truth);
+  std::vector<Link> initial = linking::FilterByScore(
+      linking::RunParis(world.left, world.right), 0.95);
+
+  auto run = [&](bool use_cache, ThreadPool* pool) {
+    core::AlexOptions alex_options;
+    alex_options.num_partitions = 2;
+    alex_options.num_threads = 1;
+    core::AlexEngine engine(&world.left, &world.right, alex_options);
+    EXPECT_TRUE(engine.Initialize(initial).ok());
+    eval::QueryDrivenOptions options;
+    options.workload.num_queries = 80;
+    options.episode_size = 60;
+    options.max_episodes = 6;
+    options.use_query_cache = use_cache;
+    options.pool = pool;
+    return eval::RunQueryDrivenExperiment(&engine, world, truth, options);
+  };
+
+  eval::ExperimentResult cached = run(true, nullptr);
+  eval::ExperimentResult uncached = run(false, nullptr);
+  ThreadPool pool(4);
+  eval::ExperimentResult parallel = run(true, &pool);
+
+  auto check_same_series = [](const eval::ExperimentResult& a,
+                              const eval::ExperimentResult& b) {
+    ASSERT_EQ(a.series.size(), b.series.size());
+    for (size_t i = 0; i < a.series.size(); ++i) {
+      const core::EpisodeStats& sa = a.series[i].stats;
+      const core::EpisodeStats& sb = b.series[i].stats;
+      EXPECT_EQ(sa.feedback_items, sb.feedback_items) << "episode " << i;
+      EXPECT_EQ(sa.positive_feedback, sb.positive_feedback) << "episode " << i;
+      EXPECT_EQ(sa.negative_feedback, sb.negative_feedback) << "episode " << i;
+      EXPECT_EQ(sa.candidate_count, sb.candidate_count) << "episode " << i;
+      EXPECT_EQ(a.series[i].quality.precision, b.series[i].quality.precision)
+          << "episode " << i;
+      EXPECT_EQ(a.series[i].quality.recall, b.series[i].quality.recall)
+          << "episode " << i;
+    }
+  };
+  check_same_series(cached, uncached);
+  check_same_series(cached, parallel);
+
+  size_t total_hits = 0;
+  size_t uncached_hits = 0;
+  for (size_t i = 1; i < cached.series.size(); ++i) {
+    total_hits += cached.series[i].stats.query_cache_hits;
+    uncached_hits += uncached.series[i].stats.query_cache_hits;
+  }
+  if (cached.series.size() > 2) {
+    EXPECT_GT(total_hits, 0u);  // repeated episodes must reuse results
+  }
+  EXPECT_EQ(uncached_hits, 0u);
+}
+
+}  // namespace
+}  // namespace alex::fed

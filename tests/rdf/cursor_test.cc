@@ -1,0 +1,156 @@
+// MatchCursor / CountMatches equivalence against Match() and a brute-force
+// reference, over randomized stores and all eight bound-position
+// combinations.
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rdf/triple_store.h"
+
+namespace alex::rdf {
+namespace {
+
+std::vector<Triple> Collect(MatchCursor cursor) {
+  std::vector<Triple> out;
+  while (const Triple* t = cursor.Next()) out.push_back(*t);
+  return out;
+}
+
+bool TripleLess(const Triple& a, const Triple& b) {
+  if (a.subject != b.subject) return a.subject < b.subject;
+  if (a.predicate != b.predicate) return a.predicate < b.predicate;
+  return a.object < b.object;
+}
+
+std::vector<Triple> Sorted(std::vector<Triple> triples) {
+  std::sort(triples.begin(), triples.end(), TripleLess);
+  return triples;
+}
+
+// Scan(), Match(), CountMatches() and a brute-force filter over all triples
+// must agree for the given pattern.
+void CheckPattern(const TripleStore& store, TermPattern s, TermPattern p,
+                  TermPattern o) {
+  std::vector<Triple> all =
+      store.Match(std::nullopt, std::nullopt, std::nullopt);
+  std::vector<Triple> reference;
+  for (const Triple& t : all) {
+    if (s.has_value() && t.subject != *s) continue;
+    if (p.has_value() && t.predicate != *p) continue;
+    if (o.has_value() && t.object != *o) continue;
+    reference.push_back(t);
+  }
+
+  MatchCursor cursor = store.Scan(s, p, o);
+  EXPECT_EQ(cursor.remaining(), reference.size());
+  std::vector<Triple> scanned = Collect(cursor);
+  std::vector<Triple> matched = store.Match(s, p, o);
+
+  // The cursor walks the same index range Match() copies: identical order.
+  EXPECT_EQ(scanned, matched);
+  // Against the reference, only the multiset is fixed (index order varies
+  // with the bound positions).
+  EXPECT_EQ(Sorted(scanned), Sorted(reference));
+  EXPECT_EQ(store.CountMatches(s, p, o), reference.size());
+}
+
+TEST(MatchCursorTest, EmptyStore) {
+  TripleStore store("empty");
+  EXPECT_EQ(store.Scan(std::nullopt, std::nullopt, std::nullopt).remaining(),
+            0u);
+  EXPECT_EQ(store.Scan(std::nullopt, std::nullopt, std::nullopt).Next(),
+            nullptr);
+  EXPECT_EQ(store.CountMatches(std::nullopt, std::nullopt, std::nullopt), 0u);
+}
+
+TEST(MatchCursorTest, AllBoundCombinationsOnRandomStores) {
+  Rng rng(0xc0ffee);
+  for (int round = 0; round < 6; ++round) {
+    TripleStore store("random");
+    const size_t num_subjects = 3 + rng.NextBounded(8);
+    const size_t num_predicates = 2 + rng.NextBounded(4);
+    const size_t num_objects = 3 + rng.NextBounded(10);
+    std::vector<TermId> subjects, predicates, objects;
+    for (size_t i = 0; i < num_subjects; ++i) {
+      subjects.push_back(store.InternTerm(
+          Term::Iri("http://ex/s" + std::to_string(i))));
+    }
+    for (size_t i = 0; i < num_predicates; ++i) {
+      predicates.push_back(store.InternTerm(
+          Term::Iri("http://ex/p" + std::to_string(i))));
+    }
+    for (size_t i = 0; i < num_objects; ++i) {
+      objects.push_back(store.InternTerm(
+          Term::StringLiteral("o" + std::to_string(i))));
+    }
+    const size_t num_triples = 20 + rng.NextBounded(120);
+    for (size_t i = 0; i < num_triples; ++i) {
+      // Duplicates are intentional: the store must dedup at index build.
+      store.Add(subjects[rng.NextBounded(subjects.size())],
+                predicates[rng.NextBounded(predicates.size())],
+                objects[rng.NextBounded(objects.size())]);
+    }
+
+    // A term id that exists in the dictionary but matches nothing.
+    TermId absent = store.InternTerm(Term::Iri("http://ex/absent"));
+
+    auto pick = [&](const std::vector<TermId>& pool) -> TermId {
+      return rng.NextBounded(8) == 0 ? absent
+                                     : pool[rng.NextBounded(pool.size())];
+    };
+    for (int probe = 0; probe < 40; ++probe) {
+      const uint64_t mask = rng.NextBounded(8);  // which positions to bind
+      TermPattern s = (mask & 1) ? TermPattern(pick(subjects)) : std::nullopt;
+      TermPattern p =
+          (mask & 2) ? TermPattern(pick(predicates)) : std::nullopt;
+      TermPattern o = (mask & 4) ? TermPattern(pick(objects)) : std::nullopt;
+      CheckPattern(store, s, p, o);
+    }
+    // Exhaustively cover all 8 combinations with known-present ids too.
+    for (uint64_t mask = 0; mask < 8; ++mask) {
+      TermPattern s = (mask & 1) ? TermPattern(subjects[0]) : std::nullopt;
+      TermPattern p = (mask & 2) ? TermPattern(predicates[0]) : std::nullopt;
+      TermPattern o = (mask & 4) ? TermPattern(objects[0]) : std::nullopt;
+      CheckPattern(store, s, p, o);
+    }
+  }
+}
+
+TEST(MatchCursorTest, RemainingDecrementsAsConsumed) {
+  TripleStore store("counted");
+  TermId s = store.InternTerm(Term::Iri("http://ex/s"));
+  TermId p = store.InternTerm(Term::Iri("http://ex/p"));
+  for (int i = 0; i < 5; ++i) {
+    store.Add(s, p, store.InternTerm(Term::StringLiteral(std::to_string(i))));
+  }
+  MatchCursor cursor = store.Scan(s, p, std::nullopt);
+  size_t expected = 5;
+  EXPECT_EQ(cursor.remaining(), expected);
+  while (cursor.Next() != nullptr) {
+    --expected;
+    EXPECT_EQ(cursor.remaining(), expected);
+  }
+  EXPECT_EQ(expected, 0u);
+  EXPECT_EQ(cursor.Next(), nullptr);  // stays exhausted
+}
+
+TEST(MatchCursorTest, CursorSurvivesReadOnlyStoreUse) {
+  // Cursors borrow index storage; concurrent *reads* must not disturb them.
+  TripleStore store("readonly");
+  TermId s = store.InternTerm(Term::Iri("http://ex/s"));
+  TermId p = store.InternTerm(Term::Iri("http://ex/p"));
+  for (int i = 0; i < 10; ++i) {
+    store.Add(s, p, store.InternTerm(Term::StringLiteral(std::to_string(i))));
+  }
+  (void)store.size();  // build indexes before taking cursors
+  MatchCursor cursor = store.Scan(s, std::nullopt, std::nullopt);
+  std::vector<Triple> via_match = store.Match(s, std::nullopt, std::nullopt);
+  EXPECT_EQ(store.CountMatches(std::nullopt, p, std::nullopt), 10u);
+  EXPECT_EQ(Collect(cursor), via_match);
+}
+
+}  // namespace
+}  // namespace alex::rdf

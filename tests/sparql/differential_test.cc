@@ -1,0 +1,262 @@
+// Differential testing of the two query engines: the compiled
+// TermId-space executor (cursors, slot bindings, stats-driven join order)
+// must agree with the legacy term-space matcher on randomized queries over
+// generated worlds. Enumeration ORDER may differ between the engines, so
+// result multisets are compared canonically sorted; LIMIT without a total
+// order is checked by size plus inclusion in the unlimited result.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/profiles.h"
+#include "datagen/world.h"
+#include "rdf/dataset_stats.h"
+#include "sparql/executor.h"
+#include "sparql/parser.h"
+
+namespace alex::sparql {
+namespace {
+
+struct Vocab {
+  std::vector<std::string> predicates;  // IRIs
+  std::vector<std::string> subjects;    // IRIs
+  std::vector<rdf::Term> objects;       // literals and IRIs
+};
+
+Vocab CollectVocab(const rdf::TripleStore& store) {
+  Vocab vocab;
+  const rdf::Dictionary& dict = store.dictionary();
+  for (rdf::TermId p : store.Predicates()) {
+    vocab.predicates.push_back(dict.term(p).lexical());
+  }
+  for (rdf::TermId s : store.Subjects()) {
+    vocab.subjects.push_back(dict.term(s).lexical());
+    if (vocab.subjects.size() >= 200) break;
+  }
+  for (const rdf::Triple& t :
+       store.Match(std::nullopt, std::nullopt, std::nullopt)) {
+    vocab.objects.push_back(dict.term(t.object));
+    if (vocab.objects.size() >= 400) break;
+  }
+  return vocab;
+}
+
+std::string QuoteLiteral(const std::string& value) {
+  std::string out = "\"";
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string TermText(const rdf::Term& term) {
+  return term.is_iri() ? "<" + term.lexical() + ">"
+                       : QuoteLiteral(term.lexical());
+}
+
+// One randomized query: the full text plus a LIMIT/OFFSET-free variant used
+// as the reference superset when the cut is not totally ordered.
+struct GeneratedQuery {
+  std::string text;
+  std::string unlimited_text;
+  bool has_cut = false;  // LIMIT and/or OFFSET present
+};
+
+GeneratedQuery GenerateQuery(const Vocab& vocab, Rng* rng) {
+  const std::vector<std::string> vars = {"?a", "?b", "?c", "?d"};
+  auto var = [&] { return vars[rng->NextBounded(vars.size())]; };
+  auto predicate = [&] {
+    return "<" + vocab.predicates[rng->NextBounded(vocab.predicates.size())] +
+           ">";
+  };
+  auto node = [&]() -> std::string {
+    switch (rng->NextBounded(4)) {
+      case 0:
+        return "<" + vocab.subjects[rng->NextBounded(vocab.subjects.size())] +
+               ">";
+      case 1:
+        return TermText(vocab.objects[rng->NextBounded(vocab.objects.size())]);
+      default:
+        return var();
+    }
+  };
+  auto pattern = [&] {
+    // Subjects lean toward variables so patterns join; predicates are
+    // occasionally variables to exercise POS-less scans.
+    std::string s = rng->NextBounded(4) == 0 ? node() : var();
+    std::string p = rng->NextBounded(8) == 0 ? var() : predicate();
+    return s + " " + p + " " + node();
+  };
+  auto group = [&](size_t max_patterns) {
+    std::string out = pattern();
+    for (size_t i = rng->NextBounded(max_patterns); i > 0; --i) {
+      out += " . " + pattern();
+    }
+    return out;
+  };
+
+  std::string where = "{ " + group(2) + " }";
+  if (rng->NextBounded(4) == 0) {
+    where = "{ " + where + " UNION { " + group(2) + " } }";
+  }
+  std::string body = where.substr(1, where.size() - 2);
+  if (rng->NextBounded(3) == 0) {
+    body += " OPTIONAL { " + group(1) + " }";
+  }
+  if (rng->NextBounded(3) == 0) {
+    const std::string v = var();
+    switch (rng->NextBounded(3)) {
+      case 0:
+        body += " FILTER(" + v + " != " +
+                TermText(vocab.objects[rng->NextBounded(
+                    vocab.objects.size())]) +
+                ")";
+        break;
+      case 1:
+        body += " FILTER(CONTAINS(" + v + ", \"a\"))";
+        break;
+      default:
+        body += " FILTER(" + v + " = " + var() + ")";
+    }
+  }
+
+  std::string select = rng->NextBounded(4) == 0 ? "*" : var() + " " + var();
+  std::string head = "SELECT ";
+  if (rng->NextBounded(4) == 0) head += "DISTINCT ";
+  GeneratedQuery out;
+  out.unlimited_text = head + select + " WHERE { " + body + " }";
+  out.text = out.unlimited_text;
+  if (rng->NextBounded(3) == 0) {
+    out.text += " ORDER BY " + var();
+  }
+  if (rng->NextBounded(3) == 0) {
+    out.text += " LIMIT " + std::to_string(1 + rng->NextBounded(5));
+    out.has_cut = true;
+  }
+  if (rng->NextBounded(6) == 0) {
+    out.text += " OFFSET " + std::to_string(rng->NextBounded(3));
+    out.has_cut = true;
+  }
+  return out;
+}
+
+std::vector<Binding> RunEngine(const std::string& text,
+                               const rdf::TripleStore& store,
+                               ExecEngine engine,
+                               const rdf::DatasetStats* stats) {
+  Result<Query> query = ParseQuery(text);
+  EXPECT_TRUE(query.ok()) << text << ": " << query.status().ToString();
+  ExecuteOptions options;
+  options.engine = engine;
+  options.stats = stats;
+  Result<std::vector<Binding>> rows =
+      Execute(query.value(), store, options);
+  EXPECT_TRUE(rows.ok()) << text << ": " << rows.status().ToString();
+  return rows.ok() ? std::move(rows).value() : std::vector<Binding>{};
+}
+
+// `subset` must be contained in `superset` as a multiset.
+bool MultisetContained(std::vector<Binding> subset,
+                       std::vector<Binding> superset) {
+  std::sort(subset.begin(), subset.end());
+  std::sort(superset.begin(), superset.end());
+  return std::includes(superset.begin(), superset.end(), subset.begin(),
+                       subset.end());
+}
+
+void CheckWorld(const datagen::WorldProfile& profile, uint64_t seed,
+                int num_queries) {
+  datagen::GeneratedWorld world = datagen::Generate(profile);
+  const rdf::TripleStore& store = world.left;
+  Vocab vocab = CollectVocab(store);
+  ASSERT_FALSE(vocab.predicates.empty());
+  ASSERT_FALSE(vocab.objects.empty());
+  rdf::DatasetStats stats = rdf::ComputeStats(store);
+
+  Rng rng(seed);
+  for (int i = 0; i < num_queries; ++i) {
+    GeneratedQuery generated = GenerateQuery(vocab, &rng);
+    std::vector<Binding> legacy =
+        RunEngine(generated.text, store, ExecEngine::kLegacy, nullptr);
+    std::vector<Binding> compiled =
+        RunEngine(generated.text, store, ExecEngine::kCompiled, nullptr);
+    // Statistics only reorder the join; the result multiset is invariant.
+    std::vector<Binding> compiled_stats =
+        RunEngine(generated.text, store, ExecEngine::kCompiled, &stats);
+
+    ASSERT_EQ(compiled.size(), legacy.size()) << generated.text;
+    ASSERT_EQ(compiled_stats.size(), legacy.size()) << generated.text;
+    if (generated.has_cut) {
+      // A cut without a total order may legitimately keep different rows;
+      // both engines' picks must come from the same unlimited multiset.
+      std::vector<Binding> unlimited = RunEngine(
+          generated.unlimited_text, store, ExecEngine::kLegacy, nullptr);
+      EXPECT_TRUE(MultisetContained(compiled, unlimited)) << generated.text;
+      EXPECT_TRUE(MultisetContained(compiled_stats, unlimited))
+          << generated.text;
+      EXPECT_TRUE(MultisetContained(legacy, unlimited)) << generated.text;
+    } else {
+      std::sort(legacy.begin(), legacy.end());
+      std::sort(compiled.begin(), compiled.end());
+      std::sort(compiled_stats.begin(), compiled_stats.end());
+      EXPECT_EQ(compiled, legacy) << generated.text;
+      EXPECT_EQ(compiled_stats, legacy) << generated.text;
+    }
+  }
+}
+
+TEST(DifferentialTest, CompiledMatchesLegacyOnTinyWorld) {
+  CheckWorld(datagen::TinyTestProfile(), /*seed=*/7, /*num_queries=*/150);
+}
+
+TEST(DifferentialTest, CompiledMatchesLegacyOnNoisyWorld) {
+  datagen::WorldProfile profile = datagen::DbpediaNytimesProfile();
+  profile.overlap_entities = 80;
+  profile.left_only_entities = 40;
+  profile.right_only_entities = 30;
+  CheckWorld(profile, /*seed=*/11, /*num_queries=*/120);
+}
+
+TEST(DifferentialTest, AskAgreesAcrossEngines) {
+  datagen::GeneratedWorld world = datagen::Generate(datagen::TinyTestProfile());
+  Vocab vocab = CollectVocab(world.left);
+  Rng rng(23);
+  for (int i = 0; i < 60; ++i) {
+    GeneratedQuery generated = GenerateQuery(vocab, &rng);
+    // Reuse the generated WHERE clause as an ASK query.
+    size_t where = generated.unlimited_text.find("WHERE");
+    ASSERT_NE(where, std::string::npos);
+    std::string ask_text = "ASK " + generated.unlimited_text.substr(where);
+    Result<Query> query = ParseQuery(ask_text);
+    ASSERT_TRUE(query.ok()) << ask_text << ": " << query.status().ToString();
+    ExecuteOptions legacy_options;
+    legacy_options.engine = ExecEngine::kLegacy;
+    Result<bool> legacy = Ask(query.value(), world.left, legacy_options);
+    Result<bool> compiled = Ask(query.value(), world.left);
+    ASSERT_TRUE(legacy.ok());
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_EQ(compiled.value(), legacy.value()) << ask_text;
+  }
+}
+
+}  // namespace
+}  // namespace alex::sparql
