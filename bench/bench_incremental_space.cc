@@ -1,0 +1,168 @@
+// Incremental frontier-maintenance benchmark (ISSUE 5 tentpole): per-episode
+// link churn applied to the feature-space score indexes with ApplyDelta
+// (tombstones + pending buffers + threshold compaction) vs. the baseline
+// that sets liveness flags and rebuilds the indexes from scratch every
+// episode.
+//
+// Correctness gate (the bench exits nonzero if it fails): after EVERY
+// episode the two spaces must have identical logical fingerprints — the
+// incremental index is bit-for-bit the same frontier as a fresh rebuild.
+// Perf gate: the incremental path must be at least 10x faster than the
+// rebuild path at 1% churn per episode.
+//
+// Writes BENCH_incremental_space.json (path via --out).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/feature_space.h"
+
+namespace {
+
+using alex::Rng;
+using alex::core::FeatureCatalog;
+using alex::core::FeatureSpace;
+using alex::core::FeatureSpaceOptions;
+using alex::core::PairId;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<
+             std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_incremental_space.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    }
+  }
+
+  alex::eval::ExperimentConfig config =
+      alex::bench::MakeConfig("dbpedia_nytimes");
+  alex::datagen::GeneratedWorld world =
+      alex::datagen::Generate(config.profile);
+
+  FeatureSpaceOptions options = config.alex.space;
+  FeatureCatalog catalog;
+  auto build_start = std::chrono::steady_clock::now();
+  FeatureSpace incremental =
+      FeatureSpace::Build(world.left, world.left.Subjects(), world.right,
+                          world.right.Subjects(), &catalog, options);
+  double build_ms = MsSince(build_start);
+  FeatureSpace rebuilt =
+      FeatureSpace::Build(world.left, world.left.Subjects(), world.right,
+                          world.right.Subjects(), &catalog, options);
+  ALEX_CHECK(incremental.Fingerprint() == rebuilt.Fingerprint());
+
+  const size_t num_pairs = incremental.pairs().size();
+  const size_t churn = std::max<size_t>(1, num_pairs / 100);  // 1%/episode
+  const int kEpisodes = 60;
+  std::cout << "== Incremental frontier maintenance vs. rebuild-every-epoch "
+            << "==\n"
+            << "world dbpedia_nytimes: " << num_pairs
+            << " feature-space pairs, " << churn << " links churned per "
+            << "episode (1%), " << kEpisodes << " episodes\n"
+            << "  (full build once: " << std::fixed << std::setprecision(1)
+            << build_ms << " ms)\n";
+
+  // Both spaces see the identical delta sequence in lockstep so the
+  // per-episode fingerprint gate compares the same logical frontier.
+  Rng rng(0x5eed);
+  std::vector<uint8_t> live(num_pairs, 1);
+  std::vector<PairId> added;
+  std::vector<PairId> removed;
+  double incremental_ms = 0.0;
+  double rebuild_ms = 0.0;
+  bool identical = true;
+  for (int episode = 0; episode < kEpisodes; ++episode) {
+    added.clear();
+    removed.clear();
+    std::vector<PairId> touched;
+    while (touched.size() < churn) {
+      PairId id = static_cast<PairId>(rng.NextBounded(num_pairs));
+      if (std::find(touched.begin(), touched.end(), id) == touched.end()) {
+        touched.push_back(id);
+      }
+    }
+    for (PairId id : touched) {
+      (live[id] ? removed : added).push_back(id);
+      live[id] ^= 1;
+    }
+    std::sort(added.begin(), added.end());
+    std::sort(removed.begin(), removed.end());
+
+    auto inc_start = std::chrono::steady_clock::now();
+    incremental.ApplyDelta(added, removed);
+    incremental_ms += MsSince(inc_start);
+
+    auto reb_start = std::chrono::steady_clock::now();
+    rebuilt.SetLiveness(added, removed);
+    rebuilt.RebuildIndexes();
+    rebuild_ms += MsSince(reb_start);
+
+    // Identity gate, outside both timed regions.
+    if (incremental.Fingerprint() != rebuilt.Fingerprint()) {
+      identical = false;
+      std::cerr << "FINGERPRINT MISMATCH at episode " << episode << "\n";
+      break;
+    }
+  }
+
+  const double speedup =
+      incremental_ms > 0.0 ? rebuild_ms / incremental_ms : 0.0;
+  std::cout << "  incremental (ApplyDelta)      " << std::setw(9)
+            << std::setprecision(2) << incremental_ms << " ms total  "
+            << std::setw(8) << std::setprecision(4)
+            << incremental_ms / kEpisodes << " ms/episode  ("
+            << incremental.compaction_count() << " compactions)\n"
+            << "  rebuild (flags + full index)  " << std::setw(9)
+            << std::setprecision(2) << rebuild_ms << " ms total  "
+            << std::setw(8) << std::setprecision(4)
+            << rebuild_ms / kEpisodes << " ms/episode\n"
+            << "  speedup " << std::setprecision(1) << speedup << "x (gate: "
+            << ">= 10x)\n"
+            << (identical
+                    ? "fingerprints identical after every episode\n"
+                    : "FINGERPRINT MISMATCH!\n");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << std::fixed << std::setprecision(3);
+  out << "{\n"
+      << "  \"bench\": \"incremental_space\",\n"
+      << "  \"world\": \"dbpedia_nytimes\",\n"
+      << "  \"pairs\": " << num_pairs << ",\n"
+      << "  \"episodes\": " << kEpisodes << ",\n"
+      << "  \"churn_per_episode\": " << churn << ",\n"
+      << "  \"build_ms\": " << build_ms << ",\n"
+      << "  \"identical_fingerprints\": " << (identical ? "true" : "false")
+      << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"compactions\": " << incremental.compaction_count() << ",\n"
+      << "  \"runs\": [\n"
+      << "    {\"mode\": \"incremental\", \"ms\": " << incremental_ms
+      << ", \"ms_per_episode\": " << incremental_ms / kEpisodes << "},\n"
+      << "    {\"mode\": \"rebuild\", \"ms\": " << rebuild_ms
+      << ", \"ms_per_episode\": " << rebuild_ms / kEpisodes << "}\n"
+      << "  ]\n}\n";
+  std::cout << "(json written to " << out_path << ")\n";
+  return identical && speedup >= 10.0 ? 0 : 1;
+}

@@ -53,6 +53,10 @@ PartitionAlex::FeedbackOutcome PartitionAlex::ProcessFeedback(PairId pair,
     double score = actions.Get(action);
     // Span probe straight into the CSR score arena — no per-probe heap
     // traffic; added_scratch_ reuses its capacity across feedback items.
+    // The span covers the explorable frontier as of the last episode
+    // boundary (SyncSpaceToCandidates): current candidates are excluded by
+    // liveness, and candidates_.Add dedups the links that became candidates
+    // mid-episode.
     FeatureSpace::ScoreSpan in_range = space_.PairsInRangeSpan(
         action, score - options_->step_size, score + options_->step_size);
     added_scratch_.clear();
@@ -89,6 +93,22 @@ PartitionAlex::FeedbackOutcome PartitionAlex::ProcessFeedback(PairId pair,
     }
   }
   return outcome;
+}
+
+void PartitionAlex::SyncSpaceToCandidates() {
+  candidates_.SortedEpochDelta(&delta_added_scratch_, &delta_removed_scratch_);
+  if (delta_added_scratch_.empty() && delta_removed_scratch_.empty()) return;
+  // Polarity flips at this boundary: a link that BECAME a candidate leaves
+  // the explorable frontier (space removal), one that was removed returns
+  // to it (space addition).
+  if (options_->incremental_space_maintenance) {
+    space_.ApplyDelta(/*added=*/delta_removed_scratch_,
+                      /*removed=*/delta_added_scratch_);
+  } else {
+    space_.SetLiveness(/*added=*/delta_removed_scratch_,
+                       /*removed=*/delta_added_scratch_);
+    space_.RebuildIndexes();
+  }
 }
 
 void PartitionAlex::BeginEpisode() { learner_.BeginEpisode(); }
@@ -245,6 +265,7 @@ Status AlexEngine::Initialize(
 
 void AlexEngine::MarkCandidateBaseline() {
   for (PartitionAlex& partition : partitions_) {
+    partition.SyncSpaceToCandidates();
     partition.mutable_candidates().TakeEpochChanges();
   }
   extras_alive_.TakeEpochChanges();
@@ -337,10 +358,13 @@ EpisodeStats AlexEngine::RunEpisode(const FeedbackFn& feedback) {
   }
 
   // Walk the net membership deltas (partitions in order, then extras)
-  // through the link-change observer, then fold them into change_fraction.
-  // The candidate sets tracked their own net changes during the episode, so
-  // the symmetric difference with the episode-start state is a counter
-  // read, not a rebuild-sort-diff over every candidate.
+  // through the link-change observer, fold the same deltas into each
+  // partition's feature-space frontier (main thread, ascending-PairId
+  // order — identical physical index state at any thread count), then fold
+  // them into change_fraction. The candidate sets tracked their own net
+  // changes during the episode, so the symmetric difference with the
+  // episode-start state is a counter read, not a rebuild-sort-diff over
+  // every candidate.
   size_t changed = 0;
   for (PartitionAlex& partition : partitions_) {
     if (link_observer_) {
@@ -349,6 +373,7 @@ EpisodeStats AlexEngine::RunEpisode(const FeedbackFn& feedback) {
         link_observer_({space.LeftIri(pair), space.RightIri(pair)}, net > 0);
       }
     }
+    partition.SyncSpaceToCandidates();
     changed += partition.mutable_candidates().TakeEpochChanges();
   }
   if (link_observer_) {
@@ -559,8 +584,8 @@ void AlexEngine::BeginExternalEpisode() {
 size_t AlexEngine::EndExternalEpisode() {
   for (PartitionAlex& partition : partitions_) partition.EndEpisode();
   // Same delta walk as RunEpisode: notify the observer of every net
-  // membership change, in deterministic partition order, and consume the
-  // epoch counters.
+  // membership change, sync each partition's frontier index, all in
+  // deterministic partition order, and consume the epoch counters.
   size_t changed = 0;
   for (PartitionAlex& partition : partitions_) {
     if (link_observer_) {
@@ -569,6 +594,7 @@ size_t AlexEngine::EndExternalEpisode() {
         link_observer_({space.LeftIri(pair), space.RightIri(pair)}, net > 0);
       }
     }
+    partition.SyncSpaceToCandidates();
     changed += partition.mutable_candidates().TakeEpochChanges();
   }
   if (link_observer_) {

@@ -87,6 +87,15 @@ struct AlexOptions {
   // Equal-size partitions of the left data set (§6.2). The paper used 27 on
   // a 64-core machine; scaled down here.
   int num_partitions = 8;
+  // Keep each partition's explorable frontier — the feature-space pairs
+  // that are NOT current candidates — indexed incrementally: at every
+  // episode boundary the candidate set's net epoch delta is folded into the
+  // partition's FeatureSpace with ApplyDelta (O(changed links), tombstones
+  // + pending buffers + threshold compaction). When false, the liveness
+  // flags are applied and the score index rebuilt from scratch instead —
+  // the O(space) baseline; both modes yield bitwise-identical episode
+  // series (asserted by the link-churn fuzz regime).
+  bool incremental_space_maintenance = true;
   // Worker threads (0 = one per hardware thread) for parallel feature-space
   // construction AND parallel episode execution. During Initialize the
   // left-entity loop of every partition build is sharded across these
@@ -188,8 +197,22 @@ class PartitionAlex {
   void BeginEpisode();
   void EndEpisode();  // policy improvement at all states visited
 
-  // Persistence hooks (see core/engine_state.h).
-  void ClearCandidates() { candidates_ = CandidateSet(); }
+  // Folds the candidate set's net epoch delta into the feature space's
+  // live set (new candidates leave the explorable frontier, removed ones
+  // return to it), in ascending-PairId order. Called by the engine on the
+  // main thread at every episode boundary, BEFORE TakeEpochChanges; the
+  // exploration span probes of the next episode then see the updated
+  // frontier. Honors AlexOptions::incremental_space_maintenance. Public
+  // mainly for white-box tests driving ProcessFeedback directly.
+  void SyncSpaceToCandidates();
+
+  // Persistence hooks (see core/engine_state.h). ClearCandidates also
+  // restores the full feature space as explorable frontier, since the
+  // per-pair delta trail is lost with the set.
+  void ClearCandidates() {
+    candidates_ = CandidateSet();
+    space_.MarkAllLive();
+  }
   void RestoreBlacklistEntry(PairId pair) { blacklist_.insert(pair); }
   void RestorePolicyEntry(PairId state, FeatureId action) {
     policy_.SetGreedy(state, action);
@@ -222,6 +245,9 @@ class PartitionAlex {
   std::vector<PairId> added_scratch_;
   std::vector<StateAction> ancestors_scratch_;
   std::vector<PairId> improve_scratch_;
+  // Epoch-delta scratch for SyncSpaceToCandidates.
+  std::vector<PairId> delta_added_scratch_;
+  std::vector<PairId> delta_removed_scratch_;
 };
 
 class AlexEngine {

@@ -42,6 +42,17 @@ PairId CandidateSet::Sample(Rng* rng) const {
   return items_[rng->NextBounded(items_.size())];
 }
 
+void CandidateSet::SortedEpochDelta(std::vector<PairId>* added,
+                                    std::vector<PairId>* removed) const {
+  added->clear();
+  removed->clear();
+  for (const auto& [pair, net] : delta_) {
+    (net > 0 ? added : removed)->push_back(pair);
+  }
+  std::sort(added->begin(), added->end());
+  std::sort(removed->begin(), removed->end());
+}
+
 std::vector<PairId> CandidateSet::SortedSnapshot() const {
   std::vector<PairId> snapshot = items_;
   std::sort(snapshot.begin(), snapshot.end());

@@ -52,6 +52,14 @@ class CandidateSet {
     return delta_;
   }
 
+  // The same net changes split into ascending-PairId lists (added = net +1,
+  // removed = net -1), into caller-owned scratch buffers (cleared first).
+  // This is the canonical delta order consumed by FeatureSpace::ApplyDelta:
+  // sorted, so the physical index state after the sync is a pure function
+  // of the membership history, never of hash-map iteration order.
+  void SortedEpochDelta(std::vector<PairId>* added,
+                        std::vector<PairId>* removed) const;
+
  private:
   void BumpDelta(PairId pair, int direction);
 

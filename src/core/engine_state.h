@@ -60,6 +60,11 @@ EngineState ExportEngineState(const AlexEngine& engine);
 // The engine's current candidates are REPLACED by the saved ones; entries
 // referring to entity pairs outside the engine's feature spaces are kept as
 // spaceless candidates (candidates section) or skipped (policy/returns).
+// Each partition's explorable-frontier index is reset to the imported
+// candidate set (full liveness reset + rebuild — the per-pair delta trail
+// does not survive a replace), so FeatureSpace::Fingerprint() after an
+// import equals the fingerprint of an engine that acquired the same
+// candidates through episodes.
 Status ImportEngineState(const EngineState& state, AlexEngine* engine);
 
 // Text serialization (format in the file comment).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 
 #include "common/logging.h"
 
@@ -68,33 +69,52 @@ PairId FeatureSpace::FindPair(const std::string& left_iri,
   return it->second;
 }
 
+namespace {
+
+// Score-only comparators: every entry with score == lo (or == hi) is
+// inside the closed interval regardless of its PairId.
+inline const ScoreEntry* LowerByScore(const ScoreEntry* begin,
+                                      const ScoreEntry* end, double lo) {
+  return std::lower_bound(
+      begin, end, lo,
+      [](const ScoreEntry& e, double v) { return e.score < v; });
+}
+
+inline const ScoreEntry* UpperByScore(const ScoreEntry* begin,
+                                      const ScoreEntry* end, double hi) {
+  return std::upper_bound(
+      begin, end, hi,
+      [](double v, const ScoreEntry& e) { return v < e.score; });
+}
+
+}  // namespace
+
 FeatureSpace::ScoreSpan FeatureSpace::PairsInRangeSpan(FeatureId feature,
                                                        double lo,
                                                        double hi) const {
-  if (feature_begin_.empty() ||
-      static_cast<size_t>(feature) + 1 >= feature_begin_.size()) {
-    return {};
-  }
+  if (static_cast<size_t>(feature) >= NumFeatures()) return {};
   const ScoreEntry* base = score_entries_.data();
   const ScoreEntry* begin = base + feature_begin_[feature];
-  const ScoreEntry* end = base + feature_begin_[feature + 1];
-  // Score-only comparators: every entry with score == lo (or == hi) is
-  // inside the closed interval regardless of its PairId.
-  const ScoreEntry* first = std::lower_bound(
-      begin, end, lo,
-      [](const ScoreEntry& e, double v) { return e.score < v; });
-  const ScoreEntry* last = std::upper_bound(
-      first, end, hi,
-      [](double v, const ScoreEntry& e) { return v < e.score; });
-  return ScoreSpan(first, static_cast<size_t>(last - first));
+  const ScoreEntry* end = base + feature_live_end_[feature];
+  const ScoreEntry* first = LowerByScore(begin, end, lo);
+  const ScoreEntry* last = UpperByScore(first, end, hi);
+  const std::vector<ScoreEntry>& pending = pending_[feature];
+  const ScoreEntry* pfirst = LowerByScore(
+      pending.data(), pending.data() + pending.size(), lo);
+  const ScoreEntry* plast =
+      UpperByScore(pfirst, pending.data() + pending.size(), hi);
+  // A bucket without tombstones skips the per-entry liveness load entirely.
+  const uint8_t* alive =
+      dead_in_bucket_[feature] == 0 ? nullptr : pair_alive_.data();
+  return ScoreSpan(first, last, pfirst, plast, alive);
 }
 
 void FeatureSpace::PairsInRange(FeatureId feature, double lo, double hi,
                                 std::vector<PairId>* out) const {
   out->clear();
-  ScoreSpan span = PairsInRangeSpan(feature, lo, hi);
-  out->reserve(span.size());
-  for (const ScoreEntry& e : span) out->push_back(e.pair);
+  for (const ScoreEntry& e : PairsInRangeSpan(feature, lo, hi)) {
+    out->push_back(e.pair);
+  }
 }
 
 std::vector<PairId> FeatureSpace::PairsInRange(FeatureId feature, double lo,
@@ -113,6 +133,163 @@ void FeatureSpace::RemapFeatures(const std::vector<FeatureId>& old_to_new) {
   BuildScoreIndex();
 }
 
+void FeatureSpace::ApplyDelta(const std::vector<PairId>& added,
+                              const std::vector<PairId>& removed) {
+  for (PairId id : removed) {
+    if (!pair_alive_[id]) continue;
+    pair_alive_[id] = 0;
+    --live_pair_count_;
+    for (const auto& [feature, score] : pairs_[id].features.features) {
+      const ScoreEntry entry{score, id};
+      std::vector<ScoreEntry>& pending = pending_[feature];
+      auto it = std::lower_bound(pending.begin(), pending.end(), entry);
+      if (it != pending.end() && *it == entry) {
+        // The entry never made it back into the CSR arena; un-queue it.
+        pending.erase(it);
+      } else {
+        // Its arena slot becomes a tombstone (probes skip non-live pairs).
+        ++dead_in_bucket_[feature];
+        MaybeCompactBucket(feature);
+      }
+    }
+  }
+  for (PairId id : added) {
+    if (pair_alive_[id]) continue;
+    pair_alive_[id] = 1;
+    ++live_pair_count_;
+    for (const auto& [feature, score] : pairs_[id].features.features) {
+      const ScoreEntry entry{score, id};
+      const ScoreEntry* begin =
+          score_entries_.data() + feature_begin_[feature];
+      const ScoreEntry* end =
+          score_entries_.data() + feature_live_end_[feature];
+      const ScoreEntry* slot = std::lower_bound(begin, end, entry);
+      if (slot != end && *slot == entry) {
+        // The tombstoned slot is still in the arena; the liveness flip
+        // above already resurrected it.
+        --dead_in_bucket_[feature];
+      } else {
+        // Compaction reclaimed the slot; queue a sorted pending insert.
+        std::vector<ScoreEntry>& pending = pending_[feature];
+        pending.insert(
+            std::lower_bound(pending.begin(), pending.end(), entry), entry);
+        MaybeCompactBucket(feature);
+      }
+    }
+  }
+}
+
+void FeatureSpace::SetLiveness(const std::vector<PairId>& added,
+                               const std::vector<PairId>& removed) {
+  for (PairId id : removed) {
+    if (!pair_alive_[id]) continue;
+    pair_alive_[id] = 0;
+    --live_pair_count_;
+  }
+  for (PairId id : added) {
+    if (pair_alive_[id]) continue;
+    pair_alive_[id] = 1;
+    ++live_pair_count_;
+  }
+}
+
+void FeatureSpace::RebuildIndexes() { BuildScoreIndex(); }
+
+void FeatureSpace::MarkAllLive() {
+  pair_alive_.assign(pairs_.size(), 1);
+  live_pair_count_ = pairs_.size();
+  BuildScoreIndex();
+}
+
+uint64_t FeatureSpace::Fingerprint() const {
+  // FNV-1a over the logical live contents, in PairId order. Tombstones,
+  // pending buffers and compaction history never enter the hash.
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  };
+  mix(live_pair_count_);
+  for (PairId id = 0; id < pairs_.size(); ++id) {
+    if (!pair_alive_[id]) continue;
+    const EntityPairFeatures& pair = pairs_[id];
+    mix(id);
+    mix(pair.left_index);
+    mix(pair.right_index);
+    mix(pair.features.features.size());
+    for (const auto& [feature, score] : pair.features.features) {
+      mix(feature);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(score));
+      std::memcpy(&bits, &score, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return hash;
+}
+
+size_t FeatureSpace::tombstone_count() const {
+  size_t total = 0;
+  for (uint32_t dead : dead_in_bucket_) total += dead;
+  return total;
+}
+
+size_t FeatureSpace::pending_entry_count() const {
+  size_t total = 0;
+  for (const std::vector<ScoreEntry>& pending : pending_) {
+    total += pending.size();
+  }
+  return total;
+}
+
+void FeatureSpace::MaybeCompactBucket(FeatureId feature) {
+  const size_t dirt = dead_in_bucket_[feature] + pending_[feature].size();
+  const size_t live =
+      feature_live_end_[feature] - feature_begin_[feature] -
+      dead_in_bucket_[feature] + pending_[feature].size();
+  if (dirt > compaction_threshold_ + live / 8) CompactBucket(feature);
+}
+
+void FeatureSpace::CompactBucket(FeatureId feature) {
+  // Copy the bucket's live entries aside, then merge them with the pending
+  // inserts back into the arena. live + pending never exceeds the bucket's
+  // Build-time capacity (every pair with this feature has a Build-time
+  // slot), so compaction never reallocates the arena.
+  compact_scratch_.clear();
+  const size_t begin = feature_begin_[feature];
+  const size_t live_end = feature_live_end_[feature];
+  for (size_t i = begin; i < live_end; ++i) {
+    if (pair_alive_[score_entries_[i].pair]) {
+      compact_scratch_.push_back(score_entries_[i]);
+    }
+  }
+  std::vector<ScoreEntry>& pending = pending_[feature];
+  const size_t merged = compact_scratch_.size() + pending.size();
+  ALEX_CHECK(begin + merged <= feature_begin_[feature + 1]);
+  std::merge(compact_scratch_.begin(), compact_scratch_.end(),
+             pending.begin(), pending.end(), score_entries_.begin() + begin);
+  feature_live_end_[feature] = static_cast<uint32_t>(begin + merged);
+  dead_in_bucket_[feature] = 0;
+  pending.clear();
+  ++compaction_count_;
+}
+
+void FeatureSpace::ResetMaintenanceState() {
+  const size_t num_features = NumFeatures();
+  feature_live_end_.assign(num_features, 0);
+  for (size_t f = 0; f < num_features; ++f) {
+    feature_live_end_[f] = feature_begin_[f + 1];
+  }
+  dead_in_bucket_.assign(num_features, 0);
+  pending_.assign(num_features, {});
+  for (PairId id = 0; id < pairs_.size(); ++id) {
+    if (pair_alive_[id]) continue;
+    for (const auto& [feature, score] : pairs_[id].features.features) {
+      ++dead_in_bucket_[feature];
+    }
+  }
+}
+
 void FeatureSpace::BuildIndexes() {
   pair_by_iris_.reserve(pairs_.size());
   for (PairId id = 0; id < pairs_.size(); ++id) {
@@ -124,7 +301,14 @@ void FeatureSpace::BuildIndexes() {
 void FeatureSpace::BuildScoreIndex() {
   // Counting sort into a CSR arena: count entries per feature, prefix-sum
   // into offsets, scatter, then sort each feature's bucket by (score, pair).
-  // Exactly-sized allocations — no incremental map/vector growth.
+  // Exactly-sized allocations — no incremental map/vector growth. Every
+  // pair's entries are materialized regardless of liveness — non-live pairs
+  // become tombstones, which keeps the arena at full capacity so later
+  // resurrections and compactions always fit in place.
+  if (pair_alive_.size() != pairs_.size()) {
+    pair_alive_.assign(pairs_.size(), 1);
+    live_pair_count_ = pairs_.size();
+  }
   FeatureId max_feature = 0;
   size_t total = 0;
   for (const EntityPairFeatures& pair : pairs_) {
@@ -136,6 +320,7 @@ void FeatureSpace::BuildScoreIndex() {
   if (total == 0) {
     score_entries_.clear();
     feature_begin_.clear();
+    ResetMaintenanceState();
     return;
   }
   feature_begin_.assign(static_cast<size_t>(max_feature) + 2, 0);
@@ -158,6 +343,7 @@ void FeatureSpace::BuildScoreIndex() {
     std::sort(score_entries_.begin() + feature_begin_[f],
               score_entries_.begin() + feature_begin_[f + 1]);
   }
+  ResetMaintenanceState();
 }
 
 std::shared_ptr<const RightContext> RightContext::Prepare(
@@ -276,6 +462,9 @@ FeatureSpace FeatureSpace::Build(const rdf::TripleStore& left,
       space.pairs_.push_back(std::move(pair));
     }
   }
+  space.compaction_threshold_ = options.compaction_threshold;
+  space.pair_alive_.assign(space.pairs_.size(), 1);
+  space.live_pair_count_ = space.pairs_.size();
   space.BuildIndexes();
   return space;
 }

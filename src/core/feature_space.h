@@ -22,9 +22,19 @@
 //     Chunks are reassembled in order, so the surviving pairs — and thus
 //     PairIds — come out in (left, right) lexicographic order regardless of
 //     the thread count.
+//
+// Incremental maintenance (§4's feedback loop adds/removes links every
+// episode): each pair carries a liveness flag, and ApplyDelta() updates the
+// per-feature score indexes in place — tombstones for removals, per-feature
+// sorted pending buffers for re-insertions after compaction, and
+// threshold-triggered per-bucket compaction — so churn costs O(changed
+// pairs), not O(space). Probes stay allocation-free: PairsInRangeSpan
+// merges the bucket range (skipping tombstones) with the pending range
+// lazily. See DESIGN.md, "Incremental feature-space maintenance".
 #ifndef ALEX_CORE_FEATURE_SPACE_H_
 #define ALEX_CORE_FEATURE_SPACE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -55,6 +65,11 @@ struct FeatureSpaceOptions {
   sim::SimilarityOptions similarity;
   // Candidate blocking for the pairwise scoring loop (see core/blocking.h).
   BlockingOptions blocking;
+  // A score bucket is compacted when its tombstone + pending-entry count
+  // exceeds compaction_threshold + live_size/8 (see FeatureSpace::
+  // ApplyDelta). 0 compacts eagerly; larger values amortize more churn per
+  // compaction.
+  size_t compaction_threshold = 32;
 };
 
 // The right data set prepared once and shared (immutably) by every
@@ -81,26 +96,122 @@ struct ScoreEntry {
     if (a.score != b.score) return a.score < b.score;
     return a.pair < b.pair;
   }
+  friend bool operator==(const ScoreEntry& a, const ScoreEntry& b) {
+    return a.score == b.score && a.pair == b.pair;
+  }
 };
 
 class FeatureSpace {
  public:
-  // Non-owning view into the score-index arena. Valid until the space is
-  // destroyed or its features are remapped.
+  // Non-owning, allocation-free view of one feature's live entries in a
+  // score band: a lazy (score, pair)-ordered merge of the CSR bucket range
+  // (tombstoned entries skipped via the liveness flags) and the bucket's
+  // sorted pending-insert range. Valid until the space is destroyed,
+  // mutated (ApplyDelta / RebuildIndexes / MarkAllLive), or remapped.
   class ScoreSpan {
    public:
+    class Iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = ScoreEntry;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const ScoreEntry*;
+      using reference = const ScoreEntry&;
+
+      Iterator() = default;
+      Iterator(const ScoreEntry* bucket, const ScoreEntry* bucket_end,
+               const ScoreEntry* pending, const ScoreEntry* pending_end,
+               const uint8_t* alive)
+          : bucket_(bucket),
+            bucket_end_(bucket_end),
+            pending_(pending),
+            pending_end_(pending_end),
+            alive_(alive) {
+        SkipDead();
+      }
+
+      const ScoreEntry& operator*() const {
+        return TakeBucket() ? *bucket_ : *pending_;
+      }
+      const ScoreEntry* operator->() const { return &**this; }
+      Iterator& operator++() {
+        if (TakeBucket()) {
+          ++bucket_;
+          SkipDead();
+        } else {
+          ++pending_;
+        }
+        return *this;
+      }
+      Iterator operator++(int) {
+        Iterator copy = *this;
+        ++*this;
+        return copy;
+      }
+      friend bool operator==(const Iterator& a, const Iterator& b) {
+        return a.bucket_ == b.bucket_ && a.pending_ == b.pending_;
+      }
+      friend bool operator!=(const Iterator& a, const Iterator& b) {
+        return !(a == b);
+      }
+
+     private:
+      bool TakeBucket() const {
+        if (bucket_ == bucket_end_) return false;
+        if (pending_ == pending_end_) return true;
+        return *bucket_ < *pending_;
+      }
+      void SkipDead() {
+        if (alive_ == nullptr) return;  // no tombstones in this bucket
+        while (bucket_ != bucket_end_ && !alive_[bucket_->pair]) ++bucket_;
+      }
+
+      const ScoreEntry* bucket_ = nullptr;
+      const ScoreEntry* bucket_end_ = nullptr;
+      const ScoreEntry* pending_ = nullptr;
+      const ScoreEntry* pending_end_ = nullptr;
+      const uint8_t* alive_ = nullptr;
+    };
+
     ScoreSpan() = default;
-    ScoreSpan(const ScoreEntry* data, size_t size)
-        : data_(data), size_(size) {}
-    const ScoreEntry* begin() const { return data_; }
-    const ScoreEntry* end() const { return data_ + size_; }
-    size_t size() const { return size_; }
-    bool empty() const { return size_ == 0; }
-    const ScoreEntry& operator[](size_t i) const { return data_[i]; }
+    ScoreSpan(const ScoreEntry* bucket, const ScoreEntry* bucket_end,
+              const ScoreEntry* pending, const ScoreEntry* pending_end,
+              const uint8_t* alive)
+        : bucket_(bucket),
+          bucket_end_(bucket_end),
+          pending_(pending),
+          pending_end_(pending_end),
+          alive_(alive) {}
+
+    Iterator begin() const {
+      return Iterator(bucket_, bucket_end_, pending_, pending_end_, alive_);
+    }
+    Iterator end() const {
+      return Iterator(bucket_end_, bucket_end_, pending_end_, pending_end_,
+                      nullptr);
+    }
+    bool empty() const { return begin() == end(); }
+    // O(entries in the band) — the merge is lazy, so the live count is not
+    // known up front. The hot exploration loop iterates and never calls
+    // size(); it is here for tests and diagnostics.
+    size_t size() const {
+      size_t n = 0;
+      for (Iterator it = begin(), stop = end(); it != stop; ++it) ++n;
+      return n;
+    }
+    // O(i); test/diagnostic convenience, not for hot loops.
+    const ScoreEntry& operator[](size_t i) const {
+      Iterator it = begin();
+      while (i-- > 0) ++it;
+      return *it;
+    }
 
    private:
-    const ScoreEntry* data_ = nullptr;
-    size_t size_ = 0;
+    const ScoreEntry* bucket_ = nullptr;
+    const ScoreEntry* bucket_end_ = nullptr;
+    const ScoreEntry* pending_ = nullptr;
+    const ScoreEntry* pending_end_ = nullptr;
+    const uint8_t* alive_ = nullptr;
   };
 
   FeatureSpace() = default;
@@ -128,13 +239,16 @@ class FeatureSpace {
   }
 
   // Pair lookup by entity IRIs; kInvalidPairId when the pair was filtered
-  // out of the space (or never existed).
+  // out of the space (or never existed). Membership-agnostic: tombstoned
+  // (non-live) pairs are still found — callers that care about liveness
+  // check IsLive().
   PairId FindPair(const std::string& left_iri,
                   const std::string& right_iri) const;
 
-  // All pairs whose score for `feature` lies in [lo, hi] (the exploration
-  // action primitive). O(log n + answer) and allocation-free: the returned
-  // span points into the CSR score arena, sorted by (score, pair).
+  // All LIVE pairs whose score for `feature` lies in [lo, hi] (the
+  // exploration action primitive). O(log n + answer) and allocation-free:
+  // the returned span lazily merges the CSR bucket range with the bucket's
+  // pending inserts, sorted by (score, pair).
   ScoreSpan PairsInRangeSpan(FeatureId feature, double lo, double hi) const;
 
   // Same query into a caller-owned scratch buffer (cleared first).
@@ -145,8 +259,63 @@ class FeatureSpace {
   std::vector<PairId> PairsInRange(FeatureId feature, double lo,
                                    double hi) const;
 
+  // ---- Incremental maintenance under link churn ----------------------
+  //
+  // Every pair is live after Build. ApplyDelta flips liveness and updates
+  // the score indexes in place: a removal tombstones the pair's bucket
+  // entries (or erases them from pending buffers); an addition resurrects
+  // the tombstoned entries in place, or — when compaction already reclaimed
+  // them — inserts into the bucket's sorted pending buffer. A bucket whose
+  // tombstone + pending count exceeds compaction_threshold + live_size/8 is
+  // compacted (live entries and pending merged back into the CSR arena;
+  // the arena keeps the Build-time capacity, so compaction never
+  // reallocates). All decisions are pure functions of the delta sequence —
+  // the physical index state is bit-identical for identical delta
+  // histories, whatever thread count produced them.
+  //
+  // Pairs already in the requested state are ignored (idempotent); removals
+  // are applied before additions.
+  void ApplyDelta(const std::vector<PairId>& added,
+                  const std::vector<PairId>& removed);
+
+  // Flips liveness flags only, leaving the score indexes stale — the
+  // rebuild baseline's first half. Callers MUST follow with
+  // RebuildIndexes() before probing.
+  void SetLiveness(const std::vector<PairId>& added,
+                   const std::vector<PairId>& removed);
+
+  // From-scratch score-index rebuild from the current liveness flags: the
+  // O(space) baseline ApplyDelta is differential-tested against. Resets all
+  // tombstone / pending / compaction state.
+  void RebuildIndexes();
+
+  // Marks every pair live and rebuilds (the ReplaceCandidates reset path,
+  // where per-pair deltas are not available).
+  void MarkAllLive();
+
+  bool IsLive(PairId id) const { return pair_alive_[id] != 0; }
+  size_t live_pair_count() const { return live_pair_count_; }
+
+  // Order-independent hash of the LOGICAL live contents — live pairs, their
+  // entity indexes and feature sets — independent of physical index state
+  // (tombstones, pending buffers, compaction history). Two spaces with the
+  // same live contents fingerprint equal regardless of how churn was
+  // applied.
+  uint64_t Fingerprint() const;
+
+  // Compaction tuning/telemetry (see FeatureSpaceOptions::
+  // compaction_threshold; the setter serves threshold-sweep tests).
+  void set_compaction_threshold(size_t threshold) {
+    compaction_threshold_ = threshold;
+  }
+  size_t compaction_threshold() const { return compaction_threshold_; }
+  uint64_t compaction_count() const { return compaction_count_; }
+  size_t tombstone_count() const;
+  size_t pending_entry_count() const;
+
   // Applies an old-id -> new-id permutation (from FeatureCatalog::
-  // Canonicalize) to every pair's feature set and rebuilds the score index.
+  // Canonicalize) to every pair's feature set and rebuilds the score index
+  // (maintenance state is reset; liveness flags are preserved).
   void RemapFeatures(const std::vector<FeatureId>& old_to_new);
 
   // Raw size of the cross product this space was built from (before
@@ -187,6 +356,15 @@ class FeatureSpace {
  private:
   void BuildIndexes();
   void BuildScoreIndex();
+  // Re-derives feature_live_end_ / dead_in_bucket_ / pending_ after a full
+  // score-index (re)build: buckets hold every entry, dead ones tombstoned.
+  void ResetMaintenanceState();
+  void CompactBucket(FeatureId feature);
+  void MaybeCompactBucket(FeatureId feature);
+  // Bucket region of one feature: [begin, live_end).
+  size_t NumFeatures() const {
+    return feature_begin_.empty() ? 0 : feature_begin_.size() - 1;
+  }
 
   std::vector<PreparedEntity> left_entities_;
   std::shared_ptr<const RightContext> right_;
@@ -194,9 +372,22 @@ class FeatureSpace {
   std::unordered_map<std::string, PairId> pair_by_iris_;
   // CSR score index: score_entries_ holds every (score, pair), grouped by
   // feature and sorted by (score, pair) within each group; feature f's
-  // entries are [feature_begin_[f], feature_begin_[f + 1]).
+  // entries occupy [feature_begin_[f], feature_live_end_[f]) — the tail up
+  // to feature_begin_[f + 1] is capacity reclaimed by compaction. A bucket
+  // entry whose pair is not live is a tombstone (skipped by probes, counted
+  // in dead_in_bucket_); live entries whose slot was compacted away sit in
+  // pending_[f], sorted by (score, pair).
   std::vector<ScoreEntry> score_entries_;
   std::vector<uint32_t> feature_begin_;
+  std::vector<uint32_t> feature_live_end_;
+  std::vector<uint32_t> dead_in_bucket_;
+  std::vector<std::vector<ScoreEntry>> pending_;
+  // Liveness flags (uint8_t for cheap random access in probe loops).
+  std::vector<uint8_t> pair_alive_;
+  size_t live_pair_count_ = 0;
+  size_t compaction_threshold_ = 32;
+  uint64_t compaction_count_ = 0;
+  std::vector<ScoreEntry> compact_scratch_;
   uint64_t total_pair_count_ = 0;
   uint64_t scored_pair_count_ = 0;
   const FeatureCatalog* catalog_ = nullptr;

@@ -4,6 +4,9 @@
 
 #include <algorithm>
 
+#include "core/alex_engine.h"
+#include "core/feature_space.h"
+
 namespace alex::core {
 namespace {
 
@@ -103,6 +106,183 @@ TEST(RollbackLogTest, EmptyGenerationIgnored) {
 TEST(RollbackLogTest, NegativeOnUnknownPairIsNoop) {
   RollbackLog log;
   EXPECT_TRUE(log.AddNegative(123, 1).empty());
+}
+
+// ---- RollbackLog × incremental frontier indexes ----------------------
+//
+// A rollback undoes a multi-link exploration action by removing its
+// generated candidates; after the next space sync, the partition's
+// explorable frontier must be EXACTLY what it was before the action —
+// verified by FeatureSpace::Fingerprint().
+
+class RollbackFingerprintTest : public ::testing::Test {
+ protected:
+  RollbackFingerprintTest() : left_("l"), right_("r") {
+    // Identical names: every cross pair scores 1.0 on the name feature, so
+    // one positive feedback generates every other pair in one action.
+    for (int i = 0; i < 5; ++i) {
+      left_.Add(rdf::Term::Iri("http://l/e" + std::to_string(i)),
+                rdf::Term::Iri("http://l/name"),
+                rdf::Term::StringLiteral("Ada Lovelace"));
+    }
+    for (int i = 0; i < 4; ++i) {
+      right_.Add(rdf::Term::Iri("http://r/x" + std::to_string(i)),
+                 rdf::Term::Iri("http://r/label"),
+                 rdf::Term::StringLiteral("Ada Lovelace"));
+    }
+  }
+
+  PartitionAlex MakePartition(uint64_t seed = 7) {
+    FeatureSpace space =
+        FeatureSpace::Build(left_, left_.Subjects(), right_,
+                            right_.Subjects(), &catalog_, options_.space);
+    return PartitionAlex(std::move(space), &options_, seed);
+  }
+
+  // Episode-boundary sync exactly as the engine performs it: fold the
+  // epoch delta into the space, then consume it.
+  static void Sync(PartitionAlex* part) {
+    part->SyncSpaceToCandidates();
+    part->mutable_candidates().TakeEpochChanges();
+  }
+
+  // Smallest candidate pair other than `seed` (a deterministic victim).
+  static PairId PickGenerated(const PartitionAlex& part, PairId seed) {
+    PairId victim = kInvalidPairId;
+    for (PairId pair : part.candidates().items()) {
+      if (pair != seed && pair < victim) victim = pair;
+    }
+    return victim;
+  }
+
+  rdf::TripleStore left_;
+  rdf::TripleStore right_;
+  FeatureCatalog catalog_;
+  AlexOptions options_;  // rollback_threshold = 3 (default)
+};
+
+TEST_F(RollbackFingerprintTest, RollbackRestoresPreActionFingerprint) {
+  PartitionAlex part = MakePartition();
+  PairId seed = part.space().FindPair("http://l/e0", "http://r/x0");
+  ASSERT_NE(seed, kInvalidPairId);
+  part.AddInitialCandidate(seed);
+  Sync(&part);
+  const uint64_t pre_action = part.space().Fingerprint();
+
+  part.BeginEpisode();
+  PartitionAlex::FeedbackOutcome outcome = part.ProcessFeedback(seed, true);
+  ASSERT_GE(outcome.added, 2u) << "needs a multi-link action";
+  Sync(&part);
+  EXPECT_NE(part.space().Fingerprint(), pre_action)
+      << "generated links must leave the frontier";
+
+  PairId victim = PickGenerated(part, seed);
+  ASSERT_NE(victim, kInvalidPairId);
+  size_t rollbacks = 0;
+  for (int strike = 0; strike < options_.rollback_threshold; ++strike) {
+    rollbacks += part.ProcessFeedback(victim, false).rollbacks;
+  }
+  ASSERT_EQ(rollbacks, 1u);
+  ASSERT_EQ(part.candidates().size(), 1u);  // only the seed survives
+  Sync(&part);
+  EXPECT_EQ(part.space().Fingerprint(), pre_action);
+}
+
+TEST_F(RollbackFingerprintTest, RestoresFingerprintAcrossMidEpisodeSyncs) {
+  // Sync after EVERY feedback item with eager compaction, so the rollback's
+  // resurrections hit compacted buckets (the pending-buffer path).
+  options_.space.compaction_threshold = 0;
+  PartitionAlex part = MakePartition();
+  PairId seed = part.space().FindPair("http://l/e0", "http://r/x0");
+  ASSERT_NE(seed, kInvalidPairId);
+  part.AddInitialCandidate(seed);
+  Sync(&part);
+  const uint64_t pre_action = part.space().Fingerprint();
+
+  part.BeginEpisode();
+  ASSERT_GE(part.ProcessFeedback(seed, true).added, 2u);
+  Sync(&part);
+  PairId victim = PickGenerated(part, seed);
+  size_t rollbacks = 0;
+  for (int strike = 0; strike < options_.rollback_threshold; ++strike) {
+    rollbacks += part.ProcessFeedback(victim, false).rollbacks;
+    Sync(&part);
+  }
+  ASSERT_EQ(rollbacks, 1u);
+  EXPECT_GT(part.space().compaction_count(), 0u);
+  EXPECT_EQ(part.space().Fingerprint(), pre_action);
+}
+
+TEST_F(RollbackFingerprintTest, ConfirmedLinkSurvivesRollbackInFrontier) {
+  PartitionAlex part = MakePartition();
+  PairId seed = part.space().FindPair("http://l/e0", "http://r/x0");
+  PairId kept = part.space().FindPair("http://l/e1", "http://r/x1");
+  ASSERT_NE(seed, kInvalidPairId);
+  ASSERT_NE(kept, kInvalidPairId);
+  part.AddInitialCandidate(seed);
+  Sync(&part);
+  const uint64_t pre_action = part.space().Fingerprint();
+
+  part.BeginEpisode();
+  ASSERT_GE(part.ProcessFeedback(seed, true).added, 2u);
+  ASSERT_TRUE(part.candidates().Contains(kept));
+  part.ProcessFeedback(kept, true);  // user confirms this generated link
+  PairId victim = kInvalidPairId;
+  for (PairId pair : part.candidates().items()) {
+    if (pair != seed && pair != kept && pair < victim) victim = pair;
+  }
+  ASSERT_NE(victim, kInvalidPairId);
+  size_t rollbacks = 0;
+  for (int strike = 0; strike < options_.rollback_threshold; ++strike) {
+    rollbacks += part.ProcessFeedback(victim, false).rollbacks;
+  }
+  ASSERT_EQ(rollbacks, 1u);
+  Sync(&part);
+  // The confirmed link stays a candidate, so the fingerprint differs from
+  // the pre-action frontier by exactly that link.
+  EXPECT_EQ(part.candidates().size(), 2u);
+  EXPECT_FALSE(part.space().IsLive(kept));
+  EXPECT_NE(part.space().Fingerprint(), pre_action);
+  part.mutable_candidates().Remove(kept);
+  Sync(&part);
+  EXPECT_EQ(part.space().Fingerprint(), pre_action);
+}
+
+TEST_F(RollbackFingerprintTest, IncrementalMatchesRebuildUnderRollback) {
+  // Two identically-seeded partitions, one maintaining its frontier with
+  // ApplyDelta, one rebuilding from liveness flags, driven through the
+  // same explore-confirm-rollback sequence: fingerprints agree at every
+  // sync point.
+  AlexOptions rebuild_options = options_;
+  rebuild_options.incremental_space_maintenance = false;
+  FeatureSpace inc_space =
+      FeatureSpace::Build(left_, left_.Subjects(), right_, right_.Subjects(),
+                          &catalog_, options_.space);
+  FeatureSpace reb_space =
+      FeatureSpace::Build(left_, left_.Subjects(), right_, right_.Subjects(),
+                          &catalog_, rebuild_options.space);
+  PartitionAlex inc(std::move(inc_space), &options_, 7);
+  PartitionAlex reb(std::move(reb_space), &rebuild_options, 7);
+
+  PairId seed = inc.space().FindPair("http://l/e0", "http://r/x0");
+  ASSERT_NE(seed, kInvalidPairId);
+  for (PartitionAlex* part : {&inc, &reb}) {
+    part->AddInitialCandidate(seed);
+    Sync(part);
+    part->BeginEpisode();
+    ASSERT_GE(part->ProcessFeedback(seed, true).added, 2u);
+    Sync(part);
+  }
+  ASSERT_EQ(inc.space().Fingerprint(), reb.space().Fingerprint());
+  PairId victim = PickGenerated(inc, seed);
+  ASSERT_EQ(victim, PickGenerated(reb, seed));
+  for (int strike = 0; strike < options_.rollback_threshold; ++strike) {
+    inc.ProcessFeedback(victim, false);
+    reb.ProcessFeedback(victim, false);
+    Sync(&inc);
+    Sync(&reb);
+    EXPECT_EQ(inc.space().Fingerprint(), reb.space().Fingerprint());
+  }
 }
 
 }  // namespace

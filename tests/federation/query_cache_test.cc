@@ -11,6 +11,9 @@
 #include "eval/query_workload.h"
 #include "federation/federated_engine.h"
 #include "linking/paris.h"
+#include "sparql/compiler.h"
+#include "sparql/executor.h"
+#include "sparql/parser.h"
 
 namespace alex::fed {
 namespace {
@@ -185,6 +188,62 @@ TEST_F(CachedEngineTest, HitReturnsIdenticalRowsAndInvalidationIsExact) {
   ASSERT_EQ(durant_after.value().size(), 1u);
   EXPECT_EQ(durant_after.value()[0].binding.at("article").lexical(),
             "http://nyt.com/article/3");
+}
+
+// Precondition for the ROADMAP plan-caching item: a CompiledQuery reused
+// via ExecuteOptions::plan depends only on the (immutable) store — a link
+// delta that invalidates the FederatedQueryCache entry must not change the
+// rows a reused plan produces, so plans can be cached across link churn
+// while only the federated result cache is invalidated.
+TEST_F(CachedEngineTest, CompiledPlanReuseSurvivesLinkInvalidation) {
+  FederatedEngine engine({&dbpedia_, &nytimes_}, &links_);
+  FederatedQueryCache cache;
+  engine.set_cache(&cache);
+
+  // Warm the federated cache with a query that consults LeBron's links.
+  const std::string lebron_q =
+      "SELECT ?article WHERE { "
+      "?player <http://dbpedia.org/award> \"NBA MVP 2013\" . "
+      "?article <http://nyt.com/about> ?player }";
+  auto fed_before = engine.ExecuteText(lebron_q);
+  ASSERT_TRUE(fed_before.ok());
+  const uint64_t fp = QueryFingerprint(lebron_q, FederatedOptions().max_rows);
+  ASSERT_NE(cache.Lookup(fp), nullptr);
+
+  // Compile a single-source query once and execute it through the reused
+  // plan.
+  const std::string text =
+      "SELECT ?s ?o WHERE { ?s <http://dbpedia.org/award> ?o } ORDER BY ?s";
+  Result<sparql::Query> parsed = sparql::ParseQuery(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  sparql::CompiledQuery plan = sparql::CompileQuery(*parsed, dbpedia_);
+  sparql::ExecuteOptions exec_options;
+  exec_options.plan = &plan;
+  auto first = sparql::Execute(*parsed, dbpedia_, exec_options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().size(), 2u);
+
+  // A link delta touching LeBron invalidates exactly the cached federated
+  // entry.
+  const Link churned{"http://dbpedia.org/LeBron_James",
+                     "http://nyt.com/person/lebron2", 0.5};
+  links_.Add(churned);
+  cache.InvalidateLink(churned);
+  EXPECT_EQ(cache.Lookup(fp), nullptr);
+
+  // The same plan object, executed again after the delta, returns identical
+  // rows — including order.
+  auto second = sparql::Execute(*parsed, dbpedia_, exec_options);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second.value().size(), first.value().size());
+  for (size_t i = 0; i < first.value().size(); ++i) {
+    EXPECT_TRUE(first.value()[i] == second.value()[i]) << "row " << i;
+  }
+
+  // And the federated query re-executes (cache miss) to the same answers.
+  auto fed_after = engine.ExecuteText(lebron_q);
+  ASSERT_TRUE(fed_after.ok());
+  EXPECT_TRUE(SameAnswers(fed_before.value(), fed_after.value()));
 }
 
 TEST_F(CachedEngineTest, ParallelExecutionMatchesSequential) {

@@ -1,12 +1,24 @@
 // Robustness "fuzz" tests: the parsers and executors must never crash or
-// hang on malformed input — they return parse errors (Status) instead.
+// hang on malformed input — they return parse errors (Status) instead, and
+// the engine's incremental frontier maintenance must survive arbitrary link
+// churn bit-identically to a rebuild-every-epoch engine.
 // Deterministic pseudo-random mutation keeps these reproducible.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
+#include "core/alex_engine.h"
+#include "datagen/profiles.h"
+#include "feedback/oracle.h"
 #include "linking/link_io.h"
+#include "linking/paris.h"
 #include "rdf/ntriples.h"
 #include "sparql/executor.h"
 #include "sparql/parser.h"
@@ -120,6 +132,136 @@ TEST(FuzzTest, TokenizerHandlesAllByteValues) {
     rdf::ParseNTriples(one, &store);  // must not crash
   }
   SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Link-churn fuzz regime: a noisy oracle drives episodes full of negative
+// feedback, rollbacks and blacklist hits, and the engine maintaining its
+// explorable frontier incrementally (ApplyDelta) must produce an episode
+// series — stats, quality-relevant counts, per-partition frontier
+// fingerprints, and the final link set — byte-identical to an engine that
+// rebuilds its score indexes from liveness flags every epoch, at every
+// thread count.
+
+void AppendBits(std::ostringstream* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  *out << bits << ' ';
+}
+
+struct ChurnOutcome {
+  std::string series;
+  uint64_t negative_feedback = 0;
+  uint64_t rollbacks = 0;
+  size_t blacklist_entries = 0;
+  uint64_t compactions = 0;
+};
+
+// One full run of the churn regime. `incremental` selects the maintenance
+// strategy under test; everything else is held fixed.
+ChurnOutcome RunChurnRegime(const datagen::GeneratedWorld& world,
+                            const std::vector<linking::Link>& initial,
+                            const feedback::GroundTruth& truth,
+                            bool incremental, int threads) {
+  core::AlexOptions options;
+  options.num_partitions = 4;
+  options.num_threads = threads;
+  options.episode_size = 40;
+  options.max_episodes = 10;
+  options.blacklist_strikes = 2;
+  options.seed = 77;
+  options.incremental_space_maintenance = incremental;
+  // Eager compaction: every tombstone/pending entry beyond the live/8 slack
+  // triggers a bucket rewrite, maximizing physical churn under test. The
+  // threshold only affects physical layout, never logical contents.
+  options.space.compaction_threshold = 0;
+
+  core::AlexEngine engine(&world.left, &world.right, options);
+  Status status = engine.Initialize(initial);
+  ALEX_CHECK(status.ok()) << status.ToString();
+
+  // error_rate 0.2 makes the oracle contradict itself on revisited links:
+  // positives that later turn negative trigger rollbacks, repeat negatives
+  // trigger blacklist hits. The flip decision is per-link-deterministic, so
+  // every run sees the same noise regardless of visit order.
+  feedback::Oracle oracle(&truth, 0.2, options.seed + 1);
+  auto feedback_fn = [&oracle](const linking::Link& link) {
+    return oracle.Feedback(link);
+  };
+
+  ChurnOutcome outcome;
+  std::ostringstream series;
+  core::AlexEngine::RunResult run =
+      engine.Run(feedback_fn, [&](const core::EpisodeStats& stats) {
+        series << stats.episode << ' ' << stats.feedback_items << ' '
+               << stats.positive_feedback << ' ' << stats.negative_feedback
+               << ' ' << stats.links_added << ' ' << stats.links_removed
+               << ' ' << stats.rollbacks << ' ' << stats.rolled_back_links
+               << ' ' << stats.candidate_count << ' ';
+        AppendBits(&series, stats.change_fraction);
+        for (const core::PartitionAlex& partition : engine.partitions()) {
+          series << partition.space().Fingerprint() << ' '
+                 << partition.space().live_pair_count() << ' ';
+        }
+        series << '\n';
+        outcome.negative_feedback += stats.negative_feedback;
+        outcome.rollbacks += stats.rollbacks;
+      });
+  series << "converged " << run.converged << " episodes " << run.episodes
+         << '\n';
+
+  std::vector<linking::Link> links = engine.CandidateLinks();
+  std::sort(links.begin(), links.end(),
+            [](const linking::Link& a, const linking::Link& b) {
+              return std::tie(a.left, a.right) < std::tie(b.left, b.right);
+            });
+  for (const linking::Link& link : links) {
+    series << link.left << '\t' << link.right << '\n';
+  }
+  for (const core::PartitionAlex& partition : engine.partitions()) {
+    outcome.blacklist_entries += partition.blacklist().size();
+    outcome.compactions += partition.space().compaction_count();
+  }
+  outcome.series = series.str();
+  return outcome;
+}
+
+TEST(FuzzTest, LinkChurnIncrementalMatchesRebuildEngine) {
+  datagen::WorldProfile profile = datagen::TinyTestProfile();
+  profile.confusable_pairs = 6;
+  datagen::GeneratedWorld world = datagen::Generate(profile);
+  feedback::GroundTruth truth(world.ground_truth);
+  std::vector<linking::Link> initial = linking::FilterByScore(
+      linking::RunParis(world.left, world.right), 0.9);
+  ASSERT_GE(initial.size(), 10u) << "profile too small for churn regime";
+
+  std::string reference;
+  for (bool incremental : {true, false}) {
+    for (int threads : {1, 2, 4}) {
+      ChurnOutcome outcome =
+          RunChurnRegime(world, initial, truth, incremental, threads);
+      if (reference.empty()) {
+        reference = outcome.series;
+        // The regime must actually exercise churn, not just confirm links:
+        // noisy feedback has to produce negatives, rollbacks, and repeat
+        // offenders hitting the blacklist.
+        EXPECT_GT(outcome.negative_feedback, 0u);
+        EXPECT_GT(outcome.rollbacks, 0u);
+        EXPECT_GT(outcome.blacklist_entries, 0u);
+      } else {
+        EXPECT_EQ(outcome.series, reference)
+            << (incremental ? "incremental" : "rebuild") << " engine at "
+            << threads << " thread(s) diverged";
+      }
+      if (incremental) {
+        // The incremental engine really maintained in place: with the eager
+        // threshold, churn must have forced bucket compactions rather than
+        // quietly falling back to full rebuilds.
+        EXPECT_GT(outcome.compactions, 0u);
+      }
+    }
+  }
 }
 
 }  // namespace
