@@ -1,0 +1,252 @@
+// Fault-tolerant federation benchmark.
+//
+// Part 1 gates the endpoint abstraction itself: the same workload runs on
+// the seed engine (stores federated directly) and on an engine whose stores
+// are wrapped in LocalEndpoint + zero-profile FaultInjectingEndpoint. The
+// answers must be identical row for row, and the wall-clock overhead of the
+// extra indirection is reported (expected < 2%).
+//
+// Part 2 sweeps the fault rate: at each level every source is decorated
+// with a FaultInjectingEndpoint whose transient-error and truncation rates
+// scale with the sweep, and the workload reports the completeness fraction,
+// throughput, and the retry/breaker work the resilient path performed. All
+// faults are drawn deterministically in virtual time, so the sweep is
+// reproducible run to run.
+//
+// Writes BENCH_federation_faults.json (path via --out). Exits nonzero if
+// the identity gate fails.
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/query_workload.h"
+#include "federation/fault_injection.h"
+#include "federation/federated_engine.h"
+#include "linking/paris.h"
+
+namespace {
+
+using alex::fed::Endpoint;
+using alex::fed::FaultInjectingEndpoint;
+using alex::fed::FaultProfile;
+using alex::fed::FederatedEngine;
+using alex::fed::FederatedResult;
+using alex::fed::LocalEndpoint;
+using alex::rdf::TripleStore;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<
+             std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Owns the decorator chain for one federation of unreliable endpoints.
+struct FaultyFederation {
+  std::vector<std::unique_ptr<LocalEndpoint>> locals;
+  std::vector<std::unique_ptr<FaultInjectingEndpoint>> faulty;
+  std::vector<Endpoint*> endpoints;
+
+  FaultyFederation(const std::vector<const TripleStore*>& sources,
+                   const FaultProfile& profile) {
+    for (size_t i = 0; i < sources.size(); ++i) {
+      locals.push_back(std::make_unique<LocalEndpoint>(sources[i]));
+      faulty.push_back(std::make_unique<FaultInjectingEndpoint>(
+          locals.back().get(), i, profile));
+      endpoints.push_back(faulty.back().get());
+    }
+  }
+};
+
+struct SweepRow {
+  double fault_rate = 0.0;
+  double completeness = 0.0;  // fraction of queries returning complete
+  double qps = 0.0;
+  double ms = 0.0;
+  uint64_t probes = 0;
+  uint64_t retries = 0;
+  uint64_t short_circuits = 0;
+  uint64_t breaker_opens = 0;
+  int64_t virtual_ms = 0;  // simulated endpoint time, milliseconds
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_federation_faults.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    }
+  }
+
+  alex::eval::ExperimentConfig config =
+      alex::bench::MakeConfig("dbpedia_nytimes");
+  alex::datagen::GeneratedWorld world =
+      alex::datagen::Generate(config.profile);
+  (void)world.left.size();  // build indexes before timing
+  (void)world.right.size();
+
+  std::vector<alex::linking::Link> initial = alex::linking::FilterByScore(
+      alex::linking::RunParis(world.left, world.right, config.paris),
+      config.paris_threshold);
+  alex::fed::LinkSet links;
+  for (const alex::linking::Link& link : initial) links.Add(link);
+
+  alex::eval::WorkloadOptions workload_options;
+  workload_options.num_queries = 250;
+  std::vector<alex::eval::WorkloadQuery> workload =
+      alex::eval::GenerateWorkload(world, workload_options);
+  std::vector<const TripleStore*> sources = {&world.left, &world.right};
+
+  std::cout << "== Federation fault tolerance ==\n"
+            << "world dbpedia_nytimes: " << world.left.size() << " + "
+            << world.right.size() << " triples, " << initial.size()
+            << " links, " << workload.size() << " queries\n";
+
+  // ---- Part 1: endpoint indirection at fault rate 0 ----
+  FederatedEngine direct_engine(sources, &links);
+  FaultyFederation zero_federation(sources, FaultProfile{});
+  FederatedEngine wrapped_engine(zero_federation.endpoints, &links);
+
+  bool identical_answers = true;
+  uint64_t total_rows = 0;
+  for (const alex::eval::WorkloadQuery& query : workload) {
+    alex::Result<FederatedResult> direct =
+        direct_engine.ExecuteText(query.text);
+    alex::Result<FederatedResult> wrapped =
+        wrapped_engine.ExecuteText(query.text);
+    ALEX_CHECK(direct.ok() && wrapped.ok());
+    bool same = direct->complete && wrapped->complete &&
+                direct->answers.size() == wrapped->answers.size();
+    for (size_t i = 0; same && i < direct->answers.size(); ++i) {
+      same = direct->answers[i].binding == wrapped->answers[i].binding &&
+             direct->answers[i].links_used == wrapped->answers[i].links_used;
+    }
+    if (!same) {
+      identical_answers = false;
+      std::cerr << "ANSWER MISMATCH: " << query.text << "\n";
+      break;
+    }
+    total_rows += direct->answers.size();
+  }
+  std::cout << "  identity check: "
+            << (identical_answers ? "wrapped == direct" : "MISMATCH") << " ("
+            << total_rows << " total rows)\n";
+
+  const int kRepeats = 5;
+  auto time_workload = [&](FederatedEngine& engine) {
+    double best_ms = -1.0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      for (const alex::eval::WorkloadQuery& query : workload) {
+        alex::Result<FederatedResult> result = engine.ExecuteText(query.text);
+        ALEX_CHECK(result.ok());
+      }
+      double ms = MsSince(start);
+      if (best_ms < 0.0 || ms < best_ms) best_ms = ms;
+    }
+    return best_ms;
+  };
+  const double direct_ms = time_workload(direct_engine);
+  const double wrapped_ms = time_workload(wrapped_engine);
+  const double overhead_pct =
+      direct_ms > 0.0 ? 100.0 * (wrapped_ms - direct_ms) / direct_ms : 0.0;
+  std::cout << std::fixed << std::setprecision(2) << "  direct   "
+            << direct_ms << " ms\n  wrapped  " << wrapped_ms
+            << " ms  (indirection overhead " << overhead_pct << "%)\n";
+
+  // ---- Part 2: completeness and throughput vs fault rate ----
+  const std::vector<double> kFaultRates = {0.0, 0.05, 0.1, 0.2, 0.4};
+  std::vector<SweepRow> sweep;
+  std::cout << "== Completeness / throughput vs fault rate ==\n";
+  for (double rate : kFaultRates) {
+    FaultProfile profile;
+    profile.seed = 0xfed5;
+    profile.transient_error_rate = rate;
+    profile.truncation_rate = rate / 2.0;
+    profile.truncation_keep_fraction = 0.5;
+    FaultyFederation federation(sources, profile);
+    FederatedEngine engine(federation.endpoints, &links);
+
+    SweepRow row;
+    row.fault_rate = rate;
+    size_t complete = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (const alex::eval::WorkloadQuery& query : workload) {
+      alex::Result<FederatedResult> result = engine.ExecuteText(query.text);
+      ALEX_CHECK(result.ok());
+      if (result->complete) ++complete;
+      row.probes += result->probes;
+      row.retries += result->retries;
+      row.short_circuits += result->short_circuits;
+    }
+    row.ms = MsSince(start);
+    row.completeness =
+        static_cast<double>(complete) / static_cast<double>(workload.size());
+    row.qps = row.ms > 0.0 ? 1000.0 * workload.size() / row.ms : 0.0;
+    row.breaker_opens = engine.TakeFaultStats().breaker_opens;
+    row.virtual_ms = engine.virtual_now_micros() / 1000;
+    sweep.push_back(row);
+    std::cout << "  rate " << std::setprecision(2) << std::setw(4) << rate
+              << ": completeness " << std::setprecision(3)
+              << row.completeness << ", " << std::setprecision(0) << row.qps
+              << " qps, " << row.retries << " retries, "
+              << row.short_circuits << " short-circuits, "
+              << row.breaker_opens << " breaker opens\n";
+  }
+  // The sweep must show graceful degradation, not a cliff: the zero-rate
+  // row stays fully complete while the most hostile rate still answers a
+  // usable share of the workload.
+  const bool graceful =
+      !sweep.empty() && sweep.front().completeness == 1.0 &&
+      sweep.back().completeness > 0.0 &&
+      sweep.back().completeness < sweep.front().completeness;
+  std::cout << (graceful ? "graceful degradation across the sweep\n"
+                         : "DEGRADATION PROFILE UNEXPECTED\n");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << std::fixed << std::setprecision(3);
+  out << "{\n"
+      << "  \"bench\": \"federation_faults\",\n"
+      << "  \"world\": \"dbpedia_nytimes\",\n"
+      << "  \"num_queries\": " << workload.size() << ",\n"
+      << "  \"total_rows\": " << total_rows << ",\n"
+      << "  \"repeats\": " << kRepeats << ",\n"
+      << "  \"identical_answers\": "
+      << (identical_answers ? "true" : "false") << ",\n"
+      << "  \"graceful_degradation\": " << (graceful ? "true" : "false")
+      << ",\n"
+      << "  \"direct_ms\": " << direct_ms << ",\n"
+      << "  \"wrapped_ms\": " << wrapped_ms << ",\n"
+      << "  \"indirection_overhead_pct\": " << overhead_pct << ",\n"
+      << "  \"overhead_under_2pct\": "
+      << (overhead_pct < 2.0 ? "true" : "false") << ",\n"
+      << "  \"runs\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& row = sweep[i];
+    out << "    {\"fault_rate\": " << row.fault_rate
+        << ", \"completeness\": " << row.completeness << ", \"qps\": "
+        << row.qps << ", \"ms\": " << row.ms << ", \"probes\": "
+        << row.probes << ", \"retries\": " << row.retries
+        << ", \"short_circuits\": " << row.short_circuits
+        << ", \"breaker_opens\": " << row.breaker_opens
+        << ", \"virtual_ms\": " << row.virtual_ms << "}"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "(json written to " << out_path << ")\n";
+  return identical_answers && graceful ? 0 : 1;
+}

@@ -426,7 +426,7 @@ int main(int argc, char** argv) {
 
     auto cached_start = std::chrono::steady_clock::now();
     for (const alex::eval::WorkloadQuery& query : workload) {
-      alex::Result<std::vector<alex::fed::FederatedAnswer>> answers =
+      alex::Result<alex::fed::FederatedResult> answers =
           cached_engine.ExecuteText(query.text);
       ALEX_CHECK(answers.ok()) << answers.status().ToString();
     }
@@ -436,16 +436,20 @@ int main(int argc, char** argv) {
     // the cached answers row for row (provenance included).
     auto uncached_start = std::chrono::steady_clock::now();
     for (size_t i = 0; i < workload.size(); i += 10) {
-      alex::Result<std::vector<alex::fed::FederatedAnswer>> cached =
+      alex::Result<alex::fed::FederatedResult> cached =
           cached_engine.ExecuteText(workload[i].text);
-      alex::Result<std::vector<alex::fed::FederatedAnswer>> fresh =
+      alex::Result<alex::fed::FederatedResult> fresh =
           uncached_engine.ExecuteText(workload[i].text);
       ALEX_CHECK(cached.ok() && fresh.ok());
-      bool same = cached.value().size() == fresh.value().size();
-      for (size_t j = 0; same && j < cached.value().size(); ++j) {
-        same = cached.value()[j].binding == fresh.value()[j].binding &&
-               cached.value()[j].links_used.size() ==
-                   fresh.value()[j].links_used.size();
+      const std::vector<alex::fed::FederatedAnswer>& cached_rows =
+          cached.value().answers;
+      const std::vector<alex::fed::FederatedAnswer>& fresh_rows =
+          fresh.value().answers;
+      bool same = cached_rows.size() == fresh_rows.size();
+      for (size_t j = 0; same && j < cached_rows.size(); ++j) {
+        same = cached_rows[j].binding == fresh_rows[j].binding &&
+               cached_rows[j].links_used.size() ==
+                   fresh_rows[j].links_used.size();
       }
       if (!same) cache_exact = false;
     }

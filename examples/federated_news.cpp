@@ -105,7 +105,7 @@ int main() {
     std::cerr << before.status().ToString() << "\n";
     return 1;
   }
-  PrintAnswers(before.value());
+  PrintAnswers(before->answers);
 
   // Run ALEX: the user approves an answer produced via the Durant link,
   // ALEX explores around it in feature space and discovers the LeBron link
@@ -136,7 +136,7 @@ int main() {
     auto answers = fed_round.ExecuteText(kDurantQuery);
     if (!answers.ok()) break;
     alex.BeginExternalEpisode();
-    for (const FederatedAnswer& answer : answers.value()) {
+    for (const FederatedAnswer& answer : answers->answers) {
       for (const Link& used : answer.links_used) {
         alex.ApplyLinkFeedback(used, /*positive=*/true);  // user approves
       }
@@ -158,6 +158,6 @@ int main() {
     std::cerr << after.status().ToString() << "\n";
     return 1;
   }
-  PrintAnswers(after.value());
-  return after->empty() ? 1 : 0;
+  PrintAnswers(after->answers);
+  return after->answers.empty() ? 1 : 0;
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Single CI entry point: tier-1 build + full ctest, then the sanitizer
+# sweeps. Each stage uses its own build directory (build-ci, build-asan,
+# build-tsan) so a local development build stays untouched.
+#
+#   scripts/ci.sh            # everything
+#   SKIP_SANITIZERS=1 scripts/ci.sh   # tier-1 only (fast pre-push check)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir=${BUILD_DIR:-build-ci}
+
+echo "== tier 1: build + ctest =="
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
+  echo "== tier 2: sanitizers =="
+  scripts/check_asan.sh
+  scripts/check_tsan.sh
+fi
+
+echo "ci: all stages passed"

@@ -11,23 +11,25 @@ build_dir=${BUILD_DIR:-build-bench}
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_episode_loop bench_space_build bench_query_exec \
-  bench_incremental_space
+  bench_incremental_space bench_federation_faults
 
 declare -A gate_key=(
   [bench_episode_loop]=identical_series
   [bench_space_build]=identical_spaces
   [bench_query_exec]=identical_rows
   [bench_incremental_space]=identical_fingerprints
+  [bench_federation_faults]=identical_answers
 )
 declare -A runs_key=(
   [bench_episode_loop]=runs
   [bench_space_build]=blocked
   [bench_query_exec]=runs
   [bench_incremental_space]=runs
+  [bench_federation_faults]=runs
 )
 
 for bench in bench_episode_loop bench_space_build bench_query_exec \
-    bench_incremental_space; do
+    bench_incremental_space bench_federation_faults; do
   out="BENCH_${bench#bench_}.json"
   echo "== $bench -> $out =="
   "$build_dir/bench/$bench" --out "$out"

@@ -1,0 +1,18 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace alex {
+
+int64_t SystemClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const SystemClock* SystemClock::Get() {
+  static const SystemClock* clock = new SystemClock;
+  return clock;
+}
+
+}  // namespace alex

@@ -1,0 +1,59 @@
+// Time sources.
+//
+// Everything in ALEX that reasons about time — retry backoff, circuit
+// breaker cooldowns, simulated endpoint latency, deadline budgets — goes
+// through the Clock interface so tests and the deterministic fault
+// simulator can run in *virtual* time: no wall-clock sleeps anywhere, and a
+// fixed seed replays the exact same timeline at any thread count.
+//
+//   SystemClock  - monotonic wall time (std::chrono::steady_clock).
+//   VirtualClock - a manually advanced microsecond counter. Thread-safe;
+//                  Advance() is an atomic add, so concurrent advancing
+//                  threads accumulate a deterministic total even though
+//                  intermediate readings interleave.
+#ifndef ALEX_COMMON_CLOCK_H_
+#define ALEX_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace alex {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic time in microseconds. The epoch is unspecified (SystemClock:
+  // process start-ish; VirtualClock: its construction value); only
+  // differences are meaningful.
+  virtual int64_t NowMicros() const = 0;
+};
+
+class SystemClock final : public Clock {
+ public:
+  int64_t NowMicros() const override;
+
+  // Shared process-wide instance (the clock is stateless).
+  static const SystemClock* Get();
+};
+
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  // Moves time forward by `micros` (>= 0). Returns the new now.
+  int64_t Advance(int64_t micros) {
+    return now_.fetch_add(micros, std::memory_order_relaxed) + micros;
+  }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace alex
+
+#endif  // ALEX_COMMON_CLOCK_H_

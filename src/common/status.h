@@ -29,6 +29,12 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kParseError,
+  // A service (e.g. a remote federation endpoint) is temporarily unable to
+  // answer; the operation may succeed if retried.
+  kUnavailable,
+  // The operation ran past its time budget (a per-probe timeout or a
+  // per-query deadline).
+  kDeadlineExceeded,
 };
 
 // Returns a stable lowercase name for `code` ("ok", "parse_error", ...).
@@ -66,6 +72,12 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

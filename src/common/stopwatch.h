@@ -1,27 +1,49 @@
-// Wall-clock stopwatch for the execution-time experiments (§7.3).
+// Stopwatch for the execution-time experiments (§7.3).
+//
+// By default it reads the wall clock (steady_clock); constructed with a
+// Clock it reads that instead, so retry/backoff and fault-simulation tests
+// measure *virtual* time with zero wall-clock sleeps.
 #ifndef ALEX_COMMON_STOPWATCH_H_
 #define ALEX_COMMON_STOPWATCH_H_
 
 #include <chrono>
 
+#include "common/clock.h"
+
 namespace alex {
 
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(SteadyClock::now()) {}
+
+  // Reads `clock` (which must outlive the stopwatch) instead of the wall
+  // clock.
+  explicit Stopwatch(const Clock* clock)
+      : clock_(clock), start_micros_(clock->NowMicros()) {}
 
   // Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() {
+    if (clock_ != nullptr) {
+      start_micros_ = clock_->NowMicros();
+    } else {
+      start_ = SteadyClock::now();
+    }
+  }
 
   // Elapsed time since construction or the last Reset().
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    if (clock_ != nullptr) {
+      return static_cast<double>(clock_->NowMicros() - start_micros_) * 1e-6;
+    }
+    return std::chrono::duration<double>(SteadyClock::now() - start_).count();
   }
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  using SteadyClock = std::chrono::steady_clock;
+  const Clock* clock_ = nullptr;
+  SteadyClock::time_point start_;
+  int64_t start_micros_ = 0;
 };
 
 }  // namespace alex

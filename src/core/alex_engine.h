@@ -125,6 +125,21 @@ struct EpisodeStats {
   // only; zero when the episode was not query-driven or no cache was used).
   size_t query_cache_hits = 0;
   size_t query_cache_misses = 0;
+  // Fault-tolerant federation accounting (query-driven loop over unreliable
+  // endpoints only; all zero otherwise). Probes count endpoint attempts,
+  // retries included; short circuits are probes skipped by an open breaker.
+  size_t query_probes = 0;
+  size_t query_retries = 0;
+  size_t breaker_short_circuits = 0;
+  size_t breaker_opens = 0;
+  size_t breaker_half_opens = 0;
+  size_t breaker_closes = 0;
+  // Queries whose answer set was incomplete (failed / truncating / blocked
+  // sources, deadline overruns), and provenance links that consequently
+  // received no feedback this episode — the loop never trains the policy on
+  // degraded evidence.
+  size_t incomplete_queries = 0;
+  size_t skipped_feedback = 0;
 
   double NegativeFeedbackPercent() const {
     return feedback_items == 0

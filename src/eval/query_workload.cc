@@ -1,7 +1,10 @@
 #include "eval/query_workload.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <unordered_set>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "federation/federated_engine.h"
@@ -121,10 +124,32 @@ ExperimentResult RunQueryDrivenExperiment(
   for (const linking::Link& link : initial_links) links.Add(link);
   fed::FederatedQueryCache cache;
   std::vector<const rdf::TripleStore*> sources = {&world.left, &world.right};
-  fed::FederatedEngine fed_engine(sources, &links);
+  // With a non-zero fault profile every source becomes an unreliable
+  // endpoint and the engine runs its resilient path; a zero profile keeps
+  // the seed construction (plain local stores), bit-for-bit.
+  std::vector<std::unique_ptr<fed::LocalEndpoint>> local_endpoints;
+  std::vector<std::unique_ptr<fed::FaultInjectingEndpoint>> faulty_endpoints;
+  std::optional<fed::FederatedEngine> engine_storage;
+  if (options.fault_profile.IsZero()) {
+    engine_storage.emplace(sources, &links);
+  } else {
+    std::vector<fed::Endpoint*> endpoints;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      local_endpoints.push_back(
+          std::make_unique<fed::LocalEndpoint>(sources[i]));
+      faulty_endpoints.push_back(
+          std::make_unique<fed::FaultInjectingEndpoint>(
+              local_endpoints.back().get(), i, options.fault_profile));
+      endpoints.push_back(faulty_endpoints.back().get());
+    }
+    engine_storage.emplace(std::move(endpoints), &links);
+    engine_storage->set_resilience(options.resilience);
+  }
+  fed::FederatedEngine& fed_engine = *engine_storage;
   if (options.use_query_cache) fed_engine.set_cache(&cache);
   fed::FederatedOptions fed_options;
   fed_options.pool = options.pool;
+  fed_options.deadline_micros = options.deadline_micros;
   engine->SetLinkChangeObserver(
       [&links, &cache](const linking::Link& link, bool added) {
         if (added) {
@@ -150,12 +175,33 @@ ExperimentResult RunQueryDrivenExperiment(
     // share the same provenance link, and re-judging it adds no
     // information (mirrors the engine's first-visit semantics).
     std::unordered_set<linking::Link, linking::LinkHash> judged;
+    // Provenance links seen only through incomplete answer sets. They
+    // receive no feedback (a degraded answer set can misrepresent a link's
+    // effect); the count of those never judged elsewhere this episode is
+    // reported as skipped_feedback.
+    std::unordered_set<linking::Link, linking::LinkHash> skipped;
     for (size_t index : order) {
       if (stats.feedback_items >= options.episode_size) break;
-      Result<std::vector<fed::FederatedAnswer>> answers =
+      Result<fed::FederatedResult> executed =
           fed_engine.ExecuteText(workload[index].text, fed_options);
-      if (!answers.ok()) continue;
-      for (const fed::FederatedAnswer& answer : answers.value()) {
+      if (!executed.ok()) continue;
+      const fed::FederatedResult& result_set = executed.value();
+      stats.query_probes += result_set.probes;
+      stats.query_retries += result_set.retries;
+      stats.breaker_short_circuits += result_set.short_circuits;
+      if (!result_set.complete) {
+        // Degraded evidence: an answer set with missing rows or sources
+        // must not judge links. Positive verdicts could reward a link that
+        // only looks good because contradicting rows are missing.
+        ++stats.incomplete_queries;
+        for (const fed::FederatedAnswer& answer : result_set.answers) {
+          for (const linking::Link& link : answer.links_used) {
+            skipped.insert(link);
+          }
+        }
+        continue;
+      }
+      for (const fed::FederatedAnswer& answer : result_set.answers) {
         if (stats.feedback_items >= options.episode_size) break;
         // §3.2: the user judges the ANSWER; the verdict applies to every
         // link in its provenance.
@@ -172,9 +218,17 @@ ExperimentResult RunQueryDrivenExperiment(
         }
       }
     }
+    for (const linking::Link& link : skipped) {
+      if (judged.find(link) == judged.end()) ++stats.skipped_feedback;
+    }
     fed::FederatedQueryCache::Stats cache_stats = cache.TakeStats();
     stats.query_cache_hits = cache_stats.hits;
     stats.query_cache_misses = cache_stats.misses;
+    fed::FederatedEngine::FaultStats fault_stats =
+        fed_engine.TakeFaultStats();
+    stats.breaker_opens = fault_stats.breaker_opens;
+    stats.breaker_half_opens = fault_stats.breaker_half_opens;
+    stats.breaker_closes = fault_stats.breaker_closes;
     // The episode boundary: fires the observer above (updating links and
     // invalidating cache entries) and reports the net membership changes —
     // the symmetric difference with the episode start, not a count delta.

@@ -30,6 +30,8 @@
 #include "core/alex_engine.h"
 #include "datagen/world.h"
 #include "eval/experiment.h"
+#include "federation/fault_injection.h"
+#include "federation/federated_engine.h"
 #include "feedback/oracle.h"
 
 namespace alex::eval {
@@ -69,6 +71,19 @@ struct QueryDrivenOptions {
   // Optional pool for per-source parallel federated evaluation (results
   // stay deterministic; see FederatedOptions::pool).
   ThreadPool* pool = nullptr;
+  // Endpoint fault model. A zero profile (default) federates directly over
+  // the stores — the seed behavior, bit-for-bit. A non-zero profile wraps
+  // every source in a FaultInjectingEndpoint and runs the engine's
+  // resilient path: queries whose answers come back incomplete produce NO
+  // feedback (their provenance links are counted in
+  // EpisodeStats::skipped_feedback instead), so the policy never trains on
+  // degraded evidence. With a fixed profile seed the whole series is
+  // bitwise-identical at any thread count.
+  fed::FaultProfile fault_profile;
+  // Retry/backoff and circuit-breaker configuration for the resilient path.
+  fed::FederatedEngine::Resilience resilience;
+  // Per-query virtual-time budget (see FederatedOptions::deadline_micros).
+  int64_t deadline_micros = 0;
 };
 
 // Runs the full pipeline with query-driven feedback. The engine must

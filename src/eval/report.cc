@@ -53,16 +53,35 @@ void PrintSummary(std::ostream& os, const ExperimentResult& result) {
      << "episode loop:            " << result.total_seconds << " s\n";
   os.unsetf(std::ios::fixed);
   os << std::setprecision(6);
+  // Degradation block, printed only when the run actually hit endpoint
+  // faults (query-driven loop over unreliable endpoints).
+  size_t incomplete = 0, skipped = 0, retries = 0, opens = 0;
+  for (const EpisodePoint& point : result.series) {
+    incomplete += point.stats.incomplete_queries;
+    skipped += point.stats.skipped_feedback;
+    retries += point.stats.query_retries;
+    opens += point.stats.breaker_opens;
+  }
+  if (incomplete > 0 || retries > 0 || opens > 0) {
+    os << "incomplete queries:      " << incomplete << " (" << skipped
+       << " feedback verdicts withheld)\n"
+       << "endpoint retries:        " << retries << "\n"
+       << "breaker opens:           " << opens << "\n";
+  }
 }
 
 void WriteSeriesCsv(std::ostream& os, const ExperimentResult& result) {
   os << "episode,precision,recall,f_measure,neg_feedback_pct,candidates,"
-        "seconds\n";
+        "seconds,incomplete_queries,skipped_feedback,query_retries,"
+        "breaker_opens\n";
   for (const EpisodePoint& point : result.series) {
     os << point.episode << ',' << point.quality.precision << ','
        << point.quality.recall << ',' << point.quality.f_measure << ','
        << point.stats.NegativeFeedbackPercent() << ','
-       << point.quality.candidates << ',' << point.stats.seconds << "\n";
+       << point.quality.candidates << ',' << point.stats.seconds << ','
+       << point.stats.incomplete_queries << ','
+       << point.stats.skipped_feedback << ',' << point.stats.query_retries
+       << ',' << point.stats.breaker_opens << "\n";
   }
 }
 

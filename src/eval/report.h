@@ -24,7 +24,8 @@ void PrintSummary(std::ostream& os, const ExperimentResult& result);
 void PrintHeader(std::ostream& os, const std::string& title);
 
 // Machine-readable per-episode series:
-// episode,precision,recall,f_measure,neg_feedback_pct,candidates,seconds
+// episode,precision,recall,f_measure,neg_feedback_pct,candidates,seconds,
+// incomplete_queries,skipped_feedback,query_retries,breaker_opens
 void WriteSeriesCsv(std::ostream& os, const ExperimentResult& result);
 
 // Writes the CSV to `path` (overwriting). Returns false on I/O failure.

@@ -1,0 +1,16 @@
+#include "federation/endpoint.h"
+
+namespace alex::fed {
+
+Status LocalEndpoint::Probe(rdf::TermPattern s, rdf::TermPattern p,
+                            rdf::TermPattern o, uint64_t query_salt,
+                            int attempt, ProbeResult* out) {
+  (void)query_salt;
+  (void)attempt;
+  out->triples = store_->Match(s, p, o);
+  out->truncated = false;
+  out->latency_micros = 0;
+  return Status::Ok();
+}
+
+}  // namespace alex::fed

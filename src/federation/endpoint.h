@@ -1,0 +1,96 @@
+// The endpoint abstraction between FederatedEngine and rdf::TripleStore.
+//
+// ALEX's premise is federated querying over *remote* LOD endpoints (§3.2),
+// but the seed engine treated every source as an infallible in-process
+// TripleStore. An Endpoint models what a remote source really is: local
+// metadata (its dictionary, consulted for term translation and source
+// selection) plus a fallible, potentially slow, potentially truncating
+// pattern probe.
+//
+//   LocalEndpoint          - wraps a TripleStore; never fails, zero latency.
+//                            Preserves the seed engine's behavior
+//                            bit-for-bit.
+//   FaultInjectingEndpoint - (fault_injection.h) decorates another endpoint
+//                            with seeded, deterministic faults.
+//
+// Probe outcomes are a pure function of (endpoint, pattern, query salt,
+// attempt). That statelessness is what extends the repo's determinism
+// invariant to the failure domain: the multiset of probes a query issues is
+// identical at any thread count, so every fault, retry and latency charge
+// is too.
+#ifndef ALEX_FEDERATION_ENDPOINT_H_
+#define ALEX_FEDERATION_ENDPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/triple_store.h"
+
+namespace alex::fed {
+
+// What one pattern probe returns beyond its Status.
+struct ProbeResult {
+  std::vector<rdf::Triple> triples;
+  // The endpoint answered but cut the result short (only a prefix of the
+  // matching triples was returned). A truncated probe makes the query
+  // result incomplete.
+  bool truncated = false;
+  // Simulated time this call took, in virtual microseconds (0 for local
+  // endpoints). Charged even when the probe fails.
+  int64_t latency_micros = 0;
+};
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  // The underlying store. Its dictionary and existence probes are *local*
+  // metadata (the engine's catalog knowledge of the source), consulted
+  // infallibly; only Probe() models the remote round trip.
+  virtual const rdf::TripleStore& store() const = 0;
+
+  // One fallible pattern probe: all triples matching (s, p, o).
+  //
+  // `query_salt` identifies the executing query and `attempt` is the
+  // 0-based retry ordinal; deterministic endpoints derive their fault and
+  // latency decisions purely from (pattern, query_salt, attempt).
+  //
+  // Returns OK (result in *out, possibly truncated), kUnavailable (the
+  // endpoint is down or flapping; retryable), or kDeadlineExceeded (the
+  // probe overran its simulated timeout; retryable).
+  virtual Status Probe(rdf::TermPattern s, rdf::TermPattern p,
+                       rdf::TermPattern o, uint64_t query_salt, int attempt,
+                       ProbeResult* out) = 0;
+
+  // True when Probe can fail or cost virtual time. The engine takes the
+  // seed fast path (no retry/breaker/deadline bookkeeping) when every
+  // endpoint is reliable.
+  virtual bool reliable() const = 0;
+
+  virtual const std::string& name() const = 0;
+};
+
+// An in-process source: the seed engine's behavior, bit-for-bit.
+class LocalEndpoint final : public Endpoint {
+ public:
+  // `store` must outlive the endpoint.
+  explicit LocalEndpoint(const rdf::TripleStore* store) : store_(store) {}
+
+  const rdf::TripleStore& store() const override { return *store_; }
+
+  Status Probe(rdf::TermPattern s, rdf::TermPattern p, rdf::TermPattern o,
+               uint64_t query_salt, int attempt, ProbeResult* out) override;
+
+  bool reliable() const override { return true; }
+
+  const std::string& name() const override { return store_->name(); }
+
+ private:
+  const rdf::TripleStore* store_;
+};
+
+}  // namespace alex::fed
+
+#endif  // ALEX_FEDERATION_ENDPOINT_H_

@@ -1,0 +1,127 @@
+#include "federation/fault_injection.h"
+
+#include <algorithm>
+
+namespace alex::fed {
+namespace {
+
+// Distinct decision streams per probe. Values are arbitrary but fixed:
+// changing them changes every fault universe.
+enum class Stream : uint64_t {
+  kOutage = 0x0u,
+  kTransient = 0x1u,
+  kTruncate = 0x2u,
+  kTruncateKeep = 0x3u,
+  kLatency = 0x4u,
+  kSpike = 0x5u,
+};
+
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// A 64-bit draw that is a pure function of its inputs.
+uint64_t Draw(uint64_t seed, uint64_t endpoint, uint64_t salt, uint64_t a,
+              uint64_t b, uint64_t c, uint64_t attempt, Stream stream) {
+  uint64_t h = Mix(seed ^ 0xa1e0fau);
+  h = Mix(h ^ endpoint);
+  h = Mix(h ^ salt);
+  h = Mix(h ^ a);
+  h = Mix(h ^ b);
+  h = Mix(h ^ c);
+  h = Mix(h ^ attempt);
+  h = Mix(h ^ static_cast<uint64_t>(stream));
+  return h;
+}
+
+double UnitDouble(uint64_t bits) {
+  return static_cast<double>(bits >> 11) / static_cast<double>(1ull << 53);
+}
+
+uint64_t PatternKey(rdf::TermPattern t) {
+  // Disambiguate "unbound" from term id 0.
+  return t.has_value() ? static_cast<uint64_t>(*t) + 1 : 0;
+}
+
+}  // namespace
+
+FaultInjectingEndpoint::FaultInjectingEndpoint(Endpoint* inner,
+                                               size_t endpoint_index,
+                                               const FaultProfile& profile)
+    : inner_(inner), endpoint_index_(endpoint_index), profile_(profile) {
+  permanently_down_ =
+      profile_.permanent_outage_rate > 0.0 &&
+      UnitDouble(Draw(profile_.seed, endpoint_index_, 0, 0, 0, 0, 0,
+                      Stream::kOutage)) < profile_.permanent_outage_rate;
+}
+
+Status FaultInjectingEndpoint::Probe(rdf::TermPattern s, rdf::TermPattern p,
+                                     rdf::TermPattern o, uint64_t query_salt,
+                                     int attempt, ProbeResult* out) {
+  const uint64_t a = PatternKey(s);
+  const uint64_t b = PatternKey(p);
+  const uint64_t c = PatternKey(o);
+  const uint64_t at = static_cast<uint64_t>(attempt);
+  auto draw = [&](Stream stream) {
+    return Draw(profile_.seed, endpoint_index_, query_salt, a, b, c, at,
+                stream);
+  };
+
+  // Latency is charged on every outcome: a down endpoint still costs the
+  // round trip that discovers it is down.
+  int64_t latency = profile_.base_latency_micros;
+  if (profile_.latency_jitter_micros > 0) {
+    latency += static_cast<int64_t>(
+        draw(Stream::kLatency) %
+        static_cast<uint64_t>(profile_.latency_jitter_micros + 1));
+  }
+  if (profile_.spike_rate > 0.0 &&
+      UnitDouble(draw(Stream::kSpike)) < profile_.spike_rate) {
+    latency = std::max(latency, profile_.spike_latency_micros);
+  }
+
+  if (permanently_down_) {
+    out->triples.clear();
+    out->truncated = false;
+    out->latency_micros = latency;
+    return Status::Unavailable(name() + ": permanent outage");
+  }
+  if (profile_.transient_error_rate > 0.0 &&
+      UnitDouble(draw(Stream::kTransient)) < profile_.transient_error_rate) {
+    out->triples.clear();
+    out->truncated = false;
+    out->latency_micros = latency;
+    return Status::Unavailable(name() + ": transient failure");
+  }
+  if (profile_.probe_timeout_micros > 0 &&
+      latency > profile_.probe_timeout_micros) {
+    // The caller waited out the full timeout before giving up.
+    out->triples.clear();
+    out->truncated = false;
+    out->latency_micros = profile_.probe_timeout_micros;
+    return Status::DeadlineExceeded(name() + ": probe timed out");
+  }
+
+  Status st = inner_->Probe(s, p, o, query_salt, attempt, out);
+  out->latency_micros += latency;
+  if (!st.ok()) return st;
+
+  if (profile_.truncation_rate > 0.0 && !out->triples.empty() &&
+      UnitDouble(draw(Stream::kTruncate)) < profile_.truncation_rate) {
+    const double keep_fraction =
+        std::clamp(profile_.truncation_keep_fraction, 0.0, 1.0);
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(
+               static_cast<double>(out->triples.size()) * keep_fraction));
+    if (keep < out->triples.size()) {
+      out->triples.resize(keep);
+      out->truncated = true;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace alex::fed

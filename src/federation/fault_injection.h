@@ -1,0 +1,94 @@
+// Deterministic fault injection for federation endpoints.
+//
+// A FaultInjectingEndpoint decorates another endpoint with the failure
+// modes real LOD endpoints exhibit (cf. Umbrich et al., PAPERS.md):
+//
+//   * transient errors     - a probe fails with kUnavailable but a retry
+//                            may succeed,
+//   * permanent outages    - every probe of the endpoint fails,
+//   * latency + timeouts   - probes cost virtual time; a probe whose drawn
+//                            latency exceeds the timeout fails with
+//                            kDeadlineExceeded,
+//   * truncated results    - a probe answers with only a prefix of the
+//                            matching triples.
+//
+// Every decision is a pure function of (profile seed, endpoint index,
+// pattern ids, query salt, attempt ordinal) — no shared RNG stream, no
+// wall clock. Two probes with the same identity draw the same fate
+// regardless of which thread issues them or in which order, which is what
+// keeps fault-seeded episode series bitwise-identical at any thread count,
+// with the federated query cache on or off.
+#ifndef ALEX_FEDERATION_FAULT_INJECTION_H_
+#define ALEX_FEDERATION_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+#include "federation/endpoint.h"
+
+namespace alex::fed {
+
+struct FaultProfile {
+  // Seed of the whole fault universe. Same seed => same faults everywhere.
+  uint64_t seed = 0;
+  // Per probe attempt: probability of a transient kUnavailable failure.
+  double transient_error_rate = 0.0;
+  // Per endpoint: probability the endpoint is permanently down (decided
+  // once from (seed, endpoint index); every probe then fails).
+  double permanent_outage_rate = 0.0;
+  // Per successful probe: probability the result is truncated to the first
+  // max(1, floor(n * truncation_keep_fraction)) of its n triples.
+  double truncation_rate = 0.0;
+  double truncation_keep_fraction = 0.5;
+  // Latency model, in virtual microseconds: every probe costs base plus a
+  // uniform draw in [0, jitter]; a spike_rate fraction instead costs
+  // spike_latency_micros.
+  int64_t base_latency_micros = 0;
+  int64_t latency_jitter_micros = 0;
+  double spike_rate = 0.0;
+  int64_t spike_latency_micros = 0;
+  // Per-probe timeout (0 = none): a probe whose drawn latency exceeds this
+  // fails with kDeadlineExceeded after costing the full timeout.
+  int64_t probe_timeout_micros = 0;
+
+  // True when this profile can never perturb a probe (no faults, no cost).
+  bool IsZero() const {
+    return transient_error_rate <= 0.0 && permanent_outage_rate <= 0.0 &&
+           truncation_rate <= 0.0 && base_latency_micros <= 0 &&
+           latency_jitter_micros <= 0 && spike_rate <= 0.0 &&
+           probe_timeout_micros <= 0;
+  }
+};
+
+class FaultInjectingEndpoint final : public Endpoint {
+ public:
+  // `inner` must outlive the decorator. `endpoint_index` is the endpoint's
+  // position in the federation; it salts every decision so sources fail
+  // independently under one profile.
+  FaultInjectingEndpoint(Endpoint* inner, size_t endpoint_index,
+                         const FaultProfile& profile);
+
+  const rdf::TripleStore& store() const override { return inner_->store(); }
+
+  Status Probe(rdf::TermPattern s, rdf::TermPattern p, rdf::TermPattern o,
+               uint64_t query_salt, int attempt, ProbeResult* out) override;
+
+  // A zero profile injects nothing; the engine may then skip resilience
+  // bookkeeping entirely.
+  bool reliable() const override { return profile_.IsZero(); }
+
+  const std::string& name() const override { return inner_->name(); }
+
+  // Whether (seed, endpoint_index) condemned this endpoint to a permanent
+  // outage. Exposed for tests and benches.
+  bool permanently_down() const { return permanently_down_; }
+
+ private:
+  Endpoint* inner_;
+  size_t endpoint_index_;
+  FaultProfile profile_;
+  bool permanently_down_ = false;
+};
+
+}  // namespace alex::fed
+
+#endif  // ALEX_FEDERATION_FAULT_INJECTION_H_

@@ -4,6 +4,7 @@
 #include <optional>
 #include <set>
 #include <unordered_set>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "federation/query_cache.h"
@@ -22,6 +23,125 @@ using sparql::PatternNode;
 using sparql::Query;
 using sparql::TriplePattern;
 
+uint64_t MixKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t PatternKey(rdf::TermPattern t) {
+  // Disambiguate "unbound" from term id 0.
+  return t.has_value() ? static_cast<uint64_t>(*t) + 1 : 0;
+}
+
+// Per-branch fault accounting. Everything in here is a commutative monoid
+// over the multiset of probes (sums, ORs, per-endpoint bit unions), so
+// merging branch logs in any order yields identical totals — the pillar of
+// thread-count-invariant failure accounting.
+struct ProbeLog {
+  explicit ProbeLog(size_t num_endpoints)
+      : probed(num_endpoints, 0),
+        failed(num_endpoints, 0),
+        degraded(num_endpoints, 0),
+        denied(num_endpoints, 0) {}
+
+  size_t probes = 0;          // probe attempts issued (retries included)
+  size_t retries = 0;
+  size_t short_circuits = 0;  // probes skipped by an open breaker
+  int64_t micros = 0;         // latencies + retry backoffs
+  bool truncated = false;     // some probe result was cut short
+  bool row_capped = false;    // the max_rows cap stopped enumeration
+  std::vector<uint8_t> probed;    // endpoint was actually probed
+  std::vector<uint8_t> failed;    // some probe of it ultimately failed
+  std::vector<uint8_t> degraded;  // it answered, but truncated
+  std::vector<uint8_t> denied;    // open breaker short-circuited it
+
+  void MergeFrom(const ProbeLog& other) {
+    probes += other.probes;
+    retries += other.retries;
+    short_circuits += other.short_circuits;
+    micros += other.micros;
+    truncated = truncated || other.truncated;
+    row_capped = row_capped || other.row_capped;
+    for (size_t i = 0; i < probed.size(); ++i) {
+      probed[i] |= other.probed[i];
+      failed[i] |= other.failed[i];
+      degraded[i] |= other.degraded[i];
+      denied[i] |= other.denied[i];
+    }
+  }
+};
+
+// Issues pattern probes for one evaluation branch. On the reliable path it
+// is a plain passthrough (the seed engine, bit-for-bit); on the resilient
+// path it short-circuits breaker-open endpoints and retries retryable
+// failures with deterministic exponential backoff, charging all virtual
+// time to its ProbeLog. Returns true when the probe produced a result;
+// false means the endpoint contributes no matches (partial-result
+// semantics: evaluation continues without it).
+class ProbeDriver {
+ public:
+  ProbeDriver(const std::vector<Endpoint*>& endpoints, bool resilient,
+              const RetryPolicy& retry, const std::vector<uint8_t>& allowed,
+              uint64_t query_salt, ProbeLog* log)
+      : endpoints_(endpoints),
+        resilient_(resilient),
+        retry_(retry),
+        allowed_(allowed),
+        query_salt_(query_salt),
+        log_(log) {}
+
+  bool Probe(size_t source, rdf::TermPattern s, rdf::TermPattern p,
+             rdf::TermPattern o, ProbeResult* out) {
+    if (!resilient_) {
+      return endpoints_[source]->Probe(s, p, o, query_salt_, 0, out).ok();
+    }
+    if (!allowed_[source]) {
+      ++log_->short_circuits;
+      log_->denied[source] = 1;
+      return false;
+    }
+    const uint64_t jitter_key = MixKey(
+        query_salt_ ^
+        MixKey(static_cast<uint64_t>(source) ^
+               MixKey(PatternKey(s) ^
+                      MixKey(PatternKey(p) ^ MixKey(PatternKey(o))))));
+    for (int attempt = 0;; ++attempt) {
+      ++log_->probes;
+      log_->probed[source] = 1;
+      ProbeResult result;
+      Status st = endpoints_[source]->Probe(s, p, o, query_salt_, attempt,
+                                            &result);
+      log_->micros += result.latency_micros;
+      if (st.ok()) {
+        if (result.truncated) {
+          log_->truncated = true;
+          log_->degraded[source] = 1;
+        }
+        *out = std::move(result);
+        return true;
+      }
+      if (attempt + 1 >= retry_.max_attempts || !IsRetryable(st.code())) {
+        log_->failed[source] = 1;
+        return false;
+      }
+      ++log_->retries;
+      log_->micros += BackoffMicros(retry_, attempt + 1, jitter_key);
+    }
+  }
+
+  ProbeLog* log() { return log_; }
+
+ private:
+  const std::vector<Endpoint*>& endpoints_;
+  bool resilient_;
+  const RetryPolicy& retry_;
+  const std::vector<uint8_t>& allowed_;
+  uint64_t query_salt_;
+  ProbeLog* log_;
+};
+
 // A way to satisfy one pattern position in one source: the id to search for
 // (nullopt = leave unbound) plus the link consumed if the id is a sameAs
 // counterpart of the originally bound value.
@@ -36,11 +156,13 @@ class FederatedEvaluator {
   // consulted. `top_source` (optional) restricts the FIRST join step to one
   // source, which partitions the evaluation across sources: the sequential
   // enumeration is exactly the concatenation of the per-source runs in
-  // ascending source order.
+  // ascending source order. All store reads go through `driver`, which
+  // models the (possibly fallible) endpoint round trips.
   FederatedEvaluator(const Query& query,
                      const std::vector<TriplePattern>& patterns,
                      const std::vector<const TripleStore*>& sources,
                      const LinkSet& links, const FederatedOptions& options,
+                     ProbeDriver* driver,
                      std::unordered_set<std::string>* consulted = nullptr,
                      std::optional<size_t> top_source = std::nullopt)
       : query_(query),
@@ -48,6 +170,7 @@ class FederatedEvaluator {
         sources_(sources),
         links_(links),
         options_(options),
+        driver_(driver),
         consulted_(consulted),
         top_source_(top_source) {
     selected_ = SelectSourcesFor(patterns, sources);
@@ -146,7 +269,11 @@ class FederatedEvaluator {
           answer.links_used.end());
       out_->push_back(std::move(answer));
       emitted_ = true;
-      if (out_->size() >= options_.max_rows) done_ = true;
+      if (out_->size() >= options_.max_rows) {
+        done_ = true;
+        // ASK completes on its first answer; everything else was cut off.
+        if (!query_.is_ask) driver_->log()->row_capped = true;
+      }
       if (query_.is_ask) done_ = true;
       return Status::Ok();
     }
@@ -181,7 +308,7 @@ class FederatedEvaluator {
       for (const PositionChoice& sc : s_choices) {
         for (const PositionChoice& pc : p_choices) {
           for (const PositionChoice& oc : o_choices) {
-            Status st = MatchOne(pattern, source, sc, pc, oc, remaining,
+            Status st = MatchOne(pattern, source_idx, sc, pc, oc, remaining,
                                  binding, provenance);
             if (!st.ok()) return st;
             if (done_) return Status::Ok();
@@ -192,7 +319,7 @@ class FederatedEvaluator {
     return Status::Ok();
   }
 
-  Status MatchOne(const TriplePattern& pattern, const TripleStore& source,
+  Status MatchOne(const TriplePattern& pattern, size_t source_idx,
                   const PositionChoice& sc, const PositionChoice& pc,
                   const PositionChoice& oc, std::vector<size_t>& remaining,
                   Binding* binding, std::vector<linking::Link>* provenance) {
@@ -203,24 +330,29 @@ class FederatedEvaluator {
         ++links_pushed;
       }
     }
-    const rdf::Dictionary& dict = source.dictionary();
-    for (const Triple& t : source.Match(sc.id, pc.id, oc.id)) {
-      if (done_) break;
-      std::vector<std::string> added;
-      auto bind_new = [&](const PatternNode& node, TermId id,
-                          const PositionChoice& choice) {
-        // Only bind variables that were previously unbound; bound variables
-        // were already baked into the search ids.
-        if (!node.is_variable || choice.id.has_value()) return;
-        binding->emplace(node.variable, dict.term(id));
-        added.push_back(node.variable);
-      };
-      bind_new(pattern.subject, t.subject, sc);
-      bind_new(pattern.predicate, t.predicate, pc);
-      bind_new(pattern.object, t.object, oc);
-      Status st = Recurse(remaining, binding, provenance);
-      for (const std::string& var : added) binding->erase(var);
-      if (!st.ok()) return st;
+    const rdf::Dictionary& dict = sources_[source_idx]->dictionary();
+    // A failed probe contributes no matches; the join continues without
+    // this endpoint and the degradation is recorded in the driver's log.
+    ProbeResult probe;
+    if (driver_->Probe(source_idx, sc.id, pc.id, oc.id, &probe)) {
+      for (const Triple& t : probe.triples) {
+        if (done_) break;
+        std::vector<std::string> added;
+        auto bind_new = [&](const PatternNode& node, TermId id,
+                            const PositionChoice& choice) {
+          // Only bind variables that were previously unbound; bound
+          // variables were already baked into the search ids.
+          if (!node.is_variable || choice.id.has_value()) return;
+          binding->emplace(node.variable, dict.term(id));
+          added.push_back(node.variable);
+        };
+        bind_new(pattern.subject, t.subject, sc);
+        bind_new(pattern.predicate, t.predicate, pc);
+        bind_new(pattern.object, t.object, oc);
+        Status st = Recurse(remaining, binding, provenance);
+        for (const std::string& var : added) binding->erase(var);
+        if (!st.ok()) return st;
+      }
     }
     for (size_t i = 0; i < links_pushed; ++i) provenance->pop_back();
     return Status::Ok();
@@ -231,6 +363,7 @@ class FederatedEvaluator {
   const std::vector<const TripleStore*>& sources_;
   const LinkSet& links_;
   const FederatedOptions& options_;
+  ProbeDriver* driver_;
   std::unordered_set<std::string>* consulted_ = nullptr;
   std::optional<size_t> top_source_;
   std::vector<std::vector<size_t>> selected_;
@@ -242,57 +375,127 @@ class FederatedEvaluator {
 
 }  // namespace
 
-Result<std::vector<FederatedAnswer>> FederatedEngine::ExecuteText(
+FederatedEngine::FederatedEngine(std::vector<const rdf::TripleStore*> sources,
+                                 const LinkSet* links)
+    : links_(links) {
+  owned_endpoints_.reserve(sources.size());
+  endpoints_.reserve(sources.size());
+  sources_.reserve(sources.size());
+  for (const rdf::TripleStore* store : sources) {
+    owned_endpoints_.push_back(std::make_unique<LocalEndpoint>(store));
+    endpoints_.push_back(owned_endpoints_.back().get());
+    sources_.push_back(store);
+  }
+  health_ =
+      std::make_unique<HealthTracker>(endpoints_.size(), resilience_.breaker);
+}
+
+FederatedEngine::FederatedEngine(std::span<Endpoint* const> endpoints,
+                                 const LinkSet* links)
+    : endpoints_(endpoints.begin(), endpoints.end()), links_(links) {
+  sources_.reserve(endpoints_.size());
+  for (const Endpoint* endpoint : endpoints_) {
+    sources_.push_back(&endpoint->store());
+    if (!endpoint->reliable()) resilient_ = true;
+  }
+  health_ =
+      std::make_unique<HealthTracker>(endpoints_.size(), resilience_.breaker);
+}
+
+void FederatedEngine::set_resilience(const Resilience& resilience) {
+  resilience_ = resilience;
+  health_ =
+      std::make_unique<HealthTracker>(endpoints_.size(), resilience_.breaker);
+}
+
+FederatedEngine::FaultStats FederatedEngine::TakeFaultStats() {
+  FaultStats stats = fault_stats_;
+  fault_stats_ = FaultStats{};
+  return stats;
+}
+
+Result<FederatedResult> FederatedEngine::ExecuteText(
     const std::string& query_text, const FederatedOptions& options) const {
+  // The fingerprint doubles as the query's fault salt, so re-executions of
+  // the same text (cache off, or cache miss after invalidation) replay the
+  // exact same fault universe — cached and uncached series stay identical.
+  const uint64_t fingerprint = QueryFingerprint(query_text, options.max_rows);
   if (cache_ != nullptr) {
-    const uint64_t fingerprint =
-        QueryFingerprint(query_text, options.max_rows);
-    if (const std::vector<FederatedAnswer>* hit = cache_->Lookup(fingerprint)) {
-      return *hit;
+    if (const std::vector<FederatedAnswer>* hit =
+            cache_->Lookup(fingerprint)) {
+      FederatedResult result;
+      result.answers = *hit;
+      result.from_cache = true;
+      return result;
     }
     Result<Query> query = sparql::ParseQuery(query_text);
     if (!query.ok()) return query.status();
     std::unordered_set<std::string> consulted;
-    Result<std::vector<FederatedAnswer>> answers =
-        ExecuteInternal(query.value(), options, &consulted);
-    if (answers.ok()) {
-      cache_->Insert(fingerprint, answers.value(), consulted);
+    Result<FederatedResult> result =
+        ExecuteInternal(query.value(), options, fingerprint, &consulted);
+    // Only complete results are admitted: a degraded or row-capped answer
+    // set must never shadow the full one once the endpoint recovers.
+    if (result.ok() && result.value().complete) {
+      cache_->Insert(fingerprint, result.value().answers, consulted);
     }
-    return answers;
+    return result;
   }
   Result<Query> query = sparql::ParseQuery(query_text);
   if (!query.ok()) return query.status();
-  return Execute(query.value(), options);
+  return ExecuteInternal(query.value(), options, fingerprint, nullptr);
 }
 
-Result<std::vector<FederatedAnswer>> FederatedEngine::Execute(
+Result<FederatedResult> FederatedEngine::Execute(
     const Query& query, const FederatedOptions& options) const {
-  return ExecuteInternal(query, options, nullptr);
+  return ExecuteInternal(query, options, options.fault_salt, nullptr);
 }
 
-Result<std::vector<FederatedAnswer>> FederatedEngine::ExecuteInternal(
-    const Query& query, const FederatedOptions& options,
+Result<FederatedResult> FederatedEngine::ExecuteInternal(
+    const Query& query, const FederatedOptions& options, uint64_t fault_salt,
     std::unordered_set<std::string>* consulted) const {
   if (!query.aggregates.empty()) {
     return Status::Unimplemented(
         "aggregates are not supported in federated queries");
   }
+  const size_t num_endpoints = endpoints_.size();
+  ProbeLog log(num_endpoints);
+  // Breaker snapshot for the whole query: every probe sees the same
+  // allow/deny decision, so per-source branches cannot race transitions.
+  // Counters are snapshotted first because AllowProbe itself may perform
+  // the open -> half-open transition.
+  EndpointHealth::Counters counters_before;
+  std::vector<uint8_t> allowed(num_endpoints, 1);
+  if (resilient_) {
+    counters_before = health_->Totals();
+    const int64_t now = clock_.NowMicros();
+    for (size_t i = 0; i < num_endpoints; ++i) {
+      allowed[i] = health_->endpoint(i).AllowProbe(now) ? 1 : 0;
+    }
+  }
+  ProbeDriver driver(endpoints_, resilient_, resilience_.retry, allowed,
+                     fault_salt, &log);
+
   std::vector<FederatedAnswer> answers;
   const bool has_optionals = !query.optionals.empty();
   for (const std::vector<TriplePattern>* patterns : query.Alternatives()) {
     // Rows this alternative may add. The sequential evaluator caps the
     // SHARED answer vector at max_rows but only notices after an emission,
     // so an alternative starting at or past the cap still adds one row;
-    // the parallel merge below replicates that exactly.
+    // the branch merge below replicates that exactly.
     const size_t base = answers.size();
     size_t budget = base >= options.max_rows ? 1 : options.max_rows - base;
     if (query.is_ask) budget = 1;
-    const bool parallel = options.pool != nullptr &&
-                          options.pool->num_threads() > 1 &&
-                          sources_.size() > 1 && !patterns->empty();
-    if (!parallel) {
+    // Resilient executions always decompose into per-source branches (run
+    // inline when no pool is attached) so the multiset of probes — and
+    // therefore every fault, retry and latency charge — is identical at
+    // any thread count.
+    const bool branch_mode =
+        sources_.size() > 1 && !patterns->empty() &&
+        (resilient_ || (options.pool != nullptr &&
+                        options.pool->num_threads() > 1));
+    if (!branch_mode) {
       FederatedEvaluator evaluator(query, *patterns, sources_, *links_,
-                                   options, consulted);
+                                   options, &driver, consulted);
       evaluator.set_project(!has_optionals);
       Status st = evaluator.Run(&answers);
       if (!st.ok()) return st;
@@ -304,25 +507,38 @@ Result<std::vector<FederatedAnswer>> FederatedEngine::ExecuteInternal(
       // the first `budget` merged rows, so the truncation below yields a
       // result bitwise-identical to the single-threaded run.
       struct Branch {
+        explicit Branch(size_t num_endpoints) : log(num_endpoints) {}
         std::vector<FederatedAnswer> answers;
         std::unordered_set<std::string> consulted;
+        ProbeLog log;
         Status status = Status::Ok();
       };
-      std::vector<Branch> branches(sources_.size());
+      std::vector<Branch> branches;
+      branches.reserve(sources_.size());
+      for (size_t s = 0; s < sources_.size(); ++s) {
+        branches.emplace_back(num_endpoints);
+      }
       // Force index builds up front; concurrent first reads of a freshly
       // written store are not thread-safe (see TripleStore::Scan).
       for (const rdf::TripleStore* source : sources_) source->size();
-      for (size_t s = 0; s < sources_.size(); ++s) {
-        options.pool->Schedule([&, s, patterns] {
-          Branch& branch = branches[s];
-          FederatedEvaluator evaluator(
-              query, *patterns, sources_, *links_, options,
-              consulted != nullptr ? &branch.consulted : nullptr, s);
-          evaluator.set_project(!has_optionals);
-          branch.status = evaluator.Run(&branch.answers);
-        });
+      auto run_branch = [&, patterns](size_t s) {
+        Branch& branch = branches[s];
+        ProbeDriver branch_driver(endpoints_, resilient_, resilience_.retry,
+                                  allowed, fault_salt, &branch.log);
+        FederatedEvaluator evaluator(
+            query, *patterns, sources_, *links_, options, &branch_driver,
+            consulted != nullptr ? &branch.consulted : nullptr, s);
+        evaluator.set_project(!has_optionals);
+        branch.status = evaluator.Run(&branch.answers);
+      };
+      if (options.pool != nullptr && options.pool->num_threads() > 1) {
+        for (size_t s = 0; s < sources_.size(); ++s) {
+          options.pool->Schedule([&run_branch, s] { run_branch(s); });
+        }
+        options.pool->Wait();
+      } else {
+        for (size_t s = 0; s < sources_.size(); ++s) run_branch(s);
       }
-      options.pool->Wait();
       for (Branch& branch : branches) {
         if (!branch.status.ok()) return branch.status;
         for (FederatedAnswer& answer : branch.answers) {
@@ -331,9 +547,13 @@ Result<std::vector<FederatedAnswer>> FederatedEngine::ExecuteInternal(
         if (consulted != nullptr) {
           consulted->insert(branch.consulted.begin(), branch.consulted.end());
         }
+        log.MergeFrom(branch.log);
       }
     }
-    if (answers.size() > base + budget) answers.resize(base + budget);
+    if (answers.size() > base + budget) {
+      answers.resize(base + budget);
+      if (!query.is_ask) log.row_capped = true;
+    }
     if (query.is_ask && !answers.empty()) break;
   }
   // OPTIONAL groups: left-outer-join each group against the answers so
@@ -343,7 +563,7 @@ Result<std::vector<FederatedAnswer>> FederatedEngine::ExecuteInternal(
       std::vector<FederatedAnswer> extended;
       for (const FederatedAnswer& answer : answers) {
         FederatedEvaluator evaluator(query, group, sources_, *links_,
-                                     options, consulted);
+                                     options, &driver, consulted);
         evaluator.set_project(false);
         bool matched = false;
         Status st = evaluator.Run(&extended, answer.binding,
@@ -383,7 +603,49 @@ Result<std::vector<FederatedAnswer>> FederatedEngine::ExecuteInternal(
   if (query.limit && answers.size() > *query.limit) {
     answers.resize(*query.limit);
   }
-  return answers;
+
+  FederatedResult result;
+  result.answers = std::move(answers);
+  result.row_capped = log.row_capped && !query.is_ask;
+  result.truncated = log.truncated;
+  if (resilient_) {
+    result.probes = log.probes;
+    result.retries = log.retries;
+    result.short_circuits = log.short_circuits;
+    result.virtual_micros = log.micros;
+    if (options.deadline_micros > 0 &&
+        log.micros > options.deadline_micros) {
+      result.deadline_exceeded = true;
+    }
+    for (size_t i = 0; i < num_endpoints; ++i) {
+      if (log.failed[i] || log.denied[i] || log.degraded[i]) {
+        result.failed_sources.push_back(i);
+      }
+    }
+    // One aggregate breaker verdict per endpoint actually probed, stamped
+    // at the query's virtual end time, then advance the clock past it so
+    // open-breaker cooldowns elapse across queries.
+    const int64_t query_end = clock_.NowMicros() + log.micros;
+    for (size_t i = 0; i < num_endpoints; ++i) {
+      if (log.probed[i]) {
+        health_->endpoint(i).ReportQuery(!log.failed[i], query_end);
+      }
+    }
+    const EndpointHealth::Counters counters_after = health_->Totals();
+    fault_stats_.breaker_opens +=
+        counters_after.opens - counters_before.opens;
+    fault_stats_.breaker_half_opens +=
+        counters_after.half_opens - counters_before.half_opens;
+    fault_stats_.breaker_closes +=
+        counters_after.closes - counters_before.closes;
+    clock_.Advance(log.micros + 1);
+    ++fault_stats_.queries;
+  }
+  result.complete = !result.row_capped && !result.truncated &&
+                    !result.deadline_exceeded &&
+                    result.failed_sources.empty();
+  if (resilient_ && !result.complete) ++fault_stats_.degraded;
+  return result;
 }
 
 }  // namespace alex::fed

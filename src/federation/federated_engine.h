@@ -10,15 +10,38 @@
 // Every answer carries *provenance*: the set of links that were used to
 // produce it. This is what user feedback attaches to — approving an answer
 // approves its links, rejecting it rejects them (paper §3.2, §4).
+//
+// Sources are fed::Endpoints. Real endpoints fail, so Execute returns a
+// FederatedResult: the answers plus completeness metadata. When an endpoint
+// probe ultimately fails (after per-source retry with exponential backoff),
+// is short-circuited by an open circuit breaker, or returns a truncated
+// result, evaluation continues without it and the result is marked
+// incomplete with the failed sources listed — degraded sources yield
+// annotated partial answers instead of aborting the query. Incomplete
+// results are never stored into the attached FederatedQueryCache, and the
+// query-driven episode loop (eval/query_workload) never derives feedback
+// from them.
+//
+// All failure handling runs in virtual time (common/clock.h): retry backoff
+// and breaker cooldowns cost simulated microseconds, never wall sleeps, and
+// with deterministic endpoints (fault_injection.h) the entire failure
+// timeline is bitwise-identical at any thread count.
 #ifndef ALEX_FEDERATION_FEDERATED_ENGINE_H_
 #define ALEX_FEDERATION_FEDERATED_ENGINE_H_
 
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
+#include "federation/endpoint.h"
+#include "federation/health.h"
 #include "federation/link_set.h"
+#include "federation/retry_policy.h"
 #include "rdf/triple_store.h"
 #include "sparql/algebra.h"
 
@@ -44,46 +67,141 @@ struct FederatedOptions {
   // outputs are merged in ascending source order — bitwise-identical to the
   // sequential result. nullptr = single-threaded.
   ThreadPool* pool = nullptr;
+  // Per-query budget of simulated endpoint time, in virtual microseconds
+  // (0 = unlimited). A query whose probe latencies and retry backoffs
+  // together exceed it is marked incomplete with deadline_exceeded set.
+  // Purely an accounting budget over deterministic virtual time — it never
+  // aborts evaluation, so results stay thread-count-invariant.
+  int64_t deadline_micros = 0;
+  // Salts deterministic fault decisions when running a pre-parsed query
+  // through Execute(). ExecuteText derives the salt from the query
+  // fingerprint instead, so each distinct query text sees independent
+  // faults while re-executions of the same text replay the same ones
+  // (which keeps cached and uncached runs identical).
+  uint64_t fault_salt = 0;
+};
+
+// Answers plus completeness metadata. `complete` means the answer set is
+// exactly what a fully reliable federation would have produced; any
+// degradation — a failed or breaker-blocked source, a truncated endpoint
+// result, the max_rows cap, a blown deadline budget — clears it.
+struct FederatedResult {
+  std::vector<FederatedAnswer> answers;
+  bool complete = true;
+  bool from_cache = false;
+  // The engine's max_rows cap cut the enumeration short (never set for ASK,
+  // whose first answer is semantic completion).
+  bool row_capped = false;
+  // Some endpoint returned a truncated probe result.
+  bool truncated = false;
+  // The per-query virtual-time budget (FederatedOptions::deadline_micros)
+  // was exceeded.
+  bool deadline_exceeded = false;
+  // Endpoints that could not fully contribute: ultimately-failed probes,
+  // open-breaker short circuits, or truncated results. Ascending, unique.
+  std::vector<size_t> failed_sources;
+  // Probe attempts issued (retries included), retries among them, and
+  // probes skipped by an open breaker.
+  size_t probes = 0;
+  size_t retries = 0;
+  size_t short_circuits = 0;
+  // Simulated endpoint time this execution cost (latencies + backoffs).
+  int64_t virtual_micros = 0;
 };
 
 class FederatedEngine {
  public:
+  // Retry and breaker configuration for unreliable endpoints.
+  struct Resilience {
+    RetryPolicy retry;
+    BreakerOptions breaker;
+  };
+
+  // Per-engine failure accounting since the last TakeFaultStats().
+  struct FaultStats {
+    size_t queries = 0;             // executions on the resilient path
+    size_t degraded = 0;            // of which returned incomplete
+    size_t breaker_opens = 0;       // closed/half-open -> open
+    size_t breaker_half_opens = 0;  // open -> half-open
+    size_t breaker_closes = 0;      // half-open -> closed
+  };
+
+  // Wraps each store in a LocalEndpoint: the seed engine, bit-for-bit.
   // `sources` and `links` must outlive the engine. The link set may be
   // mutated between Execute() calls (that is the whole point of ALEX).
   FederatedEngine(std::vector<const rdf::TripleStore*> sources,
-                  const LinkSet* links)
-      : sources_(std::move(sources)), links_(links) {}
+                  const LinkSet* links);
+
+  // Federates over caller-owned endpoints (which must outlive the engine;
+  // the pointer list itself is copied). When any endpoint is unreliable the
+  // engine runs its resilient path: per-source retry with backoff, circuit
+  // breaking, and completeness tracking, all in virtual time.
+  FederatedEngine(std::span<Endpoint* const> endpoints,
+                  const LinkSet* links);
 
   // Parses and runs a federated SELECT query.
-  Result<std::vector<FederatedAnswer>> ExecuteText(
+  Result<FederatedResult> ExecuteText(
       const std::string& query_text,
       const FederatedOptions& options = {}) const;
 
   // Runs an already-parsed query.
-  Result<std::vector<FederatedAnswer>> Execute(
-      const sparql::Query& query, const FederatedOptions& options = {}) const;
+  Result<FederatedResult> Execute(const sparql::Query& query,
+                                  const FederatedOptions& options = {}) const;
 
   const std::vector<const rdf::TripleStore*>& sources() const {
     return sources_;
   }
+  const std::vector<Endpoint*>& endpoints() const { return endpoints_; }
 
   // Attaches a result cache consulted by ExecuteText(). The cache must be
   // invalidated for every link-set change (FederatedQueryCache does this
   // exactly, from epoch deltas); sources must stay immutable while the
-  // cache is attached. nullptr detaches.
+  // cache is attached. Only complete results are admitted: a degraded or
+  // row-capped answer set is returned to the caller but never cached, so a
+  // transient endpoint failure can never poison later executions. nullptr
+  // detaches.
   void set_cache(FederatedQueryCache* cache) { cache_ = cache; }
+
+  // Replaces the retry/breaker configuration. Call before the first
+  // Execute(): breaker state is reset.
+  void set_resilience(const Resilience& resilience);
+  const Resilience& resilience() const { return resilience_; }
+
+  // Per-endpoint breaker state and counters (resilient path only).
+  const HealthTracker& health() const { return *health_; }
+  // Whether this engine runs the resilient path (any unreliable endpoint).
+  bool resilient() const { return resilient_; }
+  // The engine's virtual clock: total simulated endpoint time consumed.
+  int64_t virtual_now_micros() const { return clock_.NowMicros(); }
+
+  // Returns and resets the failure counters (per-episode accounting, like
+  // FederatedQueryCache::TakeStats).
+  FaultStats TakeFaultStats();
 
  private:
   // Shared implementation. When `consulted` is non-null it collects every
   // IRI whose link neighborhood was consulted — the exact dependency
-  // footprint of the answer set on the link set.
-  Result<std::vector<FederatedAnswer>> ExecuteInternal(
+  // footprint of the answer set on the link set. `fault_salt` feeds the
+  // endpoints' deterministic fault decisions.
+  Result<FederatedResult> ExecuteInternal(
       const sparql::Query& query, const FederatedOptions& options,
+      uint64_t fault_salt,
       std::unordered_set<std::string>* consulted) const;
 
-  std::vector<const rdf::TripleStore*> sources_;
+  std::vector<std::unique_ptr<Endpoint>> owned_endpoints_;
+  std::vector<Endpoint*> endpoints_;
+  std::vector<const rdf::TripleStore*> sources_;  // endpoints_[i]->store()
   const LinkSet* links_;
   FederatedQueryCache* cache_ = nullptr;
+  bool resilient_ = false;
+  Resilience resilience_;
+  // Failure-domain state. Mutated by Execute (which stays const for the
+  // common reliable path); concurrent Execute calls on a *resilient* engine
+  // are not supported — queries are issued sequentially, which is what
+  // makes breaker transitions deterministic.
+  mutable std::unique_ptr<HealthTracker> health_;
+  mutable VirtualClock clock_;
+  mutable FaultStats fault_stats_;
 };
 
 }  // namespace alex::fed

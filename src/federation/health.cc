@@ -1,0 +1,61 @@
+#include "federation/health.h"
+
+namespace alex::fed {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+BreakerState EndpointHealth::StateAt(int64_t now_micros) {
+  if (state_ == BreakerState::kOpen &&
+      now_micros - opened_at_micros_ >= options_.cooldown_micros) {
+    state_ = BreakerState::kHalfOpen;
+    half_open_successes_ = 0;
+    ++counters_.half_opens;
+  }
+  return state_;
+}
+
+void EndpointHealth::ReportQuery(bool healthy, int64_t now_micros) {
+  if (healthy) {
+    ++counters_.queries_ok;
+    consecutive_failures_ = 0;
+    if (state_ == BreakerState::kHalfOpen &&
+        ++half_open_successes_ >= options_.half_open_successes) {
+      state_ = BreakerState::kClosed;
+      ++counters_.closes;
+    }
+    return;
+  }
+  ++counters_.queries_failed;
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kHalfOpen ||
+      (state_ == BreakerState::kClosed &&
+       consecutive_failures_ >= options_.failure_threshold)) {
+    state_ = BreakerState::kOpen;
+    opened_at_micros_ = now_micros;
+    ++counters_.opens;
+  }
+}
+
+EndpointHealth::Counters HealthTracker::Totals() const {
+  EndpointHealth::Counters totals;
+  for (const EndpointHealth& endpoint : endpoints_) {
+    totals.queries_ok += endpoint.counters().queries_ok;
+    totals.queries_failed += endpoint.counters().queries_failed;
+    totals.opens += endpoint.counters().opens;
+    totals.closes += endpoint.counters().closes;
+    totals.half_opens += endpoint.counters().half_opens;
+  }
+  return totals;
+}
+
+}  // namespace alex::fed

@@ -1,0 +1,102 @@
+// Endpoint health tracking: a closed / open / half-open circuit breaker
+// per federation source.
+//
+// The breaker operates at *query* granularity in virtual time, which keeps
+// it deterministic at any thread count: queries are issued sequentially, so
+// before each query the engine snapshots every endpoint's effective state
+// (an open breaker whose cooldown elapsed becomes half-open here), during
+// the query probes against open endpoints short-circuit, and after the
+// query each probed endpoint reports one aggregate verdict — failed if any
+// of its probes ultimately failed, healthy otherwise. Within a query every
+// probe sees the same snapshot, so per-source evaluation branches cannot
+// race breaker transitions.
+//
+//   closed    -> open       after `failure_threshold` consecutive failed
+//                           queries
+//   open      -> half-open  once `cooldown_micros` of virtual time elapsed
+//   half-open -> closed     after `half_open_successes` healthy queries
+//   half-open -> open       on the next failed query (cooldown restarts)
+#ifndef ALEX_FEDERATION_HEALTH_H_
+#define ALEX_FEDERATION_HEALTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace alex::fed {
+
+struct BreakerOptions {
+  // Consecutive failed queries before the breaker opens.
+  int failure_threshold = 3;
+  // Virtual time an open breaker waits before admitting a half-open probe.
+  int64_t cooldown_micros = 250000;
+  // Healthy queries in half-open state before the breaker closes.
+  int half_open_successes = 1;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+class EndpointHealth {
+ public:
+  explicit EndpointHealth(const BreakerOptions& options)
+      : options_(options) {}
+
+  struct Counters {
+    size_t queries_ok = 0;      // healthy query verdicts
+    size_t queries_failed = 0;  // failed query verdicts
+    size_t opens = 0;           // closed/half-open -> open transitions
+    size_t closes = 0;          // half-open -> closed transitions
+    size_t half_opens = 0;      // open -> half-open transitions
+  };
+
+  // Effective state at virtual time `now`; transitions open -> half-open
+  // when the cooldown elapsed. Called once per query, before any probe.
+  BreakerState StateAt(int64_t now_micros);
+
+  // False when probes to this endpoint must short-circuit (breaker open).
+  bool AllowProbe(int64_t now_micros) {
+    return StateAt(now_micros) != BreakerState::kOpen;
+  }
+
+  // One aggregate verdict for a query that actually probed this endpoint.
+  void ReportQuery(bool healthy, int64_t now_micros);
+
+  BreakerState state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  const Counters& counters() const { return counters_; }
+
+ private:
+  BreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  int64_t opened_at_micros_ = 0;
+  Counters counters_;
+};
+
+// One EndpointHealth per federation source.
+class HealthTracker {
+ public:
+  HealthTracker(size_t num_endpoints, const BreakerOptions& options) {
+    endpoints_.reserve(num_endpoints);
+    for (size_t i = 0; i < num_endpoints; ++i) {
+      endpoints_.emplace_back(options);
+    }
+  }
+
+  EndpointHealth& endpoint(size_t i) { return endpoints_[i]; }
+  const EndpointHealth& endpoint(size_t i) const { return endpoints_[i]; }
+  size_t size() const { return endpoints_.size(); }
+
+  // Counters summed across endpoints.
+  EndpointHealth::Counters Totals() const;
+
+ private:
+  std::vector<EndpointHealth> endpoints_;
+};
+
+}  // namespace alex::fed
+
+#endif  // ALEX_FEDERATION_HEALTH_H_

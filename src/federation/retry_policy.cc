@@ -1,0 +1,42 @@
+#include "federation/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alex::fed {
+namespace {
+
+// SplitMix64 finalizer: a cheap, well-mixed hash for jitter derivation.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+int64_t BackoffMicros(const RetryPolicy& policy, int attempt,
+                      uint64_t jitter_key) {
+  if (attempt < 1) attempt = 1;
+  double base = static_cast<double>(policy.initial_backoff_micros) *
+                std::pow(policy.backoff_multiplier, attempt - 1);
+  base = std::min(base, static_cast<double>(policy.max_backoff_micros));
+  const double jitter =
+      std::clamp(policy.jitter_fraction, 0.0, 1.0);
+  // Uniform in [1 - jitter, 1 + jitter], from the key alone.
+  const double unit =
+      static_cast<double>(Mix(jitter_key ^ static_cast<uint64_t>(attempt)) >>
+                          11) /
+      static_cast<double>(1ull << 53);
+  const double scale = 1.0 - jitter + 2.0 * jitter * unit;
+  const double delay = base * scale;
+  return delay <= 0.0 ? 0 : static_cast<int64_t>(delay);
+}
+
+}  // namespace alex::fed

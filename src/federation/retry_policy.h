@@ -1,0 +1,41 @@
+// Per-probe retry with exponential backoff + deterministic jitter.
+//
+// All delays are *virtual* microseconds charged to the query's simulated
+// time budget — nothing here sleeps. Jitter is derived from a caller-
+// supplied key (a hash of the probe identity), not from a shared RNG, so
+// the backoff schedule is a pure function of the probe and is identical at
+// any thread count.
+#ifndef ALEX_FEDERATION_RETRY_POLICY_H_
+#define ALEX_FEDERATION_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace alex::fed {
+
+struct RetryPolicy {
+  // Total tries per probe (1 = no retries).
+  int max_attempts = 3;
+  // Backoff before retry k (1-based) is
+  //   min(initial * multiplier^(k-1), max) * (1 +/- jitter)
+  int64_t initial_backoff_micros = 1000;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_micros = 64000;
+  // Fraction of the backoff smeared by jitter: the actual delay is
+  // uniform in [base * (1 - jitter_fraction), base * (1 + jitter_fraction)].
+  double jitter_fraction = 0.5;
+};
+
+// Whether a failed probe may be retried. Endpoint unavailability and probe
+// timeouts are transient; everything else is a hard error.
+bool IsRetryable(StatusCode code);
+
+// The (virtual) backoff delay before retry `attempt` (1-based), jittered
+// deterministically by `jitter_key`.
+int64_t BackoffMicros(const RetryPolicy& policy, int attempt,
+                      uint64_t jitter_key);
+
+}  // namespace alex::fed
+
+#endif  // ALEX_FEDERATION_RETRY_POLICY_H_

@@ -1,0 +1,78 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace alex {
+namespace {
+
+TEST(VirtualClockTest, StartsAtConstructionValue) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  VirtualClock offset(12345);
+  EXPECT_EQ(offset.NowMicros(), 12345);
+}
+
+TEST(VirtualClockTest, AdvanceMovesTimeAndReturnsNewNow) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Advance(100), 100);
+  EXPECT_EQ(clock.Advance(50), 150);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  EXPECT_EQ(clock.Advance(0), 150);
+}
+
+TEST(VirtualClockTest, ConcurrentAdvancesAccumulateExactly) {
+  VirtualClock clock;
+  constexpr int kThreads = 8;
+  constexpr int kAdvancesPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < kAdvancesPerThread; ++i) clock.Advance(3);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(clock.NowMicros(), int64_t{3} * kThreads * kAdvancesPerThread);
+}
+
+TEST(SystemClockTest, IsMonotonicNonDecreasing) {
+  const SystemClock* clock = SystemClock::Get();
+  ASSERT_NE(clock, nullptr);
+  int64_t previous = clock->NowMicros();
+  for (int i = 0; i < 1000; ++i) {
+    int64_t now = clock->NowMicros();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+  EXPECT_EQ(SystemClock::Get(), clock);  // shared instance
+}
+
+TEST(StopwatchTest, ReadsVirtualClock) {
+  VirtualClock clock;
+  Stopwatch watch(&clock);
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 0.0);
+  clock.Advance(2500000);
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 2.5);
+  EXPECT_DOUBLE_EQ(watch.ElapsedMillis(), 2500.0);
+  watch.Reset();
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 0.0);
+  clock.Advance(1);
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 1e-6);
+}
+
+TEST(StopwatchTest, WallClockModeStillTicksForward) {
+  Stopwatch watch;
+  double first = watch.ElapsedSeconds();
+  double second = watch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+  watch.Reset();
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace alex

@@ -35,6 +35,9 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
       {Status::Unimplemented("g"), StatusCode::kUnimplemented,
        "unimplemented"},
       {Status::ParseError("h"), StatusCode::kParseError, "parse_error"},
+      {Status::Unavailable("i"), StatusCode::kUnavailable, "unavailable"},
+      {Status::DeadlineExceeded("j"), StatusCode::kDeadlineExceeded,
+       "deadline_exceeded"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

@@ -42,7 +42,9 @@ TEST(ReportCsvTest, HeaderAndRows) {
   WriteSeriesCsv(os, SampleResult());
   std::string csv = os.str();
   EXPECT_EQ(csv.find("episode,precision,recall,f_measure,"
-                     "neg_feedback_pct,candidates,seconds"),
+                     "neg_feedback_pct,candidates,seconds,"
+                     "incomplete_queries,skipped_feedback,query_retries,"
+                     "breaker_opens"),
             0u);
   // One header + two data rows.
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);

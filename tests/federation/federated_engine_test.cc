@@ -45,10 +45,10 @@ class FederatedEngineTest : public ::testing::Test {
 
   std::vector<FederatedAnswer> Run(const std::string& text) {
     FederatedEngine engine({&dbpedia_, &nytimes_}, &links_);
-    Result<std::vector<FederatedAnswer>> answers = engine.ExecuteText(text);
-    EXPECT_TRUE(answers.ok()) << answers.status().ToString();
-    return answers.ok() ? std::move(answers).value()
-                        : std::vector<FederatedAnswer>{};
+    Result<FederatedResult> result = engine.ExecuteText(text);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? std::move(result.value().answers)
+                       : std::vector<FederatedAnswer>{};
   }
 
   TripleStore dbpedia_;

@@ -38,10 +38,10 @@ class MultiSourceTest : public ::testing::Test {
 
   std::vector<FederatedAnswer> Run(const std::string& text) {
     FederatedEngine engine({&kb_, &news_, &reviews_}, &links_);
-    Result<std::vector<FederatedAnswer>> answers = engine.ExecuteText(text);
-    EXPECT_TRUE(answers.ok()) << answers.status().ToString();
-    return answers.ok() ? std::move(answers).value()
-                        : std::vector<FederatedAnswer>{};
+    Result<FederatedResult> result = engine.ExecuteText(text);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? std::move(result.value().answers)
+                       : std::vector<FederatedAnswer>{};
   }
 
   TripleStore kb_;
@@ -76,9 +76,10 @@ TEST_F(MultiSourceTest, AskFederated) {
       "ASK WHERE { ?p <http://kb/field> \"computing\" . "
       "?r <http://rev/of> ?p }");
   ASSERT_TRUE(ask.ok());
-  Result<std::vector<FederatedAnswer>> answers = engine.Execute(ask.value());
+  Result<FederatedResult> answers = engine.Execute(ask.value());
   ASSERT_TRUE(answers.ok());
-  EXPECT_EQ(answers->size(), 1u);  // short-circuits after the first proof
+  EXPECT_TRUE(answers->complete);
+  EXPECT_EQ(answers->answers.size(), 1u);  // stops after the first proof
 }
 
 TEST_F(MultiSourceTest, OrderByAppliesToAnswers) {
@@ -110,7 +111,7 @@ TEST_F(MultiSourceTest, OptionalLeftJoinsAcrossSources) {
 
 TEST_F(MultiSourceTest, AggregatesRejectedFederated) {
   FederatedEngine engine({&kb_, &news_}, &links_);
-  Result<std::vector<FederatedAnswer>> answers = engine.ExecuteText(
+  Result<FederatedResult> answers = engine.ExecuteText(
       "SELECT (COUNT(*) AS ?n) WHERE { ?p <http://kb/field> ?f }");
   ASSERT_FALSE(answers.ok());
   EXPECT_EQ(answers.status().code(), StatusCode::kUnimplemented);

@@ -162,15 +162,18 @@ TEST_F(CachedEngineTest, HitReturnsIdenticalRowsAndInvalidationIsExact) {
 
   auto first = engine.ExecuteText(lebron_q);
   ASSERT_TRUE(first.ok());
-  ASSERT_EQ(first.value().size(), 1u);
+  ASSERT_EQ(first->answers.size(), 1u);
+  EXPECT_TRUE(first->complete);
+  EXPECT_FALSE(first->from_cache);
   auto second = engine.ExecuteText(lebron_q);
   ASSERT_TRUE(second.ok());
-  EXPECT_TRUE(SameAnswers(first.value(), second.value()));
+  EXPECT_TRUE(second->from_cache);
+  EXPECT_TRUE(SameAnswers(first->answers, second->answers));
   EXPECT_EQ(cache.stats().hits, 1u);
 
   auto durant_before = engine.ExecuteText(durant_q);
   ASSERT_TRUE(durant_before.ok());
-  EXPECT_TRUE(durant_before.value().empty());
+  EXPECT_TRUE(durant_before->answers.empty());
   EXPECT_EQ(cache.size(), 2u);
 
   // Adding Durant's link must invalidate the Durant query (its evaluator
@@ -185,8 +188,8 @@ TEST_F(CachedEngineTest, HitReturnsIdenticalRowsAndInvalidationIsExact) {
 
   auto durant_after = engine.ExecuteText(durant_q);
   ASSERT_TRUE(durant_after.ok());
-  ASSERT_EQ(durant_after.value().size(), 1u);
-  EXPECT_EQ(durant_after.value()[0].binding.at("article").lexical(),
+  ASSERT_EQ(durant_after->answers.size(), 1u);
+  EXPECT_EQ(durant_after->answers[0].binding.at("article").lexical(),
             "http://nyt.com/article/3");
 }
 
@@ -243,7 +246,7 @@ TEST_F(CachedEngineTest, CompiledPlanReuseSurvivesLinkInvalidation) {
   // And the federated query re-executes (cache miss) to the same answers.
   auto fed_after = engine.ExecuteText(lebron_q);
   ASSERT_TRUE(fed_after.ok());
-  EXPECT_TRUE(SameAnswers(fed_before.value(), fed_after.value()));
+  EXPECT_TRUE(SameAnswers(fed_before->answers, fed_after->answers));
 }
 
 TEST_F(CachedEngineTest, ParallelExecutionMatchesSequential) {
@@ -274,7 +277,7 @@ TEST_F(CachedEngineTest, ParallelExecutionMatchesSequential) {
     ASSERT_TRUE(par.ok()) << text;
     // Bitwise-identical including row ORDER: branches merge in ascending
     // source order, which is the sequential enumeration order.
-    EXPECT_TRUE(SameAnswers(seq.value(), par.value())) << text;
+    EXPECT_TRUE(SameAnswers(seq->answers, par->answers)) << text;
   }
 }
 
@@ -293,8 +296,43 @@ TEST_F(CachedEngineTest, ParallelRespectsMaxRows) {
     auto par = engine.ExecuteText(text, parallel);
     ASSERT_TRUE(seq.ok());
     ASSERT_TRUE(par.ok());
-    EXPECT_TRUE(SameAnswers(seq.value(), par.value())) << "cap=" << cap;
+    EXPECT_TRUE(SameAnswers(seq->answers, par->answers)) << "cap=" << cap;
   }
+}
+
+// A result truncated by max_rows is incomplete and must never enter the
+// cache: a later execution with the same fingerprint would otherwise be
+// served the capped rows as if they were the full answer set.
+TEST_F(CachedEngineTest, RowCappedResultIsIncompleteAndBypassesCache) {
+  FederatedEngine engine({&dbpedia_, &nytimes_}, &links_);
+  FederatedQueryCache cache;
+  engine.set_cache(&cache);
+  const std::string text = "SELECT ?s ?p ?o WHERE { ?s ?p ?o }";
+  FederatedOptions capped;
+  capped.max_rows = 2;  // the full scan has more rows than this
+
+  auto first = engine.ExecuteText(text, capped);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->answers.size(), 2u);
+  EXPECT_TRUE(first->row_capped);
+  EXPECT_FALSE(first->complete);
+  EXPECT_EQ(cache.size(), 0u);  // never admitted
+
+  // Re-execution misses the cache and recomputes identically.
+  auto again = engine.ExecuteText(text, capped);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->from_cache);
+  EXPECT_TRUE(SameAnswers(first->answers, again->answers));
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // An uncapped run of the same query IS complete and gets cached (the
+  // fingerprint includes max_rows, so the capped variant never aliases it).
+  auto full = engine.ExecuteText(text);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full->complete);
+  EXPECT_FALSE(full->row_capped);
+  EXPECT_GT(full->answers.size(), 2u);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 // The query-driven experiment series must be bitwise-identical with the

@@ -61,11 +61,12 @@ TEST(EndToEndTest, FeedbackOnFederatedAnswersImprovesLinks) {
     size_t feedback_given = 0;
     // A federated query per left entity with a label: fetch the counterpart
     // entity's name on the right side via sameAs bridging.
-    Result<std::vector<FederatedAnswer>> answers = fed.ExecuteText(
+    Result<fed::FederatedResult> answers = fed.ExecuteText(
         "SELECT ?name WHERE { ?e <" + kLabel + "> ?l . "
         "?e <http://data.nytimes.com/elements/name> ?name }");
     ASSERT_TRUE(answers.ok()) << answers.status().ToString();
-    for (const FederatedAnswer& answer : *answers) {
+    EXPECT_TRUE(answers->complete);
+    for (const FederatedAnswer& answer : answers->answers) {
       for (const Link& used : answer.links_used) {
         alex.ApplyLinkFeedback(used, truth.Contains(used));
         ++feedback_given;

@@ -14,8 +14,11 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/alex_engine.h"
 #include "datagen/profiles.h"
+#include "eval/query_workload.h"
+#include "federation/fault_injection.h"
 #include "feedback/oracle.h"
 #include "linking/link_io.h"
 #include "linking/paris.h"
@@ -262,6 +265,202 @@ TEST(FuzzTest, LinkChurnIncrementalMatchesRebuildEngine) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint-fault fuzz regime: random fault profiles drawn from the fuzz seed
+// drive the query-driven feedback loop over unreliable federation endpoints.
+// The invariant under test is the repo-wide determinism contract extended to
+// the failure domain: with a fixed fault seed, the full episode series —
+// quality, feedback counts, AND the fault bookkeeping (incomplete queries,
+// skipped verdicts, retries, breaker transitions) — is bitwise-identical at
+// every thread count; and fault modes that cannot change answers (pure
+// latency) leave the quality series exactly at the reliable baseline.
+
+struct FaultRegimeOutcome {
+  std::string full_series;    // everything, fault counters included
+  std::string stable_series;  // quality + feedback + degradation only
+  uint64_t incomplete_queries = 0;
+  uint64_t skipped_feedback = 0;
+  uint64_t query_retries = 0;
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_short_circuits = 0;
+};
+
+// One full query-driven run under `profile`. Everything except the fault
+// profile, thread count, and cache switch is held fixed.
+FaultRegimeOutcome RunFaultRegime(const datagen::GeneratedWorld& world,
+                                  const std::vector<linking::Link>& initial,
+                                  const feedback::GroundTruth& truth,
+                                  const fed::FaultProfile& profile,
+                                  int threads, bool use_cache) {
+  core::AlexOptions options;
+  options.num_partitions = 2;
+  options.num_threads = threads;
+  options.seed = 55;
+  core::AlexEngine engine(&world.left, &world.right, options);
+  Status status = engine.Initialize(initial);
+  ALEX_CHECK(status.ok()) << status.ToString();
+
+  eval::QueryDrivenOptions query_options;
+  query_options.workload.num_queries = 80;
+  query_options.episode_size = 60;
+  query_options.max_episodes = 6;
+  query_options.use_query_cache = use_cache;
+  query_options.fault_profile = profile;
+  ThreadPool pool(threads);
+  query_options.pool = threads > 1 ? &pool : nullptr;
+
+  eval::ExperimentResult result =
+      eval::RunQueryDrivenExperiment(&engine, world, truth, query_options);
+
+  FaultRegimeOutcome outcome;
+  std::ostringstream stable;
+  std::ostringstream full;
+  for (const eval::EpisodePoint& point : result.series) {
+    const core::EpisodeStats& stats = point.stats;
+    stable << point.episode << ' ';
+    AppendBits(&stable, point.quality.precision);
+    AppendBits(&stable, point.quality.recall);
+    AppendBits(&stable, point.quality.f_measure);
+    stable << point.quality.candidates << ' ' << stats.feedback_items << ' '
+           << stats.positive_feedback << ' ' << stats.negative_feedback << ' '
+           << stats.links_added << ' ' << stats.links_removed << ' '
+           << stats.incomplete_queries << ' ' << stats.skipped_feedback
+           << '\n';
+    // Probe/retry/breaker counters are part of the thread-invariance
+    // contract but legitimately differ with the cache on or off (a cache
+    // hit skips the probes a fresh execution would issue), so they go into
+    // full_series only.
+    full << stats.query_probes << ' ' << stats.query_retries << ' '
+         << stats.breaker_short_circuits << ' ' << stats.breaker_opens << ' '
+         << stats.breaker_half_opens << ' ' << stats.breaker_closes << '\n';
+    outcome.incomplete_queries += stats.incomplete_queries;
+    outcome.skipped_feedback += stats.skipped_feedback;
+    outcome.query_retries += stats.query_retries;
+    outcome.breaker_opens += stats.breaker_opens;
+    outcome.breaker_short_circuits += stats.breaker_short_circuits;
+  }
+  outcome.stable_series = stable.str();
+  outcome.full_series = outcome.stable_series + full.str();
+  return outcome;
+}
+
+class EndpointFaultFuzzTest : public ::testing::Test {
+ protected:
+  EndpointFaultFuzzTest()
+      : world_(datagen::Generate(datagen::TinyTestProfile())),
+        truth_(world_.ground_truth),
+        initial_(linking::FilterByScore(
+            linking::RunParis(world_.left, world_.right), 0.95)) {}
+
+  datagen::GeneratedWorld world_;
+  feedback::GroundTruth truth_;
+  std::vector<linking::Link> initial_;
+};
+
+TEST_F(EndpointFaultFuzzTest, FaultSeededSeriesIsThreadCountInvariant) {
+  ASSERT_GE(initial_.size(), 5u) << "profile too small for fault regime";
+
+  // Random fault universes from the fuzz seed. Rates are kept below 0.5 so
+  // retries usually rescue transient failures and episodes keep making
+  // progress; one universe gets an aggressive breaker to force opens.
+  Rng rng(505);
+  uint64_t total_incomplete = 0;
+  uint64_t total_skipped = 0;
+  uint64_t total_retries = 0;
+  for (int universe = 0; universe < 3; ++universe) {
+    fed::FaultProfile profile;
+    profile.seed = rng.NextUint64();
+    profile.transient_error_rate = 0.05 + 0.1 * universe;
+    profile.truncation_rate = static_cast<double>(rng.NextBounded(30)) / 100.0;
+    profile.truncation_keep_fraction = 0.5;
+    profile.base_latency_micros = static_cast<int64_t>(rng.NextBounded(200));
+    profile.latency_jitter_micros =
+        static_cast<int64_t>(rng.NextBounded(500));
+    profile.spike_rate = static_cast<double>(rng.NextBounded(10)) / 100.0;
+    profile.spike_latency_micros = 5000;
+
+    std::string reference;
+    for (int threads : {1, 2, 4}) {
+      FaultRegimeOutcome outcome = RunFaultRegime(
+          world_, initial_, truth_, profile, threads, /*use_cache=*/true);
+      if (reference.empty()) {
+        reference = outcome.full_series;
+        total_incomplete += outcome.incomplete_queries;
+        total_skipped += outcome.skipped_feedback;
+        total_retries += outcome.query_retries;
+      } else {
+        EXPECT_EQ(outcome.full_series, reference)
+            << "fault universe " << universe << " diverged at " << threads
+            << " thread(s)";
+      }
+    }
+  }
+  // The regime must actually exercise the failure domain: degraded queries,
+  // withheld verdicts, and retries all have to occur somewhere.
+  EXPECT_GT(total_incomplete, 0u);
+  EXPECT_GT(total_skipped, 0u);
+  EXPECT_GT(total_retries, 0u);
+}
+
+TEST_F(EndpointFaultFuzzTest, FaultSeriesIsIdenticalWithCacheOnOrOff) {
+  // Incomplete results must never be served from or admitted into the
+  // query cache, so caching can only skip redundant *complete* executions:
+  // quality, feedback, and degradation accounting must be bitwise-identical
+  // with the cache on or off (probe/retry totals legitimately drop when
+  // cache hits skip execution).
+  fed::FaultProfile profile;
+  profile.seed = 606;
+  profile.transient_error_rate = 0.15;
+  profile.truncation_rate = 0.1;
+  profile.truncation_keep_fraction = 0.5;
+  FaultRegimeOutcome with_cache = RunFaultRegime(
+      world_, initial_, truth_, profile, /*threads=*/1, /*use_cache=*/true);
+  FaultRegimeOutcome without_cache = RunFaultRegime(
+      world_, initial_, truth_, profile, /*threads=*/1, /*use_cache=*/false);
+  EXPECT_EQ(with_cache.stable_series, without_cache.stable_series);
+  EXPECT_GT(with_cache.incomplete_queries, 0u);
+}
+
+TEST_F(EndpointFaultFuzzTest, LatencyOnlyFaultsPreserveReliableQuality) {
+  // A latency-only universe costs virtual time but never perturbs answers:
+  // the resilient path must reproduce the reliable baseline's quality and
+  // feedback series exactly, with zero degradation.
+  fed::FaultProfile latency_only;
+  latency_only.seed = 707;
+  latency_only.base_latency_micros = 100;
+  latency_only.latency_jitter_micros = 300;
+  ASSERT_FALSE(latency_only.IsZero());
+
+  FaultRegimeOutcome baseline =
+      RunFaultRegime(world_, initial_, truth_, fed::FaultProfile{},
+                     /*threads=*/1, /*use_cache=*/true);
+  FaultRegimeOutcome slow = RunFaultRegime(
+      world_, initial_, truth_, latency_only, /*threads=*/1,
+      /*use_cache=*/true);
+  EXPECT_EQ(slow.stable_series, baseline.stable_series);
+  EXPECT_EQ(slow.incomplete_queries, 0u);
+  EXPECT_EQ(slow.skipped_feedback, 0u);
+  EXPECT_EQ(slow.breaker_opens, 0u);
+}
+
+TEST_F(EndpointFaultFuzzTest, PermanentOutageStillConvergesOnSurvivors) {
+  // Even with one source permanently dark some queries still complete on
+  // the surviving endpoint(s) — the loop keeps training on those instead of
+  // halting, and every dark-source query is accounted as skipped, never
+  // silently fed back.
+  fed::FaultProfile outage;
+  // With a 0.5 outage rate this seed's per-endpoint draws condemn source 1
+  // (the right store) and spare source 0 — a fixed, deterministic universe
+  // with one dark endpoint and one survivor.
+  outage.seed = 806;
+  outage.permanent_outage_rate = 0.5;
+  FaultRegimeOutcome outcome = RunFaultRegime(
+      world_, initial_, truth_, outage, /*threads=*/1, /*use_cache=*/true);
+  EXPECT_GT(outcome.incomplete_queries, 0u);
+  EXPECT_GT(outcome.breaker_short_circuits, 0u);
+  EXPECT_GT(outcome.breaker_opens, 0u);
 }
 
 }  // namespace

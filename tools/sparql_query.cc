@@ -100,24 +100,26 @@ int Main(int argc, char** argv) {
   std::vector<const rdf::TripleStore*> sources;
   for (const rdf::TripleStore& store : stores) sources.push_back(&store);
   fed::FederatedEngine engine(sources, &links);
-  Result<std::vector<fed::FederatedAnswer>> answers =
-      engine.Execute(query.value());
-  if (!answers.ok()) {
-    std::cerr << answers.status().ToString() << "\n";
+  Result<fed::FederatedResult> executed = engine.Execute(query.value());
+  if (!executed.ok()) {
+    std::cerr << executed.status().ToString() << "\n";
     return 1;
   }
+  const std::vector<fed::FederatedAnswer>& answers = executed->answers;
   if (query->is_ask) {
-    std::cout << (answers->empty() ? "no" : "yes") << "\n";
+    std::cout << (answers.empty() ? "no" : "yes") << "\n";
     return 0;
   }
-  for (const fed::FederatedAnswer& answer : answers.value()) {
+  for (const fed::FederatedAnswer& answer : answers) {
     PrintBinding(answer.binding);
     for (const linking::Link& link : answer.links_used) {
       std::cout << "    via sameAs(" << link.left << ", " << link.right
                 << ")\n";
     }
   }
-  std::cout << answers->size() << " row(s)\n";
+  std::cout << answers.size() << " row(s)";
+  if (!executed->complete) std::cout << " (incomplete)";
+  std::cout << "\n";
   return 0;
 }
 
