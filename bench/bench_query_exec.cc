@@ -1,15 +1,21 @@
-// Single-store query execution benchmark (compiled TermId-space executor
-// vs. the legacy term-space matcher) plus the federated query cache.
+// Single-store query execution benchmark (planned physical-operator
+// executor vs. the greedy compiled enumerator vs. the legacy term-space
+// matcher) plus the federated query cache.
 //
 // Part 1 runs a generated join workload over the dbpedia_nytimes left store
-// through both engines at 1/2/4/8 threads (queries sharded across a
+// through all three engines at 1/2/4/8 threads (queries sharded across a
 // ThreadPool; the store is read-only and index-warmed). Before any timing,
-// every query's row multiset is asserted identical across legacy, compiled,
-// and compiled-with-statistics execution; each timed run re-checks the
-// total row count. Single-thread extras: compiled with DatasetStats, and
-// compiled with precompiled reused plans.
+// every query's row multiset is asserted identical across the engines;
+// each timed run re-checks the total row count. Single-thread extras:
+// planned without statistics, and planned with precompiled reused plans.
 //
-// Part 2 replays a federated workload across episodes with the
+// Part 2 is the headline planned-vs-greedy comparison: a multi-join
+// workload (every query has >= 4 triple patterns) where the DP plan
+// generator's aggregated scans, semi lookup joins, and merge joins pay off
+// structurally. The same identity gate runs first; the speedup and the
+// PlanCache hit rate across repeated epochs land in the JSON.
+//
+// Part 3 replays a federated workload across episodes with the
 // FederatedQueryCache attached, toggling a sliding window of links between
 // episodes (invalidating through the cache exactly as the query-driven loop
 // does) and reporting the per-episode hit rate; sampled queries are
@@ -36,6 +42,7 @@
 #include "rdf/dataset_stats.h"
 #include "sparql/executor.h"
 #include "sparql/parser.h"
+#include "sparql/plan_cache.h"
 
 namespace {
 
@@ -43,8 +50,8 @@ using alex::Rng;
 using alex::ThreadPool;
 using alex::rdf::TripleStore;
 using alex::sparql::Binding;
-using alex::sparql::ExecEngine;
 using alex::sparql::ExecuteOptions;
+using alex::sparql::ExecutorKind;
 using alex::sparql::Query;
 
 double MsSince(std::chrono::steady_clock::time_point start) {
@@ -174,6 +181,106 @@ std::vector<std::string> GenerateQueries(const TripleStore& store,
   return queries;
 }
 
+// Multi-join workload: every query has >= 4 triple patterns. DISTINCT
+// value-join chains with dangling endpoints — the shapes where the DP plan
+// generator's semi lookup joins and aggregated scans prune work the greedy
+// pattern-at-a-time enumerator must materialize.
+std::vector<std::string> GenerateMultiJoinQueries(const TripleStore& store,
+                                                  size_t count,
+                                                  uint64_t seed) {
+  const alex::rdf::Dictionary& dict = store.dictionary();
+  // A value self-join ?a p ?v . ?b p ?v produces, per object value, the
+  // squared group size. Predicates with large self-joins (types,
+  // categories) are where the enumeration engines drown and the planner's
+  // semi joins / aggregated scans win structurally — but chaining two of
+  // them can push the complete-solution count past the engines'
+  // ExecuteOptions::max_rows valve, where a truncated answer makes the
+  // engines legitimately diverge. So: exactly one heavy predicate per
+  // query, light predicates elsewhere, and every candidate is verified
+  // below to stay under the valve.
+  std::vector<std::pair<uint64_t, std::string>> heavy;  // (self-join, IRI)
+  std::vector<std::pair<uint64_t, std::string>> light;
+  for (alex::rdf::TermId p : store.Predicates()) {
+    uint64_t self_join = 0;
+    uint64_t group = 0;
+    alex::rdf::TermId prev_object = alex::rdf::kInvalidTermId;
+    for (const alex::rdf::Triple& t :
+         store.Match(std::nullopt, p, std::nullopt)) {
+      if (t.object != prev_object && group > 0) {
+        self_join += group * group;
+        group = 0;
+      }
+      prev_object = t.object;
+      ++group;
+    }
+    if (group > 0) self_join += group * group;
+    (self_join > 50000 ? heavy : light).emplace_back(
+        self_join, dict.term(p).lexical());
+  }
+  ALEX_CHECK(!light.empty());
+  if (heavy.empty()) heavy = light;  // degenerate store: still generate
+  std::sort(heavy.rbegin(), heavy.rend());
+  std::sort(light.rbegin(), light.rend());
+
+  Rng rng(seed);
+  auto heavy_pred = [&] { return heavy[rng.NextBounded(heavy.size())].second; };
+  auto light_pred = [&] {
+    const size_t busy = std::max<size_t>(1, light.size() / 2);
+    return light[rng.NextBounded(busy)].second;
+  };
+  std::vector<std::string> queries;
+  size_t attempts = 0;
+  while (queries.size() < count && attempts < count * 20) {
+    ++attempts;
+    const std::string p1 = heavy_pred();
+    const std::string p2 = light_pred(), p3 = light_pred(),
+                      p4 = light_pred();
+    std::string text;
+    switch (rng.NextBounded(4)) {
+      case 0:
+        // Two value joins chained through ?b; ?c dangles (4 patterns).
+        text = "SELECT DISTINCT ?v WHERE { ?a <" + p1 + "> ?v . ?b <" + p1 +
+               "> ?v . ?b <" + p2 + "> ?w . ?c <" + p2 + "> ?w }";
+        break;
+      case 1:
+        // Two-attribute agreement, distinct left entities (4 patterns).
+        text = "SELECT DISTINCT ?a WHERE { ?a <" + p1 + "> ?v . ?b <" + p1 +
+               "> ?v . ?a <" + p2 + "> ?w . ?b <" + p2 + "> ?w }";
+        break;
+      case 2:
+        // Chain of three value joins, both ends dangling (5 patterns).
+        text = "SELECT DISTINCT ?w WHERE { ?a <" + p1 + "> ?v . ?b <" + p1 +
+               "> ?v . ?b <" + p2 + "> ?w . ?c <" + p2 + "> ?w . ?c <" + p3 +
+               "> ?x }";
+        break;
+      default:
+        // Star of agreements around ?b with a dangling tail (6 patterns).
+        text = "SELECT DISTINCT ?v WHERE { ?a <" + p1 + "> ?v . ?b <" + p1 +
+               "> ?v . ?b <" + p2 + "> ?w . ?c <" + p2 + "> ?w . ?c <" + p3 +
+               "> ?x . ?d <" + p4 + "> ?x }";
+        break;
+    }
+    // Reject candidates whose complete-solution count (the DISTINCT-free
+    // row count) approaches the max_rows valve: past it the engines return
+    // truncated — and therefore different — answers.
+    std::string unlimited = text;
+    const std::string kDistinct = "DISTINCT ";
+    size_t at = unlimited.find(kDistinct);
+    if (at != std::string::npos) unlimited.erase(at, kDistinct.size());
+    alex::Result<Query> parsed = alex::sparql::ParseQuery(unlimited);
+    ALEX_CHECK(parsed.ok()) << unlimited;
+    alex::sparql::ExecuteOptions options;  // planned never materializes
+    alex::Result<std::vector<Binding>> rows =
+        alex::sparql::Execute(parsed.value(), store, options);
+    ALEX_CHECK(rows.ok()) << rows.status().ToString();
+    if (rows.value().size() >= 900000) continue;
+    queries.push_back(std::move(text));
+  }
+  ALEX_CHECK(queries.size() == count)
+      << "multi-join generation exhausted attempts";
+  return queries;
+}
+
 std::vector<Binding> SortedRows(const Query& query, const TripleStore& store,
                                 const ExecuteOptions& options) {
   alex::Result<std::vector<Binding>> rows =
@@ -255,27 +362,31 @@ int main(int argc, char** argv) {
   }
   alex::rdf::DatasetStats stats = alex::rdf::ComputeStats(store);
 
-  std::cout << "== Query execution: compiled vs legacy ==\n"
+  std::cout << "== Query execution: planned vs greedy vs legacy ==\n"
             << "world dbpedia_nytimes left store: " << store.size()
             << " triples, " << kNumQueries << " join queries\n";
 
-  // Identity gate before any timing: legacy, compiled, and compiled+stats
-  // must produce the same row multiset for every query.
+  // Identity gate before any timing: legacy, greedy, planned, and
+  // planned+stats must produce the same row multiset for every query.
   bool identical_rows = true;
   uint64_t expected_rows = 0;
   {
     ExecuteOptions legacy_options;
-    legacy_options.engine = ExecEngine::kLegacy;
-    ExecuteOptions compiled_options;  // default engine
+    legacy_options.engine = ExecutorKind::kLegacy;
+    ExecuteOptions greedy_options;
+    greedy_options.engine = ExecutorKind::kGreedy;
+    greedy_options.stats = &stats;
+    ExecuteOptions planned_options;  // default engine, no stats
     ExecuteOptions stats_options;
     stats_options.stats = &stats;
     for (const Query& query : queries) {
       std::vector<Binding> legacy = SortedRows(query, store, legacy_options);
-      std::vector<Binding> compiled =
-          SortedRows(query, store, compiled_options);
+      std::vector<Binding> greedy = SortedRows(query, store, greedy_options);
+      std::vector<Binding> planned =
+          SortedRows(query, store, planned_options);
       std::vector<Binding> with_stats =
           SortedRows(query, store, stats_options);
-      if (compiled != legacy || with_stats != legacy) {
+      if (greedy != legacy || planned != legacy || with_stats != legacy) {
         identical_rows = false;
         std::cerr << "ROW MISMATCH between engines!\n";
         break;
@@ -291,7 +402,8 @@ int main(int argc, char** argv) {
   const int kRepeats = 3;
   std::vector<Row> rows;
   double legacy_1t_ms = 0.0;
-  double compiled_1t_ms = 0.0;
+  double greedy_1t_ms = 0.0;
+  double planned_1t_ms = 0.0;
 
   auto bench_config = [&](const std::string& name,
                           const ExecuteOptions& options, int threads) {
@@ -321,22 +433,32 @@ int main(int argc, char** argv) {
 
   for (int threads : kThreads) {
     ExecuteOptions legacy_options;
-    legacy_options.engine = ExecEngine::kLegacy;
+    legacy_options.engine = ExecutorKind::kLegacy;
     double ms = bench_config("legacy", legacy_options, threads);
     if (threads == 1) legacy_1t_ms = ms;
   }
-  // The full compiled configuration: id-space execution plus
-  // statistics-driven join ordering (stats are computed once per store).
+  // Greedy pattern-at-a-time enumeration with statistics-driven ordering
+  // (the former default compiled configuration).
   for (int threads : kThreads) {
-    ExecuteOptions compiled_options;
-    compiled_options.stats = &stats;
-    double ms = bench_config("compiled", compiled_options, threads);
-    if (threads == 1) compiled_1t_ms = ms;
+    ExecuteOptions greedy_options;
+    greedy_options.engine = ExecutorKind::kGreedy;
+    greedy_options.stats = &stats;
+    double ms = bench_config("greedy", greedy_options, threads);
+    if (threads == 1) greedy_1t_ms = ms;
+  }
+  // The default configuration: DP-planned physical operator trees costed
+  // from the same statistics.
+  for (int threads : kThreads) {
+    ExecuteOptions planned_options;
+    planned_options.stats = &stats;
+    double ms = bench_config("planned", planned_options, threads);
+    if (threads == 1) planned_1t_ms = ms;
   }
   {
-    // Ablation: range-count ordering only, no per-predicate statistics.
+    // Ablation: cost model fed by live range counts only, no per-predicate
+    // statistics.
     ExecuteOptions nostats_options;
-    bench_config("compiled_nostats", nostats_options, 1);
+    bench_config("planned_nostats", nostats_options, 1);
   }
   {
     // Plan reuse: compile once per query (with stats), execute many times.
@@ -350,7 +472,7 @@ int main(int argc, char** argv) {
     }
     ThreadPool pool(1);
     Row row;
-    row.engine = "compiled_planned";
+    row.engine = "planned_reused";
     row.threads = 1;
     row.best_ms = -1.0;
     for (int rep = 0; rep < kRepeats; ++rep) {
@@ -381,12 +503,136 @@ int main(int argc, char** argv) {
     rows.push_back(row);
   }
 
-  const double speedup_1t =
-      compiled_1t_ms > 0.0 ? legacy_1t_ms / compiled_1t_ms : 0.0;
+  const double speedup_vs_legacy_1t =
+      planned_1t_ms > 0.0 ? legacy_1t_ms / planned_1t_ms : 0.0;
+  const double speedup_vs_greedy_1t =
+      planned_1t_ms > 0.0 ? greedy_1t_ms / planned_1t_ms : 0.0;
   std::cout << std::fixed << std::setprecision(2)
-            << "compiled vs legacy at 1 thread: " << speedup_1t << "x\n";
+            << "planned vs legacy at 1 thread: " << speedup_vs_legacy_1t
+            << "x, vs greedy: " << speedup_vs_greedy_1t << "x\n";
 
-  // ---- Part 2: federated query cache across episodes ----
+  // ---- Part 2: multi-join workload, planned vs greedy + plan cache ----
+  const size_t kNumMultiJoin = 120;
+  std::vector<std::string> multi_texts =
+      GenerateMultiJoinQueries(store, kNumMultiJoin, /*seed=*/0xbeef);
+  std::vector<Query> multi_queries;
+  for (const std::string& text : multi_texts) {
+    alex::Result<Query> parsed = alex::sparql::ParseQuery(text);
+    ALEX_CHECK(parsed.ok()) << text << ": " << parsed.status().ToString();
+    multi_queries.push_back(std::move(parsed).value());
+  }
+  std::cout << "== Multi-join workload (>= 4 patterns/query) ==\n  "
+            << kNumMultiJoin << " queries\n";
+
+  bool multijoin_identical = true;
+  uint64_t multi_expected_rows = 0;
+  {
+    ExecuteOptions legacy_options;
+    legacy_options.engine = ExecutorKind::kLegacy;
+    ExecuteOptions greedy_options;
+    greedy_options.engine = ExecutorKind::kGreedy;
+    greedy_options.stats = &stats;
+    ExecuteOptions planned_options;
+    planned_options.stats = &stats;
+    for (size_t i = 0; i < multi_queries.size(); ++i) {
+      const Query& query = multi_queries[i];
+      std::vector<Binding> legacy = SortedRows(query, store, legacy_options);
+      std::vector<Binding> greedy = SortedRows(query, store, greedy_options);
+      std::vector<Binding> planned =
+          SortedRows(query, store, planned_options);
+      if (greedy != legacy || planned != legacy) {
+        multijoin_identical = false;
+        std::cerr << "MULTI-JOIN ROW MISMATCH between engines!\n  "
+                  << multi_texts[i] << "\n  legacy=" << legacy.size()
+                  << " greedy=" << greedy.size()
+                  << " planned=" << planned.size() << " rows\n";
+        break;
+      }
+      multi_expected_rows += legacy.size();
+    }
+  }
+  std::cout << "  identity check: "
+            << (multijoin_identical ? "all engines agree" : "MISMATCH")
+            << " (" << multi_expected_rows << " total rows)\n";
+
+  double multi_greedy_ms = -1.0;
+  double multi_planned_ms = -1.0;
+  {
+    ThreadPool pool(1);
+    ExecuteOptions greedy_options;
+    greedy_options.engine = ExecutorKind::kGreedy;
+    greedy_options.stats = &stats;
+    ExecuteOptions planned_options;
+    planned_options.stats = &stats;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      TimedRun greedy_run = RunAll(multi_queries, store, greedy_options,
+                                   &pool);
+      TimedRun planned_run = RunAll(multi_queries, store, planned_options,
+                                    &pool);
+      if (greedy_run.rows != multi_expected_rows ||
+          planned_run.rows != multi_expected_rows) {
+        multijoin_identical = false;
+        std::cerr << "MULTI-JOIN ROW COUNT DRIFT in timed run\n";
+      }
+      if (multi_greedy_ms < 0.0 || greedy_run.ms < multi_greedy_ms) {
+        multi_greedy_ms = greedy_run.ms;
+      }
+      if (multi_planned_ms < 0.0 || planned_run.ms < multi_planned_ms) {
+        multi_planned_ms = planned_run.ms;
+      }
+    }
+  }
+  const double speedup_multijoin =
+      multi_planned_ms > 0.0 ? multi_greedy_ms / multi_planned_ms : 0.0;
+  std::cout << std::fixed << std::setprecision(1) << "  greedy  "
+            << multi_greedy_ms << " ms\n  planned " << multi_planned_ms
+            << " ms\n" << std::setprecision(2)
+            << "  planned vs greedy (multi-join): " << speedup_multijoin
+            << "x\n";
+
+  // Plan cache over repeated epochs of the same workload: epoch 0 compiles
+  // everything (all misses), later epochs must hit. Cached plans must
+  // return exactly the rows a fresh compile returns.
+  double plan_cache_hit_rate = 0.0;
+  bool plan_cache_exact = true;
+  {
+    alex::sparql::PlanCache plan_cache;
+    const int kEpochs = 5;
+    size_t hits = 0, lookups = 0;
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      for (size_t i = 0; i < multi_texts.size(); ++i) {
+        alex::Result<const alex::sparql::CompiledQuery*> plan =
+            plan_cache.GetPlan(multi_texts[i], store, &stats);
+        ALEX_CHECK(plan.ok()) << plan.status().ToString();
+        ExecuteOptions options;
+        options.plan = plan.value();
+        options.stats = &stats;
+        alex::Result<std::vector<Binding>> cached_rows = alex::sparql::Execute(
+            *plan.value()->query, store, options);
+        ALEX_CHECK(cached_rows.ok()) << cached_rows.status().ToString();
+        if (epoch == 0) {
+          std::vector<Binding> sorted = cached_rows.value();
+          std::sort(sorted.begin(), sorted.end());
+          ExecuteOptions fresh_options;
+          fresh_options.stats = &stats;
+          if (sorted != SortedRows(multi_queries[i], store, fresh_options)) {
+            plan_cache_exact = false;
+          }
+        }
+      }
+      alex::sparql::PlanCache::Stats cache_stats = plan_cache.TakeStats();
+      hits += cache_stats.plan_hits;
+      lookups += cache_stats.plan_hits + cache_stats.plan_misses;
+    }
+    plan_cache_hit_rate =
+        lookups > 0 ? static_cast<double>(hits) / lookups : 0.0;
+    std::cout << "  plan cache hit rate over " << kEpochs
+              << " epochs: " << std::setprecision(3) << plan_cache_hit_rate
+              << (plan_cache_exact ? "" : " (CACHED PLAN MISMATCH!)") << "\n";
+  }
+  identical_rows = identical_rows && multijoin_identical && plan_cache_exact;
+
+  // ---- Part 3: federated query cache across episodes ----
   std::vector<alex::linking::Link> initial = alex::linking::FilterByScore(
       alex::linking::RunParis(world.left, world.right, config.paris),
       config.paris_threshold);
@@ -501,7 +747,19 @@ int main(int argc, char** argv) {
       << "  \"repeats\": " << kRepeats << ",\n"
       << "  \"identical_rows\": " << (identical_rows ? "true" : "false")
       << ",\n"
-      << "  \"speedup_compiled_vs_legacy_1thread\": " << speedup_1t << ",\n"
+      << "  \"speedup_planned_vs_legacy_1thread\": " << speedup_vs_legacy_1t
+      << ",\n"
+      << "  \"speedup_planned_vs_greedy_1thread\": " << speedup_vs_greedy_1t
+      << ",\n"
+      << "  \"multijoin_num_queries\": " << multi_queries.size() << ",\n"
+      << "  \"multijoin_total_rows\": " << multi_expected_rows << ",\n"
+      << "  \"multijoin_identical_rows\": "
+      << (multijoin_identical ? "true" : "false") << ",\n"
+      << "  \"speedup_planned_vs_greedy_multijoin\": " << speedup_multijoin
+      << ",\n"
+      << "  \"plan_cache_hit_rate\": " << plan_cache_hit_rate << ",\n"
+      << "  \"plan_cache_exact\": " << (plan_cache_exact ? "true" : "false")
+      << ",\n"
       << "  \"runs\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Single CI entry point: tier-1 build + full ctest, then the sanitizer
-# sweeps. Each stage uses its own build directory (build-ci, build-asan,
-# build-tsan) so a local development build stays untouched.
+# sweeps, then the gated benchmarks (identity + planned-vs-greedy speedup
+# gates; see scripts/run_benches.sh). Each stage uses its own build
+# directory (build-ci, build-asan, build-tsan, build-bench) so a local
+# development build stays untouched.
 #
 #   scripts/ci.sh            # everything
-#   SKIP_SANITIZERS=1 scripts/ci.sh   # tier-1 only (fast pre-push check)
+#   SKIP_SANITIZERS=1 scripts/ci.sh   # skip the sanitizer sweeps
+#   SKIP_BENCHES=1 scripts/ci.sh      # skip the benchmark gates
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +22,11 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
   echo "== tier 2: sanitizers =="
   scripts/check_asan.sh
   scripts/check_tsan.sh
+fi
+
+if [[ "${SKIP_BENCHES:-0}" != "1" ]]; then
+  echo "== tier 3: benchmark gates =="
+  scripts/run_benches.sh
 fi
 
 echo "ci: all stages passed"

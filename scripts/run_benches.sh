@@ -43,6 +43,18 @@ for required in ("bench", runs, gate):
         sys.exit(f"{path}: missing key '{required}'")
 if doc[gate] is not True:
     sys.exit(f"{path}: {gate} is {doc[gate]!r}, expected true")
+if doc["bench"] == "query_exec":
+    for key in ("speedup_planned_vs_greedy_multijoin", "plan_cache_hit_rate",
+                "multijoin_identical_rows", "plan_cache_exact"):
+        if key not in doc:
+            sys.exit(f"{path}: missing key '{key}'")
+    if doc["multijoin_identical_rows"] is not True:
+        sys.exit(f"{path}: multijoin_identical_rows is not true")
+    if doc["plan_cache_exact"] is not True:
+        sys.exit(f"{path}: plan_cache_exact is not true")
+    speedup = doc["speedup_planned_vs_greedy_multijoin"]
+    if speedup < 1.3:
+        sys.exit(f"{path}: planned vs greedy multijoin speedup {speedup} < 1.3")
 print(f"{path}: ok ({gate}=true, {len(doc[runs])} runs)")
 EOF
 done

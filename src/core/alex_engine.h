@@ -125,6 +125,10 @@ struct EpisodeStats {
   // only; zero when the episode was not query-driven or no cache was used).
   size_t query_cache_hits = 0;
   size_t query_cache_misses = 0;
+  // SPARQL plan-cache traffic during the episode (query-driven loop only;
+  // parsed-query reuse across epochs — zero when no plan cache attached).
+  size_t plan_cache_hits = 0;
+  size_t plan_cache_misses = 0;
   // Fault-tolerant federation accounting (query-driven loop over unreliable
   // endpoints only; all zero otherwise). Probes count endpoint attempts,
   // retries included; short circuits are probes skipped by an open breaker.

@@ -10,6 +10,7 @@
 #include "federation/federated_engine.h"
 #include "federation/query_cache.h"
 #include "rdf/entity_view.h"
+#include "sparql/plan_cache.h"
 
 namespace alex::eval {
 namespace {
@@ -147,6 +148,8 @@ ExperimentResult RunQueryDrivenExperiment(
   }
   fed::FederatedEngine& fed_engine = *engine_storage;
   if (options.use_query_cache) fed_engine.set_cache(&cache);
+  sparql::PlanCache plan_cache;
+  if (options.use_plan_cache) fed_engine.set_plan_cache(&plan_cache);
   fed::FederatedOptions fed_options;
   fed_options.pool = options.pool;
   fed_options.deadline_micros = options.deadline_micros;
@@ -224,6 +227,10 @@ ExperimentResult RunQueryDrivenExperiment(
     fed::FederatedQueryCache::Stats cache_stats = cache.TakeStats();
     stats.query_cache_hits = cache_stats.hits;
     stats.query_cache_misses = cache_stats.misses;
+    sparql::PlanCache::Stats plan_stats = plan_cache.TakeStats();
+    stats.plan_cache_hits = plan_stats.parse_hits + plan_stats.plan_hits;
+    stats.plan_cache_misses =
+        plan_stats.parse_misses + plan_stats.plan_misses;
     fed::FederatedEngine::FaultStats fault_stats =
         fed_engine.TakeFaultStats();
     stats.breaker_opens = fault_stats.breaker_opens;

@@ -68,6 +68,11 @@ struct QueryDrivenOptions {
   // The series is bitwise-identical with the cache on or off; the cache
   // only removes redundant re-execution.
   bool use_query_cache = true;
+  // Reuse parsed queries across episodes through a sparql::PlanCache
+  // attached to the federated engine. Parsing is deterministic, so the
+  // series is bitwise-identical with this cache on or off too; per-episode
+  // traffic lands in EpisodeStats::plan_cache_{hits,misses}.
+  bool use_plan_cache = true;
   // Optional pool for per-source parallel federated evaluation (results
   // stay deterministic; see FederatedOptions::pool).
   ThreadPool* pool = nullptr;

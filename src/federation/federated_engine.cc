@@ -11,6 +11,7 @@
 #include "federation/source_selection.h"
 #include "sparql/executor.h"
 #include "sparql/parser.h"
+#include "sparql/plan_cache.h"
 
 namespace alex::fed {
 namespace {
@@ -420,6 +421,15 @@ Result<FederatedResult> FederatedEngine::ExecuteText(
   // the same text (cache off, or cache miss after invalidation) replay the
   // exact same fault universe — cached and uncached series stay identical.
   const uint64_t fingerprint = QueryFingerprint(query_text, options.max_rows);
+  // Parse through the attached plan cache when one is present: the episode
+  // loop replays the same texts every epoch, and parsing is deterministic,
+  // so reuse cannot change any answer.
+  auto parse = [&](Result<Query>* local) -> Result<const Query*> {
+    if (plan_cache_ != nullptr) return plan_cache_->GetParsed(query_text);
+    *local = sparql::ParseQuery(query_text);
+    if (!local->ok()) return local->status();
+    return static_cast<const Query*>(&local->value());
+  };
   if (cache_ != nullptr) {
     if (const std::vector<FederatedAnswer>* hit =
             cache_->Lookup(fingerprint)) {
@@ -428,11 +438,12 @@ Result<FederatedResult> FederatedEngine::ExecuteText(
       result.from_cache = true;
       return result;
     }
-    Result<Query> query = sparql::ParseQuery(query_text);
+    Result<Query> local = Query();
+    Result<const Query*> query = parse(&local);
     if (!query.ok()) return query.status();
     std::unordered_set<std::string> consulted;
     Result<FederatedResult> result =
-        ExecuteInternal(query.value(), options, fingerprint, &consulted);
+        ExecuteInternal(*query.value(), options, fingerprint, &consulted);
     // Only complete results are admitted: a degraded or row-capped answer
     // set must never shadow the full one once the endpoint recovers.
     if (result.ok() && result.value().complete) {
@@ -440,9 +451,10 @@ Result<FederatedResult> FederatedEngine::ExecuteText(
     }
     return result;
   }
-  Result<Query> query = sparql::ParseQuery(query_text);
+  Result<Query> local = Query();
+  Result<const Query*> query = parse(&local);
   if (!query.ok()) return query.status();
-  return ExecuteInternal(query.value(), options, fingerprint, nullptr);
+  return ExecuteInternal(*query.value(), options, fingerprint, nullptr);
 }
 
 Result<FederatedResult> FederatedEngine::Execute(

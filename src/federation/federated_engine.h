@@ -49,6 +49,10 @@ namespace alex {
 class ThreadPool;
 }  // namespace alex
 
+namespace alex::sparql {
+class PlanCache;
+}  // namespace alex::sparql
+
 namespace alex::fed {
 
 class FederatedQueryCache;
@@ -162,6 +166,14 @@ class FederatedEngine {
   // detaches.
   void set_cache(FederatedQueryCache* cache) { cache_ = cache; }
 
+  // Attaches a parse cache consulted by ExecuteText(): repeated query
+  // texts (the episode loop re-issues the same workload every epoch) are
+  // parsed once instead of per call. Parsing is deterministic, so cached
+  // and uncached runs stay bitwise identical. nullptr detaches.
+  void set_plan_cache(sparql::PlanCache* plan_cache) {
+    plan_cache_ = plan_cache;
+  }
+
   // Replaces the retry/breaker configuration. Call before the first
   // Execute(): breaker state is reset.
   void set_resilience(const Resilience& resilience);
@@ -193,6 +205,7 @@ class FederatedEngine {
   std::vector<const rdf::TripleStore*> sources_;  // endpoints_[i]->store()
   const LinkSet* links_;
   FederatedQueryCache* cache_ = nullptr;
+  sparql::PlanCache* plan_cache_ = nullptr;
   bool resilient_ = false;
   Resilience resilience_;
   // Failure-domain state. Mutated by Execute (which stays const for the

@@ -99,6 +99,39 @@ MatchCursor TripleStore::Scan(TermPattern s, TermPattern p,
   return MatchCursor(range.first, range.second);
 }
 
+const char* IndexOrderName(IndexOrder order) {
+  switch (order) {
+    case IndexOrder::kSpo: return "SPO";
+    case IndexOrder::kPos: return "POS";
+    default: return "OSP";
+  }
+}
+
+MatchCursor TripleStore::ScanOrdered(IndexOrder order, TermPattern s,
+                                     TermPattern p, TermPattern o) const {
+  EnsureIndexes();
+  const TermPattern bound[3] = {s, p, o};
+  const int* positions = IndexPositions(order);
+  // The bound positions must be a prefix of the index's position sequence.
+  bool in_prefix = true;
+  for (int k = 0; k < 3; ++k) {
+    bool is_bound = bound[positions[k]].has_value();
+    if (is_bound && !in_prefix) return MatchCursor(nullptr, nullptr);
+    if (!is_bound) in_prefix = false;
+  }
+  const TermId kMin = 0;
+  const TermId kMax = kInvalidTermId;
+  Triple lo{s.value_or(kMin), p.value_or(kMin), o.value_or(kMin)};
+  Triple hi{s.value_or(kMax), p.value_or(kMax), o.value_or(kMax)};
+  std::pair<const Triple*, const Triple*> range;
+  switch (order) {
+    case IndexOrder::kSpo: range = IndexRange<SpoLess>(spo_, lo, hi); break;
+    case IndexOrder::kPos: range = IndexRange<PosLess>(pos_, lo, hi); break;
+    default: range = IndexRange<OspLess>(osp_, lo, hi); break;
+  }
+  return MatchCursor(range.first, range.second);
+}
+
 size_t TripleStore::CountMatches(TermPattern s, TermPattern p,
                                  TermPattern o) const {
   return Scan(s, p, o).remaining();

@@ -42,6 +42,28 @@ struct Triple {
 // An optionally-bound pattern position.
 using TermPattern = std::optional<TermId>;
 
+// One of the store's three sorted orderings. The position sequence of each
+// order is the key it sorts by: SPO = (s, p, o), POS = (p, o, s),
+// OSP = (o, s, p).
+enum class IndexOrder : uint8_t { kSpo, kPos, kOsp };
+
+namespace internal {
+inline constexpr int kSpoPositions[3] = {0, 1, 2};
+inline constexpr int kPosPositions[3] = {1, 2, 0};
+inline constexpr int kOspPositions[3] = {2, 0, 1};
+}  // namespace internal
+
+// The position sequence of `order`: three indices into (s, p, o).
+inline constexpr const int* IndexPositions(IndexOrder order) {
+  switch (order) {
+    case IndexOrder::kSpo: return internal::kSpoPositions;
+    case IndexOrder::kPos: return internal::kPosPositions;
+    default: return internal::kOspPositions;
+  }
+}
+
+const char* IndexOrderName(IndexOrder order);
+
 // A lazy scan over one contiguous index range. Obtained from
 // TripleStore::Scan(); valid as long as the store is not mutated. The
 // range contains exactly the matching triples (no residual filtering), in
@@ -102,6 +124,14 @@ class TripleStore {
   // store the first Scan()/Match()/size() is not thread-safe with other
   // readers; call size() once before sharing the store across threads.
   MatchCursor Scan(TermPattern s, TermPattern p, TermPattern o) const;
+
+  // Scan over one *specific* index. The bound positions must form a prefix
+  // of the index's position sequence (e.g. POS accepts nothing bound, p
+  // bound, or p and o bound); then the range is exact and the triples come
+  // back in that index's sort order — the property merge joins rely on.
+  // Violating the prefix requirement returns an empty cursor.
+  MatchCursor ScanOrdered(IndexOrder order, TermPattern s, TermPattern p,
+                          TermPattern o) const;
 
   // Exact number of triples matching the pattern (two binary searches; no
   // scan). The cardinality source for compiled-query join ordering.

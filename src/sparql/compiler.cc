@@ -4,6 +4,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "sparql/plangen.h"
+
 namespace alex::sparql {
 namespace {
 
@@ -47,14 +49,12 @@ CompiledNode CompileNode(const PatternNode& node, SlotTable* slots,
   return out;
 }
 
-// Cardinality estimate for `pattern` given the set of slots bound by the
-// patterns ordered before it: the exact index-range count over the
-// constant positions, divided by a distinct-count estimate for every
-// variable position that is already bound.
-double EstimateRows(const CompiledPattern& pattern,
-                    const std::vector<bool>& bound,
-                    const rdf::TripleStore& store,
-                    const rdf::DatasetStats* stats) {
+}  // namespace
+
+double EstimatePatternRows(const CompiledPattern& pattern,
+                           const std::vector<bool>& bound,
+                           const rdf::TripleStore& store,
+                           const rdf::DatasetStats* stats) {
   auto constant = [](const CompiledNode& node) -> TermPattern {
     if (node.is_variable) return std::nullopt;
     return node.id;
@@ -100,6 +100,8 @@ double EstimateRows(const CompiledPattern& pattern,
   return rows;
 }
 
+namespace {
+
 // Greedily orders `patterns` by estimated cardinality: repeatedly pick the
 // cheapest pattern under the slots bound so far (ties by original pattern
 // index, so the order is deterministic). `pre_bound` holds slots bound
@@ -118,7 +120,8 @@ void OrderGroup(CompiledGroup* group, const std::vector<bool>& pre_bound,
     double best_rows = 0.0;
     for (size_t i = 0; i < group->patterns.size(); ++i) {
       if (used[i]) continue;
-      double rows = EstimateRows(group->patterns[i], bound, store, stats);
+      double rows =
+          EstimatePatternRows(group->patterns[i], bound, store, stats);
       if (best == group->patterns.size() || rows < best_rows) {
         best = i;
         best_rows = rows;
@@ -278,6 +281,37 @@ CompiledQuery CompileQuery(const Query& query, const rdf::TripleStore& store,
         it->second = dict.term(id);
         cf.bitmap[id] = EvalFilter(*cf.expr, probe);
       }
+    }
+  }
+
+  // Slots observed outside a single pattern occurrence; everything the
+  // AggregatedIndexScan eligibility test must preserve.
+  compiled.needed_slots.assign(compiled.num_slots, query.select_all);
+  auto need = [&](VarSlot slot) {
+    if (slot != kNoSlot) compiled.needed_slots[slot] = true;
+  };
+  for (VarSlot slot : compiled.select_slots) need(slot);
+  for (VarSlot slot : compiled.group_by_slots) need(slot);
+  for (VarSlot slot : compiled.aggregate_slots) need(slot);
+  for (const CompiledQuery::OrderSlot& key : compiled.order_slots) {
+    need(key.slot);
+  }
+  for (const CompiledFilter& cf : compiled.filters) {
+    for (VarSlot slot : cf.slots) need(slot);
+  }
+  for (const CompiledGroup& group : compiled.optionals) {
+    for (const CompiledPattern& pattern : group.patterns) {
+      for (const CompiledNode* node :
+           {&pattern.subject, &pattern.predicate, &pattern.object}) {
+        if (node->is_variable) need(node->slot);
+      }
+    }
+  }
+
+  if (options.build_physical_plans) {
+    compiled.plans.reserve(compiled.alternatives.size());
+    for (size_t i = 0; i < compiled.alternatives.size(); ++i) {
+      compiled.plans.push_back(BuildPhysicalPlan(compiled, i, options.stats));
     }
   }
   return compiled;

@@ -37,12 +37,9 @@
 #include "rdf/dataset_stats.h"
 #include "rdf/triple_store.h"
 #include "sparql/algebra.h"
+#include "sparql/physical_plan.h"
 
 namespace alex::sparql {
-
-// Dense variable slot; an index into the executor's binding array.
-using VarSlot = uint32_t;
-inline constexpr VarSlot kNoSlot = 0xffffffffu;
 
 // One pattern position: a resolved constant id or a variable slot.
 struct CompiledNode {
@@ -92,6 +89,19 @@ struct CompiledQuery {
   std::vector<CompiledGroup> alternatives;
   std::vector<CompiledGroup> optionals;
 
+  // One physical operator tree per alternative (parallel to
+  // `alternatives`), produced by sparql/plangen.h. A plan with root == -1
+  // means the generator declined and the executor enumerates that group
+  // greedily. Empty when CompileOptions::build_physical_plans is false.
+  std::vector<PhysicalPlan> plans;
+
+  // Slots whose values anyone outside a single pattern observes:
+  // projection (or select_all), GROUP BY, aggregates, ORDER BY, FILTERs,
+  // and every pattern of every OPTIONAL group. A slot *not* in this set
+  // that occurs in exactly one pattern position may be eliminated by an
+  // AggregatedIndexScan.
+  std::vector<bool> needed_slots;
+
   std::vector<CompiledFilter> filters;
 
   // Projection in slot space (empty when select_all; then all slots are
@@ -115,11 +125,24 @@ struct CompileOptions {
   // Dictionaries larger than this skip filter-bitmap construction (the
   // bitmap costs one expression evaluation per term).
   size_t max_bitmap_terms = 1u << 22;
+  // Build a physical operator tree per alternative (sparql/plangen.h).
+  // The greedy executor ignores the plans; the planned executor requires
+  // them.
+  bool build_physical_plans = true;
 };
 
 // Compiles `query` against `store`. The returned plan borrows both.
 CompiledQuery CompileQuery(const Query& query, const rdf::TripleStore& store,
                            const CompileOptions& options = {});
+
+// Cardinality estimate for one pattern given which slots are already bound:
+// the exact index-range count over the constant positions, divided by a
+// distinct-count estimate for every bound variable position. Shared by the
+// greedy join orderer and the DP plan generator's cost model.
+double EstimatePatternRows(const CompiledPattern& pattern,
+                           const std::vector<bool>& bound,
+                           const rdf::TripleStore& store,
+                           const rdf::DatasetStats* stats);
 
 }  // namespace alex::sparql
 

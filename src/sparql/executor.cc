@@ -9,6 +9,8 @@
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "sparql/operators.h"
+#include "sparql/plangen.h"
 
 namespace alex::sparql {
 namespace {
@@ -320,11 +322,10 @@ std::vector<Binding> DedupRows(const Query& query, std::vector<Binding> rows,
   return unique;
 }
 
-// Shared result tail: aggregation, DISTINCT, ORDER BY, OFFSET, LIMIT.
-std::vector<Binding> FinishTermRows(const Query& query,
+// Result tail after aggregation: DISTINCT, ORDER BY, OFFSET, LIMIT.
+std::vector<Binding> FinishRowsTail(const Query& query,
                                     std::vector<Binding> rows,
                                     const rdf::Dictionary& dict) {
-  if (!query.aggregates.empty()) rows = ApplyAggregates(query, rows, dict);
   if (query.distinct) rows = DedupRows(query, std::move(rows), dict);
   if (!query.order_by.empty()) {
     std::stable_sort(rows.begin(), rows.end(),
@@ -340,6 +341,123 @@ std::vector<Binding> FinishTermRows(const Query& query,
     rows.resize(*query.limit);
   }
   return rows;
+}
+
+// Shared result tail: aggregation, DISTINCT, ORDER BY, OFFSET, LIMIT.
+std::vector<Binding> FinishTermRows(const Query& query,
+                                    std::vector<Binding> rows,
+                                    const rdf::Dictionary& dict) {
+  if (!query.aggregates.empty()) rows = ApplyAggregates(query, rows, dict);
+  return FinishRowsTail(query, std::move(rows), dict);
+}
+
+// GROUP BY / aggregation over id rows (full slot snapshots), with exactly
+// the ApplyAggregates semantics: stable first-appearance group order,
+// COUNT(?v) counts bound rows, SUM / AVG fold the parseable values, and
+// MIN / MAX keep the first term attaining a strict extremum. Only group
+// keys and winning MIN / MAX terms are decoded through the dictionary;
+// numeric parsing is memoized per TermId.
+std::vector<Binding> AggregateIdRows(const CompiledQuery& plan,
+                                     const std::vector<std::vector<TermId>>& rows,
+                                     const rdf::Dictionary& dict) {
+  const Query& query = *plan.query;
+  struct IdGroup {
+    std::vector<TermId> key;
+    std::vector<const std::vector<TermId>*> members;
+  };
+  std::vector<IdGroup> groups;
+  std::unordered_map<std::vector<TermId>, size_t, IdRowHash> index;
+  for (const std::vector<TermId>& row : rows) {
+    std::vector<TermId> key(plan.group_by_slots.size(), rdf::kInvalidTermId);
+    for (size_t i = 0; i < plan.group_by_slots.size(); ++i) {
+      VarSlot slot = plan.group_by_slots[i];
+      if (slot != kNoSlot) key[i] = row[slot];
+    }
+    auto [entry, inserted] = index.emplace(key, groups.size());
+    if (inserted) groups.push_back({std::move(key), {}});
+    groups[entry->second].members.push_back(&row);
+  }
+  if (groups.empty() && query.group_by.empty()) {
+    groups.push_back({{}, {}});  // global aggregate over zero rows
+  }
+
+  std::unordered_map<TermId, std::pair<bool, double>> parse_memo;
+  auto parse = [&](TermId id, double* value) {
+    auto [it, inserted] = parse_memo.try_emplace(id);
+    if (inserted) {
+      it->second.first = ParseDouble(dict.term(id).lexical(), &it->second.second);
+    }
+    *value = it->second.second;
+    return it->second.first;
+  };
+
+  std::vector<Binding> out;
+  out.reserve(groups.size());
+  for (const IdGroup& group : groups) {
+    Binding result;
+    for (size_t i = 0; i < group.key.size(); ++i) {
+      if (group.key[i] != rdf::kInvalidTermId) {
+        result.emplace(query.group_by[i], dict.term(group.key[i]));
+      }
+    }
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      const Aggregate& agg = query.aggregates[a];
+      VarSlot slot = plan.aggregate_slots[a];
+      if (agg.kind == Aggregate::Kind::kCount) {
+        size_t count = 0;
+        for (const std::vector<TermId>* row : group.members) {
+          if (slot == kNoSlot || (*row)[slot] != rdf::kInvalidTermId) ++count;
+        }
+        result.emplace(agg.as,
+                       rdf::Term::IntegerLiteral(static_cast<int64_t>(count)));
+        continue;
+      }
+      double sum = 0.0;
+      size_t n = 0;
+      TermId min_id = rdf::kInvalidTermId;
+      TermId max_id = rdf::kInvalidTermId;
+      double min_value = 0.0, max_value = 0.0;
+      for (const std::vector<TermId>* row : group.members) {
+        TermId id = slot == kNoSlot ? rdf::kInvalidTermId : (*row)[slot];
+        if (id == rdf::kInvalidTermId) continue;
+        double value = 0.0;
+        if (!parse(id, &value)) continue;
+        sum += value;
+        ++n;
+        if (min_id == rdf::kInvalidTermId || value < min_value) {
+          min_id = id;
+          min_value = value;
+        }
+        if (max_id == rdf::kInvalidTermId || value > max_value) {
+          max_id = id;
+          max_value = value;
+        }
+      }
+      switch (agg.kind) {
+        case Aggregate::Kind::kSum:
+          result.emplace(agg.as, rdf::Term::DoubleLiteral(sum));
+          break;
+        case Aggregate::Kind::kAvg:
+          result.emplace(agg.as,
+                         rdf::Term::DoubleLiteral(n == 0 ? 0.0 : sum / n));
+          break;
+        case Aggregate::Kind::kMin:
+          if (min_id != rdf::kInvalidTermId) {
+            result.emplace(agg.as, dict.term(min_id));
+          }
+          break;
+        case Aggregate::Kind::kMax:
+          if (max_id != rdf::kInvalidTermId) {
+            result.emplace(agg.as, dict.term(max_id));
+          }
+          break;
+        case Aggregate::Kind::kCount:
+          break;  // handled above
+      }
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
 }
 
 Result<std::vector<Binding>> ExecuteLegacy(const Query& query,
@@ -419,24 +537,41 @@ Result<std::vector<Binding>> ExecuteLegacy(const Query& query,
 
 class CompiledExecutor {
  public:
-  CompiledExecutor(const CompiledQuery& plan, const ExecuteOptions& options)
+  CompiledExecutor(const CompiledQuery& plan, const ExecuteOptions& options,
+                   bool planned)
       : plan_(plan),
         query_(*plan.query),
         store_(*plan.store),
         dict_(plan.store->dictionary()),
         options_(options),
+        planned_(planned),
         slots_(plan.num_slots, rdf::kInvalidTermId) {}
 
+  // Collects per-operator produced-row counts per alternative (explain
+  // instrumentation; planned groups only).
+  void set_explain_actuals(std::vector<std::vector<size_t>>* actuals) {
+    explain_actuals_ = actuals;
+  }
+
   Result<std::vector<Binding>> Run() {
-    for (const CompiledGroup& group : plan_.alternatives) {
+    for (size_t a = 0; a < plan_.alternatives.size(); ++a) {
       if (stop_) break;
+      const CompiledGroup& group = plan_.alternatives[a];
       if (group.unmatchable) continue;
       std::fill(slots_.begin(), slots_.end(), rdf::kInvalidTermId);
-      EnumerateGroup(group, 0, 0,
-                     [this](uint64_t passed) { ApplyOptionals(0, passed); });
+      const PhysicalPlan* phys =
+          planned_ && a < plan_.plans.size() ? &plan_.plans[a] : nullptr;
+      if (phys != nullptr && phys->root >= 0) {
+        RunPlannedGroup(group, *phys, a);
+      } else {
+        EnumerateGroup(group, 0, 0,
+                       [this](uint64_t passed) { ApplyOptionals(0, passed); });
+      }
     }
     if (!query_.aggregates.empty()) {
-      return FinishTermRows(query_, std::move(agg_rows_), dict_);
+      return FinishRowsTail(query_,
+                            AggregateIdRows(plan_, agg_id_rows_, dict_),
+                            dict_);
     }
     if (query_.distinct) DedupIdRows();
     if (!query_.order_by.empty()) OrderIdRows();
@@ -452,6 +587,28 @@ class CompiledExecutor {
   }
 
  private:
+  // Pull rows out of the group's physical operator tree; each row is
+  // copied from the register file into the slot array via the plan's
+  // representative-register map, then flows through the ordinary OPTIONAL /
+  // filter / emission tail. Filters the plan already enforced seed the
+  // filters-passed mask.
+  void RunPlannedGroup(const CompiledGroup& group, const PhysicalPlan& phys,
+                       size_t alternative) {
+    OperatorTree tree = BuildOperatorTree(phys, plan_, group, &regs_);
+    tree.root->Open();
+    while (!stop_ && tree.root->Next()) {
+      for (VarSlot slot = 0; slot < phys.slot_reg.size(); ++slot) {
+        if (phys.slot_reg[slot] != kNoReg) {
+          slots_[slot] = regs_[phys.slot_reg[slot]];
+        }
+      }
+      ApplyOptionals(0, phys.applied_filters);
+    }
+    if (explain_actuals_ != nullptr) {
+      (*explain_actuals_)[alternative] = tree.ProducedRows();
+    }
+  }
+
   TermPattern Value(const CompiledNode& node) const {
     if (!node.is_variable) return node.id;
     TermId id = slots_[node.slot];
@@ -538,12 +695,14 @@ class CompiledExecutor {
       // (filters over never-bound variables stay not-ready and pass).
       if (!FiltersPass(&passed)) return;
       if (!query_.aggregates.empty()) {
-        agg_rows_.push_back(FullBinding());
+        // Aggregation consumes the full binding (the aggregated variables
+        // may not be projected), as a slot snapshot in id space.
+        agg_id_rows_.push_back(slots_);
       } else {
         id_rows_.push_back(ProjectIds());
       }
       size_t produced =
-          query_.aggregates.empty() ? id_rows_.size() : agg_rows_.size();
+          query_.aggregates.empty() ? id_rows_.size() : agg_id_rows_.size();
       if (produced >= options_.max_rows) stop_ = true;
       if (query_.is_ask) stop_ = true;
       if (query_.limit && !query_.distinct && query_.order_by.empty() &&
@@ -573,16 +732,6 @@ class CompiledExecutor {
       if (plan_.select_slots[i] != kNoSlot) row[i] = slots_[plan_.select_slots[i]];
     }
     return row;
-  }
-
-  Binding FullBinding() const {
-    Binding binding;
-    for (size_t i = 0; i < slots_.size(); ++i) {
-      if (slots_[i] != rdf::kInvalidTermId) {
-        binding.emplace(plan_.slot_names[i], dict_.term(slots_[i]));
-      }
-    }
-    return binding;
   }
 
   void DedupIdRows() {
@@ -672,9 +821,13 @@ class CompiledExecutor {
   const rdf::Dictionary& dict_;
   const ExecuteOptions& options_;
 
+  const bool planned_;
   std::vector<TermId> slots_;                // current path binding
+  std::vector<TermId> regs_;                 // operator-tree register file
   std::vector<std::vector<TermId>> id_rows_;  // non-aggregate results
-  std::vector<Binding> agg_rows_;             // full bindings for aggregation
+  // Full slot snapshots for aggregation (decoded lazily at fold time).
+  std::vector<std::vector<TermId>> agg_id_rows_;
+  std::vector<std::vector<size_t>>* explain_actuals_ = nullptr;
   bool stop_ = false;
 };
 
@@ -693,9 +846,10 @@ Binding Project(const Query& query, const Binding& binding) {
 Result<std::vector<Binding>> Execute(const Query& query,
                                      const rdf::TripleStore& store,
                                      const ExecuteOptions& options) {
-  if (options.engine == ExecEngine::kLegacy) {
+  if (options.engine == ExecutorKind::kLegacy) {
     return ExecuteLegacy(query, store, options);
   }
+  const bool planned = options.engine == ExecutorKind::kPlanned;
   CompiledQuery local;
   const CompiledQuery* plan = options.plan;
   if (plan != nullptr) {
@@ -706,10 +860,52 @@ Result<std::vector<Binding>> Execute(const Query& query,
   } else {
     CompileOptions compile_options;
     compile_options.stats = options.stats;
+    compile_options.build_physical_plans = planned;
     local = CompileQuery(query, store, compile_options);
     plan = &local;
   }
-  return CompiledExecutor(*plan, options).Run();
+  return CompiledExecutor(*plan, options, planned).Run();
+}
+
+Result<std::string> Explain(const Query& query, const rdf::TripleStore& store,
+                            const ExecuteOptions& options) {
+  CompiledQuery local;
+  const CompiledQuery* plan = options.plan;
+  if (plan != nullptr) {
+    if (plan->query != &query || plan->store != &store) {
+      return Status::InvalidArgument(
+          "precompiled plan does not match query/store");
+    }
+    if (plan->plans.empty()) plan = nullptr;  // recompile with plans
+  }
+  if (plan == nullptr) {
+    CompileOptions compile_options;
+    compile_options.stats = options.stats;
+    compile_options.build_physical_plans = true;
+    local = CompileQuery(query, store, compile_options);
+    plan = &local;
+  }
+  CompiledExecutor executor(*plan, options, /*planned=*/true);
+  std::vector<std::vector<size_t>> actuals(plan->alternatives.size());
+  executor.set_explain_actuals(&actuals);
+  Result<std::vector<Binding>> rows = executor.Run();
+  if (!rows.ok()) return rows.status();
+
+  std::string out;
+  for (size_t a = 0; a < plan->alternatives.size(); ++a) {
+    if (plan->alternatives.size() > 1) {
+      out += "alternative " + std::to_string(a) + ":\n";
+    }
+    const std::vector<size_t>* actual =
+        a < actuals.size() && !actuals[a].empty() ? &actuals[a] : nullptr;
+    if (a < plan->plans.size()) {
+      out += RenderPlan(plan->plans[a], *plan, a, actual);
+    } else {
+      out += "(greedy fallback: no physical plan)\n";
+    }
+  }
+  out += "rows returned: " + std::to_string(rows->size()) + "\n";
+  return out;
 }
 
 Result<bool> Ask(const Query& query, const rdf::TripleStore& store,

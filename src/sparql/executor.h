@@ -1,21 +1,28 @@
 // Query execution over a single TripleStore.
 //
-// Two engines share one entry point:
+// Three engines share one entry point:
 //
-//   * kCompiled (default): compiles the query to TermId space once
-//     (sparql/compiler.h) — constants pre-resolved, variables in dense
-//     slots, patterns ordered by estimated cardinality — then enumerates
-//     solutions over lazy index cursors (rdf::MatchCursor) with bindings in
-//     a flat TermId array. FILTERs run as id-space bitmaps where possible.
+//   * kPlanned (default): compiles the query to TermId space
+//     (sparql/compiler.h) and runs the pipelined physical operator tree the
+//     bottom-up DP plan generator picked (sparql/plangen.h): ordered index
+//     scans, merge / hash / index-lookup joins, aggregated scans, and
+//     plan-placed filters, all pull-based over a flat register file.
+//   * kGreedy: the same compiled representation, enumerated pattern-at-a-
+//     time in the greedy statistics-driven join order (the former default;
+//     kept as a differential oracle and as the fallback for groups the plan
+//     generator declines).
 //   * kLegacy: the original backtracking matcher over string-keyed
-//     bindings, kept as the differential-testing oracle.
+//     bindings, the independent term-space oracle.
 //
-// Both engines produce the same row multiset; enumeration ORDER may differ
+// All engines produce the same row multiset; enumeration ORDER may differ
 // between them (they join in different orders), so order-sensitive callers
-// must use ORDER BY.
+// must use ORDER BY. GROUP BY aggregation for the compiled engines runs
+// entirely in TermId space; only group keys and winning MIN/MAX terms are
+// decoded through the dictionary.
 #ifndef ALEX_SPARQL_EXECUTOR_H_
 #define ALEX_SPARQL_EXECUTOR_H_
 
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -25,26 +32,27 @@
 
 namespace alex::sparql {
 
-enum class ExecEngine {
-  kCompiled,  // TermId-space executor over compiled plans
-  kLegacy,    // original term-space backtracking matcher (oracle)
+enum class ExecutorKind {
+  kPlanned,  // physical operator trees from the DP plan generator
+  kGreedy,   // greedy pattern-at-a-time compiled enumeration (oracle)
+  kLegacy,   // original term-space backtracking matcher (oracle)
 };
 
 struct ExecuteOptions {
   // Hard cap on produced rows before projection (safety valve).
   size_t max_rows = 1000000;
-  ExecEngine engine = ExecEngine::kCompiled;
+  ExecutorKind engine = ExecutorKind::kPlanned;
   // Optional dataset statistics forwarded to the compiler for join
-  // ordering (compiled engine only).
+  // ordering and the plan generator's cost model (compiled engines only).
   const rdf::DatasetStats* stats = nullptr;
-  // Optional precompiled plan to reuse (compiled engine only). Must have
+  // Optional precompiled plan to reuse (compiled engines only). Must have
   // been compiled from exactly this query and store.
   const CompiledQuery* plan = nullptr;
 };
 
 // Runs `query` against `store` and returns the projected solutions.
 // Handles UNION alternatives, OPTIONAL groups (left outer join), DISTINCT,
-// ORDER BY, OFFSET, and LIMIT.
+// GROUP BY / aggregates, ORDER BY, OFFSET, and LIMIT.
 Result<std::vector<Binding>> Execute(const Query& query,
                                      const rdf::TripleStore& store,
                                      const ExecuteOptions& options = {});
@@ -56,6 +64,12 @@ Result<bool> Ask(const Query& query, const rdf::TripleStore& store,
 // Projects `binding` onto the query's select list (all variables when
 // SELECT *).
 Binding Project(const Query& query, const Binding& binding);
+
+// Compiles and executes `query` with the planned engine and renders every
+// alternative's operator tree with per-operator cost / cardinality
+// estimates next to the rows each operator actually produced.
+Result<std::string> Explain(const Query& query, const rdf::TripleStore& store,
+                            const ExecuteOptions& options = {});
 
 }  // namespace alex::sparql
 

@@ -1,0 +1,495 @@
+#include "sparql/operators.h"
+
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+namespace alex::sparql {
+namespace {
+
+using rdf::TermId;
+using rdf::TermPattern;
+using rdf::Triple;
+
+// FNV-1a over an id tuple (hash-join keys).
+struct IdKeyHash {
+  size_t operator()(const std::vector<TermId>& row) const {
+    size_t h = 14695981039346656037ull;
+    for (TermId id : row) {
+      h ^= id;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+// Applies the kBind / kCheck positions of `t` to the registers; false when
+// a residual equality check fails.
+inline bool BindTriple(const PlanOp& op, const Triple& t,
+                       std::vector<TermId>& regs) {
+  const TermId vals[3] = {t.subject, t.predicate, t.object};
+  for (int k = 0; k < 3; ++k) {
+    if (op.pos[k] == ScanPos::kBind) {
+      regs[op.pos_reg[k]] = vals[k];
+    } else if (op.pos[k] == ScanPos::kCheck &&
+               regs[op.pos_reg[k]] != vals[k]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class ScanOp : public Operator {
+ public:
+  ScanOp(const PlanOp& op, const CompiledGroup& group,
+         const rdf::TripleStore& store, std::vector<TermId>& regs)
+      : op_(op), store_(store), regs_(regs) {
+    const CompiledPattern& pattern = group.patterns[op.pattern_index];
+    const CompiledNode* nodes[3] = {&pattern.subject, &pattern.predicate,
+                                    &pattern.object};
+    for (int k = 0; k < 3; ++k) {
+      if (op_.pos[k] == ScanPos::kConst) const_[k] = nodes[k]->id;
+    }
+  }
+
+  void Open() override {
+    produced_ = 0;
+    cursor_ = store_.ScanOrdered(op_.index_order, const_[0], const_[1],
+                                 const_[2]);
+  }
+
+  bool Next() override {
+    while (const Triple* t = cursor_.Next()) {
+      if (BindTriple(op_, *t, regs_)) {
+        ++produced_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const PlanOp& op_;
+  const rdf::TripleStore& store_;
+  std::vector<TermId>& regs_;
+  TermPattern const_[3];
+  rdf::MatchCursor cursor_;
+};
+
+// Scan that skips duplicate runs: positions marked kElim form a suffix of
+// the index order, so triples agreeing on every emitted position are
+// adjacent and only the first of each run is produced.
+class AggregatedScanOp : public Operator {
+ public:
+  AggregatedScanOp(const PlanOp& op, const CompiledGroup& group,
+                   const rdf::TripleStore& store, std::vector<TermId>& regs)
+      : op_(op), store_(store), regs_(regs) {
+    const CompiledPattern& pattern = group.patterns[op.pattern_index];
+    const CompiledNode* nodes[3] = {&pattern.subject, &pattern.predicate,
+                                    &pattern.object};
+    for (int k = 0; k < 3; ++k) {
+      if (op_.pos[k] == ScanPos::kConst) const_[k] = nodes[k]->id;
+      emitted_[k] = op_.pos[k] == ScanPos::kBind ||
+                    op_.pos[k] == ScanPos::kCheck;
+    }
+  }
+
+  void Open() override {
+    produced_ = 0;
+    have_prev_ = false;
+    cursor_ = store_.ScanOrdered(op_.index_order, const_[0], const_[1],
+                                 const_[2]);
+  }
+
+  bool Next() override {
+    while (const Triple* t = cursor_.Next()) {
+      const TermId vals[3] = {t->subject, t->predicate, t->object};
+      if (have_prev_) {
+        bool duplicate = true;
+        for (int k = 0; k < 3; ++k) {
+          if (emitted_[k] && vals[k] != prev_[k]) {
+            duplicate = false;
+            break;
+          }
+        }
+        if (duplicate) continue;
+      }
+      for (int k = 0; k < 3; ++k) prev_[k] = vals[k];
+      have_prev_ = true;
+      if (BindTriple(op_, *t, regs_)) {
+        ++produced_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const PlanOp& op_;
+  const rdf::TripleStore& store_;
+  std::vector<TermId>& regs_;
+  TermPattern const_[3];
+  bool emitted_[3] = {false, false, false};
+  rdf::MatchCursor cursor_;
+  TermId prev_[3] = {0, 0, 0};
+  bool have_prev_ = false;
+};
+
+// Both inputs sorted (by TermId) on the key registers eq[0]; classic merge
+// with the right-hand key block buffered so each left row of the key sees
+// every right row. Left and right write disjoint registers, so the current
+// left row survives while the right side advances.
+class MergeJoinOp : public Operator {
+ public:
+  MergeJoinOp(const PlanOp& op, Operator* left, Operator* right,
+              const std::vector<PlanReg>& right_out,
+              std::vector<TermId>& regs)
+      : op_(op),
+        left_(left),
+        right_(right),
+        right_out_(right_out),
+        regs_(regs),
+        lkey_(op.eq[0].first),
+        rkey_(op.eq[0].second) {}
+
+  void Open() override {
+    produced_ = 0;
+    left_->Open();
+    right_->Open();
+    left_valid_ = left_->Next();
+    right_valid_ = right_->Next();
+    block_.clear();
+    block_rows_ = 0;
+    block_pos_ = 0;
+    replaying_ = false;
+    pending_valid_ = false;
+  }
+
+  bool Next() override {
+    for (;;) {
+      if (replaying_) {
+        while (block_pos_ < block_rows_) {
+          LoadBlockRow(block_pos_++);
+          if (ExtraEq()) {
+            ++produced_;
+            return true;
+          }
+        }
+        // Current left row exhausted the block; the next left row may
+        // still carry the block key.
+        replaying_ = false;
+        left_valid_ = left_->Next();
+        if (left_valid_ && regs_[lkey_] == block_key_) {
+          block_pos_ = 0;
+          replaying_ = true;
+          continue;
+        }
+        // Replay overwrote the right registers; restore the right row
+        // fetched past the block before merging resumes.
+        if (pending_valid_) RestorePending();
+      }
+      if (!left_valid_ || !right_valid_) return false;
+      if (regs_[lkey_] < regs_[rkey_]) {
+        left_valid_ = left_->Next();
+        continue;
+      }
+      if (regs_[rkey_] < regs_[lkey_]) {
+        right_valid_ = right_->Next();
+        pending_valid_ = false;
+        continue;
+      }
+      block_key_ = regs_[rkey_];
+      block_.clear();
+      block_rows_ = 0;
+      do {
+        SaveBlockRow();
+        ++block_rows_;
+        right_valid_ = right_->Next();
+      } while (right_valid_ && regs_[rkey_] == block_key_);
+      if (right_valid_) {
+        SavePending();
+      } else {
+        pending_valid_ = false;
+      }
+      block_pos_ = 0;
+      replaying_ = true;
+    }
+  }
+
+ private:
+  bool ExtraEq() const {
+    for (size_t i = 1; i < op_.eq.size(); ++i) {
+      if (regs_[op_.eq[i].first] != regs_[op_.eq[i].second]) return false;
+    }
+    return true;
+  }
+  void SaveBlockRow() {
+    for (PlanReg r : right_out_) block_.push_back(regs_[r]);
+  }
+  void LoadBlockRow(size_t row) {
+    size_t base = row * right_out_.size();
+    for (size_t i = 0; i < right_out_.size(); ++i) {
+      regs_[right_out_[i]] = block_[base + i];
+    }
+  }
+  void SavePending() {
+    pending_.assign(right_out_.size(), 0);
+    for (size_t i = 0; i < right_out_.size(); ++i) {
+      pending_[i] = regs_[right_out_[i]];
+    }
+    pending_valid_ = true;
+  }
+  void RestorePending() {
+    for (size_t i = 0; i < right_out_.size(); ++i) {
+      regs_[right_out_[i]] = pending_[i];
+    }
+    pending_valid_ = false;
+  }
+
+  const PlanOp& op_;
+  Operator* left_;
+  Operator* right_;
+  const std::vector<PlanReg>& right_out_;
+  std::vector<TermId>& regs_;
+  PlanReg lkey_, rkey_;
+
+  bool left_valid_ = false, right_valid_ = false;
+  TermId block_key_ = 0;
+  std::vector<TermId> block_;    // flattened right rows of the current key
+  size_t block_rows_ = 0, block_pos_ = 0;
+  bool replaying_ = false;
+  std::vector<TermId> pending_;  // right row fetched past the block
+  bool pending_valid_ = false;
+};
+
+// Builds a hash table over the right input, then streams the left input in
+// order (the probe order is the output order). An empty key list degrades
+// to the cross product of disconnected components.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(const PlanOp& op, Operator* left, Operator* right,
+             const std::vector<PlanReg>& right_out, std::vector<TermId>& regs)
+      : op_(op),
+        left_(left),
+        right_(right),
+        right_out_(right_out),
+        regs_(regs) {}
+
+  void Open() override {
+    produced_ = 0;
+    rows_.clear();
+    table_.clear();
+    build_rows_ = 0;
+    key_scratch_.assign(op_.eq.size(), 0);
+    right_->Open();
+    while (right_->Next()) {
+      for (size_t i = 0; i < op_.eq.size(); ++i) {
+        key_scratch_[i] = regs_[op_.eq[i].second];
+      }
+      table_[key_scratch_].push_back(build_rows_);
+      for (PlanReg r : right_out_) rows_.push_back(regs_[r]);
+      ++build_rows_;
+    }
+    left_->Open();
+    matches_ = nullptr;
+    match_pos_ = 0;
+  }
+
+  bool Next() override {
+    for (;;) {
+      if (matches_ != nullptr && match_pos_ < matches_->size()) {
+        size_t base = (*matches_)[match_pos_++] * right_out_.size();
+        for (size_t i = 0; i < right_out_.size(); ++i) {
+          regs_[right_out_[i]] = rows_[base + i];
+        }
+        ++produced_;
+        return true;
+      }
+      matches_ = nullptr;
+      if (!left_->Next()) return false;
+      for (size_t i = 0; i < op_.eq.size(); ++i) {
+        key_scratch_[i] = regs_[op_.eq[i].first];
+      }
+      auto it = table_.find(key_scratch_);
+      if (it != table_.end()) {
+        matches_ = &it->second;
+        match_pos_ = 0;
+      }
+    }
+  }
+
+ private:
+  const PlanOp& op_;
+  Operator* left_;
+  Operator* right_;
+  const std::vector<PlanReg>& right_out_;
+  std::vector<TermId>& regs_;
+
+  std::vector<TermId> rows_;  // flattened build rows
+  size_t build_rows_ = 0;
+  std::unordered_map<std::vector<TermId>, std::vector<size_t>, IdKeyHash>
+      table_;
+  std::vector<TermId> key_scratch_;
+  const std::vector<size_t>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+// Streams the left input and point-probes the right pattern: kProbe
+// positions read left registers, kBind positions bind the match. With
+// `semi`, one match per left row suffices (pure existence check).
+class IndexLookupJoinOp : public Operator {
+ public:
+  IndexLookupJoinOp(const PlanOp& op, Operator* left,
+                    const CompiledGroup& group, const rdf::TripleStore& store,
+                    std::vector<TermId>& regs)
+      : op_(op), left_(left), store_(store), regs_(regs) {
+    const CompiledPattern& pattern = group.patterns[op.pattern_index];
+    const CompiledNode* nodes[3] = {&pattern.subject, &pattern.predicate,
+                                    &pattern.object};
+    for (int k = 0; k < 3; ++k) {
+      if (op_.pos[k] == ScanPos::kConst) const_[k] = nodes[k]->id;
+    }
+  }
+
+  void Open() override {
+    produced_ = 0;
+    left_->Open();
+    active_ = false;
+  }
+
+  bool Next() override {
+    for (;;) {
+      if (active_) {
+        while (const Triple* t = cursor_.Next()) {
+          if (BindTriple(op_, *t, regs_)) {
+            if (op_.semi) active_ = false;
+            ++produced_;
+            return true;
+          }
+        }
+        active_ = false;
+      }
+      if (!left_->Next()) return false;
+      TermPattern probe[3];
+      for (int k = 0; k < 3; ++k) {
+        if (op_.pos[k] == ScanPos::kConst) {
+          probe[k] = const_[k];
+        } else if (op_.pos[k] == ScanPos::kProbe) {
+          probe[k] = regs_[op_.pos_reg[k]];
+        }
+      }
+      cursor_ = store_.Scan(probe[0], probe[1], probe[2]);
+      active_ = true;
+    }
+  }
+
+ private:
+  const PlanOp& op_;
+  Operator* left_;
+  const rdf::TripleStore& store_;
+  std::vector<TermId>& regs_;
+  TermPattern const_[3];
+  rdf::MatchCursor cursor_;
+  bool active_ = false;
+};
+
+class RowFilterOp : public Operator {
+ public:
+  RowFilterOp(const PlanOp& op, Operator* child,
+              const CompiledQuery& compiled, std::vector<TermId>& regs)
+      : op_(op),
+        child_(child),
+        compiled_(compiled),
+        dict_(compiled.store->dictionary()),
+        regs_(regs) {}
+
+  void Open() override {
+    produced_ = 0;
+    child_->Open();
+  }
+
+  bool Next() override {
+    while (child_->Next()) {
+      if (Pass()) {
+        ++produced_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  bool Pass() const {
+    const CompiledFilter& filter = compiled_.filters[op_.filter_index];
+    if (!filter.bitmap.empty()) {
+      return filter.bitmap[regs_[op_.filter_regs[0]]];
+    }
+    Binding binding;
+    for (size_t i = 0; i < filter.slots.size(); ++i) {
+      binding.emplace(compiled_.slot_names[filter.slots[i]],
+                      dict_.term(regs_[op_.filter_regs[i]]));
+    }
+    return EvalFilter(*filter.expr, binding);
+  }
+
+  const PlanOp& op_;
+  Operator* child_;
+  const CompiledQuery& compiled_;
+  const rdf::Dictionary& dict_;
+  std::vector<TermId>& regs_;
+};
+
+}  // namespace
+
+std::vector<size_t> OperatorTree::ProducedRows() const {
+  std::vector<size_t> rows(ops.size(), 0);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i] != nullptr) rows[i] = ops[i]->produced();
+  }
+  return rows;
+}
+
+OperatorTree BuildOperatorTree(const PhysicalPlan& plan,
+                               const CompiledQuery& compiled,
+                               const CompiledGroup& group,
+                               std::vector<rdf::TermId>* regs) {
+  regs->assign(plan.num_regs, rdf::kInvalidTermId);
+  OperatorTree tree;
+  tree.ops.resize(plan.ops.size());
+  const rdf::TripleStore& store = *compiled.store;
+  std::function<Operator*(int)> build = [&](int index) -> Operator* {
+    const PlanOp& op = plan.ops[index];
+    Operator* left = op.left >= 0 ? build(op.left) : nullptr;
+    Operator* right = op.right >= 0 ? build(op.right) : nullptr;
+    std::unique_ptr<Operator> made;
+    switch (op.kind) {
+      case PlanOpKind::kIndexScan:
+        made = std::make_unique<ScanOp>(op, group, store, *regs);
+        break;
+      case PlanOpKind::kAggregatedIndexScan:
+        made = std::make_unique<AggregatedScanOp>(op, group, store, *regs);
+        break;
+      case PlanOpKind::kMergeJoin:
+        made = std::make_unique<MergeJoinOp>(
+            op, left, right, plan.ops[op.right].out_regs, *regs);
+        break;
+      case PlanOpKind::kHashJoin:
+        made = std::make_unique<HashJoinOp>(
+            op, left, right, plan.ops[op.right].out_regs, *regs);
+        break;
+      case PlanOpKind::kIndexLookupJoin:
+        made = std::make_unique<IndexLookupJoinOp>(op, left, group, store,
+                                                   *regs);
+        break;
+      case PlanOpKind::kFilter:
+        made = std::make_unique<RowFilterOp>(op, left, compiled, *regs);
+        break;
+    }
+    tree.ops[index] = std::move(made);
+    return tree.ops[index].get();
+  };
+  tree.root = build(plan.root);
+  return tree;
+}
+
+}  // namespace alex::sparql

@@ -1,0 +1,57 @@
+// Pull-based runtime operators for physical plans (sparql/physical_plan.h).
+//
+// All operators of one tree share a single TermId register file owned by
+// the caller. Next() advances the operator to its next output row — the row
+// *is* the current content of the registers the operator's out_regs name —
+// and returns false when exhausted. Buffers (merge-join blocks, hash
+// tables) are allocated once at Open() and reused, so the per-row path is
+// allocation-free.
+#ifndef ALEX_SPARQL_OPERATORS_H_
+#define ALEX_SPARQL_OPERATORS_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "sparql/compiler.h"
+#include "sparql/physical_plan.h"
+
+namespace alex::sparql {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  // Resets to the first row. Must be called before the first Next().
+  virtual void Open() = 0;
+  // Writes the next row into the shared registers; false when exhausted.
+  virtual bool Next() = 0;
+
+  // Rows this operator produced since Open() (explain instrumentation).
+  size_t produced() const { return produced_; }
+
+ protected:
+  size_t produced_ = 0;
+};
+
+// The instantiated operators of one plan: `ops` is parallel to
+// PhysicalPlan::ops (entries stay null for plan nodes of other candidate
+// trees that compaction removed — after compaction every entry is live).
+struct OperatorTree {
+  std::vector<std::unique_ptr<Operator>> ops;
+  Operator* root = nullptr;
+
+  // produced() per plan-op index; for RenderPlan's actual_rows.
+  std::vector<size_t> ProducedRows() const;
+};
+
+// Builds the operator tree for `plan` (root must be >= 0). `regs` is the
+// shared register file, resized to plan.num_regs; it must outlive the tree.
+OperatorTree BuildOperatorTree(const PhysicalPlan& plan,
+                               const CompiledQuery& compiled,
+                               const CompiledGroup& group,
+                               std::vector<rdf::TermId>* regs);
+
+}  // namespace alex::sparql
+
+#endif  // ALEX_SPARQL_OPERATORS_H_

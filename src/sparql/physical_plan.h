@@ -1,0 +1,106 @@
+// Physical operator trees over TermId space: the data model shared by the
+// plan generator (sparql/plangen.h), the compiler (which attaches one plan
+// per basic graph pattern to a CompiledQuery), and the runtime operators
+// (sparql/operators.h).
+//
+// A plan is an arena of PlanOp nodes plus a root index. Execution is
+// register-based: every (pattern, position) pair that holds a variable gets
+// its own register, all operators read and write one shared TermId register
+// file, and joins enforce equality between the registers of the two sides
+// instead of sharing a slot. At the root, `slot_reg` maps each variable
+// slot to its representative register so the executor can copy the row into
+// the ordinary slot array and reuse the OPTIONAL / projection / ORDER BY
+// machinery unchanged.
+#ifndef ALEX_SPARQL_PHYSICAL_PLAN_H_
+#define ALEX_SPARQL_PHYSICAL_PLAN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rdf/triple_store.h"
+
+namespace alex::sparql {
+
+// Dense variable slot; an index into the executor's binding array.
+using VarSlot = uint32_t;
+inline constexpr VarSlot kNoSlot = 0xffffffffu;
+
+// A register in the physical plan's register file.
+using PlanReg = uint32_t;
+inline constexpr PlanReg kNoReg = 0xffffffffu;
+
+enum class PlanOpKind : uint8_t {
+  kIndexScan,            // one ordered index range (rdf::ScanOrdered)
+  kAggregatedIndexScan,  // index range with duplicate runs skipped
+  kMergeJoin,            // both inputs sorted on the join variable
+  kHashJoin,             // build right, probe left (left order preserved)
+  kIndexLookupJoin,      // stream left, point-probe the right pattern
+  kFilter,               // compiled FILTER over the child's registers
+};
+
+// How a scan (or the probed pattern of an IndexLookupJoin) treats one
+// triple position.
+enum class ScanPos : uint8_t {
+  kConst,  // constant id from the compiled pattern; part of the range
+  kBind,   // free: the triple's value is written into reg
+  kProbe,  // bound from reg (a register the left input wrote); in-range
+  kCheck,  // residual: triple value must equal reg (repeated variable)
+  kElim,   // eliminated by an AggregatedIndexScan (trailing run-skip)
+};
+
+struct PlanOp {
+  PlanOpKind kind = PlanOpKind::kIndexScan;
+
+  // -- scans and the right side of kIndexLookupJoin --
+  int pattern_index = -1;  // into CompiledGroup::patterns
+  rdf::IndexOrder index_order = rdf::IndexOrder::kSpo;
+  ScanPos pos[3] = {ScanPos::kConst, ScanPos::kConst, ScanPos::kConst};
+  PlanReg pos_reg[3] = {kNoReg, kNoReg, kNoReg};  // for kBind/kProbe/kCheck
+
+  // -- children (indices into PhysicalPlan::ops; -1 = none) --
+  int left = -1;  // also the only child of kFilter / kIndexLookupJoin
+  int right = -1;
+
+  // -- joins --
+  // Register equalities enforced between the two sides; for kMergeJoin,
+  // eq[0] is the sorted join key both inputs are ordered on.
+  std::vector<std::pair<PlanReg, PlanReg>> eq;
+  // kIndexLookupJoin: stop at the first probe match (existence is enough:
+  // the probed pattern binds nothing anyone reads and multiplicity is
+  // irrelevant to the query).
+  bool semi = false;
+
+  // -- kFilter --
+  int filter_index = -1;            // into CompiledQuery::filters
+  std::vector<PlanReg> filter_regs;  // parallel to that filter's slots
+
+  // -- metadata --
+  // Slot whose register the output is (non-strictly) sorted on; kNoSlot if
+  // the output carries no usable order.
+  VarSlot order_slot = kNoSlot;
+  // Registers live at this operator's output, ascending. Joins buffer /
+  // hash exactly these for their build side.
+  std::vector<PlanReg> out_regs;
+  double est_rows = 0.0;  // cardinality estimate
+  double est_cost = 0.0;  // cumulative cost estimate
+};
+
+struct PhysicalPlan {
+  std::vector<PlanOp> ops;  // arena; parents appear after their children
+  // Root operator, or -1 when the plan generator declined (empty group,
+  // too many patterns): the executor then falls back to the greedy
+  // pattern-at-a-time enumeration for this group.
+  int root = -1;
+  PlanReg num_regs = 0;
+  // slot -> representative register at the root (kNoReg for slots this
+  // group never binds).
+  std::vector<PlanReg> slot_reg;
+  // Bitmask over CompiledQuery::filters (indices < 64) that the plan
+  // already enforces; seeds the executor's filters-passed mask.
+  uint64_t applied_filters = 0;
+};
+
+}  // namespace alex::sparql
+
+#endif  // ALEX_SPARQL_PHYSICAL_PLAN_H_

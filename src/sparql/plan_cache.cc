@@ -1,0 +1,94 @@
+#include "sparql/plan_cache.h"
+
+#include <utility>
+
+#include "sparql/parser.h"
+
+namespace alex::sparql {
+
+PlanCache::Entry* PlanCache::GetEntryLocked(const std::string& text) {
+  auto it = entries_.find(text);
+  if (it != entries_.end()) {
+    ++stats_.parse_hits;
+    return it->second.get();
+  }
+  ++stats_.parse_misses;
+  auto entry = std::make_unique<Entry>();
+  Result<Query> parsed = ParseQuery(text);
+  if (parsed.ok()) {
+    entry->parse_status = Status::Ok();
+    entry->query = std::move(*parsed);
+  } else {
+    entry->parse_status = parsed.status();
+  }
+  Entry* raw = entry.get();
+  entries_.emplace(text, std::move(entry));
+  return raw;
+}
+
+Result<const Query*> PlanCache::GetParsed(const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = GetEntryLocked(text);
+  if (!entry->parse_status.ok()) return entry->parse_status;
+  return static_cast<const Query*>(&entry->query);
+}
+
+Result<const CompiledQuery*> PlanCache::GetPlan(
+    const std::string& text, const rdf::TripleStore& store,
+    const rdf::DatasetStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = GetEntryLocked(text);
+  if (!entry->parse_status.ok()) return entry->parse_status;
+
+  bool rebuild = !entry->has_plan;
+  bool invalidated = false;
+  if (!rebuild && entry->store != &store) {
+    rebuild = true;
+    invalidated = true;
+  }
+  if (!rebuild && stats != nullptr && entry->has_snapshot &&
+      rdf::Drift(entry->snapshot, *stats) > drift_threshold_) {
+    rebuild = true;
+    invalidated = true;
+  }
+
+  if (rebuild) {
+    ++stats_.plan_misses;
+    if (invalidated) ++stats_.invalidations;
+    CompileOptions options;
+    options.stats = stats;
+    options.build_physical_plans = true;
+    entry->plan = CompileQuery(entry->query, store, options);
+    entry->store = &store;
+    entry->has_plan = true;
+    if (stats != nullptr) {
+      entry->snapshot = *stats;
+      entry->has_snapshot = true;
+    } else {
+      entry->has_snapshot = false;
+    }
+  } else {
+    ++stats_.plan_hits;
+  }
+  return static_cast<const CompiledQuery*>(&entry->plan);
+}
+
+PlanCache::Stats PlanCache::TakeStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  stats_ = Stats();
+  return out;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_ = Stats();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace alex::sparql

@@ -1,0 +1,92 @@
+// Caches parsed queries and compiled physical plans keyed by query text.
+//
+// The episode loop and the federated engine re-issue the same query texts
+// epoch after epoch; parsing and plan generation are deterministic, so both
+// can be done once and reused. A cached plan carries the DatasetStats
+// snapshot it was costed with: GetPlan() recompiles only when the store
+// changed identity or fresh statistics drifted past the threshold
+// (rdf::Drift), so steady link churn keeps hitting the cache while a bulk
+// load invalidates it.
+//
+// Returned pointers stay valid until Clear() or destruction (entries are
+// heap-allocated and never evicted). All methods are thread-safe; the
+// cache never changes *what* a query returns, only whether parse/compile
+// work is repeated, so cached and uncached runs are bitwise identical.
+#ifndef ALEX_SPARQL_PLAN_CACHE_H_
+#define ALEX_SPARQL_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "rdf/dataset_stats.h"
+#include "rdf/triple_store.h"
+#include "sparql/algebra.h"
+#include "sparql/compiler.h"
+
+namespace alex::sparql {
+
+class PlanCache {
+ public:
+  struct Stats {
+    size_t parse_hits = 0;
+    size_t parse_misses = 0;
+    size_t plan_hits = 0;
+    size_t plan_misses = 0;
+    size_t invalidations = 0;  // recompiles forced by store change / drift
+  };
+
+  // `drift_threshold`: a cached plan is recompiled when Drift(snapshot,
+  // fresh stats) exceeds this fraction (default 20% relative change).
+  explicit PlanCache(double drift_threshold = 0.2)
+      : drift_threshold_(drift_threshold) {}
+
+  // Returns the parsed form of `text`, parsing at most once per distinct
+  // text. Parse errors are cached too (repeating a bad query is cheap).
+  Result<const Query*> GetParsed(const std::string& text);
+
+  // Returns a compiled plan (with physical plans built) for `text` against
+  // `store`, recompiling when none exists, the store changed, or `stats`
+  // drifted past the threshold since the plan was costed. `stats` may be
+  // null (plans then cost from live CountMatches probes and never
+  // drift-invalidate).
+  Result<const CompiledQuery*> GetPlan(const std::string& text,
+                                       const rdf::TripleStore& store,
+                                       const rdf::DatasetStats* stats);
+
+  // Returns counters accumulated since the last TakeStats() and resets
+  // them.
+  Stats TakeStats();
+
+  // Drops every entry (borrowed pointers become dangling).
+  void Clear();
+
+  size_t size() const;
+  double drift_threshold() const { return drift_threshold_; }
+
+ private:
+  struct Entry {
+    Status parse_status;  // OK iff `query` is valid
+    Query query;
+    bool has_plan = false;
+    CompiledQuery plan;
+    const rdf::TripleStore* store = nullptr;
+    bool has_snapshot = false;
+    rdf::DatasetStats snapshot;
+  };
+
+  // Finds or creates (and parses) the entry for `text`; mu_ must be held.
+  Entry* GetEntryLocked(const std::string& text);
+
+  mutable std::mutex mu_;
+  const double drift_threshold_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
+  Stats stats_;
+};
+
+}  // namespace alex::sparql
+
+#endif  // ALEX_SPARQL_PLAN_CACHE_H_

@@ -396,5 +396,66 @@ TEST(QueryDrivenCacheTest, SeriesIdenticalWithAndWithoutCache) {
   EXPECT_EQ(uncached_hits, 0u);
 }
 
+// Same property for the sparql::PlanCache: parsed queries reused across
+// episodes must not change a single number in the series, at any thread
+// count, and the cached run must actually hit once query texts repeat.
+TEST(QueryDrivenCacheTest, PlanCacheSeriesIdenticalOnOrOff) {
+  datagen::GeneratedWorld world =
+      datagen::Generate(datagen::TinyTestProfile());
+  feedback::GroundTruth truth(world.ground_truth);
+  std::vector<Link> initial = linking::FilterByScore(
+      linking::RunParis(world.left, world.right), 0.95);
+
+  auto run = [&](bool use_plan_cache, ThreadPool* pool) {
+    core::AlexOptions alex_options;
+    alex_options.num_partitions = 2;
+    alex_options.num_threads = 1;
+    core::AlexEngine engine(&world.left, &world.right, alex_options);
+    EXPECT_TRUE(engine.Initialize(initial).ok());
+    eval::QueryDrivenOptions options;
+    options.workload.num_queries = 80;
+    options.episode_size = 60;
+    options.max_episodes = 6;
+    options.use_plan_cache = use_plan_cache;
+    options.pool = pool;
+    return eval::RunQueryDrivenExperiment(&engine, world, truth, options);
+  };
+
+  eval::ExperimentResult with_cache = run(true, nullptr);
+  eval::ExperimentResult without_cache = run(false, nullptr);
+  ThreadPool pool(4);
+  eval::ExperimentResult parallel = run(true, &pool);
+
+  auto check_same_series = [](const eval::ExperimentResult& a,
+                              const eval::ExperimentResult& b) {
+    ASSERT_EQ(a.series.size(), b.series.size());
+    for (size_t i = 0; i < a.series.size(); ++i) {
+      const core::EpisodeStats& sa = a.series[i].stats;
+      const core::EpisodeStats& sb = b.series[i].stats;
+      EXPECT_EQ(sa.feedback_items, sb.feedback_items) << "episode " << i;
+      EXPECT_EQ(sa.positive_feedback, sb.positive_feedback) << "episode " << i;
+      EXPECT_EQ(sa.negative_feedback, sb.negative_feedback) << "episode " << i;
+      EXPECT_EQ(sa.candidate_count, sb.candidate_count) << "episode " << i;
+      EXPECT_EQ(a.series[i].quality.precision, b.series[i].quality.precision)
+          << "episode " << i;
+      EXPECT_EQ(a.series[i].quality.recall, b.series[i].quality.recall)
+          << "episode " << i;
+    }
+  };
+  check_same_series(with_cache, without_cache);
+  check_same_series(with_cache, parallel);
+
+  size_t cached_hits = 0;
+  size_t uncached_hits = 0;
+  for (size_t i = 1; i < with_cache.series.size(); ++i) {
+    cached_hits += with_cache.series[i].stats.plan_cache_hits;
+    uncached_hits += without_cache.series[i].stats.plan_cache_hits;
+  }
+  if (with_cache.series.size() > 2) {
+    EXPECT_GT(cached_hits, 0u);  // repeated texts must reuse parses
+  }
+  EXPECT_EQ(uncached_hits, 0u);
+}
+
 }  // namespace
 }  // namespace alex::fed

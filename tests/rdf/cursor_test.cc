@@ -2,6 +2,7 @@
 // reference, over randomized stores and all eight bound-position
 // combinations.
 #include <algorithm>
+#include <array>
 #include <optional>
 #include <vector>
 
@@ -135,6 +136,104 @@ TEST(MatchCursorTest, RemainingDecrementsAsConsumed) {
   }
   EXPECT_EQ(expected, 0u);
   EXPECT_EQ(cursor.Next(), nullptr);  // stays exhausted
+}
+
+// True iff `triples` are sorted by the key sequence of `order`.
+bool SortedByIndex(const std::vector<Triple>& triples, IndexOrder order) {
+  const int* pos = IndexPositions(order);
+  auto key = [&](const Triple& t) {
+    const TermId fields[3] = {t.subject, t.predicate, t.object};
+    return std::array<TermId, 3>{fields[pos[0]], fields[pos[1]],
+                                 fields[pos[2]]};
+  };
+  for (size_t i = 1; i < triples.size(); ++i) {
+    if (key(triples[i]) < key(triples[i - 1])) return false;
+  }
+  return true;
+}
+
+TEST(ScanOrderedTest, MatchesScanMultisetAndIndexSortOrder) {
+  Rng rng(0xbead5);
+  for (int round = 0; round < 4; ++round) {
+    TripleStore store("ordered");
+    std::vector<TermId> subjects, predicates, objects;
+    for (size_t i = 0; i < 6; ++i) {
+      subjects.push_back(
+          store.InternTerm(Term::Iri("http://ex/s" + std::to_string(i))));
+      objects.push_back(
+          store.InternTerm(Term::StringLiteral("o" + std::to_string(i))));
+    }
+    for (size_t i = 0; i < 3; ++i) {
+      predicates.push_back(
+          store.InternTerm(Term::Iri("http://ex/p" + std::to_string(i))));
+    }
+    for (int i = 0; i < 80; ++i) {
+      store.Add(subjects[rng.NextBounded(subjects.size())],
+                predicates[rng.NextBounded(predicates.size())],
+                objects[rng.NextBounded(objects.size())]);
+    }
+
+    struct Probe {
+      IndexOrder order;
+      TermPattern s, p, o;
+    };
+    // Every valid prefix binding of each index: none, first, first+second.
+    std::vector<Probe> probes = {
+        {IndexOrder::kSpo, std::nullopt, std::nullopt, std::nullopt},
+        {IndexOrder::kSpo, subjects[0], std::nullopt, std::nullopt},
+        {IndexOrder::kSpo, subjects[1], predicates[0], std::nullopt},
+        {IndexOrder::kPos, std::nullopt, std::nullopt, std::nullopt},
+        {IndexOrder::kPos, std::nullopt, predicates[1], std::nullopt},
+        {IndexOrder::kPos, std::nullopt, predicates[2], objects[0]},
+        {IndexOrder::kOsp, std::nullopt, std::nullopt, std::nullopt},
+        {IndexOrder::kOsp, std::nullopt, std::nullopt, objects[1]},
+        {IndexOrder::kOsp, subjects[2], std::nullopt, objects[2]},
+    };
+    for (const Probe& probe : probes) {
+      std::vector<Triple> ordered =
+          Collect(store.ScanOrdered(probe.order, probe.s, probe.p, probe.o));
+      std::vector<Triple> plain =
+          Collect(store.Scan(probe.s, probe.p, probe.o));
+      EXPECT_EQ(Sorted(ordered), Sorted(plain));
+      EXPECT_TRUE(SortedByIndex(ordered, probe.order));
+    }
+  }
+}
+
+TEST(ScanOrderedTest, NonPrefixBindingYieldsEmptyCursor) {
+  TripleStore store("badprefix");
+  TermId s = store.InternTerm(Term::Iri("http://ex/s"));
+  TermId p = store.InternTerm(Term::Iri("http://ex/p"));
+  TermId o = store.InternTerm(Term::StringLiteral("o"));
+  store.Add(s, p, o);
+
+  // SPO requires s before p/o; POS requires p before o/s; OSP requires o.
+  EXPECT_EQ(
+      store.ScanOrdered(IndexOrder::kSpo, std::nullopt, p, std::nullopt)
+          .Next(),
+      nullptr);
+  EXPECT_EQ(
+      store.ScanOrdered(IndexOrder::kSpo, std::nullopt, std::nullopt, o)
+          .Next(),
+      nullptr);
+  EXPECT_EQ(
+      store.ScanOrdered(IndexOrder::kPos, s, std::nullopt, std::nullopt)
+          .Next(),
+      nullptr);
+  EXPECT_EQ(
+      store.ScanOrdered(IndexOrder::kPos, std::nullopt, std::nullopt, o)
+          .Next(),
+      nullptr);
+  EXPECT_EQ(
+      store.ScanOrdered(IndexOrder::kOsp, std::nullopt, p, std::nullopt)
+          .Next(),
+      nullptr);
+  // A gap in the prefix (first and third of the key bound, second not) is
+  // also rejected: SPO with s and o bound but p free.
+  EXPECT_EQ(store.ScanOrdered(IndexOrder::kSpo, s, std::nullopt, o).Next(),
+            nullptr);
+  // The same pattern through the generic Scan() still matches.
+  EXPECT_EQ(store.Scan(s, std::nullopt, o).remaining(), 1u);
 }
 
 TEST(MatchCursorTest, CursorSurvivesReadOnlyStoreUse) {

@@ -1,9 +1,11 @@
-// Differential testing of the two query engines: the compiled
-// TermId-space executor (cursors, slot bindings, stats-driven join order)
-// must agree with the legacy term-space matcher on randomized queries over
-// generated worlds. Enumeration ORDER may differ between the engines, so
-// result multisets are compared canonically sorted; LIMIT without a total
-// order is checked by size plus inclusion in the unlimited result.
+// Differential testing of the three query engines: the planned physical-
+// operator executor (default) must agree with both oracles — the greedy
+// compiled enumerator and the legacy term-space matcher — on randomized
+// queries over generated worlds. Enumeration ORDER may differ between
+// engines, so result multisets are compared canonically sorted; LIMIT
+// without a total order is checked by size plus inclusion in the unlimited
+// result. A separate test runs the same workload on 1 / 2 / 4 threads and
+// requires bitwise-identical row vectors per query.
 #include <algorithm>
 #include <string>
 #include <vector>
@@ -11,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "datagen/profiles.h"
 #include "datagen/world.h"
 #include "rdf/dataset_stats.h"
@@ -78,7 +81,8 @@ std::string TermText(const rdf::Term& term) {
 struct GeneratedQuery {
   std::string text;
   std::string unlimited_text;
-  bool has_cut = false;  // LIMIT and/or OFFSET present
+  bool has_cut = false;        // LIMIT and/or OFFSET present
+  bool is_aggregate = false;   // GROUP BY + aggregate projections
 };
 
 GeneratedQuery GenerateQuery(const Vocab& vocab, Rng* rng) {
@@ -139,10 +143,25 @@ GeneratedQuery GenerateQuery(const Vocab& vocab, Rng* rng) {
     }
   }
 
+  GeneratedQuery out;
+  if (rng->NextBounded(5) == 0) {
+    // Aggregation: GROUP BY one variable, COUNT another (COUNT is
+    // enumeration-order-invariant; MIN/MAX tie-breaking is covered by the
+    // deterministic literal test below).
+    std::string key = var();
+    std::string counted = var();
+    std::string head = "SELECT " + key + " (COUNT(" + counted + ") AS ?n)";
+    if (rng->NextBounded(2) == 0) head += " (COUNT(*) AS ?rows)";
+    out.unlimited_text =
+        head + " WHERE { " + body + " } GROUP BY " + key;
+    out.text = out.unlimited_text;
+    out.is_aggregate = true;
+    return out;
+  }
+
   std::string select = rng->NextBounded(4) == 0 ? "*" : var() + " " + var();
   std::string head = "SELECT ";
   if (rng->NextBounded(4) == 0) head += "DISTINCT ";
-  GeneratedQuery out;
   out.unlimited_text = head + select + " WHERE { " + body + " }";
   out.text = out.unlimited_text;
   if (rng->NextBounded(3) == 0) {
@@ -161,7 +180,7 @@ GeneratedQuery GenerateQuery(const Vocab& vocab, Rng* rng) {
 
 std::vector<Binding> RunEngine(const std::string& text,
                                const rdf::TripleStore& store,
-                               ExecEngine engine,
+                               ExecutorKind engine,
                                const rdf::DatasetStats* stats) {
   Result<Query> query = ParseQuery(text);
   EXPECT_TRUE(query.ok()) << text << ": " << query.status().ToString();
@@ -196,39 +215,45 @@ void CheckWorld(const datagen::WorldProfile& profile, uint64_t seed,
   for (int i = 0; i < num_queries; ++i) {
     GeneratedQuery generated = GenerateQuery(vocab, &rng);
     std::vector<Binding> legacy =
-        RunEngine(generated.text, store, ExecEngine::kLegacy, nullptr);
-    std::vector<Binding> compiled =
-        RunEngine(generated.text, store, ExecEngine::kCompiled, nullptr);
-    // Statistics only reorder the join; the result multiset is invariant.
-    std::vector<Binding> compiled_stats =
-        RunEngine(generated.text, store, ExecEngine::kCompiled, &stats);
+        RunEngine(generated.text, store, ExecutorKind::kLegacy, nullptr);
+    std::vector<Binding> greedy =
+        RunEngine(generated.text, store, ExecutorKind::kGreedy, &stats);
+    std::vector<Binding> planned =
+        RunEngine(generated.text, store, ExecutorKind::kPlanned, nullptr);
+    // Statistics only reorder joins; the result multiset is invariant.
+    std::vector<Binding> planned_stats =
+        RunEngine(generated.text, store, ExecutorKind::kPlanned, &stats);
 
-    ASSERT_EQ(compiled.size(), legacy.size()) << generated.text;
-    ASSERT_EQ(compiled_stats.size(), legacy.size()) << generated.text;
+    ASSERT_EQ(greedy.size(), legacy.size()) << generated.text;
+    ASSERT_EQ(planned.size(), legacy.size()) << generated.text;
+    ASSERT_EQ(planned_stats.size(), legacy.size()) << generated.text;
     if (generated.has_cut) {
       // A cut without a total order may legitimately keep different rows;
-      // both engines' picks must come from the same unlimited multiset.
+      // every engine's picks must come from the same unlimited multiset.
       std::vector<Binding> unlimited = RunEngine(
-          generated.unlimited_text, store, ExecEngine::kLegacy, nullptr);
-      EXPECT_TRUE(MultisetContained(compiled, unlimited)) << generated.text;
-      EXPECT_TRUE(MultisetContained(compiled_stats, unlimited))
-          << generated.text;
+          generated.unlimited_text, store, ExecutorKind::kLegacy, nullptr);
       EXPECT_TRUE(MultisetContained(legacy, unlimited)) << generated.text;
+      EXPECT_TRUE(MultisetContained(greedy, unlimited)) << generated.text;
+      EXPECT_TRUE(MultisetContained(planned, unlimited)) << generated.text;
+      EXPECT_TRUE(MultisetContained(planned_stats, unlimited))
+          << generated.text;
     } else {
       std::sort(legacy.begin(), legacy.end());
-      std::sort(compiled.begin(), compiled.end());
-      std::sort(compiled_stats.begin(), compiled_stats.end());
-      EXPECT_EQ(compiled, legacy) << generated.text;
-      EXPECT_EQ(compiled_stats, legacy) << generated.text;
+      std::sort(greedy.begin(), greedy.end());
+      std::sort(planned.begin(), planned.end());
+      std::sort(planned_stats.begin(), planned_stats.end());
+      EXPECT_EQ(greedy, legacy) << generated.text;
+      EXPECT_EQ(planned, legacy) << generated.text;
+      EXPECT_EQ(planned_stats, legacy) << generated.text;
     }
   }
 }
 
-TEST(DifferentialTest, CompiledMatchesLegacyOnTinyWorld) {
+TEST(DifferentialTest, EnginesAgreeOnTinyWorld) {
   CheckWorld(datagen::TinyTestProfile(), /*seed=*/7, /*num_queries=*/150);
 }
 
-TEST(DifferentialTest, CompiledMatchesLegacyOnNoisyWorld) {
+TEST(DifferentialTest, EnginesAgreeOnNoisyWorld) {
   datagen::WorldProfile profile = datagen::DbpediaNytimesProfile();
   profile.overlap_entities = 80;
   profile.left_only_entities = 40;
@@ -242,20 +267,101 @@ TEST(DifferentialTest, AskAgreesAcrossEngines) {
   Rng rng(23);
   for (int i = 0; i < 60; ++i) {
     GeneratedQuery generated = GenerateQuery(vocab, &rng);
-    // Reuse the generated WHERE clause as an ASK query.
+    // GROUP BY cannot follow ASK; reuse only plain WHERE clauses.
+    if (generated.is_aggregate) continue;
     size_t where = generated.unlimited_text.find("WHERE");
     ASSERT_NE(where, std::string::npos);
     std::string ask_text = "ASK " + generated.unlimited_text.substr(where);
     Result<Query> query = ParseQuery(ask_text);
     ASSERT_TRUE(query.ok()) << ask_text << ": " << query.status().ToString();
     ExecuteOptions legacy_options;
-    legacy_options.engine = ExecEngine::kLegacy;
+    legacy_options.engine = ExecutorKind::kLegacy;
     Result<bool> legacy = Ask(query.value(), world.left, legacy_options);
-    Result<bool> compiled = Ask(query.value(), world.left);
+    ExecuteOptions greedy_options;
+    greedy_options.engine = ExecutorKind::kGreedy;
+    Result<bool> greedy = Ask(query.value(), world.left, greedy_options);
+    Result<bool> planned = Ask(query.value(), world.left);
     ASSERT_TRUE(legacy.ok());
-    ASSERT_TRUE(compiled.ok());
-    EXPECT_EQ(compiled.value(), legacy.value()) << ask_text;
+    ASSERT_TRUE(greedy.ok());
+    ASSERT_TRUE(planned.ok());
+    EXPECT_EQ(greedy.value(), legacy.value()) << ask_text;
+    EXPECT_EQ(planned.value(), legacy.value()) << ask_text;
   }
+}
+
+// Every engine is deterministic and shares nothing mutable across queries,
+// so the same workload must produce bitwise-identical row vectors (values
+// AND order) no matter how many threads execute it.
+TEST(DifferentialTest, WorkloadBitwiseIdenticalAcrossThreadCounts) {
+  datagen::GeneratedWorld world = datagen::Generate(datagen::TinyTestProfile());
+  const rdf::TripleStore& store = world.left;
+  (void)store.size();  // pre-build indexes: lazy build is not thread-safe
+  Vocab vocab = CollectVocab(store);
+  rdf::DatasetStats stats = rdf::ComputeStats(store);
+
+  Rng rng(41);
+  std::vector<GeneratedQuery> queries;
+  for (int i = 0; i < 60; ++i) queries.push_back(GenerateQuery(vocab, &rng));
+
+  const std::vector<ExecutorKind> engines = {
+      ExecutorKind::kLegacy, ExecutorKind::kGreedy, ExecutorKind::kPlanned};
+  for (ExecutorKind engine : engines) {
+    std::vector<std::vector<Binding>> baseline(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      baseline[i] = RunEngine(queries[i].text, store, engine, &stats);
+    }
+    for (int threads : {1, 2, 4}) {
+      ThreadPool pool(threads);
+      std::vector<std::vector<Binding>> got(queries.size());
+      pool.ParallelFor(queries.size(), /*min_chunk=*/1,
+                       [&](size_t begin, size_t end) {
+                         for (size_t i = begin; i < end; ++i) {
+                           got[i] = RunEngine(queries[i].text, store, engine,
+                                              &stats);
+                         }
+                       });
+      for (size_t i = 0; i < queries.size(); ++i) {
+        EXPECT_EQ(got[i], baseline[i])
+            << queries[i].text << " (threads=" << threads << ")";
+      }
+    }
+  }
+}
+
+// MIN/MAX over distinct integer literals has a unique extremum per group, so
+// all three engines must decode the same winning term.
+TEST(DifferentialTest, MinMaxAggregatesAgreeOnDistinctIntegers) {
+  rdf::TripleStore store("minmax");
+  const rdf::Term score = rdf::Term::Iri("http://x/score");
+  const rdf::Term group = rdf::Term::Iri("http://x/group");
+  int value = 1;
+  for (int g = 0; g < 5; ++g) {
+    const rdf::Term subject = rdf::Term::Iri("http://x/s" + std::to_string(g));
+    const rdf::Term bucket =
+        rdf::Term::StringLiteral("g" + std::to_string(g % 2));
+    store.Add(subject, group, bucket);
+    for (int k = 0; k < 4; ++k) {
+      // Distinct values everywhere: no ties for MIN or MAX.
+      store.Add(subject, score, rdf::Term::IntegerLiteral(value++));
+    }
+  }
+
+  const std::string text =
+      "SELECT ?g (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) (SUM(?v) AS ?total) "
+      "(AVG(?v) AS ?mean) (COUNT(?v) AS ?n) WHERE { ?s <http://x/group> ?g . "
+      "?s <http://x/score> ?v } GROUP BY ?g";
+  std::vector<Binding> legacy =
+      RunEngine(text, store, ExecutorKind::kLegacy, nullptr);
+  std::vector<Binding> greedy =
+      RunEngine(text, store, ExecutorKind::kGreedy, nullptr);
+  std::vector<Binding> planned =
+      RunEngine(text, store, ExecutorKind::kPlanned, nullptr);
+  ASSERT_EQ(legacy.size(), 2u);
+  std::sort(legacy.begin(), legacy.end());
+  std::sort(greedy.begin(), greedy.end());
+  std::sort(planned.begin(), planned.end());
+  EXPECT_EQ(greedy, legacy);
+  EXPECT_EQ(planned, legacy);
 }
 
 }  // namespace

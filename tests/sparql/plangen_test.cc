@@ -1,0 +1,288 @@
+// Targeted tests for the DP plan generator, the Explain rendering, and the
+// plan cache: join-method selection on shapes designed to make one method
+// clearly cheapest, aggregated-scan elimination under DISTINCT, and the
+// cache's hit / recompile / drift-invalidation behavior. Identity between
+// the planned engine and the legacy oracle is asserted on every executed
+// query; the randomized cross-engine sweep lives in differential_test.cc.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rdf/dataset_stats.h"
+#include "rdf/triple_store.h"
+#include "sparql/executor.h"
+#include "sparql/parser.h"
+#include "sparql/plan_cache.h"
+#include "sparql/plangen.h"
+
+namespace alex::sparql {
+namespace {
+
+rdf::Term Iri(const std::string& suffix) {
+  return rdf::Term::Iri("http://ex/" + suffix);
+}
+
+// Compiles `text` with physical plans and returns the compiled form.
+CompiledQuery CompileText(const Query& query, const rdf::TripleStore& store,
+                          const rdf::DatasetStats* stats) {
+  CompileOptions options;
+  options.stats = stats;
+  options.build_physical_plans = true;
+  return CompileQuery(query, store, options);
+}
+
+bool PlanContains(const PhysicalPlan& plan, PlanOpKind kind) {
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind == kind) return true;
+  }
+  return false;
+}
+
+// Runs `text` under `engine` and returns the canonically sorted rows.
+std::vector<Binding> SortedRows(const std::string& text,
+                                const rdf::TripleStore& store,
+                                ExecutorKind engine) {
+  Result<Query> query = ParseQuery(text);
+  EXPECT_TRUE(query.ok()) << text << ": " << query.status().ToString();
+  ExecuteOptions options;
+  options.engine = engine;
+  Result<std::vector<Binding>> rows = Execute(query.value(), store, options);
+  EXPECT_TRUE(rows.ok()) << text << ": " << rows.status().ToString();
+  std::vector<Binding> out =
+      rows.ok() ? std::move(rows).value() : std::vector<Binding>{};
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExpectPlannedMatchesLegacy(const std::string& text,
+                                const rdf::TripleStore& store) {
+  EXPECT_EQ(SortedRows(text, store, ExecutorKind::kPlanned),
+            SortedRows(text, store, ExecutorKind::kLegacy))
+      << text;
+}
+
+TEST(PlanGenTest, MergeJoinChosenWhenOrdersAlign) {
+  // Both patterns are full-prefix POS ranges (predicate and object
+  // constant), so each scan comes back sorted on ?s. With symmetric sides
+  // of 60 rows the merge (cost 4N + R) beats both the lookup join
+  // (cost 5N + R) and the hash join (cost 5N + R), so the DP must pick it.
+  rdf::TripleStore store("merge");
+  for (int i = 0; i < 60; ++i) {
+    rdf::Term subject = Iri("s" + std::to_string(i));
+    store.Add(subject, Iri("p1"), rdf::Term::StringLiteral("v1"));
+    store.Add(subject, Iri("p2"), rdf::Term::StringLiteral("v2"));
+  }
+  const std::string text =
+      "SELECT ?s WHERE { ?s <http://ex/p1> \"v1\" . "
+      "?s <http://ex/p2> \"v2\" }";
+  Result<Query> query = ParseQuery(text);
+  ASSERT_TRUE(query.ok());
+  rdf::DatasetStats stats = rdf::ComputeStats(store);
+  CompiledQuery compiled = CompileText(query.value(), store, &stats);
+  ASSERT_EQ(compiled.plans.size(), 1u);
+  ASSERT_GE(compiled.plans[0].root, 0);
+  EXPECT_TRUE(PlanContains(compiled.plans[0], PlanOpKind::kMergeJoin))
+      << RenderPlan(compiled.plans[0], compiled, 0);
+  ExpectPlannedMatchesLegacy(text, store);
+}
+
+TEST(PlanGenTest, LookupJoinChosenForAnchoredPattern) {
+  // One pattern is anchored to a single subject (1 row); probing the wide
+  // pattern once is far cheaper than scanning its 200 rows for a merge or
+  // hash build.
+  rdf::TripleStore store("anchored");
+  for (int i = 0; i < 200; ++i) {
+    store.Add(Iri("s" + std::to_string(i)), Iri("name"),
+              rdf::Term::StringLiteral("n" + std::to_string(i)));
+  }
+  store.Add(Iri("root"), Iri("child"), Iri("s7"));
+  const std::string text =
+      "SELECT ?n WHERE { <http://ex/root> <http://ex/child> ?c . "
+      "?c <http://ex/name> ?n }";
+  Result<Query> query = ParseQuery(text);
+  ASSERT_TRUE(query.ok());
+  rdf::DatasetStats stats = rdf::ComputeStats(store);
+  CompiledQuery compiled = CompileText(query.value(), store, &stats);
+  ASSERT_EQ(compiled.plans.size(), 1u);
+  ASSERT_GE(compiled.plans[0].root, 0);
+  EXPECT_TRUE(PlanContains(compiled.plans[0], PlanOpKind::kIndexLookupJoin))
+      << RenderPlan(compiled.plans[0], compiled, 0);
+  ExpectPlannedMatchesLegacy(text, store);
+}
+
+TEST(PlanGenTest, AggregatedScanForDistinctProjection) {
+  // ?x occurs once and is never observed, and it sits in the trailing key
+  // position of p1's POS index (p, o, s): the pattern's 30-row range
+  // collapses to its 3 distinct ?a values under an aggregated scan. The
+  // aggregated leaf costs the same as the plain scan (the range is walked
+  // either way) but feeds 10x fewer rows into the join above, so the DP
+  // must prefer it.
+  rdf::TripleStore store("distinct");
+  for (int j = 0; j < 200; ++j) {
+    store.Add(Iri("a" + std::to_string(j)), Iri("p2"),
+              rdf::Term::StringLiteral("c"));
+  }
+  for (int i = 0; i < 30; ++i) {
+    store.Add(Iri("x" + std::to_string(i)), Iri("p1"),
+              Iri("a" + std::to_string(i % 3)));
+  }
+  const std::string text =
+      "SELECT DISTINCT ?a WHERE { ?x <http://ex/p1> ?a . "
+      "?a <http://ex/p2> \"c\" }";
+  Result<Query> query = ParseQuery(text);
+  ASSERT_TRUE(query.ok());
+  rdf::DatasetStats stats = rdf::ComputeStats(store);
+  CompiledQuery compiled = CompileText(query.value(), store, &stats);
+  ASSERT_EQ(compiled.plans.size(), 1u);
+  ASSERT_GE(compiled.plans[0].root, 0);
+  EXPECT_TRUE(
+      PlanContains(compiled.plans[0], PlanOpKind::kAggregatedIndexScan))
+      << RenderPlan(compiled.plans[0], compiled, 0);
+  std::vector<Binding> planned =
+      SortedRows(text, store, ExecutorKind::kPlanned);
+  EXPECT_EQ(planned.size(), 3u);
+  EXPECT_EQ(planned, SortedRows(text, store, ExecutorKind::kLegacy));
+}
+
+TEST(PlanGenTest, ExplainReportsEstimatesAndActuals) {
+  rdf::TripleStore store("explain");
+  for (int i = 0; i < 10; ++i) {
+    rdf::Term subject = Iri("s" + std::to_string(i));
+    store.Add(subject, Iri("type"), Iri("T"));
+    store.Add(subject, Iri("name"),
+              rdf::Term::StringLiteral("n" + std::to_string(i)));
+  }
+  Result<Query> query = ParseQuery(
+      "SELECT ?n WHERE { ?s <http://ex/type> <http://ex/T> . "
+      "?s <http://ex/name> ?n }");
+  ASSERT_TRUE(query.ok());
+  Result<std::string> text = Explain(query.value(), store);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("IndexScan"), std::string::npos) << *text;
+  EXPECT_NE(text->find("est_rows="), std::string::npos) << *text;
+  EXPECT_NE(text->find("actual_rows="), std::string::npos) << *text;
+  EXPECT_NE(text->find("rows returned: 10"), std::string::npos) << *text;
+}
+
+TEST(PlanGenTest, GroupByAggregatesMatchLegacy) {
+  // Id-space aggregation (COUNT / SUM / AVG / MIN / MAX) must reproduce
+  // the legacy term-space results exactly, including group order.
+  rdf::TripleStore store("agg");
+  for (int i = 0; i < 12; ++i) {
+    rdf::Term subject = Iri("s" + std::to_string(i));
+    store.Add(subject, Iri("bucket"), Iri("b" + std::to_string(i % 3)));
+    store.Add(subject, Iri("score"), rdf::Term::IntegerLiteral(i * 7 % 11));
+  }
+  ExpectPlannedMatchesLegacy(
+      "SELECT ?b (COUNT(?s) AS ?n) (SUM(?v) AS ?sum) (AVG(?v) AS ?avg) "
+      "(MIN(?v) AS ?lo) (MAX(?v) AS ?hi) WHERE { "
+      "?s <http://ex/bucket> ?b . ?s <http://ex/score> ?v } GROUP BY ?b",
+      store);
+}
+
+TEST(PlanCacheTest, ParseAndPlanHitsAccumulate) {
+  rdf::TripleStore store("cache");
+  store.Add(Iri("s"), Iri("p"), rdf::Term::StringLiteral("v"));
+  rdf::DatasetStats stats = rdf::ComputeStats(store);
+  PlanCache cache;
+  const std::string text = "SELECT ?s WHERE { ?s <http://ex/p> ?o }";
+
+  Result<const Query*> first = cache.GetParsed(text);
+  ASSERT_TRUE(first.ok());
+  Result<const Query*> second = cache.GetParsed(text);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value(), second.value());  // pointer-stable
+
+  Result<const CompiledQuery*> plan1 = cache.GetPlan(text, store, &stats);
+  ASSERT_TRUE(plan1.ok());
+  Result<const CompiledQuery*> plan2 = cache.GetPlan(text, store, &stats);
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_EQ(plan1.value(), plan2.value());
+  EXPECT_FALSE(plan1.value()->plans.empty());
+
+  PlanCache::Stats counters = cache.TakeStats();
+  EXPECT_EQ(counters.parse_misses, 1u);
+  // GetPlan resolves the parsed form through the same entry, so the two
+  // GetPlan calls also count as parse hits.
+  EXPECT_EQ(counters.parse_hits, 3u);
+  EXPECT_EQ(counters.plan_misses, 1u);
+  EXPECT_EQ(counters.plan_hits, 1u);
+  EXPECT_EQ(counters.invalidations, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // TakeStats resets: a further hit starts the counters from zero.
+  (void)cache.GetPlan(text, store, &stats);
+  counters = cache.TakeStats();
+  EXPECT_EQ(counters.plan_hits, 1u);
+  EXPECT_EQ(counters.plan_misses, 0u);
+}
+
+TEST(PlanCacheTest, ParseErrorsAreCached) {
+  PlanCache cache;
+  const std::string bad = "SELECT WHERE {";
+  EXPECT_FALSE(cache.GetParsed(bad).ok());
+  EXPECT_FALSE(cache.GetParsed(bad).ok());
+  PlanCache::Stats counters = cache.TakeStats();
+  EXPECT_EQ(counters.parse_misses, 1u);
+  EXPECT_EQ(counters.parse_hits, 1u);
+}
+
+TEST(PlanCacheTest, DriftPastThresholdRecompiles) {
+  rdf::TripleStore store("drift");
+  for (int i = 0; i < 10; ++i) {
+    store.Add(Iri("s" + std::to_string(i)), Iri("p"),
+              rdf::Term::StringLiteral(std::to_string(i)));
+  }
+  rdf::DatasetStats stats = rdf::ComputeStats(store);
+  PlanCache cache(/*drift_threshold=*/0.2);
+  const std::string text = "SELECT ?s WHERE { ?s <http://ex/p> ?o }";
+
+  ASSERT_TRUE(cache.GetPlan(text, store, &stats).ok());
+  (void)cache.TakeStats();
+
+  // Small drift (10% more triples): the cached plan is reused.
+  rdf::DatasetStats near = stats;
+  near.triples = stats.triples + stats.triples / 10;
+  ASSERT_TRUE(cache.GetPlan(text, store, &near).ok());
+  PlanCache::Stats counters = cache.TakeStats();
+  EXPECT_EQ(counters.plan_hits, 1u);
+  EXPECT_EQ(counters.invalidations, 0u);
+
+  // Large drift (3x the triples): recompile, counted as an invalidation.
+  rdf::DatasetStats far = stats;
+  far.triples = stats.triples * 3;
+  ASSERT_TRUE(cache.GetPlan(text, store, &far).ok());
+  counters = cache.TakeStats();
+  EXPECT_EQ(counters.plan_misses, 1u);
+  EXPECT_EQ(counters.invalidations, 1u);
+
+  // The recompiled plan was costed with `far`: presenting `far` again hits.
+  ASSERT_TRUE(cache.GetPlan(text, store, &far).ok());
+  counters = cache.TakeStats();
+  EXPECT_EQ(counters.plan_hits, 1u);
+  EXPECT_EQ(counters.invalidations, 0u);
+}
+
+TEST(PlanCacheTest, StoreChangeRecompiles) {
+  rdf::TripleStore left("left");
+  left.Add(Iri("a"), Iri("p"), rdf::Term::StringLiteral("x"));
+  rdf::TripleStore right("right");
+  right.Add(Iri("b"), Iri("p"), rdf::Term::StringLiteral("y"));
+  PlanCache cache;
+  const std::string text = "SELECT ?s WHERE { ?s <http://ex/p> ?o }";
+
+  Result<const CompiledQuery*> on_left = cache.GetPlan(text, left, nullptr);
+  ASSERT_TRUE(on_left.ok());
+  EXPECT_EQ(on_left.value()->store, &left);
+  Result<const CompiledQuery*> on_right = cache.GetPlan(text, right, nullptr);
+  ASSERT_TRUE(on_right.ok());
+  EXPECT_EQ(on_right.value()->store, &right);
+  PlanCache::Stats counters = cache.TakeStats();
+  EXPECT_EQ(counters.plan_misses, 2u);
+  EXPECT_EQ(counters.invalidations, 1u);
+}
+
+}  // namespace
+}  // namespace alex::sparql

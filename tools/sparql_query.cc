@@ -1,12 +1,14 @@
 // sparql_query — run a SPARQL query against one or more N-Triples files.
 //
 //   sparql_query "SELECT ..." --data a.nt [--data b.nt ...]
-//                [--links links.tsv]
+//                [--links links.tsv] [--explain]
 //
-// With a single data file the plain executor is used. With several, the
-// federated engine evaluates the query across all of them, bridging
-// entities through the owl:sameAs links from --links (TSV or N-Triples);
-// answers are printed with their link provenance.
+// With a single data file the plain executor is used; --explain prints the
+// planned engine's physical operator tree with per-operator cost and
+// cardinality estimates next to the rows each operator actually produced.
+// With several files, the federated engine evaluates the query across all
+// of them, bridging entities through the owl:sameAs links from --links
+// (TSV or N-Triples); answers are printed with their link provenance.
 #include <iostream>
 
 #include "cli_common.h"
@@ -34,7 +36,7 @@ int Main(int argc, char** argv) {
   CommandLine cmd = ParseArgs(argc, argv);
   if (cmd.positional.empty() || !cmd.Has("data")) {
     std::cerr << "usage: sparql_query \"<query>\" --data file.nt "
-                 "[--data more.nt ...] [--links links.tsv]\n";
+                 "[--data more.nt ...] [--links links.tsv] [--explain]\n";
     return 2;
   }
   Result<sparql::Query> query = sparql::ParseQuery(cmd.positional[0]);
@@ -51,6 +53,15 @@ int Main(int argc, char** argv) {
 
   const std::string format = cmd.GetString("format", "plain");
   if (stores.size() == 1 && !cmd.Has("links")) {
+    if (cmd.Has("explain")) {
+      Result<std::string> plan = sparql::Explain(query.value(), stores[0]);
+      if (!plan.ok()) {
+        std::cerr << plan.status().ToString() << "\n";
+        return 1;
+      }
+      std::cout << plan.value();
+      return 0;
+    }
     if (query->is_ask) {
       Result<bool> answer = sparql::Ask(query.value(), stores[0]);
       if (!answer.ok()) {
