@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/latency_histogram.h"
 #include "eval/query_workload.h"
 #include "federation/fault_injection.h"
 #include "federation/federated_engine.h"
@@ -73,6 +74,9 @@ struct SweepRow {
   uint64_t short_circuits = 0;
   uint64_t breaker_opens = 0;
   int64_t virtual_ms = 0;  // simulated endpoint time, milliseconds
+  double p50_ms = 0.0;     // per-query wall latency percentiles
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 }  // namespace
@@ -180,10 +184,13 @@ int main(int argc, char** argv) {
     SweepRow row;
     row.fault_rate = rate;
     size_t complete = 0;
+    alex::LatencyHistogram latency;
     auto start = std::chrono::steady_clock::now();
     for (const alex::eval::WorkloadQuery& query : workload) {
+      auto query_start = std::chrono::steady_clock::now();
       alex::Result<FederatedResult> result = engine.ExecuteText(query.text);
       ALEX_CHECK(result.ok());
+      latency.Record(static_cast<int64_t>(MsSince(query_start) * 1000.0));
       if (result->complete) ++complete;
       row.probes += result->probes;
       row.retries += result->retries;
@@ -195,13 +202,17 @@ int main(int argc, char** argv) {
     row.qps = row.ms > 0.0 ? 1000.0 * workload.size() / row.ms : 0.0;
     row.breaker_opens = engine.TakeFaultStats().breaker_opens;
     row.virtual_ms = engine.virtual_now_micros() / 1000;
+    row.p50_ms = latency.PercentileMicros(0.5) / 1000.0;
+    row.p90_ms = latency.PercentileMicros(0.9) / 1000.0;
+    row.p99_ms = latency.PercentileMicros(0.99) / 1000.0;
     sweep.push_back(row);
     std::cout << "  rate " << std::setprecision(2) << std::setw(4) << rate
               << ": completeness " << std::setprecision(3)
               << row.completeness << ", " << std::setprecision(0) << row.qps
               << " qps, " << row.retries << " retries, "
               << row.short_circuits << " short-circuits, "
-              << row.breaker_opens << " breaker opens\n";
+              << row.breaker_opens << " breaker opens, p99 "
+              << std::setprecision(2) << row.p99_ms << " ms\n";
   }
   // The sweep must show graceful degradation, not a cliff: the zero-rate
   // row stays fully complete while the most hostile rate still answers a
@@ -243,7 +254,9 @@ int main(int argc, char** argv) {
         << row.probes << ", \"retries\": " << row.retries
         << ", \"short_circuits\": " << row.short_circuits
         << ", \"breaker_opens\": " << row.breaker_opens
-        << ", \"virtual_ms\": " << row.virtual_ms << "}"
+        << ", \"virtual_ms\": " << row.virtual_ms
+        << ", \"p50_ms\": " << row.p50_ms << ", \"p90_ms\": " << row.p90_ms
+        << ", \"p99_ms\": " << row.p99_ms << "}"
         << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

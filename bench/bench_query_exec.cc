@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/latency_histogram.h"
 #include "common/thread_pool.h"
 #include "eval/query_workload.h"
 #include "federation/federated_engine.h"
@@ -297,17 +298,23 @@ struct TimedRun {
 };
 
 // Executes every parsed query once, sharded across `pool`; returns wall
-// time and the total row count (the per-run identity check).
+// time and the total row count (the per-run identity check). When `hist`
+// is given, each query's latency is recorded (safe across threads).
 TimedRun RunAll(const std::vector<Query>& queries, const TripleStore& store,
-                const ExecuteOptions& options, ThreadPool* pool) {
+                const ExecuteOptions& options, ThreadPool* pool,
+                alex::LatencyHistogram* hist = nullptr) {
   std::atomic<uint64_t> rows{0};
   auto start = std::chrono::steady_clock::now();
   pool->ParallelFor(queries.size(), 1, [&](size_t begin, size_t end) {
     uint64_t local = 0;
     for (size_t i = begin; i < end; ++i) {
+      auto query_start = std::chrono::steady_clock::now();
       alex::Result<std::vector<Binding>> result =
           alex::sparql::Execute(queries[i], store, options);
       ALEX_CHECK(result.ok()) << result.status().ToString();
+      if (hist != nullptr) {
+        hist->Record(static_cast<int64_t>(MsSince(query_start) * 1000.0));
+      }
       local += result.value().size();
     }
     rows.fetch_add(local, std::memory_order_relaxed);
@@ -323,6 +330,8 @@ struct Row {
   int threads = 0;
   double best_ms = 0.0;
   double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 }  // namespace
@@ -412,8 +421,9 @@ int main(int argc, char** argv) {
     row.engine = name;
     row.threads = threads;
     row.best_ms = -1.0;
+    alex::LatencyHistogram hist;  // per-query latencies across all repeats
     for (int rep = 0; rep < kRepeats; ++rep) {
-      TimedRun run = RunAll(queries, store, options, &pool);
+      TimedRun run = RunAll(queries, store, options, &pool, &hist);
       if (run.rows != expected_rows) {
         identical_rows = false;
         std::cerr << "ROW COUNT DRIFT in timed run (" << name << ", "
@@ -422,11 +432,14 @@ int main(int argc, char** argv) {
       if (row.best_ms < 0.0 || run.ms < row.best_ms) row.best_ms = run.ms;
     }
     row.qps = row.best_ms > 0.0 ? 1000.0 * queries.size() / row.best_ms : 0.0;
+    row.p50_ms = hist.PercentileMicros(0.5) / 1000.0;
+    row.p99_ms = hist.PercentileMicros(0.99) / 1000.0;
     std::cout << "  " << std::left << std::setw(16) << name << std::right
               << threads << " thread(s) " << std::fixed
               << std::setprecision(1) << std::setw(9) << row.best_ms
               << " ms  " << std::setprecision(0) << std::setw(9) << row.qps
-              << " qps\n";
+              << " qps  " << std::setprecision(2) << "p50 " << row.p50_ms
+              << " / p99 " << row.p99_ms << " ms\n";
     rows.push_back(row);
     return row.best_ms;
   };
@@ -475,6 +488,7 @@ int main(int argc, char** argv) {
     row.engine = "planned_reused";
     row.threads = 1;
     row.best_ms = -1.0;
+    alex::LatencyHistogram hist;
     for (int rep = 0; rep < kRepeats; ++rep) {
       std::atomic<uint64_t> run_rows{0};
       auto start = std::chrono::steady_clock::now();
@@ -483,9 +497,11 @@ int main(int argc, char** argv) {
         for (size_t i = begin; i < end; ++i) {
           ExecuteOptions options;
           options.plan = &plans[i];
+          auto query_start = std::chrono::steady_clock::now();
           alex::Result<std::vector<Binding>> result =
               alex::sparql::Execute(queries[i], store, options);
           ALEX_CHECK(result.ok()) << result.status().ToString();
+          hist.Record(static_cast<int64_t>(MsSince(query_start) * 1000.0));
           local += result.value().size();
         }
         run_rows.fetch_add(local, std::memory_order_relaxed);
@@ -495,11 +511,14 @@ int main(int argc, char** argv) {
       if (row.best_ms < 0.0 || ms < row.best_ms) row.best_ms = ms;
     }
     row.qps = row.best_ms > 0.0 ? 1000.0 * queries.size() / row.best_ms : 0.0;
+    row.p50_ms = hist.PercentileMicros(0.5) / 1000.0;
+    row.p99_ms = hist.PercentileMicros(0.99) / 1000.0;
     std::cout << "  " << std::left << std::setw(16) << row.engine
               << std::right << "1 thread(s) " << std::fixed
               << std::setprecision(1) << std::setw(9) << row.best_ms
               << " ms  " << std::setprecision(0) << std::setw(9) << row.qps
-              << " qps\n";
+              << " qps  " << std::setprecision(2) << "p50 " << row.p50_ms
+              << " / p99 " << row.p99_ms << " ms\n";
     rows.push_back(row);
   }
 
@@ -661,6 +680,7 @@ int main(int argc, char** argv) {
   };
   std::vector<EpisodeRow> episodes;
   bool cache_exact = true;
+  alex::LatencyHistogram cached_latency;  // per-query, all episodes
   std::cout << "== Federated cache: hit rate per episode ==\n"
             << "  " << workload.size() << " queries/episode, "
             << initial.size() << " links, toggling " << kChurnPerEpisode
@@ -672,9 +692,12 @@ int main(int argc, char** argv) {
 
     auto cached_start = std::chrono::steady_clock::now();
     for (const alex::eval::WorkloadQuery& query : workload) {
+      auto query_start = std::chrono::steady_clock::now();
       alex::Result<alex::fed::FederatedResult> answers =
           cached_engine.ExecuteText(query.text);
       ALEX_CHECK(answers.ok()) << answers.status().ToString();
+      cached_latency.Record(
+          static_cast<int64_t>(MsSince(query_start) * 1000.0));
     }
     row.cached_ms = MsSince(cached_start);
 
@@ -765,13 +788,20 @@ int main(int argc, char** argv) {
     const Row& row = rows[i];
     out << "    {\"engine\": \"" << row.engine << "\", \"threads\": "
         << row.threads << ", \"ms\": " << row.best_ms << ", \"qps\": "
-        << row.qps << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+        << row.qps << ", \"p50_ms\": " << row.p50_ms << ", \"p99_ms\": "
+        << row.p99_ms << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
       << "  \"federated_cache\": {\n"
       << "    \"queries_per_episode\": " << workload.size() << ",\n"
       << "    \"links_toggled_per_episode\": " << kChurnPerEpisode << ",\n"
       << "    \"cache_exact\": " << (cache_exact ? "true" : "false") << ",\n"
+      << "    \"p50_ms\": " << cached_latency.PercentileMicros(0.5) / 1000.0
+      << ",\n"
+      << "    \"p90_ms\": " << cached_latency.PercentileMicros(0.9) / 1000.0
+      << ",\n"
+      << "    \"p99_ms\": " << cached_latency.PercentileMicros(0.99) / 1000.0
+      << ",\n"
       << "    \"episodes\": [\n";
   for (size_t i = 0; i < episodes.size(); ++i) {
     const EpisodeRow& row = episodes[i];

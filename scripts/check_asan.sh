@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds the test suites most exposed to the in-place index maintenance
 # paths (tombstone/pending-buffer churn, bucket compaction, rollback
-# resurrection, the parallel episode loop) under AddressSanitizer and runs
-# them. Uses its own build directory so the regular build stays untouched.
+# resurrection, the parallel episode loop, and epoch-snapshot reclamation
+# in the serving tier) under AddressSanitizer and runs them. Uses its own
+# build directory so the regular build stays untouched.
 # Override with BUILD_DIR=... .
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,8 +11,10 @@ cd "$(dirname "$0")/.."
 build_dir=${BUILD_DIR:-build-asan}
 cmake -B "$build_dir" -S . -DALEX_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build_dir" -j "$(nproc)" --target core_tests system_tests
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target core_tests system_tests serving_tests
 
 "$build_dir"/tests/core_tests
 "$build_dir"/tests/system_tests
+"$build_dir"/tests/serving_tests
 echo "asan: clean"

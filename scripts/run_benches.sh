@@ -11,7 +11,7 @@ build_dir=${BUILD_DIR:-build-bench}
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_episode_loop bench_space_build bench_query_exec \
-  bench_incremental_space bench_federation_faults
+  bench_incremental_space bench_federation_faults bench_serving
 
 declare -A gate_key=(
   [bench_episode_loop]=identical_series
@@ -19,6 +19,7 @@ declare -A gate_key=(
   [bench_query_exec]=identical_rows
   [bench_incremental_space]=identical_fingerprints
   [bench_federation_faults]=identical_answers
+  [bench_serving]=identity
 )
 declare -A runs_key=(
   [bench_episode_loop]=runs
@@ -26,10 +27,11 @@ declare -A runs_key=(
   [bench_query_exec]=runs
   [bench_incremental_space]=runs
   [bench_federation_faults]=runs
+  [bench_serving]=runs
 )
 
 for bench in bench_episode_loop bench_space_build bench_query_exec \
-    bench_incremental_space bench_federation_faults; do
+    bench_incremental_space bench_federation_faults bench_serving; do
   out="BENCH_${bench#bench_}.json"
   echo "== $bench -> $out =="
   "$build_dir/bench/$bench" --out "$out"
@@ -55,6 +57,17 @@ if doc["bench"] == "query_exec":
     speedup = doc["speedup_planned_vs_greedy_multijoin"]
     if speedup < 1.3:
         sys.exit(f"{path}: planned vs greedy multijoin speedup {speedup} < 1.3")
+if doc["bench"] == "serving":
+    for key in ("p99_ms", "answers_per_sec", "epochs_published",
+                "indirection_overhead_pct", "overhead_under_5pct"):
+        if key not in doc:
+            sys.exit(f"{path}: missing key '{key}'")
+    if doc["overhead_under_5pct"] is not True:
+        sys.exit(f"{path}: snapshot indirection overhead "
+                 f"{doc['indirection_overhead_pct']}% >= 5%")
+    for run in doc["runs"]:
+        if run["identity"] is not True:
+            sys.exit(f"{path}: identity failed at {run['streams']} streams")
 print(f"{path}: ok ({gate}=true, {len(doc[runs])} runs)")
 EOF
 done

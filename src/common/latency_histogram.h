@@ -1,0 +1,126 @@
+// Fixed-bucket log2 latency histogram for serving-path percentiles.
+//
+// Latencies span several orders of magnitude under load, so the benches
+// report percentiles, not means: a mean hides the p99 tail that decides
+// whether "millions of users" see a responsive system. The histogram uses
+// one bucket per power of two of microseconds (64 buckets cover the whole
+// int64 range), which keeps Record() to two atomic adds — cheap enough for
+// every query on the serving hot path — while percentile error stays within
+// the bucket width (a factor of two, plus linear interpolation inside the
+// bucket).
+//
+// All counters are relaxed atomics: concurrent Record() calls from many
+// query streams never synchronize with each other, and MergeFrom() folds
+// per-thread histograms into one. Reading percentiles while writers are
+// active yields a consistent-enough approximation; the benches read after
+// the streams drain.
+#ifndef ALEX_COMMON_LATENCY_HISTOGRAM_H_
+#define ALEX_COMMON_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace alex {
+
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  LatencyHistogram() = default;
+  // Atomics are not copyable; histograms are merged, not assigned.
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  // Records one sample. Bucket i holds samples in [2^(i-1), 2^i) micros
+  // (bucket 0 holds <= 0 and 0-microsecond samples).
+  void Record(int64_t micros) {
+    const uint64_t value = micros > 0 ? static_cast<uint64_t>(micros) : 0;
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  // Folds `other` into this histogram (per-thread histograms -> totals).
+  void MergeFrom(const LatencyHistogram& other) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+      if (n > 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    uint64_t theirs = other.max_.load(std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (theirs > seen &&
+           !max_.compare_exchange_weak(seen, theirs,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_micros() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  uint64_t max_micros() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  double MeanMicros() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum_micros()) / n;
+  }
+
+  // Latency at quantile `q` in [0, 1] (0.5 = p50, 0.99 = p99), linearly
+  // interpolated inside the winning bucket and clamped to the observed
+  // maximum. Returns 0 when empty.
+  double PercentileMicros(double q) const {
+    const uint64_t total = count();
+    if (total == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the target sample, 1-based; q = 1 maps to the last sample.
+    const double rank = q * static_cast<double>(total);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      const uint64_t in_bucket =
+          buckets_[i].load(std::memory_order_relaxed);
+      if (in_bucket == 0) continue;
+      if (static_cast<double>(cumulative + in_bucket) >= rank) {
+        const double lower =
+            i == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (i - 1));
+        const double width = i == 0 ? 1.0 : lower;  // bucket spans [L, 2L)
+        const double into =
+            (rank - static_cast<double>(cumulative)) / in_bucket;
+        double estimate = lower + width * into;
+        const double observed_max = static_cast<double>(max_micros());
+        return estimate < observed_max ? estimate : observed_max;
+      }
+      cumulative += in_bucket;
+    }
+    return static_cast<double>(max_micros());
+  }
+
+ private:
+  static size_t BucketFor(uint64_t micros) {
+    // bit_width(v) = floor(log2(v)) + 1; 0 lands in bucket 0.
+    return static_cast<size_t>(std::bit_width(micros)) < kBuckets
+               ? static_cast<size_t>(std::bit_width(micros))
+               : kBuckets - 1;
+  }
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace alex
+
+#endif  // ALEX_COMMON_LATENCY_HISTOGRAM_H_

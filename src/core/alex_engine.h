@@ -144,6 +144,13 @@ struct EpisodeStats {
   // degraded evidence.
   size_t incomplete_queries = 0;
   size_t skipped_feedback = 0;
+  // Serving-tier accounting (serving::RunServingExperiment only; all zero
+  // otherwise). Cumulative as of this episode's boundary: epochs published
+  // so far, snapshots whose last in-flight reader drained, and the
+  // high-water mark of concurrent reader executions.
+  size_t epochs_published = 0;
+  size_t snapshots_retired = 0;
+  size_t max_concurrent_readers = 0;
 
   double NegativeFeedbackPercent() const {
     return feedback_items == 0

@@ -68,12 +68,22 @@ void PrintSummary(std::ostream& os, const ExperimentResult& result) {
        << "endpoint retries:        " << retries << "\n"
        << "breaker opens:           " << opens << "\n";
   }
+  // Serving block, printed only when the run went through the serving tier
+  // (the final episode then carries cumulative epoch counters).
+  if (!result.series.empty() &&
+      result.series.back().stats.epochs_published > 0) {
+    const core::EpisodeStats& last = result.series.back().stats;
+    os << "epochs published:        " << last.epochs_published << "\n"
+       << "snapshots retired:       " << last.snapshots_retired << "\n"
+       << "max concurrent readers:  " << last.max_concurrent_readers << "\n";
+  }
 }
 
 void WriteSeriesCsv(std::ostream& os, const ExperimentResult& result) {
   os << "episode,precision,recall,f_measure,neg_feedback_pct,candidates,"
         "seconds,incomplete_queries,skipped_feedback,query_retries,"
-        "breaker_opens\n";
+        "breaker_opens,epochs_published,snapshots_retired,"
+        "max_concurrent_readers\n";
   for (const EpisodePoint& point : result.series) {
     os << point.episode << ',' << point.quality.precision << ','
        << point.quality.recall << ',' << point.quality.f_measure << ','
@@ -81,7 +91,10 @@ void WriteSeriesCsv(std::ostream& os, const ExperimentResult& result) {
        << point.quality.candidates << ',' << point.stats.seconds << ','
        << point.stats.incomplete_queries << ','
        << point.stats.skipped_feedback << ',' << point.stats.query_retries
-       << ',' << point.stats.breaker_opens << "\n";
+       << ',' << point.stats.breaker_opens << ','
+       << point.stats.epochs_published << ','
+       << point.stats.snapshots_retired << ','
+       << point.stats.max_concurrent_readers << "\n";
   }
 }
 

@@ -162,7 +162,7 @@ class FederatedEvaluator {
   FederatedEvaluator(const Query& query,
                      const std::vector<TriplePattern>& patterns,
                      const std::vector<const TripleStore*>& sources,
-                     const LinkSet& links, const FederatedOptions& options,
+                     const LinkView& links, const FederatedOptions& options,
                      ProbeDriver* driver,
                      std::unordered_set<std::string>* consulted = nullptr,
                      std::optional<size_t> top_source = std::nullopt)
@@ -362,7 +362,7 @@ class FederatedEvaluator {
   const Query& query_;
   const std::vector<TriplePattern>& patterns_;
   const std::vector<const TripleStore*>& sources_;
-  const LinkSet& links_;
+  const LinkView& links_;
   const FederatedOptions& options_;
   ProbeDriver* driver_;
   std::unordered_set<std::string>* consulted_ = nullptr;
@@ -377,7 +377,7 @@ class FederatedEvaluator {
 }  // namespace
 
 FederatedEngine::FederatedEngine(std::vector<const rdf::TripleStore*> sources,
-                                 const LinkSet* links)
+                                 const LinkView* links)
     : links_(links) {
   owned_endpoints_.reserve(sources.size());
   endpoints_.reserve(sources.size());
@@ -392,7 +392,7 @@ FederatedEngine::FederatedEngine(std::vector<const rdf::TripleStore*> sources,
 }
 
 FederatedEngine::FederatedEngine(std::span<Endpoint* const> endpoints,
-                                 const LinkSet* links)
+                                 const LinkView* links)
     : endpoints_(endpoints.begin(), endpoints.end()), links_(links) {
   sources_.reserve(endpoints_.size());
   for (const Endpoint* endpoint : endpoints_) {
@@ -431,8 +431,7 @@ Result<FederatedResult> FederatedEngine::ExecuteText(
     return static_cast<const Query*>(&local->value());
   };
   if (cache_ != nullptr) {
-    if (const std::vector<FederatedAnswer>* hit =
-            cache_->Lookup(fingerprint)) {
+    if (auto hit = cache_->Lookup(fingerprint)) {
       FederatedResult result;
       result.answers = *hit;
       result.from_cache = true;

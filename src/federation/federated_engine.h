@@ -113,6 +113,13 @@ struct FederatedResult {
   int64_t virtual_micros = 0;
 };
 
+// Thread-safety: on the reliable path (all endpoints reliable) Execute and
+// ExecuteText are const and touch no engine state beyond the attached
+// caches, which are themselves thread-safe — concurrent executions from many
+// query streams are supported, which is what the serving tier relies on.
+// The resilient path mutates breaker state and the virtual clock; resilient
+// queries must be issued sequentially (that is what makes breaker
+// transitions deterministic).
 class FederatedEngine {
  public:
   // Retry and breaker configuration for unreliable endpoints.
@@ -131,17 +138,20 @@ class FederatedEngine {
   };
 
   // Wraps each store in a LocalEndpoint: the seed engine, bit-for-bit.
-  // `sources` and `links` must outlive the engine. The link set may be
-  // mutated between Execute() calls (that is the whole point of ALEX).
+  // `sources` and `links` must outlive the engine. The link collection is
+  // any LinkView: a mutable LinkSet (mutated between Execute() calls — that
+  // is the whole point of ALEX) or an immutable epoch snapshot view from
+  // the serving tier (serving::EpochSnapshot holds one engine per published
+  // epoch; these are the snapshot-handle constructors).
   FederatedEngine(std::vector<const rdf::TripleStore*> sources,
-                  const LinkSet* links);
+                  const LinkView* links);
 
   // Federates over caller-owned endpoints (which must outlive the engine;
   // the pointer list itself is copied). When any endpoint is unreliable the
   // engine runs its resilient path: per-source retry with backoff, circuit
   // breaking, and completeness tracking, all in virtual time.
   FederatedEngine(std::span<Endpoint* const> endpoints,
-                  const LinkSet* links);
+                  const LinkView* links);
 
   // Parses and runs a federated SELECT query.
   Result<FederatedResult> ExecuteText(
@@ -203,7 +213,7 @@ class FederatedEngine {
   std::vector<std::unique_ptr<Endpoint>> owned_endpoints_;
   std::vector<Endpoint*> endpoints_;
   std::vector<const rdf::TripleStore*> sources_;  // endpoints_[i]->store()
-  const LinkSet* links_;
+  const LinkView* links_;
   FederatedQueryCache* cache_ = nullptr;
   sparql::PlanCache* plan_cache_ = nullptr;
   bool resilient_ = false;

@@ -15,7 +15,24 @@
 
 namespace alex::fed {
 
-class LinkSet {
+// Read interface over a link collection: everything federated evaluation
+// needs to bridge entities. LinkSet is the canonical mutable implementation;
+// the serving tier layers copy-on-write epoch deltas over an immutable base
+// (serving::DeltaLinkView) behind the same interface. Implementations must
+// return RightsOf/LeftsOf in ascending lexicographic order so query results
+// are independent of the physical representation (overlay vs. materialized).
+class LinkView {
+ public:
+  virtual ~LinkView() = default;
+
+  virtual bool Contains(const std::string& left,
+                        const std::string& right) const = 0;
+  // Counterparts of a left-side / right-side entity, sorted ascending.
+  virtual std::vector<std::string> RightsOf(const std::string& left) const = 0;
+  virtual std::vector<std::string> LeftsOf(const std::string& right) const = 0;
+};
+
+class LinkSet : public LinkView {
  public:
   LinkSet() = default;
 
@@ -26,11 +43,14 @@ class LinkSet {
   // Removes the link with this IRI pair; returns true if it existed.
   bool Remove(const std::string& left, const std::string& right);
 
-  bool Contains(const std::string& left, const std::string& right) const;
+  bool Contains(const std::string& left,
+                const std::string& right) const override;
 
   // Counterparts of a left-side / right-side entity.
-  std::vector<std::string> RightsOf(const std::string& left) const;
-  std::vector<std::string> LeftsOf(const std::string& right) const;
+  std::vector<std::string> RightsOf(
+      const std::string& left) const override;
+  std::vector<std::string> LeftsOf(
+      const std::string& right) const override;
 
   size_t size() const { return links_.size(); }
   bool empty() const { return links_.empty(); }

@@ -1,5 +1,7 @@
 #include "federation/query_cache.h"
 
+#include <mutex>
+
 namespace alex::fed {
 
 uint64_t QueryFingerprint(const std::string& query_text, size_t max_rows) {
@@ -19,23 +21,48 @@ uint64_t QueryFingerprint(const std::string& query_text, size_t max_rows) {
   return hash;
 }
 
-const std::vector<FederatedAnswer>* FederatedQueryCache::Lookup(
+FederatedQueryCache::FederatedQueryCache(
+    const FederatedQueryCache& parent,
+    std::span<const linking::Link> invalidated) {
+  {
+    std::shared_lock parent_lock(parent.mu_);
+    entries_ = parent.entries_;
+    by_iri_ = parent.by_iri_;
+  }
+  // No lock needed below: nobody else can see *this during construction.
+  for (const linking::Link& link : invalidated) {
+    for (const std::string* iri : {&link.left, &link.right}) {
+      auto it = by_iri_.find(*iri);
+      if (it == by_iri_.end()) continue;
+      std::vector<uint64_t> fingerprints(it->second.begin(), it->second.end());
+      for (uint64_t fingerprint : fingerprints) {
+        EraseLocked(fingerprint);
+        invalidated_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+std::shared_ptr<const std::vector<FederatedAnswer>> FederatedQueryCache::Lookup(
     uint64_t fingerprint) {
+  std::shared_lock lock(mu_);
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) {
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++stats_.hits;
-  return &it->second.answers;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.answers;
 }
 
 void FederatedQueryCache::Insert(
     uint64_t fingerprint, std::vector<FederatedAnswer> answers,
     const std::unordered_set<std::string>& consulted_iris) {
-  Erase(fingerprint);  // replace any stale entry for this fingerprint
+  std::unique_lock lock(mu_);
+  EraseLocked(fingerprint);  // replace any stale entry for this fingerprint
   Entry& entry = entries_[fingerprint];
-  entry.answers = std::move(answers);
+  entry.answers = std::make_shared<const std::vector<FederatedAnswer>>(
+      std::move(answers));
   entry.consulted.assign(consulted_iris.begin(), consulted_iris.end());
   for (const std::string& iri : entry.consulted) {
     by_iri_[iri].insert(fingerprint);
@@ -43,30 +70,47 @@ void FederatedQueryCache::Insert(
 }
 
 void FederatedQueryCache::InvalidateLink(const linking::Link& link) {
+  std::unique_lock lock(mu_);
   for (const std::string* iri : {&link.left, &link.right}) {
     auto it = by_iri_.find(*iri);
     if (it == by_iri_.end()) continue;
-    // Erase mutates by_iri_; copy the fingerprint set first.
+    // EraseLocked mutates by_iri_; copy the fingerprint set first.
     std::vector<uint64_t> fingerprints(it->second.begin(), it->second.end());
     for (uint64_t fingerprint : fingerprints) {
-      Erase(fingerprint);
-      ++stats_.invalidated;
+      EraseLocked(fingerprint);
+      invalidated_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
 
 void FederatedQueryCache::Clear() {
+  std::unique_lock lock(mu_);
   entries_.clear();
   by_iri_.clear();
 }
 
-FederatedQueryCache::Stats FederatedQueryCache::TakeStats() {
-  Stats out = stats_;
-  stats_ = Stats();
+size_t FederatedQueryCache::size() const {
+  std::shared_lock lock(mu_);
+  return entries_.size();
+}
+
+FederatedQueryCache::Stats FederatedQueryCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.invalidated = invalidated_.load(std::memory_order_relaxed);
   return out;
 }
 
-void FederatedQueryCache::Erase(uint64_t fingerprint) {
+FederatedQueryCache::Stats FederatedQueryCache::TakeStats() {
+  Stats out;
+  out.hits = hits_.exchange(0, std::memory_order_relaxed);
+  out.misses = misses_.exchange(0, std::memory_order_relaxed);
+  out.invalidated = invalidated_.exchange(0, std::memory_order_relaxed);
+  return out;
+}
+
+void FederatedQueryCache::EraseLocked(uint64_t fingerprint) {
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) return;
   for (const std::string& iri : it->second.consulted) {

@@ -1,8 +1,8 @@
 // Federated query result cache with exact link-epoch invalidation.
 //
 // ALEX re-runs the same federated workload every episode, but between
-// episodes only a small fraction of the candidate link set changes
-// (CandidateSet tracks exactly which links, via its epoch deltas). A
+// episodes only a small fraction of the candidate link set changes (a
+// CandidateSet tracks exactly which links, via its epoch deltas). A
 // federated answer can only depend on the link set through the IRIs whose
 // sameAs neighborhoods the evaluator consulted while producing it — every
 // bound IRI it tried to bridge, whether or not a counterpart existed. So a
@@ -20,10 +20,25 @@
 // the entries whose consulted set touches either endpoint. Invalidation can
 // only be spuriously broad (dropping a still-valid entry costs a re-run),
 // never stale. Sources must be immutable while the cache is live.
+//
+// Thread-safety: the cache is shared by every query stream of a serving
+// epoch, so the hot path takes a SHARED lock (concurrent lookups never
+// serialize on each other) with hit/miss counters as relaxed atomics;
+// Insert/InvalidateLink take the exclusive lock. Answer payloads are
+// shared_ptr-held so a Lookup result stays valid even if the entry is
+// invalidated while the caller is still reading it.
+//
+// The snapshot-handle constructor clones a parent epoch's cache minus the
+// entries a staged link delta invalidates: publishing an epoch carries all
+// still-exact results forward instead of starting every epoch cold.
 #ifndef ALEX_FEDERATION_QUERY_CACHE_H_
 #define ALEX_FEDERATION_QUERY_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -47,8 +62,24 @@ class FederatedQueryCache {
     size_t invalidated = 0;  // entries dropped by link changes
   };
 
+  FederatedQueryCache() = default;
+
+  // Snapshot-handle constructor: clones `parent` (under its shared lock)
+  // and then drops every entry whose consulted set touches a link in
+  // `invalidated` — exactly the epoch-delta invalidation the query-driven
+  // loop performs link by link, applied wholesale at publish time. Counters
+  // start at zero except `invalidated`, which counts the entries dropped.
+  FederatedQueryCache(const FederatedQueryCache& parent,
+                      std::span<const linking::Link> invalidated);
+
+  FederatedQueryCache(const FederatedQueryCache&) = delete;
+  FederatedQueryCache& operator=(const FederatedQueryCache&) = delete;
+
   // Cached answers for `fingerprint`, or nullptr. Counts a hit or a miss.
-  const std::vector<FederatedAnswer>* Lookup(uint64_t fingerprint);
+  // The returned pointer keeps the answer vector alive independently of the
+  // entry's lifetime in the cache.
+  std::shared_ptr<const std::vector<FederatedAnswer>> Lookup(
+      uint64_t fingerprint);
 
   // Stores the result of a (cache-miss) execution together with the IRIs
   // whose link neighborhoods the evaluator consulted. Replaces any previous
@@ -64,24 +95,31 @@ class FederatedQueryCache {
   // Drops every entry (e.g. when the sources themselves change).
   void Clear();
 
-  size_t size() const { return entries_.size(); }
-  const Stats& stats() const { return stats_; }
-  // Resets hit/miss/invalidation counters (entries are kept); used for
-  // per-episode accounting.
+  size_t size() const;
+  // Snapshot of the hit/miss/invalidation counters.
+  Stats stats() const;
+  // Returns the counters accumulated since the last TakeStats() and resets
+  // them (entries are kept); used for per-episode accounting.
   Stats TakeStats();
 
  private:
   struct Entry {
-    std::vector<FederatedAnswer> answers;
+    std::shared_ptr<const std::vector<FederatedAnswer>> answers;
     std::vector<std::string> consulted;  // for inverted-index cleanup
   };
 
-  void Erase(uint64_t fingerprint);
+  // mu_ must be held exclusively.
+  void EraseLocked(uint64_t fingerprint);
 
+  mutable std::shared_mutex mu_;
   std::unordered_map<uint64_t, Entry> entries_;
   // IRI -> fingerprints of entries that consulted it.
   std::unordered_map<std::string, std::unordered_set<uint64_t>> by_iri_;
-  Stats stats_;
+  // Counters live outside the map state so the shared-lock hot path can
+  // bump them without upgrading to the exclusive lock.
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
+  std::atomic<size_t> invalidated_{0};
 };
 
 }  // namespace alex::fed

@@ -1,0 +1,128 @@
+#include "serving/serving_engine.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace alex::serving {
+
+ServingEngine::ServingEngine(ServingOptions options,
+                             std::span<const linking::Link> initial_links)
+    : options_(std::move(options)),
+      retired_(std::make_shared<std::atomic<uint64_t>>(0)) {
+  source_stats_.reserve(options_.sources.size());
+  for (const rdf::TripleStore* source : options_.sources) {
+    source_stats_.push_back(rdf::ComputeStats(*source));
+  }
+  if (options_.use_plan_cache) {
+    plan_cache_ =
+        std::make_shared<sparql::PlanCache>(options_.plan_drift_threshold);
+    plan_cache_stats_ = source_stats_;
+  }
+  for (const linking::Link& link : initial_links) StageLink(link, true);
+  Publish();
+}
+
+void ServingEngine::StageLink(const linking::Link& link, bool added) {
+  staged_.Stage(link, added);
+}
+
+std::shared_ptr<const EpochSnapshot> ServingEngine::Freeze() {
+  EpochSnapshot::Components parts;
+  parts.epoch = next_epoch_++;
+  parts.sources = options_.sources;
+  parts.stats = source_stats_;
+  parts.retired_counter = retired_;
+
+  // Order matters: take the per-epoch delta before Publish clears it.
+  std::vector<linking::Link> delta = staged_.TakeEpochDelta();
+  parts.links = staged_.Publish(options_.merge_fraction);
+
+  if (options_.use_query_cache) {
+    std::shared_ptr<const EpochSnapshot> parent = current_.Load();
+    if (parent != nullptr && parent->cache() != nullptr) {
+      // Carry the parent epoch's still-exact results forward: clone minus
+      // the entries the staged delta invalidates.
+      parts.cache =
+          std::make_shared<fed::FederatedQueryCache>(*parent->cache(), delta);
+    } else {
+      parts.cache = std::make_shared<fed::FederatedQueryCache>();
+    }
+  }
+  if (options_.use_plan_cache) {
+    if (replace_plan_cache_) {
+      plan_cache_ =
+          std::make_shared<sparql::PlanCache>(options_.plan_drift_threshold);
+      plan_cache_stats_ = source_stats_;
+      replace_plan_cache_ = false;
+    }
+    parts.plan_cache = plan_cache_;
+  }
+  return std::make_shared<const EpochSnapshot>(std::move(parts));
+}
+
+std::shared_ptr<const EpochSnapshot> ServingEngine::Publish() {
+  std::shared_ptr<const EpochSnapshot> snapshot = Freeze();
+  // The RCU swap: readers that already pinned the old epoch keep it alive
+  // through their own reference; new pins see the new epoch. The old
+  // snapshot retires when its last reference (pin or caller-retained)
+  // drops.
+  current_.Store(snapshot);
+  epochs_published_.fetch_add(1, std::memory_order_relaxed);
+  link_merges_.store(staged_.merges(), std::memory_order_relaxed);
+  return snapshot;
+}
+
+bool ServingEngine::NoteFreshStats(std::span<const rdf::DatasetStats> fresh) {
+  source_stats_.assign(fresh.begin(), fresh.end());
+  if (!options_.use_plan_cache || replace_plan_cache_) {
+    return replace_plan_cache_;
+  }
+  for (size_t i = 0; i < fresh.size() && i < plan_cache_stats_.size(); ++i) {
+    if (rdf::Drift(plan_cache_stats_[i], fresh[i]) >
+        options_.plan_drift_threshold) {
+      replace_plan_cache_ = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::shared_ptr<const EpochSnapshot> ServingEngine::Pin() const {
+  return current_.Load();
+}
+
+Result<fed::FederatedResult> ServingEngine::ExecuteText(
+    const std::string& query_text, const fed::FederatedOptions& options,
+    std::shared_ptr<const EpochSnapshot>* pinned_out) {
+  const uint64_t readers =
+      active_readers_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  uint64_t seen_max = max_readers_.load(std::memory_order_relaxed);
+  while (readers > seen_max && !max_readers_.compare_exchange_weak(
+                                   seen_max, readers,
+                                   std::memory_order_relaxed)) {
+  }
+  Stopwatch timer;
+  std::shared_ptr<const EpochSnapshot> pinned = Pin();
+  Result<fed::FederatedResult> result =
+      pinned->ExecuteText(query_text, options);
+  latency_.Record(static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  active_readers_.fetch_sub(1, std::memory_order_acq_rel);
+  if (pinned_out != nullptr) *pinned_out = std::move(pinned);
+  return result;
+}
+
+ServingEngine::Stats ServingEngine::stats() const {
+  Stats out;
+  out.epochs_published = epochs_published_.load(std::memory_order_relaxed);
+  out.snapshots_retired = retired_->load(std::memory_order_relaxed);
+  out.max_concurrent_readers = max_readers_.load(std::memory_order_relaxed);
+  out.queries_served = queries_served_.load(std::memory_order_relaxed);
+  out.link_merges = link_merges_.load(std::memory_order_relaxed);
+  std::shared_ptr<const EpochSnapshot> pinned = Pin();
+  out.current_epoch = pinned == nullptr ? 0 : pinned->epoch();
+  return out;
+}
+
+}  // namespace alex::serving

@@ -1,0 +1,195 @@
+// Snapshot-isolated concurrent serving over a live-learning link set.
+//
+// The serving tier separates the two halves of a deployed ALEX instance:
+//
+//   * The LEARNER (single publisher thread) runs feedback episodes and
+//     stages the resulting link changes into a copy-on-write delta
+//     (StagedLinkSet). Nothing a reader can see changes while it stages.
+//   * READERS (any number of query streams) execute federated queries
+//     against the current EpochSnapshot, pinned per query by one
+//     spin-guarded shared_ptr copy (see EpochPivot) — no blocking locks
+//     on the read hot path.
+//
+// Publish() freezes the staged delta into a new immutable EpochSnapshot —
+// links view, result cache carried forward from the parent epoch minus the
+// delta-invalidated entries, plan cache shared across epochs while dataset
+// statistics drift stays under the threshold — and swaps it in with an
+// RCU-style atomic store. Queries that pinned the old epoch keep running
+// against it unperturbed; the old snapshot is reclaimed when its last
+// reader drains (shared_ptr refcount = per-epoch reader count, so
+// reclamation is exact: never while a reader is in flight, immediately
+// after the last one leaves).
+//
+// Determinism: a query's answers depend only on the pinned snapshot, and a
+// snapshot never changes after publication, so every answer set is
+// bitwise-identical to a sequential replay against the same epoch — at any
+// thread count, regardless of how executions interleave with publishes.
+// The learner side is untouched by readers (they share no mutable state
+// beyond thread-safe caches whose hits return byte-identical results), so
+// the episode series is the same with serving on or off.
+#ifndef ALEX_SERVING_SERVING_ENGINE_H_
+#define ALEX_SERVING_SERVING_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "common/status.h"
+#include "federation/federated_engine.h"
+#include "rdf/dataset_stats.h"
+#include "rdf/triple_store.h"
+#include "serving/epoch_snapshot.h"
+#include "serving/staged_link_set.h"
+#include "sparql/plan_cache.h"
+
+namespace alex::serving {
+
+struct ServingOptions {
+  // Immutable stores to federate over; must outlive the engine and every
+  // snapshot it publishes.
+  std::vector<const rdf::TripleStore*> sources;
+  // Carry federated results across queries and epochs (exact epoch-delta
+  // invalidation at publish time).
+  bool use_query_cache = true;
+  // Share one parse/plan cache across epochs.
+  bool use_plan_cache = true;
+  // StagedLinkSet compaction threshold (delta/base fraction).
+  double merge_fraction = 0.25;
+  // NoteFreshStats replaces the shared plan cache when any source's
+  // statistics drifted past this fraction since the cache was built.
+  double plan_drift_threshold = 0.2;
+};
+
+// The epoch pivot: a shared_ptr readers copy and the publisher swaps,
+// guarded by a one-word spinlock with acquire/release ordering. This is
+// the same discipline libstdc++'s std::atomic<std::shared_ptr> uses
+// internally (its lock bit on the refcount word — that implementation is
+// not lock-free either), except the ordering here is TSan-visible: GCC
+// 12's _Sp_atomic::load releases its lock bit with memory_order_relaxed,
+// which ThreadSanitizer reports as a race against the publisher's swap.
+// The critical section is a pointer copy plus one refcount increment — a
+// handful of instructions, never blocking on I/O or allocation.
+class EpochPivot {
+ public:
+  std::shared_ptr<const EpochSnapshot> Load() const {
+    Lock();
+    std::shared_ptr<const EpochSnapshot> copy = ptr_;
+    Unlock();
+    return copy;
+  }
+
+  void Store(std::shared_ptr<const EpochSnapshot> next) {
+    Lock();
+    ptr_.swap(next);
+    Unlock();
+    // `next` (the previous epoch) releases here, outside the critical
+    // section — retirement destructors never run under the pivot lock.
+  }
+
+ private:
+  void Lock() const {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+    }
+  }
+  void Unlock() const { locked_.store(false, std::memory_order_release); }
+
+  mutable std::atomic<bool> locked_{false};
+  std::shared_ptr<const EpochSnapshot> ptr_;
+};
+
+// Thread-safety: StageLink/Publish/NoteFreshStats from ONE publisher thread;
+// Pin/ExecuteText/stats from any thread concurrently with them.
+class ServingEngine {
+ public:
+  // Publishes epoch 0 containing `initial_links`.
+  ServingEngine(ServingOptions options,
+                std::span<const linking::Link> initial_links);
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  // -- Learner (publisher) side --------------------------------------------
+
+  // Stages a candidate-link membership change for the NEXT epoch. Readers
+  // keep seeing the current epoch until Publish.
+  void StageLink(const linking::Link& link, bool added);
+
+  // Freezes the staged delta into a new EpochSnapshot and makes it current.
+  // Returns the published snapshot (the caller may retain it, e.g. for
+  // replay verification; retaining defers its retirement).
+  std::shared_ptr<const EpochSnapshot> Publish();
+
+  // Presents fresh per-source statistics (same order as sources). When any
+  // source drifted past plan_drift_threshold relative to the statistics the
+  // shared plan cache was built under, the NEXT publish starts a fresh plan
+  // cache — epochs already published keep the one they hold. Returns true
+  // when the cache was marked for replacement.
+  bool NoteFreshStats(std::span<const rdf::DatasetStats> fresh);
+
+  // -- Reader side ---------------------------------------------------------
+
+  // Pins the current epoch: one spin-guarded shared_ptr copy. The snapshot
+  // stays valid (and immutable) for as long as the returned pointer is
+  // held, no matter how many epochs are published meanwhile.
+  std::shared_ptr<const EpochSnapshot> Pin() const;
+
+  // Pins the current epoch and executes against it, recording serving
+  // latency and concurrent-reader accounting. When `pinned` is non-null it
+  // receives the snapshot the query actually ran against (for replay
+  // verification — the caller cannot learn it from a separate Pin(), which
+  // could race a publish).
+  Result<fed::FederatedResult> ExecuteText(
+      const std::string& query_text, const fed::FederatedOptions& options = {},
+      std::shared_ptr<const EpochSnapshot>* pinned = nullptr);
+
+  struct Stats {
+    uint64_t epochs_published = 0;
+    // Snapshots whose last reference drained (destroyed). The current
+    // snapshot and any caller-retained ones are alive, so this lags
+    // epochs_published by at least one.
+    uint64_t snapshots_retired = 0;
+    // High-water mark of simultaneous ExecuteText calls.
+    uint64_t max_concurrent_readers = 0;
+    uint64_t queries_served = 0;
+    // StagedLinkSet compactions (base rematerializations) so far.
+    uint64_t link_merges = 0;
+    uint64_t current_epoch = 0;
+  };
+  Stats stats() const;
+
+  // Serving-side query latency (ExecuteText only), mergeable and readable
+  // while streams are live.
+  const LatencyHistogram& latency() const { return latency_; }
+
+ private:
+  std::shared_ptr<const EpochSnapshot> Freeze();
+
+  ServingOptions options_;
+  std::vector<rdf::DatasetStats> source_stats_;  // stats at construction
+  StagedLinkSet staged_;
+  std::shared_ptr<sparql::PlanCache> plan_cache_;    // shared across epochs
+  std::vector<rdf::DatasetStats> plan_cache_stats_;  // stats it was built on
+  bool replace_plan_cache_ = false;
+  uint64_t next_epoch_ = 0;
+  // The RCU pivot: readers load, the publisher stores. Retired snapshots
+  // report on retired_ (shared so a snapshot outliving the engine still has
+  // somewhere to report).
+  EpochPivot current_;
+  std::shared_ptr<std::atomic<uint64_t>> retired_;
+  std::atomic<uint64_t> epochs_published_{0};
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> active_readers_{0};
+  std::atomic<uint64_t> max_readers_{0};
+  // Mirror of staged_.merges(), updated at publish time so stats() can read
+  // it from any thread (staged_ itself is publisher-only).
+  std::atomic<uint64_t> link_merges_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace alex::serving
+
+#endif  // ALEX_SERVING_SERVING_ENGINE_H_

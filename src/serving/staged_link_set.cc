@@ -1,0 +1,157 @@
+#include "serving/staged_link_set.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace alex::serving {
+namespace {
+
+// Inserts `value` into the sorted vector `*list` (kept unique).
+void SortedInsert(std::vector<std::string>* list, const std::string& value) {
+  auto it = std::lower_bound(list->begin(), list->end(), value);
+  if (it != list->end() && *it == value) return;
+  list->insert(it, value);
+}
+
+}  // namespace
+
+DeltaLinkView::DeltaLinkView(std::shared_ptr<const fed::LinkSet> base,
+                             const std::vector<linking::Link>& added,
+                             const std::vector<linking::Link>& removed)
+    : base_(std::move(base)),
+      added_count_(added.size()),
+      removed_count_(removed.size()) {
+  for (const linking::Link& link : added) {
+    SortedInsert(&added_by_left_[link.left], link.right);
+    SortedInsert(&added_by_right_[link.right], link.left);
+  }
+  for (const linking::Link& link : removed) {
+    SortedInsert(&removed_by_left_[link.left], link.right);
+    SortedInsert(&removed_by_right_[link.right], link.left);
+  }
+}
+
+bool DeltaLinkView::Contains(const std::string& left,
+                             const std::string& right) const {
+  auto tomb = removed_by_left_.find(left);
+  if (tomb != removed_by_left_.end() &&
+      std::binary_search(tomb->second.begin(), tomb->second.end(), right)) {
+    return false;
+  }
+  auto add = added_by_left_.find(left);
+  if (add != added_by_left_.end() &&
+      std::binary_search(add->second.begin(), add->second.end(), right)) {
+    return true;
+  }
+  return base_->Contains(left, right);
+}
+
+namespace {
+
+// base minus removed plus added, all inputs sorted, output sorted — the
+// exact list a materialized LinkSet would return.
+std::vector<std::string> OverlayNeighbors(
+    std::vector<std::string> base, const std::vector<std::string>* removed,
+    const std::vector<std::string>* added) {
+  if (removed != nullptr) {
+    std::vector<std::string> kept;
+    kept.reserve(base.size());
+    std::set_difference(base.begin(), base.end(), removed->begin(),
+                        removed->end(), std::back_inserter(kept));
+    base = std::move(kept);
+  }
+  if (added != nullptr) {
+    std::vector<std::string> merged;
+    merged.reserve(base.size() + added->size());
+    std::set_union(base.begin(), base.end(), added->begin(), added->end(),
+                   std::back_inserter(merged));
+    base = std::move(merged);
+  }
+  return base;
+}
+
+const std::vector<std::string>* FindOrNull(
+    const std::unordered_map<std::string, std::vector<std::string>>& index,
+    const std::string& key) {
+  auto it = index.find(key);
+  return it == index.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+std::vector<std::string> DeltaLinkView::RightsOf(
+    const std::string& left) const {
+  return OverlayNeighbors(base_->RightsOf(left),
+                          FindOrNull(removed_by_left_, left),
+                          FindOrNull(added_by_left_, left));
+}
+
+std::vector<std::string> DeltaLinkView::LeftsOf(
+    const std::string& right) const {
+  return OverlayNeighbors(base_->LeftsOf(right),
+                          FindOrNull(removed_by_right_, right),
+                          FindOrNull(added_by_right_, right));
+}
+
+StagedLinkSet::StagedLinkSet()
+    : base_(std::make_shared<const fed::LinkSet>()) {}
+
+void StagedLinkSet::Stage(const linking::Link& link, bool added) {
+  epoch_delta_.insert(link);
+  if (added) {
+    if (base_->Contains(link.left, link.right)) {
+      removed_.erase(link);  // un-remove
+    } else {
+      // Re-staging the same pair refreshes the score (Link equality ignores
+      // it), mirroring LinkSet::Add.
+      auto [it, inserted] = added_.insert(link);
+      if (!inserted && link.score > it->score) {
+        added_.erase(it);
+        added_.insert(link);
+      }
+    }
+  } else {
+    if (base_->Contains(link.left, link.right)) {
+      removed_.insert(link);
+    } else {
+      added_.erase(link);
+    }
+  }
+}
+
+std::shared_ptr<const fed::LinkView> StagedLinkSet::Publish(
+    double merge_fraction) {
+  epoch_delta_.clear();
+  const size_t delta = added_.size() + removed_.size();
+  const size_t threshold = static_cast<size_t>(
+      merge_fraction * static_cast<double>(std::max<size_t>(1, base_->size())));
+  if (delta > threshold) {
+    // Compaction: rematerialize the base so overlay depth stays at one.
+    auto merged = std::make_shared<fed::LinkSet>();
+    for (const linking::Link& link : base_->All()) {
+      if (removed_.find(link) == removed_.end()) merged->Add(link);
+    }
+    for (const linking::Link& link : added_) merged->Add(link);
+    base_ = std::move(merged);
+    added_.clear();
+    removed_.clear();
+    ++merges_;
+    return base_;
+  }
+  std::vector<linking::Link> added(added_.begin(), added_.end());
+  std::vector<linking::Link> removed(removed_.begin(), removed_.end());
+  return std::make_shared<const DeltaLinkView>(base_, added, removed);
+}
+
+std::vector<linking::Link> StagedLinkSet::TakeEpochDelta() {
+  std::vector<linking::Link> out(epoch_delta_.begin(), epoch_delta_.end());
+  epoch_delta_.clear();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t StagedLinkSet::size() const {
+  return base_->size() - removed_.size() + added_.size();
+}
+
+}  // namespace alex::serving

@@ -1,0 +1,110 @@
+// Copy-on-write staging of link-set changes between serving epochs.
+//
+// The learner mutates candidate links at every episode boundary, but
+// in-flight queries must keep seeing the epoch they started on. A
+// StagedLinkSet separates the two: the learner stages adds/removes into a
+// delta while readers execute against immutable published views; Publish()
+// freezes the accumulated delta into a new immutable LinkView without
+// copying the (much larger) base link set.
+//
+// Publication is O(delta): the frozen DeltaLinkView overlays sorted
+// add/tombstone indexes on a shared immutable base LinkSet. Implementations
+// of LinkView must return sorted neighbor lists, and the overlay merges
+// sorted streams, so a DeltaLinkView answers every LinkView call with
+// byte-identical results to a LinkSet materialized from the same links —
+// queries cannot observe which representation served them (asserted by
+// tests/serving). When the accumulated delta outgrows
+// `merge_fraction` of the base, Publish materializes a fresh base instead
+// (the RDF-3X differential-index compaction step), so overlay depth stays
+// at one and read amplification is bounded.
+//
+// Thread-safety: staging and Publish happen on one publisher thread;
+// published views are immutable and safe to read from any thread.
+#ifndef ALEX_SERVING_STAGED_LINK_SET_H_
+#define ALEX_SERVING_STAGED_LINK_SET_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "federation/link_set.h"
+#include "linking/link.h"
+
+namespace alex::serving {
+
+// Immutable overlay of (adds, tombstones) on a shared base LinkSet.
+class DeltaLinkView : public fed::LinkView {
+ public:
+  DeltaLinkView(std::shared_ptr<const fed::LinkSet> base,
+                const std::vector<linking::Link>& added,
+                const std::vector<linking::Link>& removed);
+
+  bool Contains(const std::string& left,
+                const std::string& right) const override;
+  std::vector<std::string> RightsOf(const std::string& left) const override;
+  std::vector<std::string> LeftsOf(const std::string& right) const override;
+
+  size_t added_count() const { return added_count_; }
+  size_t removed_count() const { return removed_count_; }
+
+ private:
+  using NeighborIndex =
+      std::unordered_map<std::string, std::vector<std::string>>;
+
+  std::shared_ptr<const fed::LinkSet> base_;
+  // Sorted neighbor lists of the staged adds / tombstoned removes, indexed
+  // from both sides (mirrors LinkSet's by_left_/by_right_).
+  NeighborIndex added_by_left_;
+  NeighborIndex added_by_right_;
+  NeighborIndex removed_by_left_;
+  NeighborIndex removed_by_right_;
+  size_t added_count_ = 0;
+  size_t removed_count_ = 0;
+};
+
+class StagedLinkSet {
+ public:
+  // Starts empty; stage the initial links and Publish for the epoch-0 view.
+  StagedLinkSet();
+
+  // Stages a membership change relative to the last published view. Staging
+  // add-then-remove of the same pair cancels out.
+  void Stage(const linking::Link& link, bool added);
+
+  // Freezes the state into an immutable view. When the accumulated delta
+  // (relative to the current base) exceeds `merge_fraction` of the base
+  // size, the base is rematerialized first — publication then costs
+  // O(base + delta) once instead of per-read overlay merging forever.
+  // Returns the new view; previously returned views stay valid and
+  // unchanged (readers pin them).
+  std::shared_ptr<const fed::LinkView> Publish(double merge_fraction = 0.25);
+
+  // The links staged since the previous Publish (each IRI pair at most
+  // once), in ascending (left, right) order. Cleared by Publish; call
+  // before it to drive exact per-epoch cache invalidation.
+  std::vector<linking::Link> TakeEpochDelta();
+
+  // Current logical size (base minus tombstones plus adds).
+  size_t size() const;
+  size_t pending_adds() const { return added_.size(); }
+  size_t pending_removes() const { return removed_.size(); }
+  // Times Publish chose to rematerialize the base (compaction events).
+  size_t merges() const { return merges_; }
+
+ private:
+  // Base published content; shared with every live DeltaLinkView.
+  std::shared_ptr<const fed::LinkSet> base_;
+  // Accumulated delta relative to base_: links present that base lacks, and
+  // links absent that base has. Disjoint by construction.
+  std::unordered_set<linking::Link, linking::LinkHash> added_;
+  std::unordered_set<linking::Link, linking::LinkHash> removed_;
+  // Links staged since the last Publish (for per-epoch cache invalidation).
+  std::unordered_set<linking::Link, linking::LinkHash> epoch_delta_;
+  size_t merges_ = 0;
+};
+
+}  // namespace alex::serving
+
+#endif  // ALEX_SERVING_STAGED_LINK_SET_H_

@@ -1,5 +1,6 @@
 #include "sparql/plan_cache.h"
 
+#include <mutex>
 #include <utility>
 
 #include "sparql/parser.h"
@@ -9,10 +10,10 @@ namespace alex::sparql {
 PlanCache::Entry* PlanCache::GetEntryLocked(const std::string& text) {
   auto it = entries_.find(text);
   if (it != entries_.end()) {
-    ++stats_.parse_hits;
+    parse_hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second.get();
   }
-  ++stats_.parse_misses;
+  parse_misses_.fetch_add(1, std::memory_order_relaxed);
   auto entry = std::make_unique<Entry>();
   Result<Query> parsed = ParseQuery(text);
   if (parsed.ok()) {
@@ -27,67 +28,118 @@ PlanCache::Entry* PlanCache::GetEntryLocked(const std::string& text) {
 }
 
 Result<const Query*> PlanCache::GetParsed(const std::string& text) {
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    // Fast path: the text was parsed before. Entries are heap-allocated,
+    // never evicted, and the parsed Query is never mutated after creation,
+    // so the pointer stays valid after the shared lock is dropped.
+    std::shared_lock lock(mu_);
+    auto it = entries_.find(text);
+    if (it != entries_.end()) {
+      parse_hits_.fetch_add(1, std::memory_order_relaxed);
+      Entry* entry = it->second.get();
+      if (!entry->parse_status.ok()) return entry->parse_status;
+      return static_cast<const Query*>(&entry->query);
+    }
+  }
+  std::unique_lock lock(mu_);
   Entry* entry = GetEntryLocked(text);
   if (!entry->parse_status.ok()) return entry->parse_status;
   return static_cast<const Query*>(&entry->query);
 }
 
+bool PlanCache::PlanIsFresh(const Entry& entry, const rdf::TripleStore& store,
+                            const rdf::DatasetStats* stats) const {
+  if (!entry.has_plan || entry.store != &store) return false;
+  if (stats != nullptr && entry.has_snapshot &&
+      rdf::Drift(entry.snapshot, *stats) > drift_threshold_) {
+    return false;
+  }
+  return true;
+}
+
 Result<const CompiledQuery*> PlanCache::GetPlan(
     const std::string& text, const rdf::TripleStore& store,
     const rdf::DatasetStats* stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    // Fast path: a still-fresh plan exists; serve it under the shared lock.
+    std::shared_lock lock(mu_);
+    auto it = entries_.find(text);
+    if (it != entries_.end()) {
+      Entry* entry = it->second.get();
+      if (!entry->parse_status.ok()) {
+        parse_hits_.fetch_add(1, std::memory_order_relaxed);
+        return entry->parse_status;
+      }
+      if (PlanIsFresh(*entry, store, stats)) {
+        parse_hits_.fetch_add(1, std::memory_order_relaxed);
+        plan_hits_.fetch_add(1, std::memory_order_relaxed);
+        return static_cast<const CompiledQuery*>(&entry->plan);
+      }
+    }
+  }
+
+  std::unique_lock lock(mu_);
   Entry* entry = GetEntryLocked(text);
   if (!entry->parse_status.ok()) return entry->parse_status;
 
-  bool rebuild = !entry->has_plan;
-  bool invalidated = false;
-  if (!rebuild && entry->store != &store) {
-    rebuild = true;
-    invalidated = true;
-  }
-  if (!rebuild && stats != nullptr && entry->has_snapshot &&
-      rdf::Drift(entry->snapshot, *stats) > drift_threshold_) {
-    rebuild = true;
-    invalidated = true;
+  // Re-check under the exclusive lock: another thread may have rebuilt the
+  // plan between the two lock acquisitions.
+  if (PlanIsFresh(*entry, store, stats)) {
+    plan_hits_.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<const CompiledQuery*>(&entry->plan);
   }
 
-  if (rebuild) {
-    ++stats_.plan_misses;
-    if (invalidated) ++stats_.invalidations;
-    CompileOptions options;
-    options.stats = stats;
-    options.build_physical_plans = true;
-    entry->plan = CompileQuery(entry->query, store, options);
-    entry->store = &store;
-    entry->has_plan = true;
-    if (stats != nullptr) {
-      entry->snapshot = *stats;
-      entry->has_snapshot = true;
-    } else {
-      entry->has_snapshot = false;
-    }
+  plan_misses_.fetch_add(1, std::memory_order_relaxed);
+  // An entry that had a plan but failed the freshness check was invalidated
+  // (store identity change or stats drift); a first compile was not.
+  if (entry->has_plan) invalidations_.fetch_add(1, std::memory_order_relaxed);
+  CompileOptions options;
+  options.stats = stats;
+  options.build_physical_plans = true;
+  entry->plan = CompileQuery(entry->query, store, options);
+  entry->store = &store;
+  entry->has_plan = true;
+  if (stats != nullptr) {
+    entry->snapshot = *stats;
+    entry->has_snapshot = true;
   } else {
-    ++stats_.plan_hits;
+    entry->has_snapshot = false;
   }
   return static_cast<const CompiledQuery*>(&entry->plan);
 }
 
 PlanCache::Stats PlanCache::TakeStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  Stats out = stats_;
-  stats_ = Stats();
+  Stats out;
+  out.parse_hits = parse_hits_.exchange(0, std::memory_order_relaxed);
+  out.parse_misses = parse_misses_.exchange(0, std::memory_order_relaxed);
+  out.plan_hits = plan_hits_.exchange(0, std::memory_order_relaxed);
+  out.plan_misses = plan_misses_.exchange(0, std::memory_order_relaxed);
+  out.invalidations = invalidations_.exchange(0, std::memory_order_relaxed);
+  return out;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats out;
+  out.parse_hits = parse_hits_.load(std::memory_order_relaxed);
+  out.parse_misses = parse_misses_.load(std::memory_order_relaxed);
+  out.plan_hits = plan_hits_.load(std::memory_order_relaxed);
+  out.plan_misses = plan_misses_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
   return out;
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   entries_.clear();
-  stats_ = Stats();
+  parse_hits_.store(0, std::memory_order_relaxed);
+  parse_misses_.store(0, std::memory_order_relaxed);
+  plan_hits_.store(0, std::memory_order_relaxed);
+  plan_misses_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock lock(mu_);
   return entries_.size();
 }
 

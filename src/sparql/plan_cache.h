@@ -9,15 +9,25 @@
 // load invalidates it.
 //
 // Returned pointers stay valid until Clear() or destruction (entries are
-// heap-allocated and never evicted). All methods are thread-safe; the
-// cache never changes *what* a query returns, only whether parse/compile
-// work is repeated, so cached and uncached runs are bitwise identical.
+// heap-allocated and never evicted). All methods are thread-safe, and the
+// steady-state path — the entry exists and is still valid — takes only a
+// SHARED lock, so the many query streams of a serving epoch never serialize
+// on each other just to reuse a parse. Only a miss or a drift-forced
+// recompile takes the exclusive lock. Because entries are never evicted and
+// a parsed Query is never mutated after creation, a pointer handed out
+// under the shared lock stays stable. (A *plan* pointer can be recompiled
+// in place by a later drift-invalidating GetPlan; callers that share a
+// PlanCache across threads must keep store + stats fixed while readers are
+// in flight — exactly what a serving epoch guarantees.) The cache never
+// changes *what* a query returns, only whether parse/compile work is
+// repeated, so cached and uncached runs are bitwise identical.
 #ifndef ALEX_SPARQL_PLAN_CACHE_H_
 #define ALEX_SPARQL_PLAN_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -60,6 +70,8 @@ class PlanCache {
   // Returns counters accumulated since the last TakeStats() and resets
   // them.
   Stats TakeStats();
+  // Snapshot of the counters without resetting.
+  Stats stats() const;
 
   // Drops every entry (borrowed pointers become dangling).
   void Clear();
@@ -78,13 +90,23 @@ class PlanCache {
     rdf::DatasetStats snapshot;
   };
 
-  // Finds or creates (and parses) the entry for `text`; mu_ must be held.
+  // Finds or creates (and parses) the entry for `text`; mu_ must be held
+  // exclusively.
   Entry* GetEntryLocked(const std::string& text);
+  // True when the entry's plan can be served as-is for (store, stats).
+  bool PlanIsFresh(const Entry& entry, const rdf::TripleStore& store,
+                   const rdf::DatasetStats* stats) const;
 
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   const double drift_threshold_;
   std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
-  Stats stats_;
+  // Counters are atomics so the shared-lock fast path can bump them without
+  // upgrading to the exclusive lock.
+  std::atomic<size_t> parse_hits_{0};
+  std::atomic<size_t> parse_misses_{0};
+  std::atomic<size_t> plan_hits_{0};
+  std::atomic<size_t> plan_misses_{0};
+  std::atomic<size_t> invalidations_{0};
 };
 
 }  // namespace alex::sparql

@@ -1,0 +1,99 @@
+#include "common/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace alex {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_micros(), 0u);
+  EXPECT_DOUBLE_EQ(h.PercentileMicros(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.MeanMicros(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSample) {
+  LatencyHistogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_micros(), 1000u);
+  EXPECT_EQ(h.sum_micros(), 1000u);
+  // The only sample is both p0+ and p100; estimates clamp to the max.
+  EXPECT_LE(h.PercentileMicros(0.99), 1000.0);
+  EXPECT_GT(h.PercentileMicros(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesBracketTrueValues) {
+  LatencyHistogram h;
+  // 1..1000 micros uniformly: p50 ~ 500, p99 ~ 990.
+  for (int64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const double p50 = h.PercentileMicros(0.5);
+  const double p99 = h.PercentileMicros(0.99);
+  // log2 buckets guarantee at worst a factor-of-two bracket.
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_GE(p99, 495.0);
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_EQ(h.max_micros(), 1000u);
+  EXPECT_NEAR(h.MeanMicros(), 500.5, 0.01);
+}
+
+TEST(LatencyHistogramTest, PercentileIsMonotoneInQ) {
+  LatencyHistogram h;
+  for (int64_t v : {3, 17, 90, 1024, 5000, 70000}) h.Record(v);
+  double previous = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double value = h.PercentileMicros(q);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+  EXPECT_LE(previous, static_cast<double>(h.max_micros()));
+}
+
+TEST(LatencyHistogramTest, NonPositiveSamplesLandInBucketZero) {
+  LatencyHistogram h;
+  h.Record(0);
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum_micros(), 0u);
+  EXPECT_EQ(h.max_micros(), 0u);
+  EXPECT_DOUBLE_EQ(h.PercentileMicros(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, MergePreservesTotals) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int64_t v = 1; v <= 100; ++v) a.Record(v);
+  for (int64_t v = 1000; v <= 1100; ++v) b.Record(v);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 201u);
+  EXPECT_EQ(a.max_micros(), 1100u);
+  // The merged p99 must come from b's range.
+  EXPECT_GE(a.PercentileMicros(0.99), 500.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsCountEverySample) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record((t + 1) * 100 + i % 7);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_GE(h.max_micros(), 400u);
+}
+
+}  // namespace
+}  // namespace alex

@@ -44,7 +44,8 @@ TEST(ReportCsvTest, HeaderAndRows) {
   EXPECT_EQ(csv.find("episode,precision,recall,f_measure,"
                      "neg_feedback_pct,candidates,seconds,"
                      "incomplete_queries,skipped_feedback,query_retries,"
-                     "breaker_opens"),
+                     "breaker_opens,epochs_published,snapshots_retired,"
+                     "max_concurrent_readers"),
             0u);
   // One header + two data rows.
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
@@ -86,6 +87,23 @@ TEST(ReportTest, SummaryNeverConverged) {
   PrintSummary(os, result);
   EXPECT_NE(os.str().find("never"), std::string::npos);
   EXPECT_NE(os.str().find("max episodes reached"), std::string::npos);
+}
+
+TEST(ReportTest, SummaryShowsServingBlockOnlyWhenServed) {
+  ExperimentResult plain = SampleResult();
+  std::ostringstream without;
+  PrintSummary(without, plain);
+  EXPECT_EQ(without.str().find("epochs published"), std::string::npos);
+
+  ExperimentResult served = SampleResult();
+  served.series.back().stats.epochs_published = 7;
+  served.series.back().stats.snapshots_retired = 5;
+  served.series.back().stats.max_concurrent_readers = 4;
+  std::ostringstream with;
+  PrintSummary(with, served);
+  EXPECT_NE(with.str().find("epochs published:        7"), std::string::npos);
+  EXPECT_NE(with.str().find("snapshots retired:       5"), std::string::npos);
+  EXPECT_NE(with.str().find("max concurrent readers:  4"), std::string::npos);
 }
 
 TEST(ReportTest, SeriesMarksRelaxedConvergence) {

@@ -53,7 +53,7 @@ TEST(FederatedQueryCacheTest, LookupInsertRoundTrip) {
   const uint64_t fp = QueryFingerprint("q", 10);
   EXPECT_EQ(cache.Lookup(fp), nullptr);
   cache.Insert(fp, {MakeAnswer("x", "v")}, {"http://ex/a"});
-  const std::vector<FederatedAnswer>* hit = cache.Lookup(fp);
+  const auto hit = cache.Lookup(fp);
   ASSERT_NE(hit, nullptr);
   ASSERT_EQ(hit->size(), 1u);
   EXPECT_EQ(hit->at(0).binding.at("x").lexical(), "v");
@@ -117,6 +117,37 @@ TEST(FederatedQueryCacheTest, TakeStatsResetsCountersKeepsEntries) {
   EXPECT_EQ(cache.stats().hits, 0u);
   EXPECT_EQ(cache.stats().misses, 0u);
   EXPECT_EQ(cache.size(), 1u);  // entries survive the counter reset
+}
+
+TEST(FederatedQueryCacheTest, SnapshotHandleClonesMinusDelta) {
+  FederatedQueryCache parent;
+  const uint64_t fp_a = QueryFingerprint("about-a", 10);
+  const uint64_t fp_b = QueryFingerprint("about-b", 10);
+  parent.Insert(fp_a, {MakeAnswer("x", "a")}, {"http://ex/a"});
+  parent.Insert(fp_b, {MakeAnswer("x", "b")}, {"http://ex/b"});
+
+  const std::vector<Link> delta = {Link{"http://ex/a", "http://other/z", 1.0}};
+  FederatedQueryCache child(parent, delta);
+  // The parent keeps everything; the child carries forward exactly the
+  // entries the staged delta leaves replay-exact.
+  EXPECT_EQ(parent.size(), 2u);
+  EXPECT_EQ(child.size(), 1u);
+  EXPECT_EQ(child.Lookup(fp_a), nullptr);
+  EXPECT_NE(child.Lookup(fp_b), nullptr);
+  EXPECT_EQ(child.stats().invalidated, 1u);
+}
+
+TEST(FederatedQueryCacheTest, LookupResultSurvivesInvalidation) {
+  FederatedQueryCache cache;
+  const uint64_t fp = QueryFingerprint("q", 10);
+  cache.Insert(fp, {MakeAnswer("x", "v")}, {"http://ex/a"});
+  const auto hit = cache.Lookup(fp);
+  ASSERT_NE(hit, nullptr);
+  // A concurrent invalidation must not pull the answers out from under a
+  // reader that already holds them.
+  cache.InvalidateLink(Link{"http://ex/a", "http://other/z", 1.0});
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(hit->at(0).binding.at("x").lexical(), "v");
 }
 
 // End-to-end: a cached ExecuteText returns the exact rows of the uncached

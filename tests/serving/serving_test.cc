@@ -1,0 +1,322 @@
+#include "serving/serving_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/profiles.h"
+#include "eval/query_workload.h"
+#include "linking/paris.h"
+#include "rdf/dataset_stats.h"
+#include "rdf/triple_store.h"
+#include "serving/serving_loop.h"
+
+namespace alex::serving {
+namespace {
+
+using linking::Link;
+using rdf::Term;
+
+// Two tiny stores bridged by owl:sameAs links — the paper's §1 example
+// shape. The serving engine is built over them with LeBron's link as the
+// epoch-0 content.
+class ServingEngineTest : public ::testing::Test {
+ protected:
+  ServingEngineTest() : dbpedia_("dbpedia"), nytimes_("nytimes") {
+    dbpedia_.Add(Term::Iri("http://dbpedia.org/LeBron_James"),
+                 Term::Iri("http://dbpedia.org/award"),
+                 Term::StringLiteral("NBA MVP 2013"));
+    dbpedia_.Add(Term::Iri("http://dbpedia.org/Kevin_Durant"),
+                 Term::Iri("http://dbpedia.org/award"),
+                 Term::StringLiteral("NBA MVP 2014"));
+    nytimes_.Add(Term::Iri("http://nyt.com/article/1"),
+                 Term::Iri("http://nyt.com/about"),
+                 Term::Iri("http://nyt.com/person/lebron"));
+    nytimes_.Add(Term::Iri("http://nyt.com/article/3"),
+                 Term::Iri("http://nyt.com/about"),
+                 Term::Iri("http://nyt.com/person/durant"));
+    // Warm the lazy store indexes before any concurrent access.
+    (void)dbpedia_.size();
+    (void)nytimes_.size();
+  }
+
+  ServingOptions Options() {
+    ServingOptions options;
+    options.sources = {&dbpedia_, &nytimes_};
+    return options;
+  }
+
+  static Link LebronLink() {
+    return Link{"http://dbpedia.org/LeBron_James",
+                "http://nyt.com/person/lebron", 0.99};
+  }
+  static Link DurantLink() {
+    return Link{"http://dbpedia.org/Kevin_Durant",
+                "http://nyt.com/person/durant", 1.0};
+  }
+  static std::string AwardQuery(const std::string& award) {
+    return "SELECT ?article WHERE { "
+           "?player <http://dbpedia.org/award> \"" +
+           award +
+           "\" . "
+           "?article <http://nyt.com/about> ?player }";
+  }
+
+  rdf::TripleStore dbpedia_;
+  rdf::TripleStore nytimes_;
+};
+
+TEST_F(ServingEngineTest, PinnedEpochSurvivesPublish) {
+  ServingEngine serving(Options(), std::vector<Link>{LebronLink()});
+  std::shared_ptr<const EpochSnapshot> epoch0 = serving.Pin();
+  ASSERT_NE(epoch0, nullptr);
+  EXPECT_EQ(epoch0->epoch(), 0u);
+
+  auto before = epoch0->ExecuteText(AwardQuery("NBA MVP 2013"));
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->answers.size(), 1u);
+
+  // The learner retracts LeBron's link and adds Durant's, then publishes.
+  serving.StageLink(LebronLink(), false);
+  serving.StageLink(DurantLink(), true);
+  std::shared_ptr<const EpochSnapshot> epoch1 = serving.Publish();
+  EXPECT_EQ(epoch1->epoch(), 1u);
+  EXPECT_EQ(serving.Pin()->epoch(), 1u);
+
+  // A query that pinned epoch 0 before the publish still sees epoch 0's
+  // links — bitwise the same answers as before.
+  auto pinned_after = epoch0->ExecuteText(AwardQuery("NBA MVP 2013"));
+  ASSERT_TRUE(pinned_after.ok());
+  ASSERT_EQ(pinned_after->answers.size(), 1u);
+  EXPECT_EQ(HashAnswers(pinned_after->answers), HashAnswers(before->answers));
+  auto pinned_durant = epoch0->ExecuteText(AwardQuery("NBA MVP 2014"));
+  ASSERT_TRUE(pinned_durant.ok());
+  EXPECT_TRUE(pinned_durant->answers.empty());
+
+  // The new epoch sees the new membership.
+  auto fresh_lebron = epoch1->ExecuteText(AwardQuery("NBA MVP 2013"));
+  ASSERT_TRUE(fresh_lebron.ok());
+  EXPECT_TRUE(fresh_lebron->answers.empty());
+  auto fresh_durant = epoch1->ExecuteText(AwardQuery("NBA MVP 2014"));
+  ASSERT_TRUE(fresh_durant.ok());
+  EXPECT_EQ(fresh_durant->answers.size(), 1u);
+}
+
+TEST_F(ServingEngineTest, SnapshotsRetireExactlyWhenLastReaderDrains) {
+  ServingEngine serving(Options(), std::vector<Link>{LebronLink()});
+  EXPECT_EQ(serving.stats().snapshots_retired, 0u);
+
+  std::shared_ptr<const EpochSnapshot> pinned = serving.Pin();  // epoch 0
+  serving.StageLink(DurantLink(), true);
+  (void)serving.Publish();  // epoch 1 current; epoch 0 alive through pin
+  EXPECT_EQ(serving.stats().snapshots_retired, 0u);
+
+  serving.StageLink(DurantLink(), false);
+  (void)serving.Publish();  // epoch 2 current; epoch 1 had no readers
+  EXPECT_EQ(serving.stats().snapshots_retired, 1u);
+
+  // Epoch 0 must stay fully usable while pinned (ASan would flag a free).
+  auto result = pinned->ExecuteText(AwardQuery("NBA MVP 2013"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers.size(), 1u);
+
+  pinned.reset();  // last reader drains -> epoch 0 retires now
+  EXPECT_EQ(serving.stats().snapshots_retired, 2u);
+  EXPECT_EQ(serving.stats().epochs_published, 3u);
+}
+
+TEST_F(ServingEngineTest, QueryCacheCarriesForwardMinusEpochDelta) {
+  ServingEngine serving(Options(), std::vector<Link>{LebronLink()});
+  const std::string lebron_q = AwardQuery("NBA MVP 2013");
+
+  auto miss = serving.ExecuteText(lebron_q);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->from_cache);
+  auto hit = serving.ExecuteText(lebron_q);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->from_cache);
+
+  // Durant's link touches neither of the neighborhoods the LeBron query
+  // consulted: the next epoch serves the carried-forward entry on its
+  // first execution.
+  serving.StageLink(DurantLink(), true);
+  (void)serving.Publish();
+  auto carried = serving.ExecuteText(lebron_q);
+  ASSERT_TRUE(carried.ok());
+  EXPECT_TRUE(carried->from_cache);
+  EXPECT_EQ(HashAnswers(carried->answers), HashAnswers(miss->answers));
+
+  // Retracting LeBron's link invalidates exactly that entry: the next
+  // epoch re-executes and sees the shrunk answer set.
+  serving.StageLink(LebronLink(), false);
+  (void)serving.Publish();
+  auto invalidated = serving.ExecuteText(lebron_q);
+  ASSERT_TRUE(invalidated.ok());
+  EXPECT_FALSE(invalidated->from_cache);
+  EXPECT_TRUE(invalidated->answers.empty());
+}
+
+TEST_F(ServingEngineTest, PlanCacheSharedAcrossEpochsUntilDrift) {
+  ServingEngine serving(Options(), std::vector<Link>{LebronLink()});
+  std::shared_ptr<const EpochSnapshot> epoch0 = serving.Pin();
+  serving.StageLink(DurantLink(), true);
+  std::shared_ptr<const EpochSnapshot> epoch1 = serving.Publish();
+  // Statistics did not drift (stores are immutable): one shared plan cache.
+  ASSERT_NE(epoch0->plan_cache(), nullptr);
+  EXPECT_EQ(epoch0->plan_cache(), epoch1->plan_cache());
+
+  // Small drift: still shared.
+  std::vector<rdf::DatasetStats> near = {rdf::ComputeStats(dbpedia_),
+                                         rdf::ComputeStats(nytimes_)};
+  EXPECT_FALSE(serving.NoteFreshStats(near));
+  std::shared_ptr<const EpochSnapshot> epoch2 = serving.Publish();
+  EXPECT_EQ(epoch1->plan_cache(), epoch2->plan_cache());
+
+  // Drift past the threshold: the NEXT publish starts a fresh plan cache;
+  // already-published epochs keep the one they hold.
+  std::vector<rdf::DatasetStats> far = near;
+  far[0].triples = near[0].triples * 10;
+  EXPECT_TRUE(serving.NoteFreshStats(far));
+  std::shared_ptr<const EpochSnapshot> epoch3 = serving.Publish();
+  EXPECT_NE(epoch3->plan_cache(), epoch2->plan_cache());
+  EXPECT_EQ(epoch0->plan_cache(), epoch2->plan_cache());
+}
+
+TEST_F(ServingEngineTest, ReaderAccountingTracksQueries) {
+  ServingEngine serving(Options(), std::vector<Link>{LebronLink()});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(serving.ExecuteText(AwardQuery("NBA MVP 2013")).ok());
+  }
+  ServingEngine::Stats stats = serving.stats();
+  EXPECT_EQ(stats.queries_served, 5u);
+  EXPECT_GE(stats.max_concurrent_readers, 1u);
+  EXPECT_EQ(serving.latency().count(), 5u);
+}
+
+// -- Live-learner regimes over a generated world ---------------------------
+
+struct LoopFixture {
+  LoopFixture()
+      : world(datagen::Generate(datagen::TinyTestProfile())),
+        truth(world.ground_truth),
+        initial(linking::FilterByScore(
+            linking::RunParis(world.left, world.right), 0.95)) {}
+
+  // A fresh, identically-initialized engine per run (the series must depend
+  // only on the run configuration).
+  std::unique_ptr<core::AlexEngine> MakeEngine() {
+    core::AlexOptions options;
+    options.num_partitions = 2;
+    options.num_threads = 1;
+    auto engine =
+        std::make_unique<core::AlexEngine>(&world.left, &world.right, options);
+    EXPECT_TRUE(engine->Initialize(initial).ok());
+    return engine;
+  }
+
+  ServingLoopOptions LoopOptions() {
+    ServingLoopOptions options;
+    options.workload.num_queries = 80;
+    options.episode_size = 60;
+    options.max_episodes = 5;
+    return options;
+  }
+
+  datagen::GeneratedWorld world;
+  feedback::GroundTruth truth;
+  std::vector<linking::Link> initial;
+};
+
+// The serving loop's learner series must be bitwise-identical to the plain
+// query-driven run (serving off) and invariant to the stream count.
+TEST(ServingLoopTest, EpisodeSeriesUnchangedServingOnOrOff) {
+  LoopFixture fixture;
+
+  eval::QueryDrivenOptions plain_options;
+  plain_options.workload.num_queries = 80;
+  plain_options.episode_size = 60;
+  plain_options.max_episodes = 5;
+  auto plain_engine = fixture.MakeEngine();
+  eval::ExperimentResult plain = eval::RunQueryDrivenExperiment(
+      plain_engine.get(), fixture.world, fixture.truth, plain_options);
+
+  for (size_t streams : {size_t{0}, size_t{2}, size_t{4}}) {
+    ServingLoopOptions options = fixture.LoopOptions();
+    options.num_streams = streams;
+    options.verify_identity = false;
+    auto engine = fixture.MakeEngine();
+    ServingRunResult served = RunServingExperiment(
+        engine.get(), fixture.world, fixture.truth, options);
+
+    ASSERT_EQ(served.experiment.series.size(), plain.series.size())
+        << streams << " streams";
+    for (size_t i = 0; i < plain.series.size(); ++i) {
+      const eval::EpisodePoint& a = plain.series[i];
+      const eval::EpisodePoint& b = served.experiment.series[i];
+      EXPECT_EQ(a.quality.precision, b.quality.precision) << "ep " << i;
+      EXPECT_EQ(a.quality.recall, b.quality.recall) << "ep " << i;
+      EXPECT_EQ(a.quality.f_measure, b.quality.f_measure) << "ep " << i;
+      EXPECT_EQ(a.quality.candidates, b.quality.candidates) << "ep " << i;
+      EXPECT_EQ(a.stats.feedback_items, b.stats.feedback_items) << "ep " << i;
+      EXPECT_EQ(a.stats.positive_feedback, b.stats.positive_feedback);
+      EXPECT_EQ(a.stats.negative_feedback, b.stats.negative_feedback);
+      EXPECT_EQ(a.stats.candidate_count, b.stats.candidate_count);
+    }
+    EXPECT_EQ(served.experiment.new_links_discovered,
+              plain.new_links_discovered);
+  }
+}
+
+// Concurrent streams over a live learner: every recorded answer set is
+// bitwise-identical to a sequential replay against the same epoch, at
+// 1, 2 and 4 stream threads. (Run under TSan by scripts/check_tsan.sh.)
+TEST(ServingLoopTest, ConcurrentStreamsAreBitwiseIdenticalToReplay) {
+  LoopFixture fixture;
+  for (size_t streams : {size_t{1}, size_t{2}, size_t{4}}) {
+    ServingLoopOptions options = fixture.LoopOptions();
+    options.num_streams = streams;
+    options.verify_identity = true;
+    auto engine = fixture.MakeEngine();
+    ServingRunResult result = RunServingExperiment(
+        engine.get(), fixture.world, fixture.truth, options);
+
+    EXPECT_GT(result.stream_queries, 0u) << streams << " streams";
+    EXPECT_GT(result.identity_replayed, 0u) << streams << " streams";
+    EXPECT_EQ(result.identity_verified, result.identity_replayed)
+        << streams << " streams";
+    EXPECT_TRUE(result.identity_ok());
+    // One epoch per episode boundary plus epoch 0.
+    EXPECT_EQ(result.serving.epochs_published,
+              static_cast<uint64_t>(result.experiment.episodes) + 1);
+    EXPECT_GE(result.serving.max_concurrent_readers, 1u);
+    EXPECT_GT(result.serving.queries_served, 0u);
+  }
+}
+
+// The per-episode series surfaces the serving counters (satellite of the
+// eval::report CSV columns).
+TEST(ServingLoopTest, EpisodeStatsCarryServingCounters) {
+  LoopFixture fixture;
+  ServingLoopOptions options = fixture.LoopOptions();
+  options.num_streams = 2;
+  options.verify_identity = false;
+  auto engine = fixture.MakeEngine();
+  ServingRunResult result = RunServingExperiment(engine.get(), fixture.world,
+                                                 fixture.truth, options);
+
+  ASSERT_GE(result.experiment.series.size(), 2u);
+  for (size_t i = 1; i < result.experiment.series.size(); ++i) {
+    const core::EpisodeStats& stats = result.experiment.series[i].stats;
+    // Episode i closes with epoch i published on top of epoch 0.
+    EXPECT_EQ(stats.epochs_published, i + 1);
+  }
+  // Without retention, every superseded epoch retires once streams drain.
+  EXPECT_EQ(result.serving.snapshots_retired,
+            result.serving.epochs_published - 1);
+}
+
+}  // namespace
+}  // namespace alex::serving

@@ -1,0 +1,148 @@
+#include "serving/staged_link_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "federation/link_set.h"
+#include "linking/link.h"
+
+namespace alex::serving {
+namespace {
+
+using linking::Link;
+
+std::string L(int i) { return "http://left/" + std::to_string(i); }
+std::string R(int i) { return "http://right/" + std::to_string(i); }
+
+// A view must answer byte-identically to a LinkSet materialized from the
+// same membership — including neighbor order.
+void ExpectSameAnswers(const fed::LinkView& view, const fed::LinkSet& expect,
+                       int iris) {
+  for (int i = 0; i < iris; ++i) {
+    EXPECT_EQ(view.RightsOf(L(i)), expect.RightsOf(L(i))) << "left " << i;
+    EXPECT_EQ(view.LeftsOf(R(i)), expect.LeftsOf(R(i))) << "right " << i;
+    for (int j = 0; j < iris; ++j) {
+      EXPECT_EQ(view.Contains(L(i), R(j)), expect.Contains(L(i), R(j)));
+    }
+  }
+}
+
+TEST(StagedLinkSetTest, OverlayMatchesMaterializedUnderRandomChurn) {
+  constexpr int kIris = 12;
+  Rng rng(7);
+  StagedLinkSet staged;
+  fed::LinkSet expect;
+
+  // Seed epoch 0 and force the base to materialize it (fraction 0).
+  for (int i = 0; i < kIris; ++i) {
+    Link link{L(i), R(i), 1.0};
+    staged.Stage(link, true);
+    expect.Add(link);
+  }
+  std::shared_ptr<const fed::LinkView> epoch0 = staged.Publish(0.0);
+  ExpectSameAnswers(*epoch0, expect, kIris);
+
+  // Random churn, published as overlays (huge fraction: never compact).
+  for (int round = 0; round < 5; ++round) {
+    for (int step = 0; step < 8; ++step) {
+      Link link{L(static_cast<int>(rng.NextBounded(kIris))),
+                R(static_cast<int>(rng.NextBounded(kIris))), 1.0};
+      bool add = rng.NextBool(0.5);
+      staged.Stage(link, add);
+      if (add) {
+        expect.Add(link);
+      } else {
+        expect.Remove(link.left, link.right);
+      }
+    }
+    std::shared_ptr<const fed::LinkView> view = staged.Publish(1e18);
+    ExpectSameAnswers(*view, expect, kIris);
+  }
+  EXPECT_EQ(staged.merges(), 1u);  // only the epoch-0 publish compacted
+  EXPECT_EQ(staged.size(), expect.size());
+}
+
+TEST(StagedLinkSetTest, PublishedViewsAreImmutableUnderLaterStaging) {
+  StagedLinkSet staged;
+  staged.Stage(Link{L(1), R(1), 1.0}, true);
+  std::shared_ptr<const fed::LinkView> epoch0 = staged.Publish();
+
+  staged.Stage(Link{L(1), R(1), 1.0}, false);
+  staged.Stage(Link{L(2), R(2), 1.0}, true);
+  std::shared_ptr<const fed::LinkView> epoch1 = staged.Publish(1e18);
+
+  // Epoch 0 still answers its own state; epoch 1 the new one.
+  EXPECT_TRUE(epoch0->Contains(L(1), R(1)));
+  EXPECT_FALSE(epoch0->Contains(L(2), R(2)));
+  EXPECT_FALSE(epoch1->Contains(L(1), R(1)));
+  EXPECT_TRUE(epoch1->Contains(L(2), R(2)));
+  EXPECT_EQ(epoch0->RightsOf(L(1)), std::vector<std::string>{R(1)});
+  EXPECT_TRUE(epoch1->RightsOf(L(1)).empty());
+}
+
+TEST(StagedLinkSetTest, CompactionPreservesContentAndCounts) {
+  StagedLinkSet staged;
+  fed::LinkSet expect;
+  for (int i = 0; i < 10; ++i) {
+    staged.Stage(Link{L(i), R(i), 1.0}, true);
+    expect.Add(Link{L(i), R(i), 1.0});
+  }
+  (void)staged.Publish(0.0);  // compact epoch 0
+  ASSERT_EQ(staged.merges(), 1u);
+
+  staged.Stage(Link{L(0), R(0), 1.0}, false);
+  expect.Remove(L(0), R(0));
+  staged.Stage(Link{L(3), R(7), 1.0}, true);
+  expect.Add(Link{L(3), R(7), 1.0});
+  std::shared_ptr<const fed::LinkView> compacted = staged.Publish(0.0);
+  EXPECT_EQ(staged.merges(), 2u);
+  EXPECT_EQ(staged.pending_adds(), 0u);
+  EXPECT_EQ(staged.pending_removes(), 0u);
+  ExpectSameAnswers(*compacted, expect, 10);
+}
+
+TEST(StagedLinkSetTest, EpochDeltaIsSortedAndClearedByPublish) {
+  StagedLinkSet staged;
+  staged.Stage(Link{L(3), R(3), 1.0}, true);
+  staged.Stage(Link{L(1), R(1), 1.0}, true);
+  staged.Stage(Link{L(2), R(2), 1.0}, false);  // remove of absent: net no-op
+  std::vector<Link> delta = staged.TakeEpochDelta();
+  ASSERT_EQ(delta.size(), 3u);  // every touched pair reported once
+  EXPECT_TRUE(std::is_sorted(delta.begin(), delta.end()));
+  EXPECT_TRUE(staged.TakeEpochDelta().empty());
+
+  staged.Stage(Link{L(9), R(9), 1.0}, true);
+  (void)staged.Publish();
+  // Publish clears the pending epoch delta too.
+  EXPECT_TRUE(staged.TakeEpochDelta().empty());
+}
+
+TEST(StagedLinkSetTest, AddThenRemoveWithinEpochCancels) {
+  StagedLinkSet staged;
+  staged.Stage(Link{L(5), R(5), 1.0}, true);
+  staged.Stage(Link{L(5), R(5), 1.0}, false);
+  EXPECT_EQ(staged.pending_adds(), 0u);
+  EXPECT_EQ(staged.pending_removes(), 0u);
+  std::shared_ptr<const fed::LinkView> view = staged.Publish(1e18);
+  EXPECT_FALSE(view->Contains(L(5), R(5)));
+  EXPECT_EQ(staged.size(), 0u);
+}
+
+TEST(StagedLinkSetTest, ViewOutlivesStagedSet) {
+  std::shared_ptr<const fed::LinkView> view;
+  {
+    StagedLinkSet staged;
+    staged.Stage(Link{L(1), R(1), 1.0}, true);
+    view = staged.Publish(1e18);  // overlay holds the base alive
+  }
+  EXPECT_TRUE(view->Contains(L(1), R(1)));
+}
+
+}  // namespace
+}  // namespace alex::serving
