@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/latency_histogram.h"
 #include "core/alex_engine.h"
 #include "core/feature_space.h"
 #include "eval/metrics.h"
@@ -85,7 +86,8 @@ RunOutcome RunOnce(const alex::datagen::GeneratedWorld& world,
                    const alex::feedback::GroundTruth& truth,
                    alex::core::AlexOptions options, int threads,
                    std::shared_ptr<const RightContext> right,
-                   bool check_rescan) {
+                   bool check_rescan,
+                   alex::LatencyHistogram* episode_latency) {
   options.num_threads = threads;
   AlexEngine engine(&world.left, &world.right, options);
   alex::Status status = engine.Initialize(initial, right);
@@ -106,9 +108,19 @@ RunOutcome RunOnce(const alex::datagen::GeneratedWorld& world,
   RunOutcome outcome;
   std::ostringstream series;
   auto run_start = std::chrono::steady_clock::now();
+  auto episode_start = run_start;
   AlexEngine::RunResult run =
       engine.Run(feedback, [&](const EpisodeStats& stats) {
+        // Per-episode wall time feeds the percentile histogram; tail
+        // episodes (rollback storms, big deltas) are what a mean hides.
         auto eval_start = std::chrono::steady_clock::now();
+        if (episode_latency != nullptr) {
+          episode_latency->Record(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  eval_start - episode_start)
+                  .count());
+        }
+        episode_start = eval_start;
         Quality quality = tracker.Snapshot();
         outcome.incremental_eval_ms += MsSince(eval_start);
         if (check_rescan) {
@@ -125,6 +137,9 @@ RunOutcome RunOnce(const alex::datagen::GeneratedWorld& world,
               rescan.f_measure == quality.f_measure;
         }
         AppendEpisode(&series, stats, quality);
+        // The evaluation work above belongs to the harness, not the
+        // episode: the next episode's clock starts after it.
+        episode_start = std::chrono::steady_clock::now();
       });
   outcome.episode_ms = MsSince(run_start);
   if (check_rescan) {
@@ -183,6 +198,8 @@ int main(int argc, char** argv) {
     double best_ms = 0.0;
     int episodes = 0;
     double eps_per_sec = 0.0;
+    double episode_p50_ms = 0.0;
+    double episode_p99_ms = 0.0;
   };
   std::vector<Row> rows;
   std::string reference_series;
@@ -195,10 +212,14 @@ int main(int argc, char** argv) {
     Row row;
     row.threads = threads;
     row.best_ms = -1.0;
+    // Episode wall times pooled across this thread count's repeats (the
+    // rescan-checking run is excluded: its episodes carry harness work).
+    alex::LatencyHistogram episode_latency;
     for (int rep = 0; rep < kRepeats; ++rep) {
       const bool check_rescan = threads == 1 && rep == 0;
-      RunOutcome outcome = RunOnce(world, initial, truth, config.alex,
-                                   threads, right, check_rescan);
+      RunOutcome outcome =
+          RunOnce(world, initial, truth, config.alex, threads, right,
+                  check_rescan, check_rescan ? nullptr : &episode_latency);
       if (check_rescan) {
         tracker_ok = outcome.tracker_matches_rescan;
         incremental_eval_ms = outcome.incremental_eval_ms;
@@ -216,12 +237,15 @@ int main(int argc, char** argv) {
     }
     row.eps_per_sec =
         row.best_ms > 0.0 ? 1000.0 * row.episodes / row.best_ms : 0.0;
+    row.episode_p50_ms = episode_latency.PercentileMicros(0.50) / 1000.0;
+    row.episode_p99_ms = episode_latency.PercentileMicros(0.99) / 1000.0;
     std::cout << "  " << std::left << std::setw(12)
               << (std::to_string(threads) + " thread(s)") << std::right
               << std::fixed << std::setprecision(1) << std::setw(9)
               << row.best_ms << " ms  " << std::setw(6) << row.episodes
               << " episodes  " << std::setprecision(2) << std::setw(8)
-              << row.eps_per_sec << " eps/sec\n";
+              << row.eps_per_sec << " eps/sec  p50 " << row.episode_p50_ms
+              << " / p99 " << row.episode_p99_ms << " ms\n";
     rows.push_back(row);
   }
 
@@ -263,6 +287,8 @@ int main(int argc, char** argv) {
         << ", \"ms_per_episode\": "
         << (row.episodes > 0 ? row.best_ms / row.episodes : 0.0)
         << ", \"episodes_per_sec\": " << row.eps_per_sec
+        << ", \"episode_p50_ms\": " << row.episode_p50_ms
+        << ", \"episode_p99_ms\": " << row.episode_p99_ms
         << ", \"speedup_vs_1thread\": "
         << (row.best_ms > 0.0 ? base_ms / row.best_ms : 0.0) << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";

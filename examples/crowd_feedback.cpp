@@ -14,6 +14,7 @@
 #include "core/alex_engine.h"
 #include "datagen/profiles.h"
 #include "eval/metrics.h"
+#include "eval/vote_driven.h"
 #include "feedback/aggregator.h"
 #include "feedback/oracle.h"
 #include "linking/paris.h"
@@ -59,28 +60,30 @@ int main() {
               << " R=" << q.recall << " F=" << q.f_measure << "\n";
   }
 
-  // Run 2: the same noisy crowd, but each feedback item is the majority of
-  // five votes, aggregated per link before it reaches ALEX.
+  // Run 2: the same noisy crowd, but through the vote-driven pipeline —
+  // every drawn link is judged by five users, the votes stream into the
+  // sharded aggregator from two writer threads, and one drained verdict
+  // batch per episode reaches ALEX.
   {
     AlexEngine engine(&world.left, &world.right, MakeOptions());
     if (!engine.Initialize(initial).ok()) return 1;
-    alex::feedback::Oracle crowd(&truth, kUserErrorRate, 404);
-    alex::feedback::FeedbackAggregator aggregator(
-        {.quorum = kVotesPerItem, .majority = 0.5});
-    engine.Run([&](const Link& link) {
-      // Collect a quorum of votes on this link; the aggregator returns the
-      // majority verdict (ties keep collecting, so loop until decided).
-      while (true) {
-        if (auto verdict = aggregator.AddVote(link, crowd.Feedback(link))) {
-          return *verdict;
-        }
-      }
-    });
-    alex::eval::Quality q =
-        alex::eval::Evaluate(engine.CandidateLinks(), truth);
+    alex::eval::VoteDrivenOptions vote_options;
+    vote_options.links_per_episode = 400;
+    vote_options.users_per_link = kVotesPerItem;
+    vote_options.vote_error_rate = kUserErrorRate;
+    vote_options.max_episodes = 12;
+    vote_options.vote_threads = 2;
+    vote_options.aggregator.quorum = kVotesPerItem;
+    alex::eval::ExperimentResult result =
+        alex::eval::RunVoteDrivenExperiment(&engine, truth, vote_options);
+    const alex::eval::Quality& q = result.final_quality();
+    const alex::core::EpisodeStats& last = result.series.back().stats;
     std::cout << "majority of " << kVotesPerItem
-              << " noisy votes per item:  P=" << q.precision
-              << " R=" << q.recall << " F=" << q.f_measure << "\n";
+              << " noisy votes per link:  P=" << q.precision
+              << " R=" << q.recall << " F=" << q.f_measure << "\n"
+              << "  (" << last.votes_recorded << " votes -> "
+              << last.verdicts_emitted << " verdicts, "
+              << last.votes_suppressed << " noisy votes suppressed)\n";
   }
 
   std::cout << "\nAggregating the crowd's votes suppresses most of the\n"

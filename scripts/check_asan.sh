@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Builds the test suites most exposed to the in-place index maintenance
 # paths (tombstone/pending-buffer churn, bucket compaction, rollback
-# resurrection, the parallel episode loop, and epoch-snapshot reclamation
-# in the serving tier) under AddressSanitizer and runs them. Uses its own
-# build directory so the regular build stays untouched.
-# Override with BUILD_DIR=... .
+# resurrection, the parallel episode loop, epoch-snapshot reclamation in
+# the serving tier, and the sharded feedback aggregator's tally churn)
+# under AddressSanitizer and runs them. Uses its own build directory so the
+# regular build stays untouched. Override with BUILD_DIR=... .
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,9 +12,10 @@ build_dir=${BUILD_DIR:-build-asan}
 cmake -B "$build_dir" -S . -DALEX_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target core_tests system_tests serving_tests
+  --target core_tests system_tests serving_tests feedback_tests
 
 "$build_dir"/tests/core_tests
 "$build_dir"/tests/system_tests
 "$build_dir"/tests/serving_tests
+"$build_dir"/tests/feedback_tests
 echo "asan: clean"

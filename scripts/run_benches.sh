@@ -11,7 +11,8 @@ build_dir=${BUILD_DIR:-build-bench}
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_episode_loop bench_space_build bench_query_exec \
-  bench_incremental_space bench_federation_faults bench_serving
+  bench_incremental_space bench_federation_faults bench_serving \
+  bench_feedback
 
 declare -A gate_key=(
   [bench_episode_loop]=identical_series
@@ -20,6 +21,7 @@ declare -A gate_key=(
   [bench_incremental_space]=identical_fingerprints
   [bench_federation_faults]=identical_answers
   [bench_serving]=identity
+  [bench_feedback]=identical_batches
 )
 declare -A runs_key=(
   [bench_episode_loop]=runs
@@ -28,10 +30,12 @@ declare -A runs_key=(
   [bench_incremental_space]=runs
   [bench_federation_faults]=runs
   [bench_serving]=runs
+  [bench_feedback]=runs
 )
 
 for bench in bench_episode_loop bench_space_build bench_query_exec \
-    bench_incremental_space bench_federation_faults bench_serving; do
+    bench_incremental_space bench_federation_faults bench_serving \
+    bench_feedback; do
   out="BENCH_${bench#bench_}.json"
   echo "== $bench -> $out =="
   "$build_dir/bench/$bench" --out "$out"
@@ -57,6 +61,23 @@ if doc["bench"] == "query_exec":
     speedup = doc["speedup_planned_vs_greedy_multijoin"]
     if speedup < 1.3:
         sys.exit(f"{path}: planned vs greedy multijoin speedup {speedup} < 1.3")
+if doc["bench"] == "feedback":
+    for key in ("sharded_vs_single_speedup_peak", "sharded_not_slower",
+                "uniform_episodes", "prioritized_episodes",
+                "prioritized_not_slower"):
+        if key not in doc:
+            sys.exit(f"{path}: missing key '{key}'")
+    if doc["sharded_not_slower"] is not True:
+        sys.exit(f"{path}: sharded aggregator slower than single-lock "
+                 f"({doc['sharded_vs_single_speedup_peak']}x at peak)")
+    if doc["prioritized_not_slower"] is not True:
+        sys.exit(f"{path}: prioritized sampling needed "
+                 f"{doc['prioritized_episodes']} episodes vs uniform's "
+                 f"{doc['uniform_episodes']}")
+    for run in doc["runs"]:
+        if run["verdicts_per_sec"] <= 0:
+            sys.exit(f"{path}: no verdict throughput at "
+                     f"{run['threads']} threads / {run['shards']} shards")
 if doc["bench"] == "serving":
     for key in ("p99_ms", "answers_per_sec", "epochs_published",
                 "indirection_overhead_pct", "overhead_under_5pct"):

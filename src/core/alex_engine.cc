@@ -16,11 +16,24 @@ PartitionAlex::PartitionAlex(FeatureSpace space, const AlexOptions* options,
       policy_(options->epsilon),
       rng_(seed) {}
 
+double PartitionAlex::TopFeatureScore(PairId pair) const {
+  double best = 0.0;
+  for (const auto& [feature, score] : space_.pair(pair).features.features) {
+    best = std::max(best, score);
+  }
+  return best;
+}
+
 PartitionAlex::FeedbackOutcome PartitionAlex::ProcessFeedback(PairId pair,
                                                               bool positive) {
   FeedbackOutcome outcome;
   const double reward =
       positive ? options_->positive_reward : options_->negative_reward;
+  // Fold the item into the pair's uncertainty tally (prioritized sampling
+  // only; no-op for unregistered pairs).
+  if (options_->prioritized_sampling) {
+    sampler_.RecordFeedback(pair, positive);
+  }
 
   // First-visit Monte Carlo: the first feedback on a link within an episode
   // contributes the reward to every state-action pair that led to it.
@@ -65,7 +78,10 @@ PartitionAlex::FeedbackOutcome PartitionAlex::ProcessFeedback(PairId pair,
       if (options_->use_blacklist && blacklist_.count(entry.pair) > 0) {
         continue;  // known-incorrect links are never re-proposed (§6.3)
       }
-      if (candidates_.Add(entry.pair)) added_scratch_.push_back(entry.pair);
+      if (candidates_.Add(entry.pair)) {
+        added_scratch_.push_back(entry.pair);
+        SamplerAdd(entry.pair);
+      }
     }
     outcome.added = added_scratch_.size();
     rollback_.RecordGeneration(StateAction{pair, action}, added_scratch_);
@@ -74,6 +90,7 @@ PartitionAlex::FeedbackOutcome PartitionAlex::ProcessFeedback(PairId pair,
 
   // Negative feedback: remove the incorrect link (§3.2).
   outcome.removed = candidates_.Remove(pair);
+  if (outcome.removed) SamplerRemove(pair);
   confirmed_.erase(pair);
   if (options_->use_blacklist &&
       ++negative_strikes_[pair] >= options_->blacklist_strikes) {
@@ -88,7 +105,10 @@ PartitionAlex::FeedbackOutcome PartitionAlex::ProcessFeedback(PairId pair,
         // Links the user approved are kept; links removed here are NOT
         // blacklisted — they may be correct and rediscoverable (§6.3).
         if (confirmed_.count(generated) > 0) continue;
-        if (candidates_.Remove(generated)) ++outcome.rolled_back_links;
+        if (candidates_.Remove(generated)) {
+          ++outcome.rolled_back_links;
+          SamplerRemove(generated);
+        }
       }
     }
   }
@@ -128,8 +148,8 @@ void PartitionAlex::RunEpisodeItems(size_t items, const FeedbackFn& feedback,
                                     ShardStats* stats) {
   BeginEpisode();
   for (size_t item = 0; item < items; ++item) {
-    if (candidates_.empty()) break;
-    PairId pair = candidates_.Sample(&rng_);
+    PairId pair = SampleFeedbackPair();
+    if (pair == kInvalidPairId) break;
     linking::Link link;
     link.left = space_.LeftIri(pair);
     link.right = space_.RightIri(pair);
@@ -148,6 +168,17 @@ void PartitionAlex::RunEpisodeItems(size_t items, const FeedbackFn& feedback,
     stats->rolled_back_links += outcome.rolled_back_links;
   }
   EndEpisode();
+}
+
+PairId PartitionAlex::SampleFeedbackPair() {
+  if (candidates_.empty()) return kInvalidPairId;
+  if (options_->prioritized_sampling) {
+    PairId pair = sampler_.Sample(&rng_);
+    // The sampler mirrors every engine-side candidate mutation; the guard
+    // only matters if candidates were mutated behind the engine's back.
+    if (pair != kInvalidPairId && candidates_.Contains(pair)) return pair;
+  }
+  return candidates_.Sample(&rng_);
 }
 
 AlexEngine::AlexEngine(const rdf::TripleStore* left,
@@ -483,6 +514,63 @@ std::vector<AlexEngine::FeatureUsage> AlexEngine::FeatureUsageSummary()
               return a.return_samples > b.return_samples;
             });
   return out;
+}
+
+void AlexEngine::SampleFeedbackLinks(size_t count,
+                                     std::vector<linking::Link>* out) {
+  ALEX_CHECK(initialized_) << "call Initialize() first";
+  // RunEpisode's quota schedule: count multinomial draws from the engine
+  // RNG, weighted by current candidate counts, partitions first and the
+  // spaceless extras last.
+  std::vector<size_t> sizes(partitions_.size() + 1, 0);
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    sizes[p] = partitions_[p].candidates().size();
+  }
+  sizes.back() = extras_alive_.size();
+  size_t total = 0;
+  for (size_t size : sizes) total += size;
+  if (total == 0) return;
+  std::vector<size_t> quota(sizes.size(), 0);
+  for (size_t item = 0; item < count; ++item) {
+    uint64_t r = rng_.NextBounded(total);
+    for (size_t s = 0; s < sizes.size(); ++s) {
+      if (r < sizes[s]) {
+        ++quota[s];
+        break;
+      }
+      r -= sizes[s];
+    }
+  }
+  // Links are drawn DISTINCT within one call (rejection with a bounded
+  // attempt budget): an epoch's judgment sample is a set of links handed to
+  // the user population, and duplicates would only burn vote budget past
+  // the quorum. Partitions own disjoint pair spaces, so per-partition
+  // dedup is global dedup.
+  std::unordered_set<PairId> seen;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    PartitionAlex& partition = partitions_[p];
+    const FeatureSpace& space = partition.space();
+    seen.clear();
+    size_t attempts = 0;
+    const size_t max_attempts = quota[p] * 8 + 16;
+    while (seen.size() < quota[p] && attempts < max_attempts) {
+      ++attempts;
+      PairId pair = partition.SampleFeedbackPair();
+      if (pair == kInvalidPairId) break;
+      if (!seen.insert(pair).second) continue;
+      out->push_back({space.LeftIri(pair), space.RightIri(pair)});
+    }
+  }
+  seen.clear();
+  size_t attempts = 0;
+  const size_t max_attempts = quota.back() * 8 + 16;
+  while (seen.size() < quota.back() && attempts < max_attempts) {
+    ++attempts;
+    if (extras_alive_.empty()) break;
+    PairId extra = extras_alive_.Sample(&rng_);
+    if (!seen.insert(extra).second) continue;
+    out->push_back(extras_links_[extra]);
+  }
 }
 
 void AlexEngine::ApplyLinkFeedback(const linking::Link& link, bool positive) {

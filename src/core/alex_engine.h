@@ -32,6 +32,7 @@
 #include "common/thread_pool.h"
 #include "core/candidate_set.h"
 #include "core/feature_space.h"
+#include "core/feedback_sampler.h"
 #include "core/mc_learner.h"
 #include "core/partitioner.h"
 #include "core/policy.h"
@@ -96,6 +97,19 @@ struct AlexOptions {
   // the O(space) baseline; both modes yield bitwise-identical episode
   // series (asserted by the link-churn fuzz regime).
   bool incremental_space_maintenance = true;
+  // Prioritized feedback sampling: draw each episode's feedback links by
+  // uncertainty weight (tally entropy × proximity of the pair's best
+  // feature score to θ; see core/feedback_sampler.h) instead of uniformly
+  // over the candidate set. OFF by default: the paper's uniform feedback
+  // model (§7.1) — and every bitwise-identity baseline built on it — stays
+  // the default behavior, with the prioritized path opt-in.
+  bool prioritized_sampling = false;
+  // Fraction of prioritized draws that remain uniform over all candidates
+  // (the exploration floor of the sampler; clamped to [0, 1]).
+  double sampler_uniform_mix = 0.25;
+  // Floor on a candidate's uncertainty weight; keeps unanimous or
+  // far-from-θ links reachable in the weighted arm too.
+  double sampler_min_weight = 1e-3;
   // Worker threads (0 = one per hardware thread) for parallel feature-space
   // construction AND parallel episode execution. During Initialize the
   // left-entity loop of every partition build is sharded across these
@@ -151,6 +165,16 @@ struct EpisodeStats {
   size_t epochs_published = 0;
   size_t snapshots_retired = 0;
   size_t max_concurrent_readers = 0;
+  // Feedback-aggregation accounting (vote-driven loops over a
+  // feedback::FeedbackAggregator only; all zero otherwise). Cumulative as
+  // of this episode's drain, except aggregator_pending which is the open
+  // tally count right after it. Suppressed votes are minority votes inside
+  // emitted verdicts plus every vote of an evicted tally.
+  size_t votes_recorded = 0;
+  size_t verdicts_emitted = 0;
+  size_t aggregator_pending = 0;
+  size_t votes_suppressed = 0;
+  size_t tallies_evicted = 0;
 
   double NegativeFeedbackPercent() const {
     return feedback_items == 0
@@ -184,7 +208,9 @@ class PartitionAlex {
 
   PartitionAlex(PartitionAlex&&) = default;
 
-  void AddInitialCandidate(PairId pair) { candidates_.Add(pair); }
+  void AddInitialCandidate(PairId pair) {
+    if (candidates_.Add(pair)) SamplerAdd(pair);
+  }
 
   struct FeedbackOutcome {
     size_t added = 0;
@@ -219,6 +245,15 @@ class PartitionAlex {
   void RunEpisodeItems(size_t items, const FeedbackFn& feedback,
                        ShardStats* stats);
 
+  // One feedback draw from this partition's candidates, with the
+  // partition's own RNG: the prioritized uncertainty sampler when
+  // AlexOptions::prioritized_sampling is on (uniform-mix floor included),
+  // a uniform pick otherwise — the same single NextBounded the paper's
+  // feedback model always consumed, so default-mode episode series are
+  // bit-for-bit unchanged. Returns kInvalidPairId when the candidate set
+  // is empty.
+  PairId SampleFeedbackPair();
+
   // Episode lifecycle (Algorithm 1).
   void BeginEpisode();
   void EndEpisode();  // policy improvement at all states visited
@@ -238,6 +273,7 @@ class PartitionAlex {
   void ClearCandidates() {
     candidates_ = CandidateSet();
     space_.MarkAllLive();
+    sampler_.Clear();
   }
   void RestoreBlacklistEntry(PairId pair) { blacklist_.insert(pair); }
   void RestorePolicyEntry(PairId state, FeatureId action) {
@@ -254,12 +290,31 @@ class PartitionAlex {
   const EpsilonGreedyPolicy& policy() const { return policy_; }
   const McLearner& learner() const { return learner_; }
   const std::unordered_set<PairId>& blacklist() const { return blacklist_; }
+  const FeedbackSampler& sampler() const { return sampler_; }
   Rng* rng() { return &rng_; }
 
  private:
+  // Best feature score of `pair` (the sampler's proximity input).
+  double TopFeatureScore(PairId pair) const;
+  // Sampler maintenance shims; no-ops when prioritized sampling is off, so
+  // the default path pays nothing. Called at every candidate mutation the
+  // engine performs (AddInitialCandidate, exploration adds, negative
+  // removals, rollbacks); candidates mutated behind the engine's back via
+  // mutable_candidates() are not tracked — prioritized runs must mutate
+  // through engine paths only.
+  void SamplerAdd(PairId pair) {
+    if (options_->prioritized_sampling) {
+      sampler_.Add(pair, TopFeatureScore(pair));
+    }
+  }
+  void SamplerRemove(PairId pair) {
+    if (options_->prioritized_sampling) sampler_.Remove(pair);
+  }
+
   FeatureSpace space_;
   const AlexOptions* options_;
   CandidateSet candidates_;
+  FeedbackSampler sampler_;
   std::unordered_set<PairId> blacklist_;
   std::unordered_map<PairId, int> negative_strikes_;
   std::unordered_set<PairId> confirmed_;  // links with positive feedback
@@ -325,6 +380,21 @@ class AlexEngine {
   // Current candidate links across all partitions plus spaceless extras.
   std::vector<linking::Link> CandidateLinks() const;
   size_t CandidateCount() const;
+
+  // Draws up to `count` candidate links for externally-driven feedback
+  // (the vote-driven loop in eval/vote_driven.h): the quota is split
+  // across partitions + spaceless extras by a candidate-count-weighted
+  // multinomial from the engine RNG — exactly RunEpisode's schedule — then
+  // each partition draws its share with its own RNG, prioritized when
+  // AlexOptions::prioritized_sampling is on and uniform otherwise.
+  // Appends to `out` in deterministic partition-then-extras order. Unlike
+  // RunEpisode's with-replacement draws, the returned links are DISTINCT
+  // within one call (an epoch's judgment sample is a set handed to the
+  // user population; duplicates would only burn vote budget past the
+  // quorum), so fewer than `count` may come back when candidates run low.
+  // Consumes the same RNG streams as RunEpisode, so a given engine should
+  // be driven through one entry point, not both interleaved.
+  void SampleFeedbackLinks(size_t count, std::vector<linking::Link>* out);
 
   // Feedback entry point for integration with the federated query engine:
   // attributes approve/reject of a query answer to one of its provenance

@@ -1,0 +1,166 @@
+#include "core/feedback_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alex::core {
+
+namespace {
+
+// Rebuild cadence: often enough that incremental double rounding can never
+// visibly skew the weights, rare enough to stay amortized O(1) per update.
+constexpr uint64_t kRebuildEvery = 1 << 16;
+
+double BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+}  // namespace
+
+FeedbackSampler::FeedbackSampler(const FeedbackSamplerOptions& options)
+    : options_(options) {
+  options_.uniform_mix = std::clamp(options_.uniform_mix, 0.0, 1.0);
+  options_.min_weight = std::max(options_.min_weight, 0.0);
+}
+
+double FeedbackSampler::ComputeWeight(const SlotState& slot) const {
+  const uint32_t total = slot.positive + slot.negative;
+  // Never-judged pairs carry maximal tally uncertainty.
+  const double entropy =
+      total == 0
+          ? 1.0
+          : BinaryEntropy(static_cast<double>(slot.positive) /
+                          static_cast<double>(total));
+  return std::max(options_.min_weight, entropy * slot.proximity);
+}
+
+void FeedbackSampler::SetSlotWeight(size_t slot, double weight) {
+  const double delta = weight - slots_[slot].weight;
+  slots_[slot].weight = weight;
+  total_weight_ += delta;
+  for (size_t i = slot + 1; i <= capacity_; i += i & (~i + 1)) {
+    tree_[i] += delta;
+  }
+  if (++updates_since_rebuild_ >= kRebuildEvery) RebuildTree();
+}
+
+void FeedbackSampler::RebuildTree() {
+  tree_.assign(capacity_ + 1, 0.0);
+  total_weight_ = 0.0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const double w = slots_[i].weight;
+    total_weight_ += w;
+    tree_[i + 1] += w;
+    const size_t parent = (i + 1) + ((i + 1) & (~(i + 1) + 1));
+    if (parent <= capacity_) tree_[parent] += tree_[i + 1];
+  }
+  updates_since_rebuild_ = 0;
+}
+
+size_t FeedbackSampler::DescendTree(double r) const {
+  // Largest prefix strictly below r; the owning slot is the next one.
+  size_t pos = 0;
+  for (size_t step = capacity_; step > 0; step >>= 1) {
+    const size_t next = pos + step;
+    if (next <= capacity_ && tree_[next] < r) {
+      pos = next;
+      r -= tree_[next];
+    }
+  }
+  return pos;  // 0-based slot index (== slots_.size() when past the end)
+}
+
+void FeedbackSampler::Add(PairId pair, double top_score) {
+  if (slot_of_.count(pair) > 0) return;
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+    if (slots_.size() > capacity_) {
+      capacity_ = std::max<size_t>(1, capacity_ * 2);
+      while (capacity_ < slots_.size()) capacity_ *= 2;
+      RebuildTree();
+    }
+  }
+  SlotState& state = slots_[slot];
+  state.pair = pair;
+  state.positive = 0;
+  state.negative = 0;
+  // Proximity to the exploration boundary: 1 at θ (and below — spaceless
+  // scores clamp up), linearly down to 0 at a perfect score.
+  const double span = std::max(1e-9, 1.0 - options_.theta);
+  state.proximity =
+      std::clamp(1.0 - (top_score - options_.theta) / span, 0.0, 1.0);
+  slot_of_.emplace(pair, slot);
+  live_pos_.emplace(pair, live_.size());
+  live_.push_back(pair);
+  SetSlotWeight(slot, ComputeWeight(state));
+}
+
+void FeedbackSampler::Remove(PairId pair) {
+  auto it = slot_of_.find(pair);
+  if (it == slot_of_.end()) return;
+  const uint32_t slot = it->second;
+  SetSlotWeight(slot, 0.0);
+  slots_[slot] = SlotState{};
+  slot_of_.erase(it);
+  free_slots_.push_back(slot);
+  // Swap-remove from the dense uniform-arm list.
+  const size_t pos = live_pos_.at(pair);
+  const PairId moved = live_.back();
+  live_[pos] = moved;
+  live_pos_[moved] = pos;
+  live_.pop_back();
+  live_pos_.erase(pair);
+}
+
+void FeedbackSampler::RecordFeedback(PairId pair, bool positive) {
+  auto it = slot_of_.find(pair);
+  if (it == slot_of_.end()) return;
+  SlotState& state = slots_[it->second];
+  if (positive) {
+    ++state.positive;
+  } else {
+    ++state.negative;
+  }
+  SetSlotWeight(it->second, ComputeWeight(state));
+}
+
+PairId FeedbackSampler::Sample(Rng* rng) {
+  if (live_.empty()) return kInvalidPairId;
+  if (rng->NextDouble() >= options_.uniform_mix && total_weight_ > 0.0) {
+    const size_t slot = DescendTree(rng->NextDouble() * total_weight_);
+    // Float drift can push the draw past the last weighted slot, or onto a
+    // freed one; those rare edges fall back to the uniform arm.
+    if (slot < slots_.size() && slots_[slot].weight > 0.0 &&
+        slots_[slot].pair != kInvalidPairId) {
+      ++weighted_draws_;
+      return slots_[slot].pair;
+    }
+  }
+  ++uniform_draws_;
+  return live_[rng->NextBounded(live_.size())];
+}
+
+void FeedbackSampler::Clear() {
+  slots_.clear();
+  tree_.clear();
+  capacity_ = 0;
+  slot_of_.clear();
+  free_slots_.clear();
+  live_.clear();
+  live_pos_.clear();
+  total_weight_ = 0.0;
+  updates_since_rebuild_ = 0;
+}
+
+double FeedbackSampler::Weight(PairId pair) const {
+  auto it = slot_of_.find(pair);
+  return it == slot_of_.end() ? 0.0 : slots_[it->second].weight;
+}
+
+}  // namespace alex::core

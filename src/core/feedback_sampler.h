@@ -1,0 +1,131 @@
+// Prioritized (uncertainty-weighted) feedback sampling.
+//
+// The paper's experiments draw feedback links uniformly from the candidate
+// set (§7.1), which wastes most of a large user population's votes on links
+// the learner is already sure about. Following the feature-ranking /
+// quality-weighting direction of Ruback et al. (PAPERS.md), this sampler
+// draws candidates in proportion to an uncertainty weight
+//
+//   weight(pair) = max(min_weight, entropy(tally) * proximity(score, θ))
+//
+//   entropy:   binary entropy of the pair's positive/negative feedback
+//              tally — 1.0 for never-judged pairs, 0 for unanimous ones.
+//   proximity: how close the pair's best feature score sits to the
+//              exploration boundary θ — 1.0 at the boundary (the most
+//              ambiguous links), falling linearly to 0 at score 1.0
+//              (near-certain duplicates).
+//
+// A uniform-mix floor keeps every candidate reachable: with probability
+// `uniform_mix` the draw falls back to a uniform pick over all live pairs,
+// so prioritization can never starve a region of the candidate set (and the
+// uniform baseline remains a special case: the engine simply bypasses the
+// sampler when AlexOptions::prioritized_sampling is off).
+//
+// Internals: a Fenwick (binary indexed) tree over dense slots holds the
+// weights, giving O(log n) insert / remove / reweight and O(log n)
+// weighted draws; a parallel dense vector serves the uniform arm in O(1).
+// All state is maintained incrementally from the candidate-set mutations
+// the engine already performs — no per-episode rebuild. Every operation is
+// deterministic given the call sequence, so prioritized runs are exactly
+// reproducible from a seed like everything else in ALEX.
+#ifndef ALEX_CORE_FEEDBACK_SAMPLER_H_
+#define ALEX_CORE_FEEDBACK_SAMPLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/feature_space.h"
+
+namespace alex::core {
+
+struct FeedbackSamplerOptions {
+  // Probability that a draw is uniform over all live pairs instead of
+  // weight-proportional (the exploration floor). Clamped to [0, 1].
+  double uniform_mix = 0.25;
+  // The exploration boundary θ of the feature space; scores at θ get full
+  // proximity weight, scores at 1.0 get none.
+  double theta = 0.3;
+  // Floor on a pair's weight, keeping unanimous / far-from-θ pairs
+  // reachable in the weighted arm too.
+  double min_weight = 1e-3;
+};
+
+class FeedbackSampler {
+ public:
+  explicit FeedbackSampler(const FeedbackSamplerOptions& options = {});
+
+  // Registers `pair` with its best feature score (the proximity input).
+  // No-op if already present. Fresh pairs start at full entropy weight.
+  void Add(PairId pair, double top_score);
+
+  // Unregisters `pair`; its tally is forgotten. No-op if absent.
+  void Remove(PairId pair);
+
+  // Folds one feedback item on `pair` into its tally and reweights it.
+  // No-op if `pair` is not registered.
+  void RecordFeedback(PairId pair, bool positive);
+
+  // Draws one pair: uniform with probability uniform_mix, else
+  // weight-proportional via the Fenwick tree. Returns kInvalidPairId when
+  // empty. Consumes one or two Rng values; deterministic given the
+  // mutation + draw history.
+  PairId Sample(Rng* rng);
+
+  // Drops all pairs and tallies (candidate-set replacement).
+  void Clear();
+
+  bool Contains(PairId pair) const { return slot_of_.count(pair) > 0; }
+  size_t size() const { return live_.size(); }
+  bool empty() const { return live_.empty(); }
+
+  // Current weight of `pair` (0 if absent). Test/diagnostic accessor.
+  double Weight(PairId pair) const;
+  double total_weight() const { return total_weight_; }
+
+  // How the mix floor actually split the draws (for the floor-statistics
+  // tests): uniform-arm draws include forced fallbacks on degenerate
+  // weights, weighted-arm draws are Fenwick descents that landed.
+  uint64_t uniform_draws() const { return uniform_draws_; }
+  uint64_t weighted_draws() const { return weighted_draws_; }
+
+ private:
+  struct SlotState {
+    PairId pair = kInvalidPairId;
+    double proximity = 0.0;
+    uint32_t positive = 0;
+    uint32_t negative = 0;
+    double weight = 0.0;
+  };
+
+  double ComputeWeight(const SlotState& slot) const;
+  // Point-update of slot (0-based) to `weight`, via the Fenwick tree.
+  void SetSlotWeight(size_t slot, double weight);
+  // Rebuilds the tree (and the exact scalar total) from slot weights;
+  // called on capacity growth and periodically to cancel float drift.
+  void RebuildTree();
+  // Fenwick descent: the slot owning cumulative-weight position `r`.
+  // Returns slots_.size() when `r` falls past the last weighted slot.
+  size_t DescendTree(double r) const;
+
+  FeedbackSamplerOptions options_;
+  std::vector<SlotState> slots_;
+  // 1-indexed Fenwick tree over capacity_ (a power of two) slots.
+  std::vector<double> tree_;
+  size_t capacity_ = 0;
+  std::unordered_map<PairId, uint32_t> slot_of_;
+  std::vector<uint32_t> free_slots_;
+  // Dense live list + positions for the O(1) uniform arm (swap-remove).
+  std::vector<PairId> live_;
+  std::unordered_map<PairId, size_t> live_pos_;
+  double total_weight_ = 0.0;
+  uint64_t updates_since_rebuild_ = 0;
+  uint64_t uniform_draws_ = 0;
+  uint64_t weighted_draws_ = 0;
+};
+
+}  // namespace alex::core
+
+#endif  // ALEX_CORE_FEEDBACK_SAMPLER_H_

@@ -77,13 +77,26 @@ void PrintSummary(std::ostream& os, const ExperimentResult& result) {
        << "snapshots retired:       " << last.snapshots_retired << "\n"
        << "max concurrent readers:  " << last.max_concurrent_readers << "\n";
   }
+  // Aggregated-feedback block, printed only when votes flowed through the
+  // FeedbackAggregator (vote-driven loop; counters are cumulative, so the
+  // final episode carries the totals).
+  if (!result.series.empty() &&
+      result.series.back().stats.votes_recorded > 0) {
+    const core::EpisodeStats& last = result.series.back().stats;
+    os << "votes recorded:          " << last.votes_recorded << "\n"
+       << "verdicts emitted:        " << last.verdicts_emitted << "\n"
+       << "votes suppressed:        " << last.votes_suppressed << "\n"
+       << "tallies evicted:         " << last.tallies_evicted << " ("
+       << last.aggregator_pending << " still pending)\n";
+  }
 }
 
 void WriteSeriesCsv(std::ostream& os, const ExperimentResult& result) {
   os << "episode,precision,recall,f_measure,neg_feedback_pct,candidates,"
         "seconds,incomplete_queries,skipped_feedback,query_retries,"
         "breaker_opens,epochs_published,snapshots_retired,"
-        "max_concurrent_readers\n";
+        "max_concurrent_readers,votes_recorded,verdicts_emitted,"
+        "aggregator_pending,votes_suppressed,tallies_evicted\n";
   for (const EpisodePoint& point : result.series) {
     os << point.episode << ',' << point.quality.precision << ','
        << point.quality.recall << ',' << point.quality.f_measure << ','
@@ -94,7 +107,11 @@ void WriteSeriesCsv(std::ostream& os, const ExperimentResult& result) {
        << ',' << point.stats.breaker_opens << ','
        << point.stats.epochs_published << ','
        << point.stats.snapshots_retired << ','
-       << point.stats.max_concurrent_readers << "\n";
+       << point.stats.max_concurrent_readers << ','
+       << point.stats.votes_recorded << ',' << point.stats.verdicts_emitted
+       << ',' << point.stats.aggregator_pending << ','
+       << point.stats.votes_suppressed << ','
+       << point.stats.tallies_evicted << "\n";
   }
 }
 

@@ -1,41 +1,181 @@
 #include "feedback/aggregator.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace alex::feedback {
 
-std::optional<bool> FeedbackAggregator::AddVote(const linking::Link& link,
-                                                bool approve) {
-  Tally& tally = tallies_[link];
-  if (approve) {
-    ++tally.positive;
-  } else {
-    ++tally.negative;
+namespace {
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FeedbackAggregator::FeedbackAggregator(const AggregatorOptions& options)
+    : options_(options) {
+  size_t shards = RoundUpPowerOfTwo(std::max<size_t>(1, options.num_shards));
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
   }
-  int total = tally.positive + tally.negative;
-  if (total < options_.quorum) return std::nullopt;
-  double threshold = options_.majority * total;
-  std::optional<bool> verdict;
-  if (tally.positive > threshold) {
-    verdict = true;
-  } else if (tally.negative > threshold) {
-    verdict = false;
+  shard_mask_ = shards - 1;
+}
+
+void FeedbackAggregator::AddVote(const linking::Link& link, bool approve) {
+  const uint64_t epoch = vote_epoch_.load(std::memory_order_relaxed);
+  Shard& shard = ShardFor(link);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Tally& tally = shard.tallies[link];
+    if (approve) {
+      ++tally.positive;
+    } else {
+      ++tally.negative;
+    }
+    tally.last_vote_epoch = epoch;
   }
-  if (verdict.has_value()) {
-    ++verdicts_emitted_;
-    if (options_.reset_after_verdict) {
-      tallies_.erase(link);
+  votes_recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<LinkVerdict> FeedbackAggregator::DrainVerdicts(uint64_t epoch) {
+  std::vector<LinkVerdict> batch;
+  // Tallies that survive the quorum check this drain, candidates for the
+  // max_pending overflow eviction: (last_vote_epoch, link) sorted so the
+  // eviction order is deterministic.
+  struct PendingRef {
+    uint64_t last_vote_epoch;
+    linking::Link link;
+  };
+  std::vector<PendingRef> open;
+
+  uint64_t emitted = 0;
+  uint64_t suppressed = 0;
+  uint64_t evicted = 0;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->tallies.begin(); it != shard->tallies.end();) {
+      Tally& tally = it->second;
+      const uint32_t total = tally.positive + tally.negative;
+      const uint32_t fresh_votes = total - tally.votes_at_last_emit;
+      bool verdict_set = false;
+      bool verdict = false;
+      if (total >= static_cast<uint32_t>(options_.quorum) &&
+          fresh_votes > 0) {
+        const double threshold = options_.majority * total;
+        if (tally.positive > threshold) {
+          verdict_set = true;
+          verdict = true;
+        } else if (tally.negative > threshold) {
+          verdict_set = true;
+          verdict = false;
+        }
+      }
+      if (verdict_set) {
+        LinkVerdict out;
+        out.link = it->first;
+        out.approve = verdict;
+        out.positive = tally.positive;
+        out.negative = tally.negative;
+        batch.push_back(std::move(out));
+        ++emitted;
+        // The minority never reaches the learner: one verdict carries the
+        // majority's evidence, the dissent is filtered out here (§6.3).
+        suppressed += verdict ? tally.negative : tally.positive;
+        if (options_.reset_after_verdict) {
+          it = shard->tallies.erase(it);
+          continue;
+        }
+        tally.votes_at_last_emit = total;
+        ++it;
+        continue;
+      }
+      // Not quorate (or nothing new since the last emission): age it out or
+      // keep it pending.
+      if (options_.stale_after_epochs > 0 &&
+          epoch >= tally.last_vote_epoch + options_.stale_after_epochs) {
+        suppressed += total - tally.votes_at_last_emit;
+        ++evicted;
+        it = shard->tallies.erase(it);
+        continue;
+      }
+      open.push_back(PendingRef{tally.last_vote_epoch, it->first});
+      ++it;
     }
   }
-  return verdict;
+
+  // Overflow eviction: down to max_pending, dropping the tallies that went
+  // longest without a vote first (ties broken by link order) — the same
+  // victims whatever shard or thread count produced them.
+  if (options_.max_pending > 0 && open.size() > options_.max_pending) {
+    std::sort(open.begin(), open.end(),
+              [](const PendingRef& a, const PendingRef& b) {
+                if (a.last_vote_epoch != b.last_vote_epoch) {
+                  return a.last_vote_epoch < b.last_vote_epoch;
+                }
+                return a.link < b.link;
+              });
+    const size_t to_evict = open.size() - options_.max_pending;
+    for (size_t i = 0; i < to_evict; ++i) {
+      Shard& shard = ShardFor(open[i].link);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.tallies.find(open[i].link);
+      if (it == shard.tallies.end()) continue;
+      suppressed += it->second.positive + it->second.negative -
+                    it->second.votes_at_last_emit;
+      ++evicted;
+      shard.tallies.erase(it);
+    }
+  }
+
+  std::sort(batch.begin(), batch.end(),
+            [](const LinkVerdict& a, const LinkVerdict& b) {
+              return a.link < b.link;
+            });
+  verdicts_emitted_.fetch_add(emitted, std::memory_order_relaxed);
+  votes_suppressed_.fetch_add(suppressed, std::memory_order_relaxed);
+  tallies_evicted_.fetch_add(evicted, std::memory_order_relaxed);
+  // Votes arriving after this drain belong to the next epoch.
+  vote_epoch_.store(epoch + 1, std::memory_order_relaxed);
+  return batch;
 }
 
 int FeedbackAggregator::PositiveVotes(const linking::Link& link) const {
-  auto it = tallies_.find(link);
-  return it == tallies_.end() ? 0 : it->second.positive;
+  const Shard& shard = ShardFor(link);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.tallies.find(link);
+  return it == shard.tallies.end() ? 0
+                                   : static_cast<int>(it->second.positive);
 }
 
 int FeedbackAggregator::NegativeVotes(const linking::Link& link) const {
-  auto it = tallies_.find(link);
-  return it == tallies_.end() ? 0 : it->second.negative;
+  const Shard& shard = ShardFor(link);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.tallies.find(link);
+  return it == shard.tallies.end() ? 0
+                                   : static_cast<int>(it->second.negative);
+}
+
+size_t FeedbackAggregator::pending() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->tallies.size();
+  }
+  return total;
+}
+
+AggregatorStats FeedbackAggregator::stats() const {
+  AggregatorStats out;
+  out.votes_recorded = votes_recorded_.load(std::memory_order_relaxed);
+  out.verdicts_emitted = verdicts_emitted_.load(std::memory_order_relaxed);
+  out.votes_suppressed = votes_suppressed_.load(std::memory_order_relaxed);
+  out.tallies_evicted = tallies_evicted_.load(std::memory_order_relaxed);
+  out.pending = pending();
+  return out;
 }
 
 }  // namespace alex::feedback

@@ -1,25 +1,51 @@
-// Multi-user feedback aggregation.
+// Sharded multi-user feedback aggregation.
 //
 // The paper assumes a service provider collecting feedback "from many users
 // over a large number of links" (§7.2, batch mode) and notes that feedback
 // could be refined "so that ALEX uses only high quality feedback obtained
-// from a large number of users (e.g., using techniques from [16])"
-// (§6.3). This module implements that refinement step: raw votes from
-// individual users are aggregated per link and only emitted to ALEX once a
-// quorum agrees, which suppresses most incorrect feedback before it ever
-// reaches the learner.
+// from a large number of users (e.g., using techniques from [16])" (§6.3).
+// At provider scale that feedback arrives as a high-rate, unordered vote
+// stream from many serving threads at once, so the aggregator is built as a
+// sharded concurrent accumulator:
 //
-// Usage:
+//   * AddVote is the hot path: LinkHash picks one of num_shards shards, the
+//     shard's own std::mutex guards a find-or-insert into the shard-local
+//     tally map, and the critical section is a couple of integer bumps. A
+//     vote never touches (or contends with) any other shard.
+//   * No verdict is computed per vote. Quorum evaluation is deferred to
+//     DrainVerdicts(epoch), called once at every episode/epoch boundary:
+//     every tally that reached the quorum with a strict majority emits one
+//     LinkVerdict, and the batch is returned sorted by (left, right) IRI —
+//     a deterministic order, whatever arrival order or thread count
+//     produced the votes.
+//
+// Because verdicts depend only on the per-link vote MULTISET at drain time
+// (never on per-vote arrival order), the drained batch is bitwise-identical
+// for any interleaving of the same votes — the property the vote-stream
+// identity gates in tests/feedback/aggregator_test.cc and bench_feedback
+// assert at 1/2/4 threads.
+//
+// Tallies that never become quorate (ties, links nobody re-votes on) would
+// otherwise accumulate forever; DrainVerdicts evicts tallies that went
+// stale_after_epochs without a new vote and, when the pending population
+// still exceeds max_pending, evicts the oldest (then IRI-smallest) tallies
+// deterministically down to the cap.
+//
+// Usage (one epoch):
 //   FeedbackAggregator agg(options);
-//   if (auto verdict = agg.AddVote(link, user_says_yes)) {
-//     engine.ApplyLinkFeedback(link, *verdict);
+//   ... many threads: agg.AddVote(link, user_says_yes) ...
+//   for (const LinkVerdict& v : agg.DrainVerdicts(epoch)) {
+//     engine.ApplyLinkFeedback(v.link, v.approve);
 //   }
 #ifndef ALEX_FEEDBACK_AGGREGATOR_H_
 #define ALEX_FEEDBACK_AGGREGATOR_H_
 
+#include <atomic>
 #include <cstdint>
-#include <optional>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "linking/link.h"
 
@@ -31,41 +57,113 @@ struct AggregatorOptions {
   // Fraction of votes that must agree (strictly greater than). 0.5 =
   // simple majority.
   double majority = 0.5;
-  // After a verdict fires, the tally resets (true) or keeps accumulating
-  // so future votes refine the same tally (false).
+  // After a verdict is drained, the link's tally resets (true) or keeps
+  // accumulating so later votes refine the same tally (false). With false,
+  // a link re-emits at a later drain only if new votes arrived since.
   bool reset_after_verdict = true;
+  // Number of tally shards; rounded up to a power of two. 1 is the
+  // single-lock baseline the differential tests and bench_feedback compare
+  // the sharded default against.
+  size_t num_shards = 16;
+  // A tally with no new votes for this many drains is evicted as stale
+  // (its votes are counted as suppressed). 0 disables the TTL.
+  uint64_t stale_after_epochs = 16;
+  // Hard cap on open tallies after a drain; 0 = unbounded. When exceeded,
+  // tallies are evicted oldest-last-vote-epoch first (ties by ascending
+  // link IRIs) until the cap holds.
+  size_t max_pending = 0;
+};
+
+// One aggregated verdict, with the tally that produced it.
+struct LinkVerdict {
+  linking::Link link;
+  bool approve = false;
+  uint32_t positive = 0;
+  uint32_t negative = 0;
+};
+
+// Point-in-time counters (relaxed; exact when no votes are in flight).
+struct AggregatorStats {
+  uint64_t votes_recorded = 0;
+  uint64_t verdicts_emitted = 0;
+  // Votes that never reached the learner: minority votes inside emitted
+  // verdicts plus every vote of an evicted tally.
+  uint64_t votes_suppressed = 0;
+  uint64_t tallies_evicted = 0;
+  size_t pending = 0;
 };
 
 class FeedbackAggregator {
  public:
-  explicit FeedbackAggregator(const AggregatorOptions& options = {})
-      : options_(options) {}
+  explicit FeedbackAggregator(const AggregatorOptions& options = {});
 
-  // Records one user's vote on `link`. Returns the aggregated verdict once
-  // the quorum is reached and one side has a strict majority; std::nullopt
-  // while the link is still undecided (or the vote is an exact tie at
-  // quorum, in which case tallying continues).
-  std::optional<bool> AddVote(const linking::Link& link, bool approve);
+  FeedbackAggregator(const FeedbackAggregator&) = delete;
+  FeedbackAggregator& operator=(const FeedbackAggregator&) = delete;
 
-  // Current tally for a link (0 if unknown).
+  // Records one user's vote on `link`. Thread-safe; only the owning shard
+  // is touched. Verdicts are NOT computed here — call DrainVerdicts at the
+  // epoch boundary.
+  void AddVote(const linking::Link& link, bool approve);
+
+  // Evaluates every open tally against the quorum/majority rule and
+  // returns the epoch's verdict batch, sorted by (left, right) IRI.
+  // Quorate tallies reset (or are marked emitted when reset_after_verdict
+  // is false); stale tallies and overflow beyond max_pending are evicted.
+  // `epoch` must be non-decreasing across calls. Call from one thread with
+  // no concurrent AddVote (the loops drain after their vote threads join);
+  // the batch is a pure function of the per-link vote multisets.
+  std::vector<LinkVerdict> DrainVerdicts(uint64_t epoch);
+
+  // Current tally for a link (0 if unknown). Test/diagnostic accessors.
   int PositiveVotes(const linking::Link& link) const;
   int NegativeVotes(const linking::Link& link) const;
 
   // Number of links with open (un-emitted) tallies.
-  size_t pending() const { return tallies_.size(); }
+  size_t pending() const;
 
   // Verdicts emitted so far.
-  uint64_t verdicts_emitted() const { return verdicts_emitted_; }
+  uint64_t verdicts_emitted() const {
+    return verdicts_emitted_.load(std::memory_order_relaxed);
+  }
+
+  AggregatorStats stats() const;
+
+  size_t num_shards() const { return shards_.size(); }
 
  private:
   struct Tally {
-    int positive = 0;
-    int negative = 0;
+    uint32_t positive = 0;
+    uint32_t negative = 0;
+    // Votes in the tally when it last emitted (reset_after_verdict=false
+    // re-emits only after new votes arrive).
+    uint32_t votes_at_last_emit = 0;
+    // Epoch of the most recent vote (as of the last drain that saw it; new
+    // votes stamp the epoch the next drain will run under).
+    uint64_t last_vote_epoch = 0;
   };
 
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<linking::Link, Tally, linking::LinkHash> tallies;
+  };
+
+  Shard& ShardFor(const linking::Link& link) {
+    return *shards_[linking::LinkHash{}(link) & shard_mask_];
+  }
+  const Shard& ShardFor(const linking::Link& link) const {
+    return *shards_[linking::LinkHash{}(link) & shard_mask_];
+  }
+
   AggregatorOptions options_;
-  std::unordered_map<linking::Link, Tally, linking::LinkHash> tallies_;
-  uint64_t verdicts_emitted_ = 0;
+  // unique_ptr: Shard holds a mutex and must never move.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_ = 0;
+  // The epoch stamped on incoming votes; DrainVerdicts(e) publishes e + 1.
+  std::atomic<uint64_t> vote_epoch_{0};
+  std::atomic<uint64_t> votes_recorded_{0};
+  std::atomic<uint64_t> verdicts_emitted_{0};
+  std::atomic<uint64_t> votes_suppressed_{0};
+  std::atomic<uint64_t> tallies_evicted_{0};
 };
 
 }  // namespace alex::feedback

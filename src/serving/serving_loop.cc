@@ -24,6 +24,25 @@ void MixBytes(uint64_t* hash, const std::string& bytes) {
   *hash *= 1099511628211ull;
 }
 
+// SplitMix64 finalizer — turns a structured hash into uniform bits.
+uint64_t MixWord(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from (seed, link, k) — the pure-hash vote-flip
+// construction shared with eval::RunVoteDrivenExperiment: each vote's error
+// is a function of what is voted on, never of which stream cast it.
+double VoteUnit(uint64_t seed, const linking::Link& link, uint64_t k) {
+  uint64_t h = 1469598103934665603ull;
+  MixBytes(&h, link.left);
+  MixBytes(&h, link.right);
+  h = MixWord(h ^ MixWord(seed) ^ MixWord(k * 0x632be59bd9b4e019ull + 1));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
 // One stream query observation, enough to replay it exactly.
 struct StreamRecord {
   size_t query_index = 0;
@@ -108,6 +127,17 @@ ServingRunResult RunServingExperiment(core::AlexEngine* engine,
         serving.StageLink(link, added);
       });
 
+  // -- Crowd votes riding on stream traffic --------------------------------
+  // Opt-in: every answer a stream serves yields votes_per_answer_link noisy
+  // votes per provenance link, funneled into the sharded aggregator. The
+  // learner drains one verdict batch per episode boundary below.
+  const int votes_per_link = std::max(0, options.votes_per_answer_link);
+  std::unique_ptr<feedback::FeedbackAggregator> aggregator;
+  if (votes_per_link > 0 && options.num_streams > 0) {
+    aggregator =
+        std::make_unique<feedback::FeedbackAggregator>(options.aggregator);
+  }
+
   // -- Reader streams ------------------------------------------------------
   std::atomic<bool> stop{false};
   std::vector<std::vector<StreamRecord>> stream_records(options.num_streams);
@@ -121,6 +151,9 @@ ServingRunResult RunServingExperiment(core::AlexEngine* engine,
         std::vector<size_t> order(workload.size());
         for (size_t i = 0; i < order.size(); ++i) order[i] = i;
         std::vector<StreamRecord>& records = stream_records[s];
+        // Distinct per-stream vote index space, so two streams voting on
+        // the same link are two different (possibly disagreeing) users.
+        uint64_t vote_index = s << 40;
         while (!stop.load(std::memory_order_acquire)) {
           stream_rng.Shuffle(&order);
           for (size_t index : order) {
@@ -136,6 +169,23 @@ ServingRunResult RunServingExperiment(core::AlexEngine* engine,
               record.answers_hash = HashAnswers(executed.value().answers);
               record.rows = executed.value().answers.size();
               records.push_back(record);
+            }
+            if (aggregator != nullptr) {
+              for (const fed::FederatedAnswer& answer :
+                   executed.value().answers) {
+                for (const linking::Link& link : answer.links_used) {
+                  for (int v = 0; v < votes_per_link; ++v) {
+                    bool vote = truth.Contains(link);
+                    if (options.vote_error_rate > 0.0 &&
+                        VoteUnit(options.vote_seed, link, vote_index) <
+                            options.vote_error_rate) {
+                      vote = !vote;
+                    }
+                    ++vote_index;
+                    aggregator->AddVote(link, vote);
+                  }
+                }
+              }
             }
           }
         }
@@ -204,6 +254,30 @@ ServingRunResult RunServingExperiment(core::AlexEngine* engine,
           plan_stats.parse_misses + plan_stats.plan_misses;
     }
 
+    // Crowd verdicts: one drained batch per epoch, applied before the
+    // boundary sync so the votes the streams cast during this episode land
+    // in the epoch about to publish. Quorums the crowd has not reached yet
+    // stay pending in the aggregator for the next boundary.
+    if (aggregator != nullptr) {
+      for (const feedback::LinkVerdict& verdict :
+           aggregator->DrainVerdicts(static_cast<uint64_t>(episode))) {
+        engine->ApplyLinkFeedback(verdict.link, verdict.approve);
+        ++stats.feedback_items;
+        if (verdict.approve) {
+          ++stats.positive_feedback;
+        } else {
+          ++stats.negative_feedback;
+        }
+        ++out.crowd_verdicts;
+      }
+      feedback::AggregatorStats agg = aggregator->stats();
+      stats.votes_recorded = agg.votes_recorded;
+      stats.verdicts_emitted = agg.verdicts_emitted;
+      stats.aggregator_pending = agg.pending;
+      stats.votes_suppressed = agg.votes_suppressed;
+      stats.tallies_evicted = agg.tallies_evicted;
+    }
+
     // The episode boundary: fires the observer (staging the net membership
     // changes) and reports their count; Publish then freezes them into the
     // next epoch while in-flight stream queries keep their pinned epochs.
@@ -240,6 +314,9 @@ ServingRunResult RunServingExperiment(core::AlexEngine* engine,
 
   stop.store(true, std::memory_order_release);
   if (streams != nullptr) streams->Wait();
+  if (aggregator != nullptr) {
+    out.stream_votes = aggregator->stats().votes_recorded;
+  }
   result.total_seconds = run_timer.ElapsedSeconds();
   result.new_links_discovered =
       eval::NewCorrectLinks(initial_links, engine->CandidateLinks(), truth);

@@ -30,6 +30,7 @@
 #include "datagen/world.h"
 #include "eval/experiment.h"
 #include "eval/query_workload.h"
+#include "feedback/aggregator.h"
 #include "feedback/oracle.h"
 #include "serving/serving_engine.h"
 
@@ -55,6 +56,19 @@ struct ServingLoopOptions {
   // comparing answer hashes. Costs memory (snapshots survive the run) and
   // replay time.
   bool verify_identity = true;
+  // Crowd votes riding on serving traffic. 0 = off (the default, which is
+  // what the series-identity guarantee above assumes). When > 0, every
+  // reader stream casts this many noisy votes per link in each answer's
+  // provenance into a shared sharded FeedbackAggregator, and the learner
+  // drains ONE verdict batch per episode boundary — applied through
+  // ApplyLinkFeedback before the publish — so feedback volume scales with
+  // how much traffic the streams actually served. The learner series then
+  // intentionally depends on stream timing; epoch-pinned answer identity
+  // still holds and is still verified.
+  int votes_per_answer_link = 0;
+  double vote_error_rate = 0.1;
+  uint64_t vote_seed = 777;
+  feedback::AggregatorOptions aggregator;
 };
 
 struct ServingRunResult {
@@ -70,6 +84,10 @@ struct ServingRunResult {
   // num_streams == 0.
   size_t identity_replayed = 0;
   size_t identity_verified = 0;
+  // Crowd-vote pipeline (votes_per_answer_link > 0): total votes the reader
+  // streams cast, and how many drained verdicts the learner applied.
+  size_t stream_votes = 0;
+  size_t crowd_verdicts = 0;
   // Serving-side latency (stream ExecuteText calls), milliseconds.
   double latency_p50_ms = 0.0;
   double latency_p90_ms = 0.0;

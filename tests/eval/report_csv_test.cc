@@ -45,7 +45,9 @@ TEST(ReportCsvTest, HeaderAndRows) {
                      "neg_feedback_pct,candidates,seconds,"
                      "incomplete_queries,skipped_feedback,query_retries,"
                      "breaker_opens,epochs_published,snapshots_retired,"
-                     "max_concurrent_readers"),
+                     "max_concurrent_readers,votes_recorded,"
+                     "verdicts_emitted,aggregator_pending,votes_suppressed,"
+                     "tallies_evicted"),
             0u);
   // One header + two data rows.
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
@@ -104,6 +106,30 @@ TEST(ReportTest, SummaryShowsServingBlockOnlyWhenServed) {
   EXPECT_NE(with.str().find("epochs published:        7"), std::string::npos);
   EXPECT_NE(with.str().find("snapshots retired:       5"), std::string::npos);
   EXPECT_NE(with.str().find("max concurrent readers:  4"), std::string::npos);
+}
+
+TEST(ReportTest, SummaryShowsFeedbackBlockOnlyWhenVotesFlowed) {
+  ExperimentResult plain = SampleResult();
+  std::ostringstream without;
+  PrintSummary(without, plain);
+  EXPECT_EQ(without.str().find("votes recorded"), std::string::npos);
+
+  ExperimentResult voted = SampleResult();
+  voted.series.back().stats.votes_recorded = 2000;
+  voted.series.back().stats.verdicts_emitted = 380;
+  voted.series.back().stats.votes_suppressed = 190;
+  voted.series.back().stats.tallies_evicted = 3;
+  voted.series.back().stats.aggregator_pending = 17;
+  std::ostringstream with;
+  PrintSummary(with, voted);
+  EXPECT_NE(with.str().find("votes recorded:          2000"),
+            std::string::npos);
+  EXPECT_NE(with.str().find("verdicts emitted:        380"),
+            std::string::npos);
+  EXPECT_NE(with.str().find("votes suppressed:        190"),
+            std::string::npos);
+  EXPECT_NE(with.str().find("tallies evicted:         3 (17 still pending)"),
+            std::string::npos);
 }
 
 TEST(ReportTest, SeriesMarksRelaxedConvergence) {

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "common/rng.h"
 
 namespace alex::feedback {
@@ -11,11 +17,17 @@ using linking::Link;
 
 const Link kLink{"http://l/a", "http://r/x", 1.0};
 
+// Applies one drain's worth of votes and returns the batch.
+std::vector<LinkVerdict> DrainOnce(FeedbackAggregator* agg, uint64_t epoch) {
+  return agg->DrainVerdicts(epoch);
+}
+
 TEST(AggregatorTest, NoVerdictBeforeQuorum) {
   FeedbackAggregator agg({.quorum = 3});
-  EXPECT_FALSE(agg.AddVote(kLink, true).has_value());
-  EXPECT_FALSE(agg.AddVote(kLink, true).has_value());
+  agg.AddVote(kLink, true);
+  agg.AddVote(kLink, true);
   EXPECT_EQ(agg.PositiveVotes(kLink), 2);
+  EXPECT_TRUE(DrainOnce(&agg, 0).empty());
   EXPECT_EQ(agg.pending(), 1u);
 }
 
@@ -23,9 +35,12 @@ TEST(AggregatorTest, UnanimousQuorumEmitsVerdict) {
   FeedbackAggregator agg({.quorum = 3});
   agg.AddVote(kLink, true);
   agg.AddVote(kLink, true);
-  std::optional<bool> verdict = agg.AddVote(kLink, true);
-  ASSERT_TRUE(verdict.has_value());
-  EXPECT_TRUE(*verdict);
+  agg.AddVote(kLink, true);
+  std::vector<LinkVerdict> batch = DrainOnce(&agg, 0);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch[0].approve);
+  EXPECT_EQ(batch[0].positive, 3u);
+  EXPECT_EQ(batch[0].negative, 0u);
   EXPECT_EQ(agg.verdicts_emitted(), 1u);
 }
 
@@ -33,69 +48,263 @@ TEST(AggregatorTest, MajorityWinsDespiteDissent) {
   FeedbackAggregator agg({.quorum = 3});
   agg.AddVote(kLink, false);
   agg.AddVote(kLink, true);
-  std::optional<bool> verdict = agg.AddVote(kLink, true);
-  ASSERT_TRUE(verdict.has_value());
-  EXPECT_TRUE(*verdict);
+  agg.AddVote(kLink, true);
+  std::vector<LinkVerdict> batch = DrainOnce(&agg, 0);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch[0].approve);
+  // The dissenting vote was suppressed by the quorum.
+  EXPECT_EQ(agg.stats().votes_suppressed, 1u);
 }
 
 TEST(AggregatorTest, NegativeMajority) {
   FeedbackAggregator agg({.quorum = 3});
   agg.AddVote(kLink, false);
   agg.AddVote(kLink, true);
-  std::optional<bool> verdict = agg.AddVote(kLink, false);
-  ASSERT_TRUE(verdict.has_value());
-  EXPECT_FALSE(*verdict);
+  agg.AddVote(kLink, false);
+  std::vector<LinkVerdict> batch = DrainOnce(&agg, 0);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(batch[0].approve);
 }
 
 TEST(AggregatorTest, TieKeepsAccumulating) {
   FeedbackAggregator agg({.quorum = 2});
   agg.AddVote(kLink, true);
-  EXPECT_FALSE(agg.AddVote(kLink, false).has_value());  // 1-1 tie
-  // The next vote breaks the tie.
-  std::optional<bool> verdict = agg.AddVote(kLink, true);
-  ASSERT_TRUE(verdict.has_value());
-  EXPECT_TRUE(*verdict);
+  agg.AddVote(kLink, false);
+  EXPECT_TRUE(DrainOnce(&agg, 0).empty());  // 1-1 tie
+  agg.AddVote(kLink, true);                 // breaks the tie
+  std::vector<LinkVerdict> batch = DrainOnce(&agg, 1);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch[0].approve);
 }
 
 TEST(AggregatorTest, ResetAfterVerdict) {
   FeedbackAggregator agg({.quorum = 2});
   agg.AddVote(kLink, true);
-  ASSERT_TRUE(agg.AddVote(kLink, true).has_value());
+  agg.AddVote(kLink, true);
+  EXPECT_EQ(DrainOnce(&agg, 0).size(), 1u);
   EXPECT_EQ(agg.PositiveVotes(kLink), 0);  // tally cleared
   EXPECT_EQ(agg.pending(), 0u);
 }
 
-TEST(AggregatorTest, KeepTallyWhenConfigured) {
-  FeedbackAggregator agg({.quorum = 2, .majority = 0.5,
-                          .reset_after_verdict = false});
+TEST(AggregatorTest, KeepTallyReEmitsOnlyOnFreshVotes) {
+  FeedbackAggregator agg(
+      {.quorum = 2, .majority = 0.5, .reset_after_verdict = false});
   agg.AddVote(kLink, true);
-  ASSERT_TRUE(agg.AddVote(kLink, true).has_value());
-  EXPECT_EQ(agg.PositiveVotes(kLink), 2);
+  agg.AddVote(kLink, true);
+  EXPECT_EQ(DrainOnce(&agg, 0).size(), 1u);
+  EXPECT_EQ(agg.PositiveVotes(kLink), 2);  // tally kept
+  // No new votes: the same tally must not re-emit.
+  EXPECT_TRUE(DrainOnce(&agg, 1).empty());
+  // A fresh vote re-opens it.
+  agg.AddVote(kLink, true);
+  std::vector<LinkVerdict> batch = DrainOnce(&agg, 2);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].positive, 3u);
 }
 
-TEST(AggregatorTest, LinksAreIndependent) {
-  FeedbackAggregator agg({.quorum = 2});
-  Link other{"http://l/b", "http://r/y", 1.0};
+TEST(AggregatorTest, LinksAreIndependentAndBatchSorted) {
+  FeedbackAggregator agg({.quorum = 1});
+  Link b{"http://l/b", "http://r/y", 1.0};
+  // Insert in descending link order; the batch must come back ascending.
+  agg.AddVote(b, false);
   agg.AddVote(kLink, true);
-  agg.AddVote(other, false);
-  EXPECT_EQ(agg.PositiveVotes(kLink), 1);
-  EXPECT_EQ(agg.NegativeVotes(other), 1);
-  EXPECT_EQ(agg.pending(), 2u);
+  std::vector<LinkVerdict> batch = DrainOnce(&agg, 0);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].link, kLink);
+  EXPECT_TRUE(batch[0].approve);
+  EXPECT_EQ(batch[1].link, b);
+  EXPECT_FALSE(batch[1].approve);
 }
 
 TEST(AggregatorTest, SupermajorityThreshold) {
-  // With majority = 0.66, a 2-1 split (66.7% > 66%) barely passes but a
-  // 3-2 split (60%) does not.
+  // With majority = 0.66, a 3-2 split (60%) does not pass but 4-2 (66.7%)
+  // does.
   FeedbackAggregator agg({.quorum = 5, .majority = 0.66});
   agg.AddVote(kLink, true);
   agg.AddVote(kLink, true);
   agg.AddVote(kLink, true);
   agg.AddVote(kLink, false);
-  EXPECT_FALSE(agg.AddVote(kLink, false).has_value());  // 3-2: no verdict
-  // One more positive vote reaches 4-2 (66.7% > 66%).
-  std::optional<bool> verdict = agg.AddVote(kLink, true);
-  ASSERT_TRUE(verdict.has_value());
-  EXPECT_TRUE(*verdict);
+  agg.AddVote(kLink, false);
+  EXPECT_TRUE(DrainOnce(&agg, 0).empty());
+  agg.AddVote(kLink, true);
+  std::vector<LinkVerdict> batch = DrainOnce(&agg, 1);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(batch[0].approve);
+}
+
+TEST(AggregatorTest, StaleTalliesAreEvicted) {
+  FeedbackAggregator agg({.quorum = 5, .stale_after_epochs = 3});
+  agg.AddVote(kLink, true);  // stamped epoch 0, never reaches quorum
+  EXPECT_TRUE(agg.DrainVerdicts(0).empty());
+  EXPECT_EQ(agg.pending(), 1u);
+  EXPECT_TRUE(agg.DrainVerdicts(1).empty());
+  EXPECT_TRUE(agg.DrainVerdicts(2).empty());
+  EXPECT_EQ(agg.pending(), 1u);  // epoch 2 < 0 + 3: still alive
+  EXPECT_TRUE(agg.DrainVerdicts(3).empty());
+  EXPECT_EQ(agg.pending(), 0u);  // evicted at its TTL
+  AggregatorStats stats = agg.stats();
+  EXPECT_EQ(stats.tallies_evicted, 1u);
+  EXPECT_EQ(stats.votes_suppressed, 1u);
+}
+
+TEST(AggregatorTest, FreshVotesRefreshTheTtl) {
+  FeedbackAggregator agg({.quorum = 5, .stale_after_epochs = 3});
+  agg.AddVote(kLink, true);
+  agg.DrainVerdicts(0);
+  agg.DrainVerdicts(1);
+  agg.AddVote(kLink, true);  // stamped epoch 2 by the vote clock
+  agg.DrainVerdicts(2);
+  agg.DrainVerdicts(3);
+  agg.DrainVerdicts(4);
+  EXPECT_EQ(agg.pending(), 1u);  // epoch 4 < 2 + 3
+  agg.DrainVerdicts(5);
+  EXPECT_EQ(agg.pending(), 0u);
+}
+
+TEST(AggregatorTest, MaxPendingEvictsOldestThenSmallestLink) {
+  // Unbounded-growth regression: a stream of never-quorate links must not
+  // grow the tally population past the cap, and the victims are
+  // deterministic (oldest vote epoch first, then ascending link).
+  AggregatorOptions options;
+  options.quorum = 100;  // nothing ever emits
+  options.stale_after_epochs = 0;
+  options.max_pending = 8;
+  FeedbackAggregator agg(options);
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    for (int i = 0; i < 4; ++i) {
+      Link link{"l" + std::to_string(epoch * 4 + i),
+                "r" + std::to_string(epoch * 4 + i), 1.0};
+      agg.AddVote(link, true);
+    }
+    agg.DrainVerdicts(static_cast<uint64_t>(epoch));
+    EXPECT_LE(agg.pending(), options.max_pending);
+  }
+  // The survivors are exactly the youngest tallies.
+  EXPECT_EQ(agg.pending(), 8u);
+  EXPECT_EQ(agg.PositiveVotes(Link{"l196", "r196", 1.0}), 1);
+  EXPECT_EQ(agg.PositiveVotes(Link{"l199", "r199", 1.0}), 1);
+  EXPECT_EQ(agg.PositiveVotes(Link{"l0", "r0", 1.0}), 0);
+  EXPECT_EQ(agg.stats().tallies_evicted, 50u * 4u - 8u);
+}
+
+// Independently-implemented single-map reference: verdicts from per-link
+// vote multisets, majority-checked at drain time, sorted by link.
+std::vector<LinkVerdict> ReferenceVerdicts(
+    const std::vector<std::pair<Link, bool>>& votes, int quorum,
+    double majority) {
+  std::map<Link, std::pair<uint32_t, uint32_t>> tallies;
+  for (const auto& [link, approve] : votes) {
+    if (approve) {
+      ++tallies[link].first;
+    } else {
+      ++tallies[link].second;
+    }
+  }
+  std::vector<LinkVerdict> out;
+  for (const auto& [link, tally] : tallies) {
+    const uint32_t total = tally.first + tally.second;
+    if (total < static_cast<uint32_t>(quorum)) continue;
+    const double threshold = majority * total;
+    LinkVerdict v;
+    v.link = link;
+    v.positive = tally.first;
+    v.negative = tally.second;
+    if (tally.first > threshold) {
+      v.approve = true;
+    } else if (tally.second > threshold) {
+      v.approve = false;
+    } else {
+      continue;  // tie
+    }
+    out.push_back(v);
+  }
+  return out;  // std::map iterates in ascending link order
+}
+
+bool SameBatch(const std::vector<LinkVerdict>& a,
+               const std::vector<LinkVerdict>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].link == b[i].link) || a[i].approve != b[i].approve ||
+        a[i].positive != b[i].positive || a[i].negative != b[i].negative) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(AggregatorDifferentialTest, RandomStreamsMatchReferenceAnyShardCount) {
+  Rng rng(2026);
+  for (int round = 0; round < 20; ++round) {
+    // A random vote stream over a small link universe (lots of collisions).
+    std::vector<std::pair<Link, bool>> votes;
+    const size_t universe = 1 + rng.NextBounded(30);
+    const size_t count = rng.NextBounded(400);
+    for (size_t v = 0; v < count; ++v) {
+      size_t id = rng.NextBounded(universe);
+      votes.push_back({Link{"l" + std::to_string(id),
+                            "r" + std::to_string(id), 1.0},
+                       rng.NextBool(0.6)});
+    }
+    const int quorum = 1 + static_cast<int>(rng.NextBounded(5));
+    std::vector<LinkVerdict> expected =
+        ReferenceVerdicts(votes, quorum, 0.5);
+    for (size_t shards : {1u, 4u, 16u}) {
+      AggregatorOptions options;
+      options.quorum = quorum;
+      options.num_shards = shards;
+      FeedbackAggregator agg(options);
+      // Feed in a fresh shuffled order per shard count: the batch depends
+      // only on the multiset.
+      std::vector<std::pair<Link, bool>> shuffled = votes;
+      rng.Shuffle(&shuffled);
+      for (const auto& [link, approve] : shuffled) {
+        agg.AddVote(link, approve);
+      }
+      std::vector<LinkVerdict> batch = agg.DrainVerdicts(0);
+      EXPECT_TRUE(SameBatch(batch, expected))
+          << "round " << round << " shards " << shards;
+    }
+  }
+}
+
+TEST(AggregatorThreadTest, ConcurrentVoteStreamsDrainIdentically) {
+  // The same vote multiset cast by 1, 2 and 4 threads must drain to the
+  // same verdict batch, for both the sharded and the single-lock layout.
+  Rng rng(99);
+  std::vector<std::pair<Link, bool>> votes;
+  for (size_t v = 0; v < 2000; ++v) {
+    size_t id = rng.NextBounded(64);
+    votes.push_back({Link{"l" + std::to_string(id),
+                          "r" + std::to_string(id), 1.0},
+                     rng.NextBool(0.7)});
+  }
+  for (size_t shards : {1u, 16u}) {
+    std::vector<LinkVerdict> baseline;
+    for (int threads : {1, 2, 4}) {
+      AggregatorOptions options;
+      options.quorum = 3;
+      options.num_shards = shards;
+      FeedbackAggregator agg(options);
+      std::vector<std::thread> workers;
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          for (size_t v = static_cast<size_t>(t); v < votes.size();
+               v += static_cast<size_t>(threads)) {
+            agg.AddVote(votes[v].first, votes[v].second);
+          }
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      std::vector<LinkVerdict> batch = agg.DrainVerdicts(0);
+      if (threads == 1) {
+        baseline = batch;
+      } else {
+        EXPECT_TRUE(SameBatch(batch, baseline))
+            << "shards " << shards << " threads " << threads;
+      }
+    }
+  }
 }
 
 TEST(AggregatorTest, SuppressesNoisyUsersStatistically) {
@@ -105,22 +314,45 @@ TEST(AggregatorTest, SuppressesNoisyUsersStatistically) {
   Rng rng(77);
   FeedbackAggregator agg({.quorum = 5});
   int wrong_verdicts = 0;
-  int verdicts = 0;
   for (int i = 0; i < 100; ++i) {
     Link link{"l" + std::to_string(i), "r" + std::to_string(i), 1.0};
     bool truth = i % 2 == 0;
     for (int user = 0; user < 5; ++user) {
       bool vote = rng.NextBool(0.2) ? !truth : truth;
-      std::optional<bool> verdict = agg.AddVote(link, vote);
-      if (verdict.has_value()) {
-        ++verdicts;
-        if (*verdict != truth) ++wrong_verdicts;
-      }
+      agg.AddVote(link, vote);
     }
   }
-  EXPECT_GT(verdicts, 80);
+  std::vector<LinkVerdict> batch = agg.DrainVerdicts(0);
+  EXPECT_GT(batch.size(), 80u);
+  for (const LinkVerdict& verdict : batch) {
+    bool truth = std::stoi(verdict.link.left.substr(1)) % 2 == 0;
+    if (verdict.approve != truth) ++wrong_verdicts;
+  }
   // Raw error rate would be ~20%; aggregated should be well under 10%.
-  EXPECT_LT(static_cast<double>(wrong_verdicts) / verdicts, 0.1);
+  EXPECT_LT(static_cast<double>(wrong_verdicts) /
+                static_cast<double>(batch.size()),
+            0.1);
+}
+
+TEST(AggregatorTest, StatsTrackTheWholeLifecycle) {
+  AggregatorOptions options;
+  options.quorum = 3;
+  options.stale_after_epochs = 1;
+  FeedbackAggregator agg(options);
+  Link quorate{"l/q", "r/q", 1.0};
+  Link stale{"l/s", "r/s", 1.0};
+  agg.AddVote(quorate, true);
+  agg.AddVote(quorate, true);
+  agg.AddVote(quorate, false);
+  agg.AddVote(stale, true);
+  agg.DrainVerdicts(0);  // emits quorate (suppressing 1 dissent)
+  agg.DrainVerdicts(1);  // evicts stale (suppressing its 1 vote)
+  AggregatorStats stats = agg.stats();
+  EXPECT_EQ(stats.votes_recorded, 4u);
+  EXPECT_EQ(stats.verdicts_emitted, 1u);
+  EXPECT_EQ(stats.votes_suppressed, 2u);
+  EXPECT_EQ(stats.tallies_evicted, 1u);
+  EXPECT_EQ(stats.pending, 0u);
 }
 
 }  // namespace

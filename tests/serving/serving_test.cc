@@ -318,5 +318,33 @@ TEST(ServingLoopTest, EpisodeStatsCarryServingCounters) {
             result.serving.epochs_published - 1);
 }
 
+// Crowd votes riding on stream traffic: readers cast noisy votes on the
+// provenance links of every answer they serve; the learner drains one
+// verdict batch per epoch boundary. Epoch-pinned answer identity must
+// survive the extra (timing-dependent) feedback source.
+TEST(ServingLoopTest, StreamVotesFlowThroughAggregatorIntoTheLearner) {
+  LoopFixture fixture;
+  ServingLoopOptions options = fixture.LoopOptions();
+  options.num_streams = 2;
+  options.verify_identity = true;
+  options.votes_per_answer_link = 3;
+  options.vote_error_rate = 0.1;
+  options.aggregator.quorum = 3;
+  auto engine = fixture.MakeEngine();
+  ServingRunResult result = RunServingExperiment(engine.get(), fixture.world,
+                                                 fixture.truth, options);
+
+  // The streams served traffic; every answer with provenance links votes.
+  EXPECT_GT(result.stream_queries, 0u);
+  EXPECT_GT(result.stream_votes, 0u);
+  // Identity of pinned-epoch replays is independent of the vote pipeline.
+  EXPECT_GT(result.identity_replayed, 0u);
+  EXPECT_TRUE(result.identity_ok());
+  // Cumulative aggregator counters surface in the final episode's stats.
+  const core::EpisodeStats& last = result.experiment.series.back().stats;
+  EXPECT_EQ(result.crowd_verdicts, last.verdicts_emitted);
+  EXPECT_LE(last.verdicts_emitted * 3, last.votes_recorded);
+}
+
 }  // namespace
 }  // namespace alex::serving
