@@ -1,0 +1,201 @@
+// Live triple-ingest benchmark (ISSUE 10 tentpole): per-epoch world growth
+// folded into the engine with AlexEngine::IngestTriples — the incremental
+// path (blocking-index AddRights sidecars + FeatureSpace::Grow overflow
+// entries) vs. the baseline that rebuilds the blocking index and the score
+// arenas from scratch on every ingest epoch.
+//
+// Correctness gate (the bench exits nonzero if it fails): after EVERY
+// ingest epoch the two engines must agree on the shared blocking-index
+// fingerprint and every per-partition feature-space fingerprint — the
+// incremental engine is bit-for-bit the same state as a full rebuild.
+// Perf gate: ingest must be at least 10x faster than rebuild at 1% entity
+// growth per epoch.
+//
+// Writes BENCH_ingest.json (path via --out).
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/alex_engine.h"
+#include "datagen/world.h"
+#include "linking/paris.h"
+
+namespace {
+
+using alex::core::AlexEngine;
+using alex::core::PartitionAlex;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<
+             std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// One engine plus the world it mutates. The two modes get separately
+// generated (identical) worlds because ingest mutates the stores in place.
+struct ModeRun {
+  explicit ModeRun(const alex::eval::ExperimentConfig& config,
+                   bool incremental)
+      : world(alex::datagen::Generate(config.profile)) {
+    alex::core::AlexOptions options = config.alex;
+    options.incremental_ingest = incremental;
+    engine = std::make_unique<AlexEngine>(&world.left, &world.right, options);
+    std::vector<alex::linking::Link> initial = alex::linking::FilterByScore(
+        alex::linking::RunParis(world.left, world.right),
+        config.paris_threshold);
+    alex::Status status = engine->Initialize(initial);
+    ALEX_CHECK(status.ok()) << status.message();
+  }
+
+  alex::datagen::GeneratedWorld world;
+  std::unique_ptr<AlexEngine> engine;
+  double total_ms = 0.0;
+};
+
+uint64_t BlockingFingerprint(const AlexEngine& engine) {
+  return engine.right_context()->index.Fingerprint();
+}
+
+std::vector<uint64_t> PartitionFingerprints(const AlexEngine& engine) {
+  std::vector<uint64_t> fingerprints;
+  for (const PartitionAlex& partition : engine.partitions()) {
+    fingerprints.push_back(partition.space().Fingerprint());
+  }
+  return fingerprints;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_ingest.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    }
+  }
+
+  const double kGrowthFraction = 0.01;  // 1% entity growth per epoch
+  const int kEpochs = 20;
+  const uint64_t kGrowthSeed = 7;
+
+  alex::eval::ExperimentConfig config =
+      alex::bench::MakeConfig("dbpedia_nytimes");
+  ModeRun ingest(config, /*incremental=*/true);
+  ModeRun rebuild(config, /*incremental=*/false);
+  // Untimed empty-ingest warmup: builds the one-time lazy ingest structures
+  // (the left-side reverse-probe index and the forward probe-key caches for
+  // the incremental engine; a no-op arena rebuild for the baseline) so the
+  // timed epochs below measure steady-state ingest, not first-epoch setup.
+  {
+    alex::Status warm = ingest.engine->IngestTriples();
+    ALEX_CHECK(warm.ok()) << warm.message();
+    warm = rebuild.engine->IngestTriples();
+    ALEX_CHECK(warm.ok()) << warm.message();
+  }
+  alex::datagen::GrowthSchedule schedule = alex::datagen::GrowWorld(
+      config.profile, kGrowthSeed, kGrowthFraction, kEpochs);
+
+  std::cout << "== Live triple ingest vs. rebuild-every-epoch ==\n"
+            << "world dbpedia_nytimes: "
+            << ingest.world.left.Subjects().size() << " + "
+            << ingest.world.right.Subjects().size() << " entities, "
+            << kEpochs << " ingest epochs at " << kGrowthFraction * 100
+            << "% growth/epoch\n";
+
+  AlexEngine::IngestStats ingest_stats;
+  AlexEngine::IngestStats rebuild_stats;
+  size_t triples_ingested = 0;
+  size_t entities_added = 0;
+  size_t overflow_entries = 0;
+  bool identical = true;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    const alex::datagen::GrowthEpoch& growth = schedule.epochs[epoch];
+    // Both worlds mutate identically, outside the timed regions.
+    alex::datagen::ApplyGrowthEpoch(growth, &ingest.world.left,
+                                    &ingest.world.right);
+    alex::datagen::ApplyGrowthEpoch(growth, &rebuild.world.left,
+                                    &rebuild.world.right);
+
+    auto inc_start = std::chrono::steady_clock::now();
+    alex::Status inc_status = ingest.engine->IngestTriples(&ingest_stats);
+    ingest.total_ms += MsSince(inc_start);
+    ALEX_CHECK(inc_status.ok()) << inc_status.message();
+
+    auto reb_start = std::chrono::steady_clock::now();
+    alex::Status reb_status = rebuild.engine->IngestTriples(&rebuild_stats);
+    rebuild.total_ms += MsSince(reb_start);
+    ALEX_CHECK(reb_status.ok()) << reb_status.message();
+
+    triples_ingested += ingest_stats.triples_ingested;
+    entities_added +=
+        ingest_stats.new_left_entities + ingest_stats.new_right_entities;
+    overflow_entries += ingest_stats.overflow_entries;
+
+    // Identity gate, outside both timed regions.
+    if (BlockingFingerprint(*ingest.engine) !=
+            BlockingFingerprint(*rebuild.engine) ||
+        PartitionFingerprints(*ingest.engine) !=
+            PartitionFingerprints(*rebuild.engine)) {
+      identical = false;
+      std::cerr << "FINGERPRINT MISMATCH at ingest epoch " << epoch << "\n";
+      break;
+    }
+  }
+
+  const double speedup =
+      ingest.total_ms > 0.0 ? rebuild.total_ms / ingest.total_ms : 0.0;
+  std::cout << std::fixed
+            << "  incremental (IngestTriples)   " << std::setw(9)
+            << std::setprecision(2) << ingest.total_ms << " ms total  "
+            << std::setw(8) << std::setprecision(4)
+            << ingest.total_ms / kEpochs << " ms/epoch  ("
+            << overflow_entries << " overflow entries, "
+            << ingest_stats.blocking_merges << " blocking merges)\n"
+            << "  rebuild (index + arenas)      " << std::setw(9)
+            << std::setprecision(2) << rebuild.total_ms << " ms total  "
+            << std::setw(8) << std::setprecision(4)
+            << rebuild.total_ms / kEpochs << " ms/epoch\n"
+            << "  " << triples_ingested << " triples / " << entities_added
+            << " entities ingested\n"
+            << "  speedup " << std::setprecision(1) << speedup
+            << "x (gate: >= 10x)\n"
+            << (identical
+                    ? "fingerprints identical after every ingest epoch\n"
+                    : "FINGERPRINT MISMATCH!\n");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << std::fixed << std::setprecision(3);
+  out << "{\n"
+      << "  \"bench\": \"ingest\",\n"
+      << "  \"world\": \"dbpedia_nytimes\",\n"
+      << "  \"growth_fraction\": " << kGrowthFraction << ",\n"
+      << "  \"epochs\": " << kEpochs << ",\n"
+      << "  \"triples_ingested\": " << triples_ingested << ",\n"
+      << "  \"entities_added\": " << entities_added << ",\n"
+      << "  \"identical_fingerprints\": " << (identical ? "true" : "false")
+      << ",\n"
+      << "  \"speedup_ingest_vs_rebuild\": " << speedup << ",\n"
+      << "  \"overflow_entries\": " << overflow_entries << ",\n"
+      << "  \"blocking_merges\": " << ingest_stats.blocking_merges << ",\n"
+      << "  \"runs\": [\n"
+      << "    {\"mode\": \"incremental\", \"ms\": " << ingest.total_ms
+      << ", \"ms_per_epoch\": " << ingest.total_ms / kEpochs << "},\n"
+      << "    {\"mode\": \"rebuild\", \"ms\": " << rebuild.total_ms
+      << ", \"ms_per_epoch\": " << rebuild.total_ms / kEpochs << "}\n"
+      << "  ]\n}\n";
+  std::cout << "(json written to " << out_path << ")\n";
+  return identical && speedup >= 10.0 ? 0 : 1;
+}

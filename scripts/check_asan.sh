@@ -2,8 +2,9 @@
 # Builds the test suites most exposed to the in-place index maintenance
 # paths (tombstone/pending-buffer churn, bucket compaction, rollback
 # resurrection, the parallel episode loop, epoch-snapshot reclamation in
-# the serving tier, and the sharded feedback aggregator's tally churn)
-# under AddressSanitizer and runs them. Uses its own build directory so the
+# the serving tier, the sharded feedback aggregator's tally churn, and the
+# live-ingest path's blocking-index sidecars and overflow arenas) under
+# AddressSanitizer and runs them. Uses its own build directory so the
 # regular build stays untouched. Override with BUILD_DIR=... .
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,10 +13,11 @@ build_dir=${BUILD_DIR:-build-asan}
 cmake -B "$build_dir" -S . -DALEX_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target core_tests system_tests serving_tests feedback_tests
+  --target core_tests system_tests serving_tests feedback_tests ingest_tests
 
 "$build_dir"/tests/core_tests
 "$build_dir"/tests/system_tests
 "$build_dir"/tests/serving_tests
 "$build_dir"/tests/feedback_tests
+"$build_dir"/tests/ingest_tests
 echo "asan: clean"

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Single CI entry point: tier-1 build + full ctest, then the sanitizer
-# sweeps, then the gated benchmarks (identity + planned-vs-greedy speedup
-# gates; see scripts/run_benches.sh). Each stage uses its own build
+# sweeps, then the gated benchmarks (identity, planned-vs-greedy speedup,
+# and ingest-vs-rebuild speedup gates; see scripts/run_benches.sh). Each stage uses its own build
 # directory (build-ci, build-asan, build-tsan, build-bench) so a local
 # development build stays untouched.
 #

@@ -12,7 +12,7 @@ cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_episode_loop bench_space_build bench_query_exec \
   bench_incremental_space bench_federation_faults bench_serving \
-  bench_feedback
+  bench_feedback bench_ingest
 
 declare -A gate_key=(
   [bench_episode_loop]=identical_series
@@ -22,6 +22,7 @@ declare -A gate_key=(
   [bench_federation_faults]=identical_answers
   [bench_serving]=identity
   [bench_feedback]=identical_batches
+  [bench_ingest]=identical_fingerprints
 )
 declare -A runs_key=(
   [bench_episode_loop]=runs
@@ -31,11 +32,12 @@ declare -A runs_key=(
   [bench_federation_faults]=runs
   [bench_serving]=runs
   [bench_feedback]=runs
+  [bench_ingest]=runs
 )
 
 for bench in bench_episode_loop bench_space_build bench_query_exec \
     bench_incremental_space bench_federation_faults bench_serving \
-    bench_feedback; do
+    bench_feedback bench_ingest; do
   out="BENCH_${bench#bench_}.json"
   echo "== $bench -> $out =="
   "$build_dir/bench/$bench" --out "$out"
@@ -78,6 +80,16 @@ if doc["bench"] == "feedback":
         if run["verdicts_per_sec"] <= 0:
             sys.exit(f"{path}: no verdict throughput at "
                      f"{run['threads']} threads / {run['shards']} shards")
+if doc["bench"] == "ingest":
+    for key in ("speedup_ingest_vs_rebuild", "triples_ingested",
+                "entities_added", "overflow_entries", "blocking_merges"):
+        if key not in doc:
+            sys.exit(f"{path}: missing key '{key}'")
+    speedup = doc["speedup_ingest_vs_rebuild"]
+    if speedup < 10.0:
+        sys.exit(f"{path}: ingest vs rebuild speedup {speedup} < 10")
+    if doc["triples_ingested"] <= 0 or doc["entities_added"] <= 0:
+        sys.exit(f"{path}: ingest bench moved no data")
 if doc["bench"] == "serving":
     for key in ("p99_ms", "answers_per_sec", "epochs_published",
                 "indirection_overhead_pct", "overhead_under_5pct"):

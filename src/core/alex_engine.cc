@@ -116,6 +116,12 @@ PartitionAlex::FeedbackOutcome PartitionAlex::ProcessFeedback(PairId pair,
 }
 
 void PartitionAlex::SyncSpaceToCandidates() {
+  // Episode-boundary background compaction: fold ingest-grown score entries
+  // back into the CSR arena once they outgrow the dirt threshold. Runs
+  // before the delta fold (and regardless of candidate churn) so the next
+  // episode's span probes walk a compact arena. No-op when nothing grew;
+  // physical-only, so the logical fingerprint is unchanged.
+  space_.MaybeCompactArena();
   candidates_.SortedEpochDelta(&delta_added_scratch_, &delta_removed_scratch_);
   if (delta_added_scratch_.empty() && delta_removed_scratch_.empty()) return;
   // Polarity flips at this boundary: a link that BECAME a candidate leaves
@@ -221,10 +227,24 @@ Status AlexEngine::Initialize(
       return Status::InvalidArgument(
           "prepared right context does not match the right store");
     }
+    owns_right_context_ = false;
   } else {
     right_context = RightContext::Prepare(*right_, right_subjects,
                                           options_.space, pool_.get());
+    owns_right_context_ = true;
   }
+  right_context_ = right_context;
+
+  // Live-ingest baseline: record the subject/term watermarks that separate
+  // the initialized world from later growth, and (incremental mode with
+  // blocking) build the reverse-probe index over the left entities.
+  left_term_watermark_ = static_cast<rdf::TermId>(left_->dictionary().size());
+  right_term_watermark_ =
+      static_cast<rdf::TermId>(right_->dictionary().size());
+  left_subject_count_ = left_subjects.size();
+  right_subject_count_ = right_subjects.size();
+  known_left_triples_ = left_->size();
+  known_right_triples_ = right_->size();
 
   // Partition spaces are built one after another with the left-entity loop
   // of each build sharded across the pool (§6.2), which keeps all workers
@@ -301,6 +321,212 @@ void AlexEngine::MarkCandidateBaseline() {
   }
   extras_alive_.TakeEpochChanges();
   prev_candidate_count_ = CandidateCount();
+}
+
+Status AlexEngine::IngestTriples(IngestStats* stats_out) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Initialize() first");
+  }
+  std::vector<rdf::TermId> left_subjects = left_->Subjects();
+  std::vector<rdf::TermId> right_subjects = right_->Subjects();
+  // Subjects() is TermId-ascending, and every term interned after the
+  // previous epoch has an id at or above the watermark — so the new
+  // subjects are exactly the suffix, and a changed old-prefix length means
+  // some pre-existing subject gained or lost all its triples.
+  const size_t left_old = static_cast<size_t>(
+      std::lower_bound(left_subjects.begin(), left_subjects.end(),
+                       left_term_watermark_) -
+      left_subjects.begin());
+  const size_t right_old = static_cast<size_t>(
+      std::lower_bound(right_subjects.begin(), right_subjects.end(),
+                       right_term_watermark_) -
+      right_subjects.begin());
+  if (left_old != left_subject_count_ || right_old != right_subject_count_) {
+    return Status::InvalidArgument(
+        "ingest changed pre-existing subjects; engine growth is additive "
+        "(new entities only)");
+  }
+  std::vector<rdf::TermId> new_lefts(left_subjects.begin() + left_old,
+                                     left_subjects.end());
+  std::vector<rdf::TermId> new_rights(right_subjects.begin() + right_old,
+                                      right_subjects.end());
+
+  IngestStats stats;
+  stats.triples_ingested = (left_->size() - known_left_triples_) +
+                           (right_->size() - known_right_triples_);
+  stats.new_left_entities = new_lefts.size();
+  stats.new_right_entities = new_rights.size();
+
+  const size_t old_left_count = left_subject_count_;
+  const size_t old_right_count = right_subject_count_;
+  const size_t num_partitions = partitions_.size();
+  const bool rebuild = !options_.incremental_ingest;
+  const bool reverse_probe =
+      options_.incremental_ingest && options_.space.blocking.enabled;
+
+  // Lazily build the left-side reverse-probe index over the OLD lefts (the
+  // prefix below the watermark), in global subject order.
+  if (reverse_probe && !left_probe_built_) {
+    left_probe_entities_.resize(old_left_count);
+    auto prepare_range = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        left_probe_entities_[i] = PrepareEntity(
+            *left_, left_subjects[i], options_.space.max_attributes);
+      }
+    };
+    if (pool_ != nullptr && pool_->num_threads() > 1) {
+      pool_->ParallelFor(old_left_count, 16, prepare_range);
+    } else {
+      prepare_range(0, old_left_count);
+    }
+    // Relaxed gram filter: min_gram_matches is the only asymmetric channel
+    // (every other channel's collision relation is symmetric), so relaxing
+    // it makes the reverse probe a superset of the forward one.
+    BlockingOptions relaxed = options_.space.blocking;
+    relaxed.min_gram_matches = 1;
+    left_probe_index_ = BlockingIndex::Build(
+        left_probe_entities_, relaxed, options_.space.similarity, pool_.get());
+    left_probe_built_ = true;
+    // Warm the forward probe-key caches too: from here on, every ingest
+    // epoch's phase-1 probes reuse cached keys instead of re-extracting.
+    for (PartitionAlex& partition : partitions_) {
+      partition.PrepareForwardProbes();
+    }
+  }
+
+  // 1. Extend the shared right context: append the prepared new rights and
+  // grow the blocking index over them (sidecar AddRights, or a fresh Build
+  // in the rebuild baseline).
+  if (!new_rights.empty()) {
+    if (!owns_right_context_ || right_context_ == nullptr) {
+      return Status::FailedPrecondition(
+          "cannot ingest into a caller-shared right context; initialize "
+          "without prepared_right");
+    }
+    // The context was created mutable by RightContext::Prepare and is only
+    // shared within this engine; ingest never runs concurrently with
+    // episodes, and the mutation is append-only.
+    auto* context = const_cast<RightContext*>(right_context_.get());
+    for (rdf::TermId subject : new_rights) {
+      context->entities.push_back(
+          PrepareEntity(*right_, subject, options_.space.max_attributes));
+    }
+    if (options_.space.blocking.enabled) {
+      if (options_.incremental_ingest) {
+        context->index.AddRights(context->entities, old_right_count);
+      } else {
+        context->index =
+            BlockingIndex::Build(context->entities, options_.space.blocking,
+                                 options_.space.similarity, pool_.get());
+      }
+    }
+  }
+
+  // 2. Reverse probe: every new right probes the left index; the touched
+  // lefts are a superset of the old lefts whose forward probe can reach a
+  // new right, so only they are re-probed during growth — O(new entities)
+  // instead of O(store). The rebuild baseline forward-probes every old
+  // left, so a superset violation would surface as a fingerprint mismatch
+  // in the ingest-differential suite.
+  std::vector<std::vector<uint32_t>> candidate_lefts(num_partitions);
+  if (reverse_probe && !new_rights.empty()) {
+    ProbeScratch scratch;
+    std::vector<uint8_t> hit(old_left_count, 0);
+    const std::vector<PreparedEntity>& rights = right_context_->entities;
+    for (size_t j = old_right_count; j < rights.size(); ++j) {
+      left_probe_index_.Probe(rights[j], &scratch);
+      for (uint32_t g : scratch.touched()) hit[g] = 1;
+    }
+    for (uint32_t g = 0; g < hit.size(); ++g) {
+      if (hit[g] == 0) continue;
+      // Global subject order is round-robin over the partitions, so global
+      // index g sits at within-partition slot g / P of partition g % P.
+      candidate_lefts[g % num_partitions].push_back(
+          g / static_cast<uint32_t>(num_partitions));
+    }
+  }
+
+  // 2b. Delta blocking index over only the new rights (globally numbered):
+  // phase-1 growth probes hit this tiny table instead of the full index, so
+  // a candidate left whose forward probe reaches no new right costs nearly
+  // nothing. Shared read-only by every partition's GrowSpace below.
+  BlockingIndex delta_index;
+  const BlockingIndex* delta = nullptr;
+  if (reverse_probe && !new_rights.empty()) {
+    delta_index =
+        BlockingIndex::Build({}, options_.space.blocking,
+                             options_.space.similarity);
+    delta_index.AddRights(right_context_->entities, old_right_count);
+    delta = &delta_index;
+  }
+
+  // 3. Bucket the new left subjects round-robin, continuing the global
+  // sequence exactly where EqualSizePartition of the grown store would
+  // place them.
+  std::vector<std::vector<rdf::TermId>> new_lefts_by_partition(num_partitions);
+  for (size_t k = 0; k < new_lefts.size(); ++k) {
+    new_lefts_by_partition[(old_left_count + k) % num_partitions].push_back(
+        new_lefts[k]);
+  }
+
+  // 4. Grow every partition space, serial and in partition order: new
+  // PairIds and the catalog's intern order for first-seen feature keys are
+  // canonical at any thread count and across maintenance modes.
+  std::vector<size_t> lefts_before(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    lefts_before[p] = partitions_[p].space().left_entities().size();
+  }
+  for (size_t p = 0; p < num_partitions; ++p) {
+    const std::vector<uint32_t>* candidates =
+        reverse_probe ? &candidate_lefts[p] : nullptr;
+    FeatureSpace::GrowthResult grown = partitions_[p].GrowSpace(
+        *left_, new_lefts_by_partition[p], candidates, old_right_count,
+        &catalog_, rebuild, delta);
+    stats.new_pairs += grown.new_pairs;
+    stats.overflow_entries += grown.overflow_entries;
+  }
+
+  // 5. Register the new lefts: IRI -> partition routing and the reverse-
+  // probe index (appended in global subject order).
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    const std::vector<PreparedEntity>& entities =
+        partitions_[p].space().left_entities();
+    for (size_t i = lefts_before[p]; i < entities.size(); ++i) {
+      partition_by_left_iri_.emplace(entities[i].iri, p);
+    }
+  }
+  if (left_probe_built_ && !new_lefts.empty()) {
+    for (rdf::TermId subject : new_lefts) {
+      left_probe_entities_.push_back(
+          PrepareEntity(*left_, subject, options_.space.max_attributes));
+    }
+    left_probe_index_.AddRights(left_probe_entities_, old_left_count);
+  }
+
+  // 6. Refresh the preprocessing totals and advance the watermarks.
+  total_pair_count_ = 0;
+  filtered_pair_count_ = 0;
+  scored_pair_count_ = 0;
+  for (const PartitionAlex& partition : partitions_) {
+    total_pair_count_ += partition.space().total_pair_count();
+    filtered_pair_count_ += partition.space().pairs().size();
+    scored_pair_count_ += partition.space().scored_pair_count();
+  }
+  left_term_watermark_ = static_cast<rdf::TermId>(left_->dictionary().size());
+  right_term_watermark_ =
+      static_cast<rdf::TermId>(right_->dictionary().size());
+  left_subject_count_ = left_subjects.size();
+  right_subject_count_ = right_subjects.size();
+  known_left_triples_ = left_->size();
+  known_right_triples_ = right_->size();
+
+  triples_ingested_ += stats.triples_ingested;
+  entities_added_ += new_lefts.size() + new_rights.size();
+  space_overflow_pairs_ += stats.overflow_entries;
+  stats.ingest_epoch = ++ingest_epochs_;
+  stats.blocking_merges = BlockingMergeCount();
+  if (stats_out != nullptr) *stats_out = stats;
+  return Status::Ok();
 }
 
 void AlexEngine::ProcessExtras(size_t quota, const FeedbackFn& feedback,
@@ -418,6 +644,13 @@ EpisodeStats AlexEngine::RunEpisode(const FeedbackFn& feedback) {
       static_cast<double>(std::max<size_t>(1, prev_candidate_count_));
   prev_candidate_count_ = CandidateCount();
   stats.candidate_count = CandidateCount();
+  // Cumulative live-ingest accounting (zero for engines never driven
+  // through IngestTriples).
+  stats.triples_ingested = triples_ingested_;
+  stats.entities_added = entities_added_;
+  stats.blocking_merges = static_cast<size_t>(BlockingMergeCount());
+  stats.space_overflow_pairs = space_overflow_pairs_;
+  stats.ingest_epochs = ingest_epochs_;
   stats.seconds = episode_timer.ElapsedSeconds();
   double sum = 0.0;
   for (double s : partition_seconds) {

@@ -97,6 +97,16 @@ struct AlexOptions {
   // the O(space) baseline; both modes yield bitwise-identical episode
   // series (asserted by the link-churn fuzz regime).
   bool incremental_space_maintenance = true;
+  // Live triple ingest (IngestTriples): when true, the engine folds newly
+  // ingested entities into its structures incrementally — AddRights on the
+  // shared right-side blocking index, reverse probes over a left-side
+  // blocking index to find the old lefts that can reach a new right, and
+  // per-partition FeatureSpace::Grow with pending-sidecar score entries.
+  // When false, every ingest epoch rebuilds the blocking index and the
+  // score arenas from scratch — the O(store) baseline the differential
+  // suite compares against. Both modes yield the same logical state (same
+  // PairIds, same fingerprints, bitwise-identical episode series).
+  bool incremental_ingest = true;
   // Prioritized feedback sampling: draw each episode's feedback links by
   // uncertainty weight (tally entropy × proximity of the pair's best
   // feature score to θ; see core/feedback_sampler.h) instead of uniformly
@@ -175,6 +185,16 @@ struct EpisodeStats {
   size_t aggregator_pending = 0;
   size_t votes_suppressed = 0;
   size_t tallies_evicted = 0;
+  // Live-ingest accounting (engines driven through IngestTriples only; all
+  // zero otherwise). Cumulative as of this episode's boundary: triples
+  // accepted by the stores, entities that joined either side, sidecar-into-
+  // CSR merges across the blocking indexes, score entries parked in
+  // feature-bucket overflow sidecars, and ingest epochs applied.
+  size_t triples_ingested = 0;
+  size_t entities_added = 0;
+  size_t blocking_merges = 0;
+  size_t space_overflow_pairs = 0;
+  size_t ingest_epochs = 0;
 
   double NegativeFeedbackPercent() const {
     return feedback_items == 0
@@ -267,6 +287,24 @@ class PartitionAlex {
   // mainly for white-box tests driving ProcessFeedback directly.
   void SyncSpaceToCandidates();
 
+  // Extends this partition's feature space after a triple-ingest epoch (see
+  // FeatureSpace::Grow; called by AlexEngine::IngestTriples on the main
+  // thread, in partition order).
+  FeatureSpace::GrowthResult GrowSpace(
+      const rdf::TripleStore& left,
+      const std::vector<rdf::TermId>& new_left_subjects,
+      const std::vector<uint32_t>* candidate_old_lefts,
+      size_t old_right_count, FeatureCatalog* catalog, bool rebuild_indexes,
+      const BlockingIndex* delta_index = nullptr) {
+    return space_.Grow(left, new_left_subjects, candidate_old_lefts,
+                       old_right_count, catalog, options_->space,
+                       rebuild_indexes, delta_index);
+  }
+
+  // Warms the space's per-left probe-key cache (incremental ingest only;
+  // see FeatureSpace::PrepareForwardProbes).
+  void PrepareForwardProbes() { space_.PrepareForwardProbes(); }
+
   // Persistence hooks (see core/engine_state.h). ClearCandidates also
   // restores the full feature space as explorable frontier, since the
   // per-pair delta trail is lost with the set.
@@ -351,6 +389,38 @@ class AlexEngine {
   Status Initialize(const std::vector<linking::Link>& initial_links,
                     std::shared_ptr<const RightContext> prepared_right =
                         nullptr);
+
+  // Per-call accounting of one IngestTriples epoch. blocking_merges and
+  // ingest_epoch are cumulative over the engine's lifetime; the rest count
+  // this call only.
+  struct IngestStats {
+    size_t triples_ingested = 0;
+    size_t new_left_entities = 0;
+    size_t new_right_entities = 0;
+    size_t new_pairs = 0;           // pairs that joined the feature spaces
+    size_t overflow_entries = 0;    // score entries parked in sidecars
+    uint64_t blocking_merges = 0;   // sidecar-into-CSR merges so far
+    uint64_t ingest_epoch = 0;      // 1-based engine ingest epoch
+  };
+
+  // Folds triples ingested into the underlying stores (after Initialize)
+  // into the engine: newly appeared subjects on either side are prepared,
+  // the shared right blocking index is extended (AddRights, or a fresh
+  // Build when options.incremental_ingest is false), each partition's
+  // feature space grows by the new pairs in canonical (left, right) order,
+  // and new left entities join the partitions round-robin — exactly where a
+  // from-scratch EqualSizePartition of the grown store would place them.
+  //
+  // The growth contract is additive: triples of PRE-EXISTING subjects must
+  // not change between ingest epochs (InvalidArgument otherwise). Consumes
+  // no engine RNG, so episode series stay aligned across maintenance modes.
+  // Requires the engine to own its right context (Initialize without
+  // `prepared_right`); a shared context cannot be mutated safely.
+  Status IngestTriples(IngestStats* stats = nullptr);
+
+  // The engine's shared right-side context (null before Initialize). The
+  // differential suite fingerprints right_context()->index through this.
+  const RightContext* right_context() const { return right_context_.get(); }
 
   // Runs one feedback episode of options.episode_size items. With
   // num_threads > 1, partitions process their shares concurrently (see
@@ -462,12 +532,56 @@ class AlexEngine {
   void ProcessExtras(size_t quota, const FeedbackFn& feedback,
                      EpisodeStats* stats);
 
+  // Total sidecar-into-CSR merge compactions across the engine's blocking
+  // indexes (the shared right index plus the left reverse-probe index).
+  uint64_t BlockingMergeCount() const {
+    uint64_t merges = left_probe_index_.merge_count();
+    if (right_context_ != nullptr) {
+      merges += right_context_->index.merge_count();
+    }
+    return merges;
+  }
+
   const rdf::TripleStore* left_;
   const rdf::TripleStore* right_;
   AlexOptions options_;
   FeatureCatalog catalog_;
   std::vector<PartitionAlex> partitions_;
   std::unordered_map<std::string, uint32_t> partition_by_left_iri_;
+
+  // Live-ingest state. The right context is shared immutably with every
+  // partition space; IngestTriples may extend it (append-only: existing
+  // entities and the logical index contents over them never change) only
+  // when the engine prepared it itself.
+  std::shared_ptr<const RightContext> right_context_;
+  bool owns_right_context_ = false;
+  // New-entity watermarks: a subject TermId >= the watermark was interned
+  // after the previous ingest epoch (Subjects() is TermId-ascending, so the
+  // new subjects are exactly the suffix past the old count).
+  rdf::TermId left_term_watermark_ = 0;
+  rdf::TermId right_term_watermark_ = 0;
+  size_t left_subject_count_ = 0;
+  size_t right_subject_count_ = 0;
+  size_t known_left_triples_ = 0;
+  size_t known_right_triples_ = 0;
+  // Reverse-probe acceleration (incremental_ingest && blocking only; built
+  // lazily on the first ingest epoch so engines that never ingest pay
+  // nothing): a blocking index over ALL left entities in global subject
+  // order, built with a relaxed gram filter (min_gram_matches = 1) so that
+  // a new right
+  // probing it reaches a SUPERSET of the old lefts whose forward probe
+  // could touch it. Only those lefts are forward-probed per epoch — O(new
+  // entities), not O(store). The rebuild baseline probes every old left,
+  // so any superset violation surfaces as a fingerprint mismatch in the
+  // ingest-differential suite.
+  std::vector<PreparedEntity> left_probe_entities_;
+  BlockingIndex left_probe_index_;
+  bool left_probe_built_ = false;
+  // Cumulative ingest counters surfaced through EpisodeStats.
+  size_t triples_ingested_ = 0;
+  size_t entities_added_ = 0;
+  size_t space_overflow_pairs_ = 0;
+  size_t ingest_epochs_ = 0;
 
   // Spaceless candidates: initial links outside every feature space.
   std::vector<linking::Link> extras_links_;

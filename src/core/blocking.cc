@@ -199,6 +199,41 @@ uint8_t ChannelOf(char tag) {
   }
 }
 
+// Appends the (key hash, packed posting) entries of right entity `r` —
+// shared by the chunked Build() extraction and the AddRights() delta path
+// so both derive the exact same entry multiset per entity.
+void AppendEntityEntries(const PreparedEntity& right, uint32_t r,
+                         const BlockingOptions& options,
+                         const sim::SimilarityOptions& sim,
+                         ProbeScratch* scratch,
+                         std::vector<TaggedKeyHash>* keys,
+                         std::vector<std::pair<uint64_t, uint32_t>>* entries) {
+  for (size_t a = 0; a < right.attributes.size(); ++a) {
+    const uint32_t attr_slot =
+        static_cast<uint32_t>(a < kCellAttrCap - 1 ? a : kCellAttrCap - 1);
+    const bool is_short = right.attributes[a].value.lowered.size() <=
+                          options.single_gram_value_length;
+    const uint32_t posting =
+        (r << 4) | (is_short ? kPostingShortBit : 0u) | attr_slot;
+    keys->clear();
+    AppendBlockKeyHashes(right.attributes[a].value, options, sim,
+                         /*probe_neighbors=*/false, scratch, keys);
+    // The same key can repeat within one value (duplicate grams); post it
+    // once.
+    std::sort(keys->begin(), keys->end(),
+              [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
+                return a.hash < b.hash;
+              });
+    auto end = std::unique(keys->begin(), keys->end(),
+                           [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
+                             return a.hash == b.hash;
+                           });
+    for (auto it = keys->begin(); it != end; ++it) {
+      entries->emplace_back(it->hash, posting);
+    }
+  }
+}
+
 }  // namespace
 
 void AppendBlockKeys(const PreparedValue& value,
@@ -276,7 +311,6 @@ BlockingIndex BlockingIndex::Build(const std::vector<PreparedEntity>& rights,
   // its own scratch (the token memo carries across entities within a chunk —
   // real data sets repeat tokens constantly) and sorts its own run, so the
   // merge below only has to interleave sorted runs.
-  using Entry = std::pair<uint64_t, uint32_t>;
   const size_t n = rights.size();
   size_t num_chunks = 1;
   if (pool != nullptr && pool->num_threads() > 1) {
@@ -296,32 +330,8 @@ BlockingIndex BlockingIndex::Build(const std::vector<PreparedEntity>& rights,
     ProbeScratch scratch;
     std::vector<TaggedKeyHash> keys;
     for (size_t r = chunks[c].first; r < chunks[c].second; ++r) {
-      for (size_t a = 0; a < rights[r].attributes.size(); ++a) {
-        const uint32_t attr_slot = static_cast<uint32_t>(
-            a < kCellAttrCap - 1 ? a : kCellAttrCap - 1);
-        const bool is_short = rights[r].attributes[a].value.lowered.size() <=
-                              options.single_gram_value_length;
-        const uint32_t posting = (static_cast<uint32_t>(r) << 4) |
-                                 (is_short ? kPostingShortBit : 0u) |
-                                 attr_slot;
-        keys.clear();
-        AppendBlockKeyHashes(rights[r].attributes[a].value, options, sim,
-                             /*probe_neighbors=*/false, &scratch, &keys);
-        // The same key can repeat within one value (duplicate grams); post
-        // it once.
-        std::sort(keys.begin(), keys.end(),
-                  [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
-                    return a.hash < b.hash;
-                  });
-        auto end =
-            std::unique(keys.begin(), keys.end(),
-                        [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
-                          return a.hash == b.hash;
-                        });
-        for (auto it = keys.begin(); it != end; ++it) {
-          entries.emplace_back(it->hash, posting);
-        }
-      }
+      AppendEntityEntries(rights[r], static_cast<uint32_t>(r), options, sim,
+                          &scratch, &keys, &entries);
     }
     std::sort(entries.begin(), entries.end());
   };
@@ -364,40 +374,115 @@ BlockingIndex BlockingIndex::Build(const std::vector<PreparedEntity>& rights,
   std::vector<Entry> entries =
       runs.empty() ? std::vector<Entry>{} : std::move(runs.front());
 
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  index.AssignFromEntries(entries);
+  return index;
+}
+
+void BlockingIndex::ResetFilter(size_t distinct_keys) {
+  size_t bits = 512;
+  while (bits < distinct_keys * 8) bits <<= 1;
+  key_filter_.assign(bits / 64, 0);
+  key_filter_mask_ = bits - 1;
+}
+
+void BlockingIndex::AssignFromEntries(const std::vector<Entry>& entries) {
   // CSR layout: group by hash, postings sorted within each block (the
   // posting packs the right-entity index in its high bits, so the pair sort
   // orders each block by entity).
-  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
-  index.postings_.reserve(entries.size());
+  postings_.clear();
+  postings_.reserve(entries.size());
   size_t distinct = 0;
   for (size_t i = 0; i < entries.size(); ++i) {
     if (i == 0 || entries[i].first != entries[i - 1].first) ++distinct;
   }
-  index.block_count_ = distinct;
+  block_count_ = distinct;
+  ResetFilter(distinct);
+  for (const Entry& entry : entries) FilterInsert(entry.first);
   size_t table_size = 16;
   while (table_size < distinct * 2) table_size <<= 1;
-  index.table_.assign(table_size, Slot{});
-  index.table_mask_ = table_size - 1;
+  table_.assign(table_size, Slot{});
+  table_mask_ = table_size - 1;
   for (size_t i = 0; i < entries.size();) {
     size_t j = i;
     while (j < entries.size() && entries[j].first == entries[i].first) {
-      index.postings_.push_back(entries[j].second);
+      postings_.push_back(entries[j].second);
       ++j;
     }
-    size_t slot = entries[i].first & index.table_mask_;
-    while (index.table_[slot].len != 0) {
-      slot = (slot + 1) & index.table_mask_;
+    size_t slot = entries[i].first & table_mask_;
+    while (table_[slot].len != 0) {
+      slot = (slot + 1) & table_mask_;
     }
-    index.table_[slot] =
-        Slot{entries[i].first, static_cast<uint32_t>(i),
-             static_cast<uint32_t>(j - i)};
+    table_[slot] = Slot{entries[i].first, static_cast<uint32_t>(i),
+                        static_cast<uint32_t>(j - i)};
     i = j;
   }
-  return index;
 }
 
-void BlockingIndex::Probe(const PreparedEntity& left,
-                          ProbeScratch* scratch) const {
+void BlockingIndex::AddRights(const std::vector<PreparedEntity>& rights,
+                              size_t first_new) {
+  num_rights_ = static_cast<uint32_t>(rights.size());
+  if (first_new >= rights.size()) return;
+  // Serial extraction: ingest deltas are small by construction, and a
+  // fixed extraction order keeps the grown index bit-identical at any
+  // engine thread count.
+  ProbeScratch scratch;
+  std::vector<TaggedKeyHash> keys;
+  std::vector<Entry> fresh;
+  for (size_t r = first_new; r < rights.size(); ++r) {
+    AppendEntityEntries(rights[r], static_cast<uint32_t>(r), options_, sim_,
+                        &scratch, &keys, &fresh);
+  }
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  // New rights have indices disjoint from everything already posted (CSR
+  // and sidecar alike), so appending + merging cannot create duplicates.
+  const size_t old_size = pending_.size();
+  pending_.insert(pending_.end(), fresh.begin(), fresh.end());
+  std::inplace_merge(pending_.begin(), pending_.begin() + old_size,
+                     pending_.end());
+  // Keep the key filter covering the sidecar. Entry count over-estimates
+  // distinct keys, so the load check is conservative; a merge rebuilds the
+  // filter exactly (AssignFromEntries).
+  if ((block_count_ + pending_.size()) * 8 > key_filter_mask_ + 1) {
+    ResetFilter(block_count_ + pending_.size());
+    for (const Slot& slot : table_) {
+      if (slot.len != 0) FilterInsert(slot.hash);
+    }
+    for (const Entry& entry : pending_) FilterInsert(entry.first);
+  } else {
+    for (const Entry& entry : fresh) FilterInsert(entry.first);
+  }
+  MaybeMergePending();
+}
+
+void BlockingIndex::MaybeMergePending() {
+  if (pending_.empty()) return;
+  if (pending_.size() <=
+      options_.pending_merge_threshold + postings_.size() / 8) {
+    return;
+  }
+  // Recover the globally sorted entry sequence underlying the CSR without
+  // sorting: block begin offsets partition postings_ in ascending hash
+  // order (AssignFromEntries assigns them sequentially over the hash-sorted
+  // input), so scattering each block to its own begin offset reconstructs
+  // the sequence in one pass.
+  std::vector<Entry> base(postings_.size());
+  for (const Slot& slot : table_) {
+    for (uint32_t k = 0; k < slot.len; ++k) {
+      base[slot.begin + k] = Entry(slot.hash, postings_[slot.begin + k]);
+    }
+  }
+  std::vector<Entry> merged;
+  merged.reserve(base.size() + pending_.size());
+  std::merge(base.begin(), base.end(), pending_.begin(), pending_.end(),
+             std::back_inserter(merged));
+  pending_.clear();
+  AssignFromEntries(merged);
+  ++merge_count_;
+}
+
+void BlockingIndex::ResetScratch(ProbeScratch* scratch) const {
   // Reset the previous probe's state. Buffer sizes only change when the
   // scratch first meets this index (or a differently-sized one), so the
   // steady state clears just the touched cells.
@@ -419,58 +504,59 @@ void BlockingIndex::Probe(const PreparedEntity& left,
     }
   }
   scratch->touched_.clear();
-  if (table_.empty()) return;
+}
 
-  std::vector<TaggedKeyHash>& keys = scratch->keys_;
-  for (size_t a = 0; a < left.attributes.size(); ++a) {
-    const size_t attr_slot = a < kCellAttrCap - 1 ? a : kCellAttrCap - 1;
-    const bool left_is_short = left.attributes[a].value.lowered.size() <=
-                               options_.single_gram_value_length;
-    keys.clear();
-    AppendBlockKeyHashes(left.attributes[a].value, options_, sim_,
-                         /*probe_neighbors=*/true, scratch, &keys);
-    // Dedup so each block is walked once per probing value.
-    std::sort(keys.begin(), keys.end(),
-              [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
-                return a.hash != b.hash ? a.hash < b.hash
-                                        : a.channel < b.channel;
-              });
-    keys.erase(std::unique(keys.begin(), keys.end(),
-                           [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
-                             return a.hash == b.hash &&
-                                    a.channel == b.channel;
-                           }),
-               keys.end());
-    // Dense per-cell accumulation: O(postings touched), no string compares.
-    for (const TaggedKeyHash& key : keys) {
+void BlockingIndex::ProbeAttr(const std::vector<TaggedKeyHash>& keys,
+                              size_t attr_slot, bool left_is_short,
+                              uint32_t min_posting,
+                              ProbeScratch* scratch) const {
+  // Dense per-cell accumulation: O(postings touched), no string compares.
+  for (const TaggedKeyHash& key : keys) {
+    // Most probe keys have no postings at all; one bit test skips them.
+    if (!FilterMaybeContains(key.hash)) continue;
+    auto accumulate = [&](uint32_t posting) {
+      const uint32_t r = posting >> 4;
+      if (!scratch->seen_[r]) {
+        scratch->seen_[r] = 1;
+        scratch->touched_.push_back(r);
+      }
+      scratch->union_channels_[r] |= key.channel;
+      if (key.channel == kBlockGram && scratch->gram_counts_[r] < 254) {
+        // Between two short values a single shared gram is already
+        // meaningful (their gram sets are tiny), so it counts double and
+        // clears min_gram_matches = 2 on its own.
+        scratch->gram_counts_[r] += static_cast<uint8_t>(
+            left_is_short && (posting & kPostingShortBit) ? 2 : 1);
+      }
+      scratch->cell_channels_[static_cast<size_t>(r) * kCellCount +
+                              attr_slot * kCellAttrCap + (posting & 7)] |=
+          key.channel;
+    };
+    if (!table_.empty()) {
       size_t slot = key.hash & table_mask_;
       while (table_[slot].len != 0 && table_[slot].hash != key.hash) {
         slot = (slot + 1) & table_mask_;
       }
-      if (table_[slot].len == 0) continue;
-      const uint32_t* block = postings_.data() + table_[slot].begin;
-      const uint32_t* block_end = block + table_[slot].len;
-      for (; block != block_end; ++block) {
-        const uint32_t posting = *block;
-        const uint32_t r = posting >> 4;
-        if (!scratch->seen_[r]) {
-          scratch->seen_[r] = 1;
-          scratch->touched_.push_back(r);
+      if (table_[slot].len != 0) {
+        const uint32_t* block = postings_.data() + table_[slot].begin;
+        const uint32_t* block_end = block + table_[slot].len;
+        if (min_posting != 0) {
+          block = std::lower_bound(block, block_end, min_posting);
         }
-        scratch->union_channels_[r] |= key.channel;
-        if (key.channel == kBlockGram && scratch->gram_counts_[r] < 254) {
-          // Between two short values a single shared gram is already
-          // meaningful (their gram sets are tiny), so it counts double and
-          // clears min_gram_matches = 2 on its own.
-          scratch->gram_counts_[r] += static_cast<uint8_t>(
-              left_is_short && (posting & kPostingShortBit) ? 2 : 1);
-        }
-        scratch->cell_channels_[static_cast<size_t>(r) * kCellCount +
-                                attr_slot * kCellAttrCap + (posting & 7)] |=
-            key.channel;
+        for (; block != block_end; ++block) accumulate(*block);
+      }
+    }
+    if (!pending_.empty()) {
+      auto it = std::lower_bound(pending_.begin(), pending_.end(),
+                                 Entry{key.hash, min_posting});
+      for (; it != pending_.end() && it->first == key.hash; ++it) {
+        accumulate(it->second);
       }
     }
   }
+}
+
+void BlockingIndex::FinishProbe(ProbeScratch* scratch) const {
   std::sort(scratch->touched_.begin(), scratch->touched_.end());
   // Gram-only candidates below the collision threshold are dropped (and
   // their scratch state cleared now — the entry reset only walks touched_).
@@ -493,6 +579,77 @@ void BlockingIndex::Probe(const PreparedEntity& left,
     }
     scratch->touched_.erase(out_it, scratch->touched_.end());
   }
+}
+
+void BlockingIndex::Probe(const PreparedEntity& left, ProbeScratch* scratch,
+                          uint32_t min_right) const {
+  ResetScratch(scratch);
+  if (table_.empty() && pending_.empty()) return;
+  // Postings pack the right index in their high bits, so filtering a sorted
+  // block (or sidecar range) to rights >= min_right is one lower_bound.
+  const uint32_t min_posting = min_right << 4;
+
+  std::vector<TaggedKeyHash>& keys = scratch->keys_;
+  for (size_t a = 0; a < left.attributes.size(); ++a) {
+    const size_t attr_slot = a < kCellAttrCap - 1 ? a : kCellAttrCap - 1;
+    const bool left_is_short = left.attributes[a].value.lowered.size() <=
+                               options_.single_gram_value_length;
+    keys.clear();
+    AppendBlockKeyHashes(left.attributes[a].value, options_, sim_,
+                         /*probe_neighbors=*/true, scratch, &keys);
+    // Dedup so each block is walked once per probing value.
+    std::sort(keys.begin(), keys.end(),
+              [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
+                return a.hash != b.hash ? a.hash < b.hash
+                                        : a.channel < b.channel;
+              });
+    keys.erase(std::unique(keys.begin(), keys.end(),
+                           [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
+                             return a.hash == b.hash &&
+                                    a.channel == b.channel;
+                           }),
+               keys.end());
+    ProbeAttr(keys, attr_slot, left_is_short, min_posting, scratch);
+  }
+  FinishProbe(scratch);
+}
+
+PreparedProbe BlockingIndex::PrepareProbe(
+    const PreparedEntity& left, ProbeScratch* scratch) const {
+  PreparedProbe prepared;
+  prepared.attrs.resize(left.attributes.size());
+  for (size_t a = 0; a < left.attributes.size(); ++a) {
+    PreparedProbe::Attr& attr = prepared.attrs[a];
+    attr.is_short = left.attributes[a].value.lowered.size() <=
+                    options_.single_gram_value_length;
+    AppendBlockKeyHashes(left.attributes[a].value, options_, sim_,
+                         /*probe_neighbors=*/true, scratch, &attr.keys);
+    std::sort(attr.keys.begin(), attr.keys.end(),
+              [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
+                return a.hash != b.hash ? a.hash < b.hash
+                                        : a.channel < b.channel;
+              });
+    attr.keys.erase(
+        std::unique(attr.keys.begin(), attr.keys.end(),
+                    [](const TaggedKeyHash& a, const TaggedKeyHash& b) {
+                      return a.hash == b.hash && a.channel == b.channel;
+                    }),
+        attr.keys.end());
+  }
+  return prepared;
+}
+
+void BlockingIndex::Probe(const PreparedProbe& probe, ProbeScratch* scratch,
+                          uint32_t min_right) const {
+  ResetScratch(scratch);
+  if (table_.empty() && pending_.empty()) return;
+  const uint32_t min_posting = min_right << 4;
+  for (size_t a = 0; a < probe.attrs.size(); ++a) {
+    const size_t attr_slot = a < kCellAttrCap - 1 ? a : kCellAttrCap - 1;
+    ProbeAttr(probe.attrs[a].keys, attr_slot, probe.attrs[a].is_short,
+              min_posting, scratch);
+  }
+  FinishProbe(scratch);
 }
 
 void BlockingIndex::Candidates(const PreparedEntity& left,
@@ -521,18 +678,30 @@ void BlockingIndex::Candidates(const PreparedEntity& left,
 }
 
 uint64_t BlockingIndex::Fingerprint() const {
+  // Commutative sum over per-entry mixes: each (key hash, posting) pair
+  // contributes the same term whether it lives in a CSR block or in the
+  // pending sidecar, and the table layout never enters, so equal
+  // fingerprints mean equal logical indexes (modulo hash collisions)
+  // regardless of how the index was grown.
+  uint64_t sum = 0;
+  uint64_t count = 0;
+  auto add = [&](uint64_t hash, uint32_t posting) {
+    sum += MixInt('f', hash ^ MixInt('p', posting));
+    ++count;
+  };
+  for (const Slot& slot : table_) {
+    for (uint32_t k = 0; k < slot.len; ++k) {
+      add(slot.hash, postings_[slot.begin + k]);
+    }
+  }
+  for (const Entry& entry : pending_) add(entry.first, entry.second);
   auto combine = [](uint64_t h, uint64_t v) {
     h ^= MixInt('f', v) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
     return h;
   };
   uint64_t h = combine(kFnvOffset, num_rights_);
-  h = combine(h, block_count_);
-  h = combine(h, table_.size());
-  for (const Slot& slot : table_) {
-    h = combine(h, slot.hash);
-    h = combine(h, (static_cast<uint64_t>(slot.begin) << 32) | slot.len);
-  }
-  for (uint32_t posting : postings_) h = combine(h, posting);
+  h = combine(h, count);
+  h = combine(h, sum);
   return h;
 }
 

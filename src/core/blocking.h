@@ -87,6 +87,12 @@ struct BlockingOptions {
   // "smyth", or the distance-2 "cuglia" / "hugia").
   size_t max_deletion_token_length = 12;
   size_t max_deletion_distance = 2;
+  // Incremental maintenance (AddRights): newly ingested rights post into a
+  // sorted pending sidecar that probes consult alongside the CSR blocks;
+  // the sidecar is merged back into the CSR once it outgrows
+  // pending_merge_threshold + postings/8 — the same dirt-threshold
+  // compaction pattern as FeatureSpace::ApplyDelta.
+  size_t pending_merge_threshold = 1024;
 };
 
 // Appends the block keys of `value` to `*keys`. With `probe_neighbors`
@@ -166,6 +172,20 @@ void AppendBlockKeyHashes(const PreparedValue& value,
                           bool probe_neighbors, ProbeScratch* scratch,
                           std::vector<TaggedKeyHash>* keys);
 
+// The probe-side block keys of one left entity, extracted, sorted and
+// deduplicated once for reuse across probes. Key extraction (gram hashing,
+// deletion-variant expansion) dominates probe cost, so callers that
+// re-probe the same entities every ingest epoch — the incremental
+// FeatureSpace::Grow path — prepare once and amortize it away. Valid for
+// any index built with the same (blocking, similarity) options.
+struct PreparedProbe {
+  struct Attr {
+    std::vector<TaggedKeyHash> keys;  // sorted by (hash, channel), deduped
+    bool is_short = false;  // value within single_gram_value_length
+  };
+  std::vector<Attr> attrs;
+};
+
 // Inverted index: block-key hash -> sorted list of (right entity, attr)
 // postings.
 class BlockingIndex {
@@ -185,11 +205,38 @@ class BlockingIndex {
                              const sim::SimilarityOptions& sim,
                              ThreadPool* pool = nullptr);
 
+  // Extends the index over rights[first_new..] (rights[0..first_new) must
+  // be the entities the index already covers). New postings land in a
+  // sorted pending sidecar consulted by every probe; once the sidecar
+  // outgrows the dirt threshold it is merged back into the CSR layout.
+  // Serial and deterministic: the resulting logical index — and its
+  // Fingerprint() — equals a fresh Build() over all rights.
+  void AddRights(const std::vector<PreparedEntity>& rights, size_t first_new);
+
   // Probes the index with every attribute value of `left`, leaving the
   // sorted candidate list in scratch->touched() and the per-cell channel
   // bitmasks behind scratch->cell_channels(). Thread-safe with one
   // ProbeScratch per caller: the index is immutable after Build.
-  void Probe(const PreparedEntity& left, ProbeScratch* scratch) const;
+  //
+  // `min_right` restricts the probe to right entities with index >=
+  // min_right; the result is exactly the full probe's state restricted to
+  // those candidates (per-right accumulation is independent). The delta
+  // path uses this to score grown frontiers in O(new pairs).
+  void Probe(const PreparedEntity& left, ProbeScratch* scratch,
+             uint32_t min_right) const;
+  void Probe(const PreparedEntity& left, ProbeScratch* scratch) const {
+    Probe(left, scratch, 0);
+  }
+
+  // Extracts the probe-side keys of `left` for the PreparedProbe overload.
+  // `scratch` only provides the per-token key memo.
+  PreparedProbe PrepareProbe(const PreparedEntity& left,
+                             ProbeScratch* scratch) const;
+
+  // Probe with keys prepared by PrepareProbe: bit-identical resulting
+  // scratch state, minus the per-call key extraction.
+  void Probe(const PreparedProbe& probe, ProbeScratch* scratch,
+             uint32_t min_right) const;
 
   // Appends the sorted, deduplicated indices of every right entity sharing
   // at least one block with `left` to `*out` (cleared first), and the
@@ -203,15 +250,43 @@ class BlockingIndex {
   void Candidates(const PreparedEntity& left,
                   std::vector<uint32_t>* out) const;
 
-  bool empty() const { return postings_.empty(); }
+  bool empty() const { return postings_.empty() && pending_.empty(); }
   size_t block_count() const { return block_count_; }
-  uint64_t posting_count() const { return postings_.size(); }
+  uint64_t posting_count() const { return postings_.size() + pending_.size(); }
+  // Entries currently in the pending sidecar (not yet merged into the CSR).
+  size_t pending_count() const { return pending_.size(); }
+  // Number of sidecar-into-CSR merge compactions performed so far.
+  uint64_t merge_count() const { return merge_count_; }
+  size_t num_rights() const { return num_rights_; }
 
-  // Order-sensitive hash over the table slots and posting storage; equal
-  // fingerprints mean byte-identical indexes (modulo hash collisions).
+  void set_pending_merge_threshold(size_t threshold) {
+    options_.pending_merge_threshold = threshold;
+  }
+
+  // Representation-independent hash over the logical (key hash, posting)
+  // entry multiset plus the covered right count: invariant under CSR-vs-
+  // pending placement and table layout, so an incrementally grown index
+  // fingerprints identically to a fresh Build() over the same rights.
   uint64_t Fingerprint() const;
 
  private:
+  using Entry = std::pair<uint64_t, uint32_t>;  // (key hash, packed posting)
+
+  // Shared pieces of the two Probe overloads: clear the previous probe's
+  // scratch state, accumulate one attribute's keys, and apply the final
+  // sort + gram-threshold filter.
+  void ResetScratch(ProbeScratch* scratch) const;
+  void ProbeAttr(const std::vector<TaggedKeyHash>& keys, size_t attr_slot,
+                 bool left_is_short, uint32_t min_posting,
+                 ProbeScratch* scratch) const;
+  void FinishProbe(ProbeScratch* scratch) const;
+
+  // Replaces the CSR postings + hash table with the globally (hash,
+  // posting)-sorted, deduplicated `entries`.
+  void AssignFromEntries(const std::vector<Entry>& entries);
+  // Merges the pending sidecar into the CSR when it outgrows the dirt
+  // threshold.
+  void MaybeMergePending();
   // Open-addressed hash table over contiguous posting storage (CSR layout):
   // a slot maps a block-key hash to its [begin, begin+len) range in
   // postings_. The key hashes are already well mixed (FNV-1a / SplitMix64),
@@ -221,13 +296,36 @@ class BlockingIndex {
     uint32_t begin = 0;
     uint32_t len = 0;
   };
+  // One-bit membership filter over every posted key hash (CSR + pending):
+  // a probe key whose bit is clear provably has no postings, so the common
+  // miss costs one cache-resident bit test instead of a table walk plus a
+  // sidecar binary search. False positives just fall through to the normal
+  // lookup. Sized ~8 bits per distinct key by AssignFromEntries; AddRights
+  // extends it in place (merges re-size it).
+  void FilterInsert(uint64_t hash) {
+    key_filter_[(hash & key_filter_mask_) >> 6] |=
+        1ull << (hash & key_filter_mask_ & 63u);
+  }
+  bool FilterMaybeContains(uint64_t hash) const {
+    return (key_filter_[(hash & key_filter_mask_) >> 6] >>
+            (hash & key_filter_mask_ & 63u)) &
+           1u;
+  }
+  void ResetFilter(size_t distinct_keys);
+
   std::vector<Slot> table_;
   uint64_t table_mask_ = 0;
+  std::vector<uint64_t> key_filter_ = {0};
+  uint64_t key_filter_mask_ = 63;
   // Packed (right_index << 4) | short_value_flag << 3 | min(attr_index, 7),
   // sorted within a block.
   std::vector<uint32_t> postings_;
+  // Sorted (hash, posting) entries from AddRights() awaiting their merge
+  // into the CSR; probes consult this alongside the table.
+  std::vector<Entry> pending_;
   size_t block_count_ = 0;
   uint32_t num_rights_ = 0;
+  uint64_t merge_count_ = 0;
   BlockingOptions options_;
   sim::SimilarityOptions sim_;
 };

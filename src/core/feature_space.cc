@@ -251,21 +251,25 @@ void FeatureSpace::MaybeCompactBucket(FeatureId feature) {
 }
 
 void FeatureSpace::CompactBucket(FeatureId feature) {
-  // Copy the bucket's live entries aside, then merge them with the pending
-  // inserts back into the arena. live + pending never exceeds the bucket's
-  // Build-time capacity (every pair with this feature has a Build-time
-  // slot), so compaction never reallocates the arena.
-  compact_scratch_.clear();
+  // Merge the bucket's live entries and its pending inserts back into the
+  // arena. Under link churn alone live + pending never exceeds the
+  // bucket's Build-time capacity (every pair with this feature has a
+  // Build-time slot); entries added by Grow() can overflow it — those stay
+  // in the pending sidecar until MaybeCompactArena() rebuilds the arena.
   const size_t begin = feature_begin_[feature];
   const size_t live_end = feature_live_end_[feature];
+  std::vector<ScoreEntry>& pending = pending_[feature];
+  const size_t live_in_bucket = live_end - begin - dead_in_bucket_[feature];
+  if (begin + live_in_bucket + pending.size() > feature_begin_[feature + 1]) {
+    return;
+  }
+  compact_scratch_.clear();
   for (size_t i = begin; i < live_end; ++i) {
     if (pair_alive_[score_entries_[i].pair]) {
       compact_scratch_.push_back(score_entries_[i]);
     }
   }
-  std::vector<ScoreEntry>& pending = pending_[feature];
   const size_t merged = compact_scratch_.size() + pending.size();
-  ALEX_CHECK(begin + merged <= feature_begin_[feature + 1]);
   std::merge(compact_scratch_.begin(), compact_scratch_.end(),
              pending.begin(), pending.end(), score_entries_.begin() + begin);
   feature_live_end_[feature] = static_cast<uint32_t>(begin + merged);
@@ -309,6 +313,7 @@ void FeatureSpace::BuildScoreIndex() {
     pair_alive_.assign(pairs_.size(), 1);
     live_pair_count_ = pairs_.size();
   }
+  grown_entries_ = 0;  // every entry gets an arena slot below
   FeatureId max_feature = 0;
   size_t total = 0;
   for (const EntityPairFeatures& pair : pairs_) {
@@ -479,6 +484,169 @@ FeatureSpace FeatureSpace::Build(const rdf::TripleStore& left,
   return Build(left, left_subjects,
                RightContext::Prepare(right, right_subjects, options), catalog,
                options, pool);
+}
+
+FeatureSpace::GrowthResult FeatureSpace::Grow(
+    const rdf::TripleStore& left,
+    const std::vector<rdf::TermId>& new_left_subjects,
+    const std::vector<uint32_t>* candidate_old_lefts, size_t old_right_count,
+    FeatureCatalog* catalog, const FeatureSpaceOptions& options,
+    bool rebuild_indexes, const BlockingIndex* delta_index) {
+  GrowthResult result;
+  const std::vector<PreparedEntity>& rights = right_->entities;
+  const size_t old_left_count = left_entities_.size();
+  const BlockingIndex* index =
+      options.blocking.enabled && !right_->index.empty() ? &right_->index
+                                                         : nullptr;
+  total_pair_count_ +=
+      static_cast<uint64_t>(old_left_count) *
+          (rights.size() - old_right_count) +
+      static_cast<uint64_t>(new_left_subjects.size()) * rights.size();
+
+  for (rdf::TermId subject : new_left_subjects) {
+    left_entities_.push_back(
+        PrepareEntity(left, subject, options.max_attributes));
+  }
+
+  // Delta discovery runs serially on purpose: ingest deltas are small, and
+  // a fixed enumeration order makes new PairIds — and the catalog's intern
+  // order for first-seen feature keys — canonical across thread counts AND
+  // across the incremental / rebuild maintenance modes.
+  CatalogMemo memo(catalog);
+  ProbeScratch scratch;
+  std::vector<EntityPairFeatures> fresh;
+  // Probe-key extraction dominates a restricted probe's cost, so the
+  // incremental path reuses cached keys per left entity (valid across
+  // epochs: keys depend only on the options). The rebuild baseline probes
+  // from scratch — it is the O(store) pass the incremental mode is measured
+  // against. Both produce bit-identical scratch state.
+  const bool use_probe_cache = !rebuild_indexes && index != nullptr;
+  if (use_probe_cache && probe_cache_.size() < left_entities_.size()) {
+    probe_cache_.resize(left_entities_.size());
+  }
+  // Which index the cached probes hit: phase 1 swaps in the delta index
+  // (new rights only, globally numbered) when the engine supplied one.
+  const BlockingIndex* probe_target = index;
+  auto score_left = [&](size_t i, uint32_t min_right) {
+    const PreparedEntity& left_entity = left_entities_[i];
+    auto keep = [&](uint32_t j, FeatureSet features) {
+      ++scored_pair_count_;
+      if (features.empty()) return;  // dropped by θ-filtering
+      EntityPairFeatures pair;
+      pair.left_index = static_cast<uint32_t>(i);
+      pair.right_index = j;
+      pair.features = std::move(features);
+      fresh.push_back(std::move(pair));
+    };
+    if (use_probe_cache) {
+      if (i >= probe_cache_.size()) probe_cache_.resize(left_entities_.size());
+      if (!probe_cache_[i]) {
+        probe_cache_[i] = index->PrepareProbe(left_entity, &scratch);
+      }
+      probe_target->Probe(*probe_cache_[i], &scratch, min_right);
+      for (uint32_t j : scratch.touched()) {
+        keep(j, BuildFeatureSetWithMasks(
+                    left_entity, rights[j], &memo, options.theta,
+                    options.similarity,
+                    CellMaskProvider{scratch.cell_channels(j)}));
+      }
+    } else if (index != nullptr) {
+      index->Probe(left_entity, &scratch, min_right);
+      for (uint32_t j : scratch.touched()) {
+        keep(j, BuildFeatureSetWithMasks(
+                    left_entity, rights[j], &memo, options.theta,
+                    options.similarity,
+                    CellMaskProvider{scratch.cell_channels(j)}));
+      }
+    } else {
+      for (uint32_t j = min_right; j < rights.size(); ++j) {
+        keep(j, BuildFeatureSet(left_entity, rights[j], &memo, options.theta,
+                                options.similarity));
+      }
+    }
+  };
+  // Phase 1: old lefts against the new rights only (min_right restriction —
+  // the probe state equals a full probe restricted to the new rights).
+  if (old_right_count < rights.size()) {
+    const uint32_t first_new = static_cast<uint32_t>(old_right_count);
+    if (use_probe_cache && delta_index != nullptr) {
+      ALEX_CHECK(delta_index->num_rights() == rights.size());
+      probe_target = delta_index;
+    }
+    if (index != nullptr && candidate_old_lefts != nullptr) {
+      for (uint32_t i : *candidate_old_lefts) score_left(i, first_new);
+    } else {
+      for (size_t i = 0; i < old_left_count; ++i) score_left(i, first_new);
+    }
+    probe_target = index;
+  }
+  // Phase 2: new lefts against every right.
+  for (size_t i = old_left_count; i < left_entities_.size(); ++i) {
+    score_left(i, 0);
+  }
+
+  const PairId first_new_pair = static_cast<PairId>(pairs_.size());
+  for (EntityPairFeatures& pair : fresh) {
+    ALEX_CHECK(pairs_.size() < kInvalidPairId);
+    const PairId id = static_cast<PairId>(pairs_.size());
+    pairs_.push_back(std::move(pair));
+    pair_alive_.push_back(1);  // new pairs join the explorable frontier
+    ++live_pair_count_;
+    pair_by_iris_.emplace(PairKey(LeftIri(id), RightIri(id)), id);
+  }
+  result.new_pairs = pairs_.size() - first_new_pair;
+
+  if (rebuild_indexes) {
+    BuildScoreIndex();
+    return result;
+  }
+  // Incremental: park each new entry in its feature's pending sidecar.
+  // Features first seen in this delta get a zero-capacity bucket at the
+  // arena's end; their entries stay pending until the next arena rebuild.
+  const uint32_t arena_end = static_cast<uint32_t>(score_entries_.size());
+  // feature_begin_ is one longer than the per-bucket vectors (CSR offsets);
+  // seed that invariant when the space was built with no entries at all.
+  if (feature_begin_.empty()) feature_begin_.push_back(arena_end);
+  for (PairId id = first_new_pair; id < pairs_.size(); ++id) {
+    for (const auto& [feature, score] : pairs_[id].features.features) {
+      while (feature_begin_.size() < static_cast<size_t>(feature) + 2) {
+        feature_begin_.push_back(arena_end);
+        feature_live_end_.push_back(arena_end);
+        dead_in_bucket_.push_back(0);
+        pending_.emplace_back();
+      }
+      const ScoreEntry entry{score, id};
+      std::vector<ScoreEntry>& pending = pending_[feature];
+      pending.insert(std::lower_bound(pending.begin(), pending.end(), entry),
+                     entry);
+      ++grown_entries_;
+      ++result.overflow_entries;
+      MaybeCompactBucket(feature);
+    }
+  }
+  return result;
+}
+
+void FeatureSpace::PrepareForwardProbes() {
+  if (right_ == nullptr || right_->index.empty()) return;
+  ProbeScratch scratch;
+  if (probe_cache_.size() < left_entities_.size()) {
+    probe_cache_.resize(left_entities_.size());
+  }
+  for (size_t i = 0; i < left_entities_.size(); ++i) {
+    if (!probe_cache_[i]) {
+      probe_cache_[i] =
+          right_->index.PrepareProbe(left_entities_[i], &scratch);
+    }
+  }
+}
+
+void FeatureSpace::MaybeCompactArena() {
+  if (grown_entries_ == 0) return;
+  if (grown_entries_ > compaction_threshold_ + score_entries_.size() / 8) {
+    BuildScoreIndex();  // resets grown_entries_: every entry gets a slot
+    ++arena_compaction_count_;
+  }
 }
 
 }  // namespace alex::core

@@ -37,6 +37,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -293,6 +294,66 @@ class FeatureSpace {
   // where per-pair deltas are not available).
   void MarkAllLive();
 
+  // ---- Frontier growth under triple ingest ---------------------------
+  //
+  // Extends the space after the stores grew: `new_left_subjects` are this
+  // partition's newly ingested left entities (appended to left_entities()
+  // in order), and right_->entities has already been extended past
+  // `old_right_count`. New pairs are discovered in canonical (left, right)
+  // lexicographic order — old lefts against the new rights first, then new
+  // lefts against all rights — and appended with fresh PairIds, live.
+  //
+  // With `rebuild_indexes` the score arena is rebuilt from scratch (the
+  // O(space) baseline); otherwise new entries land in the per-feature
+  // pending sidecars in O(new pairs) — buckets whose Build-time capacity
+  // they exceed keep them pending until MaybeCompactArena() folds the
+  // growth back into the CSR arena. Both modes yield the same logical
+  // space (same PairIds, same Fingerprint()).
+  //
+  // `candidate_old_lefts` (sorted, indices into left_entities()) restricts
+  // the old-left probing to a known superset of the lefts that can reach a
+  // new right — the engine derives it from a reverse probe over a left-side
+  // blocking index. Pass nullptr to probe every old left (the rebuild
+  // baseline; also the exhaustive no-blocking mode).
+  struct GrowthResult {
+    size_t new_pairs = 0;
+    // Score entries parked in pending sidecars (incremental mode only).
+    size_t overflow_entries = 0;
+  };
+  // `delta_index` (optional, incremental mode only) is a blocking index
+  // covering ONLY the new rights but numbered globally (an empty Build
+  // followed by AddRights(rights, old_right_count)). Phase-1 probes hit it
+  // instead of the full index: the resulting scratch state is identical to
+  // a min_right-restricted probe of the full index — the new rights'
+  // postings are the same entries — but each key lands in a table that only
+  // holds the epoch's delta, so a probe that matches nothing costs nearly
+  // nothing. Pass nullptr to probe the full index.
+  GrowthResult Grow(const rdf::TripleStore& left,
+                    const std::vector<rdf::TermId>& new_left_subjects,
+                    const std::vector<uint32_t>* candidate_old_lefts,
+                    size_t old_right_count, FeatureCatalog* catalog,
+                    const FeatureSpaceOptions& options, bool rebuild_indexes,
+                    const BlockingIndex* delta_index = nullptr);
+
+  // Precomputes and caches the probe-side block keys of every current left
+  // entity (BlockingIndex::PrepareProbe). Key extraction — gram hashing and
+  // deletion-variant expansion — dominates the cost of a rights-restricted
+  // probe, and the keys depend only on the blocking/similarity options, not
+  // on the index contents, so the cache stays valid across ingest epochs.
+  // Only the incremental Grow path consults it; the rebuild baseline stays
+  // a true from-scratch O(store) pass. Cached and uncached probes populate
+  // bit-identical scratch state, so the modes keep yielding the same pairs.
+  void PrepareForwardProbes();
+
+  // Folds growth-pending score entries back into the CSR arena (a full,
+  // counting-sort rebuild) once they outgrow compaction_threshold +
+  // arena/8 — the episode-boundary "background compaction" hook. No-op
+  // when nothing grew.
+  void MaybeCompactArena();
+  uint64_t arena_compaction_count() const { return arena_compaction_count_; }
+  // Growth entries currently outside the CSR arena.
+  size_t grown_entry_count() const { return grown_entries_; }
+
   bool IsLive(PairId id) const { return pair_alive_[id] != 0; }
   size_t live_pair_count() const { return live_pair_count_; }
 
@@ -387,6 +448,13 @@ class FeatureSpace {
   size_t live_pair_count_ = 0;
   size_t compaction_threshold_ = 32;
   uint64_t compaction_count_ = 0;
+  // Per-left-entity cached probe keys (index-aligned with left_entities_);
+  // filled by PrepareForwardProbes() or lazily by the incremental Grow path.
+  std::vector<std::optional<PreparedProbe>> probe_cache_;
+  // Entries added by Grow() that have no CSR arena slot yet; reset by any
+  // full BuildScoreIndex().
+  size_t grown_entries_ = 0;
+  uint64_t arena_compaction_count_ = 0;
   std::vector<ScoreEntry> compact_scratch_;
   uint64_t total_pair_count_ = 0;
   uint64_t scored_pair_count_ = 0;

@@ -311,4 +311,90 @@ GeneratedWorld Generate(const WorldProfile& profile) {
   return world;
 }
 
+namespace {
+
+// EmitEntity's twin for growth schedules: triples go into a vector instead
+// of a store, so one schedule can be applied to many store pairs.
+void AppendEntityTriples(const WorldProfile& profile,
+                         const WorldEntity& entity, bool left_side,
+                         const std::string& iri,
+                         std::vector<GrowthTriple>* out) {
+  const auto& values = left_side ? entity.left_values : entity.right_values;
+  Term subject = Term::Iri(iri);
+  for (size_t a = 0; a < values.size(); ++a) {
+    if (!values[a]) continue;
+    const AttributeSpec& spec = profile.attributes[a];
+    out->push_back(GrowthTriple{
+        subject,
+        Term::Iri(left_side ? spec.left_predicate : spec.right_predicate),
+        values[a]->ToTerm()});
+  }
+}
+
+}  // namespace
+
+GrowthSchedule GrowWorld(const WorldProfile& profile, uint64_t seed,
+                         double fraction, int epochs) {
+  // Replay the vocabulary prefix of Generate(profile) draw-for-draw, so the
+  // new entities' values come from the base world's vocabularies.
+  Rng vocab_rng(profile.seed);
+  std::vector<std::vector<std::string>> vocabs;
+  vocabs.reserve(profile.attributes.size());
+  for (const AttributeSpec& spec : profile.attributes) {
+    std::vector<std::string> vocab;
+    int size = std::max(1, spec.vocab_size);
+    vocab.reserve(size);
+    for (int v = 0; v < size; ++v) vocab.push_back(RandomWord(&vocab_rng));
+    vocabs.push_back(std::move(vocab));
+  }
+
+  // Growth draws come from their own stream so schedules with different
+  // seeds diverge while sharing the vocabularies.
+  Rng rng(profile.seed ^ (seed * 0x9e3779b97f4a7c15ULL + 0x5851f42d4c957f2dULL));
+  uint64_t next_id = profile.overlap_entities + profile.left_only_entities +
+                     profile.right_only_entities + profile.confusable_pairs;
+  const size_t per_epoch = std::max<size_t>(
+      1, static_cast<size_t>(fraction *
+                             static_cast<double>(profile.overlap_entities)));
+
+  GrowthSchedule schedule;
+  schedule.epochs.resize(std::max(epochs, 0));
+  for (GrowthEpoch& epoch : schedule.epochs) {
+    for (size_t i = 0; i < per_epoch; ++i) {
+      uint64_t id = next_id++;
+      WorldEntity entity = MakeEntity(profile, vocabs, true, true, &rng);
+      std::string l = profile.left_namespace + "e" + std::to_string(id);
+      std::string r = profile.right_namespace + RightLocalName(id);
+      AppendEntityTriples(profile, entity, true, l, &epoch.left_triples);
+      AppendEntityTriples(profile, entity, false, r, &epoch.right_triples);
+      epoch.new_left_subjects.push_back(std::move(l));
+      epoch.new_right_subjects.push_back(std::move(r));
+      epoch.new_ground_truth.push_back(
+          linking::Link{epoch.new_left_subjects.back(),
+                        epoch.new_right_subjects.back(), 1.0});
+    }
+  }
+  return schedule;
+}
+
+void ApplyGrowthEpoch(const GrowthEpoch& epoch, rdf::TripleStore* left,
+                      rdf::TripleStore* right) {
+  rdf::IngestBatch left_batch;
+  left_batch.adds.reserve(epoch.left_triples.size());
+  for (const GrowthTriple& t : epoch.left_triples) {
+    left_batch.adds.push_back(rdf::Triple{left->InternTerm(t.subject),
+                                          left->InternTerm(t.predicate),
+                                          left->InternTerm(t.object)});
+  }
+  rdf::IngestBatch right_batch;
+  right_batch.adds.reserve(epoch.right_triples.size());
+  for (const GrowthTriple& t : epoch.right_triples) {
+    right_batch.adds.push_back(rdf::Triple{right->InternTerm(t.subject),
+                                           right->InternTerm(t.predicate),
+                                           right->InternTerm(t.object)});
+  }
+  left->Ingest(left_batch);
+  right->Ingest(right_batch);
+}
+
 }  // namespace alex::datagen

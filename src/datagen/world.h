@@ -91,6 +91,53 @@ struct GeneratedWorld {
 // profile.seed.
 GeneratedWorld Generate(const WorldProfile& profile);
 
+// ---- World growth (live triple ingest) -----------------------------------
+//
+// A growth schedule extends a Generate(profile) world with NEW overlap-type
+// entities — fresh IRIs on both sides plus their ground-truth links —
+// without ever touching the triples of pre-existing entities (the additive
+// contract AlexEngine::IngestTriples enforces). The same schedule object
+// drives the ingest-differential tests and bench_ingest, so both see
+// byte-identical growth.
+
+// One triple of a growth epoch, in term (not id) form: ids are assigned by
+// the store the epoch is applied to.
+struct GrowthTriple {
+  rdf::Term subject;
+  rdf::Term predicate;
+  rdf::Term object;
+};
+
+// One ingest epoch: the new entities' triples for each side, the subject
+// IRIs that appear for the first time, and the ground-truth links they add.
+struct GrowthEpoch {
+  std::vector<GrowthTriple> left_triples;
+  std::vector<GrowthTriple> right_triples;
+  std::vector<std::string> new_left_subjects;
+  std::vector<std::string> new_right_subjects;
+  std::vector<linking::Link> new_ground_truth;
+};
+
+struct GrowthSchedule {
+  std::vector<GrowthEpoch> epochs;
+};
+
+// Builds `epochs` growth epochs for the world Generate(profile) produced,
+// each adding max(1, fraction * profile.overlap_entities) new overlap
+// entities. Entity ids continue after the base world's, and the attribute
+// vocabularies are replayed from profile.seed, so values come from the same
+// distribution as the base world. Deterministic in (profile.seed, seed,
+// fraction, epochs); independent of any store state.
+GrowthSchedule GrowWorld(const WorldProfile& profile, uint64_t seed,
+                         double fraction, int epochs);
+
+// Interns the epoch's terms into the two stores and ingests the triples
+// (one IngestBatch per store). New subject IRIs intern AFTER every
+// pre-existing term, which is exactly the TermId-watermark contract
+// AlexEngine::IngestTriples detects growth by.
+void ApplyGrowthEpoch(const GrowthEpoch& epoch, rdf::TripleStore* left,
+                      rdf::TripleStore* right);
+
 // Value-noise helpers, exported for tests.
 // Applies typos (substitute/delete/transpose) to ~strength * len characters.
 std::string ApplyTypos(const std::string& value, double strength, Rng* rng);

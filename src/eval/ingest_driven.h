@@ -1,0 +1,46 @@
+// The ingest-driven experiment: the stores GROW while ALEX learns.
+//
+// Each episode of the loop first applies one epoch of a deterministic
+// datagen::GrowthSchedule to the two stores (new overlap entities on both
+// sides plus their ground-truth links), folds the growth into the engine
+// with AlexEngine::IngestTriples (incremental or rebuild, per
+// AlexOptions::incremental_ingest), and then runs one ordinary feedback
+// episode. Quality is evaluated against the growing ground truth, and the
+// per-episode EpisodeStats carry the cumulative ingest counters
+// (triples_ingested, entities_added, blocking_merges, space_overflow_pairs,
+// ingest_epochs) into the usual CSV/summary reporting.
+#ifndef ALEX_EVAL_INGEST_DRIVEN_H_
+#define ALEX_EVAL_INGEST_DRIVEN_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "datagen/world.h"
+#include "eval/experiment.h"
+
+namespace alex::eval {
+
+struct IngestDrivenOptions {
+  // New overlap entities per ingest epoch, as a fraction of the profile's
+  // base overlap population (max(1, fraction * overlap_entities) entities).
+  double growth_fraction = 0.01;
+  // Ingest epochs to run; one feedback episode follows each. Overrides
+  // config.alex.max_episodes for this loop.
+  int epochs = 20;
+  // Seed of the growth schedule (independent of the world profile's seed).
+  uint64_t growth_seed = 7;
+};
+
+// Runs the grow-ingest-learn loop on a caller-owned world (mutated in
+// place!) seeded with `initial_links`. The engine must own its right
+// context, so config.right_context is ignored. `on_point` observes each
+// episode point (episode 0, the pre-growth baseline, included).
+Result<ExperimentResult> RunIngestDrivenExperiment(
+    const ExperimentConfig& config, const IngestDrivenOptions& ingest,
+    datagen::GeneratedWorld* world,
+    const std::vector<linking::Link>& initial_links,
+    const std::function<void(const EpisodePoint&)>& on_point = nullptr);
+
+}  // namespace alex::eval
+
+#endif  // ALEX_EVAL_INGEST_DRIVEN_H_

@@ -89,6 +89,17 @@ void PrintSummary(std::ostream& os, const ExperimentResult& result) {
        << "tallies evicted:         " << last.tallies_evicted << " ("
        << last.aggregator_pending << " still pending)\n";
   }
+  // Live-ingest block, printed only when the run grew the stores through
+  // IngestTriples (counters are cumulative; the final episode has totals).
+  if (!result.series.empty() &&
+      result.series.back().stats.ingest_epochs > 0) {
+    const core::EpisodeStats& last = result.series.back().stats;
+    os << "ingest epochs:           " << last.ingest_epochs << "\n"
+       << "triples ingested:        " << last.triples_ingested << "\n"
+       << "entities added:          " << last.entities_added << "\n"
+       << "blocking merges:         " << last.blocking_merges << "\n"
+       << "space overflow entries:  " << last.space_overflow_pairs << "\n";
+  }
 }
 
 void WriteSeriesCsv(std::ostream& os, const ExperimentResult& result) {
@@ -96,7 +107,9 @@ void WriteSeriesCsv(std::ostream& os, const ExperimentResult& result) {
         "seconds,incomplete_queries,skipped_feedback,query_retries,"
         "breaker_opens,epochs_published,snapshots_retired,"
         "max_concurrent_readers,votes_recorded,verdicts_emitted,"
-        "aggregator_pending,votes_suppressed,tallies_evicted\n";
+        "aggregator_pending,votes_suppressed,tallies_evicted,"
+        "triples_ingested,entities_added,blocking_merges,"
+        "space_overflow_pairs,ingest_epochs\n";
   for (const EpisodePoint& point : result.series) {
     os << point.episode << ',' << point.quality.precision << ','
        << point.quality.recall << ',' << point.quality.f_measure << ','
@@ -111,7 +124,12 @@ void WriteSeriesCsv(std::ostream& os, const ExperimentResult& result) {
        << point.stats.votes_recorded << ',' << point.stats.verdicts_emitted
        << ',' << point.stats.aggregator_pending << ','
        << point.stats.votes_suppressed << ','
-       << point.stats.tallies_evicted << "\n";
+       << point.stats.tallies_evicted << ','
+       << point.stats.triples_ingested << ','
+       << point.stats.entities_added << ','
+       << point.stats.blocking_merges << ','
+       << point.stats.space_overflow_pairs << ','
+       << point.stats.ingest_epochs << "\n";
   }
 }
 

@@ -46,6 +46,43 @@ std::pair<const Triple*, const Triple*> IndexRange(
 void TripleStore::Add(TermId s, TermId p, TermId o) {
   spo_.push_back(Triple{s, p, o});
   dirty_ = true;
+  ++generation_;
+}
+
+IngestResult TripleStore::Ingest(const IngestBatch& batch) {
+  EnsureIndexes();  // start from the sorted, deduplicated canonical list
+  IngestResult result;
+
+  if (!batch.retracts.empty()) {
+    std::vector<Triple> retracts = batch.retracts;
+    std::sort(retracts.begin(), retracts.end(), SpoLess());
+    retracts.erase(std::unique(retracts.begin(), retracts.end()),
+                   retracts.end());
+    auto keep = std::remove_if(spo_.begin(), spo_.end(), [&](const Triple& t) {
+      return std::binary_search(retracts.begin(), retracts.end(), t,
+                                SpoLess());
+    });
+    result.retracted = static_cast<size_t>(spo_.end() - keep);
+    spo_.erase(keep, spo_.end());
+  }
+
+  for (const Triple& t : batch.adds) {
+    // spo_ stays sorted through the retract pass, so presence checks are
+    // exact until the first append; after that, check the appended tail too.
+    auto sorted_end = spo_.begin() + (spo_.size() - result.added);
+    bool present =
+        std::binary_search(spo_.begin(), sorted_end, t, SpoLess()) ||
+        std::find(sorted_end, spo_.end(), t) != spo_.end();
+    if (present) continue;
+    spo_.push_back(t);
+    ++result.added;
+  }
+
+  dirty_ = true;
+  ++generation_;
+  result.epoch = ++ingest_epoch_;
+  EnsureIndexes();  // leave the store immediately readable
+  return result;
 }
 
 void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
@@ -96,7 +133,7 @@ MatchCursor TripleStore::Scan(TermPattern s, TermPattern p,
   } else {
     range = {spo_.data(), spo_.data() + spo_.size()};
   }
-  return MatchCursor(range.first, range.second);
+  return MatchCursor(this, generation_, range.first, range.second);
 }
 
 const char* IndexOrderName(IndexOrder order) {
@@ -116,7 +153,8 @@ MatchCursor TripleStore::ScanOrdered(IndexOrder order, TermPattern s,
   bool in_prefix = true;
   for (int k = 0; k < 3; ++k) {
     bool is_bound = bound[positions[k]].has_value();
-    if (is_bound && !in_prefix) return MatchCursor(nullptr, nullptr);
+    if (is_bound && !in_prefix)
+      return MatchCursor(this, generation_, nullptr, nullptr);
     if (!is_bound) in_prefix = false;
   }
   const TermId kMin = 0;
@@ -129,7 +167,7 @@ MatchCursor TripleStore::ScanOrdered(IndexOrder order, TermPattern s,
     case IndexOrder::kPos: range = IndexRange<PosLess>(pos_, lo, hi); break;
     default: range = IndexRange<OspLess>(osp_, lo, hi); break;
   }
-  return MatchCursor(range.first, range.second);
+  return MatchCursor(this, generation_, range.first, range.second);
 }
 
 size_t TripleStore::CountMatches(TermPattern s, TermPattern p,

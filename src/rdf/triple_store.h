@@ -19,6 +19,8 @@
 #ifndef ALEX_RDF_TRIPLE_STORE_H_
 #define ALEX_RDF_TRIPLE_STORE_H_
 
+#include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -64,30 +66,63 @@ inline constexpr const int* IndexPositions(IndexOrder order) {
 
 const char* IndexOrderName(IndexOrder order);
 
+class TripleStore;
+
 // A lazy scan over one contiguous index range. Obtained from
 // TripleStore::Scan(); valid as long as the store is not mutated. The
 // range contains exactly the matching triples (no residual filtering), in
 // the order of the chosen index.
+//
+// Cursors capture the store's mutation generation at creation; any later
+// Add()/Ingest() makes the cursor stale(). Walking a stale cursor is
+// undefined behavior (the index storage it borrows may have been resorted
+// or reallocated) — debug builds assert.
 class MatchCursor {
  public:
   MatchCursor() = default;
 
   // The next matching triple, or nullptr when exhausted.
   const Triple* Next() {
+    assert(!stale() && "MatchCursor used after the store was mutated");
     if (it_ == end_) return nullptr;
     return it_++;
   }
 
   // Exact number of matches not yet consumed.
-  size_t remaining() const { return static_cast<size_t>(end_ - it_); }
+  size_t remaining() const {
+    assert(!stale() && "MatchCursor used after the store was mutated");
+    return static_cast<size_t>(end_ - it_);
+  }
+
+  // True once the originating store has been mutated since this cursor was
+  // created; the cursor must no longer be walked.
+  bool stale() const;
 
  private:
   friend class TripleStore;
-  MatchCursor(const Triple* first, const Triple* last)
-      : it_(first), end_(last) {}
+  MatchCursor(const TripleStore* store, uint64_t generation,
+              const Triple* first, const Triple* last)
+      : it_(first), end_(last), store_(store), generation_(generation) {}
 
   const Triple* it_ = nullptr;
   const Triple* end_ = nullptr;
+  const TripleStore* store_ = nullptr;
+  uint64_t generation_ = 0;
+};
+
+// One epoch-stamped batch of triple mutations: `retracts` are removed
+// first, then `adds` are inserted. Duplicate adds and retracts of absent
+// triples are tolerated (and not counted in the result).
+struct IngestBatch {
+  std::vector<Triple> adds;
+  std::vector<Triple> retracts;
+};
+
+// What an Ingest() call actually changed.
+struct IngestResult {
+  size_t added = 0;      // distinct triples newly inserted
+  size_t retracted = 0;  // triples actually removed
+  uint64_t epoch = 0;    // the store's ingest epoch after this batch
 };
 
 class TripleStore {
@@ -111,6 +146,18 @@ class TripleStore {
   void Add(TermId s, TermId p, TermId o);
   // Convenience overload interning the three terms.
   void Add(const Term& s, const Term& p, const Term& o);
+
+  // Applies one streaming mutation batch: retracts, then adds. Rebuilds
+  // the indexes eagerly so the store is immediately readable, bumps the
+  // mutation generation (invalidating live cursors) and the ingest epoch.
+  IngestResult Ingest(const IngestBatch& batch);
+
+  // Monotonic mutation counter: bumped by every Add()/Ingest(). Cursors
+  // compare their captured value against this to detect staleness.
+  uint64_t generation() const { return generation_; }
+
+  // Number of Ingest() batches applied so far.
+  uint64_t ingest_epoch() const { return ingest_epoch_; }
 
   // Number of distinct triples. Builds indexes if dirty.
   size_t size() const;
@@ -158,7 +205,13 @@ class TripleStore {
   mutable std::vector<Triple> pos_;
   mutable std::vector<Triple> osp_;
   mutable bool dirty_ = false;
+  uint64_t generation_ = 0;
+  uint64_t ingest_epoch_ = 0;
 };
+
+inline bool MatchCursor::stale() const {
+  return store_ != nullptr && store_->generation() != generation_;
+}
 
 }  // namespace alex::rdf
 

@@ -40,7 +40,14 @@ std::shared_ptr<const EpochSnapshot> ServingEngine::Freeze() {
 
   if (options_.use_query_cache) {
     std::shared_ptr<const EpochSnapshot> parent = current_.Load();
-    if (parent != nullptr && parent->cache() != nullptr) {
+    if (flush_query_cache_) {
+      // A source ingest invalidated results wholesale: new triples add
+      // answers to queries that never consulted the new IRIs, so the
+      // consulted-set delta subtraction cannot identify the stale entries.
+      // Start cold; steady-state epochs repopulate it.
+      parts.cache = std::make_shared<fed::FederatedQueryCache>();
+      flush_query_cache_ = false;
+    } else if (parent != nullptr && parent->cache() != nullptr) {
       // Carry the parent epoch's still-exact results forward: clone minus
       // the entries the staged delta invalidates.
       parts.cache =
@@ -86,6 +93,12 @@ bool ServingEngine::NoteFreshStats(std::span<const rdf::DatasetStats> fresh) {
     }
   }
   return false;
+}
+
+bool ServingEngine::NoteSourceIngest(
+    std::span<const rdf::DatasetStats> fresh) {
+  flush_query_cache_ = true;
+  return NoteFreshStats(fresh);
 }
 
 std::shared_ptr<const EpochSnapshot> ServingEngine::Pin() const {

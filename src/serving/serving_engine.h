@@ -130,6 +130,20 @@ class ServingEngine {
   // when the cache was marked for replacement.
   bool NoteFreshStats(std::span<const rdf::DatasetStats> fresh);
 
+  // Announces that the source stores were mutated in place by a triple
+  // ingest (new triples, new entities). Epoch-delta invalidation is unsound
+  // under ingest — new triples add answers to queries whose consulted set
+  // never mentioned them — so the NEXT publish starts a cold federated
+  // query cache instead of carrying the parent's forward. The fresh
+  // statistics also feed the plan-drift check (NoteFreshStats), and the
+  // published snapshot's stats reflect the post-ingest stores. Snapshots
+  // already published are NOT safe to read concurrently with the ingest
+  // itself: quiesce in-flight readers of epochs that pinned the mutated
+  // stores before mutating, then call this and Publish. (Pinned snapshots
+  // remain valid for link-set reads; only federated execution touches the
+  // stores.)
+  bool NoteSourceIngest(std::span<const rdf::DatasetStats> fresh);
+
   // -- Reader side ---------------------------------------------------------
 
   // Pins the current epoch: one spin-guarded shared_ptr copy. The snapshot
@@ -174,6 +188,9 @@ class ServingEngine {
   std::shared_ptr<sparql::PlanCache> plan_cache_;    // shared across epochs
   std::vector<rdf::DatasetStats> plan_cache_stats_;  // stats it was built on
   bool replace_plan_cache_ = false;
+  // Set by NoteSourceIngest; the next Freeze starts a cold query cache
+  // (delta invalidation cannot see answers ADDED by new triples).
+  bool flush_query_cache_ = false;
   uint64_t next_epoch_ = 0;
   // The RCU pivot: readers load, the publisher stores. Retired snapshots
   // report on retired_ (shared so a snapshot outliving the engine still has

@@ -49,7 +49,10 @@ Result<const Query*> PlanCache::GetParsed(const std::string& text) {
 
 bool PlanCache::PlanIsFresh(const Entry& entry, const rdf::TripleStore& store,
                             const rdf::DatasetStats* stats) const {
-  if (!entry.has_plan || entry.store != &store) return false;
+  if (!entry.has_plan || entry.store != &store ||
+      entry.store_generation != store.generation()) {
+    return false;
+  }
   if (stats != nullptr && entry.has_snapshot &&
       rdf::Drift(entry.snapshot, *stats) > drift_threshold_) {
     return false;
@@ -98,6 +101,7 @@ Result<const CompiledQuery*> PlanCache::GetPlan(
   options.build_physical_plans = true;
   entry->plan = CompileQuery(entry->query, store, options);
   entry->store = &store;
+  entry->store_generation = store.generation();
   entry->has_plan = true;
   if (stats != nullptr) {
     entry->snapshot = *stats;

@@ -86,6 +86,10 @@ class PlanCache {
     bool has_plan = false;
     CompiledQuery plan;
     const rdf::TripleStore* store = nullptr;
+    // Store mutation counter at compile time: live triple ingest mutates a
+    // store in place, so pointer identity alone would serve plans costed
+    // against data that no longer exists.
+    uint64_t store_generation = 0;
     bool has_snapshot = false;
     rdf::DatasetStats snapshot;
   };

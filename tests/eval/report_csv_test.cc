@@ -47,7 +47,8 @@ TEST(ReportCsvTest, HeaderAndRows) {
                      "breaker_opens,epochs_published,snapshots_retired,"
                      "max_concurrent_readers,votes_recorded,"
                      "verdicts_emitted,aggregator_pending,votes_suppressed,"
-                     "tallies_evicted"),
+                     "tallies_evicted,triples_ingested,entities_added,"
+                     "blocking_merges,space_overflow_pairs,ingest_epochs"),
             0u);
   // One header + two data rows.
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
@@ -129,6 +130,47 @@ TEST(ReportTest, SummaryShowsFeedbackBlockOnlyWhenVotesFlowed) {
   EXPECT_NE(with.str().find("votes suppressed:        190"),
             std::string::npos);
   EXPECT_NE(with.str().find("tallies evicted:         3 (17 still pending)"),
+            std::string::npos);
+}
+
+TEST(ReportCsvTest, RowsCarryIngestCounters) {
+  ExperimentResult result = SampleResult();
+  core::EpisodeStats& stats = result.series.back().stats;
+  stats.triples_ingested = 640;
+  stats.entities_added = 32;
+  stats.blocking_merges = 5;
+  stats.space_overflow_pairs = 77;
+  stats.ingest_epochs = 4;
+  std::ostringstream os;
+  WriteSeriesCsv(os, result);
+  std::string csv = os.str();
+  // The ingest counters are the trailing five columns of the episode row.
+  EXPECT_NE(csv.find(",640,32,5,77,4\n"), std::string::npos);
+  // Episode 0 (the pre-growth baseline) reports zeros.
+  EXPECT_NE(csv.find(",0,0,0,0,0\n"), std::string::npos);
+}
+
+TEST(ReportTest, SummaryShowsIngestBlockOnlyWhenStoresGrew) {
+  ExperimentResult plain = SampleResult();
+  std::ostringstream without;
+  PrintSummary(without, plain);
+  EXPECT_EQ(without.str().find("triples ingested"), std::string::npos);
+
+  ExperimentResult grown = SampleResult();
+  grown.series.back().stats.ingest_epochs = 4;
+  grown.series.back().stats.triples_ingested = 640;
+  grown.series.back().stats.entities_added = 32;
+  grown.series.back().stats.blocking_merges = 5;
+  grown.series.back().stats.space_overflow_pairs = 77;
+  std::ostringstream with;
+  PrintSummary(with, grown);
+  EXPECT_NE(with.str().find("ingest epochs:           4"), std::string::npos);
+  EXPECT_NE(with.str().find("triples ingested:        640"),
+            std::string::npos);
+  EXPECT_NE(with.str().find("entities added:          32"),
+            std::string::npos);
+  EXPECT_NE(with.str().find("blocking merges:         5"), std::string::npos);
+  EXPECT_NE(with.str().find("space overflow entries:  77"),
             std::string::npos);
 }
 

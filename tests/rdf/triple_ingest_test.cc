@@ -1,0 +1,179 @@
+// Streaming triple ingest (TripleStore::Ingest): epoch-stamped add/retract
+// batches applied retracts-first, duplicate tolerance, eager re-indexing,
+// and the MatchCursor generation/staleness contract (the regression test
+// for cursors outliving a mutation).
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace alex::rdf {
+namespace {
+
+class TripleIngestTest : public ::testing::Test {
+ protected:
+  TripleIngestTest() : store_("ingest") {
+    s1_ = store_.InternTerm(Term::Iri("http://ex/e1"));
+    s2_ = store_.InternTerm(Term::Iri("http://ex/e2"));
+    name_ = store_.InternTerm(Term::Iri("http://ex/name"));
+    age_ = store_.InternTerm(Term::Iri("http://ex/age"));
+    ada_ = store_.InternTerm(Term::StringLiteral("Ada"));
+    alan_ = store_.InternTerm(Term::StringLiteral("Alan"));
+    store_.Add(s1_, name_, ada_);
+    store_.Add(s2_, name_, alan_);
+    EXPECT_EQ(store_.size(), 2u);
+  }
+
+  TripleStore store_;
+  TermId s1_, s2_, name_, age_, ada_, alan_;
+};
+
+TEST_F(TripleIngestTest, RetractsApplyBeforeAdds) {
+  TermId forty = store_.InternTerm(Term::IntegerLiteral(40));
+  IngestBatch batch;
+  batch.retracts.push_back({s1_, name_, ada_});
+  batch.adds.push_back({s1_, age_, forty});
+  batch.adds.push_back({s2_, age_, forty});
+
+  IngestResult result = store_.Ingest(batch);
+  EXPECT_EQ(result.retracted, 1u);
+  EXPECT_EQ(result.added, 2u);
+  EXPECT_EQ(result.epoch, 1u);
+  EXPECT_EQ(store_.size(), 3u);
+  EXPECT_FALSE(store_.Contains(s1_, name_, ada_));
+  EXPECT_TRUE(store_.Contains(s1_, age_, forty));
+  EXPECT_TRUE(store_.Contains(s2_, age_, forty));
+}
+
+TEST_F(TripleIngestTest, DuplicateAddsCountOnce) {
+  TermId forty = store_.InternTerm(Term::IntegerLiteral(40));
+  IngestBatch batch;
+  // The same new triple three times, plus one triple already in the store.
+  batch.adds.push_back({s1_, age_, forty});
+  batch.adds.push_back({s1_, age_, forty});
+  batch.adds.push_back({s1_, age_, forty});
+  batch.adds.push_back({s1_, name_, ada_});
+
+  IngestResult result = store_.Ingest(batch);
+  EXPECT_EQ(result.added, 1u);
+  EXPECT_EQ(result.retracted, 0u);
+  EXPECT_EQ(store_.size(), 3u);
+}
+
+TEST_F(TripleIngestTest, AbsentRetractsAreTolerated) {
+  TermId forty = store_.InternTerm(Term::IntegerLiteral(40));
+  IngestBatch batch;
+  batch.retracts.push_back({s1_, age_, forty});  // never existed
+  batch.retracts.push_back({s2_, name_, alan_});
+  batch.retracts.push_back({s2_, name_, alan_});  // duplicate retract
+
+  IngestResult result = store_.Ingest(batch);
+  EXPECT_EQ(result.retracted, 1u);
+  EXPECT_EQ(result.added, 0u);
+  EXPECT_EQ(store_.size(), 1u);
+  EXPECT_TRUE(store_.Contains(s1_, name_, ada_));
+}
+
+TEST_F(TripleIngestTest, RetractThenReAddInOneBatchKeepsTriple) {
+  IngestBatch batch;
+  batch.retracts.push_back({s1_, name_, ada_});
+  batch.adds.push_back({s1_, name_, ada_});
+
+  IngestResult result = store_.Ingest(batch);
+  // Retracts apply first, so the add re-inserts and both are counted.
+  EXPECT_EQ(result.retracted, 1u);
+  EXPECT_EQ(result.added, 1u);
+  EXPECT_TRUE(store_.Contains(s1_, name_, ada_));
+  EXPECT_EQ(store_.size(), 2u);
+}
+
+TEST_F(TripleIngestTest, EpochAdvancesPerBatchOnly) {
+  EXPECT_EQ(store_.ingest_epoch(), 0u);
+  IngestBatch empty;
+  IngestResult first = store_.Ingest(empty);
+  EXPECT_EQ(first.added, 0u);
+  EXPECT_EQ(first.retracted, 0u);
+  EXPECT_EQ(first.epoch, 1u);
+  EXPECT_EQ(store_.ingest_epoch(), 1u);
+  EXPECT_EQ(store_.size(), 2u);
+
+  // Plain Add() bumps the mutation generation but not the ingest epoch.
+  store_.Add(s1_, age_, store_.InternTerm(Term::IntegerLiteral(41)));
+  EXPECT_EQ(store_.ingest_epoch(), 1u);
+  EXPECT_EQ(store_.Ingest(empty).epoch, 2u);
+}
+
+TEST_F(TripleIngestTest, StoreIsFullyIndexedAfterIngest) {
+  TermId s3 = store_.InternTerm(Term::Iri("http://ex/e3"));
+  TermId grace = store_.InternTerm(Term::StringLiteral("Grace"));
+  IngestBatch batch;
+  batch.adds.push_back({s3, name_, grace});
+  batch.adds.push_back({s3, age_, store_.InternTerm(Term::IntegerLiteral(36))});
+  store_.Ingest(batch);
+
+  // All three access paths see the new subject immediately.
+  std::vector<TermId> subjects = store_.Subjects();
+  EXPECT_TRUE(std::find(subjects.begin(), subjects.end(), s3) !=
+              subjects.end());
+  EXPECT_TRUE(std::is_sorted(subjects.begin(), subjects.end()));
+  EXPECT_EQ(store_.CountMatches(std::nullopt, name_, std::nullopt), 3u);
+  EXPECT_EQ(store_.Objects(s3, name_), std::vector<TermId>{grace});
+
+  // Ordered scans still walk exact sorted ranges.
+  MatchCursor cursor =
+      store_.ScanOrdered(IndexOrder::kPos, std::nullopt, name_, std::nullopt);
+  EXPECT_EQ(cursor.remaining(), 3u);
+}
+
+TEST_F(TripleIngestTest, CursorsGoStaleOnIngest) {
+  MatchCursor cursor = store_.Scan(std::nullopt, name_, std::nullopt);
+  EXPECT_FALSE(cursor.stale());
+  EXPECT_EQ(cursor.remaining(), 2u);
+  ASSERT_NE(cursor.Next(), nullptr);
+
+  IngestBatch batch;
+  batch.adds.push_back(
+      {store_.InternTerm(Term::Iri("http://ex/e3")), name_,
+       store_.InternTerm(Term::StringLiteral("Grace"))});
+  store_.Ingest(batch);
+
+  // The cursor captured the pre-ingest generation: it must now report
+  // stale (walking it is UB; debug builds assert on Next()/remaining()).
+  EXPECT_TRUE(cursor.stale());
+
+  // A fresh cursor sees the post-ingest range.
+  MatchCursor fresh = store_.Scan(std::nullopt, name_, std::nullopt);
+  EXPECT_FALSE(fresh.stale());
+  EXPECT_EQ(fresh.remaining(), 3u);
+}
+
+TEST_F(TripleIngestTest, CursorsGoStaleOnAdd) {
+  // The original lifetime hazard: Add() resorts the index storage a live
+  // cursor borrows. The generation counter must catch it too.
+  MatchCursor cursor = store_.Scan(s1_, std::nullopt, std::nullopt);
+  EXPECT_FALSE(cursor.stale());
+  store_.Add(s1_, age_, store_.InternTerm(Term::IntegerLiteral(40)));
+  EXPECT_TRUE(cursor.stale());
+}
+
+TEST_F(TripleIngestTest, DefaultCursorIsNeverStale) {
+  MatchCursor cursor;
+  EXPECT_FALSE(cursor.stale());
+  EXPECT_EQ(cursor.Next(), nullptr);
+  EXPECT_EQ(cursor.remaining(), 0u);
+}
+
+TEST_F(TripleIngestTest, GenerationAdvancesMonotonically) {
+  uint64_t g0 = store_.generation();
+  store_.Ingest(IngestBatch{});
+  uint64_t g1 = store_.generation();
+  EXPECT_GT(g1, g0);
+  store_.Add(s2_, age_, store_.InternTerm(Term::IntegerLiteral(39)));
+  EXPECT_GT(store_.generation(), g1);
+}
+
+}  // namespace
+}  // namespace alex::rdf
